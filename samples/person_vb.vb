@@ -1,0 +1,34 @@
+' The "same" Person module as team B writes it -- different language,
+' namespace, casing and constructor order.
+Assembly "team-b"
+Namespace teamb
+
+Class person
+  Dim age As Integer
+  Dim name As String
+
+  Sub New(a As Integer, n As String)
+    age = a
+    name = n
+  End Sub
+
+  Function GETNAME() As String
+    Return name
+  End Function
+
+  Sub setname(v As String)
+    name = v
+  End Sub
+
+  Function getage() As Integer
+    Return age
+  End Function
+
+  Sub SETAGE(v As Integer)
+    age = v
+  End Sub
+
+  Function Greet() As String
+    Return "Hello, " & name
+  End Function
+End Class
