@@ -1,0 +1,685 @@
+(* Benchmark harness reproducing the evaluation of "Pragmatic Type
+   Interoperability" (ICDCS 2003).
+
+   E1 (§7.1) direct vs dynamic-proxy invocation
+   E2 (§7.2) type-description creation / serialization / deserialization
+   E3 (§7.3) object serialization / deserialization (SOAP and binary)
+   E4 (§7.4) implicit structural conformance checking
+   E5 (§1/§3) optimistic protocol vs eager baseline (bytes and time)
+   E6 (§4.2)  rule-weakening ablation: safety vs recall
+
+   E1-E4 are Bechamel micro-benchmarks; E5/E6 are deterministic simulated
+   experiments printed as tables. Absolute numbers differ from the paper's
+   2002 CLR testbed; EXPERIMENTS.md records the shape comparison. *)
+
+open Bechamel
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Config = Pti_conformance.Config
+module Proxy = Pti_proxy.Dynamic_proxy
+module Bin = Pti_serial.Bin_ser
+module Soap = Pti_serial.Soap_ser
+module Peer = Pti_core.Peer
+module Net = Pti_net.Net
+module Stats = Pti_net.Stats
+module Demo = Pti_demo.Demo_types
+module Workload = Pti_demo.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel runner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let cfg =
+  Benchmark.cfg ~limit:2000
+    ~quota:(Time.second (if quick then 0.1 else 0.5))
+    ~kde:None ()
+
+let instance = Toolkit.Instance.monotonic_clock
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+(* Nanoseconds per run, estimated by ordinary least squares. *)
+let measure elt =
+  let result = Benchmark.run cfg [ instance ] elt in
+  match Analyze.OLS.estimates (Analyze.one ols instance result) with
+  | Some [ ns ] -> ns
+  | Some _ | None -> nan
+
+let hr () = print_endline (String.make 78 '-')
+
+let bench_group title rows =
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ();
+  Printf.printf "  %-44s %14s %14s\n" "benchmark" "ns/op" "ops/s";
+  let results =
+    List.map
+      (fun (name, fn) ->
+        let ns = measure (Test.Elt.unsafe_make ~name (Staged.stage fn)) in
+        Printf.printf "  %-44s %14.1f %14.0f\n" name ns (1e9 /. ns);
+        (name, ns))
+      rows
+  in
+  print_newline ();
+  results
+
+let ratio results a b =
+  match List.assoc_opt a results, List.assoc_opt b results with
+  | Some x, Some y when y > 0. -> x /. y
+  | _ -> nan
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  Demo.fresh_registry
+    [ Demo.news_assembly (); Demo.social_assembly (); Demo.trap_assembly () ]
+
+let resolver = Td.registry_resolver registry
+let checker = Checker.create ~resolver ()
+let cx = Proxy.create_context registry checker
+let news_person_cd = Registry.find_exn registry Demo.news_person
+let news_desc = Td.of_class news_person_cd
+let social_desc = Td.of_class (Registry.find_exn registry Demo.social_person)
+let direct_person = Demo.make_news_person registry ~name:"Bench" ~age:33
+
+let identity_proxy =
+  Proxy.wrap cx ~interest:Demo.news_person
+    ~mapping:
+      (Pti_conformance.Mapping.identity_mapping ~interest:Demo.news_person
+         ~actual:Demo.news_person)
+    direct_person
+
+let translating_proxy =
+  let target = Demo.make_social_person registry ~name:"Bench" ~age:33 in
+  match Checker.check checker ~actual:social_desc ~interest:news_desc with
+  | Checker.Conformant m ->
+      Proxy.wrap cx ~interest:Demo.news_person ~mapping:m target
+  | Checker.Not_conformant _ -> failwith "fixture: social !<= news"
+
+let sample_person () =
+  let p = Demo.make_news_person registry ~name:"Ser" ~age:7 in
+  let home =
+    Eval.construct registry Demo.news_address
+      [ Value.Vstring "1 Main St"; Value.Vstring "Springfield" ]
+  in
+  ignore (Eval.call registry p "setHome" [ home ]);
+  p
+
+(* ------------------------------------------------------------------ *)
+(* E1: invocation time (§7.1)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  let results =
+    bench_group "E1 (§7.1) invocation time: getName() on a Person"
+      [
+        ( "direct invocation",
+          fun () -> ignore (Eval.call registry direct_person "getName" []) );
+        ( "proxy invocation (identity mapping)",
+          fun () -> ignore (Eval.call registry identity_proxy "getName" []) );
+        ( "proxy invocation (renaming + coercion)",
+          fun () -> ignore (Eval.call registry translating_proxy "getName" []) );
+      ]
+  in
+  Printf.printf
+    "  proxy/direct ratio: %.1fx (translating), %.1fx (identity)\n"
+    (ratio results "proxy invocation (renaming + coercion)"
+       "direct invocation")
+    (ratio results "proxy invocation (identity mapping)" "direct invocation");
+  Printf.printf
+    "  paper: direct 0.000142 ms, proxy 0.03 ms  =>  ~211x slower via proxy\n\n";
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E2: type descriptions (§7.2)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  let xml = Td.to_xml_string news_desc in
+  let results =
+    bench_group
+      "E2 (§7.2) type description of Person: create / serialize / deserialize"
+      [
+        ("create (introspection)", fun () -> ignore (Td.of_class news_person_cd));
+        ( "create + serialize to XML",
+          fun () -> ignore (Td.to_xml_string (Td.of_class news_person_cd)) );
+        ("deserialize from XML", fun () -> ignore (Td.of_xml_string xml));
+      ]
+  in
+  Printf.printf "  description size on the wire: %d bytes\n"
+    (Td.size_bytes news_desc);
+  Printf.printf
+    "  serialize/deserialize ratio: %.2fx   (paper: 6.14 ms / 2.34 ms = \
+     2.6x)\n\n"
+    (ratio results "create + serialize to XML" "deserialize from XML");
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E3: object serialization (§7.3)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  let p = sample_person () in
+  let soap_wire = Soap.encode p in
+  let bin_wire = Bin.encode p in
+  let results =
+    bench_group
+      "E3 (§7.3) object (de)serialization of a Person (with nested Address)"
+      [
+        ("SOAP serialize", fun () -> ignore (Soap.encode p));
+        ("SOAP deserialize", fun () -> ignore (Soap.decode registry soap_wire));
+        ("binary serialize", fun () -> ignore (Bin.encode p));
+        ("binary deserialize", fun () -> ignore (Bin.decode registry bin_wire));
+      ]
+  in
+  Printf.printf "  payload sizes: SOAP %d bytes, binary %d bytes\n"
+    (String.length soap_wire) (String.length bin_wire);
+  Printf.printf
+    "  SOAP ser/deser ratio: %.2fx   (paper: 16.68 ms / 1.32 ms = 12.6x)\n\n"
+    (ratio results "SOAP serialize" "SOAP deserialize");
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E4: conformance testing (§7.4)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e4 ~direct_invocation_ns () =
+  let results =
+    bench_group
+      "E4 (§7.4) implicit structural conformance: social.person <= \
+       news.Person"
+      [
+        ( "full check (cold, cache cleared)",
+          fun () ->
+            Checker.clear_cache checker;
+            ignore
+              (Checker.check checker ~actual:social_desc ~interest:news_desc) );
+        ( "full check (cached verdict)",
+          fun () ->
+            ignore
+              (Checker.check checker ~actual:social_desc ~interest:news_desc) );
+        ( "equality shortcut (same GUID)",
+          fun () ->
+            ignore
+              (Checker.check checker ~actual:news_desc ~interest:news_desc) );
+      ]
+  in
+  (match List.assoc_opt "full check (cold, cache cleared)" results with
+  | Some cold when direct_invocation_ns > 0. ->
+      Printf.printf
+        "  cold check costs %.0fx a direct invocation (paper: 12.66 ms vs \
+         0.000142 ms => ~89000x)\n"
+        (cold /. direct_invocation_ns)
+  | _ -> ());
+  print_newline ();
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E5: the optimistic protocol vs the eager baseline                    *)
+(* ------------------------------------------------------------------ *)
+
+type protocol_outcome = {
+  o_obj : int;
+  o_tdesc : int;
+  o_asm : int;
+  o_total : int;
+  o_time : float;
+  o_delivered : int;
+  o_rejected : int;
+}
+
+(* [objects] values are sent from one peer to another; the value types
+   rotate over [distinct] synthetic families, of which [nonconf] are
+   structurally deficient (rejected by the rules). *)
+let run_protocol ?codec ?drop_rate ?reliability ~mode ~objects ~distinct
+    ~nonconf () =
+  let net = Net.create ?drop_rate ?reliability ~seed:17L () in
+  let sender = Peer.create ?codec ~mode ~net "sender" in
+  let receiver = Peer.create ?codec ~mode ~net "receiver" in
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let flavors =
+    Array.init distinct (fun i ->
+        if i < nonconf then Workload.Trap_missing else Workload.Conformant)
+  in
+  Array.iteri
+    (fun i flavor ->
+      Peer.publish_assembly sender (Workload.family ~index:i ~flavor))
+    flavors;
+  for n = 0 to objects - 1 do
+    let index = n mod distinct in
+    let v =
+      Workload.make_person (Peer.registry sender) ~index
+        ~flavor:flavors.(index)
+        ~name:(Printf.sprintf "p%d" n)
+        ~age:n
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  done;
+  let s = Net.stats net in
+  let delivered, rejected =
+    List.fold_left
+      (fun (d, r) ev ->
+        match ev with
+        | Peer.Delivered _ -> (d + 1, r)
+        | Peer.Rejected _ -> (d, r + 1)
+        | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
+      (0, 0) (Peer.events receiver)
+  in
+  {
+    o_obj = Stats.bytes s Stats.Object_msg;
+    o_tdesc =
+      Stats.bytes s Stats.Tdesc_request + Stats.bytes s Stats.Tdesc_reply;
+    o_asm = Stats.bytes s Stats.Asm_request + Stats.bytes s Stats.Asm_reply;
+    o_total = Stats.total_bytes s;
+    o_time = Net.now_ms net;
+    o_delivered = delivered;
+    o_rejected = rejected;
+  }
+
+let e5 () =
+  hr ();
+  print_endline "E5 optimistic transport protocol (Figure 1) vs eager baseline";
+  hr ();
+  let objects = if quick then 20 else 60 in
+  Printf.printf
+    "\n\
+    \  E5a: %d objects, sweeping the number of distinct (conformant) types\n\n"
+    objects;
+  Printf.printf "  %8s %-11s %10s %10s %10s %12s %10s\n" "distinct" "mode"
+    "obj B" "tdesc B" "asm B" "total B" "time ms";
+  List.iter
+    (fun distinct ->
+      List.iter
+        (fun (mode, mode_name) ->
+          let o = run_protocol ~mode ~objects ~distinct ~nonconf:0 () in
+          Printf.printf "  %8d %-11s %10d %10d %10d %12d %10.1f\n" distinct
+            mode_name o.o_obj o.o_tdesc o.o_asm o.o_total o.o_time)
+        [ (Peer.Optimistic, "optimistic"); (Peer.Eager, "eager") ])
+    (if quick then [ 1; 5; 20 ] else [ 1; 5; 10; 20; 60 ]);
+  Printf.printf
+    "\n\
+    \  E5b: %d objects over 10 types, sweeping the non-conformant share\n\
+    \  (optimistic never downloads code for rejected types)\n\n"
+    objects;
+  Printf.printf "  %8s %-11s %10s %10s %12s %10s %10s\n" "nonconf" "mode"
+    "tdesc B" "asm B" "total B" "deliv" "reject";
+  List.iter
+    (fun nonconf ->
+      List.iter
+        (fun (mode, mode_name) ->
+          let o = run_protocol ~mode ~objects ~distinct:10 ~nonconf () in
+          Printf.printf "  %7d0%% %-11s %10d %10d %12d %10d %10d\n" nonconf
+            mode_name o.o_tdesc o.o_asm o.o_total o.o_delivered o.o_rejected)
+        [ (Peer.Optimistic, "optimistic"); (Peer.Eager, "eager") ])
+    [ 0; 2; 5; 8; 10 ];
+  Printf.printf
+    "\n  E5c: %d objects over 10 types, payload codec comparison (Figure 3's\n\
+    \  two embeddings: readable SOAP vs compact binary)\n\n"
+    objects;
+  Printf.printf "  %-8s %10s %12s %10s\n" "codec" "obj B" "total B" "time ms";
+  List.iter
+    (fun (codec, cname) ->
+      let o =
+        run_protocol ~codec ~mode:Peer.Optimistic ~objects ~distinct:10
+          ~nonconf:0 ()
+      in
+      Printf.printf "  %-8s %10d %12d %10.1f\n" cname o.o_obj o.o_total o.o_time)
+    [
+      (Pti_serial.Envelope.Binary, "binary");
+      (Pti_serial.Envelope.Soap, "soap");
+    ];
+  Printf.printf
+    "\n  E5d: %d objects over 10 types on a lossy link with the ARQ layer\n\
+    \  (loss shows up as retransmission bytes and latency, never as missing\n\
+    \  deliveries)\n\n"
+    objects;
+  Printf.printf "  %8s %10s %12s %10s %10s %10s %10s\n" "loss" "retrans"
+    "total B" "sim ms*" "p95 obj ms" "deliv" "lost";
+  List.iter
+    (fun drop_rate ->
+      let net_probe = ref (0, 0) in
+      let o =
+        let net = Net.create ~drop_rate ~reliability:Net.default_reliability
+            ~seed:17L () in
+        let sender = Peer.create ~net "sender" in
+        let receiver = Peer.create ~net "receiver" in
+        Peer.install_assembly receiver (Demo.news_assembly ());
+        Peer.register_interest receiver ~interest:Demo.news_person
+          (fun ~from:_ _ -> ());
+        for i = 0 to 9 do
+          Peer.publish_assembly sender
+            (Workload.family ~index:i ~flavor:Workload.Conformant)
+        done;
+        for n = 0 to objects - 1 do
+          let index = n mod 10 in
+          let v =
+            Workload.make_person (Peer.registry sender) ~index
+              ~flavor:Workload.Conformant
+              ~name:(Printf.sprintf "p%d" n) ~age:n
+          in
+          Peer.send_value sender ~dst:"receiver" v;
+          Net.run net
+        done;
+        net_probe := (Net.retransmissions net, Net.lost_messages net);
+        let delivered =
+          List.length
+            (List.filter
+               (function Peer.Delivered _ -> true | _ -> false)
+               (Peer.events receiver))
+        in
+        let p50 =
+          Option.value ~default:0.
+            (Stats.latency_percentile (Net.stats net) Stats.Object_msg 0.95)
+        in
+        (Stats.total_bytes (Net.stats net), Net.now_ms net, p50, delivered)
+      in
+      let total, time, p50, deliv = o in
+      let retrans, lost = !net_probe in
+      Printf.printf "  %7.0f%% %10d %12d %10.1f %10.1f %10d %10d\n"
+        (100. *. drop_rate) retrans total time p50 deliv lost)
+    [ 0.0; 0.05; 0.1; 0.25 ];
+  print_endline
+    "  (*) simulated time runs until the last ARQ timer expires, so it\n\
+    \  overstates delivery latency by up to one retransmit interval per\n\
+    \  message; compare rows, not against E5a.";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E6: rule-weakening ablation (§4.2's safety warning)                  *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  hr ();
+  print_endline
+    "E6 conformance-rule ablation: acceptance, recall and runtime safety";
+  hr ();
+  let population =
+    List.concat
+      [
+        List.init 10 (fun i -> (i, Workload.Conformant));
+        List.init 5 (fun i -> (i, Workload.Trap_missing));
+        List.init 5 (fun i -> (i, Workload.Trap_arity));
+        List.init 5 (fun i -> (i, Workload.Trap_fieldtype));
+        List.init 5 (fun i -> (i, Workload.Typo 1));
+        List.init 5 (fun i -> (i, Workload.Typo 2));
+      ]
+  in
+  let good (_, flavor) =
+    match flavor with
+    | Workload.Conformant | Workload.Typo _ -> true
+    | Workload.Trap_missing | Workload.Trap_arity
+    | Workload.Trap_fieldtype ->
+        false
+  in
+  let reg = Registry.create () in
+  Assembly.load reg (Demo.news_assembly ());
+  List.iter
+    (fun (index, flavor) -> Assembly.load reg (Workload.family ~index ~flavor))
+    population;
+  let res = Td.registry_resolver reg in
+  let interest = Option.get (res Demo.news_person) in
+  let configs =
+    [
+      ("name-only (weak rule)", Config.name_only);
+      ("strict (the paper's rules)", Config.strict);
+      ("relaxed, distance 1", Config.relaxed ~distance:1);
+      ("relaxed, distance 2", Config.relaxed ~distance:2);
+      ("without rule (iv) methods",
+       { Config.strict with Config.check_methods = false });
+      ("without rule (v) ctors",
+       { Config.strict with Config.check_ctors = false });
+      ("without rule (ii) fields",
+       { Config.strict with Config.check_fields = false });
+    ]
+  in
+  let usable = List.length (List.filter good population) in
+  Printf.printf "\n  population: %d types (%d usable, %d traps)\n\n"
+    (List.length population) usable
+    (List.length population - usable);
+  Printf.printf "  %-28s %9s %8s %8s %10s\n" "rule set" "accepted" "recall"
+    "unsafe" "fail rate";
+  List.iter
+    (fun (cname, config) ->
+      let ch = Checker.create ~config ~resolver:res () in
+      let pcx = Proxy.create_context reg ch in
+      let accepted = ref 0 and unsafe = ref 0 and good_accepted = ref 0 in
+      List.iter
+        (fun ((index, flavor) as member) ->
+          let qname = Workload.person_name ~index ~flavor in
+          let actual = Option.get (res qname) in
+          match Checker.check ch ~actual ~interest with
+          | Checker.Not_conformant _ -> ()
+          | Checker.Conformant m ->
+              incr accepted;
+              if good member then incr good_accepted;
+              let target =
+                Workload.make_person reg ~index ~flavor ~name:"probe" ~age:40
+              in
+              let proxy =
+                Proxy.wrap pcx ~interest:Demo.news_person ~mapping:m target
+              in
+              let failed =
+                List.exists
+                  (fun (meth, args) ->
+                    match Eval.call reg proxy meth args with
+                    | _ -> false
+                    | exception Eval.Runtime_error _ -> true)
+                  Workload.interest_methods
+              in
+              if failed then incr unsafe)
+        population;
+      Printf.printf "  %-28s %9d %7.0f%% %8d %9.0f%%\n" cname !accepted
+        (100. *. float_of_int !good_accepted /. float_of_int usable)
+        !unsafe
+        (if !accepted = 0 then 0.
+         else 100. *. float_of_int !unsafe /. float_of_int !accepted))
+    configs;
+  print_newline ();
+  print_endline
+    "  The weak name-only rule accepts every trap and pays for it at run\n\
+    \  time; the structural aspects keep the failure rate at zero even\n\
+    \  when the name rule is relaxed -- the paper's safety argument. The\n\
+    \  per-aspect rows locate the safety: for this population it lives in\n\
+    \  rule (iv), the method aspect. Note the field-type traps accepted by\n\
+    \  name-only do not even raise -- they silently corrupt values, the\n\
+    \  failure mode no runtime probe reliably sees and only the static\n\
+    \  rules prevent.";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E7: the strong-conformance extension (structural + behavioral)       *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  let social_cd = Registry.find_exn registry Demo.social_person in
+  let mapping =
+    match Checker.check checker ~actual:social_desc ~interest:news_desc with
+    | Checker.Conformant m -> m
+    | Checker.Not_conformant _ -> failwith "fixture"
+  in
+  let results =
+    bench_group
+      "E7 strong implicit conformance (§4.1): structural check + behavioral \
+       probe"
+      [
+        ( "structural check (cold)",
+          fun () ->
+            Checker.clear_cache checker;
+            ignore
+              (Checker.check checker ~actual:social_desc ~interest:news_desc)
+        );
+        ( "behavioral probe (16 samples/method)",
+          fun () ->
+            ignore
+              (Pti_conformance.Behavioral.probe registry ~actual:social_cd
+                 ~interest:news_person_cd ~mapping ()) );
+        ( "behavioral probe (4 samples/method)",
+          fun () ->
+            ignore
+              (Pti_conformance.Behavioral.probe registry ~samples:4
+                 ~actual:social_cd ~interest:news_person_cd ~mapping ()) );
+      ]
+  in
+  Printf.printf
+    "  behavioral/structural cost ratio: %.1fx -- affordable, but it needs\n\
+    \  the implementation loaded, so it runs as an acceptance test after\n\
+    \  the optimistic download, never as a pre-download filter\n\n"
+    (ratio results "behavioral probe (16 samples/method)"
+       "structural check (cold)");
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E8: recall against the related-work baselines (§2)                   *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  hr ();
+  print_endline
+    "E8 who can interoperate? nominal (CORBA/RMI) vs Laufer vs implicit \
+     rules";
+  hr ();
+  let module B = Builder in
+  let module E = Expr in
+  (* The query: an *interface* named person (Laufer requires interfaces). *)
+  let iface =
+    B.interface_ ~ns:[ "query" ] ~assembly:"query-asm" "person"
+    |> B.abstract_method "getName" [] Ty.String
+    |> B.abstract_method "getAge" [] Ty.Int
+    |> B.abstract_method "greet" [] Ty.String
+    |> B.abstract_method "update" [ ("n", Ty.String); ("a", Ty.Int) ] Ty.Void
+    |> B.build
+  in
+  let person_body b =
+    b
+    |> B.field "name" Ty.String
+    |> B.field "age" Ty.Int
+    |> B.method_ "getName" [] Ty.String ~body:(E.get "name")
+    |> B.method_ "getAge" [] Ty.Int ~body:(E.get "age")
+    |> B.method_ "greet" [] Ty.String
+         ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+    |> B.method_ "update" [ ("n", Ty.String); ("a", Ty.Int) ] Ty.Void
+         ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a"); E.null ])
+  in
+  let renamed_body b =
+    b
+    |> B.field "name" Ty.String
+    |> B.field "age" Ty.Int
+    |> B.method_ "GETNAME" [] Ty.String ~body:(E.get "name")
+    |> B.method_ "getage" [] Ty.Int ~body:(E.get "age")
+    |> B.method_ "GREET" [] Ty.String
+         ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+    |> B.method_ "update" [ ("a", Ty.Int); ("n", Ty.String) ] Ty.Void
+         ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a"); E.null ])
+  in
+  let deficient_body b =
+    b
+    |> B.field "name" Ty.String
+    |> B.method_ "getName" [] Ty.String ~body:(E.get "name")
+  in
+  let per_kind = 5 in
+  let mk kind i =
+    match kind with
+    | `Declared ->
+        person_body
+          (B.class_ ~ns:[ Printf.sprintf "decl%d" i ] ~assembly:"e8"
+             ~interfaces:[ "query.person" ] "Person")
+        |> B.build
+    | `Tagged ->
+        person_body
+          (B.class_ ~ns:[ Printf.sprintf "tag%d" i ] ~assembly:"e8" "person")
+        |> B.build
+    | `Legacy ->
+        person_body
+          (B.class_ ~ns:[ Printf.sprintf "leg%d" i ] ~assembly:"e8" "Person")
+        |> B.build
+    | `Renamed ->
+        renamed_body
+          (B.class_ ~ns:[ Printf.sprintf "ren%d" i ] ~assembly:"e8" "Person")
+        |> B.build
+    | `Deficient ->
+        deficient_body
+          (B.class_ ~ns:[ Printf.sprintf "def%d" i ] ~assembly:"e8" "Person")
+        |> B.build
+  in
+  let kinds =
+    [
+      (`Declared, "declares query.person (shared hierarchy)");
+      (`Tagged, "independent, exact signatures, tagged");
+      (`Legacy, "independent, exact signatures, legacy (untagged)");
+      (`Renamed, "independent, renamed + permuted members");
+      (`Deficient, "missing members (must be rejected)");
+    ]
+  in
+  let reg = Registry.create () in
+  Registry.register reg iface;
+  List.iter
+    (fun (kind, _) ->
+      for i = 0 to per_kind - 1 do
+        Registry.register reg (mk kind i)
+      done)
+    kinds;
+  let res = Td.registry_resolver reg in
+  let ch = Checker.create ~resolver:res () in
+  let interest = Td.of_class iface in
+  let tagged name =
+    (* The opt-in marker of the Laufer proposal: only these namespaces
+       chose to participate. *)
+    let lname = String.lowercase_ascii name in
+    String.length lname >= 3
+    && (String.sub lname 0 3 = "tag" || String.sub lname 0 4 = "decl")
+  in
+  Printf.printf "\n  interest: interface query.person; %d candidates per row\n\n"
+    per_kind;
+  Printf.printf "  %-44s %8s %8s %9s\n" "candidate population" "nominal"
+    "laufer" "implicit";
+  List.iter
+    (fun (kind, label) ->
+      let nominal = ref 0 and laufer = ref 0 and implicit = ref 0 in
+      for i = 0 to per_kind - 1 do
+        let actual = Td.of_class (mk kind i) in
+        if Pti_conformance.Baselines.nominal ch ~actual ~interest then
+          incr nominal;
+        if
+          Pti_conformance.Baselines.laufer ~resolver:res ~tagged ~actual
+            ~interest
+        then incr laufer;
+        if Checker.verdict_ok (Checker.check ch ~actual ~interest) then
+          incr implicit
+      done;
+      Printf.printf "  %-44s %8d %8d %9d\n" label !nominal !laufer !implicit)
+    kinds;
+  print_newline ();
+  print_endline
+    "  The implicit structural rules accept every usable population and\n\
+    \  nothing else; nominal interoperability needs a shared hierarchy and\n\
+    \  Laufer-style conformance additionally needs opt-in tagging and exact\n\
+    \  signatures -- the restrictions Sections 2.1-2.4 call out.";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "Pragmatic Type Interoperability -- benchmark suite%s\n\n"
+    (if quick then " (quick mode)" else "");
+  let e1_results = e1 () in
+  ignore (e2 ());
+  ignore (e3 ());
+  let direct =
+    Option.value ~default:0. (List.assoc_opt "direct invocation" e1_results)
+  in
+  ignore (e4 ~direct_invocation_ns:direct ());
+  e5 ();
+  e6 ();
+  ignore (e7 ());
+  e8 ();
+  hr ();
+  print_endline "Done. See EXPERIMENTS.md for paper-vs-measured discussion."

@@ -1,0 +1,423 @@
+(* pti — command-line driver for the type-interoperability middleware.
+
+   Subcommands:
+     describe   parse an IDL file and print a type's XML description
+     check      implicit structural conformance between two IDL types
+     protocol   run the optimistic-vs-eager transfer experiment
+     demo       run the quickstart Person scenario
+*)
+
+open Cmdliner
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Config = Pti_conformance.Config
+module Mapping = Pti_conformance.Mapping
+module Idl = Pti_idl.Idl
+module Peer = Pti_core.Peer
+module Net = Pti_net.Net
+module Stats = Pti_net.Stats
+module Demo = Pti_demo.Demo_types
+module Workload = Pti_demo.Workload
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error msg
+
+(* .vb files go through the VB front end, everything else through the
+   C#-flavoured one; both produce the same CTS metadata. *)
+let load_idl path =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok src ->
+      if Filename.check_suffix path ".vb" then
+        match
+          Pti_idl.Vbdl.parse_assembly ~assembly:(Filename.basename path) src
+        with
+        | Ok asm -> Ok asm
+        | Error e ->
+            Error (Format.asprintf "%s: %a" path Pti_idl.Vbdl.pp_error e)
+      else
+        match Idl.parse_assembly ~assembly:(Filename.basename path) src with
+        | Ok asm -> Ok asm
+        | Error e -> Error (Format.asprintf "%s: %a" path Idl.pp_error e)
+
+let pick_class asm type_name =
+  match type_name with
+  | Some n -> (
+      match Assembly.find_class asm n with
+      | Some cd -> Ok cd
+      | None ->
+          Error
+            (Printf.sprintf "type %S not found (available: %s)" n
+               (String.concat ", " (Assembly.class_names asm))))
+  | None -> (
+      match asm.Assembly.asm_classes with
+      | [ cd ] -> Ok cd
+      | [] -> Error "the file defines no types"
+      | cds ->
+          Error
+            (Printf.sprintf "several types defined; pick one with --type (%s)"
+               (String.concat ", "
+                  (List.map Meta.qualified_name cds))))
+
+(* ----------------------------- describe ---------------------------- *)
+
+let describe_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"IDL source file.")
+  in
+  let type_name =
+    Arg.(value & opt (some string) None
+         & info [ "type"; "t" ] ~docv:"NAME"
+             ~doc:"Qualified name of the type to describe.")
+  in
+  let run file type_name =
+    match load_idl file with
+    | Error msg -> `Error (false, msg)
+    | Ok asm -> (
+        match pick_class asm type_name with
+        | Error msg -> `Error (false, msg)
+        | Ok cd ->
+            print_string (Td.to_xml_string ~pretty:true (Td.of_class cd));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Print the XML type description (§5.2) of an IDL-defined type.")
+    Term.(ret (const run $ file $ type_name))
+
+(* ------------------------------ check ------------------------------ *)
+
+let check_cmd =
+  let interest_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"INTEREST_FILE" ~doc:"IDL file of the type of interest.")
+  in
+  let actual_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"ACTUAL_FILE" ~doc:"IDL file of the candidate type.")
+  in
+  let interest_type =
+    Arg.(value & opt (some string) None
+         & info [ "interest-type" ] ~docv:"NAME" ~doc:"Type of interest.")
+  in
+  let actual_type =
+    Arg.(value & opt (some string) None
+         & info [ "actual-type" ] ~docv:"NAME" ~doc:"Candidate type.")
+  in
+  let distance =
+    Arg.(value & opt int 0
+         & info [ "distance"; "d" ] ~docv:"N"
+             ~doc:"Levenshtein threshold for the name rule (paper: 0).")
+  in
+  let wildcards =
+    Arg.(value & flag
+         & info [ "wildcards" ] ~doc:"Allow * and ? in interest names.")
+  in
+  let name_only =
+    Arg.(value & flag
+         & info [ "name-only" ]
+             ~doc:"Use the weak name-only rule (unsafe; see E6).")
+  in
+  let probe =
+    Arg.(value & flag
+         & info [ "probe" ]
+             ~doc:"After a structural match, run the behavioral probe \
+                   (§4.1, primitive methods only).")
+  in
+  let run interest_file actual_file interest_type actual_type distance
+      wildcards name_only probe =
+    let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
+    let* interest_asm = load_idl interest_file in
+    let* actual_asm = load_idl actual_file in
+    let* interest_cd = pick_class interest_asm interest_type in
+    let* actual_cd = pick_class actual_asm actual_type in
+    let config =
+      let base = if name_only then Config.name_only else Config.strict in
+      { base with Config.name_distance = distance;
+        allow_wildcards = wildcards }
+    in
+    let reg = Registry.create () in
+    (* Same-named classes from both files may collide; that's fine, the
+       resolver only needs descriptions. *)
+    let descs =
+      List.map Td.of_class
+        (interest_asm.Assembly.asm_classes @ actual_asm.Assembly.asm_classes)
+    in
+    ignore reg;
+    let checker =
+      Checker.create ~config ~resolver:(Td.table_resolver descs) ()
+    in
+    let interest = Td.of_class interest_cd and actual = Td.of_class actual_cd in
+    (match Checker.check checker ~actual ~interest with
+    | Checker.Conformant m ->
+        Format.printf "CONFORMANT: %s can be used as %s@."
+          (Td.qualified_name actual)
+          (Td.qualified_name interest);
+        if not m.Mapping.identity then Format.printf "%a@." Mapping.pp m;
+        if probe then begin
+          let preg = Registry.create () in
+          match
+            Assembly.load preg interest_asm;
+            Assembly.load preg actual_asm
+          with
+          | () ->
+              let report =
+                Pti_conformance.Behavioral.probe preg ~actual:actual_cd
+                  ~interest:interest_cd ~mapping:m ()
+              in
+              Format.printf "%a@." Pti_conformance.Behavioral.pp_report report;
+              Format.printf "behavioral: %s@."
+                (if Pti_conformance.Behavioral.conformant report then
+                   "AGREE on all probed methods"
+                 else "DIVERGENT")
+          | exception Registry.Duplicate name ->
+              Format.printf
+                "behavioral probe skipped: type %s defined by both files@."
+                name
+        end
+    | Checker.Not_conformant fs ->
+        Format.printf "NOT CONFORMANT: %s cannot be used as %s@."
+          (Td.qualified_name actual)
+          (Td.qualified_name interest);
+        List.iter (fun f -> Format.printf "  - %a@." Checker.pp_failure f) fs);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check implicit structural conformance between two IDL types.")
+    Term.(
+      ret
+        (const run $ interest_file $ actual_file $ interest_type $ actual_type
+        $ distance $ wildcards $ name_only $ probe))
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let protocol_cmd =
+  let objects =
+    Arg.(value & opt int 60
+         & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects to transfer.")
+  in
+  let distinct =
+    Arg.(value & opt int 10
+         & info [ "distinct"; "k" ] ~docv:"K" ~doc:"Distinct event types.")
+  in
+  let nonconf =
+    Arg.(value & opt int 0
+         & info [ "nonconf" ] ~docv:"M"
+             ~doc:"How many of the K types are non-conformant.")
+  in
+  let eager =
+    Arg.(value & flag
+         & info [ "eager" ] ~doc:"Use the eager baseline instead of the \
+                                  optimistic protocol.")
+  in
+  let run objects distinct nonconf eager =
+    if objects <= 0 || distinct <= 0 || nonconf < 0 || nonconf > distinct then
+      `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
+    else begin
+      let mode = if eager then Peer.Eager else Peer.Optimistic in
+      let net = Net.create ~seed:17L () in
+      let sender = Peer.create ~mode ~net "sender" in
+      let receiver = Peer.create ~mode ~net "receiver" in
+      Peer.install_assembly receiver (Demo.news_assembly ());
+      Peer.register_interest receiver ~interest:Demo.news_person
+        (fun ~from:_ _ -> ());
+      let flavors =
+        Array.init distinct (fun i ->
+            if i < nonconf then Workload.Trap_missing else Workload.Conformant)
+      in
+      Array.iteri
+        (fun i flavor ->
+          Peer.publish_assembly sender (Workload.family ~index:i ~flavor))
+        flavors;
+      for n = 0 to objects - 1 do
+        let index = n mod distinct in
+        let v =
+          Workload.make_person (Peer.registry sender) ~index
+            ~flavor:flavors.(index)
+            ~name:(Printf.sprintf "p%d" n) ~age:n
+        in
+        Peer.send_value sender ~dst:"receiver" v;
+        Net.run net
+      done;
+      let delivered, rejected =
+        List.fold_left
+          (fun (d, r) ev ->
+            match ev with
+            | Peer.Delivered _ -> (d + 1, r)
+            | Peer.Rejected _ -> (d, r + 1)
+            | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
+          (0, 0) (Peer.events receiver)
+      in
+      Format.printf
+        "mode=%s objects=%d distinct=%d nonconf=%d@.delivered=%d rejected=%d \
+         completion=%.1f ms@.%a@."
+        (if eager then "eager" else "optimistic")
+        objects distinct nonconf delivered rejected (Net.now_ms net) Stats.pp
+        (Net.stats net);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:"Transfer a synthetic workload and report wire traffic (E5).")
+    Term.(ret (const run $ objects $ distinct $ nonconf $ eager))
+
+(* ----------------------------- compile ----------------------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Definition-language source (.idl/.vb).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT"
+             ~doc:"Output path for the assembly XML (default: stdout).")
+  in
+  let run file output =
+    match load_idl file with
+    | Error msg -> `Error (false, msg)
+    | Ok asm -> (
+        let xml = Pti_serial.Assembly_xml.to_string asm in
+        match output with
+        | None ->
+            print_endline xml;
+            `Ok ()
+        | Some path ->
+            let oc = open_out_bin path in
+            output_string oc xml;
+            close_out oc;
+            Printf.printf "wrote %s (%d classes, %d bytes)\n" path
+              (List.length asm.Assembly.asm_classes)
+              (String.length xml);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a definition-language source into assembly XML (the \
+             code-download wire format).")
+    Term.(ret (const run $ file $ output))
+
+(* ------------------------------- run -------------------------------- *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"ASSEMBLY"
+             ~doc:"Assembly XML file (from 'pti compile') or a source file.")
+  in
+  let cls =
+    Arg.(required & opt (some string) None
+         & info [ "class"; "c" ] ~docv:"NAME" ~doc:"Class to instantiate.")
+  in
+  let meth =
+    Arg.(required & opt (some string) None
+         & info [ "method"; "m" ] ~docv:"NAME" ~doc:"Method to invoke.")
+  in
+  let ctor_args =
+    Arg.(value & opt_all string []
+         & info [ "new" ] ~docv:"ARG"
+             ~doc:"Constructor argument (repeatable; int/bool/float parsed, \
+                   else string).")
+  in
+  let meth_args =
+    Arg.(value & opt_all string []
+         & info [ "arg" ] ~docv:"ARG" ~doc:"Method argument (repeatable).")
+  in
+  let parse_value s =
+    match int_of_string_opt s with
+    | Some i -> Value.Vint i
+    | None -> (
+        match bool_of_string_opt s with
+        | Some b -> Value.Vbool b
+        | None -> (
+            match float_of_string_opt s with
+            | Some f -> Value.Vfloat f
+            | None -> Value.Vstring s))
+  in
+  let load path =
+    if Filename.check_suffix path ".xml" then
+      match read_file path with
+      | Error msg -> Error msg
+      | Ok src -> (
+          match Pti_serial.Assembly_xml.of_string src with
+          | Ok asm -> Ok asm
+          | Error msg -> Error (path ^ ": " ^ msg))
+    else load_idl path
+  in
+  let run file cls meth ctor_args meth_args =
+    match load file with
+    | Error msg -> `Error (false, msg)
+    | Ok asm -> (
+        let reg = Registry.create () in
+        match Assembly.load reg asm with
+        | exception Registry.Duplicate name ->
+            `Error (false, "duplicate type " ^ name)
+        | () -> (
+            match
+              let obj =
+                Eval.construct reg cls (List.map parse_value ctor_args)
+              in
+              Eval.call reg obj meth (List.map parse_value meth_args)
+            with
+            | result ->
+                print_endline (Value.to_string result);
+                `Ok ()
+            | exception Eval.Runtime_error msg -> `Error (false, msg)))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Instantiate a class from an assembly and invoke one method.")
+    Term.(ret (const run $ file $ cls $ meth $ ctor_args $ meth_args))
+
+(* ------------------------------- demo ------------------------------ *)
+
+let demo_cmd =
+  let run () =
+    let net = Net.create () in
+    let sender = Peer.create ~net "sender" in
+    let receiver = Peer.create ~net "receiver" in
+    Peer.publish_assembly sender (Demo.social_assembly ());
+    Peer.publish_assembly receiver (Demo.news_assembly ());
+    Peer.register_interest receiver ~interest:Demo.news_person
+      (fun ~from person ->
+        Format.printf "receiver got %s from %s@." (Value.type_name person) from;
+        match Eval.call (Peer.registry receiver) person "greet" [] with
+        | Value.Vstring s -> Format.printf "  greet() = %S@." s
+        | _ -> ());
+    let alice =
+      Demo.make_social_person (Peer.registry sender) ~name:"Alice" ~age:30
+    in
+    Peer.send_value sender ~dst:"receiver" alice;
+    Net.run net;
+    Format.printf "%a@." Stats.pp (Net.stats net);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the §3.1 Person quickstart scenario.")
+    Term.(ret (const run $ const ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "pti" ~version:"1.0.0"
+      ~doc:"Pragmatic type interoperability middleware (ICDCS 2003 \
+            reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            describe_cmd; check_cmd; compile_cmd; run_cmd; protocol_cmd;
+            demo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/borrow_lend.ml: Eval Format List Printf Pti_bl Pti_core Pti_cts Pti_demo Pti_net Value

@@ -1,0 +1,1 @@
+examples/borrow_lend.mli:

@@ -1,0 +1,1 @@
+examples/facets.ml: Assembly Eval Format List Option Printf Pti_conformance Pti_cts Pti_demo Pti_idl Pti_proxy Pti_typedesc Registry Value

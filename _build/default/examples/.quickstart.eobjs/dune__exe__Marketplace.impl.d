@@ -1,0 +1,1 @@
+examples/marketplace.ml: Eval Format List Printf Pti_bl Pti_core Pti_cts Pti_demo Pti_net Pti_tps Value

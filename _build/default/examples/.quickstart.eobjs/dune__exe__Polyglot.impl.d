@@ -1,0 +1,1 @@
+examples/polyglot.ml: Eval Format List Printf Pti_conformance Pti_core Pti_cts Pti_demo Pti_net Value

@@ -1,0 +1,1 @@
+examples/protocol_trace.ml: Format Printf Pti_core Pti_demo Pti_net

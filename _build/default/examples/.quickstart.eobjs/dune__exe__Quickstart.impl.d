@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Format Printf Pti_core Pti_cts Pti_demo Pti_net Value

@@ -1,0 +1,1 @@
+examples/tps_news.ml: Eval Format List Printf Pti_core Pti_cts Pti_demo Pti_net Pti_tps Value

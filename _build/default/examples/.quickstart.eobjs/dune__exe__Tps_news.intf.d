@@ -1,0 +1,1 @@
+examples/tps_news.mli:

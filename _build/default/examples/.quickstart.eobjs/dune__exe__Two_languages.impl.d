@@ -1,0 +1,1 @@
+examples/two_languages.ml: Eval Format Printf Pti_core Pti_cts Pti_idl Pti_net Value

@@ -1,0 +1,1 @@
+lib/bl/borrow_lend.ml: Format List Printf Pti_core Pti_net String

@@ -1,0 +1,1 @@
+lib/bl/borrow_lend.mli: Format Pti_core Pti_cts Value

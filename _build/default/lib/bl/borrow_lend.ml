@@ -1,0 +1,86 @@
+module Peer = Pti_core.Peer
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+
+type lending = {
+  lender : Peer.t;
+  resource : Peer.remote_ref;
+  capacity : int;
+  mutable borrowed : int;
+}
+
+type lease = { lease_of : lending; mutable active : bool }
+
+let lease_lending l = l.lease_of
+let lease_active l = l.active
+
+type borrow_error = No_conformant_resource of string list | Exhausted
+
+let pp_borrow_error ppf = function
+  | No_conformant_resource reasons ->
+      Format.fprintf ppf "no conformant resource (%s)"
+        (String.concat "; " reasons)
+  | Exhausted -> Format.fprintf ppf "all conformant resources at capacity"
+
+type t = { mutable listings : lending list }
+
+let create () = { listings = [] }
+
+let lend t lender ?(capacity = 1) value =
+  let resource = Peer.export lender value in
+  let lending = { lender; resource; capacity; borrowed = 0 } in
+  t.listings <- t.listings @ [ lending ];
+  lending
+
+let unlend t lending =
+  t.listings <- List.filter (fun l -> l != lending) t.listings
+
+let release lease =
+  if lease.active then begin
+    lease.active <- false;
+    let lending = lease.lease_of in
+    if lending.borrowed > 0 then lending.borrowed <- lending.borrowed - 1
+  end
+
+let borrow ?lease_ms t borrower ~interest =
+  let reasons = ref [] in
+  let found_conformant_full = ref false in
+  let rec try_listings = function
+    | [] ->
+        if !found_conformant_full then Error Exhausted
+        else Error (No_conformant_resource (List.rev !reasons))
+    | lending :: rest -> (
+        match Peer.acquire borrower lending.resource ~interest with
+        | Error reason ->
+            reasons :=
+              Printf.sprintf "%s@%s: %s" lending.resource.Peer.rr_class
+                lending.resource.Peer.rr_host reason
+              :: !reasons;
+            try_listings rest
+        | Ok proxy ->
+            if lending.borrowed >= lending.capacity then begin
+              found_conformant_full := true;
+              reasons :=
+                Printf.sprintf "%s@%s: at capacity"
+                  lending.resource.Peer.rr_class lending.resource.Peer.rr_host
+                :: !reasons;
+              try_listings rest
+            end
+            else begin
+              lending.borrowed <- lending.borrowed + 1;
+              let lease = { lease_of = lending; active = true } in
+              (match lease_ms with
+              | None -> ()
+              | Some delay ->
+                  Sim.schedule
+                    (Net.sim (Peer.net borrower))
+                    ~delay
+                    (fun () -> release lease));
+              Ok (proxy, lease)
+            end)
+  in
+  try_listings t.listings
+
+let return_resource _t lease = release lease
+
+let lendings t = t.listings

@@ -1,0 +1,58 @@
+(** The borrow/lend (BL) abstraction with type-conformance criteria —
+    the second application sketched in §8.
+
+    Lenders export resources (pass-by-reference); borrowers request a
+    resource naming their local type of interest. A request is satisfied by
+    any lent resource whose (remote) type implicitly structurally conforms
+    to the interest type: the borrower receives a remote dynamic proxy and
+    invokes the resource through its own vocabulary. Leases bound
+    concurrent borrowers per resource and may expire on a timer (simulated
+    time). *)
+
+open Pti_cts
+
+type t
+(** A lending market over one simulated network. The directory is a plain
+    in-memory table (the paper's BL work is peer-to-peer; discovery is not
+    the subject here — conformance-based matching is). *)
+
+type lending = {
+  lender : Pti_core.Peer.t;
+  resource : Pti_core.Peer.remote_ref;
+  capacity : int;  (** Max concurrent borrowers. *)
+  mutable borrowed : int;
+}
+
+type lease
+(** One borrower's hold on a lending; releasing is idempotent. *)
+
+val lease_lending : lease -> lending
+val lease_active : lease -> bool
+
+type borrow_error =
+  | No_conformant_resource of string list
+      (** Reasons per considered resource. *)
+  | Exhausted  (** Conformant resources exist but all are at capacity. *)
+
+val pp_borrow_error : Format.formatter -> borrow_error -> unit
+
+val create : unit -> t
+
+val lend : t -> Pti_core.Peer.t -> ?capacity:int -> Value.value -> lending
+(** Export the object on the lender and list it (capacity defaults to 1).
+    @raise Invalid_argument if the value is not an object. *)
+
+val unlend : t -> lending -> unit
+
+val borrow : ?lease_ms:float -> t -> Pti_core.Peer.t -> interest:string ->
+  (Value.value * lease, borrow_error) result
+(** Find the first conformant lending with free capacity; returns the
+    invokable remote proxy and the lease. Drives the simulation (the
+    conformance check may fetch remote type descriptions). With
+    [lease_ms], the lease auto-releases that many simulated milliseconds
+    later. *)
+
+val return_resource : t -> lease -> unit
+(** Release the lease (idempotent; a no-op after expiry). *)
+
+val lendings : t -> lending list

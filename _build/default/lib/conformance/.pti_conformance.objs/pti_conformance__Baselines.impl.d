@@ -1,0 +1,1 @@
+lib/conformance/baselines.ml: Checker List Meta Pti_cts Pti_typedesc Pti_util Ty

@@ -1,0 +1,1 @@
+lib/conformance/baselines.mli: Checker Pti_typedesc

@@ -1,0 +1,1 @@
+lib/conformance/behavioral.ml: Array Char Eval Format List Mapping Meta Pti_cts Pti_util String Ty Value

@@ -1,0 +1,1 @@
+lib/conformance/behavioral.mli: Format Mapping Meta Pti_cts Registry Value

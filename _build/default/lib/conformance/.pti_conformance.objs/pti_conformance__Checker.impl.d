@@ -1,0 +1,1 @@
+lib/conformance/checker.ml: Array Config Format Hashtbl List Mapping Meta Option Printf Pti_cts Pti_typedesc Pti_util String Ty

@@ -1,0 +1,1 @@
+lib/conformance/checker.mli: Config Format Mapping Pti_cts Pti_typedesc

@@ -1,0 +1,1 @@
+lib/conformance/compound.ml: Checker List Mapping Pti_typedesc String

@@ -1,0 +1,1 @@
+lib/conformance/compound.mli: Checker Mapping Pti_typedesc

@@ -1,0 +1,1 @@
+lib/conformance/config.ml: Format Printf

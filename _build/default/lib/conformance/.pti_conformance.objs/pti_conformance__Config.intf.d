@@ -1,0 +1,1 @@
+lib/conformance/config.mli: Format

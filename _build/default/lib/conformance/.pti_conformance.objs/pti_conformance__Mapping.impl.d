@@ -1,0 +1,1 @@
+lib/conformance/mapping.ml: Array Format List Pti_cts Pti_util String Ty

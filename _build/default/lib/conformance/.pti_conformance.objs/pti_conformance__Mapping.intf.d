@@ -1,0 +1,1 @@
+lib/conformance/mapping.mli: Format Pti_cts Ty

@@ -1,0 +1,36 @@
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module S = Pti_util.Strutil
+
+let nominal checker ~actual ~interest =
+  Td.equals actual interest
+  || Checker.explicit_conforms checker ~actual ~interest
+
+(* Types are equal for Läufer when they are the same primitive or carry
+   the same (case-insensitive) qualified name: no structural recursion,
+   no renaming. *)
+let rec ty_equal_nominal a b =
+  match a, b with
+  | Ty.Named x, Ty.Named y -> S.equal_ci x y
+  | Ty.Array x, Ty.Array y -> ty_equal_nominal x y
+  | _ -> Ty.equal a b
+
+let exact_signature_match ~resolver:_ (m : Td.method_desc)
+    (m' : Td.method_desc) =
+  S.equal_ci m.Td.md_name m'.Td.md_name
+  && Td.method_arity m = Td.method_arity m'
+  && ty_equal_nominal m.Td.md_return m'.Td.md_return
+  && List.for_all2
+       (fun p p' -> ty_equal_nominal p.Td.pd_ty p'.Td.pd_ty)
+       m.Td.md_params m'.Td.md_params
+
+let laufer ~resolver ~tagged ~actual ~interest =
+  interest.Td.ty_kind = Meta.Interface
+  && tagged (Td.qualified_name actual)
+  && List.for_all
+       (fun (im : Td.method_desc) ->
+         List.exists
+           (fun (am : Td.method_desc) ->
+             exact_signature_match ~resolver im am)
+           actual.Td.ty_methods)
+       interest.Td.ty_methods

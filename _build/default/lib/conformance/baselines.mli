@@ -1,0 +1,35 @@
+(** The related-work baselines the paper positions itself against (§2),
+    implemented over the same type descriptions so E8 can compare recall
+    on one population.
+
+    - {!nominal}: CORBA / Java-RMI style interoperability (§2.3, §2.4) —
+      an object is usable as the interest type only through {e declared}
+      subtyping (the explicit-conformance short-circuit alone). Types
+      written independently never interoperate.
+    - {!laufer}: Läufer–Baumgartner–Russo structural conformance for Java
+      (§2.1) — the interest must be an {e interface}, the candidate must
+      be {e tagged} as structural-conformance-enabled, and every interface
+      method must be matched {e exactly} (same name up to case, same
+      parameter types in the same order, same return type). No field,
+      constructor or supertype aspects; no renaming; no permutations; no
+      recursion into differently-named component types. Legacy (untagged)
+      types never qualify — the restriction the paper calls out.
+
+    The paper's own relation ({!Checker.check}) strictly subsumes both on
+    safe inputs, which is what experiment E8 shows. *)
+
+module Td = Pti_typedesc.Type_description
+
+val nominal : Checker.t -> actual:Td.t -> interest:Td.t -> bool
+(** Declared subtyping through the description graph (reflexive). *)
+
+val laufer : resolver:Td.resolver -> tagged:(string -> bool) ->
+  actual:Td.t -> interest:Td.t -> bool
+(** [tagged] says whether a qualified type name opted in (the [implements
+    Structural] marker of the original proposal). *)
+
+val exact_signature_match : resolver:Td.resolver ->
+  Td.method_desc -> Td.method_desc -> bool
+(** The Läufer method rule, exposed for tests: case-insensitive equal
+    names, equal arity, parameter and return types equal by name (or both
+    primitive and equal). *)

@@ -1,0 +1,207 @@
+open Pti_cts
+module Sm = Pti_util.Splitmix
+
+type disagreement = {
+  d_method : string;
+  d_inputs : Value.value list;
+  d_interest_result : outcome;
+  d_actual_result : outcome;
+}
+
+and outcome = Returned of Value.value | Raised of string
+
+type report = {
+  probed : int;
+  skipped : int;
+  samples_per_method : int;
+  disagreements : disagreement list;
+}
+
+let conformant r = r.disagreements = [] && r.probed > 0
+
+let pp_outcome ppf = function
+  | Returned v -> Format.fprintf ppf "returned %s" (Value.to_string v)
+  | Raised msg -> Format.fprintf ppf "raised %S" msg
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>behavioral probe: %d methods, %d skipped, %d samples each@,"
+    r.probed r.skipped r.samples_per_method;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  %s(%s): interest %a, actual %a@," d.d_method
+        (String.concat ", " (List.map Value.to_string d.d_inputs))
+        pp_outcome d.d_interest_result pp_outcome d.d_actual_result)
+    r.disagreements;
+  Format.fprintf ppf "@]"
+
+(* Only scalar primitives participate; arrays and named types are the
+   "rather tricky" part the paper defers. *)
+let scalar = function
+  | Ty.Bool | Ty.Int | Ty.Float | Ty.String | Ty.Char -> true
+  | Ty.Void | Ty.Named _ | Ty.Array _ -> false
+
+let generate rng = function
+  | Ty.Bool -> Value.Vbool (Sm.bool rng)
+  | Ty.Int -> Value.Vint (Sm.int rng 201 - 100)
+  | Ty.Float -> Value.Vfloat (Sm.float rng *. 100.)
+  | Ty.String ->
+      Value.Vstring
+        (Sm.pick rng [| "alpha"; "beta"; ""; "Hello"; "zz-9"; "x" |])
+  | Ty.Char -> Value.Vchar (Char.chr (97 + Sm.int rng 26))
+  | Ty.Void | Ty.Named _ | Ty.Array _ -> Value.Vnull
+
+(* Match the actual ctor's parameters to the interest ctor's by type
+   (greedy bijection on scalar types); None when shapes differ. *)
+let ctor_permutation interest_params actual_params =
+  let n = List.length interest_params in
+  if n <> List.length actual_params then None
+  else begin
+    let ip = Array.of_list interest_params in
+    let ap = Array.of_list actual_params in
+    let used = Array.make n false in
+    let perm = Array.make n (-1) in
+    let rec assign j =
+      if j >= n then true
+      else begin
+        let rec try_from i =
+          if i >= n then false
+          else if (not used.(i)) && Ty.equal ip.(i) ap.(j) then begin
+            used.(i) <- true;
+            perm.(j) <- i;
+            if assign (j + 1) then true
+            else begin
+              used.(i) <- false;
+              try_from (i + 1)
+            end
+          end
+          else try_from (i + 1)
+        in
+        (* Prefer the aligned position for stability. *)
+        if (not used.(j)) && Ty.equal ip.(j) ap.(j) then begin
+          used.(j) <- true;
+          perm.(j) <- j;
+          if assign (j + 1) then true
+          else begin
+            used.(j) <- false;
+            try_from 0
+          end
+        end
+        else try_from 0
+      end
+    in
+    if assign 0 then Some perm else None
+  end
+
+let primitive_ctor cds =
+  List.find_opt
+    (fun c -> List.for_all (fun p -> scalar p.Meta.param_ty) c.Meta.c_params)
+    cds
+
+exception Unprobeable of string
+
+(* Fresh paired instances sharing logical state. *)
+let make_pair reg rng ~(interest : Meta.class_def) ~(actual : Meta.class_def) =
+  match interest.Meta.td_ctors, actual.Meta.td_ctors with
+  | [], [] ->
+      ( Eval.construct reg (Meta.qualified_name interest) [],
+        Eval.construct reg (Meta.qualified_name actual) [] )
+  | ics, acs -> (
+      match primitive_ctor ics, primitive_ctor acs with
+      | Some ic, Some ac -> (
+          let itys = List.map (fun p -> p.Meta.param_ty) ic.Meta.c_params in
+          let atys = List.map (fun p -> p.Meta.param_ty) ac.Meta.c_params in
+          match ctor_permutation itys atys with
+          | None -> raise (Unprobeable "constructors do not pair up")
+          | Some perm ->
+              let iargs = List.map (generate rng) itys in
+              let aargs = Mapping.permute iargs perm in
+              ( Eval.construct reg (Meta.qualified_name interest) iargs,
+                Eval.construct reg (Meta.qualified_name actual) aargs ))
+      | _ -> raise (Unprobeable "no primitive-typed constructor"))
+
+let run_call reg recv name args =
+  match Eval.call reg recv name args with
+  | v -> Returned v
+  | exception Eval.Runtime_error msg -> Raised msg
+
+let outcomes_agree ~void a b =
+  match a, b with
+  | Raised _, Raised _ -> true
+  | Returned _, Returned _ when void -> true
+  | Returned x, Returned y -> Value.equal_shallow x y
+  | (Returned _ | Raised _), _ -> false
+
+let probe reg ?(samples = 16) ?(seed = 1L) ~actual ~interest ~mapping () =
+  let rng = Sm.create seed in
+  let probed = ref 0 and skipped = ref 0 in
+  let disagreements = ref [] in
+  let interest_methods =
+    List.filter
+      (fun m -> not m.Meta.m_mods.Meta.static)
+      interest.Meta.td_methods
+  in
+  List.iter
+    (fun (m : Meta.method_def) ->
+      let name = m.Meta.m_name in
+      let arity = Meta.arity m in
+      let lookup =
+        match Mapping.find mapping ~name ~arity with
+        | Some mm -> Some mm
+        | None when mapping.Mapping.identity ->
+            (* Identity mappings carry no per-method entries; probe the
+               method under its own name. *)
+            Some
+              {
+                Mapping.mm_interest_name = name;
+                mm_actual_name = name;
+                mm_arity = arity;
+                mm_perm = Array.init arity (fun i -> i);
+                mm_interest_return = m.Meta.m_return;
+                mm_actual_return = m.Meta.m_return;
+                mm_param_tys = List.map (fun p -> p.Meta.param_ty) m.Meta.m_params;
+                mm_actual_param_tys =
+                  List.map (fun p -> p.Meta.param_ty) m.Meta.m_params;
+              }
+        | None -> None
+      in
+      match lookup with
+      | None -> incr skipped
+      | Some mm ->
+          let param_tys = mm.Mapping.mm_param_tys in
+          let ret = mm.Mapping.mm_interest_return in
+          if
+            List.for_all scalar param_tys
+            && (scalar ret || Ty.equal ret Ty.Void)
+          then begin
+            incr probed;
+            for _ = 1 to samples do
+              match make_pair reg rng ~interest ~actual with
+              | exception Unprobeable _ -> ()
+              | i_inst, a_inst ->
+                  let args = List.map (generate rng) param_tys in
+                  let i_out = run_call reg i_inst name args in
+                  let a_out =
+                    run_call reg a_inst mm.Mapping.mm_actual_name
+                      (Mapping.permute args mm.Mapping.mm_perm)
+                  in
+                  if
+                    not (outcomes_agree ~void:(Ty.equal ret Ty.Void) i_out a_out)
+                  then
+                    disagreements :=
+                      {
+                        d_method = name;
+                        d_inputs = args;
+                        d_interest_result = i_out;
+                        d_actual_result = a_out;
+                      }
+                      :: !disagreements
+            done
+          end
+          else incr skipped)
+    interest_methods;
+  {
+    probed = !probed;
+    skipped = !skipped;
+    samples_per_method = samples;
+    disagreements = List.rev !disagreements;
+  }

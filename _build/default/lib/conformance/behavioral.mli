@@ -1,0 +1,53 @@
+(** Implicit {e behavioral} type conformance (§4.1).
+
+    The paper classifies conformance into structural and behavioral, and
+    notes that behavioral conformance — comparing what methods {e do} —
+    "should be feasible for types dealing only with primitive types but
+    for more complex types it is rather tricky". This module implements
+    exactly that feasible fragment: given two {e loaded} implementations
+    and the structural mapping between them, it executes every mapped
+    method whose signature involves only primitive types on deterministic
+    generated inputs and compares the results.
+
+    Combined with a {!Checker} verdict this yields the paper's "strong"
+    implicit conformance (structural + behavioral). Unlike the structural
+    check it requires the candidate's code, so a peer can only run it
+    {e after} the optimistic download — useful as an acceptance test, not
+    as a pre-download filter. *)
+
+open Pti_cts
+
+type disagreement = {
+  d_method : string;  (** Interest-side method name. *)
+  d_inputs : Value.value list;
+  d_interest_result : outcome;
+  d_actual_result : outcome;
+}
+
+and outcome = Returned of Value.value | Raised of string
+
+type report = {
+  probed : int;  (** Methods exercised. *)
+  skipped : int;  (** Mapped methods with non-primitive signatures. *)
+  samples_per_method : int;
+  disagreements : disagreement list;
+}
+
+val conformant : report -> bool
+(** No disagreements and at least one probed method. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val probe : Registry.t -> ?samples:int -> ?seed:int64 ->
+  actual:Meta.class_def -> interest:Meta.class_def -> mapping:Mapping.t ->
+  unit -> report
+(** [probe reg ~actual ~interest ~mapping ()] builds paired fresh
+    instances (through primitive-typed constructors fed identical
+    generated values, permuted per the structural ctor match) and, for
+    each mapped method with primitive-only parameters and return, invokes
+    both sides [samples] times (default 16) with identical inputs,
+    recording any difference in result or raised error. Deterministic for
+    a given [seed] (default [1L]).
+
+    Methods are probed on fresh instances each sample, so stateful
+    methods (setters) are compared on like-for-like state. *)

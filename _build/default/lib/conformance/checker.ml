@@ -1,0 +1,566 @@
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module Lev = Pti_util.Levenshtein
+module Guid = Pti_util.Guid
+module S = Pti_util.Strutil
+
+type failure = { context : string; message : string }
+
+let pp_failure ppf f = Format.fprintf ppf "[%s] %s" f.context f.message
+
+type verdict = Conformant of Mapping.t | Not_conformant of failure list
+
+let verdict_ok = function Conformant _ -> true | Not_conformant _ -> false
+
+let pp_verdict ppf = function
+  | Conformant m ->
+      Format.fprintf ppf "@[<v>CONFORMANT@,%a" Mapping.pp m;
+      List.iter
+        (fun (cm : Mapping.ctor_map) ->
+          Format.fprintf ppf "  ctor/%d perm=[%s]@," cm.Mapping.cm_arity
+            (String.concat ";"
+               (List.map string_of_int (Array.to_list cm.Mapping.cm_perm))))
+        m.Mapping.ctors;
+      Format.fprintf ppf "@]"
+  | Not_conformant fs ->
+      Format.fprintf ppf "@[<v>NOT CONFORMANT@,";
+      List.iter (fun f -> Format.fprintf ppf "  %a@," pp_failure f) fs;
+      Format.fprintf ppf "@]"
+
+type stats_mut = {
+  mutable m_checks : int;
+  mutable m_pair_checks : int;
+  mutable m_cache_hits : int;
+  mutable m_resolver_misses : int;
+}
+
+type stats = {
+  checks : int;
+  pair_checks : int;
+  cache_hits : int;
+  resolver_misses : int;
+}
+
+type t = {
+  cfg : Config.t;
+  resolve : Td.resolver;
+  cache : (string, verdict) Hashtbl.t;
+  st : stats_mut;
+}
+
+let create ?(config = Config.strict) ~resolver () =
+  {
+    cfg = config;
+    resolve = resolver;
+    cache = Hashtbl.create 64;
+    st =
+      { m_checks = 0; m_pair_checks = 0; m_cache_hits = 0;
+        m_resolver_misses = 0 };
+  }
+
+let config t = t.cfg
+
+let stats t =
+  {
+    checks = t.st.m_checks;
+    pair_checks = t.st.m_pair_checks;
+    cache_hits = t.st.m_cache_hits;
+    resolver_misses = t.st.m_resolver_misses;
+  }
+
+let clear_cache t = Hashtbl.reset t.cache
+
+(* ---------------------------------------------------------------- *)
+(* Rule (i): names                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let simple_name qname =
+  match List.rev (S.split_on '.' qname) with
+  | last :: _ -> last
+  | [] -> qname
+
+let names_conform_raw cfg ~interest_name actual_name =
+  let i, a =
+    if cfg.Config.compare_namespaces then interest_name, actual_name
+    else simple_name interest_name, simple_name actual_name
+  in
+  if
+    cfg.Config.allow_wildcards
+    && (String.contains i '*' || String.contains i '?')
+  then Lev.wildcard_match ~pattern:i a
+  else Lev.within ~limit:cfg.Config.name_distance i a
+
+let names_conform t ~interest_name actual =
+  names_conform_raw t.cfg ~interest_name actual
+
+(* ---------------------------------------------------------------- *)
+(* Identity keys and resolution                                       *)
+(* ---------------------------------------------------------------- *)
+
+let id_of (d : Td.t) = Guid.to_string d.Td.ty_guid
+
+let pair_key t (actual : Td.t) (interest : Td.t) =
+  Printf.sprintf "%s<=%s|%s" (id_of actual) (id_of interest)
+    (Config.key t.cfg)
+
+let resolve t name =
+  match t.resolve name with
+  | Some d -> Some d
+  | None ->
+      t.st.m_resolver_misses <- t.st.m_resolver_misses + 1;
+      None
+
+(* Explicit conformance: [interest] is reachable from [actual] through the
+   declared supertype/interface graph (by GUID or, failing that, by equal
+   qualified name). *)
+let explicit_conforms_desc t (actual : Td.t) (interest : Td.t) =
+  let target_guid = interest.Td.ty_guid in
+  let target_name = Td.qualified_name interest in
+  let seen = Hashtbl.create 8 in
+  let rec reachable (d : Td.t) =
+    let matches =
+      Guid.equal d.Td.ty_guid target_guid
+      || S.equal_ci (Td.qualified_name d) target_name
+    in
+    if matches then true
+    else begin
+      let k = String.lowercase_ascii (Td.qualified_name d) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        let parents =
+          (match d.Td.ty_super with None -> [] | Some s -> [ s ])
+          @ d.Td.ty_interfaces
+        in
+        List.exists
+          (fun name ->
+            (* A name that textually matches the target counts even if the
+               description cannot be fetched. *)
+            S.equal_ci name target_name
+            ||
+            match resolve t name with
+            | Some parent -> reachable parent
+            | None -> false)
+          parents
+      end
+    end
+  in
+  (not (Guid.equal actual.Td.ty_guid target_guid))
+  && ((match actual.Td.ty_super with None -> false | Some s -> S.equal_ci s target_name)
+      || List.exists (fun i -> S.equal_ci i target_name) actual.Td.ty_interfaces
+      ||
+      let parents =
+        (match actual.Td.ty_super with None -> [] | Some s -> [ s ])
+        @ actual.Td.ty_interfaces
+      in
+      List.exists
+        (fun name ->
+          match resolve t name with
+          | Some parent -> reachable parent
+          | None -> false)
+        parents)
+
+(* ---------------------------------------------------------------- *)
+(* The core recursive check                                           *)
+(* ---------------------------------------------------------------- *)
+
+type assum = (string, unit) Hashtbl.t
+
+let ok = Ok ()
+
+let fail context fmt =
+  Printf.ksprintf (fun message -> Error [ { context; message } ]) fmt
+
+let rec conforms_desc t (assum : assum) depth (actual : Td.t)
+    (interest : Td.t) : (Mapping.t, failure list) result =
+  t.st.m_pair_checks <- t.st.m_pair_checks + 1;
+  let ctx =
+    Printf.sprintf "%s <= %s" (Td.qualified_name actual)
+      (Td.qualified_name interest)
+  in
+  if depth > t.cfg.Config.max_depth then fail ctx "max recursion depth exceeded"
+  else if Td.equals actual interest then
+    Ok
+      (Mapping.identity_mapping
+         ~interest:(Td.qualified_name interest)
+         ~actual:(Td.qualified_name actual))
+  else begin
+    let key = pair_key t actual interest in
+    match Hashtbl.find_opt t.cache key with
+    | Some (Conformant m) ->
+        t.st.m_cache_hits <- t.st.m_cache_hits + 1;
+        Ok m
+    | Some (Not_conformant fs) ->
+        t.st.m_cache_hits <- t.st.m_cache_hits + 1;
+        Error fs
+    | None ->
+        if Hashtbl.mem assum key then
+          (* Co-inductive assumption: this pair is already under test. *)
+          Ok
+            (Mapping.identity_mapping
+               ~interest:(Td.qualified_name interest)
+               ~actual:(Td.qualified_name actual))
+        else begin
+          let fresh = Hashtbl.length assum = 0 in
+          Hashtbl.add assum key ();
+          let result = conforms_desc_uncached t assum depth actual interest ctx in
+          Hashtbl.remove assum key;
+          (* Only cache results computed without outstanding assumptions:
+             results under assumptions may depend on pairs still in flight. *)
+          if fresh then
+            Hashtbl.replace t.cache key
+              (match result with
+              | Ok m -> Conformant m
+              | Error fs -> Not_conformant fs);
+          result
+        end
+  end
+
+and conforms_desc_uncached t assum depth actual interest ctx =
+  if Td.equivalent actual interest then
+    Ok
+      (Mapping.identity_mapping
+         ~interest:(Td.qualified_name interest)
+         ~actual:(Td.qualified_name actual))
+  else if explicit_conforms_desc t actual interest then
+    Ok
+      (Mapping.identity_mapping
+         ~interest:(Td.qualified_name interest)
+         ~actual:(Td.qualified_name actual))
+  else begin
+    (* Aspect (i): names. *)
+    let interest_name = Td.qualified_name interest in
+    let actual_name = Td.qualified_name actual in
+    if not (names_conform_raw t.cfg ~interest_name actual_name) then
+      fail ctx "name %S does not conform to %S (rule i)"
+        (simple_name actual_name) (simple_name interest_name)
+    else
+      let ( >>= ) r f = match r with Ok () -> f () | Error e -> Error e in
+      check_supertypes t assum depth actual interest ctx >>= fun () ->
+      check_fields t assum depth actual interest ctx >>= fun () ->
+      match check_ctors t assum depth actual interest ctx with
+      | Error e -> Error e
+      | Ok ctor_maps -> (
+          match check_methods t assum depth actual interest ctx with
+          | Error e -> Error e
+          | Ok method_maps ->
+              Ok
+                {
+                  Mapping.interest = interest_name;
+                  actual = actual_name;
+                  identity = false;
+                  methods = method_maps;
+                  ctors = ctor_maps;
+                })
+  end
+
+(* Aspect (iii): supertypes. *)
+and check_supertypes t assum depth actual interest ctx =
+  if not t.cfg.Config.check_supertypes then ok
+  else begin
+    let super_ok =
+      match interest.Td.ty_super, actual.Td.ty_super with
+      | None, _ -> ok
+      | Some si, None ->
+          fail ctx "interest has superclass %s but actual has none (rule iii)"
+            si
+      | Some si, Some sa ->
+          if S.equal_ci si sa then ok
+          else (
+            match resolve t si, resolve t sa with
+            | Some di, Some da -> (
+                match conforms_desc t assum (depth + 1) da di with
+                | Ok _ -> ok
+                | Error fs ->
+                    Error
+                      ({ context = ctx;
+                         message =
+                           Printf.sprintf
+                             "superclass %s does not conform to %s (rule iii)"
+                             sa si }
+                      :: fs))
+            | None, _ -> fail ctx "unresolvable supertype %S" si
+            | _, None -> fail ctx "unresolvable supertype %S" sa)
+    in
+    match super_ok with
+    | Error e -> Error e
+    | Ok () ->
+        (* Every interface of the interest type must be matched by one of
+           the actual type's interfaces. *)
+        let rec each = function
+          | [] -> ok
+          | iface :: rest ->
+              let candidates = actual.Td.ty_interfaces in
+              let matched =
+                List.exists
+                  (fun a ->
+                    S.equal_ci a iface
+                    ||
+                    match resolve t iface, resolve t a with
+                    | Some di, Some da -> (
+                        match conforms_desc t assum (depth + 1) da di with
+                        | Ok _ -> true
+                        | Error _ -> false)
+                    | _ -> false)
+                  candidates
+              in
+              if matched then each rest
+              else fail ctx "no interface of actual conforms to %S (rule iii)" iface
+        in
+        each interest.Td.ty_interfaces
+  end
+
+(* Aspect (ii): fields (invariant in the field's type). *)
+and check_fields t assum depth actual interest ctx =
+  if not t.cfg.Config.check_fields then ok
+  else
+    let rec each = function
+      | [] -> ok
+      | (f : Td.field_desc) :: rest ->
+          let candidates =
+            List.filter
+              (fun (g : Td.field_desc) ->
+                names_conform_raw t.cfg ~interest_name:f.Td.fd_name g.Td.fd_name
+                && ((not t.cfg.Config.check_modifiers)
+                   || Meta.equal_mods f.Td.fd_mods g.Td.fd_mods))
+              actual.Td.ty_fields
+          in
+          let ty_ok (g : Td.field_desc) =
+            ty_conforms t assum (depth + 1) ~actual:g.Td.fd_ty
+              ~interest:f.Td.fd_ty
+            && ty_conforms t assum (depth + 1) ~actual:f.Td.fd_ty
+                 ~interest:g.Td.fd_ty
+          in
+          let matching = List.filter ty_ok candidates in
+          (match matching, t.cfg.Config.ambiguity with
+          | [], _ ->
+              fail ctx "no field of actual matches %s : %s (rule ii)"
+                f.Td.fd_name (Ty.to_string f.Td.fd_ty)
+          | _ :: _ :: _, Config.Reject_ambiguous ->
+              fail ctx "field %s matches ambiguously (rule ii)" f.Td.fd_name
+          | _ -> each rest)
+    in
+    each interest.Td.ty_fields
+
+(* Aspect (v): constructors. Returns the chosen witnesses. *)
+and check_ctors t assum depth actual interest ctx =
+  if not t.cfg.Config.check_ctors then Ok []
+  else
+    let rec each acc = function
+      | [] -> Ok (List.rev acc)
+      | (c : Td.ctor_desc) :: rest ->
+          let arity = List.length c.Td.cd_params in
+          let interest_params = List.map (fun p -> p.Td.pd_ty) c.Td.cd_params in
+          let candidates =
+            List.filter
+              (fun (c' : Td.ctor_desc) ->
+                List.length c'.Td.cd_params = arity
+                && ((not t.cfg.Config.check_modifiers)
+                   || Meta.equal_mods c.Td.cd_mods c'.Td.cd_mods))
+              actual.Td.ty_ctors
+          in
+          let with_perm =
+            List.filter_map
+              (fun (c' : Td.ctor_desc) ->
+                find_permutation t assum depth ~interest_params
+                  ~actual_params:(List.map (fun p -> p.Td.pd_ty) c'.Td.cd_params)
+                |> Option.map (fun perm -> (c', perm)))
+              candidates
+          in
+          (match with_perm, t.cfg.Config.ambiguity with
+          | [], _ ->
+              fail ctx "no constructor of actual matches ctor/%d (rule v)" arity
+          | _ :: _ :: _, Config.Reject_ambiguous ->
+              fail ctx "constructor/%d matches ambiguously (rule v)" arity
+          | (c', perm) :: _, _ ->
+              let cm =
+                {
+                  Mapping.cm_arity = arity;
+                  cm_perm = perm;
+                  cm_param_tys = interest_params;
+                  cm_actual_param_tys =
+                    List.map (fun p -> p.Td.pd_ty) c'.Td.cd_params;
+                }
+              in
+              each (cm :: acc) rest)
+    in
+    each [] interest.Td.ty_ctors
+
+(* Aspect (iv): methods. Returns the chosen method maps. *)
+and check_methods t assum depth actual interest ctx =
+  if not t.cfg.Config.check_methods then Ok []
+  else
+    let rec each acc = function
+      | [] -> Ok (List.rev acc)
+      | (m : Td.method_desc) :: rest -> (
+          match match_method t assum depth actual m ctx with
+          | Ok mm -> each (mm :: acc) rest
+          | Error e -> Error e)
+    in
+    each [] interest.Td.ty_methods
+
+and match_method t assum depth (actual : Td.t) (m : Td.method_desc) ctx =
+  let arity = Td.method_arity m in
+  let name_candidates =
+    List.filter
+      (fun (m' : Td.method_desc) ->
+        names_conform_raw t.cfg ~interest_name:m.Td.md_name m'.Td.md_name
+        && Td.method_arity m' = arity
+        && ((not t.cfg.Config.check_modifiers)
+           || Meta.equal_mods m.Td.md_mods m'.Td.md_mods))
+      actual.Td.ty_methods
+  in
+  let interest_params = List.map (fun p -> p.Td.pd_ty) m.Td.md_params in
+  let viable =
+    List.filter_map
+      (fun (m' : Td.method_desc) ->
+        let actual_params = List.map (fun p -> p.Td.pd_ty) m'.Td.md_params in
+        if
+          not
+            (ty_conforms t assum (depth + 1) ~actual:m'.Td.md_return
+               ~interest:m.Td.md_return)
+        then None
+        else
+          find_permutation t assum depth ~interest_params ~actual_params
+          |> Option.map (fun perm -> (m', perm)))
+      name_candidates
+  in
+  let chosen =
+    match viable, t.cfg.Config.ambiguity with
+    | [], _ -> None
+    | [ x ], _ -> Some x
+    | _ :: _ :: _, Config.Reject_ambiguous -> None
+    | x :: _, Config.First_match -> Some x
+    | xs, Config.Best_score ->
+        let score (m', perm) =
+          Lev.similarity m.Td.md_name m'.Td.md_name
+          +. (if Mapping.is_identity_perm perm then 0.5 else 0.)
+        in
+        let best =
+          List.fold_left
+            (fun acc x ->
+              match acc with
+              | None -> Some x
+              | Some y -> if score x > score y then Some x else Some y)
+            None xs
+        in
+        best
+  in
+  match chosen with
+  | Some (m', perm) ->
+      Ok
+        {
+          Mapping.mm_interest_name = m.Td.md_name;
+          mm_actual_name = m'.Td.md_name;
+          mm_arity = arity;
+          mm_perm = perm;
+          mm_interest_return = m.Td.md_return;
+          mm_actual_return = m'.Td.md_return;
+          mm_param_tys = interest_params;
+          mm_actual_param_tys = List.map (fun p -> p.Td.pd_ty) m'.Td.md_params;
+        }
+  | None -> (
+      match viable with
+      | _ :: _ :: _ ->
+          fail ctx "method %s matches ambiguously (rule iv)" (Td.signature m)
+      | _ ->
+          fail ctx "no method of actual matches %s (rule iv)"
+            (Td.signature m))
+
+(* Find a bijection sending each actual-parameter position [j] to a caller
+   (interest) argument position [perm.(j)], such that the caller's argument
+   type conforms to the actual parameter type (contravariance). Prefers the
+   identity permutation; only the identity is tried when permutations are
+   disabled. *)
+and find_permutation t assum depth ~interest_params ~actual_params =
+  let n = List.length interest_params in
+  if n <> List.length actual_params then None
+  else begin
+    let ip = Array.of_list interest_params in
+    let ap = Array.of_list actual_params in
+    let arg_ok i j =
+      ty_conforms t assum (depth + 1) ~actual:ip.(i) ~interest:ap.(j)
+    in
+    if not t.cfg.Config.consider_permutations then begin
+      let all_ok = ref true in
+      for j = 0 to n - 1 do
+        if !all_ok then all_ok := arg_ok j j
+      done;
+      if !all_ok then Some (Array.init n (fun j -> j)) else None
+    end
+    else begin
+      let used = Array.make n false in
+      let perm = Array.make n (-1) in
+      let rec assign j =
+        if j >= n then true
+        else begin
+          (* Try the identity choice first for stable, readable mappings. *)
+          let order =
+            j :: List.filter (fun i -> i <> j) (List.init n (fun i -> i))
+          in
+          let rec try_order = function
+            | [] -> false
+            | i :: rest ->
+                if (not used.(i)) && arg_ok i j then begin
+                  used.(i) <- true;
+                  perm.(j) <- i;
+                  if assign (j + 1) then true
+                  else begin
+                    used.(i) <- false;
+                    perm.(j) <- -1;
+                    try_order rest
+                  end
+                end
+                else try_order rest
+          in
+          try_order order
+        end
+      in
+      if assign 0 then Some perm else None
+    end
+  end
+
+(* Type-reference conformance. *)
+and ty_conforms t assum depth ~actual ~interest =
+  match actual, interest with
+  | Ty.Void, Ty.Void
+  | Ty.Bool, Ty.Bool
+  | Ty.Int, Ty.Int
+  | Ty.Float, Ty.Float
+  | Ty.String, Ty.String
+  | Ty.Char, Ty.Char ->
+      true
+  | Ty.Array a, Ty.Array i -> ty_conforms t assum depth ~actual:a ~interest:i
+  | Ty.Named a, Ty.Named i ->
+      S.equal_ci a i
+      || (depth <= t.cfg.Config.max_depth
+         &&
+         match resolve t a, resolve t i with
+         | Some da, Some di -> (
+             match conforms_desc t assum (depth + 1) da di with
+             | Ok _ -> true
+             | Error _ -> false)
+         | _ -> false)
+  | ( ( Ty.Void | Ty.Bool | Ty.Int | Ty.Float | Ty.String | Ty.Char
+      | Ty.Named _ | Ty.Array _ ),
+      _ ) ->
+      false
+
+(* ---------------------------------------------------------------- *)
+(* Public API                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let check t ~actual ~interest =
+  t.st.m_checks <- t.st.m_checks + 1;
+  let assum : assum = Hashtbl.create 8 in
+  match conforms_desc t assum 0 actual interest with
+  | Ok m -> Conformant m
+  | Error fs -> Not_conformant fs
+
+let conforms t ~actual ~interest = verdict_ok (check t ~actual ~interest)
+
+let check_ty t ~actual ~interest =
+  let assum : assum = Hashtbl.create 8 in
+  ty_conforms t assum 0 ~actual ~interest
+
+let explicit_conforms t ~actual ~interest = explicit_conforms_desc t actual interest

@@ -1,0 +1,87 @@
+(** The implicit structural conformance checker — Figure 2 of the paper.
+
+    [check t ~actual ~interest] decides whether instances of [actual] (the
+    received object's type, the paper's T') can safely be used where
+    [interest] (the variable's type, T) is expected, and when they can,
+    produces the {!Mapping.t} a dynamic proxy needs.
+
+    Rule (vi): [actual] implicitly structurally conforms to [interest] iff
+    they are {e equal} (same GUID), {e equivalent} (same structure),
+    [actual] {e explicitly} conforms (declared subtyping reachable through
+    the description graph), or every aspect holds:
+    {ul
+    {- (i) names conform — case-insensitive Levenshtein distance within the
+       configured bound (0 in the paper), optionally wildcards;}
+    {- (ii) every field of [interest] is matched by a field of [actual]
+       with a conformant name and an {e invariant} (mutually conformant)
+       type;}
+    {- (iii) supertypes — [actual]'s superclass conforms to [interest]'s,
+       and every interface of [interest] is matched by one of [actual]'s;}
+    {- (iv) every method of [interest] is matched by a method of [actual]:
+       equal modifiers, conformant name, equal arity, covariant return and
+       contravariant arguments {e up to a permutation} of the argument
+       positions;}
+    {- (v) constructors — like methods, without names and returns.}}
+
+    Recursion through field/parameter/return types is co-inductive: a pair
+    of types already under test is assumed conformant, so recursive types
+    (e.g. [Person.spouse : Person]) terminate.
+
+    The published rule text reads naturally for the direction of (2) in
+    rule (iv) either way; we implement the type-safe reading (covariant
+    returns, contravariant arguments), which matches the paper's stated
+    goal that weakening the rules "breaks the type safety". *)
+
+type failure = { context : string; message : string }
+(** One reason a check failed; [context] names the pair/member being
+    compared when the failure was recorded. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type verdict =
+  | Conformant of Mapping.t
+  | Not_conformant of failure list  (** Most specific failures first. *)
+
+val verdict_ok : verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Human-readable rendering: the full mapping (methods and constructor
+    witnesses) on success, every recorded failure otherwise. *)
+
+type t
+(** A checker: configuration + description resolver + result cache. *)
+
+val create : ?config:Config.t -> resolver:Pti_typedesc.Type_description.resolver ->
+  unit -> t
+(** [config] defaults to {!Config.strict}. *)
+
+val config : t -> Config.t
+
+val check : t -> actual:Pti_typedesc.Type_description.t ->
+  interest:Pti_typedesc.Type_description.t -> verdict
+
+val conforms : t -> actual:Pti_typedesc.Type_description.t ->
+  interest:Pti_typedesc.Type_description.t -> bool
+
+val check_ty : t -> actual:Pti_cts.Ty.t -> interest:Pti_cts.Ty.t -> bool
+(** Conformance lifted to type references (primitives compare by equality,
+    arrays recurse, named types resolve and run the full check). *)
+
+val explicit_conforms : t -> actual:Pti_typedesc.Type_description.t ->
+  interest:Pti_typedesc.Type_description.t -> bool
+(** Just the explicit-subtyping short-circuit, exposed for tests. *)
+
+val names_conform : t -> interest_name:string -> string -> bool
+(** Just the name rule (i), exposed for tests and the E6 sweep. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  checks : int;  (** Top-level [check] calls. *)
+  pair_checks : int;  (** Type-pair evaluations including recursion. *)
+  cache_hits : int;
+  resolver_misses : int;  (** Failed description lookups. *)
+}
+
+val stats : t -> stats
+val clear_cache : t -> unit

@@ -1,0 +1,35 @@
+module Td = Pti_typedesc.Type_description
+
+type verdict =
+  | All_conformant of (string * Mapping.t) list
+  | Failed of (string * Checker.failure list) list
+
+let notation names = "[" ^ String.concat ", " names ^ "]"
+
+let check checker ~actual ~interests =
+  if interests = [] then
+    invalid_arg "Compound.check: empty interest list";
+  let results =
+    List.map
+      (fun interest ->
+        ( Td.qualified_name interest,
+          Checker.check checker ~actual ~interest ))
+      interests
+  in
+  let failures =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Checker.Not_conformant fs -> Some (name, fs)
+        | Checker.Conformant _ -> None)
+      results
+  in
+  if failures <> [] then Failed failures
+  else
+    All_conformant
+      (List.map
+         (fun (name, v) ->
+           match v with
+           | Checker.Conformant m -> (name, m)
+           | Checker.Not_conformant _ -> assert false)
+         results)

@@ -1,0 +1,26 @@
+(** Compound types: conformance to several types of interest at once.
+
+    §2.2 discusses Büchi and Weck's compound types for Java — the notation
+    [\[TypeA, TypeB\]] denoting everything usable as {e both}. Combined
+    with implicit structural conformance this becomes a natural query
+    language over dynamically received objects: a subscriber can ask for
+    events conformant to several independently authored facets.
+
+    A compound check succeeds iff the actual type conforms to every
+    member; the result is one mapping per member, which
+    {!Pti_proxy.Dynamic_proxy.wrap_compound} turns into a single proxy
+    answering the union of the vocabularies. *)
+
+type verdict =
+  | All_conformant of (string * Mapping.t) list
+      (** Interest qualified name, mapping — in query order. *)
+  | Failed of (string * Checker.failure list) list
+      (** Every member that failed, with its reasons. *)
+
+val check : Checker.t -> actual:Pti_typedesc.Type_description.t ->
+  interests:Pti_typedesc.Type_description.t list -> verdict
+(** @raise Invalid_argument on an empty interest list. *)
+
+val notation : string list -> string
+(** [notation ["a.A"; "b.B"]] is ["[a.A, b.B]"] — the display name used as
+    the compound proxy's advertised interface. *)

@@ -1,0 +1,62 @@
+type ambiguity = First_match | Best_score | Reject_ambiguous
+
+type t = {
+  name_distance : int;
+  allow_wildcards : bool;
+  compare_namespaces : bool;
+  check_fields : bool;
+  check_supertypes : bool;
+  check_methods : bool;
+  check_ctors : bool;
+  check_modifiers : bool;
+  consider_permutations : bool;
+  ambiguity : ambiguity;
+  max_depth : int;
+}
+
+let strict =
+  {
+    name_distance = 0;
+    allow_wildcards = false;
+    compare_namespaces = false;
+    check_fields = true;
+    check_supertypes = true;
+    check_methods = true;
+    check_ctors = true;
+    check_modifiers = true;
+    consider_permutations = true;
+    ambiguity = First_match;
+    max_depth = 64;
+  }
+
+let name_only =
+  {
+    strict with
+    check_fields = false;
+    check_supertypes = false;
+    check_methods = false;
+    check_ctors = false;
+    check_modifiers = false;
+  }
+
+let relaxed ~distance = { strict with name_distance = distance }
+let with_wildcards = { strict with allow_wildcards = true }
+
+let ambiguity_name = function
+  | First_match -> "first"
+  | Best_score -> "best"
+  | Reject_ambiguous -> "reject"
+
+let key t =
+  Printf.sprintf "d%d%c%c%c%c%c%c%c%c%s%d" t.name_distance
+    (if t.allow_wildcards then 'w' else '-')
+    (if t.compare_namespaces then 'n' else '-')
+    (if t.check_fields then 'f' else '-')
+    (if t.check_supertypes then 's' else '-')
+    (if t.check_methods then 'm' else '-')
+    (if t.check_ctors then 'c' else '-')
+    (if t.check_modifiers then 'o' else '-')
+    (if t.consider_permutations then 'p' else '-')
+    (ambiguity_name t.ambiguity) t.max_depth
+
+let pp ppf t = Format.fprintf ppf "config(%s)" (key t)

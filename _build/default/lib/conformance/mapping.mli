@@ -1,0 +1,58 @@
+(** The witness produced by a successful conformance check: how to translate
+    invocations written against the type of interest into invocations on
+    the actual (received) type. Dynamic proxies interpret exactly this. *)
+
+open Pti_cts
+
+type method_map = {
+  mm_interest_name : string;  (** Method name as the caller writes it. *)
+  mm_actual_name : string;  (** Method name on the received object. *)
+  mm_arity : int;
+  mm_perm : int array;
+      (** [mm_perm.(j) = i]: the actual method's [j]-th argument is the
+          caller's [i]-th argument. Identity for equal signatures. *)
+  mm_interest_return : Ty.t;
+  mm_actual_return : Ty.t;
+  mm_param_tys : Ty.t list;  (** Interest-side parameter types, caller order. *)
+  mm_actual_param_tys : Ty.t list;
+      (** Actual-side parameter types, callee order — what each permuted
+          argument must be usable as (drives recursive argument wrapping). *)
+}
+
+type ctor_map = {
+  cm_arity : int;
+  cm_perm : int array;
+      (** [cm_perm.(j) = i]: the actual constructor's [j]-th argument is
+          the caller's [i]-th argument. *)
+  cm_param_tys : Ty.t list;  (** Interest-side parameter types. *)
+  cm_actual_param_tys : Ty.t list;
+}
+
+type t = {
+  interest : string;  (** Qualified name of the type of interest. *)
+  actual : string;  (** Qualified name of the received object's type. *)
+  identity : bool;
+      (** True when no translation is needed (equal, equivalent or
+          explicitly conformant types) — the proxy can forward as-is. *)
+  methods : method_map list;
+  ctors : ctor_map list;
+      (** Rule (v) witnesses: how to drive the actual type's constructors
+          with interest-style argument lists (used by
+          {!Pti_proxy.Dynamic_proxy.construct_as}). *)
+}
+
+val identity_mapping : interest:string -> actual:string -> t
+
+val find : t -> name:string -> arity:int -> method_map option
+(** Case-insensitive lookup by interest-side name. *)
+
+val find_ctor : t -> arity:int -> ctor_map option
+
+val permute : 'a list -> int array -> 'a list
+(** [permute args perm] reorders caller arguments into actual-method order:
+    element [j] of the result is [List.nth args perm.(j)].
+    @raise Invalid_argument on length mismatch. *)
+
+val is_identity_perm : int array -> bool
+
+val pp : Format.formatter -> t -> unit

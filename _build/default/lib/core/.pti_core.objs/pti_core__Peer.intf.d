@@ -1,0 +1,1 @@
+lib/core/peer.mli: Assembly Format Message Pti_conformance Pti_cts Pti_net Pti_proxy Pti_serial Pti_typedesc Registry Value

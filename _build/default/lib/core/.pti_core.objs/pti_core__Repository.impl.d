@@ -1,0 +1,1 @@
+lib/core/repository.ml: Hashtbl Printf Pti_cts Pti_util String

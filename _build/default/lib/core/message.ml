@@ -1,0 +1,72 @@
+type t =
+  | Obj_msg of {
+      envelope : string;
+      tdescs : string list;
+      assemblies : string list;
+    }
+  | Tdesc_request of { type_name : string; token : int }
+  | Tdesc_reply of { type_name : string; desc : string option; token : int }
+  | Asm_request of { path : string; token : int }
+  | Asm_reply of { path : string; assembly : string option; token : int }
+  | Invoke_request of {
+      target : int;
+      meth : string;
+      args : string;
+      token : int;
+    }
+  | Invoke_reply of {
+      token : int;
+      result : string option;
+      error : string option;
+    }
+
+let category = function
+  | Obj_msg _ -> Pti_net.Stats.Object_msg
+  | Tdesc_request _ -> Pti_net.Stats.Tdesc_request
+  | Tdesc_reply _ -> Pti_net.Stats.Tdesc_reply
+  | Asm_request _ -> Pti_net.Stats.Asm_request
+  | Asm_reply _ -> Pti_net.Stats.Asm_reply
+  | Invoke_request _ -> Pti_net.Stats.Invoke_request
+  | Invoke_reply _ -> Pti_net.Stats.Invoke_reply
+
+let framing = 16
+
+let opt_len = function None -> 0 | Some s -> String.length s
+
+let size = function
+  | Obj_msg { envelope; tdescs; assemblies } ->
+      framing + String.length envelope
+      + List.fold_left (fun a s -> a + String.length s) 0 tdescs
+      + List.fold_left (fun a s -> a + String.length s) 0 assemblies
+  | Tdesc_request { type_name; _ } -> framing + String.length type_name
+  | Tdesc_reply { type_name; desc; _ } ->
+      framing + String.length type_name + opt_len desc
+  | Asm_request { path; _ } -> framing + String.length path
+  | Asm_reply { path; assembly; _ } ->
+      framing + String.length path + opt_len assembly
+  | Invoke_request { meth; args; _ } ->
+      framing + 8 + String.length meth + String.length args
+  | Invoke_reply { result; error; _ } ->
+      framing + opt_len result + opt_len error
+
+let describe = function
+  | Obj_msg { envelope; tdescs; assemblies } ->
+      Printf.sprintf "obj(%dB env, %d tdescs, %d assemblies)"
+        (String.length envelope) (List.length tdescs) (List.length assemblies)
+  | Tdesc_request { type_name; token } ->
+      Printf.sprintf "tdesc-req(%s)#%d" type_name token
+  | Tdesc_reply { type_name; desc; token } ->
+      Printf.sprintf "tdesc-reply(%s,%s)#%d" type_name
+        (if desc = None then "miss" else "hit")
+        token
+  | Asm_request { path; token } -> Printf.sprintf "asm-req(%s)#%d" path token
+  | Asm_reply { path; assembly; token } ->
+      Printf.sprintf "asm-reply(%s,%s)#%d" path
+        (if assembly = None then "miss" else "hit")
+        token
+  | Invoke_request { target; meth; token; _ } ->
+      Printf.sprintf "invoke(%d.%s)#%d" target meth token
+  | Invoke_reply { token; error; _ } ->
+      Printf.sprintf "invoke-reply%s#%d"
+        (match error with Some e -> "!" ^ e | None -> "")
+        token

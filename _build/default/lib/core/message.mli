@@ -1,0 +1,37 @@
+(** Wire messages of the type-interoperability protocol (Figure 1).
+
+    Every payload travels in its actual wire rendering (XML text), so the
+    [size] charged to the network simulator is the honest byte count. *)
+
+type t =
+  | Obj_msg of {
+      envelope : string;  (** Hybrid envelope XML (Figure 3). *)
+      tdescs : string list;
+          (** Inlined type descriptions — empty under the optimistic
+              protocol, populated by the eager baseline. *)
+      assemblies : string list;  (** Inlined code — eager baseline only. *)
+    }
+  | Tdesc_request of { type_name : string; token : int }
+  | Tdesc_reply of { type_name : string; desc : string option; token : int }
+      (** [None]: the queried host does not know the type either. *)
+  | Asm_request of { path : string; token : int }
+  | Asm_reply of { path : string; assembly : string option; token : int }
+  | Invoke_request of {
+      target : int;  (** Exported object id on the destination host. *)
+      meth : string;  (** Actual-side method name (translated by caller). *)
+      args : string;  (** Envelope XML carrying the argument values. *)
+      token : int;
+    }
+  | Invoke_reply of {
+      token : int;
+      result : string option;  (** Envelope XML of the return value. *)
+      error : string option;
+    }
+
+val category : t -> Pti_net.Stats.category
+
+val size : t -> int
+(** Payload bytes plus a small fixed framing overhead. *)
+
+val describe : t -> string
+(** One-line rendering for logs. *)

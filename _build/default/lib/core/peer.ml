@@ -1,0 +1,710 @@
+open Pti_cts
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Config = Pti_conformance.Config
+module Mapping = Pti_conformance.Mapping
+module Proxy = Pti_proxy.Dynamic_proxy
+module Envelope = Pti_serial.Envelope
+module Assembly_xml = Pti_serial.Assembly_xml
+module S = Pti_util.Strutil
+
+let log_src = Logs.Src.create "pti.peer" ~doc:"Type-interoperability peer"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Optimistic | Eager
+
+type event =
+  | Delivered of { interest : string; from : string; value : Value.value }
+  | Rejected of { type_name : string; from : string; reason : string }
+  | Decode_failed of { from : string; reason : string }
+  | Load_failed of { assembly : string; reason : string }
+
+let pp_event ppf = function
+  | Delivered { interest; from; value } ->
+      Format.fprintf ppf "delivered %s from %s: %s" interest from
+        (Value.type_name value)
+  | Rejected { type_name; from; reason } ->
+      Format.fprintf ppf "rejected %s from %s: %s" type_name from reason
+  | Decode_failed { from; reason } ->
+      Format.fprintf ppf "decode failed (from %s): %s" from reason
+  | Load_failed { assembly; reason } ->
+      Format.fprintf ppf "load of %s failed: %s" assembly reason
+
+type remote_ref = { rr_host : string; rr_id : int; rr_class : string }
+
+type t = {
+  addr : string;
+  net : Message.t Net.t;
+  reg : Registry.t;
+  repo : Repository.t;
+  peer_mode : mode;
+  codec : Envelope.codec;
+  tdesc_cache : (string, Td.t) Hashtbl.t;
+  checker : Checker.t;
+  px : Proxy.context;
+  mutable interests :
+    (int * string * (from:string -> Value.value -> unit)) list;
+  mutable next_interest : int;
+  mutable default_sink : (from:string -> Value.value -> unit) option;
+  exported : (int, Value.value) Hashtbl.t;
+  mutable next_export : int;
+  mutable next_token : int;
+  tdesc_conts : (int, (Td.t option -> unit) * (unit -> unit)) Hashtbl.t;
+  asm_conts : (int, (Assembly.t option -> unit) * (unit -> unit)) Hashtbl.t;
+  invoke_conts : (int, (Value.value, string) result -> unit) Hashtbl.t;
+  known_paths : (string, string) Hashtbl.t;  (* assembly name -> path *)
+  mutable event_log : event list;  (* most recent first *)
+}
+
+let address t = t.addr
+let registry t = t.reg
+let checker t = t.checker
+let proxy_context t = t.px
+let mode t = t.peer_mode
+let net t = t.net
+let events t = List.rev t.event_log
+let clear_events t = t.event_log <- []
+let tdesc_cache_size t = Hashtbl.length t.tdesc_cache
+let exported_count t = Hashtbl.length t.exported
+let run t = Net.run t.net
+
+let log_event t e =
+  Log.debug (fun m -> m "[%s] %a" t.addr pp_event e);
+  t.event_log <- e :: t.event_log
+
+let lc = String.lowercase_ascii
+
+(* Description lookup: local code first, then the description cache. *)
+let local_desc t name =
+  match Registry.find t.reg name with
+  | Some cd -> Some (Td.of_class cd)
+  | None -> Hashtbl.find_opt t.tdesc_cache (lc name)
+
+let cache_desc t d =
+  let key = lc (Td.qualified_name d) in
+  if not (Hashtbl.mem t.tdesc_cache key) then begin
+    Hashtbl.replace t.tdesc_cache key d;
+    (* New knowledge can overturn verdicts that failed on missing types. *)
+    Checker.clear_cache t.checker
+  end
+
+(* Qualified names a description refers to — what else we may need. *)
+let refs_of_desc (d : Td.t) =
+  let tys = ref [] in
+  let add ty = tys := Ty.named_roots ty @ !tys in
+  Option.iter (fun s -> tys := s :: !tys) d.Td.ty_super;
+  tys := d.Td.ty_interfaces @ !tys;
+  List.iter (fun f -> add f.Td.fd_ty) d.Td.ty_fields;
+  List.iter
+    (fun (m : Td.method_desc) ->
+      add m.Td.md_return;
+      List.iter (fun p -> add p.Td.pd_ty) m.Td.md_params)
+    d.Td.ty_methods;
+  List.iter
+    (fun (c : Td.ctor_desc) ->
+      List.iter (fun p -> add p.Td.pd_ty) c.Td.cd_params)
+    d.Td.ty_ctors;
+  List.sort_uniq S.compare_ci !tys
+
+let fresh_token t =
+  let k = t.next_token in
+  t.next_token <- k + 1;
+  k
+
+let send t ~dst msg =
+  Log.debug (fun m -> m "[%s] -> %s: %s" t.addr dst (Message.describe msg));
+  Net.send t.net ~src:t.addr ~dst ~category:(Message.category msg)
+    ~size:(Message.size msg) msg
+
+(* ---------------------------------------------------------------- *)
+(* Asynchronous fetch plumbing                                        *)
+(* ---------------------------------------------------------------- *)
+
+(* Subprotocol requests carry a timeout: if the reply never arrives (lost
+   on an unreliable lossy link, or the peer is gone), the continuation
+   fires with [None] so the reception pipeline degrades to a rejection
+   instead of stalling forever. *)
+let request_timeout_ms = 10_000.
+
+let arm_timeout t conts token =
+  let cancel =
+    Sim.schedule_cancellable (Net.sim t.net) ~delay:request_timeout_ms
+      (fun () ->
+        match Hashtbl.find_opt conts token with
+        | None -> ()
+        | Some (k, _) ->
+            Hashtbl.remove conts token;
+            k None)
+  in
+  (* Fill in the cancel thunk next to the continuation. *)
+  match Hashtbl.find_opt conts token with
+  | Some (k, _) -> Hashtbl.replace conts token (k, cancel)
+  | None -> ()
+
+let request_tdesc t ~from name k =
+  let token = fresh_token t in
+  Hashtbl.replace t.tdesc_conts token (k, fun () -> ());
+  arm_timeout t t.tdesc_conts token;
+  send t ~dst:from (Message.Tdesc_request { type_name = name; token })
+
+let request_assembly t ~host ~path k =
+  let token = fresh_token t in
+  Hashtbl.replace t.asm_conts token (k, fun () -> ());
+  arm_timeout t t.asm_conts token;
+  send t ~dst:host (Message.Asm_request { path; token })
+
+(* Fetch the transitive closure of descriptions for [names] from [from],
+   then continue with [k]. Names already resolvable locally are free. *)
+let ensure_descs t ~from names k =
+  let outstanding = ref 0 in
+  let visited = Hashtbl.create 16 in
+  let finished = ref false in
+  let rec need name =
+    let key = lc name in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      match local_desc t name with
+      | Some d -> List.iter need (refs_of_desc d)
+      | None ->
+          incr outstanding;
+          request_tdesc t ~from name (fun resp ->
+              (match resp with
+              | Some d ->
+                  cache_desc t d;
+                  List.iter need (refs_of_desc d)
+              | None -> ());
+              decr outstanding;
+              check_done ())
+    end
+  and check_done () =
+    if !outstanding = 0 && not !finished then begin
+      finished := true;
+      k ()
+    end
+  in
+  List.iter need names;
+  check_done ()
+
+exception Load_error of string * string  (* assembly, reason *)
+
+let load_assembly t asm =
+  try Assembly.load t.reg asm
+  with Registry.Duplicate name ->
+    raise
+      (Load_error
+         ( asm.Assembly.asm_name,
+           Printf.sprintf "type %s collides with an existing definition" name
+         ))
+
+(* Download and load every assembly needed by the envelope's type entries
+   whose GUIDs are not yet loaded. [k] receives [Ok ()] or a reason. *)
+let ensure_assemblies t (env : Envelope.t) k =
+  (* Remember advertised download paths. *)
+  List.iter
+    (fun (e : Envelope.type_entry) ->
+      Hashtbl.replace t.known_paths (lc e.Envelope.te_assembly)
+        e.Envelope.te_download_path)
+    env.Envelope.env_types;
+  let needed =
+    env.Envelope.env_types
+    |> List.filter (fun (e : Envelope.type_entry) ->
+           not (Registry.mem_guid t.reg e.Envelope.te_guid))
+    |> List.map (fun (e : Envelope.type_entry) ->
+           (e.Envelope.te_assembly, e.Envelope.te_download_path))
+    |> List.sort_uniq compare
+  in
+  let outstanding = ref 0 in
+  let failed = ref None in
+  let finished = ref false in
+  let check_done () =
+    if !outstanding = 0 && not !finished then begin
+      finished := true;
+      match !failed with None -> k (Ok ()) | Some reason -> k (Error reason)
+    end
+  in
+  let fetch (asm_name, path) =
+    let host =
+      match Repository.parse_path path with
+      | Some (host, _) -> host
+      | None -> (* malformed path: try the sender-side convention *) t.addr
+    in
+    incr outstanding;
+    request_assembly t ~host ~path (fun resp ->
+        (match resp with
+        | Some asm -> (
+            try load_assembly t asm with
+            | Load_error (a, reason) ->
+                log_event t (Load_failed { assembly = a; reason });
+                if !failed = None then failed := Some reason
+            | Invalid_argument reason ->
+                log_event t (Load_failed { assembly = asm_name; reason });
+                if !failed = None then failed := Some reason)
+        | None ->
+            let reason =
+              Printf.sprintf "assembly %s not available at %s" asm_name path
+            in
+            log_event t (Load_failed { assembly = asm_name; reason });
+            if !failed = None then failed := Some reason);
+        decr outstanding;
+        check_done ())
+  in
+  List.iter fetch needed;
+  check_done ()
+
+(* ---------------------------------------------------------------- *)
+(* Pass-by-value reception (Figure 1)                                 *)
+(* ---------------------------------------------------------------- *)
+
+let deliver_primitive t ~from value =
+  match t.default_sink with
+  | Some sink -> sink ~from value
+  | None ->
+      log_event t
+        (Delivered { interest = "(sink)"; from; value })
+
+(* Which interests accept the root type, and with what mapping? *)
+let matching_interests t (root : Td.t) =
+  List.filter_map
+    (fun (_, interest, cb) ->
+      match local_desc t interest with
+      | None -> None
+      | Some interest_d -> (
+          match Checker.check t.checker ~actual:root ~interest:interest_d with
+          | Checker.Conformant m -> Some (interest, cb, m)
+          | Checker.Not_conformant _ -> None))
+    t.interests
+
+let first_failure t (root : Td.t) =
+  (* For the rejection log: report the first interest's failure detail. *)
+  match t.interests with
+  | [] -> "no registered interest"
+  | (_, interest, _) :: _ -> (
+      match local_desc t interest with
+      | None -> Printf.sprintf "interest %s not loaded locally" interest
+      | Some interest_d -> (
+          match Checker.check t.checker ~actual:root ~interest:interest_d with
+          | Checker.Conformant _ -> "conformant (race)"
+          | Checker.Not_conformant [] -> "not conformant"
+          | Checker.Not_conformant (f :: _) -> f.Checker.message))
+
+let decode_and_deliver t ~from (env : Envelope.t) root_name =
+  match Envelope.decode_payload t.reg env with
+  | Error e ->
+      log_event t
+        (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
+  | Ok value -> (
+      match local_desc t root_name with
+      | None ->
+          log_event t
+            (Decode_failed
+               { from; reason = "root type vanished after decode" })
+      | Some root ->
+          let matches = matching_interests t root in
+          if matches = [] then
+            log_event t
+              (Rejected
+                 { type_name = root_name; from; reason = first_failure t root })
+          else
+            List.iter
+              (fun (interest, cb, m) ->
+                let delivered =
+                  if m.Mapping.identity then value
+                  else Proxy.wrap t.px ~interest ~mapping:m value
+                in
+                log_event t (Delivered { interest; from; value = delivered });
+                cb ~from delivered)
+              matches)
+
+let handle_envelope t ~from (msg_env : string) tdescs assemblies =
+  match Envelope.of_string msg_env with
+  | Error e ->
+      log_event t
+        (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
+  | Ok env -> (
+      (* Eager extras: load whatever was shipped inline. *)
+      List.iter
+        (fun s -> match Td.of_xml_string s with
+          | Ok d -> cache_desc t d
+          | Error _ -> ())
+        tdescs;
+      List.iter
+        (fun s ->
+          match Assembly_xml.of_string s with
+          | Ok asm -> (
+              try load_assembly t asm with
+              | Load_error (a, reason) ->
+                  log_event t (Load_failed { assembly = a; reason })
+              | Invalid_argument reason ->
+                  log_event t (Load_failed { assembly = "?"; reason }))
+          | Error reason -> log_event t (Load_failed { assembly = "?"; reason }))
+        assemblies;
+      match env.Envelope.env_types with
+      | [] -> (
+          (* No objects in the graph: nothing to conform, just decode. *)
+          match Envelope.decode_payload t.reg env with
+          | Ok v -> deliver_primitive t ~from v
+          | Error e ->
+              log_event t
+                (Decode_failed
+                   { from; reason = Format.asprintf "%a" Envelope.pp_error e }))
+      | root_entry :: _ ->
+          let root_name = root_entry.Envelope.te_name in
+          let all_names =
+            List.map (fun (e : Envelope.type_entry) -> e.Envelope.te_name)
+              env.Envelope.env_types
+          in
+          let all_known_by_guid =
+            List.for_all
+              (fun (e : Envelope.type_entry) ->
+                Registry.mem_guid t.reg e.Envelope.te_guid)
+              env.Envelope.env_types
+          in
+          if all_known_by_guid then
+            (* Optimistic fast path: everything already loaded. *)
+            decode_and_deliver t ~from env root_name
+          else
+            (* Step 2-3: pull type information, check the rules. *)
+            ensure_descs t ~from all_names (fun () ->
+                match local_desc t root_name with
+                | None ->
+                    log_event t
+                      (Rejected
+                         {
+                           type_name = root_name;
+                           from;
+                           reason = "type description unavailable";
+                         })
+                | Some root ->
+                    let matches = matching_interests t root in
+                    if matches = [] then
+                      log_event t
+                        (Rejected
+                           {
+                             type_name = root_name;
+                             from;
+                             reason = first_failure t root;
+                           })
+                    else
+                      (* Step 4-5: conformant — download the code. *)
+                      ensure_assemblies t env (function
+                        | Ok () -> decode_and_deliver t ~from env root_name
+                        | Error reason ->
+                            log_event t (Decode_failed { from; reason }))))
+
+(* ---------------------------------------------------------------- *)
+(* Remote invocation (pass-by-reference)                              *)
+(* ---------------------------------------------------------------- *)
+
+let download_path t ~assembly =
+  match Hashtbl.find_opt t.known_paths (lc assembly) with
+  | Some p -> p
+  | None -> Repository.path_for ~host:t.addr ~assembly
+
+let make_args_envelope t args =
+  Envelope.make t.reg ~codec:t.codec
+    ~download_path:(fun ~assembly -> download_path t ~assembly)
+    (Value.Varr { Value.elem_ty = Ty.Named "object"; items = Array.of_list args })
+
+(* Receive a value envelope outside the interest pipeline (invocation
+   arguments and results): fetch missing assemblies, decode, continue. *)
+let receive_value_envelope t ~from:_ env k =
+  ensure_assemblies t env (function
+    | Error reason -> k (Error reason)
+    | Ok () -> (
+        match Envelope.decode_payload t.reg env with
+        | Ok v -> k (Ok v)
+        | Error e -> k (Error (Format.asprintf "%a" Envelope.pp_error e))))
+
+let handle_invoke t ~from ~target ~meth ~args_xml ~token =
+  let reply result error =
+    send t ~dst:from (Message.Invoke_reply { token; result; error })
+  in
+  match Hashtbl.find_opt t.exported target with
+  | None -> reply None (Some (Printf.sprintf "no exported object %d" target))
+  | Some recv -> (
+      match Envelope.of_string args_xml with
+      | Error e -> reply None (Some (Format.asprintf "%a" Envelope.pp_error e))
+      | Ok env ->
+          receive_value_envelope t ~from env (function
+            | Error reason -> reply None (Some reason)
+            | Ok (Value.Varr a) -> (
+                let args = Array.to_list a.Value.items in
+                match Eval.call t.reg recv meth args with
+                | result ->
+                    let renv =
+                      Envelope.make t.reg ~codec:t.codec
+                        ~download_path:(fun ~assembly ->
+                          download_path t ~assembly)
+                        result
+                    in
+                    reply (Some (Envelope.to_string renv)) None
+                | exception Eval.Runtime_error msg -> reply None (Some msg))
+            | Ok _ -> reply None (Some "malformed argument payload")))
+
+(* ---------------------------------------------------------------- *)
+(* Network handler                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let handle t ~src msg =
+  Log.debug (fun m -> m "[%s] <- %s: %s" t.addr src (Message.describe msg));
+  match msg with
+  | Message.Obj_msg { envelope; tdescs; assemblies } ->
+      handle_envelope t ~from:src envelope tdescs assemblies
+  | Message.Tdesc_request { type_name; token } ->
+      let desc =
+        Option.map (fun d -> Td.to_xml_string d) (local_desc t type_name)
+      in
+      send t ~dst:src (Message.Tdesc_reply { type_name; desc; token })
+  | Message.Tdesc_reply { desc; token; _ } -> (
+      match Hashtbl.find_opt t.tdesc_conts token with
+      | None -> ()
+      | Some (k, cancel_timeout) ->
+          Hashtbl.remove t.tdesc_conts token;
+          cancel_timeout ();
+          let parsed =
+            Option.bind desc (fun s ->
+                match Td.of_xml_string s with Ok d -> Some d | Error _ -> None)
+          in
+          k parsed)
+  | Message.Asm_request { path; token } ->
+      let assembly =
+        Option.map Assembly_xml.to_string (Repository.find t.repo ~path)
+      in
+      send t ~dst:src (Message.Asm_reply { path; assembly; token })
+  | Message.Asm_reply { assembly; token; _ } -> (
+      match Hashtbl.find_opt t.asm_conts token with
+      | None -> ()
+      | Some (k, cancel_timeout) ->
+          Hashtbl.remove t.asm_conts token;
+          cancel_timeout ();
+          let parsed =
+            Option.bind assembly (fun s ->
+                match Assembly_xml.of_string s with
+                | Ok a -> Some a
+                | Error _ -> None)
+          in
+          k parsed)
+  | Message.Invoke_request { target; meth; args; token } ->
+      handle_invoke t ~from:src ~target ~meth ~args_xml:args ~token
+  | Message.Invoke_reply { token; result; error } -> (
+      match Hashtbl.find_opt t.invoke_conts token with
+      | None -> ()
+      | Some k -> (
+          Hashtbl.remove t.invoke_conts token;
+          match error with
+          | Some e -> k (Error e)
+          | None -> (
+              match result with
+              | None -> k (Error "empty reply")
+              | Some xml -> (
+                  match Envelope.of_string xml with
+                  | Error e ->
+                      k (Error (Format.asprintf "%a" Envelope.pp_error e))
+                  | Ok env ->
+                      receive_value_envelope t ~from:src env (function
+                        | Ok v -> k (Ok v)
+                        | Error reason -> k (Error reason))))))
+
+(* ---------------------------------------------------------------- *)
+(* Construction                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
+    ?(config = Config.strict) ~net:network addr =
+  let reg = Registry.create () in
+  let tdesc_cache = Hashtbl.create 32 in
+  let resolver name =
+    match Registry.find reg name with
+    | Some cd -> Some (Td.of_class cd)
+    | None -> Hashtbl.find_opt tdesc_cache (lc name)
+  in
+  let checker = Checker.create ~config ~resolver () in
+  let t =
+    {
+      addr;
+      net = network;
+      reg;
+      repo = Repository.create ();
+      peer_mode = mode;
+      codec;
+      tdesc_cache;
+      checker;
+      px = Proxy.create_context reg checker;
+      interests = [];
+      next_interest = 0;
+      default_sink = None;
+      exported = Hashtbl.create 8;
+      next_export = 0;
+      next_token = 0;
+      tdesc_conts = Hashtbl.create 8;
+      asm_conts = Hashtbl.create 8;
+      invoke_conts = Hashtbl.create 8;
+      known_paths = Hashtbl.create 8;
+      event_log = [];
+    }
+  in
+  Net.add_host network addr ~handler:(fun ~net:_ ~src msg -> handle t ~src msg);
+  t
+
+let publish_assembly t asm =
+  Assembly.load t.reg asm;
+  let path =
+    Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
+  in
+  Repository.add t.repo ~path asm;
+  Hashtbl.replace t.known_paths (lc asm.Assembly.asm_name) path
+
+let install_assembly t asm = Assembly.load t.reg asm
+
+type interest_id = int
+
+let register_interest_id t ~interest cb =
+  let id = t.next_interest in
+  t.next_interest <- id + 1;
+  t.interests <- t.interests @ [ (id, interest, cb) ];
+  id
+
+let register_interest t ~interest cb = ignore (register_interest_id t ~interest cb)
+
+let unregister_interest t id =
+  t.interests <- List.filter (fun (i, _, _) -> i <> id) t.interests
+
+let interests t = List.map (fun (_, name, _) -> name) t.interests
+
+let set_default_sink t sink = t.default_sink <- Some sink
+
+let send_value t ~dst value =
+  let env =
+    Envelope.make t.reg ~codec:t.codec
+      ~download_path:(fun ~assembly -> download_path t ~assembly)
+      value
+  in
+  let envelope = Envelope.to_string env in
+  let tdescs, assemblies =
+    match t.peer_mode with
+    | Optimistic -> ([], [])
+    | Eager ->
+        (* Ship descriptions and code for every class in the graph, plus
+           the transitive closure their assemblies bundle anyway. *)
+        let names = Envelope.required_classes env in
+        let descs =
+          List.filter_map
+            (fun n -> Option.map Td.to_xml_string (local_desc t n))
+            names
+        in
+        let asm_names =
+          List.filter_map
+            (fun n ->
+              Option.map
+                (fun cd -> cd.Meta.td_assembly)
+                (Registry.find t.reg n))
+            names
+          |> List.sort_uniq S.compare_ci
+        in
+        let asms =
+          List.filter_map
+            (fun a ->
+              Option.map
+                (fun (_, asm) -> Assembly_xml.to_string asm)
+                (Repository.find_by_name t.repo a))
+            asm_names
+        in
+        (descs, asms)
+  in
+  send t ~dst (Message.Obj_msg { envelope; tdescs; assemblies })
+
+(* ---------------------------------------------------------------- *)
+(* Synchronous helpers (drive the shared simulation)                  *)
+(* ---------------------------------------------------------------- *)
+
+let drive_until t pred =
+  let continue = ref true in
+  while (not (pred ())) && !continue do
+    if not (Sim.step (Net.sim t.net)) then continue := false
+  done;
+  pred ()
+
+let fetch_type_description t ~from name =
+  match local_desc t name with
+  | Some d -> Some d
+  | None ->
+      let result = ref None in
+      let got = ref false in
+      request_tdesc t ~from name (fun resp ->
+          (match resp with
+          | Some d -> cache_desc t d
+          | None -> ());
+          result := resp;
+          got := true);
+      ignore (drive_until t (fun () -> !got));
+      !result
+
+let export t value =
+  match value with
+  | Value.Vobj o ->
+      let id = t.next_export in
+      t.next_export <- id + 1;
+      Hashtbl.replace t.exported id value;
+      { rr_host = t.addr; rr_id = id; rr_class = o.Value.cls }
+  | _ -> invalid_arg "Peer.export: only objects can be exported"
+
+(* Synchronous remote invocation used by remote proxies. *)
+let remote_invoke t ~host ~target ~meth args =
+  let env = make_args_envelope t args in
+  let token = fresh_token t in
+  let outcome = ref None in
+  Hashtbl.replace t.invoke_conts token (fun r -> outcome := Some r);
+  send t ~dst:host
+    (Message.Invoke_request
+       { target; meth; args = Envelope.to_string env; token });
+  ignore (drive_until t (fun () -> !outcome <> None));
+  match !outcome with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise (Eval.Runtime_error ("remote: " ^ e))
+  | None -> raise (Eval.Runtime_error "remote invocation lost (network idle)")
+
+let acquire t rref ~interest =
+  (* 1. obtain the remote type's description (and its closure). *)
+  let got = ref false in
+  ensure_descs t ~from:rref.rr_host [ rref.rr_class ] (fun () -> got := true);
+  ignore (drive_until t (fun () -> !got));
+  match local_desc t rref.rr_class with
+  | None ->
+      Error
+        (Printf.sprintf "type %s unknown at %s" rref.rr_class rref.rr_host)
+  | Some actual_d -> (
+      match local_desc t interest with
+      | None -> Error (Printf.sprintf "interest type %s not loaded" interest)
+      | Some interest_d -> (
+          (* 2. the rules check. *)
+          match Checker.check t.checker ~actual:actual_d ~interest:interest_d with
+          | Checker.Not_conformant fs ->
+              Error
+                (match fs with
+                | f :: _ -> f.Checker.message
+                | [] -> "not conformant")
+          | Checker.Conformant mapping ->
+              (* 3. a remote dynamic proxy translating client-side. *)
+              let px_invoke name args =
+                let meth, actual_args =
+                  match
+                    Mapping.find mapping ~name ~arity:(List.length args)
+                  with
+                  | Some mm ->
+                      ( mm.Mapping.mm_actual_name,
+                        Mapping.permute args mm.Mapping.mm_perm )
+                  | None -> (name, args)
+                in
+                remote_invoke t ~host:rref.rr_host ~target:rref.rr_id ~meth
+                  (List.map Proxy.unwrap actual_args)
+              in
+              Ok
+                (Value.Vproxy
+                   {
+                     Value.px_interface = interest;
+                     px_target = Value.Vnull;
+                     px_invoke;
+                   })))

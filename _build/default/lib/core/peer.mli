@@ -1,0 +1,125 @@
+(** A middleware peer: one host of the distributed system, implementing the
+    optimistic transport protocol of Figure 1.
+
+    Pass-by-value reception pipeline (optimistic mode):
+    {ol
+    {- an {!Message.Obj_msg} arrives carrying only the hybrid envelope
+       (object payload + type names/GUIDs/download paths);}
+    {- if every type in the envelope is already loaded (GUID hit), decode
+       immediately;}
+    {- otherwise fetch the type {e descriptions} (and, transitively, the
+       descriptions they reference) from the sender;}
+    {- run the implicit-structural-conformance check against each locally
+       registered {e type of interest};}
+    {- only if some interest conforms, download the missing {e assemblies}
+       from their advertised download paths, load them, decode the payload
+       and deliver it — wrapped in a dynamic proxy when the conformant type
+       is not identical.}}
+
+    Non-conformant objects are rejected {e before} any code is downloaded —
+    the network saving the paper claims. The eager baseline ships
+    descriptions and assemblies inline with every object instead.
+
+    Pass-by-reference: {!export} publishes an object; {!acquire} fetches the
+    remote type's description, checks conformance against a local interest
+    type, and returns a proxy whose invocations become
+    {!Message.Invoke_request} round-trips (arguments and results travel as
+    envelopes through the same pipeline). *)
+
+open Pti_cts
+
+type mode = Optimistic | Eager
+
+type event =
+  | Delivered of { interest : string; from : string; value : Value.value }
+  | Rejected of { type_name : string; from : string; reason : string }
+  | Decode_failed of { from : string; reason : string }
+  | Load_failed of { assembly : string; reason : string }
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
+  ?config:Pti_conformance.Config.t -> net:Message.t Pti_net.Net.t -> string ->
+  t
+(** [create ~net address] registers the peer on the network. Defaults:
+    optimistic mode, binary payload codec, strict conformance rules. *)
+
+val address : t -> string
+val registry : t -> Registry.t
+val checker : t -> Pti_conformance.Checker.t
+val proxy_context : t -> Pti_proxy.Dynamic_proxy.context
+val mode : t -> mode
+val net : t -> Message.t Pti_net.Net.t
+
+(** {1 Code} *)
+
+val publish_assembly : t -> Assembly.t -> unit
+(** Load locally and serve under [asm://<address>/<name>]. *)
+
+val install_assembly : t -> Assembly.t -> unit
+(** Load locally without serving it. *)
+
+val download_path : t -> assembly:string -> string
+
+(** {1 Pass-by-value} *)
+
+val register_interest : t -> interest:string ->
+  (from:string -> Value.value -> unit) -> unit
+(** Declare a type of interest (its class/interface must be loaded locally)
+    and the callback receiving conformant objects. Several interests may
+    match one object; each matching callback fires. *)
+
+type interest_id
+
+val register_interest_id : t -> interest:string ->
+  (from:string -> Value.value -> unit) -> interest_id
+(** Like {!register_interest} but returns a handle for
+    {!unregister_interest} (used by pub/sub unsubscription). *)
+
+val unregister_interest : t -> interest_id -> unit
+(** Idempotent. *)
+
+val interests : t -> string list
+(** The currently registered interest type names, registration order. *)
+
+val set_default_sink : t -> (from:string -> Value.value -> unit) -> unit
+(** Receives payloads that carry no objects (primitives, arrays of
+    primitives), which have no type to match interests against. *)
+
+val send_value : t -> dst:string -> Value.value -> unit
+(** Ship an object graph by value. Every class in the graph must be loaded
+    on this peer. Delivery happens as the simulation runs. *)
+
+(** {1 Pass-by-reference} *)
+
+type remote_ref = { rr_host : string; rr_id : int; rr_class : string }
+
+val export : t -> Value.value -> remote_ref
+(** Publish an object for remote invocation.
+    @raise Invalid_argument if the value is not an object. *)
+
+val acquire : t -> remote_ref -> interest:string ->
+  (Value.value, string) result
+(** Synchronously (driving the simulation) fetch the remote type's
+    description, check conformance against the local [interest] type and
+    return an invokable remote proxy. Invocations on the proxy are
+    synchronous remote calls. *)
+
+(** {1 Introspection for tests and benchmarks} *)
+
+val events : t -> event list
+(** Chronological. *)
+
+val clear_events : t -> unit
+val tdesc_cache_size : t -> int
+val exported_count : t -> int
+
+val fetch_type_description : t -> from:string -> string ->
+  Pti_typedesc.Type_description.t option
+(** Synchronous description fetch (drives the simulation); [None] when the
+    queried host does not know the type. *)
+
+val run : t -> unit
+(** Convenience: run the shared network simulation to quiescence. *)

@@ -1,0 +1,34 @@
+module S = Pti_util.Strutil
+
+type t = (string, Pti_cts.Assembly.t) Hashtbl.t
+
+let create () = Hashtbl.create 8
+let add t ~path asm = Hashtbl.replace t path asm
+let find t ~path = Hashtbl.find_opt t path
+
+let find_by_name t name =
+  Hashtbl.fold
+    (fun path asm acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if S.equal_ci asm.Pti_cts.Assembly.asm_name name then
+            Some (path, asm)
+          else None)
+    t None
+
+let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t []
+let cardinal t = Hashtbl.length t
+
+let path_for ~host ~assembly = Printf.sprintf "asm://%s/%s" host assembly
+
+let parse_path p =
+  if S.starts_with ~prefix:"asm://" p then
+    let rest = String.sub p 6 (String.length p - 6) in
+    match String.index_opt rest '/' with
+    | Some i ->
+        Some
+          ( String.sub rest 0 i,
+            String.sub rest (i + 1) (String.length rest - i - 1) )
+    | None -> None
+  else None

@@ -1,0 +1,25 @@
+(** Assembly repository: the store behind download paths.
+
+    Each peer publishes the assemblies it authored under paths of the form
+    [asm://<host>/<assembly-name>]; envelope type entries carry these paths
+    so any receiver knows where to fetch code (§6.1). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> path:string -> Pti_cts.Assembly.t -> unit
+(** Replaces an existing binding (a newer version). *)
+
+val find : t -> path:string -> Pti_cts.Assembly.t option
+val find_by_name : t -> string -> (string * Pti_cts.Assembly.t) option
+(** Path and assembly for an assembly name. *)
+
+val paths : t -> string list
+val cardinal : t -> int
+
+val path_for : host:string -> assembly:string -> string
+(** The canonical [asm://host/assembly] download path. *)
+
+val parse_path : string -> (string * string) option
+(** [Some (host, assembly)] for a canonical path. *)

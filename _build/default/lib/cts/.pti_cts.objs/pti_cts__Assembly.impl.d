@@ -1,0 +1,1 @@
+lib/cts/assembly.ml: Expr Introspect List Meta Pti_util Registry String Ty

@@ -1,0 +1,1 @@
+lib/cts/assembly.mli: Meta Registry

@@ -1,0 +1,1 @@
+lib/cts/builder.ml: Char Expr List Meta Option Pti_util String Ty

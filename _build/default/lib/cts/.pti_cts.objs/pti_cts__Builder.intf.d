@@ -1,0 +1,1 @@
+lib/cts/builder.mli: Expr Meta Pti_util Ty

@@ -1,0 +1,1 @@
+lib/cts/eval.ml: Array Expr Hashtbl List Meta Printf Pti_util Registry String Value

@@ -1,0 +1,1 @@
+lib/cts/eval.mli: Expr Registry Value

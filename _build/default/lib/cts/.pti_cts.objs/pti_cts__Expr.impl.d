@@ -1,0 +1,1 @@
+lib/cts/expr.ml: Format List Ty

@@ -1,0 +1,1 @@
+lib/cts/expr.mli: Format Ty

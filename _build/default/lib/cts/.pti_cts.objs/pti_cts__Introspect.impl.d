@@ -1,0 +1,1 @@
+lib/cts/introspect.ml: Hashtbl List Meta Option Pti_util Registry String Ty Value

@@ -1,0 +1,1 @@
+lib/cts/introspect.mli: Meta Registry Value

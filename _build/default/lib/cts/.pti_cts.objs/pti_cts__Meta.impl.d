@@ -1,0 +1,1 @@
+lib/cts/meta.ml: Expr Format Hashtbl List Printf Pti_util String Ty

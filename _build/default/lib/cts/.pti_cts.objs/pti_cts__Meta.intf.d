@@ -1,0 +1,1 @@
+lib/cts/meta.mli: Expr Format Pti_util Ty

@@ -1,0 +1,1 @@
+lib/cts/registry.ml: Hashtbl List Meta Option Pti_util String Ty

@@ -1,0 +1,1 @@
+lib/cts/registry.mli: Meta Pti_util

@@ -1,0 +1,1 @@
+lib/cts/ty.ml: Format Printf Pti_util Stdlib String

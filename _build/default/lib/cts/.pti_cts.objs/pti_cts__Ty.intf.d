@@ -1,0 +1,1 @@
+lib/cts/ty.mli: Format

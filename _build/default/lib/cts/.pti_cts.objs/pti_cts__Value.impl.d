@@ -1,0 +1,1 @@
+lib/cts/value.ml: Array Format Hashtbl List Printf Pti_util String Ty

@@ -1,0 +1,1 @@
+lib/cts/value.mli: Format Hashtbl Ty

@@ -1,0 +1,36 @@
+(** Assemblies: the unit of code distribution.
+
+    In the paper, once types conform the receiver downloads the *assembly*
+    implementing the sender's type from a download path carried in the
+    envelope (§6.1). An assembly bundles class definitions (with bodies)
+    plus the names of assemblies it depends on. *)
+
+type t = {
+  asm_name : string;
+  asm_version : int;
+  asm_classes : Meta.class_def list;
+  asm_requires : string list;  (** Names of prerequisite assemblies. *)
+}
+
+val make : ?version:int -> ?requires:string list -> name:string ->
+  Meta.class_def list -> t
+(** Stamps every class's [td_assembly] with [name] and validates each.
+    @raise Invalid_argument on validation failure. *)
+
+val class_names : t -> string list
+(** Qualified names, sorted. *)
+
+val find_class : t -> string -> Meta.class_def option
+
+val load : Registry.t -> t -> unit
+(** Registers every class; idempotent for identical definitions.
+    @raise Registry.Duplicate on a conflicting definition. *)
+
+val size_bytes : t -> int
+(** Approximate on-the-wire size: metadata surface plus body node counts.
+    The network simulator charges assembly downloads by this — assemblies
+    must dwarf type descriptions, which is what makes the optimistic
+    protocol worthwhile. *)
+
+val external_dependencies : t -> string list
+(** Qualified type names referenced but not defined by this assembly. *)

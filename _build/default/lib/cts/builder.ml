@@ -1,0 +1,92 @@
+module Guid = Pti_util.Guid
+
+type t = Meta.class_def
+
+let start kind ?(ns = []) ?guid ?super ?(interfaces = [])
+    ?(assembly = "default") name =
+  let qualified =
+    match ns with [] -> name | _ -> String.concat "." ns ^ "." ^ name
+  in
+  let guid =
+    match guid with
+    | Some g -> g
+    | None -> Guid.of_name (assembly ^ "!" ^ String.lowercase_ascii qualified)
+  in
+  {
+    Meta.td_name = name;
+    td_namespace = ns;
+    td_guid = guid;
+    td_kind = kind;
+    td_super = super;
+    td_interfaces = interfaces;
+    td_fields = [];
+    td_ctors = [];
+    td_methods = [];
+    td_assembly = assembly;
+  }
+
+let class_ ?ns ?guid ?super ?interfaces ?assembly name =
+  start Meta.Class ?ns ?guid ?super ?interfaces ?assembly name
+
+let interface_ ?ns ?guid ?interfaces ?assembly name =
+  start Meta.Interface ?ns ?guid ?interfaces ?assembly name
+
+let field ?(mods = Meta.public_mods) ?init name ty b =
+  {
+    b with
+    Meta.td_fields =
+      b.Meta.td_fields
+      @ [ { Meta.f_name = name; f_ty = ty; f_mods = mods; f_init = init } ];
+  }
+
+let params_of = List.map (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+
+let method_ ?(mods = Meta.public_mods) ?body name params return b =
+  {
+    b with
+    Meta.td_methods =
+      b.Meta.td_methods
+      @ [
+          {
+            Meta.m_name = name;
+            m_params = params_of params;
+            m_return = return;
+            m_mods = mods;
+            m_body = body;
+          };
+        ];
+  }
+
+let abstract_method name params return b = method_ name params return b
+
+let ctor ?(mods = Meta.public_mods) ?body params b =
+  {
+    b with
+    Meta.td_ctors =
+      b.Meta.td_ctors
+      @ [ { Meta.c_params = params_of params; c_mods = mods; c_body = body } ];
+  }
+
+let getter name ~field:f ty b = method_ ~body:(Expr.get f) name [] ty b
+
+let setter name ~field:f ty b =
+  method_
+    ~body:(Expr.Seq [ Expr.set f (Expr.Var "value"); Expr.null ])
+    name
+    [ ("value", ty) ]
+    Ty.Void b
+
+let capitalize s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0])
+       ^ String.sub s 1 (String.length s - 1)
+
+let property ?getter_name ?setter_name name ty b =
+  let g = Option.value getter_name ~default:("get" ^ capitalize name) in
+  let s = Option.value setter_name ~default:("set" ^ capitalize name) in
+  b |> field name ty |> getter g ~field:name ty |> setter s ~field:name ty
+
+let build b =
+  match Meta.validate b with
+  | Ok () -> b
+  | Error msg -> invalid_arg ("Builder.build: " ^ msg)

@@ -1,0 +1,43 @@
+(** Ergonomic construction of class and interface definitions.
+
+    Stands in for the source languages of the paper's scenario: each
+    "programmer" authors their types through this DSL, and the GUID is
+    derived from the qualified name *and* the owning assembly, so two
+    structurally identical types written independently get distinct
+    identities — exactly the situation implicit conformance resolves. *)
+
+type t
+
+val class_ : ?ns:string list -> ?guid:Pti_util.Guid.t -> ?super:string ->
+  ?interfaces:string list -> ?assembly:string -> string -> t
+(** Start a class. [assembly] defaults to ["default"]. *)
+
+val interface_ : ?ns:string list -> ?guid:Pti_util.Guid.t ->
+  ?interfaces:string list -> ?assembly:string -> string -> t
+
+val field : ?mods:Meta.member_mods -> ?init:Expr.t -> string -> Ty.t -> t -> t
+
+val method_ : ?mods:Meta.member_mods -> ?body:Expr.t -> string ->
+  (string * Ty.t) list -> Ty.t -> t -> t
+(** [method_ name params return b]. On interfaces, omit [body]. *)
+
+val abstract_method : string -> (string * Ty.t) list -> Ty.t -> t -> t
+(** Interface method (no body). *)
+
+val ctor : ?mods:Meta.member_mods -> ?body:Expr.t -> (string * Ty.t) list ->
+  t -> t
+
+val getter : string -> field:string -> Ty.t -> t -> t
+(** [getter "getName" ~field:"name" Ty.String] adds a method returning the
+    field. *)
+
+val setter : string -> field:string -> Ty.t -> t -> t
+(** Adds a one-argument method assigning the field; returns void. *)
+
+val property : ?getter_name:string -> ?setter_name:string -> string -> Ty.t ->
+  t -> t
+(** [property "name" ty] adds the field plus [getName]/[setName]-style
+    accessors (names default to [get<Name>]/[set<Name>]). *)
+
+val build : t -> Meta.class_def
+(** @raise Invalid_argument if the result fails {!Meta.validate}. *)

@@ -1,0 +1,62 @@
+(** Per-host registry of loaded type definitions.
+
+    Each peer owns a registry; loading an assembly (downloaded code)
+    registers its classes. Lookup is by case-insensitive qualified name or
+    by GUID, mirroring the two identities the paper uses (names for the
+    structural rules, GUIDs for equality). *)
+
+type t
+
+exception Duplicate of string
+(** Raised when registering a second, structurally different class under a
+    qualified name (or GUID) already taken. Re-registering the identical
+    definition is idempotent. *)
+
+val create : unit -> t
+
+val register : t -> Meta.class_def -> unit
+(** @raise Duplicate, @raise Invalid_argument if {!Meta.validate} fails. *)
+
+val find : t -> string -> Meta.class_def option
+(** Case-insensitive qualified-name lookup. *)
+
+val find_exn : t -> string -> Meta.class_def
+(** @raise Not_found *)
+
+val find_by_guid : t -> Pti_util.Guid.t -> Meta.class_def option
+val mem : t -> string -> bool
+val mem_guid : t -> Pti_util.Guid.t -> bool
+val all : t -> Meta.class_def list
+val cardinal : t -> int
+
+val copy : t -> t
+(** Snapshot; used by tests to fork peer states. *)
+
+(** {1 Hierarchy queries} *)
+
+val super_chain : t -> Meta.class_def -> Meta.class_def list
+(** Superclasses from the immediate parent outwards. Unresolvable or cyclic
+    links terminate the chain. *)
+
+val all_interfaces : t -> Meta.class_def -> Meta.class_def list
+(** Transitive closure of implemented/extended interfaces (deduplicated). *)
+
+val is_subtype : t -> sub:string -> super:string -> bool
+(** Declared (explicit) subtyping: reflexive-transitive closure over
+    superclass and interface edges, by case-insensitive qualified name. *)
+
+val find_method : t -> Meta.class_def -> string -> int ->
+  (Meta.class_def * Meta.method_def) option
+(** [find_method t cd name arity] resolves a method by case-insensitive name
+    and arity along the superclass chain (virtual dispatch resolution). *)
+
+val find_field : t -> Meta.class_def -> string ->
+  (Meta.class_def * Meta.field_def) option
+
+val all_fields : t -> Meta.class_def -> Meta.field_def list
+(** Inherited then own fields, shadowed names keeping the most-derived. *)
+
+val missing_dependencies : t -> Meta.class_def -> string list
+(** Qualified names referenced by the class (super, interfaces, field types,
+    signatures) that are not yet registered — what a peer must still
+    download before the class is usable. *)

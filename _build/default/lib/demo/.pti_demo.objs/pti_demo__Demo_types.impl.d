@@ -1,0 +1,1 @@
+lib/demo/demo_types.ml: Assembly Builder Eval Expr List Pti_cts Registry Ty Value

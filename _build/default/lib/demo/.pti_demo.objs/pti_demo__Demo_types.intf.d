@@ -1,0 +1,1 @@
+lib/demo/demo_types.mli: Assembly Pti_cts Registry Value

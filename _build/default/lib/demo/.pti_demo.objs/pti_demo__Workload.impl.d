@@ -1,0 +1,1 @@
+lib/demo/workload.ml: Assembly Builder Bytes Char Eval Expr Int64 List Meta Printf Pti_cts Pti_util Registry String Ty Value

@@ -1,0 +1,1 @@
+lib/demo/workload.mli: Assembly Pti_cts Registry Value

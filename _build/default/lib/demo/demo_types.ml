@@ -1,0 +1,328 @@
+open Pti_cts
+module B = Builder
+module E = Expr
+
+let news_person = "newsw.Person"
+let news_address = "newsw.Address"
+let news_event = "newsw.NewsEvent"
+let social_person = "socialw.person"
+let social_address = "socialw.address"
+let social_event = "socialw.newsevent"
+let bogus_person = "bogusw.Person"
+let trap_person = "trapw.Person"
+let typo_person = "typow.Persom"
+let typo_address = "typow.Address"
+let printer = "printw.Printer"
+let printsvc = "svcw.printer"
+
+(* ------------------------------------------------------------------ *)
+(* Programmer A: the "news" world.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let news_address_def asm =
+  B.class_ ~ns:[ "newsw" ] ~assembly:asm "Address"
+  |> B.ctor ~body:(E.Seq [ E.set "street" (E.Var "s"); E.set "city" (E.Var "c") ])
+       [ ("s", Ty.String); ("c", Ty.String) ]
+  |> B.property "street" Ty.String
+  |> B.property "city" Ty.String
+  |> B.method_ "format" [] Ty.String
+       ~body:(E.Binop (E.Concat, E.get "street", E.Binop (E.Concat, E.str ", ", E.get "city")))
+  |> B.build
+
+let news_person_def asm =
+  B.class_ ~ns:[ "newsw" ] ~assembly:asm "Person"
+  |> B.ctor
+       ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a") ])
+       [ ("n", Ty.String); ("a", Ty.Int) ]
+  |> B.property "name" Ty.String
+  |> B.property "age" Ty.Int
+  |> B.field "home" (Ty.Named "newsw.Address")
+  |> B.getter "getHome" ~field:"home" (Ty.Named "newsw.Address")
+  |> B.setter "setHome" ~field:"home" (Ty.Named "newsw.Address")
+  |> B.field "spouse" (Ty.Named "newsw.Person")
+  |> B.getter "getSpouse" ~field:"spouse" (Ty.Named "newsw.Person")
+  |> B.setter "setSpouse" ~field:"spouse" (Ty.Named "newsw.Person")
+  |> B.method_ "greet" [] Ty.String
+       ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+  |> B.method_ "older" [ ("years", Ty.Int) ] Ty.Int
+       ~body:(E.Binop (E.Add, E.get "age", E.Var "years"))
+  |> B.build
+
+let news_event_def asm =
+  B.class_ ~ns:[ "newsw" ] ~assembly:asm "NewsEvent"
+  |> B.ctor
+       ~body:
+         (E.Seq
+            [
+              E.set "headline" (E.Var "h");
+              E.set "author" (E.Var "a");
+              E.set "priority" (E.Var "p");
+            ])
+       [ ("h", Ty.String); ("a", Ty.Named "newsw.Person"); ("p", Ty.Int) ]
+  |> B.property "headline" Ty.String
+  |> B.field "author" (Ty.Named "newsw.Person")
+  |> B.getter "getAuthor" ~field:"author" (Ty.Named "newsw.Person")
+  |> B.setter "setAuthor" ~field:"author" (Ty.Named "newsw.Person")
+  |> B.property "priority" Ty.Int
+  |> B.method_ "summary" [] Ty.String
+       ~body:
+         (E.Binop
+            ( E.Concat,
+              E.get "headline",
+              E.Binop
+                ( E.Concat,
+                  E.str " (by ",
+                  E.Binop
+                    ( E.Concat,
+                      E.Call (E.get "author", "getName", []),
+                      E.str ")" ) ) ))
+  |> B.build
+
+let news_assembly () =
+  Assembly.make ~name:"news-asm"
+    [ news_address_def "news-asm"; news_person_def "news-asm";
+      news_event_def "news-asm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Programmer B: the "social" world — conformant but not identical.     *)
+(* Differences: lowercase class names, method-name case, member order,   *)
+(* permuted constructor arguments, own namespace/assembly/GUIDs.         *)
+(* ------------------------------------------------------------------ *)
+
+let social_address_def asm =
+  B.class_ ~ns:[ "socialw" ] ~assembly:asm "address"
+  |> B.ctor
+       ~body:(E.Seq [ E.set "city" (E.Var "c"); E.set "street" (E.Var "s") ])
+       [ ("c", Ty.String); ("s", Ty.String) ]
+  |> B.property ~getter_name:"GETCITY" ~setter_name:"SETCITY" "city" Ty.String
+  |> B.property ~getter_name:"getstreet" ~setter_name:"setstreet" "street"
+       Ty.String
+  |> B.method_ "FORMAT" [] Ty.String
+       ~body:
+         (E.Binop
+            (E.Concat, E.get "street", E.Binop (E.Concat, E.str ", ", E.get "city")))
+  |> B.build
+
+let social_person_def asm =
+  B.class_ ~ns:[ "socialw" ] ~assembly:asm "person"
+  |> B.ctor
+       ~body:(E.Seq [ E.set "age" (E.Var "a"); E.set "name" (E.Var "n") ])
+       [ ("a", Ty.Int); ("n", Ty.String) ]
+  |> B.field "age" Ty.Int
+  |> B.getter "GETAGE" ~field:"age" Ty.Int
+  |> B.setter "SETAGE" ~field:"age" Ty.Int
+  |> B.field "name" Ty.String
+  |> B.getter "getname" ~field:"name" Ty.String
+  |> B.setter "setname" ~field:"name" Ty.String
+  |> B.field "spouse" (Ty.Named "socialw.person")
+  |> B.getter "getspouse" ~field:"spouse" (Ty.Named "socialw.person")
+  |> B.setter "setspouse" ~field:"spouse" (Ty.Named "socialw.person")
+  |> B.field "home" (Ty.Named "socialw.address")
+  |> B.getter "gethome" ~field:"home" (Ty.Named "socialw.address")
+  |> B.setter "sethome" ~field:"home" (Ty.Named "socialw.address")
+  |> B.method_ "GREET" [] Ty.String
+       ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+  |> B.method_ "OLDER" [ ("extra", Ty.Int) ] Ty.Int
+       ~body:(E.Binop (E.Add, E.get "age", E.Var "extra"))
+  |> B.build
+
+let social_event_def asm =
+  B.class_ ~ns:[ "socialw" ] ~assembly:asm "newsevent"
+  |> B.ctor
+       ~body:
+         (E.Seq
+            [
+              E.set "priority" (E.Var "p");
+              E.set "headline" (E.Var "h");
+              E.set "author" (E.Var "a");
+            ])
+       [ ("p", Ty.Int); ("h", Ty.String); ("a", Ty.Named "socialw.person") ]
+  |> B.field "priority" Ty.Int
+  |> B.getter "GETPRIORITY" ~field:"priority" Ty.Int
+  |> B.setter "SETPRIORITY" ~field:"priority" Ty.Int
+  |> B.field "headline" Ty.String
+  |> B.getter "getheadline" ~field:"headline" Ty.String
+  |> B.setter "setheadline" ~field:"headline" Ty.String
+  |> B.field "author" (Ty.Named "socialw.person")
+  |> B.getter "getauthor" ~field:"author" (Ty.Named "socialw.person")
+  |> B.setter "setauthor" ~field:"author" (Ty.Named "socialw.person")
+  |> B.method_ "SUMMARY" [] Ty.String
+       ~body:
+         (E.Binop
+            ( E.Concat,
+              E.get "headline",
+              E.Binop
+                ( E.Concat,
+                  E.str " (by ",
+                  E.Binop
+                    ( E.Concat,
+                      E.Call (E.get "author", "getname", []),
+                      E.str ")" ) ) ))
+  |> B.build
+
+let social_assembly () =
+  Assembly.make ~name:"social-asm"
+    [
+      social_address_def "social-asm"; social_person_def "social-asm";
+      social_event_def "social-asm";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Non-conformant populations                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Missing setName / setSpouse / setHome etc.: field & method aspects fail. *)
+let bogus_assembly () =
+  Assembly.make ~name:"bogus-asm"
+    [
+      (B.class_ ~ns:[ "bogusw" ] ~assembly:"bogus-asm" "Person"
+      |> B.ctor ~body:(E.set "name" (E.Var "n")) [ ("n", Ty.String) ]
+      |> B.field "name" Ty.String
+      |> B.getter "getName" ~field:"name" Ty.String
+      |> B.build);
+    ]
+
+(* The trap: right name, alien structure. Name-only rules accept it. *)
+let trap_assembly () =
+  Assembly.make ~name:"trap-asm"
+    [
+      (B.class_ ~ns:[ "trapw" ] ~assembly:"trap-asm" "Person"
+      |> B.ctor ~body:(E.set "payload" (E.Var "x")) [ ("x", Ty.Int) ]
+      |> B.field "payload" Ty.Int
+      |> B.method_ "detonate" [] Ty.Int ~body:(E.get "payload")
+      |> B.build);
+    ]
+
+(* Structurally conformant to newsw.Person but named "Persom" (LD 1). *)
+let typo_assembly () =
+  Assembly.make ~name:"typo-asm"
+    [
+      (B.class_ ~ns:[ "typow" ] ~assembly:"typo-asm" "Address"
+      |> B.ctor
+           ~body:(E.Seq [ E.set "street" (E.Var "s"); E.set "city" (E.Var "c") ])
+           [ ("s", Ty.String); ("c", Ty.String) ]
+      |> B.property "street" Ty.String
+      |> B.property "city" Ty.String
+      |> B.method_ "format" [] Ty.String
+           ~body:
+             (E.Binop
+                ( E.Concat,
+                  E.get "street",
+                  E.Binop (E.Concat, E.str ", ", E.get "city") ))
+      |> B.build);
+      (B.class_ ~ns:[ "typow" ] ~assembly:"typo-asm" "Persom"
+      |> B.ctor
+           ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a") ])
+           [ ("n", Ty.String); ("a", Ty.Int) ]
+      |> B.property "name" Ty.String
+      |> B.property "age" Ty.Int
+      |> B.field "home" (Ty.Named "typow.Address")
+      |> B.getter "getHome" ~field:"home" (Ty.Named "typow.Address")
+      |> B.setter "setHome" ~field:"home" (Ty.Named "typow.Address")
+      |> B.field "spouse" (Ty.Named "typow.Persom")
+      |> B.getter "getSpouse" ~field:"spouse" (Ty.Named "typow.Persom")
+      |> B.setter "setSpouse" ~field:"spouse" (Ty.Named "typow.Persom")
+      |> B.method_ "greet" [] Ty.String
+           ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+      |> B.method_ "older" [ ("years", Ty.Int) ] Ty.Int
+           ~body:(E.Binop (E.Add, E.get "age", E.Var "years"))
+      |> B.build);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Borrow/lend resources                                                *)
+(* ------------------------------------------------------------------ *)
+
+let printer_assembly () =
+  Assembly.make ~name:"printer-asm"
+    [
+      (B.class_ ~ns:[ "printw" ] ~assembly:"printer-asm" "Printer"
+      |> B.ctor
+           ~body:
+             (E.Seq [ E.set "label" (E.Var "l"); E.set "printed" (E.int 0) ])
+           [ ("l", Ty.String) ]
+      |> B.property "label" Ty.String
+      |> B.property "printed" Ty.Int
+      |> B.method_ "print" [ ("doc", Ty.String) ] Ty.Int
+           ~body:
+             (E.Seq
+                [
+                  E.set "printed" (E.Binop (E.Add, E.get "printed", E.int 1));
+                  E.get "printed";
+                ])
+      |> B.method_ "status" [] Ty.String
+           ~body:
+             (E.Binop
+                ( E.Concat,
+                  E.get "label",
+                  E.Binop
+                    ( E.Concat,
+                      E.str ": ",
+                      E.Call (E.get "printed", "toString", []) ) ))
+      |> B.build);
+    ]
+
+(* The borrower's own idea of a printer: same structure, own spelling. *)
+let printsvc_assembly () =
+  Assembly.make ~name:"printsvc-asm"
+    [
+      (B.class_ ~ns:[ "svcw" ] ~assembly:"printsvc-asm" "printer"
+      |> B.ctor
+           ~body:
+             (E.Seq [ E.set "printed" (E.int 0); E.set "label" (E.Var "l") ])
+           [ ("l", Ty.String) ]
+      |> B.field "printed" Ty.Int
+      |> B.getter "GETPRINTED" ~field:"printed" Ty.Int
+      |> B.setter "SETPRINTED" ~field:"printed" Ty.Int
+      |> B.field "label" Ty.String
+      |> B.getter "getLabel" ~field:"label" Ty.String
+      |> B.setter "setLabel" ~field:"label" Ty.String
+      |> B.method_ "PRINT" [ ("content", Ty.String) ] Ty.Int
+           ~body:
+             (E.Seq
+                [
+                  E.set "printed" (E.Binop (E.Add, E.get "printed", E.int 1));
+                  E.get "printed";
+                ])
+      |> B.method_ "STATUS" [] Ty.String
+           ~body:
+             (E.Binop
+                ( E.Concat,
+                  E.get "label",
+                  E.Binop
+                    ( E.Concat,
+                      E.str ": ",
+                      E.Call (E.get "printed", "toString", []) ) ))
+      |> B.build);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_news_person reg ~name ~age =
+  Eval.construct reg news_person [ Value.Vstring name; Value.Vint age ]
+
+let make_social_person reg ~name ~age =
+  Eval.construct reg social_person [ Value.Vint age; Value.Vstring name ]
+
+let make_trap_person reg = Eval.construct reg trap_person [ Value.Vint 13 ]
+
+let make_news_event reg ~headline ~author ~priority =
+  Eval.construct reg news_event
+    [ Value.Vstring headline; author; Value.Vint priority ]
+
+let make_social_event reg ~headline ~author ~priority =
+  Eval.construct reg social_event
+    [ Value.Vint priority; Value.Vstring headline; author ]
+
+let make_printer reg ~label = Eval.construct reg printer [ Value.Vstring label ]
+
+let fresh_registry assemblies =
+  let reg = Registry.create () in
+  List.iter (Assembly.load reg) assemblies;
+  reg
+
+(* silence unused warnings for names exported but not used internally *)
+let _ = social_address
+let _ = typo_address

@@ -1,0 +1,64 @@
+(** The paper's running example, authored several times over.
+
+    §3.1 motivates type interoperability with a [Person] type written by
+    different programmers. This module provides that population:
+
+    - {!news_assembly} — programmer A's world ([newsw] namespace):
+      [Address], [Person] (name/age/address/spouse, getters/setters, a
+      [greet] method), [NewsEvent] (headline/author/priority).
+    - {!social_assembly} — programmer B's world ([socialw]): structurally
+      conformant variants — method names differing only in case, permuted
+      constructor arguments, differently ordered members, own namespace and
+      assembly (hence different GUIDs).
+    - {!bogus_assembly} — [bogusw.Person] missing a setter: rejected by the
+      full rules.
+    - {!trap_assembly} — [trapw.Person]: the name conforms but nothing else
+      does; accepted by name-only rules and blows up at invocation time
+      (experiment E6's trap).
+    - {!typo_assembly} — [typow.Persom]: structurally conformant but one
+      edit away in the type name; matched only when the Levenshtein
+      threshold is relaxed to 1.
+    - {!printer_assembly} / {!printsvc_assembly} — lender/borrower resource
+      types for the borrow/lend example.
+
+    All GUIDs are content-derived and deterministic. *)
+
+open Pti_cts
+
+val news_assembly : unit -> Assembly.t
+val social_assembly : unit -> Assembly.t
+val bogus_assembly : unit -> Assembly.t
+val trap_assembly : unit -> Assembly.t
+val typo_assembly : unit -> Assembly.t
+val printer_assembly : unit -> Assembly.t
+val printsvc_assembly : unit -> Assembly.t
+
+(** Qualified names, for convenience. *)
+
+val news_person : string
+val news_address : string
+val news_event : string
+val social_person : string
+val social_event : string
+val bogus_person : string
+val trap_person : string
+val typo_person : string
+val printer : string
+val printsvc : string
+
+(** {1 Instance helpers} — construct through the CTS constructors. *)
+
+val make_news_person : Registry.t -> name:string -> age:int -> Value.value
+val make_social_person : Registry.t -> name:string -> age:int -> Value.value
+val make_trap_person : Registry.t -> Value.value
+
+val make_news_event : Registry.t -> headline:string -> author:Value.value ->
+  priority:int -> Value.value
+
+val make_social_event : Registry.t -> headline:string -> author:Value.value ->
+  priority:int -> Value.value
+
+val make_printer : Registry.t -> label:string -> Value.value
+
+val fresh_registry : Assembly.t list -> Registry.t
+(** A registry with the given assemblies loaded. *)

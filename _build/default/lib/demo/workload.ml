@@ -1,0 +1,177 @@
+open Pti_cts
+module B = Builder
+module E = Expr
+module Sm = Pti_util.Splitmix
+
+type flavor = Conformant | Trap_missing | Trap_arity | Trap_fieldtype | Typo of int
+
+let flavor_name = function
+  | Conformant -> "conformant"
+  | Trap_missing -> "trap-missing"
+  | Trap_arity -> "trap-arity"
+  | Trap_fieldtype -> "trap-fieldtype"
+  | Typo d -> Printf.sprintf "typo-%d" d
+
+let flavor_tag = function
+  | Conformant -> 0
+  | Trap_missing -> 1
+  | Trap_arity -> 2
+  | Trap_fieldtype -> 3
+  | Typo d -> 16 + d
+
+(* Deterministic case-mangling: the "other programmer's" spelling. *)
+let mangle rng s =
+  String.map
+    (fun c ->
+      if Sm.bool rng then Char.uppercase_ascii c else Char.lowercase_ascii c)
+    s
+
+let typo_class_name d =
+  (* "Person" with the last [d] letters replaced by 'x'/'z' alternating. *)
+  let base = Bytes.of_string "Person" in
+  for k = 0 to min d (Bytes.length base) - 1 do
+    Bytes.set base
+      (Bytes.length base - 1 - k)
+      (if k mod 2 = 0 then 'm' else 'z')
+  done;
+  Bytes.to_string base
+
+let class_name flavor =
+  match flavor with
+  | Conformant | Trap_missing | Trap_arity | Trap_fieldtype -> "Person"
+  | Typo d -> typo_class_name d
+
+let ns_of index flavor = Printf.sprintf "w%d%s" index
+    (match flavor with
+    | Conformant -> ""
+    | Trap_missing -> "tm"
+    | Trap_arity -> "ta"
+    | Trap_fieldtype -> "tf"
+    | Typo d -> Printf.sprintf "ty%d" d)
+
+let person_name ~index ~flavor =
+  Printf.sprintf "%s.%s" (ns_of index flavor) (class_name flavor)
+
+let asm_name index flavor =
+  Printf.sprintf "wl-%d-%s" index (flavor_name flavor)
+
+(* Whether this family permutes its constructor arguments. *)
+let permutes rng = Sm.bool rng
+
+let family ~index ~flavor =
+  let rng = Sm.create (Int64.of_int ((index * 64) + flavor_tag flavor + 1)) in
+  let ns = ns_of index flavor in
+  let asm = asm_name index flavor in
+  let pname = person_name ~index ~flavor in
+  let aname = ns ^ ".Address" in
+  let m = mangle rng in
+  (* Address: conformant mirror of newsw.Address. *)
+  let addr_perm = permutes rng in
+  let addr_ctor_params =
+    if addr_perm then [ ("c", Ty.String); ("s", Ty.String) ]
+    else [ ("s", Ty.String); ("c", Ty.String) ]
+  in
+  let address =
+    B.class_ ~ns:[ ns ] ~assembly:asm "Address"
+    |> B.ctor
+         ~body:
+           (E.Seq [ E.set "street" (E.Var "s"); E.set "city" (E.Var "c") ])
+         addr_ctor_params
+    |> B.field "street" Ty.String
+    |> B.getter (m "getStreet") ~field:"street" Ty.String
+    |> B.setter (m "setStreet") ~field:"street" Ty.String
+    |> B.field "city" Ty.String
+    |> B.getter (m "getCity") ~field:"city" Ty.String
+    |> B.setter (m "setCity") ~field:"city" Ty.String
+    |> B.method_ (m "format") [] Ty.String
+         ~body:
+           (E.Binop
+              ( E.Concat,
+                E.get "street",
+                E.Binop (E.Concat, E.str ", ", E.get "city") ))
+    |> B.build
+  in
+  let perm = permutes rng in
+  let age_ty =
+    match flavor with Trap_fieldtype -> Ty.Float | _ -> Ty.Int
+  in
+  let ctor_params =
+    if perm then [ ("a", age_ty); ("n", Ty.String) ]
+    else [ ("n", Ty.String); ("a", age_ty) ]
+  in
+  let getname_params =
+    match flavor with
+    | Trap_arity -> [ ("pad", Ty.Int) ]
+    | Conformant | Trap_missing | Trap_fieldtype | Typo _ -> []
+  in
+  let person =
+    B.class_ ~ns:[ ns ] ~assembly:asm (class_name flavor)
+    |> B.ctor
+         ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a") ])
+         ctor_params
+    |> B.field "name" Ty.String
+    |> B.method_ (m "getName") getname_params Ty.String ~body:(E.get "name")
+    |> B.field "age" age_ty
+    |> B.getter (m "getAge") ~field:"age" age_ty
+    |> B.field "home" (Ty.Named aname)
+    |> B.getter (m "getHome") ~field:"home" (Ty.Named aname)
+    |> B.field "spouse" (Ty.Named pname)
+    |> B.getter (m "getSpouse") ~field:"spouse" (Ty.Named pname)
+    |> B.method_ (m "greet") [] Ty.String
+         ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+    |> B.method_ (m "older") [ ("years", Ty.Int) ] Ty.Int
+         ~body:(E.Binop (E.Add, E.get "age", E.Var "years"))
+  in
+  let person =
+    match flavor with
+    | Trap_missing ->
+        (* No setters at all: structurally deficient. *)
+        person
+    | Conformant | Trap_arity | Trap_fieldtype | Typo _ ->
+        person
+        |> B.setter (m "setName") ~field:"name" Ty.String
+        |> B.setter (m "setAge") ~field:"age" age_ty
+        |> B.setter (m "setHome") ~field:"home" (Ty.Named aname)
+        |> B.setter (m "setSpouse") ~field:"spouse" (Ty.Named pname)
+  in
+  Assembly.make ~name:asm [ address; B.build person ]
+
+let make_person reg ~index ~flavor ~name ~age =
+  (* The constructor's parameter order is family-specific (possibly
+     permuted); read it off the loaded metadata instead of re-deriving it. *)
+  let qname = person_name ~index ~flavor in
+  let cd =
+    match Registry.find reg qname with
+    | Some cd -> cd
+    | None -> invalid_arg ("Workload.make_person: " ^ qname ^ " not loaded")
+  in
+  let ctor =
+    match cd.Meta.td_ctors with
+    | [ c ] -> c
+    | _ -> invalid_arg "Workload.make_person: expected one constructor"
+  in
+  let args =
+    List.map
+      (fun p ->
+        match p.Meta.param_ty with
+        | Ty.String -> Value.Vstring name
+        | Ty.Int -> Value.Vint age
+        | Ty.Float -> Value.Vfloat (float_of_int age)
+        | _ -> Value.Vnull)
+      ctor.Meta.c_params
+  in
+  Eval.construct reg qname args
+
+let interest_methods =
+  [
+    ("getName", []);
+    ("setName", [ Value.Vstring "probe" ]);
+    ("getAge", []);
+    ("setAge", [ Value.Vint 77 ]);
+    ("greet", []);
+    ("older", [ Value.Vint 2 ]);
+    ("getSpouse", []);
+    ("setSpouse", [ Value.Vnull ]);
+    ("getHome", []);
+    ("setHome", [ Value.Vnull ]);
+  ]

@@ -1,0 +1,42 @@
+(** Synthetic type populations for the protocol (E5) and safety-ablation
+    (E6) experiments.
+
+    Each family lives in its own namespace and assembly and mimics the
+    [newsw.Person]/[newsw.Address] module written by yet another
+    programmer. Depending on [flavor], the family is:
+
+    - [Conformant]: implicitly structurally conformant to [newsw.Person] —
+      method names case-mangled, member order shuffled, constructor
+      arguments permuted (all derived deterministically from the family
+      index);
+    - [Trap_missing]: the setters are missing — rejected by the full rules,
+      accepted by name-only rules, and fails at run time on [setName];
+    - [Trap_arity]: [getName] takes a spurious argument — same story for
+      arity;
+    - [Trap_fieldtype]: the [age] field (and its accessors) use [float]
+      instead of [int] — caught by the field aspect (rule ii) and by the
+      method aspect; with both disabled it corrupts arithmetic at run
+      time;
+    - [Typo of d]: structurally conformant but the class name is [d] edits
+      away from ["Person"] ([1 <= d <= 3]). *)
+
+open Pti_cts
+
+type flavor = Conformant | Trap_missing | Trap_arity | Trap_fieldtype | Typo of int
+
+val flavor_name : flavor -> string
+
+val family : index:int -> flavor:flavor -> Assembly.t
+(** Deterministic: equal arguments yield identical assemblies (and GUIDs). *)
+
+val person_name : index:int -> flavor:flavor -> string
+(** Qualified name of the family's person class. *)
+
+val make_person : Registry.t -> index:int -> flavor:flavor -> name:string ->
+  age:int -> Value.value
+(** Construct an instance (the family's assembly must be loaded). *)
+
+val interest_methods : (string * Value.value list) list
+(** The calls a [newsw.Person] client would make — used to probe whether an
+    accepted object actually works (E6's runtime-failure count). Each entry
+    is a method name plus arguments. *)

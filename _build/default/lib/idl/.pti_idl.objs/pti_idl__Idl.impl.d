@@ -1,0 +1,1 @@
+lib/idl/idl.ml: Array Assembly Buffer Char Expr Format List Meta Printf Pti_cts Pti_util String Surface Ty

@@ -1,0 +1,1 @@
+lib/idl/idl.mli: Format Pti_cts

@@ -1,0 +1,1 @@
+lib/idl/surface.ml: Expr List Pti_cts String Ty

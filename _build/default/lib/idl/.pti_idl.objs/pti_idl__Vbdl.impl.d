@@ -1,0 +1,1 @@
+lib/idl/vbdl.ml: Assembly Buffer Expr Format List Meta Printf Pti_cts Pti_util String Surface Ty

@@ -1,0 +1,1 @@
+lib/idl/vbdl.mli: Format Pti_cts

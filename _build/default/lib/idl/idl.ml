@@ -1,0 +1,901 @@
+open Pti_cts
+
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+exception Err of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tsemi
+  | Tcolon
+  | Tcoloncolon
+  | Tcomma
+  | Tdot
+  | Teq
+  | Teqeq
+  | Tneq
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tpercent
+  | Tcaret
+  | Tandand
+  | Toror
+  | Tbang
+  | Teof
+
+let token_name = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint i -> Printf.sprintf "integer %d" i
+  | Tfloat f -> Printf.sprintf "float %g" f
+  | Tstring s -> Printf.sprintf "string %S" s
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tlbrace -> "'{'"
+  | Trbrace -> "'}'"
+  | Tlbracket -> "'['"
+  | Trbracket -> "']'"
+  | Tsemi -> "';'"
+  | Tcolon -> "':'"
+  | Tcoloncolon -> "'::'"
+  | Tcomma -> "','"
+  | Tdot -> "'.'"
+  | Teq -> "'='"
+  | Teqeq -> "'=='"
+  | Tneq -> "'!='"
+  | Tlt -> "'<'"
+  | Tle -> "'<='"
+  | Tgt -> "'>'"
+  | Tge -> "'>='"
+  | Tplus -> "'+'"
+  | Tminus -> "'-'"
+  | Tstar -> "'*'"
+  | Tslash -> "'/'"
+  | Tpercent -> "'%'"
+  | Tcaret -> "'^'"
+  | Tandand -> "'&&'"
+  | Toror -> "'||'"
+  | Tbang -> "'!'"
+  | Teof -> "end of input"
+
+type lexed = { tok : token; tline : int; tcol : int }
+
+let lex src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 and i = ref 0 in
+  let out = ref [] in
+  let fail message = raise (Err { line = !line; col = !col; message }) in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let emit tok tline tcol = out := { tok; tline; tcol } :: !out in
+  let is_id_start = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+    | _ -> false
+  in
+  let is_id = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = src.[!i] and tline = !line and tcol = !col in
+    match c with
+    | ' ' | '\t' | '\r' | '\n' -> advance ()
+    | '/' when peek 1 = '/' ->
+        while !i < n && src.[!i] <> '\n' do
+          advance ()
+        done
+    | '/' when peek 1 = '*' ->
+        advance ();
+        advance ();
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '*' && peek 1 = '/' then begin
+            advance ();
+            advance ();
+            closed := true
+          end
+          else advance ()
+        done;
+        if not !closed then fail "unterminated comment"
+    | '(' -> advance (); emit Tlparen tline tcol
+    | ')' -> advance (); emit Trparen tline tcol
+    | '{' -> advance (); emit Tlbrace tline tcol
+    | '}' -> advance (); emit Trbrace tline tcol
+    | '[' -> advance (); emit Tlbracket tline tcol
+    | ']' -> advance (); emit Trbracket tline tcol
+    | ';' -> advance (); emit Tsemi tline tcol
+    | ',' -> advance (); emit Tcomma tline tcol
+    | '.' -> advance (); emit Tdot tline tcol
+    | '+' -> advance (); emit Tplus tline tcol
+    | '-' -> advance (); emit Tminus tline tcol
+    | '*' -> advance (); emit Tstar tline tcol
+    | '/' -> advance (); emit Tslash tline tcol
+    | '%' -> advance (); emit Tpercent tline tcol
+    | '^' -> advance (); emit Tcaret tline tcol
+    | ':' ->
+        advance ();
+        if peek 0 = ':' then begin
+          advance ();
+          emit Tcoloncolon tline tcol
+        end
+        else emit Tcolon tline tcol
+    | '=' ->
+        advance ();
+        if peek 0 = '=' then begin
+          advance ();
+          emit Teqeq tline tcol
+        end
+        else emit Teq tline tcol
+    | '!' ->
+        advance ();
+        if peek 0 = '=' then begin
+          advance ();
+          emit Tneq tline tcol
+        end
+        else emit Tbang tline tcol
+    | '<' ->
+        advance ();
+        if peek 0 = '=' then begin
+          advance ();
+          emit Tle tline tcol
+        end
+        else emit Tlt tline tcol
+    | '>' ->
+        advance ();
+        if peek 0 = '=' then begin
+          advance ();
+          emit Tge tline tcol
+        end
+        else emit Tgt tline tcol
+    | '&' ->
+        advance ();
+        if peek 0 = '&' then begin
+          advance ();
+          emit Tandand tline tcol
+        end
+        else fail "expected '&&'"
+    | '|' ->
+        advance ();
+        if peek 0 = '|' then begin
+          advance ();
+          emit Toror tline tcol
+        end
+        else fail "expected '||'"
+    | '"' ->
+        advance ();
+        let b = Buffer.create 16 in
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          let d = src.[!i] in
+          if d = '"' then begin
+            advance ();
+            closed := true
+          end
+          else if d = '\\' then begin
+            advance ();
+            (match peek 0 with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | '\\' -> Buffer.add_char b '\\'
+            | '"' -> Buffer.add_char b '"'
+            | e -> fail (Printf.sprintf "bad escape '\\%c'" e));
+            advance ()
+          end
+          else begin
+            Buffer.add_char b d;
+            advance ()
+          end
+        done;
+        if not !closed then fail "unterminated string literal";
+        emit (Tstring (Buffer.contents b)) tline tcol
+    | '0' .. '9' ->
+        let start = !i in
+        while !i < n && (match src.[!i] with '0' .. '9' -> true | _ -> false) do
+          advance ()
+        done;
+        if !i < n && src.[!i] = '.'
+           && match peek 1 with '0' .. '9' -> true | _ -> false
+        then begin
+          advance ();
+          while
+            !i < n && match src.[!i] with '0' .. '9' -> true | _ -> false
+          do
+            advance ()
+          done;
+          emit
+            (Tfloat (float_of_string (String.sub src start (!i - start))))
+            tline tcol
+        end
+        else
+          emit (Tint (int_of_string (String.sub src start (!i - start)))) tline
+            tcol
+    | c when is_id_start c ->
+        let start = !i in
+        while !i < n && is_id src.[!i] do
+          advance ()
+        done;
+        emit (Tident (String.sub src start (!i - start))) tline tcol
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit Teof !line !col;
+  Array.of_list (List.rev !out)
+
+open Surface
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { toks : lexed array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let tok st = (cur st).tok
+
+let fail_at st message =
+  let l = cur st in
+  raise (Err { line = l.tline; col = l.tcol; message })
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st t =
+  if tok st = t then advance st
+  else
+    fail_at st
+      (Printf.sprintf "expected %s, found %s" (token_name t)
+         (token_name (tok st)))
+
+let ident st =
+  match tok st with
+  | Tident s ->
+      advance st;
+      s
+  | t -> fail_at st (Printf.sprintf "expected an identifier, found %s" (token_name t))
+
+let keyword st = match tok st with Tident s -> Some s | _ -> None
+
+let eat_keyword st kw =
+  match keyword st with
+  | Some s when String.equal s kw ->
+      advance st;
+      true
+  | _ -> false
+
+(* Qualified name: a.b.C *)
+let qname st =
+  let first = ident st in
+  let parts = ref [ first ] in
+  while tok st = Tdot do
+    advance st;
+    parts := ident st :: !parts
+  done;
+  String.concat "." (List.rev !parts)
+
+let parse_ty st =
+  let base = qname st in
+  let ty = ref (match Ty.of_string base with Some t -> t | None -> Ty.Named base) in
+  while tok st = Tlbracket do
+    advance st;
+    expect st Trbracket;
+    ty := Ty.Array !ty
+  done;
+  !ty
+
+(* A qualified name that may still turn into a static call (a.b.C::m). *)
+let rec parse_primary st =
+  match tok st with
+  | Tint i ->
+      advance st;
+      Sint i
+  | Tfloat f ->
+      advance st;
+      Sfloat f
+  | Tstring s ->
+      advance st;
+      Sstr s
+  | Tlparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Trparen;
+      e
+  | Tident "true" ->
+      advance st;
+      Sbool true
+  | Tident "false" ->
+      advance st;
+      Sbool false
+  | Tident "null" ->
+      advance st;
+      Snull
+  | Tident "this" ->
+      advance st;
+      Sthis
+  | Tident "new" ->
+      advance st;
+      let base = qname st in
+      if tok st = Tlbracket then begin
+        (* new ty[] { e1, e2, ... } *)
+        advance st;
+        expect st Trbracket;
+        let elem =
+          match Ty.of_string base with Some t -> t | None -> Ty.Named base
+        in
+        expect st Tlbrace;
+        let items = ref [] in
+        if tok st <> Trbrace then begin
+          items := [ parse_expr st ];
+          while tok st = Tcomma do
+            advance st;
+            items := parse_expr st :: !items
+          done
+        end;
+        expect st Trbrace;
+        Snewarr (elem, List.rev !items)
+      end
+      else
+        let args = parse_args st in
+        Snew (base, args)
+  | Tident _ ->
+      (* Could be: local/field ident, or a qualified static call C::m(..),
+         or the head of a dotted chain handled by postfix. *)
+      let name = ident st in
+      if tok st = Tcoloncolon then begin
+        advance st;
+        let m = ident st in
+        let args = parse_args st in
+        Sstatic (name, m, args)
+      end
+      else if tok st = Tdot then parse_dotted st (Sident name)
+      else Sident name
+  | t -> fail_at st (Printf.sprintf "expected an expression, found %s" (token_name t))
+
+(* Dotted chains are ambiguous between namespace paths and member access;
+   we resolve greedily: if the chain ends in '::' it was a qualified class
+   for a static call, otherwise the first segment is a value and the rest
+   are member accesses/calls. *)
+and parse_dotted st head =
+  (* Look ahead: collect the whole ident chain. If a '::' follows it, the
+     chain (including the head, when it is an identifier) names a class. *)
+  let save = st.pos in
+  let segs = ref [] in
+  let ok = ref true in
+  while !ok && tok st = Tdot do
+    advance st;
+    match tok st with
+    | Tident s ->
+        advance st;
+        segs := s :: !segs
+    | _ -> ok := false
+  done;
+  if (not !ok) || !segs = [] then fail_at st "expected a member name after '.'";
+  if tok st = Tcoloncolon then begin
+    match head with
+    | Sident first ->
+        advance st;
+        let m = ident st in
+        let args = parse_args st in
+        let cls = String.concat "." (first :: List.rev !segs) in
+        Sstatic (cls, m, args)
+    | _ -> fail_at st "'::' must follow a class name"
+  end
+  else begin
+    (* Re-parse as member accesses: rewind and apply postfix. *)
+    st.pos <- save;
+    parse_postfix st head
+  end
+
+and parse_postfix st e =
+  if tok st = Tdot then begin
+    advance st;
+    let name = ident st in
+    if tok st = Tlparen then
+      let args = parse_args st in
+      parse_postfix st (Scall (e, name, args))
+    else parse_postfix st (Sfieldref (e, name))
+  end
+  else if tok st = Tlbracket then begin
+    advance st;
+    let i = parse_expr st in
+    expect st Trbracket;
+    parse_postfix st (Sindex (e, i))
+  end
+  else e
+
+and parse_args st =
+  expect st Tlparen;
+  if tok st = Trparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let args = ref [ parse_expr st ] in
+    while tok st = Tcomma do
+      advance st;
+      args := parse_expr st :: !args
+    done;
+    expect st Trparen;
+    List.rev !args
+  end
+
+and parse_unary st =
+  match tok st with
+  | Tminus ->
+      advance st;
+      Sneg (parse_unary st)
+  | Tbang ->
+      advance st;
+      Snot (parse_unary st)
+  | _ -> parse_postfix st (parse_primary st)
+
+and parse_mul st =
+  let rec go lhs =
+    match tok st with
+    | Tstar ->
+        advance st;
+        go (Sbinop (Expr.Mul, lhs, parse_unary st))
+    | Tslash ->
+        advance st;
+        go (Sbinop (Expr.Div, lhs, parse_unary st))
+    | Tpercent ->
+        advance st;
+        go (Sbinop (Expr.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_add st =
+  let rec go lhs =
+    match tok st with
+    | Tplus ->
+        advance st;
+        go (Sbinop (Expr.Add, lhs, parse_mul st))
+    | Tminus ->
+        advance st;
+        go (Sbinop (Expr.Sub, lhs, parse_mul st))
+    | Tcaret ->
+        advance st;
+        go (Sbinop (Expr.Concat, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match tok st with
+  | Tlt ->
+      advance st;
+      Sbinop (Expr.Lt, lhs, parse_add st)
+  | Tle ->
+      advance st;
+      Sbinop (Expr.Le, lhs, parse_add st)
+  | Tgt ->
+      advance st;
+      Sbinop (Expr.Gt, lhs, parse_add st)
+  | Tge ->
+      advance st;
+      Sbinop (Expr.Ge, lhs, parse_add st)
+  | _ -> lhs
+
+and parse_eq st =
+  let lhs = parse_cmp st in
+  match tok st with
+  | Teqeq ->
+      advance st;
+      Sbinop (Expr.Eq, lhs, parse_cmp st)
+  | Tneq ->
+      advance st;
+      Sbinop (Expr.Neq, lhs, parse_cmp st)
+  | _ -> lhs
+
+and parse_and st =
+  let rec go lhs =
+    if tok st = Tandand then begin
+      advance st;
+      go (Sbinop (Expr.And, lhs, parse_eq st))
+    end
+    else lhs
+  in
+  go (parse_eq st)
+
+and parse_expr st =
+  let rec go lhs =
+    if tok st = Toror then begin
+      advance st;
+      go (Sbinop (Expr.Or, lhs, parse_and st))
+    end
+    else lhs
+  in
+  go (parse_and st)
+
+(* --------------------------- statements --------------------------- *)
+
+let rec parse_stmt st =
+  match keyword st with
+  | Some "let" ->
+      advance st;
+      let name = ident st in
+      expect st Teq;
+      let e = parse_expr st in
+      expect st Tsemi;
+      Slet (name, e)
+  | Some "return" ->
+      advance st;
+      let e = parse_expr st in
+      expect st Tsemi;
+      Sreturn e
+  | Some "throw" ->
+      advance st;
+      let e = parse_expr st in
+      expect st Tsemi;
+      Sthrow e
+  | Some "try" ->
+      advance st;
+      let body = parse_block st in
+      if not (eat_keyword st "catch") then fail_at st "expected 'catch'";
+      expect st Tlparen;
+      let var = ident st in
+      expect st Trparen;
+      let handler = parse_block st in
+      Stry (body, var, handler)
+  | Some "if" ->
+      advance st;
+      expect st Tlparen;
+      let c = parse_expr st in
+      expect st Trparen;
+      let then_ = parse_block st in
+      let else_ =
+        if eat_keyword st "else" then parse_block st else []
+      in
+      Sif (c, then_, else_)
+  | Some "while" ->
+      advance st;
+      expect st Tlparen;
+      let c = parse_expr st in
+      expect st Trparen;
+      let body = parse_block st in
+      Swhile (c, body)
+  | Some "for" ->
+      (* for (let i = e; cond; i = step) { body }  --  sugar for
+         let i = e; while (cond) { body; i = step; } *)
+      advance st;
+      expect st Tlparen;
+      if not (eat_keyword st "let") then fail_at st "expected 'let' in for";
+      let var = ident st in
+      expect st Teq;
+      let init = parse_expr st in
+      expect st Tsemi;
+      let cond = parse_expr st in
+      expect st Tsemi;
+      let step_var = ident st in
+      expect st Teq;
+      let step = parse_expr st in
+      expect st Trparen;
+      let body = parse_block st in
+      Sfor (var, init, cond, step_var, step, body)
+  | _ -> (
+      (* assignment or expression statement *)
+      let e = parse_expr st in
+      match tok st, e with
+      | Teq, Sident name ->
+          advance st;
+          let v = parse_expr st in
+          expect st Tsemi;
+          Sassign (name, v)
+      | Teq, Sfieldref (obj, f) ->
+          advance st;
+          let v = parse_expr st in
+          expect st Tsemi;
+          Sfieldset (obj, f, v)
+      | Teq, Sindex (a, i) ->
+          advance st;
+          let v = parse_expr st in
+          expect st Tsemi;
+          Sindexset (a, i, v)
+      | Teq, _ -> fail_at st "left side of '=' must be a name or a field"
+      | _ ->
+          expect st Tsemi;
+          Sexpr e)
+
+and parse_block st =
+  expect st Tlbrace;
+  let stmts = ref [] in
+  while tok st <> Trbrace do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Trbrace;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect st Tlparen;
+  if tok st = Trparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let one () =
+      let name = ident st in
+      expect st Tcolon;
+      let ty = parse_ty st in
+      (name, ty)
+    in
+    let params = ref [ one () ] in
+    while tok st = Tcomma do
+      advance st;
+      params := one () :: !params
+    done;
+    expect st Trparen;
+    List.rev !params
+  end
+
+let parse_mods st =
+  let visibility = ref Meta.Public and static = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    match keyword st with
+    | Some "public" ->
+        advance st;
+        visibility := Meta.Public
+    | Some "private" ->
+        advance st;
+        visibility := Meta.Private
+    | Some "protected" ->
+        advance st;
+        visibility := Meta.Protected
+    | Some "static" ->
+        advance st;
+        static := true
+    | _ -> continue_ := false
+  done;
+  { Meta.visibility = !visibility; static = !static; virtual_ = true }
+
+let capitalize s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0])
+       ^ String.sub s 1 (String.length s - 1)
+
+let parse_class st ~namespace ~assembly =
+  let kind =
+    if eat_keyword st "class" then Meta.Class
+    else if eat_keyword st "interface" then Meta.Interface
+    else fail_at st "expected 'class' or 'interface'"
+  in
+  let name = ident st in
+  let super =
+    if eat_keyword st "extends" then Some (qname st) else None
+  in
+  let interfaces =
+    if eat_keyword st "implements" then begin
+      let is = ref [ qname st ] in
+      while tok st = Tcomma do
+        advance st;
+        is := qname st :: !is
+      done;
+      List.rev !is
+    end
+    else []
+  in
+  expect st Tlbrace;
+  let fields = ref [] and ctors = ref [] and methods = ref [] in
+  while tok st <> Trbrace do
+    let mods = parse_mods st in
+    match keyword st with
+    | Some "field" ->
+        advance st;
+        let fname = ident st in
+        expect st Tcolon;
+        let fty = parse_ty st in
+        let init =
+          if tok st = Teq then begin
+            advance st;
+            Some (lower_expr [] (parse_expr st))
+          end
+          else None
+        in
+        expect st Tsemi;
+        fields :=
+          { Meta.f_name = fname; f_ty = fty; f_mods = mods; f_init = init }
+          :: !fields
+    | Some "property" ->
+        advance st;
+        let pname = ident st in
+        expect st Tcolon;
+        let pty = parse_ty st in
+        expect st Tsemi;
+        fields :=
+          { Meta.f_name = pname; f_ty = pty; f_mods = mods; f_init = None }
+          :: !fields;
+        let cap = capitalize pname in
+        methods :=
+          {
+            Meta.m_name = "set" ^ cap;
+            m_params = [ { Meta.param_name = "value"; param_ty = pty } ];
+            m_return = Ty.Void;
+            m_mods = mods;
+            m_body =
+              Some
+                (Expr.Seq
+                   [
+                     Expr.Field_set (Expr.This, pname, Expr.Var "value");
+                     Expr.null;
+                   ]);
+          }
+          :: {
+               Meta.m_name = "get" ^ cap;
+               m_params = [];
+               m_return = pty;
+               m_mods = mods;
+               m_body = Some (Expr.Field_get (Expr.This, pname));
+             }
+          :: !methods
+    | Some "ctor" ->
+        advance st;
+        let params = parse_params st in
+        let body = parse_block st in
+        let scope = List.map fst params in
+        ctors :=
+          {
+            Meta.c_params =
+              List.map
+                (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+                params;
+            c_mods = mods;
+            c_body = Some (lower_block scope body);
+          }
+          :: !ctors
+    | Some "method" ->
+        advance st;
+        let mname = ident st in
+        let params = parse_params st in
+        expect st Tcolon;
+        let ret = parse_ty st in
+        let body =
+          if tok st = Tsemi then begin
+            advance st;
+            None
+          end
+          else begin
+            let stmts = parse_block st in
+            Some (lower_block (List.map fst params) stmts)
+          end
+        in
+        methods :=
+          {
+            Meta.m_name = mname;
+            m_params =
+              List.map
+                (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+                params;
+            m_return = ret;
+            m_mods = mods;
+            m_body = body;
+          }
+          :: !methods
+    | _ -> fail_at st "expected 'field', 'property', 'ctor' or 'method'"
+  done;
+  expect st Trbrace;
+  let qualified =
+    match namespace with
+    | [] -> name
+    | ns -> String.concat "." ns ^ "." ^ name
+  in
+  {
+    Meta.td_name = name;
+    td_namespace = namespace;
+    td_guid =
+      Pti_util.Guid.of_name
+        (assembly ^ "!" ^ String.lowercase_ascii qualified);
+    td_kind = kind;
+    td_super = super;
+    td_interfaces = interfaces;
+    td_fields = List.rev !fields;
+    td_ctors = List.rev !ctors;
+    td_methods = List.rev !methods;
+    td_assembly = assembly;
+  }
+
+let parse_unit st ~default_assembly =
+  let assembly = ref default_assembly in
+  let namespace = ref [] in
+  let classes = ref [] in
+  while tok st <> Teof do
+    match keyword st with
+    | Some "assembly" ->
+        advance st;
+        (match tok st with
+        | Tstring s ->
+            advance st;
+            assembly := s
+        | Tident s ->
+            advance st;
+            assembly := s
+        | t -> fail_at st (Printf.sprintf "expected an assembly name, found %s" (token_name t)));
+        expect st Tsemi
+    | Some "namespace" ->
+        advance st;
+        namespace := Pti_util.Strutil.split_on '.' (qname st);
+        expect st Tsemi
+    | Some ("class" | "interface") ->
+        classes :=
+          parse_class st ~namespace:!namespace ~assembly:!assembly :: !classes
+    | _ ->
+        fail_at st "expected 'assembly', 'namespace', 'class' or 'interface'"
+  done;
+  (!assembly, List.rev !classes)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_classes ?(assembly = "idl") src =
+  match
+    let toks = lex src in
+    let st = { toks; pos = 0 } in
+    parse_unit st ~default_assembly:assembly
+  with
+  | _, classes ->
+      (* Validate every class so IDL mistakes surface as errors here. *)
+      let rec check = function
+        | [] -> Ok classes
+        | cd :: rest -> (
+            match Meta.validate cd with
+            | Ok () -> check rest
+            | Error message -> Error { line = 0; col = 0; message })
+      in
+      check classes
+  | exception Err e -> Error e
+  | exception Surface.Lower_error message -> Error { line = 0; col = 0; message }
+
+let parse_assembly ?(assembly = "idl") ?(requires = []) src =
+  match
+    let toks = lex src in
+    let st = { toks; pos = 0 } in
+    parse_unit st ~default_assembly:assembly
+  with
+  | name, classes -> (
+      match Assembly.make ~requires ~name classes with
+      | asm -> Ok asm
+      | exception Invalid_argument message ->
+          Error { line = 0; col = 0; message })
+  | exception Err e -> Error e
+  | exception Surface.Lower_error message -> Error { line = 0; col = 0; message }
+
+let parse_class_exn ?assembly src =
+  match parse_classes ?assembly src with
+  | Ok [ cd ] -> cd
+  | Ok l ->
+      invalid_arg
+        (Printf.sprintf "Idl.parse_class_exn: expected 1 class, got %d"
+           (List.length l))
+  | Error e -> invalid_arg (Format.asprintf "Idl.parse_class_exn: %a" pp_error e)

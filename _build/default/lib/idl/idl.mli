@@ -1,0 +1,71 @@
+(** A textual definition language for CTS types.
+
+    The Renaissance system the paper builds on (§2.6) used an explicit
+    interface-definition language ("lingua franca"); the paper's approach
+    deliberately binds to the platform's own type system instead. This
+    module provides the best of both: a small C#-flavoured surface syntax
+    that {e compiles to} ordinary CTS metadata ({!Pti_cts.Meta.class_def})
+    — handy for authoring interest types, test fixtures and CLI input
+    without writing builder code.
+
+    {1 Syntax}
+
+    {v
+assembly news-asm;
+namespace newsw;
+
+interface INamed {
+  method getName() : string;
+}
+
+class Person extends newsw.Base implements newsw.INamed {
+  field name : string;
+  field age : int = 0;
+  property home : newsw.Address;        // field + getHome/setHome
+
+  ctor(n : string, a : int) { name = n; age = a; }
+
+  method getName() : string { return name; }
+  method setName(v : string) : void { name = v; }
+  method greet() : string { return "Hello, " ^ name; }
+  method older(years : int) : int { return age + years; }
+  static method zero() : int { return 0; }
+}
+    v}
+
+    Statements: [let x = e;], [x = e;] (locals/params, else fields of
+    [this]), [e.f = v;], [a\[i\] = v;], [if (c) { .. } else { .. }],
+    [while (c) { .. }], [for (let i = e; cond; i = step) { .. }],
+    [throw e;], [try { .. } catch (x) { .. }], expression statements, and
+    a trailing [return e;]. Expressions: literals ([int], [float],
+    ["string"], [true], [false], [null]), identifiers (params/locals,
+    else implicit [this] fields), [this], [e.m(args)] method calls,
+    [e.f] field reads, [a\[i\]] indexing, [new C(args)],
+    [new ty\[\] { e1, e2 }] array literals, [C::m(args)] static calls,
+    arithmetic/comparison/boolean operators, [^] string concatenation,
+    and parentheses. [//] and [/* */] comments.
+
+    Types: [void bool int float string char], qualified names, and [ty\[\]]
+    arrays. Modifiers: [public]/[protected]/[private] and [static] prefix
+    method or field declarations.
+
+    GUIDs are derived like the {!Pti_cts.Builder} DSL's (assembly +
+    qualified name), so parsing the same source twice yields identical
+    assemblies. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_classes : ?assembly:string -> string ->
+  (Pti_cts.Meta.class_def list, error) result
+(** Parse a compilation unit. [assembly] overrides a missing
+    [assembly ...;] directive (default ["idl"]). *)
+
+val parse_assembly : ?assembly:string -> ?requires:string list -> string ->
+  (Pti_cts.Assembly.t, error) result
+(** [parse_classes] bundled into an assembly (validates every class). *)
+
+val parse_class_exn : ?assembly:string -> string -> Pti_cts.Meta.class_def
+(** Convenience for fixtures: expects exactly one class.
+    @raise Invalid_argument on errors. *)

@@ -1,0 +1,119 @@
+(* Shared surface AST and lowering for the definition-language front
+   ends. Both the C#-flavoured Idl and the VB-flavoured Vbdl parse into
+   these statements and lower through the same rules, which is what makes
+   them two languages over one common type system. *)
+
+open Pti_cts
+
+type sexpr =
+  | Sint of int
+  | Sfloat of float
+  | Sstr of string
+  | Sbool of bool
+  | Snull
+  | Sident of string
+  | Sthis
+  | Scall of sexpr * string * sexpr list
+  | Sfieldref of sexpr * string
+  | Snew of string * sexpr list
+  | Sstatic of string * string * sexpr list
+  | Sbinop of Expr.binop * sexpr * sexpr
+  | Sneg of sexpr
+  | Snot of sexpr
+  | Snewarr of Ty.t * sexpr list
+  | Sindex of sexpr * sexpr
+
+type sstmt =
+  | Slet of string * sexpr
+  | Sthrow of sexpr
+  | Stry of sstmt list * string * sstmt list
+  | Sassign of string * sexpr
+  | Sfieldset of sexpr * string * sexpr
+  | Sif of sexpr * sstmt list * sstmt list
+  | Swhile of sexpr * sstmt list
+  | Sindexset of sexpr * sexpr * sexpr
+  | Sfor of string * sexpr * sexpr * string * sexpr * sstmt list
+  | Sexpr of sexpr
+  | Sreturn of sexpr
+
+exception Lower_error of string
+
+let fail_plain message = raise (Lower_error message)
+
+(* Identifiers not bound by parameters or lets are read as fields of
+   [this] — the CTS resolves them (or fails) at run time, matching the
+   dynamic flavour of the platform. *)
+let rec lower_expr scope e =
+  match e with
+  | Sint i -> Expr.int i
+  | Sfloat f -> Expr.Const (Expr.Cfloat f)
+  | Sstr s -> Expr.str s
+  | Sbool b -> Expr.bool b
+  | Snull -> Expr.null
+  | Sthis -> Expr.This
+  | Sident name ->
+      if List.exists (String.equal name) scope then Expr.Var name
+      else Expr.Field_get (Expr.This, name)
+  | Scall (o, m, args) ->
+      Expr.Call (lower_expr scope o, m, List.map (lower_expr scope) args)
+  | Sfieldref (o, f) -> Expr.Field_get (lower_expr scope o, f)
+  | Snew (c, args) -> Expr.New (c, List.map (lower_expr scope) args)
+  | Sstatic (c, m, args) ->
+      Expr.Static_call (c, m, List.map (lower_expr scope) args)
+  | Sbinop (op, a, b) -> Expr.Binop (op, lower_expr scope a, lower_expr scope b)
+  | Sneg a -> Expr.Unop (Expr.Neg, lower_expr scope a)
+  | Snot a -> Expr.Unop (Expr.Not, lower_expr scope a)
+  | Snewarr (ty, items) ->
+      Expr.New_array (ty, List.map (lower_expr scope) items)
+  | Sindex (a, i) -> Expr.Index_get (lower_expr scope a, lower_expr scope i)
+
+(* A block evaluates to its final statement's value; [return e] is sugar
+   for ending a block with the expression [e]. Early return (a [return]
+   that is not in tail position of its block) is rejected. *)
+let rec lower_block scope stmts =
+  match stmts with
+  | [] -> Expr.null
+  | [ Sreturn e ] -> lower_expr scope e
+  | [ Slet (x, e) ] -> Expr.Let (x, lower_expr scope e, Expr.null)
+  | [ s ] -> lower_stmt scope s
+  | Sreturn _ :: _ -> fail_plain "'return' must be the last statement"
+  | Slet (x, e) :: rest ->
+      Expr.Let (x, lower_expr scope e, lower_block (x :: scope) rest)
+  | s :: rest ->
+      let first = lower_stmt scope s in
+      let rest_e = lower_block scope rest in
+      (match rest_e with
+      | Expr.Seq es -> Expr.Seq (first :: es)
+      | e -> Expr.Seq [ first; e ])
+
+and lower_stmt scope = function
+  | Slet _ | Sreturn _ -> assert false (* handled in lower_block *)
+  | Sthrow e -> Expr.Throw (lower_expr scope e)
+  | Stry (b, v, h) ->
+      Expr.Try (lower_block scope b, v, lower_block (v :: scope) h)
+  | Sassign (name, e) ->
+      if List.exists (String.equal name) scope then
+        Expr.Assign (name, lower_expr scope e)
+      else Expr.Field_set (Expr.This, name, lower_expr scope e)
+  | Sfieldset (o, f, v) ->
+      Expr.Field_set (lower_expr scope o, f, lower_expr scope v)
+  | Sindexset (a, i, v) ->
+      Expr.Index_set
+        (lower_expr scope a, lower_expr scope i, lower_expr scope v)
+  | Sfor (var, init, cond, step_var, step, body) ->
+      let inner = var :: scope in
+      let step_stmt =
+        if List.exists (String.equal step_var) inner then
+          Expr.Assign (step_var, lower_expr inner step)
+        else Expr.Field_set (Expr.This, step_var, lower_expr inner step)
+      in
+      Expr.Let
+        ( var,
+          lower_expr scope init,
+          Expr.While
+            ( lower_expr inner cond,
+              Expr.Seq [ lower_block inner body; step_stmt ] ) )
+  | Sif (c, t, e) ->
+      Expr.If (lower_expr scope c, lower_block scope t, lower_block scope e)
+  | Swhile (c, b) -> Expr.While (lower_expr scope c, lower_block scope b)
+  | Sexpr e -> lower_expr scope e

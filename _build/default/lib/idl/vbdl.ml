@@ -1,0 +1,750 @@
+open Pti_cts
+open Surface
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Err of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line preparation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type line = { num : int; text : string }
+
+(* Strip VB comments (' to end of line, outside string literals). *)
+let strip_comment s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then begin
+           in_string := not !in_string;
+           Buffer.add_char b c
+         end
+         else if c = '\'' && not !in_string then raise Exit
+         else Buffer.add_char b c)
+       s
+   with Exit -> ());
+  Buffer.contents b
+
+let prepare src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i text -> { num = i + 1; text = String.trim (strip_comment text) })
+  |> List.filter (fun l -> l.text <> "")
+
+(* ------------------------------------------------------------------ *)
+(* In-line tokenizer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type tok =
+  | Tword of string  (** identifier or keyword (original case kept) *)
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tpunct of string  (** one of ( ) , . & + - * / = <> <= >= < > *)
+
+let tokenize ln s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_id = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 8 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = '"' then
+          (* VB escapes a quote by doubling it. *)
+          if !i + 1 < n && s.[!i + 1] = '"' then begin
+            Buffer.add_char b '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char b s.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail ln "unterminated string literal";
+      out := Tstring (Buffer.contents b) :: !out
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false) do
+        incr i
+      done;
+      if
+        !i < n && s.[!i] = '.'
+        && !i + 1 < n
+        && match s.[!i + 1] with '0' .. '9' -> true | _ -> false
+      then begin
+        incr i;
+        while !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false) do
+          incr i
+        done;
+        out := Tfloat (float_of_string (String.sub s start (!i - start))) :: !out
+      end
+      else out := Tint (int_of_string (String.sub s start (!i - start))) :: !out
+    end
+    else if is_id c then begin
+      let start = !i in
+      while !i < n && is_id s.[!i] do
+        incr i
+      done;
+      out := Tword (String.sub s start (!i - start)) :: !out
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" ->
+          out := Tpunct two :: !out;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | '&' | '+' | '-' | '*' | '/' | '=' | '<'
+          | '>' ->
+              out := Tpunct (String.make 1 c) :: !out;
+              incr i
+          | c -> fail ln "unexpected character %C" c)
+    end
+  done;
+  List.rev !out
+
+let kw a b = String.lowercase_ascii a = b
+
+(* ------------------------------------------------------------------ *)
+(* Expression parser over a token list                                  *)
+(* ------------------------------------------------------------------ *)
+
+type estate = { ln : int; mutable toks : tok list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect_punct st p =
+  match st.toks with
+  | Tpunct q :: r when q = p -> st.toks <- r
+  | _ -> fail st.ln "expected %S" p
+
+let vb_ty ln name =
+  match String.lowercase_ascii name with
+  | "string" -> Ty.String
+  | "integer" -> Ty.Int
+  | "boolean" -> Ty.Bool
+  | "double" -> Ty.Float
+  | "char" -> Ty.Char
+  | "void" -> Ty.Void
+  | _ ->
+      if name = "" then fail ln "expected a type name" else Ty.Named name
+
+let rec parse_qname st =
+  match peek st with
+  | Some (Tword w) -> (
+      advance st;
+      match st.toks with
+      | Tpunct "." :: (Tword _ :: _ as rest) ->
+          st.toks <- rest;
+          w ^ "." ^ parse_qname st
+      | _ -> w)
+  | _ -> fail st.ln "expected a name"
+
+let parse_ty st =
+  let base = parse_qname st in
+  let ty = ref (vb_ty st.ln base) in
+  let rec arrays () =
+    match st.toks with
+    | Tpunct "(" :: Tpunct ")" :: r ->
+        st.toks <- r;
+        ty := Ty.Array !ty;
+        arrays ()
+    | _ -> ()
+  in
+  arrays ();
+  !ty
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  let rec go () =
+    match peek st with
+    | Some (Tword w) when kw w "or" ->
+        advance st;
+        lhs := Sbinop (Expr.Or, !lhs, parse_and st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  let rec go () =
+    match peek st with
+    | Some (Tword w) when kw w "and" ->
+        advance st;
+        lhs := Sbinop (Expr.And, !lhs, parse_cmp st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_concat st in
+  match peek st with
+  | Some (Tpunct "=") ->
+      advance st;
+      Sbinop (Expr.Eq, lhs, parse_concat st)
+  | Some (Tpunct "<>") ->
+      advance st;
+      Sbinop (Expr.Neq, lhs, parse_concat st)
+  | Some (Tpunct "<") ->
+      advance st;
+      Sbinop (Expr.Lt, lhs, parse_concat st)
+  | Some (Tpunct "<=") ->
+      advance st;
+      Sbinop (Expr.Le, lhs, parse_concat st)
+  | Some (Tpunct ">") ->
+      advance st;
+      Sbinop (Expr.Gt, lhs, parse_concat st)
+  | Some (Tpunct ">=") ->
+      advance st;
+      Sbinop (Expr.Ge, lhs, parse_concat st)
+  | _ -> lhs
+
+and parse_concat st =
+  let lhs = ref (parse_add st) in
+  let rec go () =
+    match peek st with
+    | Some (Tpunct "&") ->
+        advance st;
+        lhs := Sbinop (Expr.Concat, !lhs, parse_add st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec go () =
+    match peek st with
+    | Some (Tpunct "+") ->
+        advance st;
+        lhs := Sbinop (Expr.Add, !lhs, parse_mul st);
+        go ()
+    | Some (Tpunct "-") ->
+        advance st;
+        lhs := Sbinop (Expr.Sub, !lhs, parse_mul st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | Some (Tpunct "*") ->
+        advance st;
+        lhs := Sbinop (Expr.Mul, !lhs, parse_unary st);
+        go ()
+    | Some (Tpunct "/") ->
+        advance st;
+        lhs := Sbinop (Expr.Div, !lhs, parse_unary st);
+        go ()
+    | Some (Tword w) when kw w "mod" ->
+        advance st;
+        lhs := Sbinop (Expr.Mod, !lhs, parse_unary st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Some (Tpunct "-") ->
+      advance st;
+      Sneg (parse_unary st)
+  | Some (Tword w) when kw w "not" ->
+      advance st;
+      Snot (parse_unary st)
+  | _ -> parse_postfix st (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Some (Tint i) ->
+      advance st;
+      Sint i
+  | Some (Tfloat f) ->
+      advance st;
+      Sfloat f
+  | Some (Tstring s) ->
+      advance st;
+      Sstr s
+  | Some (Tpunct "(") ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Some (Tword w) when kw w "true" ->
+      advance st;
+      Sbool true
+  | Some (Tword w) when kw w "false" ->
+      advance st;
+      Sbool false
+  | Some (Tword w) when kw w "nothing" ->
+      advance st;
+      Snull
+  | Some (Tword w) when kw w "me" ->
+      advance st;
+      Sthis
+  | Some (Tword w) when kw w "new" ->
+      advance st;
+      let cls = parse_qname st in
+      let args = parse_args st in
+      Snew (cls, args)
+  | Some (Tword w) ->
+      advance st;
+      Sident w
+  | _ -> fail st.ln "expected an expression"
+
+and parse_postfix st e =
+  match st.toks with
+  | Tpunct "." :: Tword name :: rest -> (
+      st.toks <- rest;
+      match peek st with
+      | Some (Tpunct "(") ->
+          let args = parse_args st in
+          parse_postfix st (Scall (e, name, args))
+      | _ -> parse_postfix st (Sfieldref (e, name)))
+  | _ -> e
+
+and parse_args st =
+  expect_punct st "(";
+  match peek st with
+  | Some (Tpunct ")") ->
+      advance st;
+      []
+  | _ ->
+      let args = ref [ parse_expr st ] in
+      let rec go () =
+        match peek st with
+        | Some (Tpunct ",") ->
+            advance st;
+            args := parse_expr st :: !args;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      expect_punct st ")";
+      List.rev !args
+
+let parse_full_expr ln toks =
+  let st = { ln; toks } in
+  let e = parse_expr st in
+  if st.toks <> [] then fail ln "trailing tokens after expression";
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Statement / block parsing (line-oriented)                            *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { mutable lines : line list }
+
+let next_line ps =
+  match ps.lines with
+  | [] -> None
+  | l :: rest ->
+      ps.lines <- rest;
+      Some l
+
+let peek_line ps = match ps.lines with [] -> None | l :: _ -> Some l
+
+let words_of l = tokenize l.num l.text
+
+let line_starts_with l k =
+  match words_of l with Tword w :: _ -> kw w k | _ -> false
+
+(* Parse statements until one of the given (lowercase) terminator phrases
+   starts a line; the terminator line is consumed and returned. *)
+let rec parse_stmts ps ~terminators =
+  let stmts = ref [] in
+  let rec go () =
+    match next_line ps with
+    | None -> fail 0 "unexpected end of input (missing %s)" (String.concat "/" terminators)
+    | Some l ->
+        let low = String.lowercase_ascii l.text in
+        let is_term t =
+          low = t
+          || String.length low > String.length t
+             && String.sub low 0 (String.length t + 1) = t ^ " "
+        in
+        (match List.find_opt is_term terminators with
+        | Some t -> (List.rev !stmts, t, l)
+        | None ->
+            stmts := parse_stmt ps l :: !stmts;
+            go ())
+  in
+  go ()
+
+and parse_stmt ps l =
+  let toks = words_of l in
+  match toks with
+  | Tword w :: rest when kw w "dim" -> (
+      (* local: Dim x = expr   (fields use Dim at class level) *)
+      match rest with
+      | Tword x :: Tpunct "=" :: e -> Slet (x, parse_full_expr l.num e)
+      | _ -> fail l.num "expected 'Dim name = expression'")
+  | Tword w :: rest when kw w "return" -> Sreturn (parse_full_expr l.num rest)
+  | Tword w :: rest when kw w "throw" -> Sthrow (parse_full_expr l.num rest)
+  | Tword w :: rest when kw w "while" ->
+      let cond = parse_full_expr l.num rest in
+      let body, _, _ = parse_stmts ps ~terminators:[ "end while" ] in
+      Swhile (cond, body)
+  | Tword w :: rest when kw w "if" -> (
+      (* If cond Then ... [Else ...] End If  — Then must end the line. *)
+      let rec split_then acc = function
+        | [ Tword t ] when kw t "then" -> List.rev acc
+        | t :: r -> split_then (t :: acc) r
+        | [] -> fail l.num "expected 'Then' at end of If line"
+      in
+      let cond = parse_full_expr l.num (split_then [] rest) in
+      let then_branch, term, _ =
+        parse_stmts ps ~terminators:[ "else"; "end if" ]
+      in
+      match term with
+      | "else" ->
+          let else_branch, _, _ = parse_stmts ps ~terminators:[ "end if" ] in
+          Sif (cond, then_branch, else_branch)
+      | _ -> Sif (cond, then_branch, []))
+  | _ -> (
+      (* assignment or expression statement: find a top-level '=' *)
+      let rec split acc depth = function
+        | Tpunct "(" :: r -> split (Tpunct "(" :: acc) (depth + 1) r
+        | Tpunct ")" :: r -> split (Tpunct ")" :: acc) (depth - 1) r
+        | Tpunct "=" :: r when depth = 0 -> Some (List.rev acc, r)
+        | t :: r -> split (t :: acc) depth r
+        | [] -> None
+      in
+      match split [] 0 toks with
+      | None -> Sexpr (parse_full_expr l.num toks)
+      | Some (lhs_toks, rhs_toks) -> (
+          let rhs = parse_full_expr l.num rhs_toks in
+          match parse_full_expr l.num lhs_toks with
+          | Sident name -> Sassign (name, rhs)
+          | Sfieldref (o, f) -> Sfieldset (o, f, rhs)
+          | _ -> fail l.num "left side of '=' must be a name or a field"))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param_list ln toks =
+  let st = { ln; toks } in
+  expect_punct st "(";
+  let params = ref [] in
+  (match peek st with
+  | Some (Tpunct ")") -> advance st
+  | _ ->
+      let one () =
+        match st.toks with
+        | Tword name :: Tword asw :: rest when kw asw "as" ->
+            st.toks <- rest;
+            let ty = parse_ty st in
+            params := (name, ty) :: !params
+        | _ -> fail ln "expected 'name As Type'"
+      in
+      one ();
+      let rec go () =
+        match peek st with
+        | Some (Tpunct ",") ->
+            advance st;
+            one ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      expect_punct st ")");
+  (List.rev !params, st.toks)
+
+let parse_mods toks =
+  let visibility = ref Meta.Public and static = ref false in
+  let rec go = function
+    | Tword w :: rest when kw w "public" ->
+        visibility := Meta.Public;
+        go rest
+    | Tword w :: rest when kw w "private" ->
+        visibility := Meta.Private;
+        go rest
+    | Tword w :: rest when kw w "protected" ->
+        visibility := Meta.Protected;
+        go rest
+    | Tword w :: rest when kw w "shared" ->
+        static := true;
+        go rest
+    | rest -> rest
+  in
+  let rest = go toks in
+  ({ Meta.visibility = !visibility; static = !static; virtual_ = true }, rest)
+
+let lower_body ln scope stmts =
+  try lower_block scope stmts
+  with Lower_error message -> raise (Err { line = ln; message })
+
+let parse_members ps ~end_kw ~kind =
+  let fields = ref [] and ctors = ref [] and methods = ref [] in
+  let rec go () =
+    match next_line ps with
+    | None -> fail 0 "unexpected end of input (missing %s)" end_kw
+    | Some l ->
+        if String.lowercase_ascii l.text = end_kw then ()
+        else begin
+          let mods, toks = parse_mods (words_of l) in
+          (match toks with
+          | Tword w :: Tword name :: Tword asw :: rest
+            when kw w "dim" && kw asw "as" ->
+              let st = { ln = l.num; toks = rest } in
+              let ty = parse_ty st in
+              let init =
+                match st.toks with
+                | [] -> None
+                | Tpunct "=" :: e ->
+                    Some (lower_expr [] (parse_full_expr l.num e))
+                | _ -> fail l.num "trailing tokens after field declaration"
+              in
+              fields :=
+                { Meta.f_name = name; f_ty = ty; f_mods = mods; f_init = init }
+                :: !fields
+          | Tword w :: Tword nw :: rest when kw w "sub" && kw nw "new" ->
+              let params, leftover = parse_param_list l.num rest in
+              if leftover <> [] then fail l.num "trailing tokens after Sub New";
+              let body, _, _ = parse_stmts ps ~terminators:[ "end sub" ] in
+              let scope = List.map fst params in
+              ctors :=
+                {
+                  Meta.c_params =
+                    List.map
+                      (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+                      params;
+                  c_mods = mods;
+                  c_body = Some (lower_body l.num scope body);
+                }
+                :: !ctors
+          | Tword w :: Tword name :: rest when kw w "sub" ->
+              let params, leftover = parse_param_list l.num rest in
+              if leftover <> [] then fail l.num "trailing tokens after Sub";
+              let body =
+                if kind = Meta.Interface then None
+                else begin
+                  let stmts, _, _ = parse_stmts ps ~terminators:[ "end sub" ] in
+                  Some
+                    (Expr.Seq
+                       [ lower_body l.num (List.map fst params) stmts; Expr.null ])
+                end
+              in
+              methods :=
+                {
+                  Meta.m_name = name;
+                  m_params =
+                    List.map
+                      (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+                      params;
+                  m_return = Ty.Void;
+                  m_mods = mods;
+                  m_body = body;
+                }
+                :: !methods
+          | Tword w :: Tword name :: rest when kw w "function" ->
+              let params, leftover = parse_param_list l.num rest in
+              let ret =
+                match leftover with
+                | Tword asw :: tyrest when kw asw "as" ->
+                    let st = { ln = l.num; toks = tyrest } in
+                    let ty = parse_ty st in
+                    if st.toks <> [] then
+                      fail l.num "trailing tokens after return type";
+                    ty
+                | _ -> fail l.num "expected 'As <type>' on Function"
+              in
+              let body =
+                if kind = Meta.Interface then None
+                else begin
+                  let stmts, _, _ =
+                    parse_stmts ps ~terminators:[ "end function" ]
+                  in
+                  Some (lower_body l.num (List.map fst params) stmts)
+                end
+              in
+              methods :=
+                {
+                  Meta.m_name = name;
+                  m_params =
+                    List.map
+                      (fun (n, ty) -> { Meta.param_name = n; param_ty = ty })
+                      params;
+                  m_return = ret;
+                  m_mods = mods;
+                  m_body = body;
+                }
+                :: !methods
+          | _ ->
+              fail l.num
+                "expected 'Dim', 'Sub', 'Function' or '%s'" end_kw);
+          go ()
+        end
+  in
+  go ();
+  (List.rev !fields, List.rev !ctors, List.rev !methods)
+
+let parse_class ps ~namespace ~assembly ~kind ~name =
+  (* Optional Inherits / Implements lines directly after the header. *)
+  let super = ref None and interfaces = ref [] in
+  let rec headers () =
+    match peek_line ps with
+    | Some l when line_starts_with l "inherits" ->
+        ignore (next_line ps);
+        (match words_of l with
+        | _ :: rest ->
+            let st = { ln = l.num; toks = rest } in
+            super := Some (parse_qname st)
+        | [] -> ());
+        headers ()
+    | Some l when line_starts_with l "implements" ->
+        ignore (next_line ps);
+        (match words_of l with
+        | _ :: rest ->
+            let st = { ln = l.num; toks = rest } in
+            let rec names () =
+              interfaces := parse_qname st :: !interfaces;
+              match peek st with
+              | Some (Tpunct ",") ->
+                  advance st;
+                  names ()
+              | _ -> ()
+            in
+            names ()
+        | [] -> ());
+        headers ()
+    | _ -> ()
+  in
+  headers ();
+  let end_kw =
+    match kind with Meta.Class -> "end class" | Meta.Interface -> "end interface"
+  in
+  let fields, ctors, methods = parse_members ps ~end_kw ~kind in
+  let qualified =
+    match namespace with
+    | [] -> name
+    | ns -> String.concat "." ns ^ "." ^ name
+  in
+  {
+    Meta.td_name = name;
+    td_namespace = namespace;
+    td_guid =
+      Pti_util.Guid.of_name (assembly ^ "!" ^ String.lowercase_ascii qualified);
+    td_kind = kind;
+    td_super = !super;
+    td_interfaces = List.rev !interfaces;
+    td_fields = fields;
+    td_ctors = ctors;
+    td_methods = methods;
+    td_assembly = assembly;
+  }
+
+let parse_unit ps ~default_assembly =
+  let assembly = ref default_assembly and namespace = ref [] in
+  let classes = ref [] in
+  let rec go () =
+    match next_line ps with
+    | None -> ()
+    | Some l ->
+        (match words_of l with
+        | Tword w :: rest when kw w "assembly" -> (
+            match rest with
+            | [ Tstring s ] -> assembly := s
+            | [ Tword s ] -> assembly := s
+            | _ -> fail l.num "expected 'Assembly \"name\"'")
+        | Tword w :: rest when kw w "namespace" -> (
+            match rest with
+            | [] -> fail l.num "expected a namespace"
+            | toks ->
+                let st = { ln = l.num; toks } in
+                namespace :=
+                  Pti_util.Strutil.split_on '.' (parse_qname st))
+        | Tword w :: [ Tword name ] when kw w "class" ->
+            classes :=
+              parse_class ps ~namespace:!namespace ~assembly:!assembly
+                ~kind:Meta.Class ~name
+              :: !classes
+        | Tword w :: [ Tword name ] when kw w "interface" ->
+            classes :=
+              parse_class ps ~namespace:!namespace ~assembly:!assembly
+                ~kind:Meta.Interface ~name
+              :: !classes
+        | _ ->
+            fail l.num
+              "expected 'Assembly', 'Namespace', 'Class' or 'Interface'");
+        go ()
+  in
+  go ();
+  (!assembly, List.rev !classes)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_classes ?(assembly = "vbdl") src =
+  match
+    let ps = { lines = prepare src } in
+    parse_unit ps ~default_assembly:assembly
+  with
+  | _, classes ->
+      let rec check = function
+        | [] -> Ok classes
+        | cd :: rest -> (
+            match Meta.validate cd with
+            | Ok () -> check rest
+            | Error message -> Error { line = 0; message })
+      in
+      check classes
+  | exception Err e -> Error e
+  | exception Lower_error message -> Error { line = 0; message }
+
+let parse_assembly ?(assembly = "vbdl") ?(requires = []) src =
+  match
+    let ps = { lines = prepare src } in
+    parse_unit ps ~default_assembly:assembly
+  with
+  | name, classes -> (
+      match Assembly.make ~requires ~name classes with
+      | asm -> Ok asm
+      | exception Invalid_argument message -> Error { line = 0; message })
+  | exception Err e -> Error e
+  | exception Lower_error message -> Error { line = 0; message }
+
+let parse_class_exn ?assembly src =
+  match parse_classes ?assembly src with
+  | Ok [ cd ] -> cd
+  | Ok l ->
+      invalid_arg
+        (Printf.sprintf "Vbdl.parse_class_exn: expected 1 class, got %d"
+           (List.length l))
+  | Error e -> invalid_arg (Format.asprintf "Vbdl.parse_class_exn: %a" pp_error e)

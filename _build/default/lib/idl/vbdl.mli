@@ -1,0 +1,72 @@
+(** A second definition language, VB-flavoured — because the paper's
+    scenario is types written {e in different languages}.
+
+    The .NET platform the paper builds on makes C# and VB.NET classes
+    meet in one common type system; here {!Idl} (C#-flavoured, braces)
+    and this module (VB-flavoured, line-oriented) both compile to the
+    same {!Pti_cts.Meta.class_def} metadata and interpreted bodies, so a
+    VB-authored type and a C#-authored type interoperate exactly like the
+    paper's polyglot modules.
+
+    {1 Syntax}
+
+    {v
+Assembly "vb-asm"
+Namespace vbw
+
+Class Person
+  Dim name As String
+  Dim age As Integer
+
+  Sub New(n As String, a As Integer)
+    name = n
+    age = a
+  End Sub
+
+  Function getName() As String
+    Return name
+  End Function
+
+  Sub setName(v As String)
+    name = v
+  End Sub
+
+  Function greet() As String
+    Return "Hello, " & name
+  End Function
+
+  Function older(years As Integer) As Integer
+    Return age + years
+  End Function
+End Class
+
+Interface INamed
+  Function getName() As String
+End Interface
+    v}
+
+    Keywords are case-insensitive, statements end at the line break, ['']
+    starts a comment. [Class X] may carry [Inherits base] and
+    [Implements i1, i2] on the following lines. Members: [Dim f As Ty]
+    (optionally [= expr]), [Sub New(params)] constructors, [Function
+    name(params) As Ty] and [Sub name(params)] methods ([Shared] prefix
+    for static, [Private]/[Public] for visibility). Statements: [Dim x =
+    e], assignment, [If c Then ... Else ... End If], [While c ... End
+    While], [Return e], [Throw e], expression statements. Expressions:
+    the usual operators with VB spellings — [&] concatenation, [=]/[<>]
+    comparison, [And]/[Or]/[Not], [New C(args)], member access and calls.
+    Types: [String], [Integer], [Boolean], [Double], [Char], or qualified
+    CTS names; [Ty()] arrays. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_classes : ?assembly:string -> string ->
+  (Pti_cts.Meta.class_def list, error) result
+
+val parse_assembly : ?assembly:string -> ?requires:string list -> string ->
+  (Pti_cts.Assembly.t, error) result
+
+val parse_class_exn : ?assembly:string -> string -> Pti_cts.Meta.class_def
+(** @raise Invalid_argument on errors or when not exactly one class. *)

@@ -1,0 +1,1 @@
+lib/net/net.ml: Hashtbl Printf Pti_util Sim Stats

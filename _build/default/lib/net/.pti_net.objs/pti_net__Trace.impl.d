@@ -1,0 +1,1 @@
+lib/net/trace.ml: Format Hashtbl List Net Option Printf Stats String

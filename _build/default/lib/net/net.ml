@@ -1,0 +1,162 @@
+module Splitmix = Pti_util.Splitmix
+
+type address = string
+
+type reliability = {
+  retransmit_ms : float;
+  max_retries : int;
+  ack_bytes : int;
+}
+
+let default_reliability =
+  { retransmit_ms = 50.; max_retries = 5; ack_bytes = 16 }
+
+type 'a t = {
+  sim : Sim.t;
+  stats : Stats.t;
+  rng : Splitmix.t;
+  default_latency : float;
+  default_bandwidth : float;
+  drop_rate : float;
+  jitter : float;
+  reliability : reliability option;
+  handlers : (address, net:'a t -> src:address -> 'a -> unit) Hashtbl.t;
+  links : (string, float * float) Hashtbl.t;  (* "a|b" -> latency,bw *)
+  partitions : (string, unit) Hashtbl.t;
+  acked : (int, unit) Hashtbl.t;  (* message ids confirmed by an ack *)
+  delivered : (int, unit) Hashtbl.t;  (* message ids handed to a handler *)
+  mutable next_msg_id : int;
+  mutable dropped : int;
+  mutable retransmitted : int;
+  mutable lost : int;
+  mutable observer :
+    (now:float -> src:address -> dst:address -> category:Stats.category ->
+     size:int -> attempt:int -> unit)
+    option;
+}
+
+let link_key a b = if a <= b then a ^ "|" ^ b else b ^ "|" ^ a
+
+let create ?(default_latency_ms = 1.0) ?(default_bandwidth_bpms = 1000.)
+    ?(drop_rate = 0.) ?(jitter_ms = 0.) ?reliability ?(seed = 42L) () =
+  {
+    sim = Sim.create ();
+    stats = Stats.create ();
+    rng = Splitmix.create seed;
+    default_latency = default_latency_ms;
+    default_bandwidth = default_bandwidth_bpms;
+    drop_rate;
+    jitter = jitter_ms;
+    reliability;
+    handlers = Hashtbl.create 16;
+    links = Hashtbl.create 16;
+    partitions = Hashtbl.create 4;
+    acked = Hashtbl.create 64;
+    delivered = Hashtbl.create 64;
+    next_msg_id = 0;
+    dropped = 0;
+    retransmitted = 0;
+    lost = 0;
+    observer = None;
+  }
+
+let sim t = t.sim
+let stats t = t.stats
+
+let add_host t addr ~handler =
+  if Hashtbl.mem t.handlers addr then
+    invalid_arg (Printf.sprintf "Net.add_host: duplicate address %S" addr);
+  Hashtbl.replace t.handlers addr handler
+
+let set_link t a b ~latency_ms ~bandwidth_bpms =
+  Hashtbl.replace t.links (link_key a b) (latency_ms, bandwidth_bpms)
+
+let on_send t f = t.observer <- Some f
+
+let observe t ~src ~dst ~category ~size ~attempt =
+  match t.observer with
+  | None -> ()
+  | Some f -> f ~now:(Sim.now t.sim) ~src ~dst ~category ~size ~attempt
+
+let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (link_key a b)
+
+let link_params t a b =
+  match Hashtbl.find_opt t.links (link_key a b) with
+  | Some p -> p
+  | None -> (t.default_latency, t.default_bandwidth)
+
+(* One transmission attempt is lost when the pair is partitioned or the
+   coin says so. *)
+let attempt_lost t ~src ~dst =
+  Hashtbl.mem t.partitions (link_key src dst)
+  || (t.drop_rate > 0. && Splitmix.float t.rng < t.drop_rate)
+
+let transfer_delay t ~src ~dst ~size =
+  let latency, bandwidth = link_params t src dst in
+  let jitter = if t.jitter > 0. then Splitmix.float t.rng *. t.jitter else 0. in
+  latency +. (float_of_int size /. bandwidth) +. jitter
+
+let send t ~src ~dst ~category ~size payload =
+  let handler =
+    match Hashtbl.find_opt t.handlers dst with
+    | Some h -> h
+    | None -> invalid_arg (Printf.sprintf "Net.send: unknown host %S" dst)
+  in
+  match t.reliability with
+  | None ->
+      Stats.record t.stats category ~bytes:size;
+      observe t ~src ~dst ~category ~size ~attempt:0;
+      if attempt_lost t ~src ~dst then t.dropped <- t.dropped + 1
+      else begin
+        let delay = transfer_delay t ~src ~dst ~size in
+        Sim.schedule t.sim ~delay (fun () ->
+            Stats.record_latency t.stats category ~ms:delay;
+            handler ~net:t ~src payload)
+      end
+  | Some r ->
+      let msg_id = t.next_msg_id in
+      t.next_msg_id <- msg_id + 1;
+      let sent_at = Sim.now t.sim in
+      (* On (each) arrival: deliver exactly once, always (re-)ack. *)
+      let on_arrival () =
+        if not (Hashtbl.mem t.delivered msg_id) then begin
+          Hashtbl.add t.delivered msg_id ();
+          Stats.record_latency t.stats category ~ms:(Sim.now t.sim -. sent_at);
+          handler ~net:t ~src payload
+        end;
+        (* The ack travels back and may itself be lost. *)
+        Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
+        if attempt_lost t ~src:dst ~dst:src then t.dropped <- t.dropped + 1
+        else begin
+          let ack_delay = transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes in
+          Sim.schedule t.sim ~delay:ack_delay (fun () ->
+              Hashtbl.replace t.acked msg_id ())
+        end
+      in
+      let rec attempt n =
+        Stats.record t.stats category ~bytes:size;
+        observe t ~src ~dst ~category ~size ~attempt:n;
+        if n > 0 then t.retransmitted <- t.retransmitted + 1;
+        let arrived = not (attempt_lost t ~src ~dst) in
+        if arrived then begin
+          let delay = transfer_delay t ~src ~dst ~size in
+          Sim.schedule t.sim ~delay on_arrival
+        end
+        else t.dropped <- t.dropped + 1;
+        (* Retransmission timer: fires whether or not this attempt
+           arrived; a lost ack also triggers a retry. *)
+        Sim.schedule t.sim ~delay:r.retransmit_ms (fun () ->
+            if not (Hashtbl.mem t.acked msg_id) then
+              if n < r.max_retries then attempt (n + 1)
+              else if not (Hashtbl.mem t.delivered msg_id) then
+                t.lost <- t.lost + 1)
+      in
+      attempt 0
+
+let run t = Sim.run t.sim
+let now_ms t = Sim.now t.sim
+let hosts t = Hashtbl.fold (fun a _ acc -> a :: acc) t.handlers []
+let dropped_messages t = t.dropped
+let retransmissions t = t.retransmitted
+let lost_messages t = t.lost

@@ -1,0 +1,87 @@
+(** The simulated network: addressed hosts, latency/bandwidth links,
+    deterministic loss, optional reliable delivery, per-category
+    accounting.
+
+    Polymorphic in the payload so the middleware layers its own message
+    type on top; the network charges each message by the byte [size] the
+    sender declares (computed from real wire renderings upstream).
+
+    {1 Reliability}
+
+    With {!reliability} configured, every send is acknowledged and
+    retransmitted on a timer until acked or out of retries — an abstract
+    ARQ layer. Retransmissions are charged again in the {!Stats} (and acks
+    as [Control] bytes), so loss shows up as traffic and latency, the way
+    it would over a real transport. Duplicate deliveries caused by lost
+    acks are suppressed (exactly-once delivery to handlers). Without it,
+    a dropped message is simply gone — which stalls request/reply
+    protocols, as it should. *)
+
+type address = string
+
+type reliability = {
+  retransmit_ms : float;  (** Timer before an unacked send is retried. *)
+  max_retries : int;  (** Attempts beyond the first before giving up. *)
+  ack_bytes : int;  (** Wire size charged per acknowledgement. *)
+}
+
+val default_reliability : reliability
+(** 50 ms timer, 5 retries, 16-byte acks. *)
+
+type 'a t
+
+val create : ?default_latency_ms:float -> ?default_bandwidth_bpms:float ->
+  ?drop_rate:float -> ?jitter_ms:float -> ?reliability:reliability ->
+  ?seed:int64 -> unit -> 'a t
+(** Defaults: 1.0 ms latency, 1000 bytes/ms (~1 MB/s) bandwidth, no drops,
+    no jitter, no reliability layer, seed 42. *)
+
+val sim : 'a t -> Sim.t
+val stats : 'a t -> Stats.t
+
+val add_host : 'a t -> address ->
+  handler:(net:'a t -> src:address -> 'a -> unit) -> unit
+(** @raise Invalid_argument on a duplicate address. *)
+
+val set_link : 'a t -> address -> address -> latency_ms:float ->
+  bandwidth_bpms:float -> unit
+(** Overrides the defaults for both directions of the pair. *)
+
+val partition : 'a t -> address -> address -> unit
+(** Drop all traffic between the pair until {!heal}. Under reliability the
+    senders keep retrying, so short partitions only delay delivery. *)
+
+val heal : 'a t -> address -> address -> unit
+
+val send : 'a t -> src:address -> dst:address -> category:Stats.category ->
+  size:int -> 'a -> unit
+(** Enqueue a message: records [size] bytes, applies latency + size/bandwidth
+    (+ jitter), may drop. Delivery invokes the destination handler inside
+    the simulation.
+    @raise Invalid_argument for an unknown destination. *)
+
+val on_send : 'a t ->
+  (now:float -> src:address -> dst:address -> category:Stats.category ->
+   size:int -> attempt:int -> unit) -> unit
+(** Install an observer called for every transmission attempt (the
+    {!Trace} module builds message logs from this). [attempt] is [0] for
+    the first transmission and counts retransmissions up. Replaces any
+    previous observer. *)
+
+val run : 'a t -> unit
+(** Run the simulation to quiescence. *)
+
+val now_ms : 'a t -> float
+val hosts : 'a t -> address list
+
+val dropped_messages : 'a t -> int
+(** Transmission attempts lost to drops/partitions (including attempts
+    that were later retried successfully). *)
+
+val retransmissions : 'a t -> int
+(** Extra attempts made by the reliability layer. *)
+
+val lost_messages : 'a t -> int
+(** Messages abandoned after exhausting retries (always 0 without
+    reliability — unreliable sends are counted in
+    {!dropped_messages} only). *)

@@ -1,0 +1,63 @@
+type event = {
+  at : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  queue : event Pti_util.Pqueue.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let cmp a b =
+  match Float.compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { queue = Pti_util.Pqueue.create ~cmp (); clock = 0.; next_seq = 0 }
+
+let now t = t.clock
+
+let push_event t ~at thunk =
+  let at = if at < t.clock then t.clock else at in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = { at; seq; thunk; cancelled = false } in
+  Pti_util.Pqueue.push t.queue e;
+  e
+
+let schedule_at t ~at thunk = ignore (push_event t ~at thunk)
+
+let schedule t ~delay thunk =
+  let delay = if delay < 0. then 0. else delay in
+  schedule_at t ~at:(t.clock +. delay) thunk
+
+let schedule_cancellable t ~delay thunk =
+  let delay = if delay < 0. then 0. else delay in
+  let e = push_event t ~at:(t.clock +. delay) thunk in
+  fun () -> e.cancelled <- true
+
+(* Cancelled events are discarded without touching the clock. *)
+let rec step t =
+  match Pti_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some e when e.cancelled -> step t
+  | Some e ->
+      t.clock <- e.at;
+      e.thunk ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Pti_util.Pqueue.peek t.queue with
+    | Some e when e.cancelled -> ignore (Pti_util.Pqueue.pop t.queue)
+    | Some e when e.at <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let pending t = Pti_util.Pqueue.length t.queue

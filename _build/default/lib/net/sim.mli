@@ -1,0 +1,36 @@
+(** Discrete-event simulation core.
+
+    A priority queue of timestamped thunks; time advances only when events
+    fire, so runs are deterministic and as fast as the host CPU. Simulated
+    time is in milliseconds (matching the paper's reporting unit). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (ms). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
+    clamped to 0. Events at equal times fire in scheduling order. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+
+val schedule_cancellable : t -> delay:float -> (unit -> unit) ->
+  (unit -> unit)
+(** Like {!schedule}, returning a cancel thunk. A cancelled event is
+    skipped without advancing the clock, so armed-but-unneeded timers
+    (request timeouts, leases) do not stretch the simulated run. *)
+
+val step : t -> bool
+(** Fire the next event; [false] when the queue is empty. *)
+
+val run : t -> unit
+(** Run to quiescence. *)
+
+val run_until : t -> float -> unit
+(** Fire every event with a timestamp [<=] the given time, advancing the
+    clock to exactly that time. *)
+
+val pending : t -> int

@@ -1,0 +1,101 @@
+type category =
+  | Object_msg
+  | Tdesc_request
+  | Tdesc_reply
+  | Asm_request
+  | Asm_reply
+  | Invoke_request
+  | Invoke_reply
+  | Control
+
+let all_categories =
+  [
+    Object_msg; Tdesc_request; Tdesc_reply; Asm_request; Asm_reply;
+    Invoke_request; Invoke_reply; Control;
+  ]
+
+let category_name = function
+  | Object_msg -> "object"
+  | Tdesc_request -> "tdesc-req"
+  | Tdesc_reply -> "tdesc-reply"
+  | Asm_request -> "asm-req"
+  | Asm_reply -> "asm-reply"
+  | Invoke_request -> "invoke-req"
+  | Invoke_reply -> "invoke-reply"
+  | Control -> "control"
+
+let index = function
+  | Object_msg -> 0
+  | Tdesc_request -> 1
+  | Tdesc_reply -> 2
+  | Asm_request -> 3
+  | Asm_reply -> 4
+  | Invoke_request -> 5
+  | Invoke_reply -> 6
+  | Control -> 7
+
+type t = {
+  bytes : int array;
+  messages : int array;
+  latencies : float list ref array;  (* reversed *)
+}
+
+let create () =
+  {
+    bytes = Array.make 8 0;
+    messages = Array.make 8 0;
+    latencies = Array.init 8 (fun _ -> ref []);
+  }
+
+let record t c ~bytes =
+  let i = index c in
+  t.bytes.(i) <- t.bytes.(i) + bytes;
+  t.messages.(i) <- t.messages.(i) + 1
+
+let bytes t c = t.bytes.(index c)
+let messages t c = t.messages.(index c)
+let total_bytes t = Array.fold_left ( + ) 0 t.bytes
+let total_messages t = Array.fold_left ( + ) 0 t.messages
+
+let reset t =
+  Array.fill t.bytes 0 8 0;
+  Array.fill t.messages 0 8 0;
+  Array.iter (fun r -> r := []) t.latencies
+
+let record_latency t c ~ms =
+  let r = t.latencies.(index c) in
+  r := ms :: !r
+
+let latency_samples t c = List.rev !(t.latencies.(index c))
+
+let latency_percentile t c p =
+  if p < 0. || p > 1. then invalid_arg "Stats.latency_percentile";
+  match !(t.latencies.(index c)) with
+  | [] -> None
+  | samples ->
+      let sorted = List.sort Float.compare samples in
+      let n = List.length sorted in
+      let rank =
+        min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
+      in
+      Some (List.nth sorted rank)
+
+let merge a b =
+  let t = create () in
+  for i = 0 to 7 do
+    t.bytes.(i) <- a.bytes.(i) + b.bytes.(i);
+    t.messages.(i) <- a.messages.(i) + b.messages.(i);
+    t.latencies.(i) := !(b.latencies.(i)) @ !(a.latencies.(i))
+  done;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-14s %10s %12s@," "category" "messages" "bytes";
+  List.iter
+    (fun c ->
+      if messages t c > 0 then
+        Format.fprintf ppf "%-14s %10d %12d@," (category_name c)
+          (messages t c) (bytes t c))
+    all_categories;
+  Format.fprintf ppf "%-14s %10d %12d@]" "total" (total_messages t)
+    (total_bytes t)

@@ -1,0 +1,48 @@
+(** Per-category traffic accounting.
+
+    The paper's headline for the optimistic protocol is that it "saves
+    network resources": type representations and code travel only when
+    needed. These counters are how experiment E5 observes that. *)
+
+type category =
+  | Object_msg  (** Hybrid envelopes carrying objects (Figure 3). *)
+  | Tdesc_request
+  | Tdesc_reply  (** Type descriptions (§5.2). *)
+  | Asm_request
+  | Asm_reply  (** Assemblies — downloaded code. *)
+  | Invoke_request
+  | Invoke_reply  (** Pass-by-reference remote invocations. *)
+  | Control  (** Everything else (acks, errors). *)
+
+val all_categories : category list
+val category_name : category -> string
+
+type t
+
+val create : unit -> t
+val record : t -> category -> bytes:int -> unit
+val bytes : t -> category -> int
+val messages : t -> category -> int
+val total_bytes : t -> int
+val total_messages : t -> int
+val reset : t -> unit
+
+val merge : t -> t -> t
+(** Sum of two accountings (fresh; latency samples are concatenated). *)
+
+(** {1 Delivery latencies} *)
+
+val record_latency : t -> category -> ms:float -> unit
+(** Called by the network when a message is first delivered: simulated
+    time between the original send and the arrival. *)
+
+val latency_samples : t -> category -> float list
+(** Chronological. *)
+
+val latency_percentile : t -> category -> float -> float option
+(** [latency_percentile t c 0.5] is the median delivery latency of the
+    category (nearest-rank); [None] when no sample exists. The argument
+    must be in [\[0;1\]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned table of category / messages / bytes. *)

@@ -1,0 +1,86 @@
+type entry = {
+  at : float;
+  src : Net.address;
+  dst : Net.address;
+  category : Stats.category;
+  size : int;
+  attempt : int;
+}
+
+type t = { mutable log : entry list (* reversed *) }
+
+let attach net =
+  let t = { log = [] } in
+  Net.on_send net (fun ~now ~src ~dst ~category ~size ~attempt ->
+      t.log <- { at = now; src; dst; category; size; attempt } :: t.log);
+  t
+
+let entries t = List.rev t.log
+let clear t = t.log <- []
+
+let count t ?category () =
+  match category with
+  | None -> List.length t.log
+  | Some c -> List.length (List.filter (fun e -> e.category = c) t.log)
+
+let label e =
+  Printf.sprintf "%s %dB%s"
+    (Stats.category_name e.category)
+    e.size
+    (if e.attempt > 0 then Printf.sprintf " (retry %d)" e.attempt else "")
+
+let pp_log ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%8.2f  %-12s -> %-12s %s@," e.at e.src e.dst
+        (label e))
+    (entries t);
+  Format.fprintf ppf "@]"
+
+(* The two hosts exchanging the most messages become the chart lanes. *)
+let busiest_pair t =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let key = if e.src <= e.dst then (e.src, e.dst) else (e.dst, e.src) in
+      Hashtbl.replace tally key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    t.log;
+  Hashtbl.fold
+    (fun pair n best ->
+      match best with
+      | Some (_, m) when m >= n -> best
+      | _ -> Some (pair, n))
+    tally None
+  |> Option.map fst
+
+let pp_sequence ppf t =
+  match busiest_pair t with
+  | None -> Format.fprintf ppf "(no traffic)@."
+  | Some (left, right) ->
+      let lane_width = 30 in
+      Format.fprintf ppf "@[<v>%8s  %-12s %s %12s@," "ms" left
+        (String.make lane_width ' ')
+        right;
+      let others = ref [] in
+      List.iter
+        (fun e ->
+          if e.src = left && e.dst = right then
+            Format.fprintf ppf "%8.2f  %-12s|--%-*s-->|%12s@," e.at ""
+              (lane_width - 6) (label e) ""
+          else if e.src = right && e.dst = left then
+            Format.fprintf ppf "%8.2f  %-12s|<--%-*s--|%12s@," e.at ""
+              (lane_width - 6) (label e) ""
+          else others := e :: !others)
+        (entries t);
+      (match List.rev !others with
+      | [] -> ()
+      | rest ->
+          Format.fprintf ppf "@,other traffic:@,";
+          List.iter
+            (fun e ->
+              Format.fprintf ppf "%8.2f  %-12s -> %-12s %s@," e.at e.src
+                e.dst (label e))
+            rest);
+      Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Message traces: record every transmission on a network and render it
+    as a time-ordered log or a two-party sequence chart.
+
+    Useful for understanding the optimistic protocol's choreography
+    (Figure 1 comes out of a trace of the quickstart example) and for
+    asserting protocol shapes in tests without poking at aggregate
+    statistics. *)
+
+type entry = {
+  at : float;  (** Simulated ms at which the send was issued. *)
+  src : Net.address;
+  dst : Net.address;
+  category : Stats.category;
+  size : int;
+  attempt : int;  (** 0 = first transmission, >0 = retransmission. *)
+}
+
+type t
+
+val attach : 'a Net.t -> t
+(** Start recording (replaces any previously installed observer). *)
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val clear : t -> unit
+
+val count : t -> ?category:Stats.category -> unit -> int
+
+val pp_log : Format.formatter -> t -> unit
+(** One line per transmission: time, endpoints, category, size. *)
+
+val pp_sequence : Format.formatter -> t -> unit
+(** A sequence chart between the two busiest hosts (arrows left/right);
+    traffic involving other hosts is shown in log form beneath. *)

@@ -1,0 +1,1 @@
+lib/proxy/dynamic_proxy.ml: Eval List Printf Pti_conformance Pti_cts Pti_typedesc Pti_util Registry String Ty Value

@@ -1,0 +1,1 @@
+lib/proxy/dynamic_proxy.mli: Pti_conformance Pti_cts Registry Value

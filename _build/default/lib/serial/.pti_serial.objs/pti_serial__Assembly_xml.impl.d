@@ -1,0 +1,1 @@
+lib/serial/assembly_xml.ml: Assembly Char Expr Format List Meta Printf Pti_cts Pti_util Pti_xml Result String Ty

@@ -1,0 +1,1 @@
+lib/serial/assembly_xml.mli: Assembly Expr Meta Pti_cts Pti_xml

@@ -1,0 +1,1 @@
+lib/serial/bin_ser.ml: Array Bytes_io Char Format Hashtbl List Meta Printf Pti_cts Registry String Ty Value

@@ -1,0 +1,1 @@
+lib/serial/bin_ser.mli: Format Pti_cts Registry Value

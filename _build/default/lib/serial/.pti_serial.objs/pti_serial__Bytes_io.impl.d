@@ -1,0 +1,1 @@
+lib/serial/bytes_io.ml: Buffer Char Int64 Printf String Sys

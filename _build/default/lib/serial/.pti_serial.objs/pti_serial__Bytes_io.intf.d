@@ -1,0 +1,1 @@
+lib/serial/bytes_io.mli:

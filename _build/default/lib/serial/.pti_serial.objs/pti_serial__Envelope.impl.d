@@ -1,0 +1,1 @@
+lib/serial/envelope.ml: Array Bin_ser Format Hashtbl List Meta Printf Pti_cts Pti_util Pti_xml Registry Result Soap_ser String Value

@@ -1,0 +1,1 @@
+lib/serial/envelope.mli: Format Pti_cts Pti_util Pti_xml Registry Value

@@ -1,0 +1,1 @@
+lib/serial/soap_ser.ml: Array Char Format Hashtbl List Meta Printf Pti_cts Pti_xml Registry String Ty Value

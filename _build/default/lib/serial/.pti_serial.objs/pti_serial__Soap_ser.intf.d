@@ -1,0 +1,1 @@
+lib/serial/soap_ser.mli: Format Pti_cts Pti_xml Registry Value

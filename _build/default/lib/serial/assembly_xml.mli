@@ -1,0 +1,20 @@
+(** XML codec for assemblies — the bytes that travel when a receiver
+    downloads code (Figure 1, step 5).
+
+    Unlike type descriptions, assemblies carry full class definitions
+    including interpreted method bodies, which is what makes them an order
+    of magnitude heavier on the wire. *)
+
+open Pti_cts
+
+val expr_to_xml : Expr.t -> Pti_xml.Xml.t
+val expr_of_xml : Pti_xml.Xml.t -> (Expr.t, string) result
+
+val class_to_xml : Meta.class_def -> Pti_xml.Xml.t
+val class_of_xml : Pti_xml.Xml.t -> (Meta.class_def, string) result
+
+val to_xml : Assembly.t -> Pti_xml.Xml.t
+val of_xml : Pti_xml.Xml.t -> (Assembly.t, string) result
+
+val to_string : Assembly.t -> string
+val of_string : string -> (Assembly.t, string) result

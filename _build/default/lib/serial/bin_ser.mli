@@ -1,0 +1,31 @@
+(** Compact binary object-graph serializer — the paper's "binary
+    serialization" payload option (§6.2).
+
+    Handles shared references and cycles through per-graph object ids, and
+    interns class and field names in a string table. Like the platform
+    serializers the paper discusses (§5.2), {e decoding requires the
+    object's classes to be loaded}: decoding against a registry missing a
+    class fails with [Unknown_type], which is what forces the protocol to
+    download code first. *)
+
+open Pti_cts
+
+type error =
+  | Malformed of string
+  | Unknown_type of string  (** Qualified class name not in the registry. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Value.value -> string
+(** Proxies are serialized through their wrapped target (a proxy is a local
+    artifact; what travels is the real object).
+    @raise Invalid_argument if the graph contains no serializable form. *)
+
+val decode : Registry.t -> string -> (Value.value, error) result
+(** Rebuilds the graph with fresh object ids. Fields not declared by the
+    (loaded) class are dropped; declared fields missing from the payload
+    keep their default values. *)
+
+val class_names : string -> (string list, error) result
+(** The distinct class names mentioned by an encoded payload, without
+    decoding values — how a receiver learns what it must resolve. *)

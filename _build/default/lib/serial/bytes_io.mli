@@ -1,0 +1,43 @@
+(** Primitive binary readers/writers shared by the binary serializer.
+
+    Integers use LEB128 varints (zigzag for signed), floats are IEEE-754
+    little-endian, strings are length-prefixed. *)
+
+module Writer : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val contents : t -> string
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; value must be >= 0. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed (zigzag) LEB128. *)
+
+  val f64 : t -> float -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+
+  val raw : t -> string -> unit
+  (** Append bytes verbatim (magic headers). *)
+end
+
+module Reader : sig
+  type t
+
+  exception Underflow of string
+  (** Raised on truncated or malformed input. *)
+
+  val create : string -> t
+  val pos : t -> int
+  val at_end : t -> bool
+  val u8 : t -> int
+  val varint : t -> int
+  val zigzag : t -> int
+  val f64 : t -> float
+  val string : t -> string
+  val bool : t -> bool
+  val expect_magic : t -> string -> unit
+end

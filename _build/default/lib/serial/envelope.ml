@@ -1,0 +1,181 @@
+open Pti_cts
+module Xml = Pti_xml.Xml
+module Guid = Pti_util.Guid
+module B64 = Pti_util.Base64
+
+type codec = Soap | Binary
+
+type type_entry = {
+  te_name : string;
+  te_guid : Guid.t;
+  te_assembly : string;
+  te_download_path : string;
+}
+
+type payload = Psoap of Xml.t | Pbinary of string
+
+type t = { env_types : type_entry list; env_payload : payload }
+
+type error = Malformed of string | Unknown_type of string
+
+let pp_error ppf = function
+  | Malformed m -> Format.fprintf ppf "malformed envelope: %s" m
+  | Unknown_type ty -> Format.fprintf ppf "unknown type %S" ty
+
+(* Distinct class names reachable from a value, in first-visit order. *)
+let graph_classes v =
+  let seen_obj = Hashtbl.create 16 in
+  let found = ref [] in
+  let rec go v =
+    match v with
+    | Value.Vnull | Value.Vbool _ | Value.Vint _ | Value.Vfloat _
+    | Value.Vstring _ | Value.Vchar _ ->
+        ()
+    | Value.Vproxy p -> go p.Value.px_target
+    | Value.Varr a -> Array.iter go a.Value.items
+    | Value.Vobj o ->
+        if not (Hashtbl.mem seen_obj o.Value.oid) then begin
+          Hashtbl.add seen_obj o.Value.oid ();
+          if not (List.exists (Pti_util.Strutil.equal_ci o.Value.cls) !found)
+          then found := o.Value.cls :: !found;
+          Hashtbl.iter (fun _ v -> go v) o.Value.fields
+        end
+  in
+  go v;
+  List.rev !found
+
+let make reg ~codec ~download_path v =
+  let classes = graph_classes v in
+  let env_types =
+    List.map
+      (fun cls ->
+        match Registry.find reg cls with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Envelope.make: class %S not registered" cls)
+        | Some cd ->
+            {
+              te_name = Meta.qualified_name cd;
+              te_guid = cd.Meta.td_guid;
+              te_assembly = cd.Meta.td_assembly;
+              te_download_path = download_path ~assembly:cd.Meta.td_assembly;
+            })
+      classes
+  in
+  let env_payload =
+    match codec with
+    | Soap -> Psoap (Soap_ser.encode_xml v)
+    | Binary -> Pbinary (Bin_ser.encode v)
+  in
+  { env_types; env_payload }
+
+let required_classes t = List.map (fun e -> e.te_name) t.env_types
+
+let payload_codec t =
+  match t.env_payload with Psoap _ -> Soap | Pbinary _ -> Binary
+
+let decode_payload reg t =
+  match t.env_payload with
+  | Psoap x -> (
+      match Soap_ser.decode_xml reg x with
+      | Ok v -> Ok v
+      | Error (Soap_ser.Malformed m) -> Error (Malformed m)
+      | Error (Soap_ser.Unknown_type ty) -> Error (Unknown_type ty))
+  | Pbinary b -> (
+      match Bin_ser.decode reg b with
+      | Ok v -> Ok v
+      | Error (Bin_ser.Malformed m) -> Error (Malformed m)
+      | Error (Bin_ser.Unknown_type ty) -> Error (Unknown_type ty))
+
+let to_xml t =
+  let open Xml in
+  elt "envelope"
+    (List.map
+       (fun e ->
+         elt "type"
+           ~attrs:
+             [
+               ("name", e.te_name);
+               ("guid", Guid.to_string e.te_guid);
+               ("assembly", e.te_assembly);
+               ("downloadPath", e.te_download_path);
+             ]
+           [])
+       t.env_types
+    @ [
+        (match t.env_payload with
+        | Psoap x -> elt "payload" ~attrs:[ ("encoding", "soap") ] [ x ]
+        | Pbinary b ->
+            elt "payload"
+              ~attrs:[ ("encoding", "binary") ]
+              [ text (B64.encode b) ]);
+      ])
+
+let attr name x =
+  match Xml.attr name x with
+  | Some v -> Ok v
+  | None -> Error (Malformed (Printf.sprintf "missing attribute %S" name))
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let of_xml x =
+  match Xml.tag x with
+  | Some "envelope" ->
+      let* env_types =
+        map_result
+          (fun e ->
+            let* te_name = attr "name" e in
+            let* guid_s = attr "guid" e in
+            let* te_guid =
+              match Guid.of_string guid_s with
+              | Some g -> Ok g
+              | None -> Error (Malformed (Printf.sprintf "bad guid %S" guid_s))
+            in
+            let* te_assembly = attr "assembly" e in
+            let* te_download_path = attr "downloadPath" e in
+            Ok { te_name; te_guid; te_assembly; te_download_path })
+          (Xml.childs "type" x)
+      in
+      let* payload_elt =
+        match Xml.child "payload" x with
+        | Some p -> Ok p
+        | None -> Error (Malformed "missing <payload>")
+      in
+      let* encoding = attr "encoding" payload_elt in
+      let* env_payload =
+        match encoding with
+        | "soap" -> (
+            match
+              List.filter
+                (function Xml.Element _ -> true | _ -> false)
+                (Xml.children payload_elt)
+            with
+            | [ inner ] -> Ok (Psoap inner)
+            | _ -> Error (Malformed "soap payload expects one element"))
+        | "binary" -> (
+            match B64.decode (Xml.text_content payload_elt) with
+            | Some b -> Ok (Pbinary b)
+            | None -> Error (Malformed "bad base64 payload"))
+        | other ->
+            Error (Malformed (Printf.sprintf "unknown encoding %S" other))
+      in
+      Ok { env_types; env_payload }
+  | Some other ->
+      Error (Malformed (Printf.sprintf "expected <envelope>, got <%s>" other))
+  | None -> Error (Malformed "expected an element")
+
+let to_string t = Xml.to_string (to_xml t)
+
+let of_string s =
+  match Xml.parse s with
+  | Error e -> Error (Malformed (Format.asprintf "%a" Xml.pp_error e))
+  | Ok x -> of_xml x
+
+let size_bytes t = String.length (to_string t)

@@ -1,0 +1,50 @@
+(** The hybrid XML message of Figure 3.
+
+    What actually travels when an object is sent: a human-readable XML
+    envelope listing, for every class occurring in the object graph, its
+    name, GUID, assembly and download path — plus the serialized object
+    itself as an embedded SOAP element or a base64 binary blob. Crucially
+    the envelope does {e not} carry the type description or the code; those
+    are fetched on demand (the optimistic protocol). *)
+
+open Pti_cts
+
+type codec = Soap | Binary
+
+type type_entry = {
+  te_name : string;  (** Qualified class name. *)
+  te_guid : Pti_util.Guid.t;
+  te_assembly : string;
+  te_download_path : string;  (** Where the implementation can be fetched. *)
+}
+
+type payload = Psoap of Pti_xml.Xml.t | Pbinary of string
+
+type t = { env_types : type_entry list; env_payload : payload }
+
+type error = Malformed of string | Unknown_type of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val make : Registry.t -> codec:codec ->
+  download_path:(assembly:string -> string) -> Value.value -> t
+(** Serializes the value with the chosen codec and collects a [type_entry]
+    per distinct class in the graph (graph order).
+    @raise Invalid_argument if a class in the graph is not registered on
+    the sending host. *)
+
+val required_classes : t -> string list
+(** Names the receiver must have loaded before the payload can decode. *)
+
+val payload_codec : t -> codec
+
+val decode_payload : Registry.t -> t -> (Value.value, error) result
+(** Fails with [Unknown_type] when a class is not (yet) loaded — the signal
+    that triggers the download subprotocol. *)
+
+val to_xml : t -> Pti_xml.Xml.t
+val of_xml : Pti_xml.Xml.t -> (t, error) result
+val to_string : t -> string
+val of_string : string -> (t, error) result
+
+val size_bytes : t -> int

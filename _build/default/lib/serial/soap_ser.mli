@@ -1,0 +1,25 @@
+(** SOAP-style XML object-graph serializer (§6.2).
+
+    Mirrors SOAP section-5 encoding in miniature: every object is an
+    element carrying an [id]; repeated occurrences become [<ref href>]
+    elements (multi-ref), which also makes cycles serializable. Encoding
+    walks the object graph and builds an XML tree, so it is markedly more
+    expensive than decoding — the asymmetry the paper measures in §7.3. *)
+
+open Pti_cts
+
+type error =
+  | Malformed of string
+  | Unknown_type of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode_xml : Value.value -> Pti_xml.Xml.t
+val encode : Value.value -> string
+(** The XML text of {!encode_xml}, wrapped in a [<soap:Envelope>]. *)
+
+val decode_xml : Registry.t -> Pti_xml.Xml.t -> (Value.value, error) result
+val decode : Registry.t -> string -> (Value.value, error) result
+
+val class_names : Pti_xml.Xml.t -> string list
+(** Distinct class names mentioned by an encoded payload element. *)

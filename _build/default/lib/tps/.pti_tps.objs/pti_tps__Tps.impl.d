@@ -1,0 +1,1 @@
+lib/tps/tps.ml: List Pti_core Pti_cts Pti_net String Value

@@ -1,0 +1,1 @@
+lib/tps/tps.mli: Pti_core Pti_cts Pti_net Value

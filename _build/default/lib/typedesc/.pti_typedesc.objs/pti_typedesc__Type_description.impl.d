@@ -1,0 +1,1 @@
+lib/typedesc/type_description.ml: Buffer Digest Format List Meta Option Printf Pti_cts Pti_util Pti_xml Registry Result String Ty

@@ -1,0 +1,1 @@
+lib/typedesc/type_description.mli: Format Meta Pti_cts Pti_util Pti_xml Registry Ty

@@ -1,0 +1,1 @@
+lib/util/guid.ml: Array Buffer Bytes Char Format Int64 Printf Splitmix String

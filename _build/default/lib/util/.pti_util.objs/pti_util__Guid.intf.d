@@ -1,0 +1,1 @@
+lib/util/guid.mli: Format Splitmix

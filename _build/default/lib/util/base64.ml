@@ -1,0 +1,92 @@
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i]
+    and b1 = Char.code s.[!i + 1]
+    and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char out alphabet.[b0 lsr 2];
+    Buffer.add_char out alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char out alphabet.[((b1 land 0xf) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char out alphabet.[b2 land 0x3f];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = Char.code s.[!i] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[(b0 land 0x3) lsl 4];
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+      Buffer.add_char out alphabet.[(b1 land 0xf) lsl 2];
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let value_of = function
+  | 'A' .. 'Z' as c -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' as c -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let decode s =
+  let out = Buffer.create (String.length s * 3 / 4) in
+  let quad = Array.make 4 0 in
+  let k = ref 0 in
+  let pad = ref 0 in
+  let bad = ref false in
+  let flush () =
+    let b0 = quad.(0) and b1 = quad.(1) and b2 = quad.(2) and b3 = quad.(3) in
+    Buffer.add_char out (Char.chr ((b0 lsl 2) lor (b1 lsr 4)));
+    if !pad < 2 then
+      Buffer.add_char out (Char.chr (((b1 land 0xf) lsl 4) lor (b2 lsr 2)));
+    if !pad < 1 then
+      Buffer.add_char out (Char.chr (((b2 land 0x3) lsl 6) lor b3))
+  in
+  String.iter
+    (fun c ->
+      if !bad then ()
+      else
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> ()
+        | '=' ->
+            if !k < 2 then bad := true
+            else begin
+              quad.(!k) <- 0;
+              incr k;
+              incr pad;
+              if !k = 4 then begin
+                flush ();
+                k := 0
+                (* further non-whitespace after completed padding is bad;
+                   handled by pad check below *)
+              end
+            end
+        | _ -> (
+            if !pad > 0 then bad := true
+            else
+              match value_of c with
+              | Some v ->
+                  quad.(!k) <- v;
+                  incr k;
+                  if !k = 4 then begin
+                    flush ();
+                    k := 0
+                  end
+              | None -> bad := true))
+    s;
+  if !bad || !k <> 0 || !pad > 2 then None else Some (Buffer.contents out)
+
+let decode_exn s =
+  match decode s with
+  | Some v -> v
+  | None -> invalid_arg "Base64.decode_exn: malformed input"

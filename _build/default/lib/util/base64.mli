@@ -1,0 +1,13 @@
+(** RFC 4648 base64 (standard alphabet, with padding).
+
+    The hybrid envelope of Figure 3 embeds binary-serialized payloads inside
+    an XML message; binary bytes are carried as base64 text. *)
+
+val encode : string -> string
+
+val decode : string -> string option
+(** [None] if the input is not well-formed base64 (whitespace is allowed and
+    ignored, as producers may line-wrap). *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed input. *)

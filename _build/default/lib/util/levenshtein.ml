@@ -1,0 +1,90 @@
+let lower = String.lowercase_ascii
+
+(* Classic two-row dynamic programme; O(|a|*|b|) time, O(min) space. *)
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Keep the shorter string in the inner dimension. *)
+    let a, b, la, lb = if la <= lb then a, b, la, lb else b, a, lb, la in
+    let prev = Array.init (la + 1) (fun i -> i) in
+    let cur = Array.make (la + 1) 0 in
+    for j = 1 to lb do
+      cur.(0) <- j;
+      let bj = b.[j - 1] in
+      for i = 1 to la do
+        let cost = if a.[i - 1] = bj then 0 else 1 in
+        cur.(i) <-
+          min (min (cur.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (la + 1)
+    done;
+    prev.(la)
+  end
+
+let distance_ci a b = distance (lower a) (lower b)
+
+let within ~limit a b =
+  if limit < 0 then invalid_arg "Levenshtein.within: negative limit";
+  let a = lower a and b = lower b in
+  let la = String.length a and lb = String.length b in
+  if abs (la - lb) > limit then false
+  else if limit = 0 then String.equal a b
+  else begin
+    (* Banded computation: cells further than [limit] from the diagonal can
+       never contribute to a distance <= limit. *)
+    let inf = max_int / 2 in
+    let prev = Array.make (la + 1) inf in
+    let cur = Array.make (la + 1) inf in
+    for i = 0 to min la limit do
+      prev.(i) <- i
+    done;
+    let exceeded = ref false in
+    let j = ref 1 in
+    while (not !exceeded) && !j <= lb do
+      Array.fill cur 0 (la + 1) inf;
+      if !j <= limit then cur.(0) <- !j;
+      let lo = max 1 (!j - limit) and hi = min la (!j + limit) in
+      let bj = b.[!j - 1] in
+      let row_min = ref inf in
+      for i = lo to hi do
+        let cost = if a.[i - 1] = bj then 0 else 1 in
+        let v =
+          min (min (cur.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+        in
+        cur.(i) <- v;
+        if v < !row_min then row_min := v
+      done;
+      if cur.(0) < !row_min then row_min := cur.(0);
+      if !row_min > limit then exceeded := true;
+      Array.blit cur 0 prev 0 (la + 1);
+      incr j
+    done;
+    (not !exceeded) && prev.(la) <= limit
+  end
+
+let similarity a b =
+  let la = String.length a and lb = String.length b in
+  let m = max la lb in
+  if m = 0 then 1. else 1. -. float_of_int (distance_ci a b) /. float_of_int m
+
+let wildcard_match ~pattern s =
+  let p = lower pattern and s = lower s in
+  let lp = String.length p and ls = String.length s in
+  (* Iterative matcher with single backtrack point per '*'; linear in
+     practice, worst case O(lp*ls). *)
+  let rec go pi si star_pi star_si =
+    if si >= ls then
+      (* Remaining pattern must be all '*'. *)
+      let rec only_stars k = k >= lp || (p.[k] = '*' && only_stars (k + 1)) in
+      only_stars pi
+    else if pi < lp && (p.[pi] = '?' || p.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if pi < lp && p.[pi] = '*' then go (pi + 1) si (Some pi) si
+    else
+      match star_pi with
+      | Some sp -> go (sp + 1) (star_si + 1) star_pi (star_si + 1)
+      | None -> false
+  in
+  go 0 0 None 0

@@ -1,0 +1,27 @@
+(** Levenshtein edit distance, used by the conformance name rule (i).
+
+    The paper requires the case-insensitive Levenshtein distance between two
+    identifiers to be [0] for them to conform; a configurable threshold and
+    wildcard matching are the paper's own suggested relaxations. *)
+
+val distance : string -> string -> int
+(** [distance a b] is the minimal number of single-character insertions,
+    deletions and substitutions turning [a] into [b]. Case sensitive. *)
+
+val distance_ci : string -> string -> int
+(** Case-insensitive (ASCII) variant of {!distance}. *)
+
+val within : limit:int -> string -> string -> bool
+(** [within ~limit a b] is [distance_ci a b <= limit], computed with an early
+    exit: the banded computation aborts as soon as the distance provably
+    exceeds [limit], making repeated conformance checks cheap. *)
+
+val similarity : string -> string -> float
+(** [similarity a b] is [1. -. distance_ci a b / max-length], in [[0.;1.]];
+    [1.] for equal strings (and for two empty strings). Used by the
+    [Best_score] ambiguity policy. *)
+
+val wildcard_match : pattern:string -> string -> bool
+(** Case-insensitive glob matching where ['*'] matches any run of characters
+    and ['?'] exactly one — the "wildcards could be allowed" extension of
+    §4.2. *)

@@ -1,0 +1,22 @@
+(** Imperative binary-heap priority queue (min-heap).
+
+    Backbone of the discrete-event network simulator: events are ordered by
+    delivery time, with a monotonically increasing sequence number breaking
+    ties so that simultaneous events pop in insertion order (deterministic
+    replay). *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** Current contents in internal (heap) order; for inspection in tests. *)

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Mask to OCaml's non-negative int range before reducing. *)
+  let v = Int64.to_int (next64 t) land max_int in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float v *. (1. /. 9007199254740992.)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let split t = create (next64 t)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Splitmix.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every source of randomness in the repository (GUID generation, workload
+    generators, property tests that need auxiliary noise) goes through this
+    module so that runs are reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0; bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0.; 1.)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

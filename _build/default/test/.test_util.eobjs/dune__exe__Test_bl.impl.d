@@ -1,0 +1,1 @@
+test/test_bl.ml: Alcotest Eval List Pti_bl Pti_core Pti_cts Pti_demo Pti_net Pti_proxy Value

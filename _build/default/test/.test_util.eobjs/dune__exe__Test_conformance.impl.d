@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Builder Expr Int64 List Meta Option Pti_conformance Pti_cts Pti_demo Pti_typedesc Pti_util QCheck QCheck_alcotest Registry String Ty

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Eval Format List Printf Pti_core Pti_cts Pti_demo Pti_net Pti_proxy Pti_serial Pti_typedesc Pti_util Registry String Value

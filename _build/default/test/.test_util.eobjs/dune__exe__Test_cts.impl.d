@@ -1,0 +1,1 @@
+test/test_cts.ml: Alcotest Assembly Builder Eval Expr Introspect List Meta Pti_cts Pti_demo Pti_serial Pti_typedesc Pti_util Registry String Ty Value

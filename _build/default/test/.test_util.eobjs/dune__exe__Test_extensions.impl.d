@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Assembly Builder Eval Expr List Option Pti_conformance Pti_cts Pti_demo Pti_idl Pti_proxy Pti_typedesc Registry String Ty Value

@@ -1,0 +1,1 @@
+test/test_idl.ml: Alcotest Assembly Eval List Meta Option Pti_conformance Pti_cts Pti_demo Pti_idl Pti_serial Pti_typedesc Pti_util Registry String Value

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Format List Pti_net String

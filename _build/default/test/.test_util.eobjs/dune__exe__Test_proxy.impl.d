@@ -1,0 +1,1 @@
+test/test_proxy.ml: Alcotest Builder Eval Expr Option Pti_conformance Pti_cts Pti_demo Pti_proxy Pti_typedesc Registry Sys Ty Value

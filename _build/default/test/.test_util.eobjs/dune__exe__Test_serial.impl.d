@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Assembly Eval Expr Hashtbl List Pti_cts Pti_demo Pti_serial Pti_xml QCheck QCheck_alcotest Registry Ty Value

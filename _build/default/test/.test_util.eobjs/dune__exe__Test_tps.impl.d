@@ -1,0 +1,1 @@
+test/test_tps.ml: Alcotest List Printf Pti_core Pti_cts Pti_demo Pti_net Pti_proxy Pti_tps Value

@@ -1,0 +1,1 @@
+test/test_typedesc.ml: Alcotest Array Builder Int64 List Meta Pti_cts Pti_demo Pti_typedesc Pti_util Pti_xml QCheck QCheck_alcotest Registry Ty

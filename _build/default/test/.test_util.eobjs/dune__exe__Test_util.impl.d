@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int64 List Pti_util QCheck QCheck_alcotest String

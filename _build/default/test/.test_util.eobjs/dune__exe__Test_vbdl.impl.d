@@ -1,0 +1,1 @@
+test/test_vbdl.ml: Alcotest Assembly Eval List Meta Option Pti_conformance Pti_cts Pti_demo Pti_idl Pti_proxy Pti_serial Pti_typedesc Pti_util Registry String Ty Value

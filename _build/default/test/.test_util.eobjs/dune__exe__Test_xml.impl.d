@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Hashtbl List Pti_xml QCheck QCheck_alcotest String

@@ -1,0 +1,607 @@
+(* End-to-end tests of the optimistic transport protocol (Figure 1) and the
+   pass-by-reference remoting layer. *)
+
+open Pti_cts
+module Peer = Pti_core.Peer
+module Message = Pti_core.Message
+module Net = Pti_net.Net
+module Stats = Pti_net.Stats
+module Proxy = Pti_proxy.Dynamic_proxy
+module Demo = Pti_demo.Demo_types
+
+let make_net () = Net.create ~seed:7L ()
+
+(* A world where the sender publishes social types, the receiver registered
+   an interest in its own news types. *)
+let two_peers ?mode ?codec () =
+  let net = make_net () in
+  let sender = Peer.create ?mode ?codec ~net "sender" in
+  let receiver = Peer.create ?mode ?codec ~net "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  (net, sender, receiver)
+
+let get_string = function
+  | Value.Vstring s -> s
+  | v -> Alcotest.failf "expected a string, got %s" (Value.type_name v)
+
+let get_int = function
+  | Value.Vint i -> i
+  | v -> Alcotest.failf "expected an int, got %s" (Value.type_name v)
+
+let test_pass_by_value_conformant () =
+  let net, sender, receiver = two_peers () in
+  let received = ref [] in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ v -> received := v :: !received);
+  let alice =
+    Demo.make_social_person (Peer.registry sender) ~name:"Alice" ~age:30
+  in
+  Peer.send_value sender ~dst:"receiver" alice;
+  Net.run net;
+  match !received with
+  | [ v ] ->
+      (* The proxy answers the receiver's vocabulary. *)
+      let name =
+        Proxy.invoke (Peer.registry receiver) v "getName" [] |> get_string
+      in
+      Alcotest.(check string) "name through proxy" "Alice" name;
+      let greeting =
+        Proxy.invoke (Peer.registry receiver) v "greet" [] |> get_string
+      in
+      Alcotest.(check string) "greet through proxy" "Hello, Alice" greeting;
+      let older =
+        Proxy.invoke (Peer.registry receiver) v "older" [ Value.Vint 5 ]
+        |> get_int
+      in
+      Alcotest.(check int) "older through proxy" 35 older
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let test_non_conformant_rejected_without_code_download () =
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  Peer.publish_assembly sender (Demo.bogus_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> Alcotest.fail "bogus person must not be delivered");
+  let bogus =
+    Eval.construct (Peer.registry sender) Demo.bogus_person
+      [ Value.Vstring "Mallory" ]
+  in
+  Peer.send_value sender ~dst:"receiver" bogus;
+  Net.run net;
+  (* Rejected... *)
+  (match Peer.events receiver with
+  | [ Peer.Rejected { type_name; _ } ] ->
+      Alcotest.(check string) "rejected type" Demo.bogus_person type_name
+  | evs ->
+      Alcotest.failf "expected one rejection, got: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Peer.pp_event) evs)));
+  (* ...and, crucially, no assembly bytes moved (the optimistic saving). *)
+  let stats = Net.stats net in
+  Alcotest.(check int) "no assembly requests" 0
+    (Stats.messages stats Stats.Asm_request);
+  Alcotest.(check int) "no assembly bytes" 0
+    (Stats.bytes stats Stats.Asm_reply);
+  (* Type descriptions did travel (that is the probe). *)
+  Alcotest.(check bool) "tdescs travelled" true
+    (Stats.bytes stats Stats.Tdesc_reply > 0)
+
+let test_known_guid_skips_all_fetches () =
+  (* Receiver already has the sender's exact assembly: no tdesc, no code. *)
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  let asm = Demo.social_assembly () in
+  Peer.publish_assembly sender asm;
+  Peer.install_assembly receiver asm;
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let bob =
+    Demo.make_social_person (Peer.registry sender) ~name:"Bob" ~age:41
+  in
+  Peer.send_value sender ~dst:"receiver" bob;
+  Net.run net;
+  let stats = Net.stats net in
+  Alcotest.(check int) "no tdesc traffic" 0
+    (Stats.messages stats Stats.Tdesc_request);
+  Alcotest.(check int) "no asm traffic" 0
+    (Stats.messages stats Stats.Asm_request);
+  match Peer.events receiver with
+  | [ Peer.Delivered _ ] -> ()
+  | evs -> Alcotest.failf "expected delivery, got %d events" (List.length evs)
+
+let test_second_send_uses_cached_code () =
+  let net, sender, receiver = two_peers () in
+  let count = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr count);
+  let p1 =
+    Demo.make_social_person (Peer.registry sender) ~name:"One" ~age:1
+  in
+  Peer.send_value sender ~dst:"receiver" p1;
+  Net.run net;
+  let stats = Net.stats net in
+  let asm_after_first = Stats.messages stats Stats.Asm_request in
+  let tdesc_after_first = Stats.messages stats Stats.Tdesc_request in
+  Alcotest.(check bool) "first send downloaded code" true (asm_after_first > 0);
+  let p2 =
+    Demo.make_social_person (Peer.registry sender) ~name:"Two" ~age:2
+  in
+  Peer.send_value sender ~dst:"receiver" p2;
+  Net.run net;
+  Alcotest.(check int) "no new assembly fetch"
+    asm_after_first
+    (Stats.messages stats Stats.Asm_request);
+  Alcotest.(check int) "no new tdesc fetch"
+    tdesc_after_first
+    (Stats.messages stats Stats.Tdesc_request);
+  Alcotest.(check int) "both delivered" 2 !count
+
+let test_eager_mode_ships_everything () =
+  let net, sender, receiver = two_peers ~mode:Peer.Eager () in
+  let count = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr count);
+  let p =
+    Demo.make_social_person (Peer.registry sender) ~name:"Eve" ~age:9
+  in
+  Peer.send_value sender ~dst:"receiver" p;
+  Net.run net;
+  Alcotest.(check int) "delivered" 1 !count;
+  let stats = Net.stats net in
+  (* Everything inline: no subprotocol round-trips at all... *)
+  Alcotest.(check int) "no tdesc round-trips" 0
+    (Stats.messages stats Stats.Tdesc_request);
+  Alcotest.(check int) "no asm round-trips" 0
+    (Stats.messages stats Stats.Asm_request);
+  (* ...but the object message is much fatter than the optimistic one. *)
+  let eager_bytes = Stats.bytes stats Stats.Object_msg in
+  let net2, sender2, receiver2 = two_peers () in
+  Peer.register_interest receiver2 ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let p2 =
+    Demo.make_social_person (Peer.registry sender2) ~name:"Eve" ~age:9
+  in
+  Peer.send_value sender2 ~dst:"receiver" p2;
+  Net.run net2;
+  let optimistic_obj_bytes =
+    Stats.bytes (Net.stats net2) Stats.Object_msg
+  in
+  Alcotest.(check bool) "eager object message is heavier" true
+    (eager_bytes > 2 * optimistic_obj_bytes)
+
+let test_soap_codec_roundtrip_through_protocol () =
+  let net, sender, receiver = two_peers ~codec:Pti_serial.Envelope.Soap () in
+  let received = ref None in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ v -> received := Some v);
+  let carol =
+    Demo.make_social_person (Peer.registry sender) ~name:"Carol" ~age:27
+  in
+  Peer.send_value sender ~dst:"receiver" carol;
+  Net.run net;
+  match !received with
+  | Some v ->
+      let name =
+        Proxy.invoke (Peer.registry receiver) v "getName" [] |> get_string
+      in
+      Alcotest.(check string) "soap payload decoded" "Carol" name
+  | None -> Alcotest.fail "no delivery via SOAP codec"
+
+let test_nested_object_graph_travels () =
+  let net, sender, receiver = two_peers () in
+  Peer.register_interest receiver ~interest:Demo.news_event
+    (fun ~from:_ _ -> ());
+  let reg = Peer.registry sender in
+  let author = Demo.make_social_person reg ~name:"Dan" ~age:50 in
+  let event =
+    Demo.make_social_event reg ~headline:"Types unify!" ~author ~priority:1
+  in
+  Peer.send_value sender ~dst:"receiver" event;
+  Net.run net;
+  match Peer.events receiver with
+  | [ Peer.Delivered { value; _ } ] ->
+      let summary =
+        Proxy.invoke (Peer.registry receiver) value "summary" [] |> get_string
+      in
+      Alcotest.(check string) "summary" "Types unify! (by Dan)" summary;
+      (* getAuthor returns a nested object re-wrapped as newsw.Person. *)
+      let author' = Proxy.invoke (Peer.registry receiver) value "getAuthor" [] in
+      let name =
+        Proxy.invoke (Peer.registry receiver) author' "getName" []
+        |> get_string
+      in
+      Alcotest.(check string) "nested author name" "Dan" name
+  | evs ->
+      Alcotest.failf "expected delivery, got: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Peer.pp_event) evs))
+
+let test_cycle_in_object_graph () =
+  let net, sender, receiver = two_peers () in
+  let received = ref None in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ v -> received := Some v);
+  let reg = Peer.registry sender in
+  let a = Demo.make_social_person reg ~name:"A" ~age:1 in
+  let b = Demo.make_social_person reg ~name:"B" ~age:2 in
+  ignore (Eval.call reg a "setspouse" [ b ]);
+  ignore (Eval.call reg b "setspouse" [ a ]);
+  Peer.send_value sender ~dst:"receiver" a;
+  Net.run net;
+  match !received with
+  | Some v ->
+      let rreg = Peer.registry receiver in
+      let spouse = Proxy.invoke rreg v "getSpouse" [] in
+      let back = Proxy.invoke rreg spouse "getSpouse" [] in
+      let name = Proxy.invoke rreg back "getName" [] |> get_string in
+      Alcotest.(check string) "cycle preserved" "A" name;
+      (* Identity: the spouse loop must come back to the same object. *)
+      (match Proxy.unwrap back, Proxy.unwrap v with
+      | Value.Vobj o1, Value.Vobj o2 ->
+          Alcotest.(check bool) "physical identity" true (o1 == o2)
+      | _ -> Alcotest.fail "expected objects at both ends of the cycle")
+  | None -> Alcotest.fail "cyclic graph not delivered"
+
+let test_missing_assembly_fails_gracefully () =
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  (* Sender loads the social types but does NOT publish the assembly. *)
+  Peer.install_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> Alcotest.fail "must not deliver without code");
+  let p = Demo.make_social_person (Peer.registry sender) ~name:"X" ~age:0 in
+  Peer.send_value sender ~dst:"receiver" p;
+  Net.run net;
+  let failures =
+    List.filter
+      (function Peer.Load_failed _ | Peer.Decode_failed _ -> true | _ -> false)
+      (Peer.events receiver)
+  in
+  Alcotest.(check bool) "failure recorded" true (failures <> [])
+
+let test_burst_of_new_type_objects () =
+  (* Two objects of a brand-new type sent back-to-back, with the network
+     only run afterwards: both reception pipelines run concurrently. Both
+     must deliver; the duplicated in-flight fetches are a known cost of
+     optimism (the assembly load is idempotent for identical bytes). *)
+  let net, sender, receiver = two_peers () in
+  let count = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr count);
+  let reg = Peer.registry sender in
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_social_person reg ~name:"B1" ~age:1);
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_social_person reg ~name:"B2" ~age:2);
+  Net.run net;
+  Alcotest.(check int) "both delivered" 2 !count;
+  let failures =
+    List.filter
+      (function
+        | Peer.Load_failed _ | Peer.Decode_failed _ -> true | _ -> false)
+      (Peer.events receiver)
+  in
+  Alcotest.(check (list pass)) "no failures" [] failures
+
+let test_interest_listing_and_removal () =
+  let net, sender, receiver = two_peers () in
+  let hits = ref 0 in
+  let id =
+    Peer.register_interest_id receiver ~interest:Demo.news_person
+      (fun ~from:_ _ -> incr hits)
+  in
+  Alcotest.(check (list string)) "listed" [ Demo.news_person ]
+    (Peer.interests receiver);
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_social_person (Peer.registry sender) ~name:"X" ~age:0);
+  Net.run net;
+  Alcotest.(check int) "hit while registered" 1 !hits;
+  Peer.unregister_interest receiver id;
+  Peer.unregister_interest receiver id;
+  Alcotest.(check (list string)) "unlisted" [] (Peer.interests receiver);
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_social_person (Peer.registry sender) ~name:"Y" ~age:0);
+  Net.run net;
+  Alcotest.(check int) "no hit after removal" 1 !hits
+
+let test_protocol_over_lossy_reliable_network () =
+  (* The whole Figure-1 pipeline (object, tdesc round-trips, assembly
+     download) completes over a 25%-lossy link once the ARQ layer is on. *)
+  let net =
+    Net.create ~drop_rate:0.25 ~reliability:Net.default_reliability ~seed:13L
+      ()
+  in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let count = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr count);
+  for i = 1 to 5 do
+    Peer.send_value sender ~dst:"receiver"
+      (Demo.make_social_person (Peer.registry sender)
+         ~name:(Printf.sprintf "L%d" i) ~age:i)
+  done;
+  Net.run net;
+  Alcotest.(check int) "all delivered despite loss" 5 !count;
+  Alcotest.(check bool) "loss actually happened" true
+    (Net.dropped_messages net > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Net.retransmissions net > 0)
+
+let test_request_timeout_degrades_to_rejection () =
+  (* The object arrives, then the link dies: the description request is
+     lost and (without an ARQ layer) never answered. The request timeout
+     turns the stalled pipeline into a rejection. *)
+  let net, sender, receiver = two_peers () in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> Alcotest.fail "must not deliver without descriptions");
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_social_person (Peer.registry sender) ~name:"T" ~age:1);
+  (* Let the envelope land (~1.3 ms), then cut the link. *)
+  Pti_net.Sim.run_until (Net.sim net) 2.;
+  Net.partition net "sender" "receiver";
+  Net.run net;
+  Alcotest.(check bool) "timeout advanced the clock" true
+    (Net.now_ms net >= 10_000.);
+  match
+    List.filter (function Peer.Rejected _ -> true | _ -> false)
+      (Peer.events receiver)
+  with
+  | [ Peer.Rejected { reason; _ } ] ->
+      Alcotest.(check string) "reason" "type description unavailable" reason
+  | _ -> Alcotest.fail "expected exactly one rejection"
+
+let test_primitive_payload_goes_to_sink () =
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  let got = ref None in
+  Peer.set_default_sink receiver (fun ~from:_ v -> got := Some v);
+  Peer.send_value sender ~dst:"receiver" (Value.Vint 42);
+  Net.run net;
+  match !got with
+  | Some (Value.Vint 42) -> ()
+  | _ -> Alcotest.fail "primitive payload lost"
+
+(* ------------------------------------------------------------------ *)
+(* Pass-by-reference                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_remote_invocation_conformant () =
+  let net = make_net () in
+  let lender = Peer.create ~net "lender" in
+  let borrower = Peer.create ~net "borrower" in
+  Peer.publish_assembly lender (Demo.printer_assembly ());
+  Peer.publish_assembly borrower (Demo.printsvc_assembly ());
+  let obj = Demo.make_printer (Peer.registry lender) ~label:"hp-1" in
+  let rref = Peer.export lender obj in
+  match Peer.acquire borrower rref ~interest:Demo.printsvc with
+  | Error e -> Alcotest.failf "acquire failed: %s" e
+  | Ok proxy ->
+      (* Borrower speaks its own vocabulary: PRINT / GETPRINTED. *)
+      let n1 =
+        Proxy.invoke (Peer.registry borrower) proxy "PRINT"
+          [ Value.Vstring "doc-a" ]
+        |> get_int
+      in
+      let n2 =
+        Proxy.invoke (Peer.registry borrower) proxy "PRINT"
+          [ Value.Vstring "doc-b" ]
+        |> get_int
+      in
+      Alcotest.(check int) "first print" 1 n1;
+      Alcotest.(check int) "second print" 2 n2;
+      (* State lives on the lender (pass-by-reference, not a copy). *)
+      let printed =
+        Eval.call (Peer.registry lender) obj "getPrinted" [] |> get_int
+      in
+      Alcotest.(check int) "lender-side state" 2 printed
+
+let test_remote_invocation_error_propagates () =
+  let net = make_net () in
+  let lender = Peer.create ~net "lender" in
+  let borrower = Peer.create ~net "borrower" in
+  Peer.publish_assembly lender (Demo.printer_assembly ());
+  Peer.publish_assembly borrower (Demo.printer_assembly ());
+  let obj = Demo.make_printer (Peer.registry lender) ~label:"hp-2" in
+  let rref = Peer.export lender obj in
+  match Peer.acquire borrower rref ~interest:Demo.printer with
+  | Error e -> Alcotest.failf "acquire failed: %s" e
+  | Ok proxy -> (
+      match
+        Proxy.invoke (Peer.registry borrower) proxy "shred"
+          [ Value.Vstring "doc" ]
+      with
+      | _ -> Alcotest.fail "unknown remote method should raise"
+      | exception Eval.Runtime_error _ -> ())
+
+let test_acquire_non_conformant_fails () =
+  let net = make_net () in
+  let lender = Peer.create ~net "lender" in
+  let borrower = Peer.create ~net "borrower" in
+  Peer.publish_assembly lender (Demo.trap_assembly ());
+  Peer.publish_assembly borrower (Demo.printsvc_assembly ());
+  let trap = Demo.make_trap_person (Peer.registry lender) in
+  let rref = Peer.export lender trap in
+  match Peer.acquire borrower rref ~interest:Demo.printsvc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trap type must not conform to printer interest"
+
+let test_remote_invocation_with_object_argument () =
+  (* The borrower passes one of ITS OWN objects as an invocation argument:
+     the argument travels as an envelope, and the lender downloads the
+     borrower's code to decode it — the full pipeline in both
+     directions. *)
+  let net = make_net () in
+  let lender = Peer.create ~net "lender" in
+  let borrower = Peer.create ~net "borrower" in
+  Peer.publish_assembly lender (Demo.news_assembly ());
+  (* Borrower publishes (not merely installs) so the lender can fetch. *)
+  Peer.publish_assembly borrower (Demo.social_assembly ());
+  Peer.install_assembly borrower (Demo.news_assembly ());
+  let target = Demo.make_news_person (Peer.registry lender) ~name:"L" ~age:9 in
+  let rref = Peer.export lender target in
+  match Peer.acquire borrower rref ~interest:Demo.news_person with
+  | Error e -> Alcotest.failf "acquire failed: %s" e
+  | Ok proxy ->
+      let spouse =
+        Demo.make_social_person (Peer.registry borrower) ~name:"S" ~age:8
+      in
+      (* setSpouse(social person) — lender must download social-asm. *)
+      ignore
+        (Proxy.invoke (Peer.registry borrower) proxy "setSpouse" [ spouse ]);
+      Alcotest.(check bool) "lender loaded the borrower's code" true
+        (Registry.mem (Peer.registry lender) Demo.social_person);
+      (* The value landed on the lender's object. *)
+      let got = Eval.call (Peer.registry lender) target "getSpouse" [] in
+      Alcotest.(check string) "spouse name on the lender" "S"
+        (Eval.call (Peer.registry lender) got "getname" [] |> get_string);
+      (* And the result of getSpouse round-trips back by value. *)
+      let back = Proxy.invoke (Peer.registry borrower) proxy "getSpouse" [] in
+      Alcotest.(check string) "spouse comes back by value" "S"
+        (Eval.call (Peer.registry borrower) back "getname" [] |> get_string)
+
+let test_eager_mode_rejection_still_pays () =
+  (* Under the eager baseline a non-conformant object still ships all its
+     code — the waste the optimistic protocol avoids (cf. E5b). *)
+  let net = make_net () in
+  let sender = Peer.create ~mode:Peer.Eager ~net "sender" in
+  let receiver = Peer.create ~mode:Peer.Eager ~net "receiver" in
+  Peer.publish_assembly sender (Demo.trap_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> Alcotest.fail "trap must not be delivered");
+  Peer.send_value sender ~dst:"receiver"
+    (Demo.make_trap_person (Peer.registry sender));
+  Net.run net;
+  (match Peer.events receiver with
+  | [ Peer.Rejected _ ] -> ()
+  | evs -> Alcotest.failf "expected rejection, got %d events" (List.length evs));
+  (* The code was nevertheless loaded (shipped inline). *)
+  Alcotest.(check bool) "wasted code transfer" true
+    (Registry.mem (Peer.registry receiver) Demo.trap_person);
+  let obj_bytes = Stats.bytes (Net.stats net) Stats.Object_msg in
+  Alcotest.(check bool) "fat object message" true
+    (obj_bytes > 3 * String.length (Pti_serial.Assembly_xml.to_string (Demo.trap_assembly ())) / 4)
+
+let test_fetch_type_description () =
+  let net = make_net () in
+  let a = Peer.create ~net "a" in
+  let b = Peer.create ~net "b" in
+  Peer.publish_assembly b (Demo.news_assembly ());
+  (match Peer.fetch_type_description a ~from:"b" Demo.news_person with
+  | Some d ->
+      Alcotest.(check string) "fetched name" "Person" d.Pti_typedesc.Type_description.ty_name
+  | None -> Alcotest.fail "description fetch failed");
+  (* Unknown type comes back as None, not a crash. *)
+  match Peer.fetch_type_description a ~from:"b" "no.such.Type" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unknown type should yield None"
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_message_sizes_and_categories () =
+  let open Message in
+  let cases =
+    [
+      (Obj_msg { envelope = "abcd"; tdescs = [ "xy" ]; assemblies = [ "z" ] },
+       Stats.Object_msg, 16 + 4 + 2 + 1);
+      (Tdesc_request { type_name = "a.B"; token = 1 }, Stats.Tdesc_request,
+       16 + 3);
+      (Tdesc_reply { type_name = "a.B"; desc = Some "dddd"; token = 1 },
+       Stats.Tdesc_reply, 16 + 3 + 4);
+      (Tdesc_reply { type_name = "a.B"; desc = None; token = 1 },
+       Stats.Tdesc_reply, 16 + 3);
+      (Asm_request { path = "asm://h/x"; token = 2 }, Stats.Asm_request,
+       16 + 9);
+      (Asm_reply { path = "asm://h/x"; assembly = Some "aa"; token = 2 },
+       Stats.Asm_reply, 16 + 9 + 2);
+      (Invoke_request { target = 3; meth = "m"; args = "aaaa"; token = 4 },
+       Stats.Invoke_request, 16 + 8 + 1 + 4);
+      (Invoke_reply { token = 4; result = Some "rr"; error = None },
+       Stats.Invoke_reply, 16 + 2);
+    ]
+  in
+  List.iter
+    (fun (msg, cat, expected_size) ->
+      Alcotest.(check bool)
+        ("category of " ^ describe msg)
+        true
+        (category msg = cat);
+      Alcotest.(check int) ("size of " ^ describe msg) expected_size (size msg))
+    cases
+
+let test_message_describe_is_informative () =
+  let open Message in
+  let d = describe (Tdesc_request { type_name = "x.Y"; token = 9 }) in
+  Alcotest.(check bool) "mentions the type" true
+    (Pti_util.Strutil.starts_with ~prefix:"tdesc-req(x.Y)" d)
+
+let () =
+  Alcotest.run "core-protocol"
+    [
+      ( "pass-by-value",
+        [
+          Alcotest.test_case "conformant object delivered via proxy" `Quick
+            test_pass_by_value_conformant;
+          Alcotest.test_case "non-conformant rejected before code download"
+            `Quick test_non_conformant_rejected_without_code_download;
+          Alcotest.test_case "known GUID skips all fetches" `Quick
+            test_known_guid_skips_all_fetches;
+          Alcotest.test_case "repeat sends reuse cached code" `Quick
+            test_second_send_uses_cached_code;
+          Alcotest.test_case "eager baseline ships everything" `Quick
+            test_eager_mode_ships_everything;
+          Alcotest.test_case "SOAP codec end-to-end" `Quick
+            test_soap_codec_roundtrip_through_protocol;
+          Alcotest.test_case "nested object graph" `Quick
+            test_nested_object_graph_travels;
+          Alcotest.test_case "cyclic object graph" `Quick
+            test_cycle_in_object_graph;
+          Alcotest.test_case "missing assembly fails gracefully" `Quick
+            test_missing_assembly_fails_gracefully;
+          Alcotest.test_case "burst of new-type objects" `Quick
+            test_burst_of_new_type_objects;
+          Alcotest.test_case "interest listing and removal" `Quick
+            test_interest_listing_and_removal;
+          Alcotest.test_case "protocol over lossy reliable network" `Quick
+            test_protocol_over_lossy_reliable_network;
+          Alcotest.test_case "request timeout degrades to rejection" `Quick
+            test_request_timeout_degrades_to_rejection;
+          Alcotest.test_case "primitive payloads reach the sink" `Quick
+            test_primitive_payload_goes_to_sink;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "sizes and categories" `Quick
+            test_message_sizes_and_categories;
+          Alcotest.test_case "describe" `Quick
+            test_message_describe_is_informative;
+        ] );
+      ( "pass-by-reference",
+        [
+          Alcotest.test_case "remote invocation through conformant proxy"
+            `Quick test_remote_invocation_conformant;
+          Alcotest.test_case "remote errors propagate" `Quick
+            test_remote_invocation_error_propagates;
+          Alcotest.test_case "non-conformant acquire fails" `Quick
+            test_acquire_non_conformant_fails;
+          Alcotest.test_case "type description fetch" `Quick
+            test_fetch_type_description;
+          Alcotest.test_case "object argument downloads code" `Quick
+            test_remote_invocation_with_object_argument;
+          Alcotest.test_case "eager rejection still pays" `Quick
+            test_eager_mode_rejection_still_pays;
+        ] );
+    ]

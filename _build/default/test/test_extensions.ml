@@ -1,0 +1,353 @@
+(* Tests for the extension features: behavioral conformance probing
+   (§4.1's "implicit behavioral type conformance", primitive fragment)
+   and compound types (§2.2). *)
+
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Behavioral = Pti_conformance.Behavioral
+module Compound = Pti_conformance.Compound
+module Mapping = Pti_conformance.Mapping
+module Proxy = Pti_proxy.Dynamic_proxy
+module Demo = Pti_demo.Demo_types
+module Idl = Pti_idl.Idl
+
+let registry =
+  Demo.fresh_registry [ Demo.news_assembly (); Demo.social_assembly () ]
+
+let resolver = Td.registry_resolver registry
+let checker = Checker.create ~resolver ()
+
+let desc name = Option.get (resolver name)
+
+let mapping ~actual ~interest =
+  match Checker.check checker ~actual:(desc actual) ~interest:(desc interest) with
+  | Checker.Conformant m -> m
+  | Checker.Not_conformant _ -> Alcotest.failf "%s !<= %s" actual interest
+
+let get_string = function
+  | Value.Vstring s -> s
+  | v -> Alcotest.failf "expected string, got %s" (Value.type_name v)
+
+(* ----------------------------- behavioral -------------------------- *)
+
+let news_cd = Registry.find_exn registry Demo.news_person
+let social_cd = Registry.find_exn registry Demo.social_person
+
+let test_behavioral_agreeing_pair () =
+  let m = mapping ~actual:Demo.social_person ~interest:Demo.news_person in
+  let report =
+    Behavioral.probe registry ~actual:social_cd ~interest:news_cd ~mapping:m ()
+  in
+  Alcotest.(check bool) "probed several methods" true (report.Behavioral.probed >= 4);
+  Alcotest.(check (list pass)) "no disagreements" []
+    report.Behavioral.disagreements;
+  Alcotest.(check bool) "conformant" true (Behavioral.conformant report)
+
+let test_behavioral_divergence_detected () =
+  (* Structurally identical to newsw.Person's primitive methods, but greet
+     speaks French: structural rules accept it, behavioral probing does
+     not. *)
+  let src =
+    {|
+assembly "french-asm";
+namespace frenchw;
+class Person {
+  field name : string;
+  field age : int;
+  ctor(n : string, a : int) { name = n; age = a; }
+  method getName() : string { return name; }
+  method setName(v : string) : void { name = v; }
+  method getAge() : int { return age; }
+  method setAge(v : int) : void { age = v; }
+  method greet() : string { return "Bonjour, " ^ name; }
+  method older(years : int) : int { return age + years; }
+}
+|}
+  in
+  let asm =
+    match Idl.parse_assembly src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %a" Idl.pp_error e
+  in
+  let reg = Registry.create () in
+  Assembly.load reg asm;
+  (* A trimmed interest type covering only the primitive methods. *)
+  let interest_src =
+    {|
+assembly "client-asm";
+namespace clientw;
+class Person {
+  field name : string;
+  field age : int;
+  ctor(n : string, a : int) { name = n; age = a; }
+  method getName() : string { return name; }
+  method setName(v : string) : void { name = v; }
+  method getAge() : int { return age; }
+  method setAge(v : int) : void { age = v; }
+  method greet() : string { return "Hello, " ^ name; }
+  method older(years : int) : int { return age + years; }
+}
+|}
+  in
+  let interest_asm =
+    match Idl.parse_assembly interest_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %a" Idl.pp_error e
+  in
+  Assembly.load reg interest_asm;
+  let res = Td.registry_resolver reg in
+  let ch = Checker.create ~resolver:res () in
+  let actual_cd = Registry.find_exn reg "frenchw.Person" in
+  let interest_cd = Registry.find_exn reg "clientw.Person" in
+  let m =
+    match
+      Checker.check ch
+        ~actual:(Td.of_class actual_cd)
+        ~interest:(Td.of_class interest_cd)
+    with
+    | Checker.Conformant m -> m
+    | Checker.Not_conformant _ ->
+        Alcotest.fail "french person should be structurally conformant"
+  in
+  let report =
+    Behavioral.probe reg ~actual:actual_cd ~interest:interest_cd ~mapping:m ()
+  in
+  Alcotest.(check bool) "divergence found" false (Behavioral.conformant report);
+  Alcotest.(check bool) "greet is the culprit" true
+    (List.exists
+       (fun d -> d.Behavioral.d_method = "greet")
+       report.Behavioral.disagreements);
+  (* Agreement methods produce no disagreements. *)
+  Alcotest.(check bool) "older agrees" true
+    (not
+       (List.exists
+          (fun d -> d.Behavioral.d_method = "older")
+          report.Behavioral.disagreements))
+
+let test_behavioral_identity_mapping () =
+  let m =
+    Mapping.identity_mapping ~interest:Demo.news_person
+      ~actual:Demo.news_person
+  in
+  let report =
+    Behavioral.probe registry ~actual:news_cd ~interest:news_cd ~mapping:m ()
+  in
+  Alcotest.(check bool) "self-agreement" true (Behavioral.conformant report)
+
+let test_behavioral_deterministic () =
+  let m = mapping ~actual:Demo.social_person ~interest:Demo.news_person in
+  let r1 =
+    Behavioral.probe registry ~seed:9L ~actual:social_cd ~interest:news_cd
+      ~mapping:m ()
+  in
+  let r2 =
+    Behavioral.probe registry ~seed:9L ~actual:social_cd ~interest:news_cd
+      ~mapping:m ()
+  in
+  Alcotest.(check int) "same probed" r1.Behavioral.probed r2.Behavioral.probed;
+  Alcotest.(check int) "same disagreements"
+    (List.length r1.Behavioral.disagreements)
+    (List.length r2.Behavioral.disagreements)
+
+(* ----------------------------- compound ---------------------------- *)
+
+let facet_src =
+  {|
+assembly "facets";
+namespace facets;
+class Named {
+  field name : string;
+  ctor(n : string, a : int) { name = n; age = a; }
+  field age : int;
+  method getName() : string { return name; }
+  method setName(v : string) : void { name = v; }
+}
+class Aged {
+  field age : int;
+  field name : string;
+  ctor(n : string, a : int) { age = a; name = n; }
+  method getAge() : int { return age; }
+  method setAge(v : int) : void { age = v; }
+}
+|}
+
+let facets_registry () =
+  let asm =
+    match Idl.parse_assembly facet_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %a" Idl.pp_error e
+  in
+  let reg = Registry.create () in
+  Assembly.load reg asm;
+  Assembly.load reg (Demo.social_assembly ());
+  reg
+
+let test_compound_check_and_proxy () =
+  (* socialw.person conforms to both facets? The facets' names ("Named",
+     "Aged") do NOT conform to "person" under the name rule — compound
+     facets are matched with wildcards, the natural pairing. *)
+  let reg = facets_registry () in
+  let res = Td.registry_resolver reg in
+  let config = Pti_conformance.Config.with_wildcards in
+  let ch = Checker.create ~config ~resolver:res () in
+  let star d = { d with Td.ty_name = "*" } in
+  let named = star (Option.get (res "facets.Named")) in
+  let aged = star (Option.get (res "facets.Aged")) in
+  let actual = Option.get (res Demo.social_person) in
+  match Compound.check ch ~actual ~interests:[ named; aged ] with
+  | Compound.Failed fs ->
+      Alcotest.failf "compound should hold: %s"
+        (String.concat "; "
+           (List.concat_map
+              (fun (n, fl) ->
+                List.map (fun f -> n ^ ": " ^ f.Checker.message) fl)
+              fs))
+  | Compound.All_conformant pairs ->
+      Alcotest.(check int) "two mappings" 2 (List.length pairs);
+      let cx = Proxy.create_context reg ch in
+      let target =
+        Demo.make_social_person reg ~name:"Compound" ~age:51
+      in
+      let proxy =
+        Proxy.wrap_compound cx
+          ~interests:
+            (List.map (fun (n, m) -> (n, m)) pairs)
+          target
+      in
+      (* Both facets' vocabularies work on one proxy. *)
+      Alcotest.(check string) "getName via Named facet" "Compound"
+        (Eval.call reg proxy "getName" [] |> get_string);
+      (match Eval.call reg proxy "getAge" [] with
+      | Value.Vint 51 -> ()
+      | v -> Alcotest.failf "getAge gave %s" (Value.to_string v));
+      ignore (Eval.call reg proxy "setAge" [ Value.Vint 52 ]);
+      (match Eval.call reg proxy "getAge" [] with
+      | Value.Vint 52 -> ()
+      | v -> Alcotest.failf "setAge not visible: %s" (Value.to_string v));
+      Alcotest.(check string) "compound interface label"
+        "[facets.*, facets.*]"
+        (match proxy with
+        | Value.Vproxy p -> p.Value.px_interface
+        | _ -> "?")
+
+let test_compound_fails_when_one_member_fails () =
+  let reg = facets_registry () in
+  Assembly.load reg (Demo.printer_assembly ());
+  let res = Td.registry_resolver reg in
+  let config = Pti_conformance.Config.with_wildcards in
+  let ch = Checker.create ~config ~resolver:res () in
+  let star d = { d with Td.ty_name = "*" } in
+  let named = star (Option.get (res "facets.Named")) in
+  let printer = star (Option.get (res Demo.printer)) in
+  let actual = Option.get (res Demo.social_person) in
+  match Compound.check ch ~actual ~interests:[ named; printer ] with
+  | Compound.All_conformant _ ->
+      Alcotest.fail "person is no printer, compound must fail"
+  | Compound.Failed fs ->
+      Alcotest.(check int) "exactly the failing member" 1 (List.length fs);
+      Alcotest.(check string) "which one" "printw.*" (fst (List.hd fs))
+
+let test_compound_empty_rejected () =
+  let actual = desc Demo.social_person in
+  match Compound.check checker ~actual ~interests:[] with
+  | _ -> Alcotest.fail "empty compound should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ----------------------------- baselines --------------------------- *)
+
+let test_baselines () =
+  let module B = Builder in
+  let module E = Expr in
+  let iface =
+    B.interface_ ~ns:[ "q" ] ~assembly:"q" "person"
+    |> B.abstract_method "getName" [] Ty.String
+    |> B.build
+  in
+  let declared =
+    B.class_ ~ns:[ "d" ] ~assembly:"d" "Person" ~interfaces:[ "q.person" ]
+    |> B.field "name" Ty.String
+    |> B.method_ "getName" [] Ty.String ~body:(E.get "name")
+    |> B.build
+  in
+  let independent_exact =
+    B.class_ ~ns:[ "i" ] ~assembly:"i" "person"
+    |> B.field "name" Ty.String
+    |> B.method_ "getName" [] Ty.String ~body:(E.get "name")
+    |> B.build
+  in
+  let renamed =
+    B.class_ ~ns:[ "r" ] ~assembly:"r" "Person"
+    |> B.field "name" Ty.String
+    |> B.method_ "GETNAME" [ ("pad", Ty.Int) ] Ty.String ~body:(E.get "name")
+    |> B.build
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg)
+    [ iface; declared; independent_exact; renamed ];
+  let res = Td.registry_resolver reg in
+  let ch = Checker.create ~resolver:res () in
+  let interest = Td.of_class iface in
+  let module Bl = Pti_conformance.Baselines in
+  (* Nominal: only the declared implementation; reflexive on itself. *)
+  Alcotest.(check bool) "nominal declared" true
+    (Bl.nominal ch ~actual:(Td.of_class declared) ~interest);
+  Alcotest.(check bool) "nominal reflexive" true
+    (Bl.nominal ch ~actual:interest ~interest);
+  Alcotest.(check bool) "nominal independent" false
+    (Bl.nominal ch ~actual:(Td.of_class independent_exact) ~interest);
+  (* Laufer: tagging gates everything; exact signatures required. *)
+  let all_tagged _ = true and none_tagged _ = false in
+  Alcotest.(check bool) "laufer tagged exact" true
+    (Bl.laufer ~resolver:res ~tagged:all_tagged
+       ~actual:(Td.of_class independent_exact) ~interest);
+  Alcotest.(check bool) "laufer untagged" false
+    (Bl.laufer ~resolver:res ~tagged:none_tagged
+       ~actual:(Td.of_class independent_exact) ~interest);
+  Alcotest.(check bool) "laufer arity mismatch" false
+    (Bl.laufer ~resolver:res ~tagged:all_tagged ~actual:(Td.of_class renamed)
+       ~interest);
+  (* Laufer needs an interface as interest. *)
+  Alcotest.(check bool) "laufer class interest" false
+    (Bl.laufer ~resolver:res ~tagged:all_tagged
+       ~actual:(Td.of_class independent_exact)
+       ~interest:(Td.of_class declared));
+  (* The implicit rules subsume both baselines on these candidates. *)
+  Alcotest.(check bool) "implicit accepts declared" true
+    (Checker.verdict_ok
+       (Checker.check ch ~actual:(Td.of_class declared) ~interest));
+  Alcotest.(check bool) "implicit accepts independent" true
+    (Checker.verdict_ok
+       (Checker.check ch ~actual:(Td.of_class independent_exact) ~interest))
+
+let test_compound_notation () =
+  Alcotest.(check string) "notation" "[a.A, b.B]"
+    (Compound.notation [ "a.A"; "b.B" ])
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "behavioral",
+        [
+          Alcotest.test_case "agreeing pair" `Quick
+            test_behavioral_agreeing_pair;
+          Alcotest.test_case "divergence detected" `Quick
+            test_behavioral_divergence_detected;
+          Alcotest.test_case "identity mapping" `Quick
+            test_behavioral_identity_mapping;
+          Alcotest.test_case "deterministic" `Quick
+            test_behavioral_deterministic;
+        ] );
+      ( "compound",
+        [
+          Alcotest.test_case "check + proxy" `Quick
+            test_compound_check_and_proxy;
+          Alcotest.test_case "partial failure" `Quick
+            test_compound_fails_when_one_member_fails;
+          Alcotest.test_case "empty rejected" `Quick
+            test_compound_empty_rejected;
+          Alcotest.test_case "notation" `Quick test_compound_notation;
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "nominal and laufer" `Quick test_baselines ] );
+    ]

@@ -1,0 +1,430 @@
+(* Tests for the IDL front-end: parsing, lowering, execution of parsed
+   code, and interoperability of IDL-authored types with builder-authored
+   ones. *)
+
+open Pti_cts
+module Idl = Pti_idl.Idl
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Demo = Pti_demo.Demo_types
+
+let get_string = function
+  | Value.Vstring s -> s
+  | v -> Alcotest.failf "expected string, got %s" (Value.type_name v)
+
+let get_int = function
+  | Value.Vint i -> i
+  | v -> Alcotest.failf "expected int, got %s" (Value.type_name v)
+
+let parse_ok ?assembly src =
+  match Idl.parse_classes ?assembly src with
+  | Ok cds -> cds
+  | Error e -> Alcotest.failf "parse failed: %a" Idl.pp_error e
+
+let person_src =
+  {|
+assembly "idl-asm";
+namespace idlw;
+
+class Address {
+  property street : string;
+  property city : string;
+  ctor(s : string, c : string) { street = s; city = c; }
+  method format() : string { return street ^ ", " ^ city; }
+}
+
+class Person {
+  field name : string;
+  field age : int;
+  property home : idlw.Address;
+  property spouse : idlw.Person;
+  ctor(n : string, a : int) { name = n; age = a; }
+  method getName() : string { return name; }
+  method setName(v : string) : void { name = v; }
+  method getAge() : int { return age; }
+  method setAge(v : int) : void { age = v; }
+  method greet() : string { return "Hello, " ^ name; }
+  method older(years : int) : int { return age + years; }
+}
+|}
+
+let idl_registry () =
+  let asm =
+    match Idl.parse_assembly person_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "assembly parse failed: %a" Idl.pp_error e
+  in
+  let reg = Registry.create () in
+  Assembly.load reg asm;
+  reg
+
+let test_parse_structure () =
+  let cds = parse_ok person_src in
+  Alcotest.(check int) "two classes" 2 (List.length cds);
+  let person = List.nth cds 1 in
+  Alcotest.(check string) "qname" "idlw.Person" (Meta.qualified_name person);
+  Alcotest.(check string) "assembly" "idl-asm" person.Meta.td_assembly;
+  (* property expands to field + accessors *)
+  Alcotest.(check int) "fields" 4 (List.length person.Meta.td_fields);
+  Alcotest.(check bool) "getHome exists" true
+    (List.exists
+       (fun m -> m.Meta.m_name = "getHome")
+       person.Meta.td_methods);
+  Alcotest.(check int) "one ctor" 1 (List.length person.Meta.td_ctors)
+
+let test_parsed_code_runs () =
+  let reg = idl_registry () in
+  let p =
+    Eval.construct reg "idlw.Person" [ Value.Vstring "Ida"; Value.Vint 28 ]
+  in
+  Alcotest.(check string) "getName" "Ida"
+    (Eval.call reg p "getName" [] |> get_string);
+  Alcotest.(check string) "greet" "Hello, Ida"
+    (Eval.call reg p "greet" [] |> get_string);
+  Alcotest.(check int) "older" 31 (Eval.call reg p "older" [ Value.Vint 3 ] |> get_int);
+  ignore (Eval.call reg p "setName" [ Value.Vstring "Io" ]);
+  Alcotest.(check string) "setName effect" "Io"
+    (Eval.call reg p "getName" [] |> get_string);
+  let home =
+    Eval.construct reg "idlw.Address"
+      [ Value.Vstring "5 Rue"; Value.Vstring "Lausanne" ]
+  in
+  ignore (Eval.call reg p "setHome" [ home ]);
+  let back = Eval.call reg p "getHome" [] in
+  Alcotest.(check string) "nested format" "5 Rue, Lausanne"
+    (Eval.call reg back "format" [] |> get_string)
+
+let test_idl_type_conforms_to_builder_type () =
+  (* The IDL-authored Person is implicitly structurally conformant to the
+     builder-authored newsw.Person: the front end produces first-class CTS
+     metadata. *)
+  let reg = idl_registry () in
+  Assembly.load reg (Demo.news_assembly ());
+  let res = Td.registry_resolver reg in
+  let checker = Checker.create ~resolver:res () in
+  match
+    Checker.check checker
+      ~actual:(Option.get (res "idlw.Person"))
+      ~interest:(Option.get (res Demo.news_person))
+  with
+  | Checker.Conformant _ -> ()
+  | Checker.Not_conformant fs ->
+      Alcotest.failf "idl person should conform: %s"
+        (String.concat "; "
+           (List.map (fun f -> f.Checker.message) fs))
+
+let test_control_flow_statements () =
+  let src =
+    {|
+class Math {
+  method sum(n : int) : int {
+    let acc = 0;
+    let i = 0;
+    while (i < n) { acc = acc + i; i = i + 1; }
+    return acc;
+  }
+  method clamp(x : int, lo : int, hi : int) : int {
+    if (x < lo) { return lo; } else {
+      if (x > hi) { return hi; } else { return x; }
+    }
+  }
+  method parity(n : int) : string {
+    if (n % 2 == 0) { return "even"; } else { return "odd"; }
+  }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let m = Eval.construct reg "Math" [] in
+  Alcotest.(check int) "while sum" 45
+    (Eval.call reg m "sum" [ Value.Vint 10 ] |> get_int);
+  Alcotest.(check int) "clamp low" 5
+    (Eval.call reg m "clamp" [ Value.Vint 1; Value.Vint 5; Value.Vint 9 ]
+    |> get_int);
+  Alcotest.(check int) "clamp high" 9
+    (Eval.call reg m "clamp" [ Value.Vint 50; Value.Vint 5; Value.Vint 9 ]
+    |> get_int);
+  Alcotest.(check string) "parity" "odd"
+    (Eval.call reg m "parity" [ Value.Vint 3 ] |> get_string)
+
+let test_throw_and_catch () =
+  let src =
+    {|
+class Guard {
+  method risky(x : int) : int {
+    if (x < 0) { throw "negative input"; } else { return x * 2; }
+  }
+  method safe(x : int) : string {
+    try { let r = this.risky(x); return "ok: " ^ r.toString(); }
+    catch (e) { return "error: " ^ e; }
+  }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let g = Eval.construct reg "Guard" [] in
+  Alcotest.(check string) "happy path" "ok: 4"
+    (Eval.call reg g "safe" [ Value.Vint 2 ] |> get_string);
+  Alcotest.(check string) "caught" "error: negative input"
+    (Eval.call reg g "safe" [ Value.Vint (-1) ] |> get_string);
+  match Eval.call reg g "risky" [ Value.Vint (-5) ] with
+  | _ -> Alcotest.fail "uncaught idl throw should raise"
+  | exception Eval.Runtime_error _ -> ()
+
+let test_for_and_arrays () =
+  let src =
+    {|
+class Vec {
+  method sum(n : int) : int {
+    let arr = new int[] { 1, 2, 3, 4 };
+    let acc = 0;
+    for (let i = 0; i < arr.length(); i = i + 1) { acc = acc + arr[i]; }
+    for (let j = 0; j < n; j = j + 1) { acc = acc + 100; }
+    return acc;
+  }
+  method set_get() : int {
+    let arr = new int[] { 0, 0 };
+    arr[1] = 42;
+    return arr[1];
+  }
+  method empty_len() : int {
+    let arr = new string[] { };
+    return arr.length();
+  }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let v = Eval.construct reg "Vec" [] in
+  Alcotest.(check int) "for over array" 210
+    (Eval.call reg v "sum" [ Value.Vint 2 ] |> get_int);
+  Alcotest.(check int) "index set/get" 42
+    (Eval.call reg v "set_get" [] |> get_int);
+  Alcotest.(check int) "empty literal" 0
+    (Eval.call reg v "empty_len" [] |> get_int)
+
+let test_static_and_new () =
+  let src =
+    {|
+namespace s;
+class Factory {
+  static method fresh(n : string) : s.Widget { return new s.Widget(n); }
+}
+class Widget {
+  field tag : string;
+  ctor(t : string) { tag = t; }
+  method getTag() : string { return tag; }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let w =
+    Eval.call_static reg "s.Factory" "fresh" [ Value.Vstring "gizmo" ]
+  in
+  Alcotest.(check string) "factory result" "gizmo"
+    (Eval.call reg w "getTag" [] |> get_string);
+  (* Qualified static calls parse too. *)
+  let src2 =
+    {|
+class Caller {
+  method go() : string {
+    let w = s.Factory::fresh("q");
+    return w.getTag();
+  }
+}
+|}
+  in
+  List.iter (Registry.register reg) (parse_ok src2);
+  let c = Eval.construct reg "Caller" [] in
+  Alcotest.(check string) "qualified static" "q"
+    (Eval.call reg c "go" [] |> get_string)
+
+let test_interfaces_and_inheritance () =
+  let src =
+    {|
+namespace h;
+interface INamed {
+  method getName() : string;
+}
+class Base {
+  property id : int;
+}
+class Thing extends h.Base implements h.INamed {
+  property name : string;
+}
+|}
+  in
+  let cds = parse_ok src in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) cds;
+  let thing = Registry.find_exn reg "h.Thing" in
+  Alcotest.(check (option string)) "super" (Some "h.Base") thing.Meta.td_super;
+  Alcotest.(check (list string)) "interfaces" [ "h.INamed" ]
+    thing.Meta.td_interfaces;
+  Alcotest.(check bool) "subtype closure" true
+    (Registry.is_subtype reg ~sub:"h.Thing" ~super:"h.INamed");
+  let iface = Registry.find_exn reg "h.INamed" in
+  Alcotest.(check bool) "abstract method" true
+    (List.for_all (fun m -> m.Meta.m_body = None) iface.Meta.td_methods)
+
+let test_modifiers () =
+  let src =
+    {|
+class Mods {
+  private field secret : int;
+  static method util() : int { return 1; }
+}
+|}
+  in
+  let cds = parse_ok src in
+  let cd = List.hd cds in
+  let f = List.hd cd.Meta.td_fields in
+  Alcotest.(check bool) "private field" true
+    (f.Meta.f_mods.Meta.visibility = Meta.Private);
+  let m = List.hd cd.Meta.td_methods in
+  Alcotest.(check bool) "static method" true m.Meta.m_mods.Meta.static
+
+let test_field_initializers () =
+  let src =
+    {|
+class Counter {
+  field count : int = 42;
+  method get() : int { return count; }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let c = Eval.construct reg "Counter" [] in
+  Alcotest.(check int) "initializer ran" 42 (Eval.call reg c "get" [] |> get_int)
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("", false) (* empty unit is fine: zero classes *);
+      ("class { }", true);
+      ("class X {", true);
+      ("class X { field }", true);
+      ("class X { method m() : int { return 1 } }", true) (* missing ';' *);
+      ("class X { method m() : int { return 1; return 2; } }", true);
+      ("klass X { }", true);
+      ("class X { field f : ; }", true);
+      ("class X { method m(: int) : void ; }", true);
+      ("/* unterminated", true);
+      ("class X { method m() : int { let x = \"abc; } }", true);
+    ]
+  in
+  List.iter
+    (fun (src, should_fail) ->
+      match Idl.parse_classes src, should_fail with
+      | Ok _, false | Error _, true -> ()
+      | Ok _, true -> Alcotest.failf "should have failed: %s" src
+      | Error e, false ->
+          Alcotest.failf "should have parsed %s: %a" src Idl.pp_error e)
+    cases
+
+let test_error_positions () =
+  match Idl.parse_classes "class X {\n  field broken\n}" with
+  | Error e ->
+      (* The parser reports the position of the offending token; for a
+         declaration cut short that is the line of the member or the one
+         after it. *)
+      Alcotest.(check bool) "line in range" true
+        (e.Idl.line >= 2 && e.Idl.line <= 3)
+  | Ok _ -> Alcotest.fail "should not parse"
+
+let test_deterministic_guids () =
+  let a = parse_ok person_src and b = parse_ok person_src in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool)
+        ("guid of " ^ Meta.qualified_name x)
+        true
+        (Pti_util.Guid.equal x.Meta.td_guid y.Meta.td_guid))
+    a b
+
+let test_operators_and_precedence () =
+  let src =
+    {|
+class Ops {
+  method arith() : int { return 2 + 3 * 4 - 10 / 2; }
+  method logic(a : bool, b : bool) : bool { return a && b || !a; }
+  method cmp(x : int) : bool { return 1 + x >= 3; }
+  method neg(x : int) : int { return -x + 1; }
+  method str(s : string) : string { return "[" ^ s ^ "]"; }
+}
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let o = Eval.construct reg "Ops" [] in
+  Alcotest.(check int) "arith" 9 (Eval.call reg o "arith" [] |> get_int);
+  Alcotest.(check bool) "logic tt" true
+    (Eval.call reg o "logic" [ Value.Vbool true; Value.Vbool true ]
+    = Value.Vbool true);
+  Alcotest.(check bool) "logic ff -> !a" true
+    (Eval.call reg o "logic" [ Value.Vbool false; Value.Vbool false ]
+    = Value.Vbool true);
+  Alcotest.(check bool) "cmp" true
+    (Eval.call reg o "cmp" [ Value.Vint 2 ] = Value.Vbool true);
+  Alcotest.(check int) "neg" (-4) (Eval.call reg o "neg" [ Value.Vint 5 ] |> get_int);
+  Alcotest.(check string) "concat" "[x]"
+    (Eval.call reg o "str" [ Value.Vstring "x" ] |> get_string)
+
+let test_idl_assembly_through_wire () =
+  (* IDL-authored code survives the assembly XML codec (i.e., can be
+     downloaded by peers). *)
+  let asm =
+    match Idl.parse_assembly person_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %a" Idl.pp_error e
+  in
+  let wire = Pti_serial.Assembly_xml.to_string asm in
+  match Pti_serial.Assembly_xml.of_string wire with
+  | Error m -> Alcotest.failf "codec: %s" m
+  | Ok asm' ->
+      let reg = Registry.create () in
+      Assembly.load reg asm';
+      let p =
+        Eval.construct reg "idlw.Person" [ Value.Vstring "W"; Value.Vint 1 ]
+      in
+      Alcotest.(check string) "still runs" "Hello, W"
+        (Eval.call reg p "greet" [] |> get_string)
+
+let () =
+  Alcotest.run "idl"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "interfaces+inheritance" `Quick
+            test_interfaces_and_inheritance;
+          Alcotest.test_case "modifiers" `Quick test_modifiers;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          Alcotest.test_case "deterministic guids" `Quick
+            test_deterministic_guids;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "parsed code runs" `Quick test_parsed_code_runs;
+          Alcotest.test_case "control flow" `Quick test_control_flow_statements;
+          Alcotest.test_case "static + new" `Quick test_static_and_new;
+          Alcotest.test_case "throw/catch" `Quick test_throw_and_catch;
+          Alcotest.test_case "for + arrays" `Quick test_for_and_arrays;
+          Alcotest.test_case "field initializers" `Quick
+            test_field_initializers;
+          Alcotest.test_case "operators" `Quick test_operators_and_precedence;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "conforms to builder-authored type" `Quick
+            test_idl_type_conforms_to_builder_type;
+          Alcotest.test_case "survives the assembly codec" `Quick
+            test_idl_assembly_through_wire;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+(* Tests for the discrete-event network simulator. *)
+
+module Sim = Pti_net.Sim
+module Net = Pti_net.Net
+module Stats = Pti_net.Stats
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Sim.schedule sim ~delay:5. (fun () -> trace := "c" :: !trace);
+  Sim.schedule sim ~delay:1. (fun () -> trace := "a" :: !trace);
+  Sim.schedule sim ~delay:3. (fun () -> trace := "b" :: !trace);
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !trace);
+  Alcotest.(check (float 1e-9)) "clock at last event" 5. (Sim.now sim)
+
+let test_sim_fifo_ties () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:1. (fun () -> trace := i :: !trace)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !trace)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  Sim.schedule sim ~delay:1. (fun () ->
+      trace := "outer" :: !trace;
+      Sim.schedule sim ~delay:1. (fun () -> trace := "inner" :: !trace));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ]
+    (List.rev !trace);
+  Alcotest.(check (float 1e-9)) "clock" 2. (Sim.now sim)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:1. (fun () -> incr fired);
+  Sim.schedule sim ~delay:10. (fun () -> incr fired);
+  Sim.run_until sim 5.;
+  Alcotest.(check int) "only early events" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 5. (Sim.now sim);
+  Alcotest.(check int) "one pending" 1 (Sim.pending sim)
+
+let test_sim_negative_delay_clamped () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~delay:5. (fun () ->
+      Sim.schedule sim ~delay:(-3.) (fun () -> fired := true));
+  Sim.run sim;
+  Alcotest.(check bool) "fired" true !fired;
+  Alcotest.(check (float 1e-9)) "no time travel" 5. (Sim.now sim)
+
+let test_net_latency_and_bandwidth () =
+  let net = Net.create ~default_latency_ms:2. ~default_bandwidth_bpms:100. () in
+  let arrival = ref nan in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net ~src:_ () ->
+      arrival := Net.now_ms net);
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:300 ();
+  Net.run net;
+  (* 2 ms latency + 300/100 ms serialization. *)
+  Alcotest.(check (float 1e-9)) "delivery time" 5. !arrival
+
+let test_net_link_override () =
+  let net = Net.create ~default_latency_ms:1. ~default_bandwidth_bpms:1e9 () in
+  let arrival = ref nan in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net ~src:_ () ->
+      arrival := Net.now_ms net);
+  Net.set_link net "a" "b" ~latency_ms:50. ~bandwidth_bpms:1e9;
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:0 ();
+  Net.run net;
+  Alcotest.(check bool) "link latency used" true (!arrival >= 50.)
+
+let test_net_stats_accounting () =
+  let net = Net.create () in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:100 ();
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:50 ();
+  Net.send net ~src:"b" ~dst:"a" ~category:Stats.Tdesc_reply ~size:30 ();
+  Net.run net;
+  let s = Net.stats net in
+  Alcotest.(check int) "obj msgs" 2 (Stats.messages s Stats.Object_msg);
+  Alcotest.(check int) "obj bytes" 150 (Stats.bytes s Stats.Object_msg);
+  Alcotest.(check int) "tdesc bytes" 30 (Stats.bytes s Stats.Tdesc_reply);
+  Alcotest.(check int) "total" 180 (Stats.total_bytes s);
+  Alcotest.(check int) "total msgs" 3 (Stats.total_messages s)
+
+let test_net_partition () =
+  let net = Net.create () in
+  let delivered = ref 0 in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> incr delivered);
+  Net.partition net "a" "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Net.run net;
+  Alcotest.(check int) "dropped" 0 !delivered;
+  Alcotest.(check int) "counted" 1 (Net.dropped_messages net);
+  Net.heal net "a" "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Net.run net;
+  Alcotest.(check int) "healed" 1 !delivered
+
+let test_net_drop_rate () =
+  let net = Net.create ~drop_rate:1.0 () in
+  let delivered = ref 0 in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> incr delivered);
+  for _ = 1 to 10 do
+    Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ()
+  done;
+  Net.run net;
+  Alcotest.(check int) "all dropped" 0 !delivered;
+  Alcotest.(check int) "all counted" 10 (Net.dropped_messages net)
+
+let test_net_unknown_host () =
+  let net = Net.create () in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  (match Net.send net ~src:"a" ~dst:"ghost" ~category:Stats.Control ~size:1 () with
+  | _ -> Alcotest.fail "unknown host should raise"
+  | exception Invalid_argument _ -> ());
+  match Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ()) with
+  | _ -> Alcotest.fail "duplicate host should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_reliable_survives_loss () =
+  (* 30% loss, reliability on: everything still arrives exactly once. *)
+  let net =
+    Net.create ~drop_rate:0.3 ~reliability:Net.default_reliability ~seed:99L ()
+  in
+  let got = ref [] in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ (_ : int) -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ i -> got := i :: !got);
+  for i = 1 to 50 do
+    Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:10 i
+  done;
+  Net.run net;
+  Alcotest.(check (list int)) "all delivered exactly once"
+    (List.init 50 (fun i -> i + 1))
+    (List.sort compare !got);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Net.retransmissions net > 0);
+  Alcotest.(check int) "nothing abandoned" 0 (Net.lost_messages net)
+
+let test_reliable_gives_up_on_partition () =
+  let reliability = { Net.default_reliability with Net.max_retries = 2 } in
+  let net = Net.create ~reliability ~seed:4L () in
+  let delivered = ref 0 in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> incr delivered);
+  Net.partition net "a" "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Net.run net;
+  Alcotest.(check int) "never delivered" 0 !delivered;
+  Alcotest.(check int) "abandoned after retries" 1 (Net.lost_messages net);
+  Alcotest.(check int) "3 attempts" 3 (Net.dropped_messages net)
+
+let test_reliable_delivers_after_heal () =
+  (* A partition shorter than the retry budget only delays delivery. *)
+  let reliability =
+    { Net.retransmit_ms = 10.; max_retries = 10; ack_bytes = 16 }
+  in
+  let net = Net.create ~reliability ~seed:4L () in
+  let delivered_at = ref nan in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net ~src:_ () ->
+      delivered_at := Net.now_ms net);
+  Net.partition net "a" "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  (* Heal at t=35ms, while retries are still scheduled. *)
+  Pti_net.Sim.schedule (Net.sim net) ~delay:35. (fun () -> Net.heal net "a" "b");
+  Net.run net;
+  Alcotest.(check bool) "delivered after heal" true (!delivered_at >= 35.);
+  Alcotest.(check int) "not abandoned" 0 (Net.lost_messages net)
+
+let test_reliable_charges_retransmissions () =
+  let net =
+    Net.create ~drop_rate:0.5
+      ~reliability:Net.default_reliability ~seed:2L ()
+  in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  for _ = 1 to 20 do
+    Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:100 ()
+  done;
+  Net.run net;
+  let s = Net.stats net in
+  (* More bytes than the 20 * 100 a loss-free run would charge. *)
+  Alcotest.(check bool) "loss costs bytes" true
+    (Stats.bytes s Stats.Object_msg > 2000);
+  Alcotest.(check bool) "acks charged as control" true
+    (Stats.bytes s Stats.Control > 0)
+
+let test_trace_records_and_renders () =
+  let net = Net.create () in
+  let trace = Pti_net.Trace.attach net in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:100 ();
+  Net.send net ~src:"b" ~dst:"a" ~category:Stats.Control ~size:5 ();
+  Net.run net;
+  Alcotest.(check int) "two entries" 2 (Pti_net.Trace.count trace ());
+  Alcotest.(check int) "filtered" 1
+    (Pti_net.Trace.count trace ~category:Stats.Object_msg ());
+  (match Pti_net.Trace.entries trace with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "first src" "a" e1.Pti_net.Trace.src;
+      Alcotest.(check string) "second src" "b" e2.Pti_net.Trace.src;
+      Alcotest.(check int) "attempt 0" 0 e1.Pti_net.Trace.attempt
+  | _ -> Alcotest.fail "expected two entries");
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    ln > 0 && go 0
+  in
+  let log = Format.asprintf "%a" Pti_net.Trace.pp_log trace in
+  Alcotest.(check bool) "log mentions category" true (contains log "object");
+  let seq = Format.asprintf "%a" Pti_net.Trace.pp_sequence trace in
+  Alcotest.(check bool) "sequence has arrows" true
+    (String.length seq > 0 && String.contains seq '>');
+  Pti_net.Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (Pti_net.Trace.count trace ())
+
+let test_trace_records_retransmissions () =
+  let net =
+    Net.create ~drop_rate:1.0
+      ~reliability:{ Net.default_reliability with Net.max_retries = 2 }
+      ~seed:1L ()
+  in
+  let trace = Pti_net.Trace.attach net in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Net.run net;
+  Alcotest.(check int) "3 attempts traced" 3 (Pti_net.Trace.count trace ());
+  Alcotest.(check bool) "attempt numbers grow" true
+    (List.map (fun e -> e.Pti_net.Trace.attempt) (Pti_net.Trace.entries trace)
+    = [ 0; 1; 2 ])
+
+let test_latency_percentiles () =
+  let net = Net.create ~default_latency_ms:10. ~default_bandwidth_bpms:1e9 () in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  for _ = 1 to 9 do
+    Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:0 ()
+  done;
+  Net.run net;
+  let s = Net.stats net in
+  Alcotest.(check int) "samples" 9
+    (List.length (Stats.latency_samples s Stats.Object_msg));
+  (match Stats.latency_percentile s Stats.Object_msg 0.5 with
+  | Some p -> Alcotest.(check (float 1e-9)) "median" 10. p
+  | None -> Alcotest.fail "no median");
+  Alcotest.(check (option (float 1e-9))) "empty category" None
+    (Stats.latency_percentile s Stats.Control 0.5);
+  (* Under loss + reliability, latencies include the retry waits. *)
+  let lossy =
+    Net.create ~drop_rate:0.5 ~reliability:Net.default_reliability ~seed:3L ()
+  in
+  Net.add_host lossy "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host lossy "b" ~handler:(fun ~net:_ ~src:_ () -> ());
+  for _ = 1 to 20 do
+    Net.send lossy ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:0 ()
+  done;
+  Net.run lossy;
+  match Stats.latency_percentile (Net.stats lossy) Stats.Object_msg 0.95 with
+  | Some p95 -> Alcotest.(check bool) "p95 includes retries" true (p95 >= 50.)
+  | None -> Alcotest.fail "no p95"
+
+let test_stats_merge_reset () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.record a Stats.Object_msg ~bytes:10;
+  Stats.record b Stats.Object_msg ~bytes:5;
+  Stats.record b Stats.Control ~bytes:1;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "merged bytes" 15 (Stats.bytes m Stats.Object_msg);
+  Alcotest.(check int) "merged total" 16 (Stats.total_bytes m);
+  Stats.reset a;
+  Alcotest.(check int) "reset" 0 (Stats.total_bytes a)
+
+let test_determinism () =
+  (* Two identically-seeded networks with jitter produce identical
+     delivery times. *)
+  let run () =
+    let net = Net.create ~jitter_ms:2. ~seed:123L () in
+    let times = ref [] in
+    Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+    Net.add_host net "b" ~handler:(fun ~net ~src:_ () ->
+        times := Net.now_ms net :: !times);
+    for i = 1 to 20 do
+      Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:i ()
+    done;
+    Net.run net;
+    !times
+  in
+  Alcotest.(check (list (float 1e-12))) "deterministic" (run ()) (run ())
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_sim_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "negative delay" `Quick
+            test_sim_negative_delay_clamped;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "latency+bandwidth" `Quick
+            test_net_latency_and_bandwidth;
+          Alcotest.test_case "link override" `Quick test_net_link_override;
+          Alcotest.test_case "stats" `Quick test_net_stats_accounting;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "drop rate" `Quick test_net_drop_rate;
+          Alcotest.test_case "unknown host" `Quick test_net_unknown_host;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "survives loss" `Quick test_reliable_survives_loss;
+          Alcotest.test_case "gives up on partition" `Quick
+            test_reliable_gives_up_on_partition;
+          Alcotest.test_case "delivers after heal" `Quick
+            test_reliable_delivers_after_heal;
+          Alcotest.test_case "retransmissions charged" `Quick
+            test_reliable_charges_retransmissions;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "merge+reset" `Quick test_stats_merge_reset;
+          Alcotest.test_case "latency percentiles" `Quick
+            test_latency_percentiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records and renders" `Quick
+            test_trace_records_and_renders;
+          Alcotest.test_case "records retransmissions" `Quick
+            test_trace_records_retransmissions;
+        ] );
+    ]

@@ -1,0 +1,465 @@
+(* Tests for the serialization stack: binary, SOAP, assembly codec,
+   hybrid envelope. *)
+
+open Pti_cts
+module Demo = Pti_demo.Demo_types
+module Bin = Pti_serial.Bin_ser
+module Soap = Pti_serial.Soap_ser
+module Env = Pti_serial.Envelope
+module Axml = Pti_serial.Assembly_xml
+module Bio = Pti_serial.Bytes_io
+module Xml = Pti_xml.Xml
+module E = Expr
+
+let reg () =
+  Demo.fresh_registry [ Demo.news_assembly (); Demo.social_assembly () ]
+
+(* ----------------------------- bytes_io ---------------------------- *)
+
+let test_bytes_io_roundtrip () =
+  let w = Bio.Writer.create () in
+  Bio.Writer.varint w 0;
+  Bio.Writer.varint w 127;
+  Bio.Writer.varint w 128;
+  Bio.Writer.varint w 300_000;
+  Bio.Writer.zigzag w (-1);
+  Bio.Writer.zigzag w 12345;
+  Bio.Writer.zigzag w (-99999);
+  Bio.Writer.f64 w 3.14159;
+  Bio.Writer.string w "hello";
+  Bio.Writer.bool w true;
+  let r = Bio.Reader.create (Bio.Writer.contents w) in
+  Alcotest.(check int) "v0" 0 (Bio.Reader.varint r);
+  Alcotest.(check int) "v127" 127 (Bio.Reader.varint r);
+  Alcotest.(check int) "v128" 128 (Bio.Reader.varint r);
+  Alcotest.(check int) "v300k" 300_000 (Bio.Reader.varint r);
+  Alcotest.(check int) "z-1" (-1) (Bio.Reader.zigzag r);
+  Alcotest.(check int) "z12345" 12345 (Bio.Reader.zigzag r);
+  Alcotest.(check int) "z-99999" (-99999) (Bio.Reader.zigzag r);
+  Alcotest.(check (float 1e-12)) "f64" 3.14159 (Bio.Reader.f64 r);
+  Alcotest.(check string) "string" "hello" (Bio.Reader.string r);
+  Alcotest.(check bool) "bool" true (Bio.Reader.bool r);
+  Alcotest.(check bool) "at_end" true (Bio.Reader.at_end r)
+
+let test_bytes_io_underflow () =
+  let r = Bio.Reader.create "\xff" in
+  match Bio.Reader.string r with
+  | _ -> Alcotest.fail "expected underflow"
+  | exception Bio.Reader.Underflow _ -> ()
+
+(* ----------------------------- values ------------------------------ *)
+
+let sample_person r =
+  let p = Demo.make_news_person r ~name:"Ser" ~age:7 in
+  let home =
+    Eval.construct r Demo.news_address
+      [ Value.Vstring "1 Main St"; Value.Vstring "Springfield" ]
+  in
+  ignore (Eval.call r p "setHome" [ home ]);
+  p
+
+let cyclic_pair r =
+  let a = Demo.make_news_person r ~name:"A" ~age:1 in
+  let b = Demo.make_news_person r ~name:"B" ~age:2 in
+  ignore (Eval.call r a "setSpouse" [ b ]);
+  ignore (Eval.call r b "setSpouse" [ a ]);
+  a
+
+let roundtrip_codec encode decode r v =
+  match decode r (encode v) with
+  | Ok v' -> v'
+  | Error _ -> Alcotest.fail "decode failed"
+
+let check_person_roundtrip r v' =
+  Alcotest.(check bool) "deep equal" true (Value.equal_deep
+    (Value.Vstring "Ser") (Eval.call r v' "getName" []));
+  let home = Eval.call r v' "getHome" [] in
+  Alcotest.(check bool) "nested object" true
+    (Value.equal_deep (Value.Vstring "Springfield")
+       (Eval.call r home "getCity" []))
+
+let test_bin_roundtrip () =
+  let r = reg () in
+  let v = sample_person r in
+  let v' = roundtrip_codec Bin.encode Bin.decode r v in
+  check_person_roundtrip r v';
+  Alcotest.(check bool) "whole graph equal" true (Value.equal_deep v v')
+
+let test_soap_roundtrip () =
+  let r = reg () in
+  let v = sample_person r in
+  let v' = roundtrip_codec Soap.encode Soap.decode r v in
+  check_person_roundtrip r v';
+  Alcotest.(check bool) "whole graph equal" true (Value.equal_deep v v')
+
+let test_cycles_both_codecs () =
+  let r = reg () in
+  let v = cyclic_pair r in
+  let check v' =
+    let spouse = Eval.call r v' "getSpouse" [] in
+    let back = Eval.call r spouse "getSpouse" [] in
+    match back, v' with
+    | Value.Vobj o1, Value.Vobj o2 ->
+        Alcotest.(check bool) "cycle identity" true (o1 == o2)
+    | _ -> Alcotest.fail "expected objects"
+  in
+  check (roundtrip_codec Bin.encode Bin.decode r v);
+  check (roundtrip_codec Soap.encode Soap.decode r v)
+
+let test_shared_reference_not_duplicated () =
+  let r = reg () in
+  let shared = Demo.make_news_person r ~name:"S" ~age:0 in
+  let a = Demo.make_news_person r ~name:"A" ~age:1 in
+  let b = Demo.make_news_person r ~name:"B" ~age:2 in
+  ignore (Eval.call r a "setSpouse" [ shared ]);
+  ignore (Eval.call r b "setSpouse" [ shared ]);
+  let arr =
+    Value.Varr { Value.elem_ty = Ty.Named Demo.news_person; items = [| a; b |] }
+  in
+  let check v' =
+    match v' with
+    | Value.Varr { Value.items = [| a'; b' |]; _ } -> (
+        match Eval.call r a' "getSpouse" [], Eval.call r b' "getSpouse" [] with
+        | Value.Vobj s1, Value.Vobj s2 ->
+            Alcotest.(check bool) "sharing preserved" true (s1 == s2)
+        | _ -> Alcotest.fail "expected spouse objects")
+    | _ -> Alcotest.fail "expected a 2-array"
+  in
+  check (roundtrip_codec Bin.encode Bin.decode r arr);
+  check (roundtrip_codec Soap.encode Soap.decode r arr)
+
+let test_primitives_all_codecs () =
+  let r = Registry.create () in
+  let values =
+    [
+      Value.Vnull; Value.Vbool true; Value.Vbool false; Value.Vint 0;
+      Value.Vint (-123456); Value.Vint (max_int / 4);
+      Value.Vfloat 0.; Value.Vfloat (-1.5e300); Value.Vfloat infinity;
+      Value.Vstring ""; Value.Vstring "héllo <&> \"w\"";
+      Value.Vchar 'x'; Value.Vchar '\000';
+      Value.Varr { Value.elem_ty = Ty.Int; items = [| Value.Vint 1; Value.Vint 2 |] };
+      Value.Varr { Value.elem_ty = Ty.String; items = [||] };
+    ]
+  in
+  List.iter
+    (fun v ->
+      let vb = roundtrip_codec Bin.encode Bin.decode r v in
+      Alcotest.(check bool) "bin prim" true (Value.equal_deep v vb);
+      let vs = roundtrip_codec Soap.encode Soap.decode r v in
+      Alcotest.(check bool) "soap prim" true (Value.equal_deep v vs))
+    values
+
+let test_unknown_type_errors () =
+  let full = reg () in
+  let empty = Registry.create () in
+  let v = sample_person full in
+  (match Bin.decode empty (Bin.encode v) with
+  | Error (Bin.Unknown_type t) ->
+      Alcotest.(check string) "bin names the type" Demo.news_person t
+  | _ -> Alcotest.fail "bin should fail with Unknown_type");
+  match Soap.decode empty (Soap.encode v) with
+  | Error (Soap.Unknown_type _) -> ()
+  | _ -> Alcotest.fail "soap should fail with Unknown_type"
+
+let test_malformed_binary () =
+  let r = reg () in
+  List.iter
+    (fun s ->
+      match Bin.decode r s with
+      | Error (Bin.Malformed _) -> ()
+      | _ -> Alcotest.failf "should be malformed: %S" s)
+    [ ""; "XXXX"; "PTIB\x01"; "PTIB\x01\x63"; "PTIB\x01\x02\x01extra" ]
+
+let test_class_names_without_decoding () =
+  let r = reg () in
+  let v = sample_person r in
+  (match Bin.class_names (Bin.encode v) with
+  | Ok names ->
+      Alcotest.(check bool) "person listed" true
+        (List.mem Demo.news_person names);
+      Alcotest.(check bool) "address listed" true
+        (List.mem Demo.news_address names)
+  | Error _ -> Alcotest.fail "class_names failed");
+  let names = Soap.class_names (Soap.encode_xml v) in
+  Alcotest.(check bool) "soap person listed" true
+    (List.mem Demo.news_person names)
+
+let test_proxy_serializes_as_target () =
+  let r = reg () in
+  let p = sample_person r in
+  let proxy =
+    Value.Vproxy
+      { Value.px_interface = "x.Y"; px_target = p;
+        px_invoke = (fun _ _ -> Value.Vnull) }
+  in
+  Alcotest.(check string) "same bytes as target" (Bin.encode p)
+    (Bin.encode proxy)
+
+(* --------------------------- assembly codec ------------------------ *)
+
+let test_expr_xml_roundtrip () =
+  let exprs =
+    [
+      E.null; E.int 42; E.str "a<b&c"; E.bool true;
+      E.Const (E.Cfloat 2.5); E.Const (E.Cchar 'q'); E.This; E.Var "x";
+      E.Let ("t", E.int 1, E.Binop (E.Add, E.Var "t", E.int 2));
+      E.Assign ("x", E.int 9);
+      E.Field_get (E.This, "name");
+      E.Field_set (E.This, "name", E.str "n");
+      E.Call (E.This, "m", [ E.int 1; E.str "s" ]);
+      E.Static_call ("a.B", "m", [ E.int 1 ]);
+      E.New ("a.B", [ E.null ]);
+      E.New_array (Ty.Int, [ E.int 1; E.int 2 ]);
+      E.Index_get (E.Var "a", E.int 0);
+      E.Index_set (E.Var "a", E.int 0, E.int 5);
+      E.Array_length (E.Var "a");
+      E.If (E.bool true, E.int 1, E.int 2);
+      E.While (E.bool false, E.null);
+      E.Seq [ E.int 1; E.int 2 ];
+      E.Unop (E.Not, E.bool false);
+      E.Unop (E.Neg, E.int 3);
+      E.Throw (E.str "boom");
+      E.Try (E.Throw (E.int 1), "e", E.Var "e");
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Axml.expr_of_xml (Axml.expr_to_xml e) with
+      | Ok e' ->
+          Alcotest.(check string) "expr roundtrip" (E.to_string e)
+            (E.to_string e')
+      | Error msg -> Alcotest.failf "expr codec failed: %s" msg)
+    exprs
+
+let test_assembly_xml_roundtrip () =
+  List.iter
+    (fun asm ->
+      let s = Axml.to_string asm in
+      match Axml.of_string s with
+      | Error msg -> Alcotest.failf "assembly parse failed: %s" msg
+      | Ok asm' ->
+          Alcotest.(check string) "name" asm.Assembly.asm_name
+            asm'.Assembly.asm_name;
+          Alcotest.(check bool) "classes equal" true
+            (asm.Assembly.asm_classes = asm'.Assembly.asm_classes))
+    [
+      Demo.news_assembly (); Demo.social_assembly (); Demo.printer_assembly ();
+      Demo.trap_assembly ();
+    ]
+
+let test_assembly_roundtrip_still_runs () =
+  (* Code that crossed the wire must still execute. *)
+  let asm = Demo.news_assembly () in
+  let asm' =
+    match Axml.of_string (Axml.to_string asm) with
+    | Ok a -> a
+    | Error m -> Alcotest.failf "parse: %s" m
+  in
+  let r = Demo.fresh_registry [ asm' ] in
+  let p = Demo.make_news_person r ~name:"Wire" ~age:1 in
+  match Eval.call r p "greet" [] with
+  | Value.Vstring s -> Alcotest.(check string) "greet" "Hello, Wire" s
+  | _ -> Alcotest.fail "greet failed after roundtrip"
+
+(* --------------------------- envelope ------------------------------ *)
+
+let test_envelope_roundtrip () =
+  let r = reg () in
+  let v = sample_person r in
+  List.iter
+    (fun codec ->
+      let env =
+        Env.make r ~codec
+          ~download_path:(fun ~assembly -> "asm://host/" ^ assembly)
+          v
+      in
+      Alcotest.(check bool) "lists both classes" true
+        (List.length env.Env.env_types = 2);
+      let env' =
+        match Env.of_string (Env.to_string env) with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "envelope parse: %a" Env.pp_error e
+      in
+      Alcotest.(check bool) "same types" true
+        (List.map (fun e -> e.Env.te_name) env'.Env.env_types
+        = List.map (fun e -> e.Env.te_name) env.Env.env_types);
+      match Env.decode_payload r env' with
+      | Ok v' -> Alcotest.(check bool) "payload" true (Value.equal_deep v v')
+      | Error e -> Alcotest.failf "payload decode: %a" Env.pp_error e)
+    [ Env.Soap; Env.Binary ]
+
+let test_envelope_root_first () =
+  let r = reg () in
+  let v = sample_person r in
+  let env =
+    Env.make r ~codec:Env.Binary
+      ~download_path:(fun ~assembly -> assembly)
+      v
+  in
+  match env.Env.env_types with
+  | first :: _ ->
+      Alcotest.(check string) "root type first" Demo.news_person
+        first.Env.te_name
+  | [] -> Alcotest.fail "no types"
+
+let test_envelope_unknown_class_on_sender () =
+  let r = reg () in
+  let stranger =
+    Value.Vobj
+      { Value.oid = Value.fresh_oid (); cls = "ghost.Type";
+        fields = Hashtbl.create 1 }
+  in
+  match
+    Env.make r ~codec:Env.Binary ~download_path:(fun ~assembly -> assembly)
+      stranger
+  with
+  | _ -> Alcotest.fail "unregistered class should be refused"
+  | exception Invalid_argument _ -> ()
+
+let test_envelope_decode_requires_types () =
+  let full = reg () in
+  let v = sample_person full in
+  let env =
+    Env.make full ~codec:Env.Binary ~download_path:(fun ~assembly -> assembly) v
+  in
+  let empty = Registry.create () in
+  match Env.decode_payload empty env with
+  | Error (Env.Unknown_type _) -> ()
+  | _ -> Alcotest.fail "decode without types should fail"
+
+let test_envelope_malformed () =
+  List.iter
+    (fun s ->
+      match Env.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" s)
+    [
+      "";
+      "<envelope><payload encoding=\"weird\">x</payload></envelope>";
+      "<envelope><payload encoding=\"binary\">!!</payload></envelope>";
+      "<envelope/>";
+      "<notenvelope/>";
+      "<envelope><type name=\"a\" guid=\"bad\" assembly=\"x\" \
+       downloadPath=\"p\"/><payload encoding=\"binary\"></payload></envelope>";
+    ]
+
+(* Random object graphs for codec property tests. *)
+let gen_value reg =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        oneof
+          [
+            return Value.Vnull;
+            map (fun b -> Value.Vbool b) bool;
+            map (fun i -> Value.Vint i) small_signed_int;
+            map (fun s -> Value.Vstring s) (string_size (int_bound 10));
+          ]
+      else
+        frequency
+          [
+            (2, self 0);
+            ( 3,
+              map2
+                (fun name age ->
+                  let p =
+                    Demo.make_news_person reg ~name ~age
+                  in
+                  p)
+                (string_size (int_bound 8))
+                small_nat );
+            ( 1,
+              map
+                (fun items ->
+                  Value.Varr
+                    {
+                      Value.elem_ty = Ty.Named "object";
+                      items = Array.of_list items;
+                    })
+                (list_size (int_bound 4) (self (depth - 1))) );
+          ])
+    3
+
+let prop_bin_roundtrip =
+  let r = reg () in
+  QCheck.Test.make ~name:"binary codec roundtrip on random graphs" ~count:100
+    (QCheck.make (gen_value r))
+    (fun v ->
+      match Bin.decode r (Bin.encode v) with
+      | Ok v' -> Value.equal_deep v v'
+      | Error _ -> false)
+
+let prop_soap_roundtrip =
+  let r = reg () in
+  QCheck.Test.make ~name:"soap codec roundtrip on random graphs" ~count:100
+    (QCheck.make (gen_value r))
+    (fun v ->
+      match Soap.decode r (Soap.encode v) with
+      | Ok v' -> Value.equal_deep v v'
+      | Error _ -> false)
+
+let prop_envelope_roundtrip =
+  let r = reg () in
+  QCheck.Test.make ~name:"envelope roundtrip on random graphs" ~count:60
+    (QCheck.make (gen_value r))
+    (fun v ->
+      let env =
+        Env.make r ~codec:Env.Binary ~download_path:(fun ~assembly -> assembly) v
+      in
+      match Env.of_string (Env.to_string env) with
+      | Error _ -> false
+      | Ok env' -> (
+          match Env.decode_payload r env' with
+          | Ok v' -> Value.equal_deep v v'
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "bytes_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bytes_io_roundtrip;
+          Alcotest.test_case "underflow" `Quick test_bytes_io_underflow;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "binary roundtrip" `Quick test_bin_roundtrip;
+          Alcotest.test_case "soap roundtrip" `Quick test_soap_roundtrip;
+          Alcotest.test_case "cycles" `Quick test_cycles_both_codecs;
+          Alcotest.test_case "shared references" `Quick
+            test_shared_reference_not_duplicated;
+          Alcotest.test_case "primitives" `Quick test_primitives_all_codecs;
+          Alcotest.test_case "unknown types" `Quick test_unknown_type_errors;
+          Alcotest.test_case "malformed binary" `Quick test_malformed_binary;
+          Alcotest.test_case "class names probe" `Quick
+            test_class_names_without_decoding;
+          Alcotest.test_case "proxy encodes as target" `Quick
+            test_proxy_serializes_as_target;
+        ] );
+      ( "assembly-codec",
+        [
+          Alcotest.test_case "expr roundtrip" `Quick test_expr_xml_roundtrip;
+          Alcotest.test_case "assembly roundtrip" `Quick
+            test_assembly_xml_roundtrip;
+          Alcotest.test_case "code still runs after wire" `Quick
+            test_assembly_roundtrip_still_runs;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "roundtrip both codecs" `Quick
+            test_envelope_roundtrip;
+          Alcotest.test_case "root type first" `Quick test_envelope_root_first;
+          Alcotest.test_case "sender must know classes" `Quick
+            test_envelope_unknown_class_on_sender;
+          Alcotest.test_case "decode needs loaded types" `Quick
+            test_envelope_decode_requires_types;
+          Alcotest.test_case "malformed" `Quick test_envelope_malformed;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bin_roundtrip;
+          QCheck_alcotest.to_alcotest prop_soap_roundtrip;
+          QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
+        ] );
+    ]

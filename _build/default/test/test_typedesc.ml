@@ -1,0 +1,202 @@
+(* Tests for type descriptions (§5): creation by introspection, XML codec,
+   equality / equivalence / fingerprints, resolvers. *)
+
+open Pti_cts
+module Td = Pti_typedesc.Type_description
+module Demo = Pti_demo.Demo_types
+module B = Builder
+
+let registry =
+  Demo.fresh_registry
+    [ Demo.news_assembly (); Demo.social_assembly (); Demo.typo_assembly () ]
+
+let person_desc () = Td.of_class (Registry.find_exn registry Demo.news_person)
+
+let test_of_class_projects_structure () =
+  let d = person_desc () in
+  Alcotest.(check string) "name" "Person" d.Td.ty_name;
+  Alcotest.(check (list string)) "namespace" [ "newsw" ] d.Td.ty_namespace;
+  Alcotest.(check string) "assembly" "news-asm" d.Td.ty_assembly;
+  Alcotest.(check int) "fields" 4 (List.length d.Td.ty_fields);
+  Alcotest.(check int) "ctors" 1 (List.length d.Td.ty_ctors);
+  Alcotest.(check bool) "methods present" true (List.length d.Td.ty_methods >= 10)
+
+let test_qualified_name () =
+  Alcotest.(check string) "qname" Demo.news_person
+    (Td.qualified_name (person_desc ()))
+
+let test_no_recursion_in_description () =
+  (* §5.2: descriptions reference other types by name only. This is a
+     structural property of the type itself (fields are Ty.t), asserted
+     here by checking the XML stays flat. *)
+  let x = Td.to_xml (person_desc ()) in
+  let rec depth n node =
+    match node with
+    | Pti_xml.Xml.Element (_, _, cs) ->
+        List.fold_left (fun acc c -> max acc (depth (n + 1) c)) n cs
+    | _ -> n
+  in
+  Alcotest.(check bool) "flat (<=3 levels)" true (depth 1 x <= 3)
+
+let test_xml_roundtrip_all_demo_types () =
+  List.iter
+    (fun cd ->
+      let d = Td.of_class cd in
+      match Td.of_xml_string (Td.to_xml_string d) with
+      | Ok d' ->
+          Alcotest.(check bool)
+            ("roundtrip " ^ Td.qualified_name d)
+            true (d = d')
+      | Error msg ->
+          Alcotest.failf "roundtrip %s failed: %s" (Td.qualified_name d) msg)
+    (Registry.all registry)
+
+let test_xml_pretty_parses_too () =
+  let d = person_desc () in
+  match Td.of_xml_string (Td.to_xml_string ~pretty:true d) with
+  | Ok d' ->
+      Alcotest.(check string) "same fingerprint" (Td.fingerprint d)
+        (Td.fingerprint d')
+  | Error msg -> Alcotest.failf "pretty parse failed: %s" msg
+
+let test_of_xml_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Td.of_xml_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject: %s" s)
+    [
+      "";
+      "<notATypeDescription/>";
+      "<typeDescription name=\"X\"/>";
+      (* missing guid etc. *)
+      "<typeDescription name=\"X\" namespace=\"\" guid=\"nope\" \
+       kind=\"class\" assembly=\"a\"/>";
+      "<typeDescription name=\"X\" namespace=\"\" \
+       guid=\"00000000-0000-0000-0000-000000000001\" kind=\"sometimes\" \
+       assembly=\"a\"/>";
+    ]
+
+let test_equals_is_guid_identity () =
+  let d1 = person_desc () in
+  let d2 = Td.of_class (Registry.find_exn registry Demo.social_person) in
+  Alcotest.(check bool) "same guid equal" true (Td.equals d1 d1);
+  Alcotest.(check bool) "different guid unequal" false (Td.equals d1 d2)
+
+let test_fingerprint_ignores_identity_and_order () =
+  let d = person_desc () in
+  (* Changing guid/assembly does not change the fingerprint. *)
+  let rng = Pti_util.Splitmix.create 5L in
+  let d2 =
+    { d with Td.ty_guid = Pti_util.Guid.make rng; ty_assembly = "other" }
+  in
+  Alcotest.(check string) "identity-free" (Td.fingerprint d) (Td.fingerprint d2);
+  (* Member order does not matter. *)
+  let d3 = { d with Td.ty_methods = List.rev d.Td.ty_methods } in
+  Alcotest.(check string) "order-free" (Td.fingerprint d) (Td.fingerprint d3);
+  (* Structure does matter. *)
+  let d4 = { d with Td.ty_fields = List.tl d.Td.ty_fields } in
+  Alcotest.(check bool) "structure-sensitive" false
+    (Td.fingerprint d = Td.fingerprint d4)
+
+let test_equivalent_across_assemblies () =
+  let mk asm =
+    B.class_ ~ns:[ "eqv" ] ~assembly:asm "Pair"
+    |> B.property "left" Ty.Int
+    |> B.property "right" Ty.Int
+    |> B.build
+  in
+  let a = Td.of_class (mk "one") and b = Td.of_class (mk "two") in
+  Alcotest.(check bool) "equivalent" true (Td.equivalent a b);
+  Alcotest.(check bool) "not equal" false (Td.equals a b)
+
+let test_to_class_strips_everything () =
+  let cd = Td.to_class (person_desc ()) in
+  Alcotest.(check bool) "no bodies" true
+    (List.for_all (fun m -> m.Meta.m_body = None) cd.Meta.td_methods);
+  Alcotest.(check bool) "validates" true (Meta.validate cd = Ok ())
+
+let test_resolvers () =
+  let r = Td.registry_resolver registry in
+  Alcotest.(check bool) "registry hit" true (r Demo.news_person <> None);
+  Alcotest.(check bool) "registry miss" true (r "no.Such" = None);
+  let t = Td.table_resolver [ person_desc () ] in
+  Alcotest.(check bool) "table ci hit" true (t "NEWSW.PERSON" <> None);
+  let chained = Td.chain t (fun _ -> Some (person_desc ())) in
+  Alcotest.(check bool) "chain falls back" true (chained "anything" <> None)
+
+let test_size_bytes_positive_and_stable () =
+  let d = person_desc () in
+  let s1 = Td.size_bytes d and s2 = Td.size_bytes d in
+  Alcotest.(check bool) "positive" true (s1 > 0);
+  Alcotest.(check int) "stable" s1 s2
+
+let prop_fingerprint_shuffle_invariant =
+  QCheck.Test.make ~name:"fingerprint invariant under member shuffles"
+    ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Pti_util.Splitmix.create (Int64.of_int seed) in
+      let d = person_desc () in
+      let shuffle l =
+        let a = Array.of_list l in
+        Pti_util.Splitmix.shuffle rng a;
+        Array.to_list a
+      in
+      let d' =
+        {
+          d with
+          Td.ty_methods = shuffle d.Td.ty_methods;
+          ty_fields = shuffle d.Td.ty_fields;
+          ty_interfaces = shuffle d.Td.ty_interfaces;
+        }
+      in
+      Td.fingerprint d = Td.fingerprint d')
+
+let prop_xml_roundtrip_preserves_fingerprint =
+  QCheck.Test.make ~name:"xml roundtrip preserves fingerprint" ~count:20
+    QCheck.(int_bound (List.length (Registry.all registry) - 1))
+    (fun i ->
+      let cd = List.nth (Registry.all registry) i in
+      let d = Td.of_class cd in
+      match Td.of_xml_string (Td.to_xml_string d) with
+      | Ok d' -> Td.fingerprint d = Td.fingerprint d'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "typedesc"
+    [
+      ( "creation",
+        [
+          Alcotest.test_case "of_class structure" `Quick
+            test_of_class_projects_structure;
+          Alcotest.test_case "qualified name" `Quick test_qualified_name;
+          Alcotest.test_case "non-recursive" `Quick
+            test_no_recursion_in_description;
+          Alcotest.test_case "to_class" `Quick test_to_class_strips_everything;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "roundtrip all demo types" `Quick
+            test_xml_roundtrip_all_demo_types;
+          Alcotest.test_case "pretty parses" `Quick test_xml_pretty_parses_too;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_of_xml_rejects_malformed;
+          Alcotest.test_case "size" `Quick test_size_bytes_positive_and_stable;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "equals = guid" `Quick
+            test_equals_is_guid_identity;
+          Alcotest.test_case "fingerprint" `Quick
+            test_fingerprint_ignores_identity_and_order;
+          Alcotest.test_case "equivalence" `Quick
+            test_equivalent_across_assemblies;
+        ] );
+      ("resolvers", [ Alcotest.test_case "kinds" `Quick test_resolvers ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_fingerprint_shuffle_invariant;
+          QCheck_alcotest.to_alcotest prop_xml_roundtrip_preserves_fingerprint;
+        ] );
+    ]

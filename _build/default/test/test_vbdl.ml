@@ -1,0 +1,324 @@
+(* Tests for the VB-flavoured definition language and, through it, the
+   "different languages, one type system" story: a VB-authored type and a
+   C#-authored type interoperating via implicit structural conformance. *)
+
+open Pti_cts
+module Vbdl = Pti_idl.Vbdl
+module Idl = Pti_idl.Idl
+module Td = Pti_typedesc.Type_description
+module Checker = Pti_conformance.Checker
+module Proxy = Pti_proxy.Dynamic_proxy
+module Demo = Pti_demo.Demo_types
+
+let get_string = function
+  | Value.Vstring s -> s
+  | v -> Alcotest.failf "expected string, got %s" (Value.type_name v)
+
+let get_int = function
+  | Value.Vint i -> i
+  | v -> Alcotest.failf "expected int, got %s" (Value.type_name v)
+
+let parse_ok ?assembly src =
+  match Vbdl.parse_classes ?assembly src with
+  | Ok cds -> cds
+  | Error e -> Alcotest.failf "vbdl parse failed: %a" Vbdl.pp_error e
+
+let vb_person_src =
+  {|
+Assembly "vb-asm"
+Namespace vbw
+
+' A person, as a VB programmer would write one.
+Class Person
+  Dim name As String
+  Dim age As Integer
+
+  Sub New(n As String, a As Integer)
+    name = n
+    age = a
+  End Sub
+
+  Function getName() As String
+    Return name
+  End Function
+
+  Sub setName(v As String)
+    name = v
+  End Sub
+
+  Function getAge() As Integer
+    Return age
+  End Function
+
+  Sub setAge(v As Integer)
+    age = v
+  End Sub
+
+  Function greet() As String
+    Return "Hello, " & name
+  End Function
+
+  Function older(years As Integer) As Integer
+    Return age + years
+  End Function
+End Class
+|}
+
+let vb_registry () =
+  let asm =
+    match Vbdl.parse_assembly vb_person_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "assembly parse: %a" Vbdl.pp_error e
+  in
+  let reg = Registry.create () in
+  Assembly.load reg asm;
+  reg
+
+let test_parse_structure () =
+  let cds = parse_ok vb_person_src in
+  Alcotest.(check int) "one class" 1 (List.length cds);
+  let p = List.hd cds in
+  Alcotest.(check string) "qname" "vbw.Person" (Meta.qualified_name p);
+  Alcotest.(check string) "assembly" "vb-asm" p.Meta.td_assembly;
+  Alcotest.(check int) "fields" 2 (List.length p.Meta.td_fields);
+  Alcotest.(check int) "ctors" 1 (List.length p.Meta.td_ctors);
+  Alcotest.(check int) "methods" 6 (List.length p.Meta.td_methods);
+  (* Subs are void, Functions carry their return type. *)
+  let set_name =
+    List.find (fun m -> m.Meta.m_name = "setName") p.Meta.td_methods
+  in
+  Alcotest.(check bool) "sub returns void" true
+    (Ty.equal set_name.Meta.m_return Ty.Void)
+
+let test_vb_code_runs () =
+  let reg = vb_registry () in
+  let p =
+    Eval.construct reg "vbw.Person" [ Value.Vstring "Vera"; Value.Vint 40 ]
+  in
+  Alcotest.(check string) "getName" "Vera"
+    (Eval.call reg p "getName" [] |> get_string);
+  Alcotest.(check string) "greet (& concat)" "Hello, Vera"
+    (Eval.call reg p "greet" [] |> get_string);
+  Alcotest.(check int) "older" 42
+    (Eval.call reg p "older" [ Value.Vint 2 ] |> get_int);
+  ignore (Eval.call reg p "setAge" [ Value.Vint 41 ]);
+  Alcotest.(check int) "setAge effect" 41
+    (Eval.call reg p "getAge" [] |> get_int)
+
+let test_control_flow_and_operators () =
+  let src =
+    {|
+Class Logic
+  Function classify(n As Integer) As String
+    If n < 0 Then
+      Return "negative"
+    Else
+      If n = 0 Then
+        Return "zero"
+      Else
+        Return "positive"
+      End If
+    End If
+  End Function
+
+  Function sum(n As Integer) As Integer
+    Dim acc = 0
+    Dim i = 0
+    While i < n
+      acc = acc + i
+      i = i + 1
+    End While
+    Return acc
+  End Function
+
+  Function logic(a As Boolean, b As Boolean) As Boolean
+    Return a And b Or Not a
+  End Function
+
+  Function rem5(n As Integer) As Integer
+    Return n Mod 5
+  End Function
+
+  Function ne(a As Integer, b As Integer) As Boolean
+    Return a <> b
+  End Function
+End Class
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let l = Eval.construct reg "Logic" [] in
+  Alcotest.(check string) "negative" "negative"
+    (Eval.call reg l "classify" [ Value.Vint (-3) ] |> get_string);
+  Alcotest.(check string) "zero" "zero"
+    (Eval.call reg l "classify" [ Value.Vint 0 ] |> get_string);
+  Alcotest.(check string) "positive" "positive"
+    (Eval.call reg l "classify" [ Value.Vint 9 ] |> get_string);
+  Alcotest.(check int) "while sum" 45
+    (Eval.call reg l "sum" [ Value.Vint 10 ] |> get_int);
+  Alcotest.(check bool) "And/Or/Not" true
+    (Eval.call reg l "logic" [ Value.Vbool false; Value.Vbool false ]
+    = Value.Vbool true);
+  Alcotest.(check int) "Mod" 3 (Eval.call reg l "rem5" [ Value.Vint 13 ] |> get_int);
+  Alcotest.(check bool) "<>" true
+    (Eval.call reg l "ne" [ Value.Vint 1; Value.Vint 2 ] = Value.Vbool true)
+
+let test_interfaces_and_inheritance () =
+  let src =
+    {|
+Namespace vh
+Interface INamed
+  Function getName() As String
+End Interface
+
+Class Base
+  Dim id As Integer
+End Class
+
+Class Thing
+  Inherits vh.Base
+  Implements vh.INamed
+  Dim name As String
+  Function getName() As String
+    Return name
+  End Function
+End Class
+|}
+  in
+  let cds = parse_ok src in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) cds;
+  let thing = Registry.find_exn reg "vh.Thing" in
+  Alcotest.(check (option string)) "inherits" (Some "vh.Base")
+    thing.Meta.td_super;
+  Alcotest.(check (list string)) "implements" [ "vh.INamed" ]
+    thing.Meta.td_interfaces;
+  let iface = Registry.find_exn reg "vh.INamed" in
+  Alcotest.(check bool) "interface abstract" true
+    (List.for_all (fun m -> m.Meta.m_body = None) iface.Meta.td_methods)
+
+let test_string_escapes_and_comments () =
+  let src =
+    {|
+Class Q
+  Function quote() As String
+    Return "say ""hi"" ' not a comment inside"
+  End Function   ' trailing comment
+End Class
+|}
+  in
+  let reg = Registry.create () in
+  List.iter (Registry.register reg) (parse_ok src);
+  let q = Eval.construct reg "Q" [] in
+  Alcotest.(check string) "doubled quotes" "say \"hi\" ' not a comment inside"
+    (Eval.call reg q "quote" [] |> get_string)
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Vbdl.parse_classes src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" src)
+    [
+      "Class";
+      "Class X";
+      (* no End Class *)
+      "Class X\n  Dim\nEnd Class";
+      "Class X\n  Function f() As\nEnd Class";
+      "Class X\n  Sub s()\n    If a Then\n  End Sub\nEnd Class";
+      "Klass X\nEnd Class";
+      "Class X\n  Function f() As Integer\n    Return \"open\n  End \
+       Function\nEnd Class";
+    ]
+
+let test_deterministic_guids_match_idl () =
+  (* The same assembly + qualified name yields the same GUID regardless of
+     which front end authored it: the two languages really do meet in one
+     type system. *)
+  let vb = List.hd (parse_ok vb_person_src) in
+  let cs =
+    Idl.parse_class_exn
+      {|
+assembly "vb-asm";
+namespace vbw;
+class Person {
+  field name : string;
+  field age : int;
+  ctor(n : string, a : int) { name = n; age = a; }
+  method getName() : string { return name; }
+}
+|}
+  in
+  Alcotest.(check bool) "same guid across languages" true
+    (Pti_util.Guid.equal vb.Meta.td_guid cs.Meta.td_guid)
+
+let test_cross_language_conformance () =
+  (* The VB person conforms to the builder-authored newsw.Person minus the
+     members VB did not write? No — newsw.Person also has home/spouse, so
+     conformance runs the other way: newsw.Person (richer) conforms to the
+     VB person (smaller interest). *)
+  let reg = vb_registry () in
+  Assembly.load reg (Demo.news_assembly ());
+  let res = Td.registry_resolver reg in
+  let checker = Checker.create ~resolver:res () in
+  (match
+     Checker.check checker
+       ~actual:(Option.get (res Demo.news_person))
+       ~interest:(Option.get (res "vbw.Person"))
+   with
+  | Checker.Conformant _ -> ()
+  | Checker.Not_conformant fs ->
+      Alcotest.failf "news person should conform to the VB interest: %s"
+        (String.concat "; " (List.map (fun f -> f.Checker.message) fs)));
+  (* And it works end-to-end: view a news person through VB vocabulary. *)
+  let cx = Proxy.create_context reg checker in
+  let news = Demo.make_news_person reg ~name:"Cross" ~age:5 in
+  let as_vb = Proxy.coerce cx ~interest:"vbw.Person" news in
+  Alcotest.(check string) "cross-language proxy" "Cross"
+    (Eval.call reg as_vb "getName" [] |> get_string)
+
+let test_vb_survives_assembly_codec () =
+  let asm =
+    match Vbdl.parse_assembly vb_person_src with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %a" Vbdl.pp_error e
+  in
+  match Pti_serial.Assembly_xml.of_string (Pti_serial.Assembly_xml.to_string asm) with
+  | Error m -> Alcotest.failf "codec: %s" m
+  | Ok asm' ->
+      let reg = Registry.create () in
+      Assembly.load reg asm';
+      let p =
+        Eval.construct reg "vbw.Person" [ Value.Vstring "Wire"; Value.Vint 1 ]
+      in
+      Alcotest.(check string) "still runs" "Hello, Wire"
+        (Eval.call reg p "greet" [] |> get_string)
+
+let () =
+  Alcotest.run "vbdl"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "interfaces + inheritance" `Quick
+            test_interfaces_and_inheritance;
+          Alcotest.test_case "strings + comments" `Quick
+            test_string_escapes_and_comments;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "vb code runs" `Quick test_vb_code_runs;
+          Alcotest.test_case "control flow + operators" `Quick
+            test_control_flow_and_operators;
+        ] );
+      ( "interop",
+        [
+          Alcotest.test_case "guids match across languages" `Quick
+            test_deterministic_guids_match_idl;
+          Alcotest.test_case "cross-language conformance" `Quick
+            test_cross_language_conformance;
+          Alcotest.test_case "survives the assembly codec" `Quick
+            test_vb_survives_assembly_codec;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the XML substrate: printing, parsing, escaping, queries. *)
+
+module Xml = Pti_xml.Xml
+
+let test_print_compact () =
+  let doc =
+    Xml.elt "root"
+      ~attrs:[ ("a", "1"); ("b", "x&y") ]
+      [ Xml.leaf "child" "hi"; Xml.elt "empty" [] ]
+  in
+  Alcotest.(check string) "compact"
+    "<root a=\"1\" b=\"x&amp;y\"><child>hi</child><empty/></root>"
+    (Xml.to_string doc)
+
+let test_escaping () =
+  Alcotest.(check string) "text" "a&lt;b&gt;c&amp;d"
+    (Xml.escape_text "a<b>c&d");
+  Alcotest.(check string) "attr quotes" "&quot;&apos;"
+    (Xml.escape_attr "\"'")
+
+let test_parse_simple () =
+  let x = Xml.parse_exn "<a p=\"1\"><b>text</b><c/></a>" in
+  Alcotest.(check (option string)) "tag" (Some "a") (Xml.tag x);
+  Alcotest.(check (option string)) "attr" (Some "1") (Xml.attr "p" x);
+  Alcotest.(check string) "text" "text"
+    (Xml.text_content (Xml.child_exn "b" x));
+  Alcotest.(check int) "children" 2 (List.length (Xml.children x))
+
+let test_parse_entities () =
+  let x = Xml.parse_exn "<a>&lt;tag&gt; &amp; &quot;quotes&quot; &#65;&#x42;</a>" in
+  Alcotest.(check string) "entities" "<tag> & \"quotes\" AB" (Xml.text_content x)
+
+let test_parse_cdata_comment () =
+  let x = Xml.parse_exn "<a><!-- note --><![CDATA[<raw&stuff>]]></a>" in
+  Alcotest.(check string) "cdata preserved" "<raw&stuff>" (Xml.text_content x)
+
+let test_parse_prolog_doctype () =
+  let x =
+    Xml.parse_exn
+      "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hello --><a/><!-- bye -->"
+  in
+  Alcotest.(check (option string)) "root" (Some "a") (Xml.tag x)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Xml.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" s)
+    [
+      ""; "<a>"; "<a></b>"; "<a attr></a>"; "text only"; "<a/><b/>";
+      "<a>&unknown;</a>"; "<a><![CDATA[open</a>";
+    ]
+
+let test_path_and_childs () =
+  let x = Xml.parse_exn "<a><b><c k=\"v\"/></b><b/><d/></a>" in
+  (match Xml.path [ "b"; "c" ] x with
+  | Some c -> Alcotest.(check (option string)) "path attr" (Some "v") (Xml.attr "k" c)
+  | None -> Alcotest.fail "path failed");
+  Alcotest.(check int) "childs count" 2 (List.length (Xml.childs "b" x));
+  Alcotest.(check bool) "path miss" true (Xml.path [ "z" ] x = None)
+
+let test_pretty_roundtrip () =
+  let doc =
+    Xml.elt "envelope"
+      [
+        Xml.elt "type" ~attrs:[ ("name", "Person") ] [];
+        Xml.elt "payload" [ Xml.leaf "obj" "data" ];
+      ]
+  in
+  let pretty = Xml.to_string_pretty doc in
+  Alcotest.(check bool) "has newlines" true (String.contains pretty '\n');
+  let reparsed = Xml.parse_exn pretty in
+  (* The pretty form adds whitespace text nodes; compare structure by
+     element tags only. *)
+  let rec tags x =
+    match x with
+    | Xml.Element (t, _, cs) -> t :: List.concat_map tags cs
+    | _ -> []
+  in
+  Alcotest.(check (list string)) "structure preserved" (tags doc) (tags reparsed)
+
+let test_attr_escaping_roundtrip () =
+  let doc =
+    Xml.elt "a" ~attrs:[ ("k", "quotes \" ' and <tags> & amps") ] []
+  in
+  let reparsed = Xml.parse_exn (Xml.to_string doc) in
+  Alcotest.(check (option string)) "attribute survives"
+    (Some "quotes \" ' and <tags> & amps")
+    (Xml.attr "k" reparsed)
+
+let test_size_bytes () =
+  let doc = Xml.leaf "a" "xyz" in
+  Alcotest.(check int) "size" (String.length "<a>xyz</a>") (Xml.size_bytes doc)
+
+(* Generator for random XML trees with printable text. *)
+let gen_xml =
+  let open QCheck.Gen in
+  let tag_g = oneofl [ "a"; "b"; "item"; "node"; "x1" ] in
+  let text_g =
+    map
+      (fun s -> String.concat "" (List.map (String.make 1) s))
+      (small_list (oneofl [ 'a'; 'z'; '<'; '&'; '>'; '"'; ' '; '\'' ]))
+  in
+  let attr_g = pair (oneofl [ "k"; "key"; "n" ]) text_g in
+  (* Attributes need distinct names within an element. *)
+  let attrs_g =
+    map
+      (fun l ->
+        let seen = Hashtbl.create 4 in
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          l)
+      (small_list attr_g)
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        map2 (fun t s -> Xml.leaf t s) tag_g text_g
+      else
+        map3
+          (fun t attrs kids -> Xml.elt t ~attrs kids)
+          tag_g attrs_g
+          (list_size (int_bound 3) (self (depth - 1))))
+    2
+
+(* Adjacent text nodes merge on reparse; normalize before comparing. *)
+let rec normalize x =
+  match x with
+  | Xml.Element (t, attrs, cs) ->
+      let cs = List.filter_map normalize_child cs in
+      let rec merge = function
+        | Xml.Text a :: Xml.Text b :: rest -> merge (Xml.Text (a ^ b) :: rest)
+        | c :: rest -> c :: merge rest
+        | [] -> []
+      in
+      Xml.Element (t, attrs, merge cs)
+  | other -> other
+
+and normalize_child c =
+  match c with
+  | Xml.Text "" -> None
+  | Xml.Cdata s -> Some (Xml.Text s)  (* cdata and text are equivalent *)
+  | Xml.Comment _ -> None
+  | _ -> Some (normalize c)
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300
+    (QCheck.make gen_xml) (fun doc ->
+      match Xml.parse (Xml.to_string doc) with
+      | Error _ -> false
+      | Ok parsed -> normalize parsed = normalize doc)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "print",
+        [
+          Alcotest.test_case "compact" `Quick test_print_compact;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "pretty" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "size" `Quick test_size_bytes;
+          Alcotest.test_case "attr escaping" `Quick
+            test_attr_escaping_roundtrip;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata+comments" `Quick test_parse_cdata_comment;
+          Alcotest.test_case "prolog" `Quick test_parse_prolog_doctype;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "queries" `Quick test_path_and_childs;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip ]);
+    ]
