@@ -3,9 +3,13 @@
    Subcommands:
      describe   parse an IDL file and print a type's XML description
      check      implicit structural conformance between two IDL types
+     lint       static interop-hazard analysis over IDL files
      protocol   run the optimistic-vs-eager transfer experiment
      demo       run the quickstart Person scenario
-*)
+
+   Every command evaluates to its exit status: check exits 1 when the
+   verdict is NOT CONFORMANT (or the behavioral probe diverges), lint
+   exits 1 when any error-severity diagnostic fires. *)
 
 open Cmdliner
 open Pti_cts
@@ -30,22 +34,29 @@ let read_file path =
   with Sys_error msg -> Error msg
 
 (* .vb files go through the VB front end, everything else through the
-   C#-flavoured one; both produce the same CTS metadata. *)
-let load_idl path =
+   C#-flavoured one; both produce the same CTS metadata. The side table
+   maps declarations back to source lines for lint diagnostics. *)
+let load_located path =
   match read_file path with
   | Error msg -> Error msg
-  | Ok src ->
+  | Ok src -> (
+      let srcmap = Pti_idl.Srcmap.create () in
       if Filename.check_suffix path ".vb" then
         match
-          Pti_idl.Vbdl.parse_assembly ~assembly:(Filename.basename path) src
+          Pti_idl.Vbdl.parse_assembly ~assembly:(Filename.basename path)
+            ~srcmap src
         with
-        | Ok asm -> Ok asm
+        | Ok asm -> Ok (asm, srcmap)
         | Error e ->
             Error (Format.asprintf "%s: %a" path Pti_idl.Vbdl.pp_error e)
       else
-        match Idl.parse_assembly ~assembly:(Filename.basename path) src with
-        | Ok asm -> Ok asm
-        | Error e -> Error (Format.asprintf "%s: %a" path Idl.pp_error e)
+        match
+          Idl.parse_assembly ~assembly:(Filename.basename path) ~srcmap src
+        with
+        | Ok asm -> Ok (asm, srcmap)
+        | Error e -> Error (Format.asprintf "%s: %a" path Idl.pp_error e))
+
+let load_idl path = Result.map fst (load_located path)
 
 let pick_class asm type_name =
   match type_name with
@@ -86,7 +97,7 @@ let describe_cmd =
         | Error msg -> `Error (false, msg)
         | Ok cd ->
             print_string (Td.to_xml_string ~pretty:true (Td.of_class cd));
-            `Ok ())
+            `Ok 0)
   in
   Cmd.v
     (Cmd.info "describe"
@@ -144,19 +155,17 @@ let check_cmd =
       { base with Config.name_distance = distance;
         allow_wildcards = wildcards }
     in
-    let reg = Registry.create () in
     (* Same-named classes from both files may collide; that's fine, the
        resolver only needs descriptions. *)
     let descs =
       List.map Td.of_class
         (interest_asm.Assembly.asm_classes @ actual_asm.Assembly.asm_classes)
     in
-    ignore reg;
     let checker =
       Checker.create ~config ~resolver:(Td.table_resolver descs) ()
     in
     let interest = Td.of_class interest_cd and actual = Td.of_class actual_cd in
-    (match Checker.check checker ~actual ~interest with
+    match Checker.check checker ~actual ~interest with
     | Checker.Conformant m ->
         Format.printf "CONFORMANT: %s can be used as %s@."
           (Td.qualified_name actual)
@@ -174,21 +183,23 @@ let check_cmd =
                   ~interest:interest_cd ~mapping:m ()
               in
               Format.printf "%a@." Pti_conformance.Behavioral.pp_report report;
+              let agree = Pti_conformance.Behavioral.conformant report in
               Format.printf "behavioral: %s@."
-                (if Pti_conformance.Behavioral.conformant report then
-                   "AGREE on all probed methods"
-                 else "DIVERGENT")
+                (if agree then "AGREE on all probed methods" else "DIVERGENT");
+              `Ok (if agree then 0 else 1)
           | exception Registry.Duplicate name ->
               Format.printf
                 "behavioral probe skipped: type %s defined by both files@."
-                name
+                name;
+              `Ok 0
         end
+        else `Ok 0
     | Checker.Not_conformant fs ->
         Format.printf "NOT CONFORMANT: %s cannot be used as %s@."
           (Td.qualified_name actual)
           (Td.qualified_name interest);
-        List.iter (fun f -> Format.printf "  - %a@." Checker.pp_failure f) fs);
-    `Ok ()
+        List.iter (fun f -> Format.printf "  - %a@." Checker.pp_failure f) fs;
+        `Ok 1
   in
   Cmd.v
     (Cmd.info "check"
@@ -197,6 +208,159 @@ let check_cmd =
       ret
         (const run $ interest_file $ actual_file $ interest_type $ actual_type
         $ distance $ wildcards $ name_only $ probe))
+
+(* ------------------------------ lint ------------------------------- *)
+
+(* Adapt a parsed file to the lint engine's notion of an input: the
+   assembly plus a best-effort subject -> source-line mapping. Member
+   lookups fall back to the enclosing type's line. *)
+let lint_source path =
+  match load_located path with
+  | Error msg -> Error msg
+  | Ok (asm, sm) ->
+      let module Sm = Pti_idl.Srcmap in
+      let locate subject =
+        let fallback ty l =
+          match l with Some _ -> l | None -> Sm.type_loc sm ty
+        in
+        let l =
+          match subject with
+          | Pti_lint.Diagnostic.Type t -> Sm.type_loc sm t
+          | Pti_lint.Diagnostic.Field (t, f) ->
+              fallback t (Sm.field_loc sm ~type_:t f)
+          | Pti_lint.Diagnostic.Method (t, m, arity) ->
+              fallback t (Sm.method_loc sm ~type_:t m ~arity)
+          | Pti_lint.Diagnostic.Ctor (t, arity) ->
+              fallback t (Sm.ctor_loc sm ~type_:t ~arity)
+        in
+        Option.map
+          (fun (l : Sm.loc) ->
+            { Pti_lint.Diagnostic.line = l.Sm.line; col = l.Sm.col })
+          l
+      in
+      Ok
+        {
+          Pti_lint.Rules.src_file = path;
+          src_assembly = asm;
+          src_locate = locate;
+        }
+
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"IDL source files (.idl/.vb) to analyze.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let rule_specs =
+    Arg.(value & opt_all string []
+         & info [ "rule"; "r" ] ~docv:"[+|-]CODE"
+             ~doc:"Enable (+CODE or CODE) or disable (-CODE) a rule; \
+                   repeatable, applied left to right. Spell disables \
+                   glued, e.g. $(b,--rule=-PTI004), so the leading dash \
+                   is not taken for an option.")
+  in
+  let severity_specs =
+    Arg.(value & opt_all string []
+         & info [ "severity" ] ~docv:"CODE=LEVEL"
+             ~doc:"Force every diagnostic of a rule to $(b,error), \
+                   $(b,warning) or $(b,info); repeatable.")
+  in
+  let distance =
+    Arg.(value & opt int 0
+         & info [ "distance"; "d" ] ~docv:"N"
+             ~doc:"Levenshtein threshold of the name rule the hazards are \
+                   judged against (paper: 0).")
+  in
+  let near =
+    Arg.(value & opt int 2
+         & info [ "near" ] ~docv:"N"
+             ~doc:"Near-miss window for PTI004: warn about names within \
+                   edit distance N but above --distance.")
+  in
+  let wildcards =
+    Arg.(value & flag
+         & info [ "wildcards" ] ~doc:"Allow * and ? in interest names.")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"List the rule catalogue and exit.")
+  in
+  let run files format rule_specs severity_specs distance near wildcards
+      list_rules =
+    if list_rules then begin
+      List.iter
+        (fun (r : Pti_lint.Rules.rule) ->
+          Printf.printf "%s %-25s %-8s %s [%s]\n" r.Pti_lint.Rules.code
+            r.Pti_lint.Rules.name
+            (Pti_lint.Diagnostic.severity_to_string
+               r.Pti_lint.Rules.default_severity)
+            r.Pti_lint.Rules.doc r.Pti_lint.Rules.paper)
+        Pti_lint.Rules.all;
+      `Ok 0
+    end
+    else if files = [] then
+      `Error (true, "no input files (use --list-rules to see the catalogue)")
+    else
+      let apply f set specs =
+        List.fold_left
+          (fun acc spec ->
+            match acc with Error _ -> acc | Ok s -> f s spec)
+          (Ok set) specs
+      in
+      let rule_set =
+        Result.bind
+          (apply Pti_lint.Rule_set.apply_spec Pti_lint.Rule_set.default
+             rule_specs)
+          (fun s -> apply Pti_lint.Rule_set.apply_severity s severity_specs)
+      in
+      match rule_set with
+      | Error msg -> `Error (false, msg)
+      | Ok rule_set -> (
+          let sources =
+            List.fold_left
+              (fun acc path ->
+                match (acc, lint_source path) with
+                | Error _, _ -> acc
+                | _, Error msg -> Error msg
+                | Ok ss, Ok s -> Ok (s :: ss))
+              (Ok []) files
+          in
+          match sources with
+          | Error msg -> `Error (false, msg)
+          | Ok sources ->
+              let sources = List.rev sources in
+              let config =
+                {
+                  Config.strict with
+                  Config.name_distance = distance;
+                  allow_wildcards = wildcards;
+                }
+              in
+              let diags =
+                Pti_lint.Engine.run ~config ~near_distance:near ~rule_set
+                  sources
+              in
+              (match format with
+              | `Text -> print_string (Pti_lint.Report.to_text diags)
+              | `Json ->
+                  print_endline
+                    (Pti_lint.Json.to_string (Pti_lint.Report.to_json diags)));
+              `Ok (Pti_lint.Report.exit_code diags))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze IDL files for interop hazards (ambiguous \
+             bindings, case collisions, unresolved types, ...). Exits 1 \
+             when any error-severity diagnostic fires.")
+    Term.(
+      ret
+        (const run $ files $ format $ rule_specs $ severity_specs $ distance
+        $ near $ wildcards $ list_rules))
 
 (* ----------------------------- protocol ---------------------------- *)
 
@@ -263,7 +427,7 @@ let protocol_cmd =
         (if eager then "eager" else "optimistic")
         objects distinct nonconf delivered rejected (Net.now_ms net) Stats.pp
         (Net.stats net);
-      `Ok ()
+      `Ok 0
     end
   in
   Cmd.v
@@ -291,7 +455,7 @@ let compile_cmd =
         match output with
         | None ->
             print_endline xml;
-            `Ok ()
+            `Ok 0
         | Some path ->
             let oc = open_out_bin path in
             output_string oc xml;
@@ -299,7 +463,7 @@ let compile_cmd =
             Printf.printf "wrote %s (%d classes, %d bytes)\n" path
               (List.length asm.Assembly.asm_classes)
               (String.length xml);
-            `Ok ())
+            `Ok 0)
   in
   Cmd.v
     (Cmd.info "compile"
@@ -371,7 +535,7 @@ let run_cmd =
             with
             | result ->
                 print_endline (Value.to_string result);
-                `Ok ()
+                `Ok 0
             | exception Eval.Runtime_error msg -> `Error (false, msg)))
   in
   Cmd.v
@@ -400,7 +564,7 @@ let demo_cmd =
     Peer.send_value sender ~dst:"receiver" alice;
     Net.run net;
     Format.printf "%a@." Stats.pp (Net.stats net);
-    `Ok ()
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the §3.1 Person quickstart scenario.")
@@ -415,9 +579,9 @@ let () =
             reproduction)."
   in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
-            describe_cmd; check_cmd; compile_cmd; run_cmd; protocol_cmd;
-            demo_cmd;
+            describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
+            protocol_cmd; demo_cmd;
           ]))

@@ -351,22 +351,7 @@ and check_ctors t assum depth actual interest ctx =
       | (c : Td.ctor_desc) :: rest ->
           let arity = List.length c.Td.cd_params in
           let interest_params = List.map (fun p -> p.Td.pd_ty) c.Td.cd_params in
-          let candidates =
-            List.filter
-              (fun (c' : Td.ctor_desc) ->
-                List.length c'.Td.cd_params = arity
-                && ((not t.cfg.Config.check_modifiers)
-                   || Meta.equal_mods c.Td.cd_mods c'.Td.cd_mods))
-              actual.Td.ty_ctors
-          in
-          let with_perm =
-            List.filter_map
-              (fun (c' : Td.ctor_desc) ->
-                find_permutation t assum depth ~interest_params
-                  ~actual_params:(List.map (fun p -> p.Td.pd_ty) c'.Td.cd_params)
-                |> Option.map (fun perm -> (c', perm)))
-              candidates
-          in
+          let with_perm = viable_ctor_matches t assum depth actual c in
           (match with_perm, t.cfg.Config.ambiguity with
           | [], _ ->
               fail ctx "no constructor of actual matches ctor/%d (rule v)" arity
@@ -399,7 +384,12 @@ and check_methods t assum depth actual interest ctx =
     in
     each [] interest.Td.ty_methods
 
-and match_method t assum depth (actual : Td.t) (m : Td.method_desc) ctx =
+(* All methods of [actual] that could serve interest signature [m]: name
+   conforms, equal arity and modifiers, covariant return, and some legal
+   argument permutation (which is returned with the method). The runtime
+   binder picks among exactly this set, so tools probing for ambiguity
+   (pti lint) share it. *)
+and viable_method_matches t assum depth (actual : Td.t) (m : Td.method_desc) =
   let arity = Td.method_arity m in
   let name_candidates =
     List.filter
@@ -411,20 +401,43 @@ and match_method t assum depth (actual : Td.t) (m : Td.method_desc) ctx =
       actual.Td.ty_methods
   in
   let interest_params = List.map (fun p -> p.Td.pd_ty) m.Td.md_params in
-  let viable =
-    List.filter_map
-      (fun (m' : Td.method_desc) ->
-        let actual_params = List.map (fun p -> p.Td.pd_ty) m'.Td.md_params in
-        if
-          not
-            (ty_conforms t assum (depth + 1) ~actual:m'.Td.md_return
-               ~interest:m.Td.md_return)
-        then None
-        else
-          find_permutation t assum depth ~interest_params ~actual_params
-          |> Option.map (fun perm -> (m', perm)))
-      name_candidates
+  List.filter_map
+    (fun (m' : Td.method_desc) ->
+      let actual_params = List.map (fun p -> p.Td.pd_ty) m'.Td.md_params in
+      if
+        not
+          (ty_conforms t assum (depth + 1) ~actual:m'.Td.md_return
+             ~interest:m.Td.md_return)
+      then None
+      else
+        find_permutation t assum depth ~interest_params ~actual_params
+        |> Option.map (fun perm -> (m', perm)))
+    name_candidates
+
+(* Likewise for rule (v): constructors of [actual] usable as interest
+   constructor [c] — equal arity and modifiers, permutable parameters. *)
+and viable_ctor_matches t assum depth (actual : Td.t) (c : Td.ctor_desc) =
+  let arity = List.length c.Td.cd_params in
+  let interest_params = List.map (fun p -> p.Td.pd_ty) c.Td.cd_params in
+  let candidates =
+    List.filter
+      (fun (c' : Td.ctor_desc) ->
+        List.length c'.Td.cd_params = arity
+        && ((not t.cfg.Config.check_modifiers)
+           || Meta.equal_mods c.Td.cd_mods c'.Td.cd_mods))
+      actual.Td.ty_ctors
   in
+  List.filter_map
+    (fun (c' : Td.ctor_desc) ->
+      find_permutation t assum depth ~interest_params
+        ~actual_params:(List.map (fun p -> p.Td.pd_ty) c'.Td.cd_params)
+      |> Option.map (fun perm -> (c', perm)))
+    candidates
+
+and match_method t assum depth (actual : Td.t) (m : Td.method_desc) ctx =
+  let arity = Td.method_arity m in
+  let interest_params = List.map (fun p -> p.Td.pd_ty) m.Td.md_params in
+  let viable = viable_method_matches t assum depth actual m in
   let chosen =
     match viable, t.cfg.Config.ambiguity with
     | [], _ -> None
@@ -564,3 +577,15 @@ let check_ty t ~actual ~interest =
   ty_conforms t assum 0 ~actual ~interest
 
 let explicit_conforms t ~actual ~interest = explicit_conforms_desc t actual interest
+
+let viable_methods t ~actual ~interest =
+  let assum : assum = Hashtbl.create 8 in
+  viable_method_matches t assum 0 actual interest
+
+let viable_ctors t ~actual ~interest =
+  let assum : assum = Hashtbl.create 8 in
+  viable_ctor_matches t assum 0 actual interest
+
+let permutation t ~interest_params ~actual_params =
+  let assum : assum = Hashtbl.create 8 in
+  find_permutation t assum 0 ~interest_params ~actual_params

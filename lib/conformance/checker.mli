@@ -74,6 +74,32 @@ val explicit_conforms : t -> actual:Pti_typedesc.Type_description.t ->
 val names_conform : t -> interest_name:string -> string -> bool
 (** Just the name rule (i), exposed for tests and the E6 sweep. *)
 
+(** {1 Binding probes}
+
+    The matching machinery of rules (iv) and (v), exposed so static
+    analysis ([pti lint]) reports exactly what the runtime binder would
+    do — a hazard flagged by lint is a hazard the proxy would act on. *)
+
+val viable_methods : t -> actual:Pti_typedesc.Type_description.t ->
+  interest:Pti_typedesc.Type_description.method_desc ->
+  (Pti_typedesc.Type_description.method_desc * int array) list
+(** Every method of [actual] usable as the interest signature under the
+    checker's configuration (conformant name, equal arity and modifiers,
+    covariant return, permutable arguments), with the argument permutation
+    that makes it fit. Two or more entries means the binder's choice is
+    policy-dependent (ambiguous). *)
+
+val viable_ctors : t -> actual:Pti_typedesc.Type_description.t ->
+  interest:Pti_typedesc.Type_description.ctor_desc ->
+  (Pti_typedesc.Type_description.ctor_desc * int array) list
+(** Rule (v) analogue of {!viable_methods}. *)
+
+val permutation : t -> interest_params:Pti_cts.Ty.t list ->
+  actual_params:Pti_cts.Ty.t list -> int array option
+(** [find_permutation] itself: a bijection sending each actual parameter
+    position to a conformant caller argument position, identity-first.
+    [None] when arities differ or no assignment exists. *)
+
 (** {1 Instrumentation} *)
 
 type stats = {

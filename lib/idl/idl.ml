@@ -685,7 +685,12 @@ let capitalize s =
   else String.make 1 (Char.uppercase_ascii s.[0])
        ^ String.sub s 1 (String.length s - 1)
 
-let parse_class st ~namespace ~assembly =
+let loc_of_cur st =
+  let l = cur st in
+  { Srcmap.line = l.tline; col = l.tcol }
+
+let parse_class st ~namespace ~assembly ~srcmap =
+  let class_loc = loc_of_cur st in
   let kind =
     if eat_keyword st "class" then Meta.Class
     else if eat_keyword st "interface" then Meta.Interface
@@ -708,12 +713,16 @@ let parse_class st ~namespace ~assembly =
   in
   expect st Tlbrace;
   let fields = ref [] and ctors = ref [] and methods = ref [] in
+  let mlocs = ref [] in
+  let note entry loc = mlocs := (entry, loc) :: !mlocs in
   while tok st <> Trbrace do
+    let mloc = loc_of_cur st in
     let mods = parse_mods st in
     match keyword st with
     | Some "field" ->
         advance st;
         let fname = ident st in
+        note (`Field fname) mloc;
         expect st Tcolon;
         let fty = parse_ty st in
         let init =
@@ -737,6 +746,9 @@ let parse_class st ~namespace ~assembly =
           { Meta.f_name = pname; f_ty = pty; f_mods = mods; f_init = None }
           :: !fields;
         let cap = capitalize pname in
+        note (`Field pname) mloc;
+        note (`Method ("get" ^ cap, 0)) mloc;
+        note (`Method ("set" ^ cap, 1)) mloc;
         methods :=
           {
             Meta.m_name = "set" ^ cap;
@@ -762,6 +774,7 @@ let parse_class st ~namespace ~assembly =
     | Some "ctor" ->
         advance st;
         let params = parse_params st in
+        note (`Ctor (List.length params)) mloc;
         let body = parse_block st in
         let scope = List.map fst params in
         ctors :=
@@ -778,6 +791,7 @@ let parse_class st ~namespace ~assembly =
         advance st;
         let mname = ident st in
         let params = parse_params st in
+        note (`Method (mname, List.length params)) mloc;
         expect st Tcolon;
         let ret = parse_ty st in
         let body =
@@ -810,6 +824,17 @@ let parse_class st ~namespace ~assembly =
     | [] -> name
     | ns -> String.concat "." ns ^ "." ^ name
   in
+  (match srcmap with
+  | None -> ()
+  | Some sm ->
+      Srcmap.add_type sm ~type_:qualified class_loc;
+      List.iter
+        (fun (entry, loc) ->
+          match entry with
+          | `Field f -> Srcmap.add_field sm ~type_:qualified f loc
+          | `Method (m, a) -> Srcmap.add_method sm ~type_:qualified m ~arity:a loc
+          | `Ctor a -> Srcmap.add_ctor sm ~type_:qualified ~arity:a loc)
+        (List.rev !mlocs));
   {
     Meta.td_name = name;
     td_namespace = namespace;
@@ -825,7 +850,7 @@ let parse_class st ~namespace ~assembly =
     td_assembly = assembly;
   }
 
-let parse_unit st ~default_assembly =
+let parse_unit st ~default_assembly ~srcmap =
   let assembly = ref default_assembly in
   let namespace = ref [] in
   let classes = ref [] in
@@ -848,7 +873,8 @@ let parse_unit st ~default_assembly =
         expect st Tsemi
     | Some ("class" | "interface") ->
         classes :=
-          parse_class st ~namespace:!namespace ~assembly:!assembly :: !classes
+          parse_class st ~namespace:!namespace ~assembly:!assembly ~srcmap
+          :: !classes
     | _ ->
         fail_at st "expected 'assembly', 'namespace', 'class' or 'interface'"
   done;
@@ -858,11 +884,11 @@ let parse_unit st ~default_assembly =
 (* Entry points                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_classes ?(assembly = "idl") src =
+let parse_classes ?(assembly = "idl") ?srcmap src =
   match
     let toks = lex src in
     let st = { toks; pos = 0 } in
-    parse_unit st ~default_assembly:assembly
+    parse_unit st ~default_assembly:assembly ~srcmap
   with
   | _, classes ->
       (* Validate every class so IDL mistakes surface as errors here. *)
@@ -877,11 +903,11 @@ let parse_classes ?(assembly = "idl") src =
   | exception Err e -> Error e
   | exception Surface.Lower_error message -> Error { line = 0; col = 0; message }
 
-let parse_assembly ?(assembly = "idl") ?(requires = []) src =
+let parse_assembly ?(assembly = "idl") ?(requires = []) ?srcmap src =
   match
     let toks = lex src in
     let st = { toks; pos = 0 } in
-    parse_unit st ~default_assembly:assembly
+    parse_unit st ~default_assembly:assembly ~srcmap
   with
   | name, classes -> (
       match Assembly.make ~requires ~name classes with

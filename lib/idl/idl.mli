@@ -57,13 +57,15 @@ type error = { line : int; col : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
-val parse_classes : ?assembly:string -> string ->
+val parse_classes : ?assembly:string -> ?srcmap:Srcmap.t -> string ->
   (Pti_cts.Meta.class_def list, error) result
 (** Parse a compilation unit. [assembly] overrides a missing
-    [assembly ...;] directive (default ["idl"]). *)
+    [assembly ...;] directive (default ["idl"]). When [srcmap] is given,
+    the declaration line/column of every type and member is recorded in
+    it (for diagnostics that point back at the source, e.g. [pti lint]). *)
 
-val parse_assembly : ?assembly:string -> ?requires:string list -> string ->
-  (Pti_cts.Assembly.t, error) result
+val parse_assembly : ?assembly:string -> ?requires:string list ->
+  ?srcmap:Srcmap.t -> string -> (Pti_cts.Assembly.t, error) result
 (** [parse_classes] bundled into an assembly (validates every class). *)
 
 val parse_class_exn : ?assembly:string -> string -> Pti_cts.Meta.class_def

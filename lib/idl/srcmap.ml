@@ -1,0 +1,28 @@
+type loc = { line : int; col : int }
+
+type t = (string, loc) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let norm s = String.lowercase_ascii s
+
+let type_key ty = norm ty
+let field_key ty f = Printf.sprintf "%s#field:%s" (norm ty) (norm f)
+
+let method_key ty m arity =
+  Printf.sprintf "%s#method:%s/%d" (norm ty) (norm m) arity
+
+let ctor_key ty arity = Printf.sprintf "%s#ctor/%d" (norm ty) arity
+
+(* First writer wins: the declaration site, not a later duplicate. *)
+let add t k loc = if not (Hashtbl.mem t k) then Hashtbl.add t k loc
+
+let add_type t ~type_ loc = add t (type_key type_) loc
+let add_field t ~type_ f loc = add t (field_key type_ f) loc
+let add_method t ~type_ m ~arity loc = add t (method_key type_ m arity) loc
+let add_ctor t ~type_ ~arity loc = add t (ctor_key type_ arity) loc
+
+let type_loc t ty = Hashtbl.find_opt t (type_key ty)
+let field_loc t ~type_ f = Hashtbl.find_opt t (field_key type_ f)
+let method_loc t ~type_ m ~arity = Hashtbl.find_opt t (method_key type_ m arity)
+let ctor_loc t ~type_ ~arity = Hashtbl.find_opt t (ctor_key type_ arity)

@@ -1,0 +1,34 @@
+(** Source locations for parsed definitions.
+
+    The definition-language front ends ({!Idl}, {!Vbdl}) compile to CTS
+    metadata, which deliberately carries no provenance — descriptions must
+    stay identical however a type was authored. Tools that report {e back}
+    to the author (notably the [pti lint] static analyzer) still want line
+    numbers, so the parsers can optionally fill one of these side tables
+    while they run: qualified type names and members map to the line/column
+    of their declaration.
+
+    Keys are case-insensitive, matching the CTS name rule; members are
+    keyed by kind, name and (for methods and constructors) arity, so
+    overloads by arity resolve to their own lines. *)
+
+type loc = { line : int; col : int }
+(** 1-based; [col] is [1] for the line-oriented VB front end. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} (used by the front ends) *)
+
+val add_type : t -> type_:string -> loc -> unit
+val add_field : t -> type_:string -> string -> loc -> unit
+val add_method : t -> type_:string -> string -> arity:int -> loc -> unit
+val add_ctor : t -> type_:string -> arity:int -> loc -> unit
+
+(** {1 Lookup} (all by qualified type name, case-insensitive) *)
+
+val type_loc : t -> string -> loc option
+val field_loc : t -> type_:string -> string -> loc option
+val method_loc : t -> type_:string -> string -> arity:int -> loc option
+val ctor_loc : t -> type_:string -> arity:int -> loc option

@@ -509,7 +509,7 @@ let lower_body ln scope stmts =
   try lower_block scope stmts
   with Lower_error message -> raise (Err { line = ln; message })
 
-let parse_members ps ~end_kw ~kind =
+let parse_members ps ~end_kw ~kind ~note =
   let fields = ref [] and ctors = ref [] and methods = ref [] in
   let rec go () =
     match next_line ps with
@@ -530,12 +530,14 @@ let parse_members ps ~end_kw ~kind =
                     Some (lower_expr [] (parse_full_expr l.num e))
                 | _ -> fail l.num "trailing tokens after field declaration"
               in
+              note (`Field name) l.num;
               fields :=
                 { Meta.f_name = name; f_ty = ty; f_mods = mods; f_init = init }
                 :: !fields
           | Tword w :: Tword nw :: rest when kw w "sub" && kw nw "new" ->
               let params, leftover = parse_param_list l.num rest in
               if leftover <> [] then fail l.num "trailing tokens after Sub New";
+              note (`Ctor (List.length params)) l.num;
               let body, _, _ = parse_stmts ps ~terminators:[ "end sub" ] in
               let scope = List.map fst params in
               ctors :=
@@ -551,6 +553,7 @@ let parse_members ps ~end_kw ~kind =
           | Tword w :: Tword name :: rest when kw w "sub" ->
               let params, leftover = parse_param_list l.num rest in
               if leftover <> [] then fail l.num "trailing tokens after Sub";
+              note (`Method (name, List.length params)) l.num;
               let body =
                 if kind = Meta.Interface then None
                 else begin
@@ -574,6 +577,7 @@ let parse_members ps ~end_kw ~kind =
                 :: !methods
           | Tword w :: Tword name :: rest when kw w "function" ->
               let params, leftover = parse_param_list l.num rest in
+              note (`Method (name, List.length params)) l.num;
               let ret =
                 match leftover with
                 | Tword asw :: tyrest when kw asw "as" ->
@@ -614,7 +618,7 @@ let parse_members ps ~end_kw ~kind =
   go ();
   (List.rev !fields, List.rev !ctors, List.rev !methods)
 
-let parse_class ps ~namespace ~assembly ~kind ~name =
+let parse_class ps ~namespace ~assembly ~kind ~name ~line ~srcmap =
   (* Optional Inherits / Implements lines directly after the header. *)
   let super = ref None and interfaces = ref [] in
   let rec headers () =
@@ -649,12 +653,25 @@ let parse_class ps ~namespace ~assembly ~kind ~name =
   let end_kw =
     match kind with Meta.Class -> "end class" | Meta.Interface -> "end interface"
   in
-  let fields, ctors, methods = parse_members ps ~end_kw ~kind in
   let qualified =
     match namespace with
     | [] -> name
     | ns -> String.concat "." ns ^ "." ^ name
   in
+  let loc num = { Srcmap.line = num; col = 1 } in
+  let note entry num =
+    match srcmap with
+    | None -> ()
+    | Some sm -> (
+        match entry with
+        | `Field f -> Srcmap.add_field sm ~type_:qualified f (loc num)
+        | `Method (m, a) -> Srcmap.add_method sm ~type_:qualified m ~arity:a (loc num)
+        | `Ctor a -> Srcmap.add_ctor sm ~type_:qualified ~arity:a (loc num))
+  in
+  (match srcmap with
+  | None -> ()
+  | Some sm -> Srcmap.add_type sm ~type_:qualified (loc line));
+  let fields, ctors, methods = parse_members ps ~end_kw ~kind ~note in
   {
     Meta.td_name = name;
     td_namespace = namespace;
@@ -669,7 +686,7 @@ let parse_class ps ~namespace ~assembly ~kind ~name =
     td_assembly = assembly;
   }
 
-let parse_unit ps ~default_assembly =
+let parse_unit ps ~default_assembly ~srcmap =
   let assembly = ref default_assembly and namespace = ref [] in
   let classes = ref [] in
   let rec go () =
@@ -692,12 +709,12 @@ let parse_unit ps ~default_assembly =
         | Tword w :: [ Tword name ] when kw w "class" ->
             classes :=
               parse_class ps ~namespace:!namespace ~assembly:!assembly
-                ~kind:Meta.Class ~name
+                ~kind:Meta.Class ~name ~line:l.num ~srcmap
               :: !classes
         | Tword w :: [ Tword name ] when kw w "interface" ->
             classes :=
               parse_class ps ~namespace:!namespace ~assembly:!assembly
-                ~kind:Meta.Interface ~name
+                ~kind:Meta.Interface ~name ~line:l.num ~srcmap
               :: !classes
         | _ ->
             fail l.num
@@ -711,10 +728,10 @@ let parse_unit ps ~default_assembly =
 (* Entry points                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_classes ?(assembly = "vbdl") src =
+let parse_classes ?(assembly = "vbdl") ?srcmap src =
   match
     let ps = { lines = prepare src } in
-    parse_unit ps ~default_assembly:assembly
+    parse_unit ps ~default_assembly:assembly ~srcmap
   with
   | _, classes ->
       let rec check = function
@@ -728,10 +745,10 @@ let parse_classes ?(assembly = "vbdl") src =
   | exception Err e -> Error e
   | exception Lower_error message -> Error { line = 0; message }
 
-let parse_assembly ?(assembly = "vbdl") ?(requires = []) src =
+let parse_assembly ?(assembly = "vbdl") ?(requires = []) ?srcmap src =
   match
     let ps = { lines = prepare src } in
-    parse_unit ps ~default_assembly:assembly
+    parse_unit ps ~default_assembly:assembly ~srcmap
   with
   | name, classes -> (
       match Assembly.make ~requires ~name classes with

@@ -62,11 +62,13 @@ type error = { line : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
-val parse_classes : ?assembly:string -> string ->
+val parse_classes : ?assembly:string -> ?srcmap:Srcmap.t -> string ->
   (Pti_cts.Meta.class_def list, error) result
+(** When [srcmap] is given, the declaration line of every type and member
+    is recorded in it (column is always 1; the front end is line-oriented). *)
 
-val parse_assembly : ?assembly:string -> ?requires:string list -> string ->
-  (Pti_cts.Assembly.t, error) result
+val parse_assembly : ?assembly:string -> ?requires:string list ->
+  ?srcmap:Srcmap.t -> string -> (Pti_cts.Assembly.t, error) result
 
 val parse_class_exn : ?assembly:string -> string -> Pti_cts.Meta.class_def
 (** @raise Invalid_argument on errors or when not exactly one class. *)

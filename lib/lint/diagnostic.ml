@@ -1,0 +1,69 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type loc = { line : int; col : int }
+
+type subject =
+  | Type of string
+  | Field of string * string
+  | Method of string * string * int
+  | Ctor of string * int
+
+let subject_type = function
+  | Type t | Field (t, _) | Method (t, _, _) | Ctor (t, _) -> t
+
+let subject_member = function
+  | Type _ -> None
+  | Field (_, f) -> Some (Printf.sprintf "field %s" f)
+  | Method (_, m, a) -> Some (Printf.sprintf "method %s/%d" m a)
+  | Ctor (_, a) -> Some (Printf.sprintf "ctor/%d" a)
+
+type t = {
+  code : string;
+  rule : string;
+  severity : severity;
+  file : string;
+  loc : loc option;
+  subject : subject;
+  message : string;
+}
+
+let subject_string s =
+  match subject_member s with
+  | None -> subject_type s
+  | Some m -> subject_type s ^ "." ^ m
+
+let compare a b =
+  let line d = match d.loc with Some l -> l.line | None -> max_int in
+  let cmp =
+    [
+      (fun () -> String.compare a.file b.file);
+      (fun () -> Int.compare (line a) (line b));
+      (fun () -> String.compare a.code b.code);
+      (fun () -> String.compare (subject_string a.subject) (subject_string b.subject));
+      (fun () -> String.compare a.message b.message);
+    ]
+  in
+  List.fold_left (fun acc f -> if acc <> 0 then acc else f ()) 0 cmp
+
+let pp ppf d =
+  let pos =
+    match d.loc with
+    | Some l -> Printf.sprintf "%s:%d" d.file l.line
+    | None -> d.file
+  in
+  Format.fprintf ppf "%s: %s %s: %s  (%s)" pos
+    (severity_to_string d.severity)
+    d.code d.message d.rule

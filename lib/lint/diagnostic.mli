@@ -1,0 +1,43 @@
+(** Lint diagnostics: one finding of the static interop-hazard analyzer.
+
+    Every diagnostic carries a stable rule code ([PTI001]..), a severity,
+    the file it was found in, an optional source location (when the IDL
+    front end recorded one), and the program element it is about. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val severity_rank : severity -> int
+(** [Error] ranks highest (2), [Info] lowest (0). *)
+
+type loc = { line : int; col : int }
+
+type subject =
+  | Type of string  (** Qualified type name. *)
+  | Field of string * string  (** Type, field name. *)
+  | Method of string * string * int  (** Type, method name, arity. *)
+  | Ctor of string * int  (** Type, arity. *)
+
+val subject_type : subject -> string
+(** The qualified name of the type the subject belongs to. *)
+
+val subject_member : subject -> string option
+(** ["field price"], ["method getName/0"], ["ctor/2"]; [None] for types. *)
+
+type t = {
+  code : string;  (** Stable rule code, e.g. ["PTI003"]. *)
+  rule : string;  (** Rule name, e.g. ["case-collision"]. *)
+  severity : severity;
+  file : string;  (** Input file the subject was parsed from. *)
+  loc : loc option;
+  subject : subject;
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Stable report order: file, then line (unlocated last), code, subject,
+    message. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [FILE:LINE: severity CODE: message  (rule)]. *)

@@ -1,0 +1,18 @@
+open Pti_conformance
+
+let run ?(config = Config.strict) ?(near_distance = 2)
+    ?(rule_set = Rule_set.default) sources =
+  let ctx = Rules.make_ctx ~config ~near_distance sources in
+  let diags =
+    List.concat_map
+      (fun (r : Rules.rule) ->
+        if not (Rule_set.enabled rule_set r) then []
+        else
+          let ds = r.Rules.check ctx in
+          match Rule_set.severity_for rule_set r with
+          | None -> ds
+          | Some sev ->
+              List.map (fun d -> { d with Diagnostic.severity = sev }) ds)
+      Rules.all
+  in
+  List.sort_uniq Diagnostic.compare diags

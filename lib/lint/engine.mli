@@ -1,0 +1,16 @@
+(** The analysis driver: runs every enabled rule over a set of parsed
+    inputs and returns a stable, deduplicated diagnostic list. *)
+
+open Pti_conformance
+
+val run :
+  ?config:Config.t ->
+  ?near_distance:int ->
+  ?rule_set:Rule_set.t ->
+  Rules.source list ->
+  Diagnostic.t list
+(** [config] (default {!Config.strict}) is the conformance configuration
+    the hazards are judged against — lint at the distance you deploy at.
+    [near_distance] (default 2) bounds the PTI004 near-miss window.
+    Diagnostics are sorted by {!Diagnostic.compare} with duplicates
+    removed; rule-set severity overrides are already applied. *)

@@ -1,0 +1,14 @@
+(** A minimal JSON tree and printer — just enough for the machine-readable
+    lint report ([pti lint --format json]); no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default true) indents objects and lists by two spaces;
+    strings are escaped per RFC 8259 (control characters as [\uXXXX]). *)

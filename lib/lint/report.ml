@@ -1,0 +1,68 @@
+type summary = { errors : int; warnings : int; infos : int }
+
+let summarize diags =
+  List.fold_left
+    (fun s (d : Diagnostic.t) ->
+      match d.Diagnostic.severity with
+      | Diagnostic.Error -> { s with errors = s.errors + 1 }
+      | Diagnostic.Warning -> { s with warnings = s.warnings + 1 }
+      | Diagnostic.Info -> { s with infos = s.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    diags
+
+let exit_code diags = if (summarize diags).errors > 0 then 1 else 0
+
+let to_text diags =
+  match diags with
+  | [] -> "no interop hazards found\n"
+  | _ ->
+      let b = Buffer.create 256 in
+      List.iter
+        (fun d -> Buffer.add_string b (Format.asprintf "%a@." Diagnostic.pp d))
+        diags;
+      let s = summarize diags in
+      Buffer.add_string b
+        (Printf.sprintf "%d error(s), %d warning(s), %d info(s)\n" s.errors
+           s.warnings s.infos);
+      Buffer.contents b
+
+let diag_json (d : Diagnostic.t) =
+  let base =
+    [
+      ("code", Json.String d.Diagnostic.code);
+      ("rule", Json.String d.Diagnostic.rule);
+      ( "severity",
+        Json.String (Diagnostic.severity_to_string d.Diagnostic.severity) );
+      ("file", Json.String d.Diagnostic.file);
+    ]
+  in
+  let loc =
+    match d.Diagnostic.loc with
+    | Some l ->
+        [ ("line", Json.Int l.Diagnostic.line); ("col", Json.Int l.Diagnostic.col) ]
+    | None -> []
+  in
+  let subject =
+    ("type", Json.String (Diagnostic.subject_type d.Diagnostic.subject))
+    ::
+    (match Diagnostic.subject_member d.Diagnostic.subject with
+    | Some m -> [ ("member", Json.String m) ]
+    | None -> [])
+  in
+  Json.Obj
+    (base @ loc @ subject @ [ ("message", Json.String d.Diagnostic.message) ])
+
+let to_json diags =
+  let s = summarize diags in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("diagnostics", Json.List (List.map diag_json diags));
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int s.errors);
+            ("warnings", Json.Int s.warnings);
+            ("infos", Json.Int s.infos);
+          ] );
+    ]

@@ -1,0 +1,18 @@
+(** Rendering a diagnostic list for humans ([--format text]) and machines
+    ([--format json]), plus the process exit status. *)
+
+type summary = { errors : int; warnings : int; infos : int }
+
+val summarize : Diagnostic.t list -> summary
+
+val exit_code : Diagnostic.t list -> int
+(** [1] when any diagnostic has severity [Error], else [0]. *)
+
+val to_text : Diagnostic.t list -> string
+(** One line per diagnostic plus a trailing summary line; ["no interop \
+    hazards found"] when the list is empty. *)
+
+val to_json : Diagnostic.t list -> Json.t
+(** [{"version": 1, "diagnostics": [...], "summary": {...}}]. Each
+    diagnostic carries [code], [rule], [severity], [file], optional
+    [line]/[col], [type], optional [member] and [message]. *)

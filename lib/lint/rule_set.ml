@@ -1,0 +1,56 @@
+module Strutil = Pti_util.Strutil
+
+type t = {
+  disabled : string list;  (* lowercased codes *)
+  overrides : (string * Diagnostic.severity) list;
+}
+
+let default = { disabled = []; overrides = [] }
+let norm = String.lowercase_ascii
+
+let resolve code =
+  match Rules.find code with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown rule code %S" code)
+
+let apply_spec t spec =
+  let enableing, code =
+    match spec with
+    | "" -> (true, "")
+    | _ when spec.[0] = '+' -> (true, String.sub spec 1 (String.length spec - 1))
+    | _ when spec.[0] = '-' -> (false, String.sub spec 1 (String.length spec - 1))
+    | _ -> (true, spec)
+  in
+  match resolve code with
+  | Error _ as e -> e
+  | Ok r ->
+      let key = norm r.Rules.code in
+      let disabled = List.filter (fun c -> c <> key) t.disabled in
+      Ok { t with disabled = (if enableing then disabled else key :: disabled) }
+
+let apply_severity t spec =
+  match Strutil.split_on '=' spec with
+  | [ code; level ] -> (
+      match resolve code with
+      | Error _ as e -> e
+      | Ok r -> (
+          match Diagnostic.severity_of_string (norm level) with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown severity %S (expected error, warning or info)"
+                   level)
+          | Some sev ->
+              let key = norm r.Rules.code in
+              Ok
+                {
+                  t with
+                  overrides =
+                    (key, sev) :: List.remove_assoc key t.overrides;
+                }))
+  | _ -> Error (Printf.sprintf "malformed severity override %S (want CODE=LEVEL)" spec)
+
+let enabled t (r : Rules.rule) = not (List.mem (norm r.Rules.code) t.disabled)
+
+let severity_for t (r : Rules.rule) =
+  List.assoc_opt (norm r.Rules.code) t.overrides

@@ -1,0 +1,22 @@
+(** Which rules run, and at what severity — the [--rule] / [--severity]
+    surface of [pti lint]. *)
+
+type t
+
+val default : t
+(** Every rule enabled, per-diagnostic severities untouched. *)
+
+val apply_spec : t -> string -> (t, string) result
+(** [apply_spec t "+PTI004"] / ["-PTI004"] enables/disables one rule;
+    a bare code means enable. Specs compose left to right. [Error]
+    with a message for unknown codes or malformed specs. *)
+
+val apply_severity : t -> string -> (t, string) result
+(** [apply_severity t "PTI003=info"] forces every diagnostic of that rule
+    to the given severity (overriding per-case grading). *)
+
+val enabled : t -> Rules.rule -> bool
+
+val severity_for : t -> Rules.rule -> Diagnostic.severity option
+(** [Some s] when an override is in force; [None] keeps each diagnostic's
+    own severity. *)

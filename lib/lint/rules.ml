@@ -1,0 +1,721 @@
+module Td = Pti_typedesc.Type_description
+module Ty = Pti_cts.Ty
+module Lev = Pti_util.Levenshtein
+module Strutil = Pti_util.Strutil
+open Pti_conformance
+
+type source = {
+  src_file : string;
+  src_assembly : Pti_cts.Assembly.t;
+  src_locate : Diagnostic.subject -> Diagnostic.loc option;
+}
+
+let no_locations _ = None
+
+(* One declared type, paired with the input it came from so diagnostics
+   can point back at the right file and line. *)
+type entry = { e_src : source; e_td : Td.t }
+
+type ctx = {
+  cfg : Config.t;
+  near : int;
+  checker : Checker.t;
+  noctor : Checker.t;  (* same config with rule (v) switched off *)
+  resolve : Td.resolver;
+  entries : entry list;
+}
+
+let make_ctx ~config ~near_distance sources =
+  let entries =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun cd -> { e_src = s; e_td = Td.of_class cd })
+          s.src_assembly.Pti_cts.Assembly.asm_classes)
+      sources
+  in
+  let resolve = Td.table_resolver (List.map (fun e -> e.e_td) entries) in
+  {
+    cfg = config;
+    near = near_distance;
+    checker = Checker.create ~config ~resolver:resolve ();
+    noctor =
+      Checker.create
+        ~config:{ config with Config.check_ctors = false }
+        ~resolver:resolve ();
+    resolve;
+    entries;
+  }
+
+type rule = {
+  code : string;
+  name : string;
+  default_severity : Diagnostic.severity;
+  doc : string;
+  paper : string;
+  check : ctx -> Diagnostic.t list;
+}
+
+let diag ~code ~rule severity e subject message =
+  {
+    Diagnostic.code;
+    rule;
+    severity;
+    file = e.e_src.src_file;
+    loc = e.e_src.src_locate subject;
+    subject;
+    message;
+  }
+
+let qname e = Td.qualified_name e.e_td
+let lc = String.lowercase_ascii
+
+(* The name the active name rule actually compares: simple unless the
+   configuration compares namespaces too. *)
+let rule_name ctx e =
+  if ctx.cfg.Config.compare_namespaces then qname e else e.e_td.Td.ty_name
+
+let names_conform ctx a b =
+  Checker.names_conform ctx.checker ~interest_name:(qname a) (qname b)
+
+(* Unordered pairs (i < j), so a symmetric hazard is reported once. *)
+let iter_pairs xs f =
+  let arr = Array.of_list xs in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      f arr.(i) arr.(j)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* PTI001: ambiguous method binding (rule iv).                         *)
+
+let check_ambiguous ctx =
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t_e ->
+      List.iter
+        (fun a_e ->
+          if names_conform ctx t_e a_e then
+            List.iter
+              (fun (m : Td.method_desc) ->
+                match
+                  Checker.viable_methods ctx.checker ~actual:a_e.e_td
+                    ~interest:m
+                with
+                | ([ _ ] | []) -> ()
+                | viable ->
+                    let cands =
+                      List.sort String.compare
+                        (List.map
+                           (fun ((m' : Td.method_desc), _) ->
+                             Printf.sprintf "%s/%d" m'.Td.md_name
+                               (Td.method_arity m'))
+                           viable)
+                    in
+                    let key =
+                      lc (qname a_e) ^ "|" ^ String.concat "," cands
+                    in
+                    if not (Hashtbl.mem seen key) then begin
+                      Hashtbl.add seen key ();
+                      let (first, _) = List.hd viable in
+                      let subject =
+                        Diagnostic.Method
+                          (qname a_e, first.Td.md_name,
+                           Td.method_arity first)
+                      in
+                      out :=
+                        diag ~code:"PTI001" ~rule:"ambiguous-method-binding"
+                          Diagnostic.Error a_e subject
+                          (Printf.sprintf
+                             "methods %s of %s all conform to the interest \
+                              signature %s of %s (rule iv); which one the \
+                              binder picks depends on the ambiguity policy, \
+                              not the program"
+                             (String.concat ", " cands) (qname a_e)
+                             (Td.signature m) (qname t_e))
+                        :: !out
+                    end)
+              t_e.e_td.Td.ty_methods)
+        ctx.entries)
+    ctx.entries;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI002: legally permutable arguments (rule iv).                     *)
+
+let check_permutable ctx =
+  if not ctx.cfg.Config.consider_permutations then []
+  else
+    let mutual a b =
+      Checker.check_ty ctx.checker ~actual:a ~interest:b
+      && Checker.check_ty ctx.checker ~actual:b ~interest:a
+    in
+    let swappable (params : Td.param_desc list) =
+      let arr = Array.of_list params in
+      let pairs = ref [] in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          if mutual arr.(i).Td.pd_ty arr.(j).Td.pd_ty then
+            pairs := (arr.(i), arr.(j)) :: !pairs
+        done
+      done;
+      List.rev !pairs
+    in
+    let render pairs =
+      String.concat ", "
+        (List.map
+           (fun ((a : Td.param_desc), (b : Td.param_desc)) ->
+             Printf.sprintf "'%s'/'%s'" a.Td.pd_name b.Td.pd_name)
+           pairs)
+    in
+    List.concat_map
+      (fun e ->
+        let q = qname e in
+        let on_methods =
+          List.filter_map
+            (fun (m : Td.method_desc) ->
+              if List.length m.Td.md_params < 2 then None
+              else
+                match swappable m.Td.md_params with
+                | [] -> None
+                | pairs ->
+                    let subject =
+                      Diagnostic.Method (q, m.Td.md_name, Td.method_arity m)
+                    in
+                    Some
+                      (diag ~code:"PTI002" ~rule:"permutation-ambiguity"
+                         Diagnostic.Warning e subject
+                         (Printf.sprintf
+                            "arguments of %s can be legally permuted \
+                             (rule iv): parameter pairs %s have mutually \
+                             conformant types, so a caller's arguments may \
+                             bind in either order"
+                            (Td.signature m) (render pairs))))
+            e.e_td.Td.ty_methods
+        in
+        let on_ctors =
+          List.filter_map
+            (fun (c : Td.ctor_desc) ->
+              if List.length c.Td.cd_params < 2 then None
+              else
+                match swappable c.Td.cd_params with
+                | [] -> None
+                | pairs ->
+                    let arity = List.length c.Td.cd_params in
+                    let subject = Diagnostic.Ctor (q, arity) in
+                    Some
+                      (diag ~code:"PTI002" ~rule:"permutation-ambiguity"
+                         Diagnostic.Warning e subject
+                         (Printf.sprintf
+                            "arguments of the %d-argument constructor of %s \
+                             can be legally permuted (rule v): parameter \
+                             pairs %s have mutually conformant types"
+                            arity q (render pairs))))
+            e.e_td.Td.ty_ctors
+        in
+        on_methods @ on_ctors)
+      ctx.entries
+
+(* ------------------------------------------------------------------ *)
+(* PTI003: identifiers that differ only in case (rule i).              *)
+
+let check_case_collisions ctx =
+  let out = ref [] in
+  (* (a) Distinct declarations whose qualified names are case-insensitively
+     equal. GUIDs are derived from the lowered name, so such types share a
+     GUID and every case-insensitive lookup (registry, resolver) conflates
+     them: an error. Re-loading the very same description twice is not. *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = lc (qname e) in
+      Hashtbl.replace groups k
+        (e :: (try Hashtbl.find groups k with Not_found -> [])))
+    ctx.entries;
+  Hashtbl.iter
+    (fun _ es ->
+      match List.rev es with
+      | first :: (_ :: _ as rest)
+        when List.exists
+               (fun e ->
+                 qname e <> qname first
+                 || Td.fingerprint e.e_td <> Td.fingerprint first.e_td)
+               rest ->
+          let spellings =
+            List.sort_uniq String.compare (List.map qname (first :: rest))
+          in
+          let where =
+            List.sort_uniq String.compare
+              (List.map (fun e -> e.e_src.src_file) (first :: rest))
+          in
+          out :=
+            diag ~code:"PTI003" ~rule:"case-collision" Diagnostic.Error first
+              (Diagnostic.Type (qname first))
+              (Printf.sprintf
+                 "%d declarations named %s up to case (in %s): the lowered \
+                  name rule (i) and GUID derivation conflate them, so \
+                  lookups resolve to an arbitrary one"
+                 (List.length (first :: rest))
+                 (String.concat ", " spellings)
+                 (String.concat ", " where))
+            :: !out
+      | _ -> ())
+    groups;
+  List.iter
+    (fun e ->
+      let q = qname e in
+      (* (b) Methods of one type whose names differ only in case. Validation
+         forbids same-arity duplicates, so these have different arities —
+         still risky: the name rule sees one overloaded name. *)
+      let mgroups = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Td.method_desc) ->
+          let k = lc m.Td.md_name in
+          Hashtbl.replace mgroups k
+            (m :: (try Hashtbl.find mgroups k with Not_found -> [])))
+        e.e_td.Td.ty_methods;
+      Hashtbl.iter
+        (fun _ ms ->
+          let spellings =
+            List.sort_uniq String.compare
+              (List.map (fun (m : Td.method_desc) -> m.Td.md_name) ms)
+          in
+          match (List.rev ms, spellings) with
+          | (first :: _, _ :: _ :: _) ->
+              out :=
+                diag ~code:"PTI003" ~rule:"case-collision" Diagnostic.Warning
+                  e
+                  (Diagnostic.Method
+                     (q, first.Td.md_name, Td.method_arity first))
+                  (Printf.sprintf
+                     "methods %s of %s differ only in case; the name rule \
+                      (i) treats them as one overloaded name"
+                     (String.concat ", "
+                        (List.map
+                           (fun (m : Td.method_desc) ->
+                             Printf.sprintf "%s/%d" m.Td.md_name
+                               (Td.method_arity m))
+                           (List.rev ms)))
+                     q)
+                :: !out
+          | _ -> ())
+        mgroups;
+      (* (c) A field and a method sharing a name up to case: merely
+         confusing, the aspects never compare them — informational. *)
+      List.iter
+        (fun (f : Td.field_desc) ->
+          match
+            List.find_opt
+              (fun (m : Td.method_desc) ->
+                Strutil.equal_ci m.Td.md_name f.Td.fd_name)
+              e.e_td.Td.ty_methods
+          with
+          | Some m ->
+              out :=
+                diag ~code:"PTI003" ~rule:"case-collision" Diagnostic.Info e
+                  (Diagnostic.Field (q, f.Td.fd_name))
+                  (Printf.sprintf
+                     "field %s and method %s/%d of %s share a name up to \
+                      case; descriptions and diagnostics conflate them"
+                     f.Td.fd_name m.Td.md_name (Td.method_arity m) q)
+                :: !out
+          | None -> ())
+        e.e_td.Td.ty_fields)
+    ctx.entries;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI004: near-miss names (rule i, threshold sensitivity).            *)
+
+let check_near_misses ctx =
+  let lo = ctx.cfg.Config.name_distance in
+  let hi = ctx.near in
+  if hi <= lo then []
+  else
+    let near a b =
+      let d = Lev.distance_ci a b in
+      if d > lo && d <= hi then Some d else None
+    in
+    let out = ref [] in
+    (* Type names across all inputs, compared the way the name rule
+       compares them (simple names unless namespaces count). *)
+    iter_pairs ctx.entries (fun a b ->
+        match near (rule_name ctx a) (rule_name ctx b) with
+        | Some d ->
+            out :=
+              diag ~code:"PTI004" ~rule:"name-near-miss" Diagnostic.Warning a
+                (Diagnostic.Type (qname a))
+                (Printf.sprintf
+                   "type names %s and %s (%s) are within edit distance %d; \
+                    raising the name-rule threshold past %d would make them \
+                    conform"
+                   (qname a) (qname b) b.e_src.src_file d (d - 1))
+              :: !out
+        | None -> ());
+    (* Members within one type: a same-arity method pair or a field pair
+       this close is almost always a typo. *)
+    List.iter
+      (fun e ->
+        let q = qname e in
+        iter_pairs e.e_td.Td.ty_methods
+          (fun (m1 : Td.method_desc) (m2 : Td.method_desc) ->
+            if Td.method_arity m1 = Td.method_arity m2 then
+              match near m1.Td.md_name m2.Td.md_name with
+              | Some d ->
+                  out :=
+                    diag ~code:"PTI004" ~rule:"name-near-miss"
+                      Diagnostic.Warning e
+                      (Diagnostic.Method (q, m1.Td.md_name, Td.method_arity m1))
+                      (Printf.sprintf
+                         "methods %s/%d and %s/%d of %s are within edit \
+                          distance %d of each other — likely a typo, and \
+                          ambiguous under a relaxed name rule"
+                         m1.Td.md_name (Td.method_arity m1) m2.Td.md_name
+                         (Td.method_arity m2) q d)
+                    :: !out
+              | None -> ());
+        iter_pairs e.e_td.Td.ty_fields
+          (fun (f1 : Td.field_desc) (f2 : Td.field_desc) ->
+            match near f1.Td.fd_name f2.Td.fd_name with
+            | Some d ->
+                out :=
+                  diag ~code:"PTI004" ~rule:"name-near-miss"
+                    Diagnostic.Warning e
+                    (Diagnostic.Field (q, f1.Td.fd_name))
+                    (Printf.sprintf
+                       "fields %s and %s of %s are within edit distance %d \
+                        of each other — likely a typo, and ambiguous under \
+                        a relaxed name rule"
+                       f1.Td.fd_name f2.Td.fd_name q d)
+                  :: !out
+            | None -> ()))
+      ctx.entries;
+    !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI005: cycles in the declared supertype/interface graph.           *)
+
+let check_cycles ctx =
+  let display = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace display (lc (qname e)) e) ctx.entries;
+  let parents name =
+    match ctx.resolve name with
+    | None -> []
+    | Some td ->
+        (match td.Td.ty_super with Some s -> [ s ] | None -> [])
+        @ td.Td.ty_interfaces
+  in
+  let reported = Hashtbl.create 4 in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      let start = lc (qname e) in
+      (* Depth-first search for a path from [start] back to itself through
+         declared supertype and interface edges. [path] holds lowered
+         names, most recent first, and doubles as the visited set. *)
+      let rec dfs path cur =
+        List.iter
+          (fun p ->
+            let pl = lc p in
+            if pl = start then begin
+              let cycle = List.rev (pl :: path) in
+              let key =
+                String.concat ">" (List.sort_uniq String.compare cycle)
+              in
+              if not (Hashtbl.mem reported key) then begin
+                Hashtbl.add reported key ();
+                let show n =
+                  match Hashtbl.find_opt display n with
+                  | Some e' -> qname e'
+                  | None -> n
+                in
+                out :=
+                  diag ~code:"PTI005" ~rule:"supertype-cycle" Diagnostic.Error
+                    e
+                    (Diagnostic.Type (qname e))
+                    (Printf.sprintf
+                       "inheritance cycle %s: rule (iii) recursion through \
+                        supertypes can never bottom out"
+                       (String.concat " -> " (List.map show cycle)))
+                  :: !out
+              end
+            end
+            else if not (List.mem pl path) then
+              if Hashtbl.mem display pl then dfs (pl :: path) pl)
+          (parents cur)
+      in
+      dfs [ start ] start)
+    ctx.entries;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI006: references to types with no available description.          *)
+
+let rec base_named ty =
+  match ty with
+  | Ty.Named n -> Some n
+  | Ty.Array e -> base_named e
+  | _ -> None
+
+let check_unresolved ctx =
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      let q = qname e in
+      let seen = Hashtbl.create 8 in
+      let check_ref subject context ty =
+        match base_named ty with
+        | None -> ()
+        | Some n ->
+            if ctx.resolve n = None then begin
+              let key = lc n ^ "|" ^ context in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                out :=
+                  diag ~code:"PTI006" ~rule:"unresolved-type" Diagnostic.Error
+                    e subject
+                    (Printf.sprintf
+                       "%s of %s references type %s, but no description for \
+                        it is available: conformance checking and delivery \
+                        would fail to resolve it"
+                       context q n)
+                  :: !out
+              end
+            end
+      in
+      let tysub = Diagnostic.Type q in
+      (match e.e_td.Td.ty_super with
+      | Some s -> check_ref tysub "the supertype" (Ty.Named s)
+      | None -> ());
+      List.iter
+        (fun i -> check_ref tysub ("implemented interface " ^ i) (Ty.Named i))
+        e.e_td.Td.ty_interfaces;
+      List.iter
+        (fun (f : Td.field_desc) ->
+          check_ref
+            (Diagnostic.Field (q, f.Td.fd_name))
+            ("field " ^ f.Td.fd_name) f.Td.fd_ty)
+        e.e_td.Td.ty_fields;
+      List.iter
+        (fun (m : Td.method_desc) ->
+          let sub = Diagnostic.Method (q, m.Td.md_name, Td.method_arity m) in
+          let label = Printf.sprintf "method %s" (Td.signature m) in
+          List.iter
+            (fun (p : Td.param_desc) -> check_ref sub label p.Td.pd_ty)
+            m.Td.md_params;
+          check_ref sub label m.Td.md_return)
+        e.e_td.Td.ty_methods;
+      List.iter
+        (fun (c : Td.ctor_desc) ->
+          let arity = List.length c.Td.cd_params in
+          let sub = Diagnostic.Ctor (q, arity) in
+          let label = Printf.sprintf "the %d-argument constructor" arity in
+          List.iter
+            (fun (p : Td.param_desc) -> check_ref sub label p.Td.pd_ty)
+            c.Td.cd_params)
+        e.e_td.Td.ty_ctors)
+    ctx.entries;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI007: conformant but for the constructor rule (rule v).           *)
+
+let check_ctor_rule ctx =
+  if not ctx.cfg.Config.check_ctors then []
+  else
+    let out = ref [] in
+    List.iter
+      (fun t_e ->
+        List.iter
+          (fun a_e ->
+            if
+              (not (Td.equals t_e.e_td a_e.e_td))
+              && names_conform ctx t_e a_e
+            then
+              match
+                Checker.check ctx.checker ~actual:a_e.e_td ~interest:t_e.e_td
+              with
+              | Checker.Conformant _ -> ()
+              | Checker.Not_conformant fs ->
+                  if
+                    Checker.verdict_ok
+                      (Checker.check ctx.noctor ~actual:a_e.e_td
+                         ~interest:t_e.e_td)
+                  then begin
+                    let why =
+                      match
+                        List.find_opt
+                          (fun (f : Checker.failure) ->
+                            Strutil.starts_with ~prefix:"ctor"
+                              (lc f.Checker.context)
+                            || Strutil.starts_with ~prefix:"rule v"
+                                 (lc f.Checker.message))
+                          fs
+                      with
+                      | Some f -> f.Checker.message
+                      | None -> (
+                          match fs with
+                          | f :: _ -> f.Checker.message
+                          | [] -> "no conformant constructor")
+                    in
+                    out :=
+                      diag ~code:"PTI007" ~rule:"constructor-rule"
+                        Diagnostic.Warning a_e
+                        (Diagnostic.Type (qname a_e))
+                        (Printf.sprintf
+                           "%s conforms to %s on every aspect except the \
+                            constructor rule (v): %s — bound objects can \
+                            never be instantiated through the mapping"
+                           (qname a_e) (qname t_e) why)
+                      :: !out
+                  end)
+          ctx.entries)
+      ctx.entries;
+    !out
+
+(* ------------------------------------------------------------------ *)
+(* PTI008: fields shadowing a supertype field (rule ii).               *)
+
+let check_shadowed_fields ctx =
+  let ancestors e =
+    (* Walk the declared superclass chain; cycles are PTI005's problem,
+       guard against them here. *)
+    let seen = Hashtbl.create 4 in
+    Hashtbl.add seen (lc (qname e)) ();
+    let rec go acc td =
+      match td.Td.ty_super with
+      | None -> List.rev acc
+      | Some s -> (
+          let sl = lc s in
+          if Hashtbl.mem seen sl then List.rev acc
+          else begin
+            Hashtbl.add seen sl ();
+            match ctx.resolve s with
+            | None -> List.rev acc
+            | Some std -> go (std :: acc) std
+          end)
+    in
+    go [] e.e_td
+  in
+  List.concat_map
+    (fun e ->
+      let supers = ancestors e in
+      List.filter_map
+        (fun (f : Td.field_desc) ->
+          let hit =
+            List.find_map
+              (fun (a : Td.t) ->
+                List.find_map
+                  (fun (g : Td.field_desc) ->
+                    if Strutil.equal_ci g.Td.fd_name f.Td.fd_name then
+                      Some (a, g)
+                    else None)
+                  a.Td.ty_fields)
+              supers
+          in
+          match hit with
+          | None -> None
+          | Some (a, g) ->
+              Some
+                (diag ~code:"PTI008" ~rule:"shadowed-field" Diagnostic.Warning
+                   e
+                   (Diagnostic.Field (qname e, f.Td.fd_name))
+                   (Printf.sprintf
+                      "field %s of %s shadows field %s of supertype %s: the \
+                       field rule (ii) matches the subtype's copy, leaving \
+                       the supertype's unreachable through descriptions"
+                      f.Td.fd_name (qname e) g.Td.fd_name
+                      (Td.qualified_name a))))
+        e.e_td.Td.ty_fields)
+    ctx.entries
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      code = "PTI001";
+      name = "ambiguous-method-binding";
+      default_severity = Diagnostic.Error;
+      doc =
+        "two or more methods of a type conform to the same interest \
+         signature, so the binder's choice is policy-dependent";
+      paper = "§4.2 rule (iv)";
+      check = check_ambiguous;
+    };
+    {
+      code = "PTI002";
+      name = "permutation-ambiguity";
+      default_severity = Diagnostic.Warning;
+      doc =
+        "a method or constructor takes two mutually conformant parameter \
+         types, so arguments may legally bind in either order";
+      paper = "§4.2 rule (iv)";
+      check = check_permutable;
+    };
+    {
+      code = "PTI003";
+      name = "case-collision";
+      default_severity = Diagnostic.Error;
+      doc =
+        "identifiers differing only in case: the lowered name rule and \
+         GUID derivation conflate them";
+      paper = "§4.2 rule (i)";
+      check = check_case_collisions;
+    };
+    {
+      code = "PTI004";
+      name = "name-near-miss";
+      default_severity = Diagnostic.Warning;
+      doc =
+        "names within Levenshtein distance N of each other but above the \
+         active threshold: typo-prone, and aliased once the rule is relaxed";
+      paper = "§4.2 rule (i)";
+      check = check_near_misses;
+    };
+    {
+      code = "PTI005";
+      name = "supertype-cycle";
+      default_severity = Diagnostic.Error;
+      doc =
+        "the declared supertype/interface graph contains a cycle (or \
+         self-inheritance), so rule (iii) recursion cannot terminate";
+      paper = "§4.2 rule (iii)";
+      check = check_cycles;
+    };
+    {
+      code = "PTI006";
+      name = "unresolved-type";
+      default_severity = Diagnostic.Error;
+      doc =
+        "a supertype, interface, field, parameter or return references a \
+         type with no available description";
+      paper = "§5.2";
+      check = check_unresolved;
+    };
+    {
+      code = "PTI007";
+      name = "constructor-rule";
+      default_severity = Diagnostic.Warning;
+      doc =
+        "a pair of types conforms on every aspect except constructors: \
+         objects bind but cannot be instantiated through the mapping";
+      paper = "§4.2 rule (v)";
+      check = check_ctor_rule;
+    };
+    {
+      code = "PTI008";
+      name = "shadowed-field";
+      default_severity = Diagnostic.Warning;
+      doc =
+        "a field re-declares (up to case) a field of an ancestor; flat \
+         descriptions make the supertype copy unreachable";
+      paper = "§4.2 rule (ii)";
+      check = check_shadowed_fields;
+    };
+  ]
+
+let find code =
+  List.find_opt (fun r -> Strutil.equal_ci r.code code) all

@@ -1,0 +1,71 @@
+(** The lint rules: static detectors for interoperability hazards that the
+    paper's deliberately permissive conformance rules (§4) would otherwise
+    only surface at runtime — or worse, silently tolerate.
+
+    Each rule reuses the conformance checker's own machinery
+    ({!Pti_conformance.Checker.viable_methods}, [check_ty], the name
+    rule), so a hazard flagged here is exactly a situation where the
+    runtime binder's behavior is arbitrary, fragile or undeliverable.
+
+    {2 Rule catalogue}
+
+    - [PTI001] [ambiguous-method-binding] (error, rule iv) — two or more
+      methods of one type conform to the same interest signature; the
+      binder picks by policy ([First_match] by default), i.e. arbitrarily.
+    - [PTI002] [permutation-ambiguity] (warning, rule iv) — a method or
+      constructor has two parameters of mutually conformant types, so
+      [find_permutation] may legally swap a caller's arguments.
+    - [PTI003] [case-collision] (error/warning/info, rule i) — identifiers
+      that differ only in case: the lowered name rule conflates them
+      ([Price]/[price] alias); colliding qualified type names are an
+      error (the registry and resolvers key case-insensitively).
+    - [PTI004] [name-near-miss] (warning, rule i) — names within
+      Levenshtein distance [near] of each other but above the active
+      threshold; they flip from distinct to aliased when [--distance]
+      is raised.
+    - [PTI005] [supertype-cycle] (error, rule iii) — the declared
+      supertype/interface graph contains a cycle (including
+      self-inheritance); description resolution can never bottom out.
+    - [PTI006] [unresolved-type] (error, §5.2) — a field, parameter,
+      return, supertype or interface references a type with no available
+      description: undeliverable via the envelope.
+    - [PTI007] [constructor-rule] (warning, rule v) — a pair of types
+      conforms on every aspect except constructors, so objects bind but
+      can never be instantiated through the mapping.
+    - [PTI008] [shadowed-field] (warning, rule ii) — a field re-declares a
+      supertype field; descriptions are flat, so the supertype copy is
+      unreachable. *)
+
+open Pti_conformance
+
+type source = {
+  src_file : string;  (** Display name, used in diagnostics. *)
+  src_assembly : Pti_cts.Assembly.t;
+  src_locate : Diagnostic.subject -> Diagnostic.loc option;
+      (** Best-effort source positions (see {!Pti_idl.Srcmap}). *)
+}
+
+val no_locations : Diagnostic.subject -> Diagnostic.loc option
+(** Locator for inputs without source positions: always [None]. *)
+
+type ctx
+(** Everything a rule sees: the active {!Config}, checkers over the
+    combined description table, and every type of every input. *)
+
+val make_ctx : config:Config.t -> near_distance:int -> source list -> ctx
+
+type rule = {
+  code : string;  (** Stable, e.g. ["PTI001"]. *)
+  name : string;
+  default_severity : Diagnostic.severity;
+      (** Headline severity; some rules grade sub-cases lower. *)
+  doc : string;  (** One line: what it catches and why it matters. *)
+  paper : string;  (** The paper section the rule guards. *)
+  check : ctx -> Diagnostic.t list;
+}
+
+val all : rule list
+(** In code order. *)
+
+val find : string -> rule option
+(** By code, case-insensitive. *)

@@ -571,6 +571,25 @@ let test_primitive_ty_conformance () =
        ~actual:(Ty.Named Demo.social_person)
        ~interest:(Ty.Named Demo.news_person))
 
+(* clear_cache empties the verdict cache (so the next check recomputes
+   pair work) while the stats counters keep accumulating. *)
+let test_clear_cache () =
+  let checker = make_checker () in
+  let actual = desc Demo.social_person and interest = desc Demo.news_person in
+  ignore (Checker.check checker ~actual ~interest);
+  ignore (Checker.check checker ~actual ~interest);
+  let warm = Checker.stats checker in
+  Checker.clear_cache checker;
+  let s3 = Checker.stats checker in
+  Alcotest.(check int) "counters survive clear_cache" warm.Checker.checks
+    s3.Checker.checks;
+  ignore (Checker.check checker ~actual ~interest);
+  let s4 = Checker.stats checker in
+  Alcotest.(check bool) "after clear_cache the pair is recomputed" true
+    (s4.Checker.pair_checks > s3.Checker.pair_checks);
+  Alcotest.(check int) "checks keep counting" (s3.Checker.checks + 1)
+    s4.Checker.checks
+
 (* Property: conformance of the demo pair is stable under checker reuse
    and declaration-order permutations of the interest's methods. *)
 let prop_method_order_irrelevant =
@@ -645,6 +664,7 @@ let () =
           Alcotest.test_case "deep explicit chain" `Quick
             test_deep_explicit_chain;
           Alcotest.test_case "cache and stats" `Quick test_cache_and_stats;
+          Alcotest.test_case "clear_cache" `Quick test_clear_cache;
           Alcotest.test_case "name rule" `Quick test_name_rule_direct;
           Alcotest.test_case "type reference conformance" `Quick
             test_primitive_ty_conformance;

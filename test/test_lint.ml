@@ -1,0 +1,375 @@
+(* Tests for the static interop-hazard analyzer (pti lint). *)
+
+module Diag = Pti_lint.Diagnostic
+module Rules = Pti_lint.Rules
+module Rule_set = Pti_lint.Rule_set
+module Engine = Pti_lint.Engine
+module Report = Pti_lint.Report
+module Json = Pti_lint.Json
+module Srcmap = Pti_idl.Srcmap
+module Config = Pti_conformance.Config
+
+(* Parse inline IDL into a lint source, with the same location adapter the
+   CLI uses. *)
+let source ?(file = "inline.idl") src =
+  let sm = Srcmap.create () in
+  match Pti_idl.Idl.parse_assembly ~assembly:"t" ~srcmap:sm src with
+  | Error e ->
+      Alcotest.failf "parse error: %s"
+        (Format.asprintf "%a" Pti_idl.Idl.pp_error e)
+  | Ok asm ->
+      let locate subject =
+        let l =
+          match subject with
+          | Diag.Type t -> Srcmap.type_loc sm t
+          | Diag.Field (t, f) -> Srcmap.field_loc sm ~type_:t f
+          | Diag.Method (t, m, arity) -> Srcmap.method_loc sm ~type_:t m ~arity
+          | Diag.Ctor (t, arity) -> Srcmap.ctor_loc sm ~type_:t ~arity
+        in
+        Option.map
+          (fun (l : Srcmap.loc) -> { Diag.line = l.Srcmap.line; col = l.Srcmap.col })
+          l
+      in
+      { Rules.src_file = file; src_assembly = asm; src_locate = locate }
+
+let run ?config ?near_distance ?rule_set srcs =
+  Engine.run ?config ?near_distance ?rule_set (List.map source srcs)
+
+let codes diags =
+  List.sort_uniq String.compare (List.map (fun d -> d.Diag.code) diags)
+
+let check_codes msg expected diags =
+  Alcotest.(check (list string)) msg expected (codes diags)
+
+(* ----------------------------- sources ------------------------------ *)
+
+let amb_src =
+  "namespace hz;\n\
+   class Logger {\n\
+  \  method warn(m : string) : void;\n\
+  \  method warm(m : string) : void;\n\
+   }\n"
+
+let collision_src =
+  "namespace hz;\n\
+   class Price { field amount : int; }\n\
+   class price { field amount : int; }\n\
+   class Count {\n\
+  \  method getTotal() : int;\n\
+  \  method GetTotal(weight : int) : int;\n\
+   }\n\
+   class Shop {\n\
+  \  field stock : int;\n\
+  \  method STOCK() : int;\n\
+   }\n"
+
+let clean_src =
+  "namespace hz;\n\
+   interface INamed {\n\
+  \  method getName() : string;\n\
+   }\n\
+   class Person implements hz.INamed {\n\
+  \  field name : string;\n\
+  \  field years : int;\n\
+  \  ctor(n : string, a : int) { name = n; years = a; }\n\
+  \  method getName() : string { return name; }\n\
+  \  method rename(v : string) : void { name = v; }\n\
+   }\n"
+
+(* ------------------------------ rules ------------------------------- *)
+
+let test_clean_is_clean () =
+  check_codes "no hazards" [] (run [ clean_src ])
+
+let test_ambiguous_binding () =
+  (* Only visible once the name rule is relaxed: warn/warm at distance 1. *)
+  let diags = run ~config:(Config.relaxed ~distance:1) [ amb_src ] in
+  check_codes "PTI001 fires" [ "PTI001" ] diags;
+  (match diags with
+  | [ d ] ->
+      Alcotest.(check string) "severity" "error"
+        (Diag.severity_to_string d.Diag.severity);
+      Alcotest.(check (option int)) "on the first viable method's line"
+        (Some 3)
+        (Option.map (fun (l : Diag.loc) -> l.Diag.line) d.Diag.loc)
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  (* At the paper's distance 0 the binding is unambiguous; the pair is
+     instead a near-miss (it would alias under a relaxed name rule). *)
+  check_codes "downgrades to PTI004 at distance 0" [ "PTI004" ]
+    (run [ amb_src ])
+
+let test_permutation_ambiguity () =
+  let src =
+    "namespace hz;\n\
+     class Mover {\n\
+    \  ctor(src : string, dst : string) { }\n\
+    \  method move(src : string, dst : string) : void;\n\
+     }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI002 fires" [ "PTI002" ] diags;
+  Alcotest.(check int) "method and ctor each flagged" 2 (List.length diags);
+  let neg =
+    "namespace hz;\n\
+     class Sender { method send(dest : string, retries : int) : void; }\n"
+  in
+  check_codes "mixed types are not permutable" [] (run [ neg ])
+
+let test_case_collisions () =
+  let diags = run [ collision_src ] in
+  check_codes "PTI003 fires" [ "PTI003" ] diags;
+  let sev s =
+    List.length
+      (List.filter
+         (fun d -> Diag.severity_to_string d.Diag.severity = s)
+         diags)
+  in
+  Alcotest.(check int) "type collision is an error" 1 (sev "error");
+  Alcotest.(check int) "method case pair is a warning" 1 (sev "warning");
+  Alcotest.(check int) "field/method pair is an info" 1 (sev "info")
+
+let test_near_miss () =
+  let src =
+    "namespace hz;\n\
+     class Api {\n\
+    \  method getName() : string;\n\
+    \  method getNane() : string;\n\
+     }\n\
+     class Person { field id : int; }\n\
+     class Persom { field id : int; }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI004 fires" [ "PTI004" ] diags;
+  Alcotest.(check int) "method pair and type pair" 2 (List.length diags);
+  (* A zero-width window (near = active distance) disables the rule. *)
+  check_codes "empty window" [] (run ~near_distance:0 [ src ])
+
+let test_supertype_cycle () =
+  let src =
+    "namespace hz;\n\
+     class Alpha extends hz.Beta { }\n\
+     class Beta extends hz.Alpha { }\n\
+     class Ouro extends hz.Ouro { }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI005 fires" [ "PTI005" ] diags;
+  Alcotest.(check int) "one per distinct cycle" 2 (List.length diags);
+  let neg =
+    "namespace hz;\nclass Base { }\nclass Leaf extends hz.Base { }\n"
+  in
+  check_codes "linear chain is fine" [] (run [ neg ])
+
+let test_unresolved_type () =
+  let src =
+    "namespace hz;\n\
+     class Order {\n\
+    \  field item : hz.Item;\n\
+    \  method ship(addr : hz.Address) : hz.Receipt;\n\
+     }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI006 fires" [ "PTI006" ] diags;
+  Alcotest.(check int) "field + param + return" 3 (List.length diags);
+  (* Resolution is cross-input: describing hz.Item in a second file heals
+     the field reference. *)
+  let item = "namespace hz;\nclass Item { field sku : int; }\n" in
+  let diags2 = run [ src; item ] in
+  Alcotest.(check int) "field ref resolved via second input" 2
+    (List.length diags2)
+
+let test_ctor_rule () =
+  let src =
+    "namespace alpha;\n\
+     class Event {\n\
+    \  field id : int;\n\
+    \  ctor(tag : string) { }\n\
+    \  method kind() : int;\n\
+     }\n\
+     namespace beta;\n\
+     class Event {\n\
+    \  field id : int;\n\
+    \  ctor(prio : int) { }\n\
+    \  method kind() : int;\n\
+     }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI007 fires" [ "PTI007" ] diags;
+  Alcotest.(check int) "both directions reported" 2 (List.length diags);
+  (* With ctor checking off in the deployed config there is no gap to
+     warn about. *)
+  check_codes "not applicable without rule v" []
+    (run ~config:{ Config.strict with Config.check_ctors = false } [ src ])
+
+let test_shadowed_field () =
+  let src =
+    "namespace hz;\n\
+     class Base { field id : int; }\n\
+     class Child extends hz.Base { field id : int; }\n"
+  in
+  let diags = run [ src ] in
+  check_codes "PTI008 fires" [ "PTI008" ] diags;
+  (match diags with
+  | [ d ] ->
+      Alcotest.(check string) "subject is the shadowing field"
+        "hz.Child" (Diag.subject_type d.Diag.subject)
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  let neg =
+    "namespace hz;\n\
+     class Base { field id : int; }\n\
+     class Child extends hz.Base { field label : string; }\n"
+  in
+  check_codes "new field is fine" [] (run [ neg ])
+
+(* --------------------------- rule control --------------------------- *)
+
+let test_rule_disable () =
+  let rs =
+    match Rule_set.apply_spec Rule_set.default "-PTI003" with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  check_codes "disabled rule is silent" [] (run ~rule_set:rs [ collision_src ]);
+  (match Rule_set.apply_spec Rule_set.default "+PTI999" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown code accepted");
+  (* Re-enabling wins over an earlier disable. *)
+  let rs2 =
+    match Rule_set.apply_spec rs "PTI003" with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  check_codes "re-enabled" [ "PTI003" ] (run ~rule_set:rs2 [ collision_src ])
+
+let test_severity_override () =
+  let rs =
+    match Rule_set.apply_severity Rule_set.default "PTI003=info" with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  let diags = run ~rule_set:rs [ collision_src ] in
+  Alcotest.(check bool) "all demoted to info" true
+    (List.for_all (fun d -> d.Diag.severity = Diag.Info) diags);
+  Alcotest.(check int) "no errors left, exit 0" 0 (Report.exit_code diags);
+  match Rule_set.apply_severity Rule_set.default "PTI003=loud" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus severity accepted"
+
+(* Keep the dependency footprint flat: a tiny substring check instead of
+   pulling in Str. *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_report_text () =
+  let diags = run [ collision_src ] in
+  let s = Report.summarize diags in
+  Alcotest.(check (list int)) "summary counts" [ 1; 1; 1 ]
+    [ s.Report.errors; s.Report.warnings; s.Report.infos ];
+  Alcotest.(check int) "error-severity exit" 1 (Report.exit_code diags);
+  Alcotest.(check int) "clean exit" 0 (Report.exit_code (run [ clean_src ]));
+  let text = Report.to_text diags in
+  Alcotest.(check bool) "text mentions the code" true
+    (contains ~needle:"PTI003" text);
+  Alcotest.(check bool) "text ends with a summary" true
+    (contains ~needle:"1 error(s), 1 warning(s), 1 info(s)" text)
+
+let test_json_output () =
+  let diags = run [ collision_src ] in
+  let json = Json.to_string (Report.to_json diags) in
+  Alcotest.(check bool) "version tag" true (contains ~needle:"\"version\"" json);
+  Alcotest.(check bool) "code present" true
+    (contains ~needle:"\"PTI003\"" json);
+  Alcotest.(check bool) "summary present" true
+    (contains ~needle:"\"errors\": 1" json)
+
+let test_json_escaping () =
+  Alcotest.(check string) "string escapes"
+    "{\"k\":\"a\\\"b\\\\c\\nd\\u0001\"}"
+    (Json.to_string ~pretty:false
+       (Json.Obj [ ("k", Json.String "a\"b\\c\nd\001") ]));
+  Alcotest.(check string) "empty containers" "{\"a\":[],\"b\":{}}"
+    (Json.to_string ~pretty:false
+       (Json.Obj [ ("a", Json.List []); ("b", Json.Obj []) ]))
+
+(* ------------------------------ srcmap ------------------------------ *)
+
+let test_srcmap () =
+  let sm = Srcmap.create () in
+  Srcmap.add_type sm ~type_:"hz.X" { Srcmap.line = 3; col = 5 };
+  Srcmap.add_method sm ~type_:"hz.X" "go" ~arity:0 { Srcmap.line = 4; col = 3 };
+  Srcmap.add_method sm ~type_:"hz.X" "go" ~arity:2 { Srcmap.line = 9; col = 3 };
+  Alcotest.(check (option int)) "case-insensitive type lookup" (Some 3)
+    (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+       (Srcmap.type_loc sm "HZ.x"));
+  Alcotest.(check (option int)) "overloads keyed by arity" (Some 9)
+    (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+       (Srcmap.method_loc sm ~type_:"hz.x" "GO" ~arity:2));
+  Alcotest.(check (option int)) "missing member" None
+    (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+       (Srcmap.field_loc sm ~type_:"hz.X" "nope"));
+  (* First writer wins: a property's synthesized accessors keep the
+     property's line even if a like-named member follows. *)
+  Srcmap.add_type sm ~type_:"hz.X" { Srcmap.line = 99; col = 1 };
+  Alcotest.(check (option int)) "first writer wins" (Some 3)
+    (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+       (Srcmap.type_loc sm "hz.X"))
+
+let test_vb_locations () =
+  let sm = Srcmap.create () in
+  let src =
+    "Namespace hz\nClass Thing\n  Dim total As Integer\n\n  Function \
+     total() As Integer\n    Return 0\n  End Function\nEnd Class\n"
+  in
+  (* Dim total + Function total: the intra-type field/method case pair
+     should carry VB line numbers. *)
+  match Pti_idl.Vbdl.parse_assembly ~assembly:"t" ~srcmap:sm src with
+  | Error e ->
+      Alcotest.failf "vb parse error: %s"
+        (Format.asprintf "%a" Pti_idl.Vbdl.pp_error e)
+  | Ok _ ->
+      Alcotest.(check (option int)) "field line" (Some 3)
+        (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+           (Srcmap.field_loc sm ~type_:"hz.Thing" "total"));
+      Alcotest.(check (option int)) "method line" (Some 5)
+        (Option.map (fun (l : Srcmap.loc) -> l.Srcmap.line)
+           (Srcmap.method_loc sm ~type_:"hz.Thing" "total" ~arity:0))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "clean module is clean" `Quick test_clean_is_clean;
+          Alcotest.test_case "PTI001 ambiguous binding" `Quick
+            test_ambiguous_binding;
+          Alcotest.test_case "PTI002 permutable arguments" `Quick
+            test_permutation_ambiguity;
+          Alcotest.test_case "PTI003 case collisions" `Quick
+            test_case_collisions;
+          Alcotest.test_case "PTI004 near misses" `Quick test_near_miss;
+          Alcotest.test_case "PTI005 supertype cycles" `Quick
+            test_supertype_cycle;
+          Alcotest.test_case "PTI006 unresolved types" `Quick
+            test_unresolved_type;
+          Alcotest.test_case "PTI007 constructor rule" `Quick test_ctor_rule;
+          Alcotest.test_case "PTI008 shadowed fields" `Quick
+            test_shadowed_field;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "rule enable/disable" `Quick test_rule_disable;
+          Alcotest.test_case "severity override" `Quick test_severity_override;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "text output" `Quick test_report_text;
+          Alcotest.test_case "json output" `Quick test_json_output;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "srcmap",
+        [
+          Alcotest.test_case "lookups" `Quick test_srcmap;
+          Alcotest.test_case "vb line numbers" `Quick test_vb_locations;
+        ] );
+    ]
