@@ -5,6 +5,7 @@
      check      implicit structural conformance between two IDL types
      lint       static interop-hazard analysis over IDL files
      protocol   run the optimistic-vs-eager transfer experiment
+     stats      run the workload and print the metrics-registry snapshot
      demo       run the quickstart Person scenario
 
    Every command evaluates to its exit status: check exits 1 when the
@@ -23,6 +24,7 @@ module Net = Pti_net.Net
 module Stats = Pti_net.Stats
 module Demo = Pti_demo.Demo_types
 module Workload = Pti_demo.Workload
+module Metrics = Pti_obs.Metrics
 
 let read_file path =
   try
@@ -364,7 +366,54 @@ let lint_cmd =
 
 (* ----------------------------- protocol ---------------------------- *)
 
-let protocol_cmd =
+(* Shared synthetic-workload runner behind [pti protocol] and [pti stats]:
+   one network, a sender publishing K type families, a receiver with one
+   interest, [objects] transfers round-robin over the families. Every
+   component reports through the single [metrics] registry. *)
+let run_workload ~mode ~objects ~distinct ~nonconf ~metrics
+    ?tdesc_cache_capacity ?checker_cache_capacity () =
+  let net = Net.create ~seed:17L ~metrics () in
+  let sender =
+    Peer.create ~mode ~net ~metrics ?tdesc_cache_capacity
+      ?checker_cache_capacity "sender"
+  in
+  let receiver =
+    Peer.create ~mode ~net ~metrics ?tdesc_cache_capacity
+      ?checker_cache_capacity "receiver"
+  in
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let flavors =
+    Array.init distinct (fun i ->
+        if i < nonconf then Workload.Trap_missing else Workload.Conformant)
+  in
+  Array.iteri
+    (fun i flavor ->
+      Peer.publish_assembly sender (Workload.family ~index:i ~flavor))
+    flavors;
+  for n = 0 to objects - 1 do
+    let index = n mod distinct in
+    let v =
+      Workload.make_person (Peer.registry sender) ~index
+        ~flavor:flavors.(index)
+        ~name:(Printf.sprintf "p%d" n) ~age:n
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  done;
+  let delivered, rejected =
+    List.fold_left
+      (fun (d, r) ev ->
+        match ev with
+        | Peer.Delivered _ -> (d + 1, r)
+        | Peer.Rejected _ -> (d, r + 1)
+        | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
+      (0, 0) (Peer.events receiver)
+  in
+  (net, delivered, rejected)
+
+let workload_args =
   let objects =
     Arg.(value & opt int 60
          & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects to transfer.")
@@ -383,43 +432,27 @@ let protocol_cmd =
          & info [ "eager" ] ~doc:"Use the eager baseline instead of the \
                                   optimistic protocol.")
   in
-  let run objects distinct nonconf eager =
-    if objects <= 0 || distinct <= 0 || nonconf < 0 || nonconf > distinct then
+  (objects, distinct, nonconf, eager)
+
+let validate_workload objects distinct nonconf =
+  objects > 0 && distinct > 0 && nonconf >= 0 && nonconf <= distinct
+
+let protocol_cmd =
+  let objects, distinct, nonconf, eager = workload_args in
+  let show_metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Also print the metrics-registry snapshot (caches, \
+                   latency histograms, checker counters).")
+  in
+  let run objects distinct nonconf eager show_metrics =
+    if not (validate_workload objects distinct nonconf) then
       `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
     else begin
       let mode = if eager then Peer.Eager else Peer.Optimistic in
-      let net = Net.create ~seed:17L () in
-      let sender = Peer.create ~mode ~net "sender" in
-      let receiver = Peer.create ~mode ~net "receiver" in
-      Peer.install_assembly receiver (Demo.news_assembly ());
-      Peer.register_interest receiver ~interest:Demo.news_person
-        (fun ~from:_ _ -> ());
-      let flavors =
-        Array.init distinct (fun i ->
-            if i < nonconf then Workload.Trap_missing else Workload.Conformant)
-      in
-      Array.iteri
-        (fun i flavor ->
-          Peer.publish_assembly sender (Workload.family ~index:i ~flavor))
-        flavors;
-      for n = 0 to objects - 1 do
-        let index = n mod distinct in
-        let v =
-          Workload.make_person (Peer.registry sender) ~index
-            ~flavor:flavors.(index)
-            ~name:(Printf.sprintf "p%d" n) ~age:n
-        in
-        Peer.send_value sender ~dst:"receiver" v;
-        Net.run net
-      done;
-      let delivered, rejected =
-        List.fold_left
-          (fun (d, r) ev ->
-            match ev with
-            | Peer.Delivered _ -> (d + 1, r)
-            | Peer.Rejected _ -> (d, r + 1)
-            | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
-          (0, 0) (Peer.events receiver)
+      let metrics = Metrics.create () in
+      let net, delivered, rejected =
+        run_workload ~mode ~objects ~distinct ~nonconf ~metrics ()
       in
       Format.printf
         "mode=%s objects=%d distinct=%d nonconf=%d@.delivered=%d rejected=%d \
@@ -427,13 +460,62 @@ let protocol_cmd =
         (if eager then "eager" else "optimistic")
         objects distinct nonconf delivered rejected (Net.now_ms net) Stats.pp
         (Net.stats net);
+      if show_metrics then
+        Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
       `Ok 0
     end
   in
   Cmd.v
     (Cmd.info "protocol"
        ~doc:"Transfer a synthetic workload and report wire traffic (E5).")
-    Term.(ret (const run $ objects $ distinct $ nonconf $ eager))
+    Term.(
+      ret (const run $ objects $ distinct $ nonconf $ eager $ show_metrics))
+
+(* ------------------------------ stats ------------------------------ *)
+
+let stats_cmd =
+  let objects, distinct, nonconf, eager = workload_args in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the snapshot as one JSON object.")
+  in
+  let tdesc_cache =
+    Arg.(value & opt (some int) None
+         & info [ "tdesc-cache" ] ~docv:"N"
+             ~doc:"Capacity of each peer's type-description cache.")
+  in
+  let checker_cache =
+    Arg.(value & opt (some int) None
+         & info [ "checker-cache" ] ~docv:"N"
+             ~doc:"Capacity of each peer's conformance-verdict cache.")
+  in
+  let run objects distinct nonconf eager json tdesc_cache checker_cache =
+    if not (validate_workload objects distinct nonconf) then
+      `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
+    else begin
+      let mode = if eager then Peer.Eager else Peer.Optimistic in
+      let metrics = Metrics.create () in
+      let _net, _delivered, _rejected =
+        run_workload ~mode ~objects ~distinct ~nonconf ~metrics
+          ?tdesc_cache_capacity:tdesc_cache
+          ?checker_cache_capacity:checker_cache ()
+      in
+      let snap = Metrics.snapshot metrics in
+      if json then print_endline (Metrics.to_json snap)
+      else Format.printf "%a@." Metrics.pp snap;
+      `Ok 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the protocol workload against one shared metrics registry \
+             and print the full snapshot: per-peer cache hit/miss/eviction \
+             counters, checker verdict-cache reuse, network latency \
+             histograms and traffic gauges.")
+    Term.(
+      ret
+        (const run $ objects $ distinct $ nonconf $ eager $ json $ tdesc_cache
+        $ checker_cache))
 
 (* ----------------------------- compile ----------------------------- *)
 
@@ -583,5 +665,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
-            protocol_cmd; demo_cmd;
+            protocol_cmd; stats_cmd; demo_cmd;
           ]))

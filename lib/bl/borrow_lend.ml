@@ -1,6 +1,7 @@
 module Peer = Pti_core.Peer
 module Net = Pti_net.Net
 module Sim = Pti_net.Sim
+module Metrics = Pti_obs.Metrics
 
 type lending = {
   lender : Peer.t;
@@ -9,7 +10,11 @@ type lending = {
   mutable borrowed : int;
 }
 
-type lease = { lease_of : lending; mutable active : bool }
+type lease = {
+  lease_of : lending;
+  mutable active : bool;
+  released_ctr : Metrics.counter;
+}
 
 let lease_lending l = l.lease_of
 let lease_active l = l.active
@@ -22,14 +27,29 @@ let pp_borrow_error ppf = function
         (String.concat "; " reasons)
   | Exhausted -> Format.fprintf ppf "all conformant resources at capacity"
 
-type t = { mutable listings : lending list }
+type t = {
+  mutable listings : lending list;
+  m_lent : Metrics.counter;
+  m_borrows : Metrics.counter;
+  m_borrow_failures : Metrics.counter;
+  m_releases : Metrics.counter;
+}
 
-let create () = { listings = [] }
+let create ?metrics () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    listings = [];
+    m_lent = Metrics.counter m "bl.lent";
+    m_borrows = Metrics.counter m "bl.borrows";
+    m_borrow_failures = Metrics.counter m "bl.borrow_failures";
+    m_releases = Metrics.counter m "bl.releases";
+  }
 
 let lend t lender ?(capacity = 1) value =
   let resource = Peer.export lender value in
   let lending = { lender; resource; capacity; borrowed = 0 } in
   t.listings <- t.listings @ [ lending ];
+  Metrics.incr t.m_lent;
   lending
 
 let unlend t lending =
@@ -38,6 +58,7 @@ let unlend t lending =
 let release lease =
   if lease.active then begin
     lease.active <- false;
+    Metrics.incr lease.released_ctr;
     let lending = lease.lease_of in
     if lending.borrowed > 0 then lending.borrowed <- lending.borrowed - 1
   end
@@ -47,6 +68,7 @@ let borrow ?lease_ms t borrower ~interest =
   let found_conformant_full = ref false in
   let rec try_listings = function
     | [] ->
+        Metrics.incr t.m_borrow_failures;
         if !found_conformant_full then Error Exhausted
         else Error (No_conformant_resource (List.rev !reasons))
     | lending :: rest -> (
@@ -68,7 +90,14 @@ let borrow ?lease_ms t borrower ~interest =
             end
             else begin
               lending.borrowed <- lending.borrowed + 1;
-              let lease = { lease_of = lending; active = true } in
+              Metrics.incr t.m_borrows;
+              let lease =
+                {
+                  lease_of = lending;
+                  active = true;
+                  released_ctr = t.m_releases;
+                }
+              in
               (match lease_ms with
               | None -> ()
               | Some delay ->

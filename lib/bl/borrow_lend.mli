@@ -36,7 +36,10 @@ type borrow_error =
 
 val pp_borrow_error : Format.formatter -> borrow_error -> unit
 
-val create : unit -> t
+val create : ?metrics:Pti_obs.Metrics.t -> unit -> t
+(** With [metrics], the market reports [bl.lent], [bl.borrows],
+    [bl.borrow_failures] and [bl.releases] counters in that registry
+    (releases include lease expiries). *)
 
 val lend : t -> Pti_core.Peer.t -> ?capacity:int -> Value.value -> lending
 (** Export the object on the lender and list it (capacity defaults to 1).

@@ -3,6 +3,7 @@ module Td = Pti_typedesc.Type_description
 module Lev = Pti_util.Levenshtein
 module Guid = Pti_util.Guid
 module S = Pti_util.Strutil
+module Lru = Pti_obs.Lru
 
 type failure = { context : string; message : string }
 
@@ -30,45 +31,106 @@ let pp_verdict ppf = function
 type stats_mut = {
   mutable m_checks : int;
   mutable m_pair_checks : int;
-  mutable m_cache_hits : int;
   mutable m_resolver_misses : int;
+  mutable m_top_hits : int;
+  mutable m_top_computes : int;
+  mutable m_invalidated : int;
 }
 
 type stats = {
   checks : int;
   pair_checks : int;
   cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_size : int;
+  cache_capacity : int;
   resolver_misses : int;
+  top_hits : int;
+  top_computes : int;
+  invalidated : int;
 }
+
+(* A cached verdict carries the lowercased qualified names it depended on
+   (every name the resolver was asked for during the computation, hit or
+   miss), so learning a new type can invalidate exactly the entries that
+   mentioned it — keyed invalidation instead of clearing the cache. *)
+type entry = { e_verdict : verdict; e_deps : string list }
 
 type t = {
   cfg : Config.t;
   resolve : Td.resolver;
-  cache : (string, verdict) Hashtbl.t;
+  cache : entry Lru.Str.t;
+  (* lowercased type name -> set of cache keys whose entry depends on it *)
+  dep_index : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* dependency-name accumulator of the in-flight top-level computation *)
+  mutable cur_deps : (string, unit) Hashtbl.t option;
   st : stats_mut;
 }
 
-let create ?(config = Config.strict) ~resolver () =
+let default_cache_capacity = 2048
+
+let unindex_deps dep_index key deps =
+  List.iter
+    (fun dep ->
+      match Hashtbl.find_opt dep_index dep with
+      | None -> ()
+      | Some keys ->
+          Hashtbl.remove keys key;
+          if Hashtbl.length keys = 0 then Hashtbl.remove dep_index dep)
+    deps
+
+let create ?(config = Config.strict)
+    ?(cache_capacity = default_cache_capacity) ~resolver () =
+  let dep_index = Hashtbl.create 64 in
   {
     cfg = config;
     resolve = resolver;
-    cache = Hashtbl.create 64;
+    cache =
+      Lru.Str.create ~capacity:cache_capacity
+        ~on_evict:(fun key e -> unindex_deps dep_index key e.e_deps)
+        ();
+    dep_index;
+    cur_deps = None;
     st =
-      { m_checks = 0; m_pair_checks = 0; m_cache_hits = 0;
-        m_resolver_misses = 0 };
+      { m_checks = 0; m_pair_checks = 0; m_resolver_misses = 0;
+        m_top_hits = 0; m_top_computes = 0; m_invalidated = 0 };
   }
 
 let config t = t.cfg
 
 let stats t =
+  let c = Lru.Str.counters t.cache in
   {
     checks = t.st.m_checks;
     pair_checks = t.st.m_pair_checks;
-    cache_hits = t.st.m_cache_hits;
+    cache_hits = c.Lru.hits;
+    cache_misses = c.Lru.misses;
+    cache_evictions = c.Lru.evictions;
+    cache_size = Lru.Str.length t.cache;
+    cache_capacity = Lru.Str.capacity t.cache;
     resolver_misses = t.st.m_resolver_misses;
+    top_hits = t.st.m_top_hits;
+    top_computes = t.st.m_top_computes;
+    invalidated = t.st.m_invalidated;
   }
 
-let clear_cache t = Hashtbl.reset t.cache
+let cache_counters t = Lru.Str.counters t.cache
+
+let clear_cache t =
+  Lru.Str.clear t.cache;
+  Hashtbl.reset t.dep_index
+
+let note_new_type t name =
+  let ln = String.lowercase_ascii name in
+  match Hashtbl.find_opt t.dep_index ln with
+  | None -> 0
+  | Some keys ->
+      let n = Lru.Str.invalidate_where t.cache (Hashtbl.mem keys) in
+      (* on_evict already pruned [keys] entry by entry; drop the name. *)
+      Hashtbl.remove t.dep_index ln;
+      t.st.m_invalidated <- t.st.m_invalidated + n;
+      n
 
 (* ---------------------------------------------------------------- *)
 (* Rule (i): names                                                    *)
@@ -103,7 +165,15 @@ let pair_key t (actual : Td.t) (interest : Td.t) =
   Printf.sprintf "%s<=%s|%s" (id_of actual) (id_of interest)
     (Config.key t.cfg)
 
+let note_dep t name =
+  match t.cur_deps with
+  | None -> ()
+  | Some deps -> Hashtbl.replace deps (String.lowercase_ascii name) ()
+
 let resolve t name =
+  (* Recorded whether the lookup hits or misses: a verdict that failed on
+     a missing description must be re-examined when that type arrives. *)
+  note_dep t name;
   match t.resolve name with
   | Some d -> Some d
   | None ->
@@ -186,13 +256,17 @@ let rec conforms_desc t (assum : assum) depth (actual : Td.t)
          ~actual:(Td.qualified_name actual))
   else begin
     let key = pair_key t actual interest in
-    match Hashtbl.find_opt t.cache key with
-    | Some (Conformant m) ->
-        t.st.m_cache_hits <- t.st.m_cache_hits + 1;
-        Ok m
-    | Some (Not_conformant fs) ->
-        t.st.m_cache_hits <- t.st.m_cache_hits + 1;
-        Error fs
+    let fresh = Hashtbl.length assum = 0 in
+    match Lru.Str.find t.cache key with
+    | Some e ->
+        if fresh then t.st.m_top_hits <- t.st.m_top_hits + 1
+        else
+          (* A nested hit folds the entry's dependencies into the
+             enclosing computation's: the outer verdict inherits them. *)
+          List.iter (note_dep t) e.e_deps;
+        (match e.e_verdict with
+        | Conformant m -> Ok m
+        | Not_conformant fs -> Error fs)
     | None ->
         if Hashtbl.mem assum key then
           (* Co-inductive assumption: this pair is already under test. *)
@@ -201,17 +275,53 @@ let rec conforms_desc t (assum : assum) depth (actual : Td.t)
                ~interest:(Td.qualified_name interest)
                ~actual:(Td.qualified_name actual))
         else begin
-          let fresh = Hashtbl.length assum = 0 in
           Hashtbl.add assum key ();
+          (* Track resolver traffic for the top-level pair so the cached
+             verdict knows which type names it depends on. *)
+          let saved_deps = t.cur_deps in
+          if fresh then begin
+            t.st.m_top_computes <- t.st.m_top_computes + 1;
+            let deps = Hashtbl.create 16 in
+            Hashtbl.replace deps
+              (String.lowercase_ascii (Td.qualified_name actual)) ();
+            Hashtbl.replace deps
+              (String.lowercase_ascii (Td.qualified_name interest)) ();
+            t.cur_deps <- Some deps
+          end;
           let result = conforms_desc_uncached t assum depth actual interest ctx in
           Hashtbl.remove assum key;
           (* Only cache results computed without outstanding assumptions:
              results under assumptions may depend on pairs still in flight. *)
-          if fresh then
-            Hashtbl.replace t.cache key
-              (match result with
-              | Ok m -> Conformant m
-              | Error fs -> Not_conformant fs);
+          if fresh then begin
+            let deps =
+              match t.cur_deps with
+              | Some h -> Hashtbl.fold (fun d () acc -> d :: acc) h []
+              | None -> []
+            in
+            t.cur_deps <- saved_deps;
+            let entry =
+              {
+                e_verdict =
+                  (match result with
+                  | Ok m -> Conformant m
+                  | Error fs -> Not_conformant fs);
+                e_deps = deps;
+              }
+            in
+            Lru.Str.put t.cache key entry;
+            List.iter
+              (fun dep ->
+                let keys =
+                  match Hashtbl.find_opt t.dep_index dep with
+                  | Some ks -> ks
+                  | None ->
+                      let ks = Hashtbl.create 4 in
+                      Hashtbl.replace t.dep_index dep ks;
+                      ks
+                in
+                Hashtbl.replace keys key ())
+              deps
+          end;
           result
         end
   end

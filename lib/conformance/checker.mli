@@ -49,11 +49,13 @@ val pp_verdict : Format.formatter -> verdict -> unit
     witnesses) on success, every recorded failure otherwise. *)
 
 type t
-(** A checker: configuration + description resolver + result cache. *)
+(** A checker: configuration + description resolver + bounded result
+    cache with keyed invalidation. *)
 
-val create : ?config:Config.t -> resolver:Pti_typedesc.Type_description.resolver ->
-  unit -> t
-(** [config] defaults to {!Config.strict}. *)
+val create : ?config:Config.t -> ?cache_capacity:int ->
+  resolver:Pti_typedesc.Type_description.resolver -> unit -> t
+(** [config] defaults to {!Config.strict}; [cache_capacity] bounds the
+    verdict cache (LRU, default 2048 entries). *)
 
 val config : t -> Config.t
 
@@ -105,9 +107,29 @@ val permutation : t -> interest_params:Pti_cts.Ty.t list ->
 type stats = {
   checks : int;  (** Top-level [check] calls. *)
   pair_checks : int;  (** Type-pair evaluations including recursion. *)
-  cache_hits : int;
+  cache_hits : int;  (** Verdict-cache lookups answered, any depth. *)
+  cache_misses : int;  (** Verdict-cache lookups that came back empty. *)
+  cache_evictions : int;  (** Entries displaced by capacity pressure. *)
+  cache_size : int;
+  cache_capacity : int;
   resolver_misses : int;  (** Failed description lookups. *)
+  top_hits : int;  (** Top-level pairs answered from the cache. *)
+  top_computes : int;  (** Top-level pairs computed from scratch. The
+      reuse rate of repeated checks is
+      [top_hits / (top_hits + top_computes)]. *)
+  invalidated : int;  (** Entries dropped by {!note_new_type}. *)
 }
 
 val stats : t -> stats
+val cache_counters : t -> Pti_obs.Lru.counters
+
+val note_new_type : t -> string -> int
+(** [note_new_type t name]: a description for [name] just became
+    resolvable. Invalidates exactly the cached verdicts whose computation
+    asked the resolver for [name] (hit or miss) — in particular verdicts
+    that failed because [name] was missing — and returns how many were
+    dropped. Verdicts for unrelated pairs survive, unlike {!clear_cache}. *)
+
 val clear_cache : t -> unit
+(** Drop every cached verdict (the sledgehammer; prefer
+    {!note_new_type}). Counters survive. *)

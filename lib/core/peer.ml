@@ -9,6 +9,9 @@ module Proxy = Pti_proxy.Dynamic_proxy
 module Envelope = Pti_serial.Envelope
 module Assembly_xml = Pti_serial.Assembly_xml
 module S = Pti_util.Strutil
+module Lru = Pti_obs.Lru
+module Ring = Pti_obs.Ring
+module Metrics = Pti_obs.Metrics
 
 let log_src = Logs.Src.create "pti.peer" ~doc:"Type-interoperability peer"
 
@@ -35,6 +38,14 @@ let pp_event ppf = function
 
 type remote_ref = { rr_host : string; rr_id : int; rr_class : string }
 
+(* Per-outcome event counters surfaced through the metrics registry. *)
+type event_counters = {
+  mc_delivered : Metrics.counter;
+  mc_rejected : Metrics.counter;
+  mc_decode_failed : Metrics.counter;
+  mc_load_failed : Metrics.counter;
+}
+
 type t = {
   addr : string;
   net : Message.t Net.t;
@@ -42,7 +53,7 @@ type t = {
   repo : Repository.t;
   peer_mode : mode;
   codec : Envelope.codec;
-  tdesc_cache : (string, Td.t) Hashtbl.t;
+  tdesc_cache : Td.t Lru.Str.t;
   checker : Checker.t;
   px : Proxy.context;
   mutable interests :
@@ -55,8 +66,10 @@ type t = {
   tdesc_conts : (int, (Td.t option -> unit) * (unit -> unit)) Hashtbl.t;
   asm_conts : (int, (Assembly.t option -> unit) * (unit -> unit)) Hashtbl.t;
   invoke_conts : (int, (Value.value, string) result -> unit) Hashtbl.t;
-  known_paths : (string, string) Hashtbl.t;  (* assembly name -> path *)
-  mutable event_log : event list;  (* most recent first *)
+  known_paths : string Lru.Str.t;  (* assembly name -> path *)
+  event_log : event Ring.t;
+  metrics : Metrics.t;
+  evt_ctrs : event_counters;
 }
 
 let address t = t.addr
@@ -65,15 +78,24 @@ let checker t = t.checker
 let proxy_context t = t.px
 let mode t = t.peer_mode
 let net t = t.net
-let events t = List.rev t.event_log
-let clear_events t = t.event_log <- []
-let tdesc_cache_size t = Hashtbl.length t.tdesc_cache
+let metrics t = t.metrics
+let events t = Ring.to_list t.event_log
+let clear_events t = Ring.clear t.event_log
+let events_dropped t = Ring.dropped t.event_log
+let tdesc_cache_size t = Lru.Str.length t.tdesc_cache
+let tdesc_cache_counters t = Lru.Str.counters t.tdesc_cache
 let exported_count t = Hashtbl.length t.exported
 let run t = Net.run t.net
 
 let log_event t e =
   Log.debug (fun m -> m "[%s] %a" t.addr pp_event e);
-  t.event_log <- e :: t.event_log
+  Ring.push t.event_log e;
+  Metrics.incr
+    (match e with
+    | Delivered _ -> t.evt_ctrs.mc_delivered
+    | Rejected _ -> t.evt_ctrs.mc_rejected
+    | Decode_failed _ -> t.evt_ctrs.mc_decode_failed
+    | Load_failed _ -> t.evt_ctrs.mc_load_failed)
 
 let lc = String.lowercase_ascii
 
@@ -81,14 +103,15 @@ let lc = String.lowercase_ascii
 let local_desc t name =
   match Registry.find t.reg name with
   | Some cd -> Some (Td.of_class cd)
-  | None -> Hashtbl.find_opt t.tdesc_cache (lc name)
+  | None -> Lru.Str.find t.tdesc_cache (lc name)
 
 let cache_desc t d =
   let key = lc (Td.qualified_name d) in
-  if not (Hashtbl.mem t.tdesc_cache key) then begin
-    Hashtbl.replace t.tdesc_cache key d;
-    (* New knowledge can overturn verdicts that failed on missing types. *)
-    Checker.clear_cache t.checker
+  if not (Lru.Str.mem t.tdesc_cache key) then begin
+    Lru.Str.put t.tdesc_cache key d;
+    (* New knowledge can overturn verdicts that failed on this missing
+       type — and only those. Unrelated cached verdicts survive. *)
+    ignore (Checker.note_new_type t.checker (Td.qualified_name d))
   end
 
 (* Qualified names a description refers to — what else we may need. *)
@@ -205,7 +228,7 @@ let ensure_assemblies t (env : Envelope.t) k =
   (* Remember advertised download paths. *)
   List.iter
     (fun (e : Envelope.type_entry) ->
-      Hashtbl.replace t.known_paths (lc e.Envelope.te_assembly)
+      Lru.Str.put t.known_paths (lc e.Envelope.te_assembly)
         e.Envelope.te_download_path)
     env.Envelope.env_types;
   let needed =
@@ -399,7 +422,7 @@ let handle_envelope t ~from (msg_env : string) tdescs assemblies =
 (* ---------------------------------------------------------------- *)
 
 let download_path t ~assembly =
-  match Hashtbl.find_opt t.known_paths (lc assembly) with
+  match Lru.Str.find t.known_paths (lc assembly) with
   | Some p -> p
   | None -> Repository.path_for ~host:t.addr ~assembly
 
@@ -512,16 +535,70 @@ let handle t ~src msg =
 (* Construction                                                       *)
 (* ---------------------------------------------------------------- *)
 
+(* Bind the peer's cache and outcome counters into its metrics registry
+   under [peer.<addr>.*] (see HACKING.md for the naming scheme). Cache
+   counters are gauge callbacks reading the live LRU accounting, so a
+   snapshot is always current without per-operation bookkeeping. *)
+let bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker =
+  let p name = Printf.sprintf "peer.%s.%s" addr name in
+  let lru_gauges obj cache =
+    let g name f =
+      Metrics.gauge_fn m (p (obj ^ "." ^ name)) (fun () ->
+          float_of_int (f (Lru.Str.counters cache)))
+    in
+    g "hits" (fun c -> c.Lru.hits);
+    g "misses" (fun c -> c.Lru.misses);
+    g "evictions" (fun c -> c.Lru.evictions);
+    g "invalidations" (fun c -> c.Lru.invalidations);
+    Metrics.gauge_fn m (p (obj ^ ".size")) (fun () ->
+        float_of_int (Lru.Str.length cache));
+    Metrics.gauge_fn m (p (obj ^ ".capacity")) (fun () ->
+        float_of_int (Lru.Str.capacity cache))
+  in
+  lru_gauges "tdesc_cache" tdesc_cache;
+  lru_gauges "known_paths" known_paths;
+  Metrics.gauge_fn m (p "events.dropped") (fun () ->
+      float_of_int (Ring.dropped event_log));
+  let ck name f =
+    Metrics.gauge_fn m (p ("checker." ^ name)) (fun () ->
+        float_of_int (f (Checker.stats checker)))
+  in
+  ck "checks" (fun s -> s.Checker.checks);
+  ck "cache_hits" (fun s -> s.Checker.cache_hits);
+  ck "cache_misses" (fun s -> s.Checker.cache_misses);
+  ck "cache_evictions" (fun s -> s.Checker.cache_evictions);
+  ck "cache_size" (fun s -> s.Checker.cache_size);
+  ck "top_hits" (fun s -> s.Checker.top_hits);
+  ck "top_computes" (fun s -> s.Checker.top_computes);
+  ck "invalidated" (fun s -> s.Checker.invalidated);
+  ck "resolver_misses" (fun s -> s.Checker.resolver_misses);
+  {
+    mc_delivered = Metrics.counter m (p "delivered");
+    mc_rejected = Metrics.counter m (p "rejected");
+    mc_decode_failed = Metrics.counter m (p "decode_failed");
+    mc_load_failed = Metrics.counter m (p "load_failed");
+  }
+
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
-    ?(config = Config.strict) ~net:network addr =
+    ?(config = Config.strict) ?metrics:m
+    ?(tdesc_cache_capacity = 512) ?(known_paths_capacity = 512)
+    ?(event_log_capacity = 4096) ?checker_cache_capacity ~net:network addr =
   let reg = Registry.create () in
-  let tdesc_cache = Hashtbl.create 32 in
+  let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
   let resolver name =
     match Registry.find reg name with
     | Some cd -> Some (Td.of_class cd)
-    | None -> Hashtbl.find_opt tdesc_cache (lc name)
+    | None -> Lru.Str.find tdesc_cache (lc name)
   in
-  let checker = Checker.create ~config ~resolver () in
+  let checker =
+    Checker.create ~config ?cache_capacity:checker_cache_capacity ~resolver ()
+  in
+  let known_paths = Lru.Str.create ~capacity:known_paths_capacity () in
+  let event_log = Ring.create ~capacity:event_log_capacity () in
+  let m = match m with Some m -> m | None -> Metrics.create () in
+  let evt_ctrs =
+    bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker
+  in
   let t =
     {
       addr;
@@ -542,8 +619,10 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       tdesc_conts = Hashtbl.create 8;
       asm_conts = Hashtbl.create 8;
       invoke_conts = Hashtbl.create 8;
-      known_paths = Hashtbl.create 8;
-      event_log = [];
+      known_paths;
+      event_log;
+      metrics = m;
+      evt_ctrs;
     }
   in
   Net.add_host network addr ~handler:(fun ~net:_ ~src msg -> handle t ~src msg);
@@ -555,7 +634,7 @@ let publish_assembly t asm =
     Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
   in
   Repository.add t.repo ~path asm;
-  Hashtbl.replace t.known_paths (lc asm.Assembly.asm_name) path
+  Lru.Str.put t.known_paths (lc asm.Assembly.asm_name) path
 
 let install_assembly t asm = Assembly.load t.reg asm
 

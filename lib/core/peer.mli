@@ -41,10 +41,19 @@ val pp_event : Format.formatter -> event -> unit
 type t
 
 val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
-  ?config:Pti_conformance.Config.t -> net:Message.t Pti_net.Net.t -> string ->
-  t
+  ?config:Pti_conformance.Config.t -> ?metrics:Pti_obs.Metrics.t ->
+  ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
+  ?event_log_capacity:int -> ?checker_cache_capacity:int ->
+  net:Message.t Pti_net.Net.t -> string -> t
 (** [create ~net address] registers the peer on the network. Defaults:
-    optimistic mode, binary payload codec, strict conformance rules. *)
+    optimistic mode, binary payload codec, strict conformance rules.
+
+    Every cache the peer keeps is bounded and observable: the type
+    description cache (default 512 entries), the advertised
+    download-path cache (512), the event log (ring of 4096) and the
+    conformance verdict cache ({!Pti_conformance.Checker.create}'s
+    default). The peer reports through [metrics] (fresh registry when
+    omitted) under [peer.<address>.*] names. *)
 
 val address : t -> string
 val registry : t -> Registry.t
@@ -113,7 +122,16 @@ val events : t -> event list
 (** Chronological. *)
 
 val clear_events : t -> unit
+(** Also resets {!events_dropped}. *)
+
+val events_dropped : t -> int
+(** Events displaced from the bounded log since creation/{!clear_events}. *)
+
+val metrics : t -> Pti_obs.Metrics.t
+(** The registry this peer reports through ([peer.<address>.*]). *)
+
 val tdesc_cache_size : t -> int
+val tdesc_cache_counters : t -> Pti_obs.Lru.counters
 val exported_count : t -> int
 
 val fetch_type_description : t -> from:string -> string ->

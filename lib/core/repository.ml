@@ -1,24 +1,51 @@
 module S = Pti_util.Strutil
+module Lru = Pti_obs.Lru
 
-type t = (string, Pti_cts.Assembly.t) Hashtbl.t
+type t = {
+  by_path : (string, Pti_cts.Assembly.t) Hashtbl.t;
+  (* Memo over the linear by-name scan; keyed by lowercased assembly
+     name. Invalidated wholesale on [add] (adds are rare, lookups hot). *)
+  by_name : (string * Pti_cts.Assembly.t) Lru.Str.t;
+}
 
-let create () = Hashtbl.create 8
-let add t ~path asm = Hashtbl.replace t path asm
-let find t ~path = Hashtbl.find_opt t path
+let create ?(by_name_capacity = 256) () =
+  {
+    by_path = Hashtbl.create 8;
+    by_name = Lru.Str.create ~capacity:by_name_capacity ();
+  }
+
+let add t ~path asm =
+  Hashtbl.replace t.by_path path asm;
+  (* A replaced path can change which assembly a name resolves to; the
+     memo cannot tell, so drop it entirely. *)
+  Lru.Str.clear t.by_name
+
+let find t ~path = Hashtbl.find_opt t.by_path path
 
 let find_by_name t name =
-  Hashtbl.fold
-    (fun path asm acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-          if S.equal_ci asm.Pti_cts.Assembly.asm_name name then
-            Some (path, asm)
-          else None)
-    t None
+  let key = String.lowercase_ascii name in
+  match Lru.Str.find t.by_name key with
+  | Some hit -> Some hit
+  | None ->
+      let scan =
+        Hashtbl.fold
+          (fun path asm acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if S.equal_ci asm.Pti_cts.Assembly.asm_name name then
+                  Some (path, asm)
+                else None)
+          t.by_path None
+      in
+      (match scan with
+      | Some hit -> Lru.Str.put t.by_name key hit
+      | None -> ());
+      scan
 
-let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t []
-let cardinal t = Hashtbl.length t
+let lookup_counters t = Lru.Str.counters t.by_name
+let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.by_path []
+let cardinal t = Hashtbl.length t.by_path
 
 let path_for ~host ~assembly = Printf.sprintf "asm://%s/%s" host assembly
 

@@ -6,14 +6,19 @@
 
 type t
 
-val create : unit -> t
+val create : ?by_name_capacity:int -> unit -> t
+(** [by_name_capacity] bounds the name-lookup memo (default 256). *)
 
 val add : t -> path:string -> Pti_cts.Assembly.t -> unit
 (** Replaces an existing binding (a newer version). *)
 
 val find : t -> path:string -> Pti_cts.Assembly.t option
 val find_by_name : t -> string -> (string * Pti_cts.Assembly.t) option
-(** Path and assembly for an assembly name. *)
+(** Path and assembly for an assembly name (case-insensitive). Successful
+    lookups are memoized in a bounded LRU; [add] invalidates the memo. *)
+
+val lookup_counters : t -> Pti_obs.Lru.counters
+(** Accounting of the name-lookup memo. *)
 
 val paths : t -> string list
 val cardinal : t -> int

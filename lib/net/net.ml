@@ -38,10 +38,11 @@ type 'a t = {
 let link_key a b = if a <= b then a ^ "|" ^ b else b ^ "|" ^ a
 
 let create ?(default_latency_ms = 1.0) ?(default_bandwidth_bpms = 1000.)
-    ?(drop_rate = 0.) ?(jitter_ms = 0.) ?reliability ?(seed = 42L) () =
+    ?(drop_rate = 0.) ?(jitter_ms = 0.) ?reliability ?(seed = 42L) ?metrics ()
+    =
   {
     sim = Sim.create ();
-    stats = Stats.create ();
+    stats = Stats.create ?metrics ();
     rng = Splitmix.create seed;
     default_latency = default_latency_ms;
     default_bandwidth = default_bandwidth_bpms;

@@ -32,9 +32,11 @@ type 'a t
 
 val create : ?default_latency_ms:float -> ?default_bandwidth_bpms:float ->
   ?drop_rate:float -> ?jitter_ms:float -> ?reliability:reliability ->
-  ?seed:int64 -> unit -> 'a t
+  ?seed:int64 -> ?metrics:Pti_obs.Metrics.t -> unit -> 'a t
 (** Defaults: 1.0 ms latency, 1000 bytes/ms (~1 MB/s) bandwidth, no drops,
-    no jitter, no reliability layer, seed 42. *)
+    no jitter, no reliability layer, seed 42. [metrics] is forwarded to
+    {!Stats.create}: latency histograms and traffic gauges land in the
+    given registry under [net.*]. *)
 
 val sim : 'a t -> Sim.t
 val stats : 'a t -> Stats.t

@@ -34,18 +34,60 @@ let index = function
   | Invoke_reply -> 6
   | Control -> 7
 
+module Metrics = Pti_obs.Metrics
+
+(* Latency samples per category, with a memoized sorted view: percentile
+   queries no longer sort the sample list on every call — the sorted
+   array is built once per snapshot and invalidated by the next sample. *)
+type lat = {
+  mutable samples : float list;  (* reversed *)
+  mutable count : int;
+  mutable sorted : float array option;  (* memo; None = stale *)
+}
+
 type t = {
   bytes : int array;
   messages : int array;
-  latencies : float list ref array;  (* reversed *)
+  latencies : lat array;
+  hists : Metrics.histogram array option;  (* net.latency_ms.<category> *)
 }
 
-let create () =
-  {
-    bytes = Array.make 8 0;
-    messages = Array.make 8 0;
-    latencies = Array.init 8 (fun _ -> ref []);
-  }
+let create ?metrics () =
+  let hists =
+    Option.map
+      (fun m ->
+        Array.init 8 (fun i ->
+            let c = List.nth all_categories i in
+            Metrics.histogram m ("net.latency_ms." ^ category_name c)))
+      metrics
+  in
+  let t =
+    {
+      bytes = Array.make 8 0;
+      messages = Array.make 8 0;
+      latencies =
+        Array.init 8 (fun _ -> { samples = []; count = 0; sorted = None });
+      hists;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun c ->
+          let i = index c in
+          Metrics.gauge_fn m
+            ("net.bytes." ^ category_name c)
+            (fun () -> float_of_int t.bytes.(i));
+          Metrics.gauge_fn m
+            ("net.messages." ^ category_name c)
+            (fun () -> float_of_int t.messages.(i)))
+        all_categories;
+      Metrics.gauge_fn m "net.bytes.total" (fun () ->
+          float_of_int (Array.fold_left ( + ) 0 t.bytes));
+      Metrics.gauge_fn m "net.messages.total" (fun () ->
+          float_of_int (Array.fold_left ( + ) 0 t.messages)));
+  t
 
 let record t c ~bytes =
   let i = index c in
@@ -60,32 +102,58 @@ let total_messages t = Array.fold_left ( + ) 0 t.messages
 let reset t =
   Array.fill t.bytes 0 8 0;
   Array.fill t.messages 0 8 0;
-  Array.iter (fun r -> r := []) t.latencies
+  Array.iter
+    (fun l ->
+      l.samples <- [];
+      l.count <- 0;
+      l.sorted <- None)
+    t.latencies
 
 let record_latency t c ~ms =
-  let r = t.latencies.(index c) in
-  r := ms :: !r
+  let l = t.latencies.(index c) in
+  l.samples <- ms :: l.samples;
+  l.count <- l.count + 1;
+  l.sorted <- None;
+  match t.hists with
+  | Some hs -> Metrics.observe hs.(index c) ms
+  | None -> ()
 
-let latency_samples t c = List.rev !(t.latencies.(index c))
+let latency_samples t c = List.rev t.latencies.(index c).samples
+
+let sorted_latencies l =
+  match l.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list l.samples in
+      Array.sort Float.compare a;
+      l.sorted <- Some a;
+      a
 
 let latency_percentile t c p =
   if p < 0. || p > 1. then invalid_arg "Stats.latency_percentile";
-  match !(t.latencies.(index c)) with
-  | [] -> None
-  | samples ->
-      let sorted = List.sort Float.compare samples in
-      let n = List.length sorted in
-      let rank =
-        min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
-      in
-      Some (List.nth sorted rank)
+  let l = t.latencies.(index c) in
+  if l.count = 0 then None
+  else begin
+    let sorted = sorted_latencies l in
+    let n = Array.length sorted in
+    let rank =
+      min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
+    in
+    Some sorted.(rank)
+  end
 
 let merge a b =
   let t = create () in
   for i = 0 to 7 do
     t.bytes.(i) <- a.bytes.(i) + b.bytes.(i);
     t.messages.(i) <- a.messages.(i) + b.messages.(i);
-    t.latencies.(i) := !(b.latencies.(i)) @ !(a.latencies.(i))
+    let la = a.latencies.(i) and lb = b.latencies.(i) in
+    t.latencies.(i) <-
+      {
+        samples = lb.samples @ la.samples;
+        count = la.count + lb.count;
+        sorted = None;
+      }
   done;
   t
 

@@ -19,7 +19,13 @@ val category_name : category -> string
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Pti_obs.Metrics.t -> unit -> t
+(** When [metrics] is given, delivery latencies feed
+    [net.latency_ms.<category>] histograms and per-category byte/message
+    totals are exported as [net.bytes.<category>] /
+    [net.messages.<category>] gauges (snapshot-time callbacks), so the
+    network shares one registry with the peers that use it. *)
+
 val record : t -> category -> bytes:int -> unit
 val bytes : t -> category -> int
 val messages : t -> category -> int
@@ -42,7 +48,8 @@ val latency_samples : t -> category -> float list
 val latency_percentile : t -> category -> float -> float option
 (** [latency_percentile t c 0.5] is the median delivery latency of the
     category (nearest-rank); [None] when no sample exists. The argument
-    must be in [\[0;1\]]. *)
+    must be in [\[0;1\]]. Sorting is memoized: repeated percentile
+    queries between samples reuse one sorted array. *)
 
 val pp : Format.formatter -> t -> unit
 (** Aligned table of category / messages / bytes. *)

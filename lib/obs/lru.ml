@@ -1,0 +1,200 @@
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  insertions : int;
+}
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+
+module type KEY = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type key
+  type 'a t
+
+  val create : ?on_evict:(key -> 'a -> unit) -> capacity:int -> unit -> 'a t
+  val capacity : 'a t -> int
+  val set_capacity : 'a t -> int -> unit
+  val length : 'a t -> int
+  val mem : 'a t -> key -> bool
+  val find : 'a t -> key -> 'a option
+  val peek : 'a t -> key -> 'a option
+  val put : 'a t -> key -> 'a -> unit
+  val remove : 'a t -> key -> unit
+  val invalidate_where : 'a t -> (key -> bool) -> int
+  val clear : 'a t -> unit
+  val fold : 'a t -> init:'b -> f:(key -> 'a -> 'b -> 'b) -> 'b
+  val to_list : 'a t -> (key * 'a) list
+  val counters : 'a t -> counters
+end
+
+module Make (K : KEY) : S with type key = K.t = struct
+  module H = Hashtbl.Make (K)
+
+  type key = K.t
+
+  (* Intrusive doubly-linked list ordered by recency (head = most recent);
+     the hashtable points straight at the nodes, so every operation is
+     O(1) except the predicate sweeps. *)
+  type 'a node = {
+    nkey : key;
+    mutable nval : 'a;
+    mutable prev : 'a node option;  (* towards the head / more recent *)
+    mutable next : 'a node option;  (* towards the tail / less recent *)
+  }
+
+  type 'a t = {
+    tbl : 'a node H.t;
+    mutable head : 'a node option;
+    mutable tail : 'a node option;
+    mutable cap : int;
+    on_evict : (key -> 'a -> unit) option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable invalidations : int;
+    mutable insertions : int;
+  }
+
+  let create ?on_evict ~capacity () =
+    if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+    {
+      tbl = H.create (min capacity 64);
+      head = None;
+      tail = None;
+      cap = capacity;
+      on_evict;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      invalidations = 0;
+      insertions = 0;
+    }
+
+  let capacity t = t.cap
+  let length t = H.length t.tbl
+  let mem t k = H.mem t.tbl k
+
+  let unlink t n =
+    (match n.prev with
+    | Some p -> p.next <- n.next
+    | None -> t.head <- n.next);
+    (match n.next with
+    | Some s -> s.prev <- n.prev
+    | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.prev <- None;
+    n.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let touch t n =
+    match n.prev with
+    | None -> ()  (* already the head *)
+    | Some _ ->
+        unlink t n;
+        push_front t n
+
+  let drop ?(count_eviction = false) t n =
+    unlink t n;
+    H.remove t.tbl n.nkey;
+    if count_eviction then t.evictions <- t.evictions + 1
+    else t.invalidations <- t.invalidations + 1;
+    match t.on_evict with Some f -> f n.nkey n.nval | None -> ()
+
+  let evict_over_capacity t =
+    while H.length t.tbl > t.cap do
+      match t.tail with
+      | Some n -> drop ~count_eviction:true t n
+      | None -> assert false
+    done
+
+  let set_capacity t c =
+    if c < 1 then invalid_arg "Lru.set_capacity: capacity must be >= 1";
+    t.cap <- c;
+    evict_over_capacity t
+
+  let find t k =
+    match H.find_opt t.tbl k with
+    | Some n ->
+        t.hits <- t.hits + 1;
+        touch t n;
+        Some n.nval
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+  let peek t k = Option.map (fun n -> n.nval) (H.find_opt t.tbl k)
+
+  let put t k v =
+    match H.find_opt t.tbl k with
+    | Some n ->
+        n.nval <- v;
+        touch t n
+    | None ->
+        let n = { nkey = k; nval = v; prev = None; next = None } in
+        H.replace t.tbl k n;
+        push_front t n;
+        t.insertions <- t.insertions + 1;
+        evict_over_capacity t
+
+  let remove t k =
+    match H.find_opt t.tbl k with Some n -> drop t n | None -> ()
+
+  let invalidate_where t pred =
+    (* Collect first: the predicate must not observe a half-swept list. *)
+    let doomed = ref [] in
+    let rec walk = function
+      | None -> ()
+      | Some n ->
+          if pred n.nkey then doomed := n :: !doomed;
+          walk n.next
+    in
+    walk t.head;
+    List.iter (fun n -> drop t n) !doomed;
+    List.length !doomed
+
+  let clear t =
+    t.invalidations <- t.invalidations + H.length t.tbl;
+    H.reset t.tbl;
+    t.head <- None;
+    t.tail <- None
+
+  let fold t ~init ~f =
+    let rec go acc = function
+      | None -> acc
+      | Some n -> go (f n.nkey n.nval acc) n.next
+    in
+    go init t.head
+
+  let to_list t =
+    List.rev (fold t ~init:[] ~f:(fun k v acc -> (k, v) :: acc))
+
+  let counters t =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      invalidations = t.invalidations;
+      insertions = t.insertions;
+    }
+end
+
+module Str = Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)

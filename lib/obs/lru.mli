@@ -1,0 +1,70 @@
+(** Bounded LRU caches with built-in accounting.
+
+    Every cache the middleware keeps — type descriptions, conformance
+    verdicts, download paths, assembly-name lookups — goes through this
+    functor, so each one is bounded (no unbounded [Hashtbl] growth under
+    type churn), observable (hit/miss/eviction/invalidation counters) and
+    invalidatable by key predicate rather than wholesale [clear].
+
+    Recency: {!S.find} and {!S.put} refresh an entry; {!S.peek} and
+    {!S.mem} do not. When the cache is full, {!S.put} of a new key evicts
+    the least recently used entry (and reports it to [on_evict]). *)
+
+(** Shared across all instantiations so callers can surface counters from
+    heterogeneous caches uniformly (e.g. as metrics gauges). *)
+type counters = {
+  hits : int;  (** [find] calls answered from the cache. *)
+  misses : int;  (** [find] calls that came back empty. *)
+  evictions : int;  (** Entries displaced by capacity pressure. *)
+  invalidations : int;  (** Entries dropped by {!S.invalidate_where},
+                            {!S.remove} or {!S.clear}. *)
+  insertions : int;  (** [put] calls that added a new key. *)
+}
+
+val hit_rate : counters -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+module type KEY = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type key
+  type 'a t
+
+  val create : ?on_evict:(key -> 'a -> unit) -> capacity:int -> unit -> 'a t
+  (** [on_evict] fires for entries displaced by capacity pressure or
+      dropped by {!invalidate_where}/{!remove} — not on {!clear}.
+      @raise Invalid_argument when [capacity < 1]. *)
+
+  val capacity : 'a t -> int
+  val set_capacity : 'a t -> int -> unit
+  (** Shrinking evicts least-recently-used entries down to the new bound.
+      @raise Invalid_argument when the new capacity is [< 1]. *)
+
+  val length : 'a t -> int
+  val mem : 'a t -> key -> bool
+  val find : 'a t -> key -> 'a option
+  val peek : 'a t -> key -> 'a option
+  val put : 'a t -> key -> 'a -> unit
+  val remove : 'a t -> key -> unit
+  val invalidate_where : 'a t -> (key -> bool) -> int
+  (** Drop every entry whose key satisfies the predicate; returns how many
+      were dropped. This is the keyed replacement for clearing a whole
+      cache when one input changes. *)
+
+  val clear : 'a t -> unit
+  val fold : 'a t -> init:'b -> f:(key -> 'a -> 'b -> 'b) -> 'b
+  val to_list : 'a t -> (key * 'a) list
+  (** Most recently used first. *)
+
+  val counters : 'a t -> counters
+end
+
+module Make (K : KEY) : S with type key = K.t
+
+module Str : S with type key = string
+(** The common case: string-keyed caches. *)

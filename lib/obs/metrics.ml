@@ -1,0 +1,259 @@
+type hist = {
+  bounds : float array;  (* finite upper bounds, strictly increasing *)
+  counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable count : int;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type instrument =
+  | Icounter of int ref
+  | Igauge of float ref
+  | Igauge_fn of (unit -> float) ref
+  | Ihist of hist
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+type counter = int ref
+type gauge = float ref
+type histogram = hist
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+
+let kind_name = function
+  | Icounter _ -> "counter"
+  | Igauge _ -> "gauge"
+  | Igauge_fn _ -> "gauge"
+  | Ihist _ -> "histogram"
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Icounter r) -> r
+  | Some i ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a counter" name
+           (kind_name i))
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.tbl name (Icounter r);
+      r
+
+let incr ?(by = 1) c = c := !c + by
+let counter_value c = !c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Igauge r) -> r
+  | Some i ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a gauge" name (kind_name i))
+  | None ->
+      let r = ref 0. in
+      Hashtbl.replace t.tbl name (Igauge r);
+      r
+
+let set_gauge g v = g := v
+
+let gauge_fn t name f =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Igauge_fn r) -> r := f
+  | Some (Icounter _ | Igauge _ | Ihist _ as i) ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a gauge callback" name
+           (kind_name i))
+  | None -> Hashtbl.replace t.tbl name (Igauge_fn (ref f))
+
+let default_buckets =
+  [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500. |]
+
+let histogram ?(buckets = default_buckets) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Ihist h) -> h
+  | Some i ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a histogram" name
+           (kind_name i))
+  | None ->
+      let n = Array.length buckets in
+      if n = 0 then invalid_arg "Metrics.histogram: no buckets";
+      for i = 1 to n - 1 do
+        if buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+      done;
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (n + 1) 0;
+          sum = 0.;
+          count = 0;
+          minv = nan;
+          maxv = nan;
+        }
+      in
+      Hashtbl.replace t.tbl name (Ihist h);
+      h
+
+let observe h v =
+  (* First bucket whose upper bound admits [v]; the overflow bucket is
+     index [Array.length bounds]. *)
+  let n = Array.length h.bounds in
+  let rec idx i = if i >= n then n else if v <= h.bounds.(i) then i else idx (i + 1) in
+  let i = idx 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1;
+  if h.count = 1 then begin
+    h.minv <- v;
+    h.maxv <- v
+  end
+  else begin
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v
+  end
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) array;
+}
+
+let quantile hs p =
+  if p < 0. || p > 1. then invalid_arg "Metrics.quantile";
+  if hs.h_count = 0 then None
+  else begin
+    let target =
+      let r = int_of_float (Float.round (p *. float_of_int (hs.h_count - 1))) in
+      r + 1  (* 1-based rank *)
+    in
+    let n = Array.length hs.h_buckets in
+    let rec scan i cum =
+      if i >= n then Some hs.h_max
+      else
+        let bound, c = hs.h_buckets.(i) in
+        let cum = cum + c in
+        if cum >= target then
+          Some (if bound = infinity then hs.h_max else bound)
+        else scan (i + 1) cum
+    in
+    scan 0 0
+  end
+
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+type snapshot = (string * value) list
+
+let snap_hist h =
+  let n = Array.length h.bounds in
+  {
+    h_count = h.count;
+    h_sum = h.sum;
+    h_min = h.minv;
+    h_max = h.maxv;
+    h_buckets =
+      Array.init (n + 1) (fun i ->
+          ((if i = n then infinity else h.bounds.(i)), h.counts.(i)));
+  }
+
+let snap_instrument = function
+  | Icounter r -> Counter !r
+  | Igauge r -> Gauge !r
+  | Igauge_fn f -> Gauge (!f ())
+  | Ihist h -> Histogram (snap_hist h)
+
+let snapshot t =
+  Hashtbl.fold (fun name i acc -> (name, snap_instrument i) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  Option.map snap_instrument (Hashtbl.find_opt t.tbl name)
+
+let pp ppf (s : snapshot) =
+  let fmt_float v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.3f" v
+  in
+  Format.fprintf ppf "@[<v>%-44s %14s@," "metric" "value";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Format.fprintf ppf "%-44s %14d@," name c
+      | Gauge g -> Format.fprintf ppf "%-44s %14s@," name (fmt_float g)
+      | Histogram h ->
+          let q p =
+            match quantile h p with Some v -> fmt_float v | None -> "-"
+          in
+          Format.fprintf ppf
+            "%-44s %14s  (mean %s, p50<=%s, p95<=%s, max %s)@," name
+            (Printf.sprintf "%dx" h.h_count)
+            (if h.h_count = 0 then "-"
+             else fmt_float (h.h_sum /. float_of_int h.h_count))
+            (q 0.5) (q 0.95)
+            (if h.h_count = 0 then "-" else fmt_float h.h_max))
+    s;
+  Format.fprintf ppf "@]"
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "\"inf\""
+  else if v = neg_infinity then "\"-inf\""
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (s : snapshot) =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape name));
+      match v with
+      | Counter c -> Buffer.add_string b (string_of_int c)
+      | Gauge g -> Buffer.add_string b (json_float g)
+      | Histogram h ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":["
+               h.h_count (json_float h.h_sum) (json_float h.h_min)
+               (json_float h.h_max));
+          Array.iteri
+            (fun i (le, c) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "[%s,%d]" (json_float le) c))
+            h.h_buckets;
+          Buffer.add_string b "]}")
+    s;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Icounter r -> r := 0
+      | Igauge r -> r := 0.
+      | Igauge_fn _ -> ()
+      | Ihist h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.;
+          h.count <- 0;
+          h.minv <- nan;
+          h.maxv <- nan)
+    t.tbl

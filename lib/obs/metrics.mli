@@ -1,0 +1,91 @@
+(** A process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms every layer reports through, with one
+    [snapshot]/[pp]/[to_json] surface.
+
+    Naming scheme (see HACKING.md): dot-separated lowercase paths,
+    [<layer>.<instance>.<object>.<measure>] — e.g.
+    [peer.receiver.tdesc_cache.hits], [net.latency_ms.object],
+    [checker.cache.evictions]. Instruments are get-or-create by name:
+    asking twice for the same counter returns the same cell; asking for an
+    existing name with a different instrument kind raises
+    [Invalid_argument]. Gauge callbacks ({!gauge_fn}) replace a previous
+    callback under the same name, so a re-created subsystem can re-bind
+    its probes. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The shared process-wide registry, for callers that do not thread an
+    explicit one. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+
+val gauge_fn : t -> string -> (unit -> float) -> unit
+(** A probe evaluated at snapshot time — how cache counters and sizes are
+    surfaced without copying them on every update. *)
+
+type histogram
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are the finite upper bounds, strictly increasing; an
+    implicit overflow bucket catches the rest. Defaults to
+    {!default_buckets}. A histogram re-requested by name keeps its
+    original buckets. *)
+
+val default_buckets : float array
+(** Latency-flavoured: 0.25 … 2500 (ms). *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty. *)
+  h_max : float;  (** [nan] when empty. *)
+  h_buckets : (float * int) array;
+      (** (upper bound, count) per bucket; the last bound is [infinity]. *)
+}
+
+val quantile : hist_snapshot -> float -> float option
+(** Bucket-resolution estimate: the upper bound of the bucket holding the
+    p-quantile observation (the observed max for the overflow bucket).
+    [None] when the histogram is empty. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : t -> snapshot
+val find : t -> string -> value option
+(** Snapshot-time lookup of a single metric. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Aligned name/value table; histograms show count, mean and estimated
+    p50/p95/max. *)
+
+val to_json : snapshot -> string
+(** One JSON object keyed by metric name; histograms become
+    [{"count":…,"sum":…,"min":…,"max":…,"buckets":[[le,count],…]}]. *)
+
+val reset : t -> unit
+(** Zeroes counters, gauges and histograms; keeps registrations (including
+    gauge callbacks). *)

@@ -1,0 +1,46 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable start : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { buf = Array.make capacity None; start = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.start + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot and advance the window. *)
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.start + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,26 @@
+(** Fixed-capacity ring buffer: pushing past the capacity overwrites the
+    oldest element. Used to bound append-mostly logs (peer event logs)
+    that were previously unbounded lists. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Appends; silently displaces the oldest element when full. *)
+
+val dropped : 'a t -> int
+(** How many elements have been displaced since creation/[clear]. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first (chronological for a log). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Empties the buffer and resets {!dropped}. *)

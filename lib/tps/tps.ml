@@ -1,6 +1,7 @@
 open Pti_cts
 module Peer = Pti_core.Peer
 module Net = Pti_net.Net
+module Metrics = Pti_obs.Metrics
 
 type subscription = {
   sub_peer : Peer.t;
@@ -15,11 +16,23 @@ type t = {
   broker_peer : Peer.t;
   mutable publishers : Peer.t list;
   mutable subs : subscription list;
+  m_published : Metrics.counter;
+  m_fanout : Metrics.counter;
+  m_delivered : Metrics.counter;
 }
 
-let create ?mode ~net ~broker () =
-  let broker_peer = Peer.create ?mode ~net broker in
-  { net; broker_peer; publishers = []; subs = [] }
+let create ?mode ?metrics ~net ~broker () =
+  let broker_peer = Peer.create ?mode ?metrics ~net broker in
+  let m = match metrics with Some m -> m | None -> Peer.metrics broker_peer in
+  {
+    net;
+    broker_peer;
+    publishers = [];
+    subs = [];
+    m_published = Metrics.counter m "tps.published";
+    m_fanout = Metrics.counter m "tps.fanout";
+    m_delivered = Metrics.counter m "tps.delivered";
+  }
 
 let broker t = t.broker_peer
 
@@ -38,6 +51,7 @@ let subscribe t peer ~interest ?handler () =
         match !sub with
         | Some s when s.sub_active ->
             s.sub_received <- (from, value) :: s.sub_received;
+            Metrics.incr t.m_delivered;
             (match handler with Some h -> h ~from value | None -> ())
         | Some _ | None -> ())
   in
@@ -58,11 +72,15 @@ let unsubscribe t sub =
 
 let publish t publisher event =
   add_publisher t publisher;
+  Metrics.incr t.m_published;
   let src = Peer.address publisher in
   List.iter
     (fun sub ->
       let dst = Peer.address sub.sub_peer in
-      if not (String.equal dst src) then Peer.send_value publisher ~dst event)
+      if not (String.equal dst src) then begin
+        Metrics.incr t.m_fanout;
+        Peer.send_value publisher ~dst event
+      end)
     t.subs
 
 let subscriptions t = t.subs

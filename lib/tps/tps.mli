@@ -27,9 +27,13 @@ type subscription = {
       (** (publisher address, event) — most recent first. *)
 }
 
-val create : ?mode:Pti_core.Peer.mode -> net:Pti_core.Message.t Pti_net.Net.t ->
-  broker:string -> unit -> t
-(** Creates the broker peer at the given address. *)
+val create : ?mode:Pti_core.Peer.mode -> ?metrics:Pti_obs.Metrics.t ->
+  net:Pti_core.Message.t Pti_net.Net.t -> broker:string -> unit -> t
+(** Creates the broker peer at the given address. When [metrics] is given
+    the domain reports [tps.published] (publish calls), [tps.fanout]
+    (per-subscriber sends) and [tps.delivered] (conformant events recorded
+    on a subscription) counters there, and the broker peer shares the same
+    registry. *)
 
 val broker : t -> Pti_core.Peer.t
 

@@ -590,6 +590,73 @@ let test_clear_cache () =
   Alcotest.(check int) "checks keep counting" (s3.Checker.checks + 1)
     s4.Checker.checks
 
+(* Keyed invalidation (the clear_cache replacement): a new type
+   description must drop exactly the verdicts that depended on that name —
+   including verdicts that failed because the name did not resolve — and
+   nothing else. *)
+let test_keyed_invalidation () =
+  let tbl = Hashtbl.create 8 in
+  let put cd =
+    Hashtbl.replace tbl
+      (String.lowercase_ascii (Meta.qualified_name cd))
+      (Td.of_class cd)
+  in
+  let res name = Hashtbl.find_opt tbl (String.lowercase_ascii name) in
+  let checker = Checker.create ~resolver:res () in
+  let addr ns =
+    B.class_ ~ns:[ ns ] ~assembly:"t" "Addr"
+    |> B.field "street" Ty.String
+    |> B.build
+  in
+  let person ns addr_ns =
+    B.class_ ~ns:[ ns ] ~assembly:"t" "Person"
+    |> B.field "home" (Ty.Named (addr_ns ^ ".Addr"))
+    |> B.build
+  in
+  let interest = person "q" "q" and actual = person "p" "p" in
+  put (addr "q");
+  put interest;
+  put actual;
+  (* p.Addr is deliberately absent: the verdict fails on the miss. *)
+  let d cd = Td.of_class cd in
+  (match Checker.check checker ~actual:(d actual) ~interest:(d interest) with
+  | Checker.Not_conformant _ -> ()
+  | Checker.Conformant _ ->
+      Alcotest.fail "should not conform while p.Addr is unknown");
+  Alcotest.(check int) "unrelated name invalidates nothing" 0
+    (Checker.note_new_type checker "other.Thing");
+  let s1 = Checker.stats checker in
+  ignore (Checker.check checker ~actual:(d actual) ~interest:(d interest));
+  let s2 = Checker.stats checker in
+  Alcotest.(check int)
+    "verdict survives the unrelated arrival (no recompute)"
+    s1.Checker.top_computes s2.Checker.top_computes;
+  Alcotest.(check bool) "repeat is a cache hit" true
+    (s2.Checker.top_hits > s1.Checker.top_hits);
+  (* The missing dependency arrives: the stale negative verdict must go. *)
+  put (addr "p");
+  Alcotest.(check bool) "dependent verdict invalidated" true
+    (Checker.note_new_type checker "p.Addr" >= 1);
+  match Checker.check checker ~actual:(d actual) ~interest:(d interest) with
+  | Checker.Conformant _ -> ()
+  | Checker.Not_conformant _ ->
+      Alcotest.fail "must conform once p.Addr resolves"
+
+(* Capacity pressure: the verdict cache is a bounded LRU now. *)
+let test_cache_capacity () =
+  let checker = Checker.create ~cache_capacity:1 ~resolver () in
+  let a = desc Demo.social_person and i = desc Demo.news_person in
+  ignore (Checker.check checker ~actual:a ~interest:i);
+  (* A second distinct pair displaces the first (capacity 1)... *)
+  ignore
+    (Checker.check checker ~actual:(desc Demo.trap_person) ~interest:i);
+  ignore (Checker.check checker ~actual:a ~interest:i);
+  let s = Checker.stats checker in
+  Alcotest.(check int) "capacity reported" 1 s.Checker.cache_capacity;
+  Alcotest.(check bool) "bounded" true (s.Checker.cache_size <= 1);
+  let c = Checker.cache_counters checker in
+  Alcotest.(check bool) "evictions counted" true (c.Pti_obs.Lru.evictions >= 1)
+
 (* Property: conformance of the demo pair is stable under checker reuse
    and declaration-order permutations of the interest's methods. *)
 let prop_method_order_irrelevant =
@@ -665,6 +732,9 @@ let () =
             test_deep_explicit_chain;
           Alcotest.test_case "cache and stats" `Quick test_cache_and_stats;
           Alcotest.test_case "clear_cache" `Quick test_clear_cache;
+          Alcotest.test_case "keyed invalidation" `Quick
+            test_keyed_invalidation;
+          Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
           Alcotest.test_case "name rule" `Quick test_name_rule_direct;
           Alcotest.test_case "type reference conformance" `Quick
             test_primitive_ty_conformance;

@@ -141,6 +141,142 @@ let test_second_send_uses_cached_code () =
     (Stats.messages stats Stats.Tdesc_request);
   Alcotest.(check int) "both delivered" 2 !count
 
+(* The observability refactor, end to end: repeated-type traffic must show
+   rising cache-hit counters (through the shared metrics registry) while
+   generating zero additional tdesc/assembly bytes. *)
+let test_repeat_traffic_cache_counters () =
+  let module Workload = Pti_demo.Workload in
+  let module Checker = Pti_conformance.Checker in
+  let module Metrics = Pti_obs.Metrics in
+  let net = make_net () in
+  let metrics = Metrics.create () in
+  let sender = Peer.create ~net ~metrics "sender" in
+  let receiver = Peer.create ~net ~metrics "receiver" in
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  for i = 0 to 2 do
+    Peer.publish_assembly sender
+      (Workload.family ~index:i ~flavor:Workload.Conformant)
+  done;
+  let send index n =
+    let v =
+      Workload.make_person (Peer.registry sender) ~index
+        ~flavor:Workload.Conformant
+        ~name:(Printf.sprintf "p%d" n)
+        ~age:n
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  in
+  (* Warm-up: one object of each of the three types pulls code once. *)
+  for i = 0 to 2 do
+    send i i
+  done;
+  let s = Net.stats net in
+  let code_bytes () =
+    Stats.bytes s Stats.Tdesc_request
+    + Stats.bytes s Stats.Tdesc_reply
+    + Stats.bytes s Stats.Asm_request
+    + Stats.bytes s Stats.Asm_reply
+  in
+  let warm_bytes = code_bytes () in
+  let st0 = Checker.stats (Peer.checker receiver) in
+  (* Nine more objects over the same three types. *)
+  for n = 3 to 11 do
+    send (n mod 3) n
+  done;
+  Alcotest.(check int) "zero additional tdesc/assembly bytes" warm_bytes
+    (code_bytes ());
+  let st1 = Checker.stats (Peer.checker receiver) in
+  Alcotest.(check int) "no further verdict computes" st0.Checker.top_computes
+    st1.Checker.top_computes;
+  Alcotest.(check int) "every repeat hit the verdict cache"
+    (st0.Checker.top_hits + 9) st1.Checker.top_hits;
+  (* The same counters surface through the shared registry. *)
+  match Metrics.find metrics "peer.receiver.checker.top_hits" with
+  | Some (Metrics.Gauge v) ->
+      Alcotest.(check (float 0.)) "metrics gauge agrees"
+        (float_of_int st1.Checker.top_hits)
+        v
+  | _ -> Alcotest.fail "peer.receiver.checker.top_hits not registered"
+
+(* Regression for the over-invalidation bug: a new (unrelated) type
+   description arriving at the peer used to clear the whole verdict
+   cache; it must now leave unrelated verdicts in place. *)
+let test_new_type_preserves_unrelated_verdicts () =
+  let module Workload = Pti_demo.Workload in
+  let module Checker = Pti_conformance.Checker in
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let send index n =
+    let v =
+      Workload.make_person (Peer.registry sender) ~index
+        ~flavor:Workload.Conformant
+        ~name:(Printf.sprintf "p%d" n)
+        ~age:n
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  in
+  Peer.publish_assembly sender
+    (Workload.family ~index:0 ~flavor:Workload.Conformant);
+  send 0 0;
+  let st1 = Checker.stats (Peer.checker receiver) in
+  (* A brand-new type arrives (descriptions and all)... *)
+  Peer.publish_assembly sender
+    (Workload.family ~index:5 ~flavor:Workload.Conformant);
+  send 5 1;
+  (* ...and the old type's verdict must still be cached. *)
+  send 0 2;
+  let st2 = Checker.stats (Peer.checker receiver) in
+  Alcotest.(check int) "only the new type computed a verdict"
+    (st1.Checker.top_computes + 1)
+    st2.Checker.top_computes;
+  Alcotest.(check int) "nothing depended on the new names" 0
+    st2.Checker.invalidated;
+  Alcotest.(check bool) "the repeat was a cache hit" true
+    (st2.Checker.top_hits > st1.Checker.top_hits)
+
+(* The event log is a bounded ring now. *)
+let test_event_log_bounded () =
+  let net = make_net () in
+  let sender = Peer.create ~net "sender" in
+  let receiver = Peer.create ~net ~event_log_capacity:4 "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  for n = 1 to 6 do
+    let v =
+      Demo.make_social_person (Peer.registry sender)
+        ~name:(Printf.sprintf "p%d" n)
+        ~age:n
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  done;
+  let events = Peer.events receiver in
+  Alcotest.(check int) "ring keeps the last 4" 4 (List.length events);
+  Alcotest.(check int) "two displaced" 2 (Peer.events_dropped receiver);
+  (match events with
+  | Peer.Delivered { value; _ } :: _ ->
+      (* Chronological: the oldest kept event is delivery #3. *)
+      let name =
+        Proxy.invoke (Peer.registry receiver) value "getName" []
+      in
+      (match name with
+      | Value.Vstring s -> Alcotest.(check string) "oldest kept" "p3" s
+      | _ -> Alcotest.fail "getName")
+  | _ -> Alcotest.fail "expected Delivered events");
+  Peer.clear_events receiver;
+  Alcotest.(check int) "cleared" 0 (List.length (Peer.events receiver));
+  Alcotest.(check int) "dropped reset" 0 (Peer.events_dropped receiver)
+
 let test_eager_mode_ships_everything () =
   let net, sender, receiver = two_peers ~mode:Peer.Eager () in
   let count = ref 0 in
@@ -581,6 +717,15 @@ let () =
             test_request_timeout_degrades_to_rejection;
           Alcotest.test_case "primitive payloads reach the sink" `Quick
             test_primitive_payload_goes_to_sink;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "repeat traffic raises cache counters" `Quick
+            test_repeat_traffic_cache_counters;
+          Alcotest.test_case "new type keeps unrelated verdicts" `Quick
+            test_new_type_preserves_unrelated_verdicts;
+          Alcotest.test_case "event log is a bounded ring" `Quick
+            test_event_log_bounded;
         ] );
       ( "messages",
         [

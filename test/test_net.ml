@@ -273,6 +273,45 @@ let test_latency_percentiles () =
   | Some p95 -> Alcotest.(check bool) "p95 includes retries" true (p95 >= 50.)
   | None -> Alcotest.fail "no p95"
 
+(* Exact nearest-rank pins for the sorted-array memo: 100 known samples,
+   then a 101st that must invalidate the cached sort. *)
+let test_latency_percentile_pins () =
+  let s = Stats.create () in
+  (* 1..100 inserted out of order (evens first, then odds) so the test
+     actually exercises the sort. *)
+  for i = 1 to 100 do
+    Stats.record_latency s Stats.Object_msg
+      ~ms:(float_of_int (if i <= 50 then 2 * i else (2 * (i - 50)) - 1))
+  done;
+  let p q =
+    match Stats.latency_percentile s Stats.Object_msg q with
+    | Some v -> v
+    | None -> Alcotest.fail "no percentile"
+  in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1. (p 0.);
+  Alcotest.(check (float 1e-9)) "p50 (rank 50 of 0..99)" 51. (p 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 99. (p 0.99);
+  Alcotest.(check (float 1e-9)) "p100 = max" 100. (p 1.0);
+  (* Repeated queries hit the memo; a fresh sample must invalidate it. *)
+  Alcotest.(check (float 1e-9)) "repeat query stable" 51. (p 0.5);
+  Stats.record_latency s Stats.Object_msg ~ms:0.5;
+  Alcotest.(check (float 1e-9)) "new sample shifts the median" 50. (p 0.5);
+  Alcotest.(check (float 1e-9)) "new sample is the min" 0.5 (p 0.)
+
+let test_stats_metrics_registry () =
+  let m = Pti_obs.Metrics.create () in
+  let s = Stats.create ~metrics:m () in
+  Stats.record_latency s Stats.Object_msg ~ms:3.;
+  Stats.record s Stats.Object_msg ~bytes:42;
+  (match Pti_obs.Metrics.find m "net.latency_ms.object" with
+  | Some (Pti_obs.Metrics.Histogram h) ->
+      Alcotest.(check int) "histogram fed" 1 h.Pti_obs.Metrics.h_count
+  | _ -> Alcotest.fail "net.latency_ms.object missing");
+  match Pti_obs.Metrics.find m "net.bytes.object" with
+  | Some (Pti_obs.Metrics.Gauge v) ->
+      Alcotest.(check (float 0.)) "bytes gauge live" 42. v
+  | _ -> Alcotest.fail "net.bytes.object missing"
+
 let test_stats_merge_reset () =
   let a = Stats.create () and b = Stats.create () in
   Stats.record a Stats.Object_msg ~bytes:10;
@@ -340,6 +379,10 @@ let () =
           Alcotest.test_case "merge+reset" `Quick test_stats_merge_reset;
           Alcotest.test_case "latency percentiles" `Quick
             test_latency_percentiles;
+          Alcotest.test_case "percentile pins and memo" `Quick
+            test_latency_percentile_pins;
+          Alcotest.test_case "metrics registry" `Quick
+            test_stats_metrics_registry;
         ] );
       ( "trace",
         [
