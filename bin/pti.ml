@@ -625,6 +625,178 @@ let run_cmd =
        ~doc:"Instantiate a class from an assembly and invoke one method.")
     Term.(ret (const run $ file $ cls $ meth $ ctor_args $ meth_args))
 
+(* ------------------------------ cluster ---------------------------- *)
+
+let cluster_cmd =
+  let peers =
+    Arg.(value & opt int 4
+         & info [ "peers" ] ~docv:"N" ~doc:"Cluster size (at least 3).")
+  in
+  let factor =
+    Arg.(value & opt int 2
+         & info [ "factor" ] ~docv:"K"
+             ~doc:"Replication factor: total copies of each published \
+                   assembly, publisher included.")
+  in
+  let objects =
+    Arg.(value & opt int 20
+         & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects to transfer.")
+  in
+  let distinct =
+    Arg.(value & opt int 4
+         & info [ "distinct"; "k" ] ~docv:"K" ~doc:"Distinct event types.")
+  in
+  let rounds =
+    Arg.(value & opt int 3
+         & info [ "rounds" ] ~docv:"R"
+             ~doc:"Anti-entropy gossip rounds before the transfer phase.")
+  in
+  let crash_origin =
+    Arg.(value & flag
+         & info [ "crash-origin" ]
+             ~doc:"Partition the publishing peer from everyone after the \
+                   gossip phase: deliveries must go through mirror \
+                   failover.")
+  in
+  let eager =
+    Arg.(value & flag
+         & info [ "eager" ] ~doc:"Use the eager baseline instead of the \
+                                  optimistic protocol.")
+  in
+  let show_metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Also print the metrics-registry \
+                                    snapshot (cluster.* included).")
+  in
+  let run peers factor objects distinct rounds crash_origin eager
+      show_metrics =
+    if peers < 3 then `Error (false, "need --peers >= 3 (origin, relay, receiver)")
+    else if factor < 1 || factor > peers then
+      `Error (false, "need 1 <= --factor <= --peers")
+    else if not (validate_workload objects distinct 0) then
+      `Error (false, "need objects > 0 and distinct > 0")
+    else begin
+      let module Cluster = Pti_cluster.Cluster in
+      let module Node = Pti_cluster.Node in
+      let mode = if eager then Peer.Eager else Peer.Optimistic in
+      let metrics = Metrics.create () in
+      let net = Net.create ~seed:17L ~metrics () in
+      let addrs = List.init peers (fun i -> Printf.sprintf "p%d" (i + 1)) in
+      let c =
+        Cluster.create ~mode ~metrics ~factor ~request_timeout_ms:500.
+          ~probe_timeout_ms:250. ~net addrs
+      in
+      let origin = List.hd addrs in
+      let origin_node = Cluster.node c origin in
+      let families =
+        Array.init distinct (fun i ->
+            Workload.family ~index:i ~flavor:Workload.Conformant)
+      in
+      (* Which hosts end up holding replicas? Route the transfer through
+         hosts that do not, so --crash-origin exercises failover rather
+         than the local fast path. *)
+      let holders =
+        Array.to_list families
+        |> List.concat_map (fun asm ->
+               Node.placement origin_node
+                 ~assembly:asm.Assembly.asm_name (factor - 1))
+        |> List.sort_uniq compare
+      in
+      let spare = List.filter (fun a -> a <> origin && not (List.mem a holders)) addrs in
+      let relay, receiver =
+        match (spare, List.rev addrs) with
+        | a :: b :: _, _ -> (a, b)
+        | [ a ], last :: _ when last <> a -> (a, last)
+        | _, last :: prev :: _ -> (prev, last)
+        | _ -> assert false
+      in
+      Array.iter (fun asm -> Node.publish origin_node asm) families;
+      (* Prime the relay: one object per family from the origin loads the
+         code there and records the origin's advertised paths. *)
+      let relay_peer = Cluster.peer c relay in
+      Peer.install_assembly relay_peer (Demo.news_assembly ());
+      Peer.register_interest relay_peer ~interest:Demo.news_person
+        (fun ~from:_ _ -> ());
+      Array.iteri
+        (fun i _ ->
+          let v =
+            Workload.make_person
+              (Peer.registry (Cluster.peer c origin))
+              ~index:i ~flavor:Workload.Conformant
+              ~name:(Printf.sprintf "seed%d" i) ~age:i
+          in
+          Peer.send_value (Cluster.peer c origin) ~dst:relay v)
+        families;
+      Cluster.run c;
+      Cluster.run_rounds c rounds;
+      if crash_origin then Cluster.crash c origin;
+      let receiver_peer = Cluster.peer c receiver in
+      Peer.install_assembly receiver_peer (Demo.news_assembly ());
+      let delivered = ref 0 in
+      Peer.register_interest receiver_peer ~interest:Demo.news_person
+        (fun ~from:_ _ -> incr delivered);
+      for n = 0 to objects - 1 do
+        let index = n mod distinct in
+        let v =
+          Workload.make_person (Peer.registry relay_peer) ~index
+            ~flavor:Workload.Conformant
+            ~name:(Printf.sprintf "p%d" n) ~age:n
+        in
+        Peer.send_value relay_peer ~dst:receiver v;
+        Net.run net
+      done;
+      let rejected =
+        List.length
+          (List.filter
+             (function Peer.Rejected _ -> true | _ -> false)
+             (Peer.events receiver_peer))
+      in
+      Format.printf
+        "cluster: peers=%d factor=%d rounds=%d mode=%s crash-origin=%b@."
+        peers factor rounds
+        (if eager then "eager" else "optimistic")
+        crash_origin;
+      Format.printf "roles: origin=%s relay=%s receiver=%s holders=[%s]@."
+        origin relay receiver (String.concat ", " holders);
+      Format.printf
+        "delivered=%d/%d rejected=%d completion=%.1f ms@." !delivered objects
+        rejected (Net.now_ms net);
+      Format.printf
+        "receiver: fetch attempts=%d retries=%d failovers=%d known \
+         mirrors(first family)=%d@."
+        (Peer.fetch_attempts receiver_peer)
+        (Peer.fetch_retries receiver_peer)
+        (Peer.fetch_failovers receiver_peer)
+        (List.length
+           (Node.known_mirrors (Cluster.node c receiver)
+              families.(0).Assembly.asm_name));
+      Format.printf "receiver membership: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (a, st) ->
+                Printf.sprintf "%s=%s" a (Node.status_name st))
+              (Node.members (Cluster.node c receiver))));
+      let total f = List.fold_left (fun acc n -> acc + f n) 0 (Cluster.nodes c) in
+      Format.printf "gossip: rounds=%d digest-bytes=%d@."
+        (total Node.gossip_rounds) (total Node.digest_bytes);
+      Format.printf "%a@." Stats.pp (Net.stats net);
+      if show_metrics then
+        Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
+      `Ok (if !delivered = objects then 0 else 1)
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a replicated N-peer scenario: gossip spreads type \
+             descriptions and mirror paths, assemblies are placed with \
+             factor-K replication, and (with $(b,--crash-origin)) \
+             deliveries survive the publisher's crash through mirror \
+             failover. Exits 1 unless every object is delivered.")
+    Term.(
+      ret
+        (const run $ peers $ factor $ objects $ distinct $ rounds
+        $ crash_origin $ eager $ show_metrics))
+
 (* ------------------------------- demo ------------------------------ *)
 
 let demo_cmd =
@@ -665,5 +837,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
-            protocol_cmd; stats_cmd; demo_cmd;
+            protocol_cmd; stats_cmd; cluster_cmd; demo_cmd;
           ]))

@@ -1,0 +1,62 @@
+module Net = Pti_net.Net
+module Peer = Pti_core.Peer
+module Message = Pti_core.Message
+
+type t = {
+  net : Message.t Net.t;
+  nodes : (string * Node.t) list;  (* creation order *)
+}
+
+let create ?mode ?codec ?metrics ?(factor = 2) ?(seed = 7L)
+    ?request_timeout_ms ?fetch_retries ?fetch_backoff_ms ?probe_timeout_ms
+    ~net addrs =
+  if addrs = [] then invalid_arg "Cluster.create: no addresses";
+  let nodes =
+    List.mapi
+      (fun i addr ->
+        let peer =
+          Peer.create ?mode ?codec ?metrics ?request_timeout_ms
+            ?fetch_retries ?fetch_backoff_ms ~net addr
+        in
+        (* Distinct deterministic streams per node: same cluster seed,
+           different partner choices. *)
+        let node_seed = Int64.add seed (Int64.of_int ((i + 1) * 7919)) in
+        (addr, Node.create ~factor ~seed:node_seed ?probe_timeout_ms peer))
+      addrs
+  in
+  let t = { net; nodes } in
+  (* Common bootstrap: everyone starts knowing the full roster. *)
+  List.iter (fun (_, n) -> Node.join n addrs) nodes;
+  t
+
+let net t = t.net
+let addresses t = List.map fst t.nodes
+let nodes t = List.map snd t.nodes
+
+let node t addr =
+  match List.assoc_opt addr t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Cluster.node: unknown address %S" addr)
+
+let peer t addr = Node.peer (node t addr)
+
+let run t = Net.run t.net
+
+let run_rounds t n =
+  for _ = 1 to n do
+    List.iter (fun (_, node) -> Node.tick node) t.nodes;
+    Net.run t.net
+  done
+
+(* A crash is a partition from everyone at once: the host stays
+   registered on the network (in-flight and future traffic to it is
+   dropped) and the survivors' failure detectors notice on their own. *)
+let crash t addr =
+  List.iter
+    (fun (other, _) -> if other <> addr then Net.partition t.net addr other)
+    t.nodes
+
+let heal t addr =
+  List.iter
+    (fun (other, _) -> if other <> addr then Net.heal t.net addr other)
+    t.nodes

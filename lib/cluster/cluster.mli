@@ -1,0 +1,45 @@
+(** A harness over a set of {!Node}s sharing one simulated network —
+    what the CLI, the E9 bench and the integration tests drive.
+
+    The harness owns nothing the nodes do not: it creates one peer +
+    node per address, bootstraps membership with the full roster, and
+    offers round-driving and whole-host crash/heal conveniences. *)
+
+type t
+
+val create : ?mode:Pti_core.Peer.mode -> ?codec:Pti_serial.Envelope.codec ->
+  ?metrics:Pti_obs.Metrics.t -> ?factor:int -> ?seed:int64 ->
+  ?request_timeout_ms:float -> ?fetch_retries:int ->
+  ?fetch_backoff_ms:float -> ?probe_timeout_ms:float ->
+  net:Pti_core.Message.t Pti_net.Net.t -> string list -> t
+(** One peer + node per address, registered on [net]. [factor] is the
+    replication factor of every {!Node.publish} (default 2); [seed]
+    derives each node's deterministic gossip-partner stream; the
+    remaining knobs pass through to {!Pti_core.Peer.create} /
+    {!Node.create}.
+    @raise Invalid_argument on an empty address list. *)
+
+val net : t -> Pti_core.Message.t Pti_net.Net.t
+val addresses : t -> string list
+(** Creation order. *)
+
+val nodes : t -> Node.t list
+val node : t -> string -> Node.t
+(** @raise Invalid_argument for an unknown address. *)
+
+val peer : t -> string -> Pti_core.Peer.t
+
+val run : t -> unit
+(** Run the shared simulation to quiescence. *)
+
+val run_rounds : t -> int -> unit
+(** [n] gossip rounds: every node {!Node.tick}s, then the network runs
+    to quiescence; repeat. *)
+
+val crash : t -> string -> unit
+(** Partition the address from every other cluster member — in-flight
+    messages included. Survivors degrade it to suspect, then dead, as
+    their probes go unanswered. *)
+
+val heal : t -> string -> unit
+(** Undo {!crash}; the healed host is re-adopted on first contact. *)

@@ -1,0 +1,29 @@
+(** Wire codec of the anti-entropy gossip exchange.
+
+    One message shape serves all three legs of the push-pull protocol
+    (see {!Node}): the opening {e digest} summarises what the sender
+    knows ([g_types], [g_paths], [g_members], no [g_descs]); the
+    {e digest-reply} repeats the responder's own summary and attaches
+    the full type descriptions the initiator reported missing; the
+    closing {e delta} carries only descriptions. The [kind] field of
+    {!Pti_core.Message.Gossip} tells the legs apart. *)
+
+type msg = {
+  g_token : int;
+      (** Exchange correlator: the initiator stamps its send time under
+          this token and turns the reply into an RTT observation. *)
+  g_types : (string * string) list;
+      (** Known type descriptions: (qualified name, GUID rendering). *)
+  g_paths : (string * string) list;
+      (** Known download paths: (path, assembly name). *)
+  g_members : string list;  (** Known cluster member addresses. *)
+  g_descs : string list;  (** Full type-description XML documents. *)
+}
+
+val empty : msg
+
+val encode : msg -> string
+(** @raise Invalid_argument when an atom contains a tab or newline. *)
+
+val decode : string -> (msg, string) result
+(** Total: malformed input yields [Error]. [decode (encode m) = Ok m]. *)

@@ -1,0 +1,376 @@
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+module Stats = Pti_net.Stats
+module Metrics = Pti_obs.Metrics
+module Splitmix = Pti_util.Splitmix
+module Guid = Pti_util.Guid
+module S = Pti_util.Strutil
+module Td = Pti_typedesc.Type_description
+module Assembly = Pti_cts.Assembly
+module Assembly_xml = Pti_serial.Assembly_xml
+module Peer = Pti_core.Peer
+module Repository = Pti_core.Repository
+
+let log_src = Logs.Src.create "pti.cluster" ~doc:"Cluster membership and gossip"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type status = Alive | Suspect | Dead
+
+let status_name = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+type member = { mutable m_status : status }
+
+type t = {
+  peer : Peer.t;
+  addr : string;
+  factor : int;
+  probe_timeout_ms : float;
+  rng : Splitmix.t;
+  (* This node's own private observations — RTT estimates stay local,
+     the way they would on a real network. *)
+  stats : Stats.t;
+  members : (string, member) Hashtbl.t;
+  mirrors : (string, string) Hashtbl.t;  (* download path -> assembly *)
+  inflight : (int, float * string) Hashtbl.t;  (* token -> sent_at, partner *)
+  mutable next_token : int;
+  mc_rounds : Metrics.counter;
+  mc_digest_bytes : Metrics.counter;
+}
+
+let peer t = t.peer
+let address t = t.addr
+let replication_factor t = t.factor
+let stats t = t.stats
+let rtt t addr = Stats.rtt t.stats ~peer:addr
+
+let status t addr =
+  Option.map (fun m -> m.m_status) (Hashtbl.find_opt t.members addr)
+
+let members t =
+  Hashtbl.fold (fun a m acc -> (a, m.m_status) :: acc) t.members []
+  |> List.sort compare
+
+let alive t =
+  Hashtbl.fold
+    (fun a m acc -> if m.m_status = Alive then a :: acc else acc)
+    t.members []
+  |> List.sort compare
+
+let mark t addr st =
+  if addr <> t.addr then
+    match Hashtbl.find_opt t.members addr with
+    | Some m -> m.m_status <- st
+    | None -> Hashtbl.replace t.members addr { m_status = st }
+
+let join t addrs = List.iter (fun a -> mark t a Alive) addrs
+
+(* Direct contact is the only resurrection: gossip *about* a peer never
+   overrides what this node observed itself, or a crashed peer would be
+   talked back to life by second-hand rumours. *)
+let saw_traffic_from t addr = mark t addr Alive
+
+let note_member t addr =
+  if addr <> t.addr && not (Hashtbl.mem t.members addr) then
+    Hashtbl.replace t.members addr { m_status = Alive }
+
+let degrade t addr =
+  match Hashtbl.find_opt t.members addr with
+  | None -> ()
+  | Some m -> (
+      match m.m_status with
+      | Alive ->
+          Log.debug (fun f -> f "[%s] suspects %s" t.addr addr);
+          m.m_status <- Suspect
+      | Suspect ->
+          Log.debug (fun f -> f "[%s] declares %s dead" t.addr addr);
+          m.m_status <- Dead
+      | Dead -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Mirror knowledge                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let learn_path t ~path ~asm =
+  if not (Hashtbl.mem t.mirrors path) then Hashtbl.replace t.mirrors path asm
+
+(* Everything this node serves itself is mirror knowledge too. *)
+let sync_own_paths t =
+  List.iter
+    (fun (path, asm) -> learn_path t ~path ~asm)
+    (Repository.entries (Peer.repository t.peer))
+
+let known_mirrors t asm =
+  sync_own_paths t;
+  Hashtbl.fold
+    (fun p a acc -> if S.equal_ci a asm then p :: acc else acc)
+    t.mirrors []
+  |> List.sort compare
+
+let mirror_table t =
+  sync_own_paths t;
+  Hashtbl.fold (fun p a acc -> (p, a) :: acc) t.mirrors []
+  |> List.sort compare
+
+let path_universe t = mirror_table t
+
+(* Candidate ranking for the peer's failover pipeline. The advertised
+   path leads as long as its host is not known to be in trouble (so the
+   default topology behaves exactly as before the cluster existed), and
+   drops to last resort once it is; every other known mirror is ranked
+   by membership status, then observed RTT, then path order. *)
+let rank t ~assembly ~advertised =
+  let weight p =
+    match Repository.parse_path p with
+    | None -> (2, infinity, p)
+    | Some (host, _) ->
+        let sw =
+          match status t host with
+          | Some Alive | None -> 0
+          | Some Suspect -> 1
+          | Some Dead -> 2
+        in
+        let ms =
+          match Stats.rtt t.stats ~peer:host with
+          | Some ms -> ms
+          | None -> infinity
+        in
+        (sw, ms, p)
+  in
+  let others =
+    known_mirrors t assembly
+    |> List.filter (fun p -> not (String.equal p advertised))
+    |> List.map weight |> List.sort compare
+    |> List.map (fun (_, _, p) -> p)
+  in
+  let advertised_host_ok =
+    match Repository.parse_path advertised with
+    | None -> true
+    | Some (host, _) -> (
+        match status t host with
+        | Some Suspect | Some Dead -> false
+        | Some Alive | None -> true)
+  in
+  if advertised_host_ok then advertised :: others else others @ [ advertised ]
+
+(* ---------------------------------------------------------------- *)
+(* Anti-entropy exchange                                              *)
+(* ---------------------------------------------------------------- *)
+
+let lc = String.lowercase_ascii
+
+let own_summary t ~token ~descs =
+  {
+    Digest.g_token = token;
+    g_types =
+      List.map
+        (fun (n, g) -> (n, Guid.to_string g))
+        (Peer.known_descriptions t.peer);
+    g_paths = path_universe t;
+    g_members =
+      t.addr
+      :: (Hashtbl.fold
+            (fun a m acc -> if m.m_status <> Dead then a :: acc else acc)
+            t.members []
+         |> List.sort compare);
+    g_descs = descs;
+  }
+
+(* Descriptions we can serve that the other side's digest does not
+   mention. *)
+let descs_missing_from t (their_types : (string * string) list) =
+  let theirs = Hashtbl.create 32 in
+  List.iter (fun (n, _) -> Hashtbl.replace theirs (lc n) ()) their_types;
+  Peer.known_descriptions t.peer
+  |> List.filter_map (fun (n, _) ->
+         if Hashtbl.mem theirs (lc n) then None
+         else
+           Option.map Td.to_xml_string (Peer.local_description t.peer n))
+
+let absorb_summary t (m : Digest.msg) =
+  List.iter (fun a -> note_member t a) m.Digest.g_members;
+  List.iter (fun (path, asm) -> learn_path t ~path ~asm) m.Digest.g_paths;
+  List.iter
+    (fun xml ->
+      match Td.of_xml_string xml with
+      | Ok d -> Peer.learn_description t.peer d
+      | Error _ -> ())
+    m.Digest.g_descs
+
+let send_gossip t ~dst ~kind body =
+  Metrics.incr ~by:(String.length body) t.mc_digest_bytes;
+  Peer.send_gossip t.peer ~dst ~kind ~body
+
+let on_gossip t ~src ~kind ~body =
+  saw_traffic_from t src;
+  match kind with
+  | "digest" -> (
+      match Digest.decode body with
+      | Error e -> Log.warn (fun f -> f "[%s] bad digest from %s: %s" t.addr src e)
+      | Ok m ->
+          absorb_summary t m;
+          let reply =
+            own_summary t ~token:m.Digest.g_token
+              ~descs:(descs_missing_from t m.Digest.g_types)
+          in
+          send_gossip t ~dst:src ~kind:"digest-reply" (Digest.encode reply))
+  | "digest-reply" -> (
+      match Digest.decode body with
+      | Error e ->
+          Log.warn (fun f -> f "[%s] bad digest-reply from %s: %s" t.addr src e)
+      | Ok m ->
+          (match Hashtbl.find_opt t.inflight m.Digest.g_token with
+          | Some (sent_at, partner) when String.equal partner src ->
+              Hashtbl.remove t.inflight m.Digest.g_token;
+              Stats.record_rtt t.stats ~peer:src
+                ~ms:(Sim.now (Net.sim (Peer.net t.peer)) -. sent_at)
+          | _ -> ());
+          absorb_summary t m;
+          (* Third leg: push back whatever the responder still lacks. *)
+          let delta = descs_missing_from t m.Digest.g_types in
+          if delta <> [] then
+            send_gossip t ~dst:src ~kind:"delta"
+              (Digest.encode
+                 { Digest.empty with g_token = m.Digest.g_token; g_descs = delta }))
+  | "delta" -> (
+      match Digest.decode body with
+      | Error e -> Log.warn (fun f -> f "[%s] bad delta from %s: %s" t.addr src e)
+      | Ok m -> absorb_summary t m)
+  | "replica" -> (
+      (* A factor-k placement push: serve the bytes under our own path
+         (we need not load the code to mirror it). *)
+      match Assembly_xml.of_string body with
+      | Error e -> Log.warn (fun f -> f "[%s] bad replica from %s: %s" t.addr src e)
+      | Ok asm ->
+          let name = asm.Assembly.asm_name in
+          let path = Repository.path_for ~host:t.addr ~assembly:name in
+          Peer.serve_assembly t.peer ~path asm;
+          learn_path t ~path ~asm:name)
+  | other -> Log.warn (fun f -> f "[%s] unknown gossip kind %S from %s" t.addr other src)
+
+let fresh_token t =
+  let k = t.next_token in
+  t.next_token <- k + 1;
+  k
+
+let tick t =
+  Metrics.incr t.mc_rounds;
+  let partners =
+    Hashtbl.fold
+      (fun a m acc -> if m.m_status <> Dead then a :: acc else acc)
+      t.members []
+    |> List.sort compare
+  in
+  (* A node that believes everyone dead has nothing better to do than
+     keep probing them — that is also how a healed partition is
+     rediscovered (direct traffic is the only resurrection). *)
+  let partners =
+    match partners with
+    | [] ->
+        Hashtbl.fold (fun a _ acc -> a :: acc) t.members []
+        |> List.sort compare
+    | ps -> ps
+  in
+  match partners with
+  | [] -> ()
+  | _ ->
+      let partner = Splitmix.pick t.rng (Array.of_list partners) in
+      let token = fresh_token t in
+      let sim = Net.sim (Peer.net t.peer) in
+      Hashtbl.replace t.inflight token (Sim.now sim, partner);
+      let digest = own_summary t ~token ~descs:[] in
+      send_gossip t ~dst:partner ~kind:"digest" (Digest.encode digest);
+      (* Failure detection: an exchange that never completes degrades the
+         partner (alive -> suspect -> dead). One-shot timer, so the
+         simulation still quiesces between rounds. *)
+      Sim.schedule sim ~delay:t.probe_timeout_ms (fun () ->
+          if Hashtbl.mem t.inflight token then begin
+            Hashtbl.remove t.inflight token;
+            degrade t partner
+          end)
+
+(* ---------------------------------------------------------------- *)
+(* Replicated publication                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* Rendezvous (highest-random-weight) hashing: every node computes the
+   same deterministic preference order for an assembly's replicas, with
+   no coordination and minimal reshuffling on membership change. *)
+let placement t ~assembly k =
+  Hashtbl.fold
+    (fun a m acc -> if m.m_status <> Dead then a :: acc else acc)
+    t.members []
+  |> List.map (fun a -> (Guid.hash (Guid.of_name (a ^ "|" ^ assembly)), a))
+  |> List.sort (fun (sa, aa) (sb, ab) -> compare (sb, ab) (sa, aa))
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd
+
+let publish t asm =
+  Peer.publish_assembly t.peer asm;
+  let name = asm.Assembly.asm_name in
+  learn_path t ~path:(Repository.path_for ~host:t.addr ~assembly:name)
+    ~asm:name;
+  let replicas = placement t ~assembly:name (t.factor - 1) in
+  List.iter
+    (fun dst ->
+      Log.debug (fun f -> f "[%s] replicating %s to %s" t.addr name dst);
+      Peer.send_gossip t.peer ~dst ~kind:"replica"
+        ~body:(Assembly_xml.to_string asm);
+      (* The push is assumed to land; gossip repairs the record if the
+         mirror never materialises. *)
+      learn_path t ~path:(Repository.path_for ~host:dst ~assembly:name)
+        ~asm:name)
+    replicas
+
+(* ---------------------------------------------------------------- *)
+(* Introspection                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let gossip_rounds t = Metrics.counter_value t.mc_rounds
+let digest_bytes t = Metrics.counter_value t.mc_digest_bytes
+
+(* ---------------------------------------------------------------- *)
+(* Construction                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let create ?(factor = 2) ?(seed = 17L) ?(probe_timeout_ms = 5_000.) peer =
+  if factor < 1 then invalid_arg "Node.create: factor must be >= 1";
+  let addr = Peer.address peer in
+  let m = Peer.metrics peer in
+  let pfx name = Printf.sprintf "cluster.%s.%s" addr name in
+  let t =
+    {
+      peer;
+      addr;
+      factor;
+      probe_timeout_ms;
+      rng = Splitmix.create seed;
+      stats = Stats.create ();
+      members = Hashtbl.create 8;
+      mirrors = Hashtbl.create 16;
+      inflight = Hashtbl.create 8;
+      next_token = 0;
+      mc_rounds = Metrics.counter m (pfx "gossip.rounds");
+      mc_digest_bytes = Metrics.counter m (pfx "digest.bytes");
+    }
+  in
+  Metrics.gauge_fn m (pfx "members.alive") (fun () ->
+      float_of_int (List.length (alive t)));
+  Metrics.gauge_fn m (pfx "members.total") (fun () ->
+      float_of_int (Hashtbl.length t.members));
+  Metrics.gauge_fn m (pfx "mirrors.known") (fun () ->
+      sync_own_paths t;
+      float_of_int (Hashtbl.length t.mirrors));
+  Metrics.gauge_fn m (pfx "replication.factor") (fun () ->
+      float_of_int t.factor);
+  Metrics.gauge_fn m (pfx "fetch.failovers") (fun () ->
+      float_of_int (Peer.fetch_failovers peer));
+  Peer.set_gossip_handler peer (fun ~src ~kind ~body ->
+      on_gossip t ~src ~kind ~body);
+  Peer.set_mirror_provider peer (fun ~assembly ~advertised ->
+      rank t ~assembly ~advertised);
+  sync_own_paths t;
+  t

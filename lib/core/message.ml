@@ -19,6 +19,7 @@ type t =
       result : string option;
       error : string option;
     }
+  | Gossip of { kind : string; body : string }
 
 let category = function
   | Obj_msg _ -> Pti_net.Stats.Object_msg
@@ -28,6 +29,7 @@ let category = function
   | Asm_reply _ -> Pti_net.Stats.Asm_reply
   | Invoke_request _ -> Pti_net.Stats.Invoke_request
   | Invoke_reply _ -> Pti_net.Stats.Invoke_reply
+  | Gossip _ -> Pti_net.Stats.Gossip
 
 let framing = 16
 
@@ -48,6 +50,7 @@ let size = function
       framing + 8 + String.length meth + String.length args
   | Invoke_reply { result; error; _ } ->
       framing + opt_len result + opt_len error
+  | Gossip { kind; body } -> framing + String.length kind + String.length body
 
 let describe = function
   | Obj_msg { envelope; tdescs; assemblies } ->
@@ -70,3 +73,5 @@ let describe = function
       Printf.sprintf "invoke-reply%s#%d"
         (match error with Some e -> "!" ^ e | None -> "")
         token
+  | Gossip { kind; body } ->
+      Printf.sprintf "gossip(%s,%dB)" kind (String.length body)

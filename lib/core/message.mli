@@ -27,6 +27,11 @@ type t =
       result : string option;  (** Envelope XML of the return value. *)
       error : string option;
     }
+  | Gossip of { kind : string; body : string }
+      (** Cluster background traffic ([pti_cluster]): membership
+          announcements, anti-entropy digests, replica pushes. [kind]
+          discriminates; [body] is the codec-specific payload. The core
+          peer only routes these — semantics live in the cluster layer. *)
 
 val category : t -> Pti_net.Stats.category
 

@@ -44,6 +44,9 @@ type event_counters = {
   mc_rejected : Metrics.counter;
   mc_decode_failed : Metrics.counter;
   mc_load_failed : Metrics.counter;
+  mc_fetch_attempts : Metrics.counter;
+  mc_fetch_retries : Metrics.counter;
+  mc_fetch_failovers : Metrics.counter;
 }
 
 type t = {
@@ -70,6 +73,16 @@ type t = {
   event_log : event Ring.t;
   metrics : Metrics.t;
   evt_ctrs : event_counters;
+  request_timeout_ms : float;
+  fetch_retries : int;  (* extra attempts per download path *)
+  fetch_backoff_ms : float;  (* base of the exponential retry backoff *)
+  (* Cluster hooks: ranked alternative download paths for an assembly,
+     and the recipient of Gossip messages. The core peer stays ignorant
+     of membership and replication — pti_cluster installs both. *)
+  mutable mirror_provider :
+    (assembly:string -> advertised:string -> string list) option;
+  mutable gossip_handler :
+    (src:string -> kind:string -> body:string -> unit) option;
 }
 
 let address t = t.addr
@@ -85,6 +98,10 @@ let events_dropped t = Ring.dropped t.event_log
 let tdesc_cache_size t = Lru.Str.length t.tdesc_cache
 let tdesc_cache_counters t = Lru.Str.counters t.tdesc_cache
 let exported_count t = Hashtbl.length t.exported
+let repository t = t.repo
+let fetch_attempts t = Metrics.counter_value t.evt_ctrs.mc_fetch_attempts
+let fetch_retries t = Metrics.counter_value t.evt_ctrs.mc_fetch_retries
+let fetch_failovers t = Metrics.counter_value t.evt_ctrs.mc_fetch_failovers
 let run t = Net.run t.net
 
 let log_event t e =
@@ -150,11 +167,11 @@ let send t ~dst msg =
    on an unreliable lossy link, or the peer is gone), the continuation
    fires with [None] so the reception pipeline degrades to a rejection
    instead of stalling forever. *)
-let request_timeout_ms = 10_000.
+let default_request_timeout_ms = 10_000.
 
 let arm_timeout t conts token =
   let cancel =
-    Sim.schedule_cancellable (Net.sim t.net) ~delay:request_timeout_ms
+    Sim.schedule_cancellable (Net.sim t.net) ~delay:t.request_timeout_ms
       (fun () ->
         match Hashtbl.find_opt conts token with
         | None -> ()
@@ -211,6 +228,71 @@ let ensure_descs t ~from names k =
   List.iter need names;
   check_done ()
 
+(* Candidate download paths for an assembly: the cluster's mirror
+   provider when installed (it ranks by liveness and observed latency,
+   and positions the advertised path per policy), else just the
+   advertised path. Order-preserving dedup; the advertised path is
+   always a candidate of last resort. *)
+let fetch_candidates t ~asm_name ~advertised =
+  let raw =
+    match t.mirror_provider with
+    | None -> [ advertised ]
+    | Some provider ->
+        let ranked = provider ~assembly:asm_name ~advertised in
+        if List.exists (String.equal advertised) ranked then ranked
+        else ranked @ [ advertised ]
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    raw
+
+(* One assembly through the failover pipeline: try each candidate path
+   in turn, retrying a candidate [fetch_retries] times under exponential
+   backoff before failing over to the next. A local mirror copy short-
+   circuits the network entirely. [k] gets the source path alongside the
+   assembly so the caller can remember where the bytes actually came
+   from. *)
+let fetch_assembly_failover t ~asm_name ~advertised k =
+  match Repository.find_by_name t.repo asm_name with
+  | Some (path, asm) -> k (Some (path, asm))
+  | None ->
+      let candidates = fetch_candidates t ~asm_name ~advertised in
+      let rec try_candidate ~first = function
+        | [] -> k None
+        | path :: rest ->
+            if not first then Metrics.incr t.evt_ctrs.mc_fetch_failovers;
+            let host =
+              match Repository.parse_path path with
+              | Some (host, _) -> host
+              | None -> (* malformed path: the sender-side convention *) t.addr
+            in
+            let rec attempt n =
+              Metrics.incr t.evt_ctrs.mc_fetch_attempts;
+              request_assembly t ~host ~path (function
+                | Some asm ->
+                    Lru.Str.put t.known_paths (lc asm_name) path;
+                    k (Some (path, asm))
+                | None ->
+                    if n < t.fetch_retries then begin
+                      Metrics.incr t.evt_ctrs.mc_fetch_retries;
+                      let delay =
+                        t.fetch_backoff_ms *. (2. ** float_of_int n)
+                      in
+                      Sim.schedule (Net.sim t.net) ~delay (fun () ->
+                          attempt (n + 1))
+                    end
+                    else try_candidate ~first:false rest)
+            in
+            attempt 0
+      in
+      try_candidate ~first:true candidates
+
 exception Load_error of string * string  (* assembly, reason *)
 
 let load_assembly t asm =
@@ -249,15 +331,10 @@ let ensure_assemblies t (env : Envelope.t) k =
     end
   in
   let fetch (asm_name, path) =
-    let host =
-      match Repository.parse_path path with
-      | Some (host, _) -> host
-      | None -> (* malformed path: try the sender-side convention *) t.addr
-    in
     incr outstanding;
-    request_assembly t ~host ~path (fun resp ->
+    fetch_assembly_failover t ~asm_name ~advertised:path (fun resp ->
         (match resp with
-        | Some asm -> (
+        | Some (_, asm) -> (
             try load_assembly t asm with
             | Load_error (a, reason) ->
                 log_event t (Load_failed { assembly = a; reason });
@@ -530,6 +607,11 @@ let handle t ~src msg =
                       receive_value_envelope t ~from:src env (function
                         | Ok v -> k (Ok v)
                         | Error reason -> k (Error reason))))))
+  | Message.Gossip { kind; body } -> (
+      (* Routed, not interpreted: semantics live in pti_cluster. *)
+      match t.gossip_handler with
+      | Some f -> f ~src ~kind ~body
+      | None -> ())
 
 (* ---------------------------------------------------------------- *)
 (* Construction                                                       *)
@@ -577,12 +659,17 @@ let bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker =
     mc_rejected = Metrics.counter m (p "rejected");
     mc_decode_failed = Metrics.counter m (p "decode_failed");
     mc_load_failed = Metrics.counter m (p "load_failed");
+    mc_fetch_attempts = Metrics.counter m (p "fetch.attempts");
+    mc_fetch_retries = Metrics.counter m (p "fetch.retries");
+    mc_fetch_failovers = Metrics.counter m (p "fetch.failovers");
   }
 
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(config = Config.strict) ?metrics:m
     ?(tdesc_cache_capacity = 512) ?(known_paths_capacity = 512)
-    ?(event_log_capacity = 4096) ?checker_cache_capacity ~net:network addr =
+    ?(event_log_capacity = 4096) ?checker_cache_capacity
+    ?(request_timeout_ms = default_request_timeout_ms)
+    ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ~net:network addr =
   let reg = Registry.create () in
   let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
   let resolver name =
@@ -623,6 +710,11 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       event_log;
       metrics = m;
       evt_ctrs;
+      request_timeout_ms;
+      fetch_retries;
+      fetch_backoff_ms;
+      mirror_provider = None;
+      gossip_handler = None;
     }
   in
   Net.add_host network addr ~handler:(fun ~net:_ ~src msg -> handle t ~src msg);
@@ -637,6 +729,45 @@ let publish_assembly t asm =
   Lru.Str.put t.known_paths (lc asm.Assembly.asm_name) path
 
 let install_assembly t asm = Assembly.load t.reg asm
+
+let serve_assembly t ?path asm =
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+        Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
+  in
+  Repository.add t.repo ~path asm
+
+(* ---------------------------------------------------------------- *)
+(* Cluster hooks                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let set_mirror_provider t f = t.mirror_provider <- Some f
+let set_gossip_handler t f = t.gossip_handler <- Some f
+
+let send_gossip t ~dst ~kind ~body =
+  send t ~dst (Message.Gossip { kind; body })
+
+let learn_description t d = cache_desc t d
+let local_description t name = local_desc t name
+
+let known_descriptions t =
+  (* Locally loaded code first; cached descriptions fill in types we
+     know about but cannot execute. One entry per (lowercased) name. *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun cd ->
+      Hashtbl.replace tbl
+        (lc (Meta.qualified_name cd))
+        (Meta.qualified_name cd, cd.Meta.td_guid))
+    (Registry.all t.reg);
+  Lru.Str.fold t.tdesc_cache ~init:()
+    ~f:(fun key d () ->
+      if not (Hashtbl.mem tbl key) then
+        Hashtbl.replace tbl key (Td.qualified_name d, d.Td.ty_guid));
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) tbl []
+  |> List.sort compare
 
 type interest_id = int
 

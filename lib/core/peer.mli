@@ -44,7 +44,8 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?config:Pti_conformance.Config.t -> ?metrics:Pti_obs.Metrics.t ->
   ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
   ?event_log_capacity:int -> ?checker_cache_capacity:int ->
-  net:Message.t Pti_net.Net.t -> string -> t
+  ?request_timeout_ms:float -> ?fetch_retries:int ->
+  ?fetch_backoff_ms:float -> net:Message.t Pti_net.Net.t -> string -> t
 (** [create ~net address] registers the peer on the network. Defaults:
     optimistic mode, binary payload codec, strict conformance rules.
 
@@ -53,7 +54,14 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
     download-path cache (512), the event log (ring of 4096) and the
     conformance verdict cache ({!Pti_conformance.Checker.create}'s
     default). The peer reports through [metrics] (fresh registry when
-    omitted) under [peer.<address>.*] names. *)
+    omitted) under [peer.<address>.*] names.
+
+    [request_timeout_ms] (default 10000) bounds how long a tdesc or
+    assembly subprotocol request waits for its reply before the pipeline
+    degrades (or, for downloads, fails over). [fetch_retries] (default
+    0) re-asks a download path that many extra times before moving to
+    the next mirror, waiting [fetch_backoff_ms * 2^n] (default base
+    250ms) before retry [n+1]. *)
 
 val address : t -> string
 val registry : t -> Registry.t
@@ -70,7 +78,48 @@ val publish_assembly : t -> Assembly.t -> unit
 val install_assembly : t -> Assembly.t -> unit
 (** Load locally without serving it. *)
 
+val serve_assembly : t -> ?path:string -> Assembly.t -> unit
+(** Serve the assembly from this host's repository {e without} loading
+    it into the local registry — the mirror role: a host can hand out
+    bytes it never executes. [path] defaults to
+    [asm://<address>/<name>]. *)
+
+val repository : t -> Repository.t
+(** The assemblies this host serves. *)
+
 val download_path : t -> assembly:string -> string
+
+(** {1 Cluster hooks}
+
+    The peer knows nothing of membership, replication or gossip
+    semantics; [pti_cluster] installs these. *)
+
+val set_mirror_provider :
+  t -> (assembly:string -> advertised:string -> string list) -> unit
+(** Ranked candidate download paths for an assembly whose envelope
+    advertised [advertised]. The failover pipeline tries them in order
+    (the advertised path is appended as a last resort if the provider
+    omits it); without a provider only the advertised path is tried. *)
+
+val set_gossip_handler :
+  t -> (src:string -> kind:string -> body:string -> unit) -> unit
+(** Receives every {!Message.Gossip} addressed to this host. Without a
+    handler gossip is silently dropped. *)
+
+val send_gossip : t -> dst:string -> kind:string -> body:string -> unit
+
+val learn_description : t -> Pti_typedesc.Type_description.t -> unit
+(** Insert a type description into the peer's cache as if it had been
+    fetched — how gossip disseminates type metadata off the hot path. *)
+
+val local_description :
+  t -> string -> Pti_typedesc.Type_description.t option
+(** Locally resolvable description: loaded code first, then the cache. *)
+
+val known_descriptions : t -> (string * Pti_util.Guid.t) list
+(** Every type this host can describe — loaded classes plus cached
+    descriptions — as [(qualified name, GUID)], sorted, one entry per
+    case-insensitive name. The raw material of a gossip digest. *)
 
 (** {1 Pass-by-value} *)
 
@@ -133,6 +182,16 @@ val metrics : t -> Pti_obs.Metrics.t
 val tdesc_cache_size : t -> int
 val tdesc_cache_counters : t -> Pti_obs.Lru.counters
 val exported_count : t -> int
+
+val fetch_attempts : t -> int
+(** Assembly download requests put on the wire (all paths, all tries). *)
+
+val fetch_retries : t -> int
+(** Re-asks of a path that had already failed at least once. *)
+
+val fetch_failovers : t -> int
+(** Times the pipeline moved on to the next mirror after exhausting a
+    path's retries. Also surfaced as [peer.<address>.fetch.failovers]. *)
 
 val fetch_type_description : t -> from:string -> string ->
   Pti_typedesc.Type_description.t option

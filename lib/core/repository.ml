@@ -27,21 +27,37 @@ let find_by_name t name =
   match Lru.Str.find t.by_name key with
   | Some hit -> Some hit
   | None ->
+      (* Deterministic winner: the lexicographically smallest path, not
+         whatever hash order yields first — mirror selection and tests
+         must be reproducible across runs. *)
       let scan =
         Hashtbl.fold
           (fun path asm acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                if S.equal_ci asm.Pti_cts.Assembly.asm_name name then
-                  Some (path, asm)
-                else None)
+            if S.equal_ci asm.Pti_cts.Assembly.asm_name name then
+              match acc with
+              | Some (best, _) when best <= path -> acc
+              | _ -> Some (path, asm)
+            else acc)
           t.by_path None
       in
       (match scan with
       | Some hit -> Lru.Str.put t.by_name key hit
       | None -> ());
       scan
+
+let mirror_paths t name =
+  Hashtbl.fold
+    (fun path asm acc ->
+      if S.equal_ci asm.Pti_cts.Assembly.asm_name name then path :: acc
+      else acc)
+    t.by_path []
+  |> List.sort compare
+
+let entries t =
+  Hashtbl.fold
+    (fun path asm acc -> (path, asm.Pti_cts.Assembly.asm_name) :: acc)
+    t.by_path []
+  |> List.sort compare
 
 let lookup_counters t = Lru.Str.counters t.by_name
 let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.by_path []

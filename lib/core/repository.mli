@@ -14,8 +14,20 @@ val add : t -> path:string -> Pti_cts.Assembly.t -> unit
 
 val find : t -> path:string -> Pti_cts.Assembly.t option
 val find_by_name : t -> string -> (string * Pti_cts.Assembly.t) option
-(** Path and assembly for an assembly name (case-insensitive). Successful
-    lookups are memoized in a bounded LRU; [add] invalidates the memo. *)
+(** Path and assembly for an assembly name (case-insensitive). When the
+    assembly is registered under several paths (mirrors), the
+    lexicographically smallest path wins — deterministically, independent
+    of hash order. Successful lookups are memoized in a bounded LRU;
+    [add] invalidates the memo. *)
+
+val mirror_paths : t -> string -> string list
+(** Every path the named assembly (case-insensitive) is registered
+    under, sorted. An assembly replicated across hosts has one entry per
+    mirror. *)
+
+val entries : t -> (string * string) list
+(** All [(path, assembly-name)] bindings, sorted by path — the raw
+    material of an anti-entropy digest. *)
 
 val lookup_counters : t -> Pti_obs.Lru.counters
 (** Accounting of the name-lookup memo. *)

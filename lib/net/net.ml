@@ -87,10 +87,12 @@ let link_params t a b =
   | Some p -> p
   | None -> (t.default_latency, t.default_bandwidth)
 
+let partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
+
 (* One transmission attempt is lost when the pair is partitioned or the
    coin says so. *)
 let attempt_lost t ~src ~dst =
-  Hashtbl.mem t.partitions (link_key src dst)
+  partitioned t src dst
   || (t.drop_rate > 0. && Splitmix.float t.rng < t.drop_rate)
 
 let transfer_delay t ~src ~dst ~size =
@@ -112,27 +114,41 @@ let send t ~src ~dst ~category ~size payload =
       else begin
         let delay = transfer_delay t ~src ~dst ~size in
         Sim.schedule t.sim ~delay (fun () ->
-            Stats.record_latency t.stats category ~ms:delay;
-            handler ~net:t ~src payload)
+            (* A partition cut while the message was in flight kills it
+               too — a cable does not care how far the packet got. *)
+            if partitioned t src dst then t.dropped <- t.dropped + 1
+            else begin
+              Stats.record_latency t.stats category ~ms:delay;
+              handler ~net:t ~src payload
+            end)
       end
   | Some r ->
       let msg_id = t.next_msg_id in
       t.next_msg_id <- msg_id + 1;
       let sent_at = Sim.now t.sim in
-      (* On (each) arrival: deliver exactly once, always (re-)ack. *)
+      (* On (each) arrival: deliver exactly once, always (re-)ack. A
+         partition cut mid-flight loses the attempt (the retransmission
+         timer is already armed and will retry). *)
       let on_arrival () =
-        if not (Hashtbl.mem t.delivered msg_id) then begin
-          Hashtbl.add t.delivered msg_id ();
-          Stats.record_latency t.stats category ~ms:(Sim.now t.sim -. sent_at);
-          handler ~net:t ~src payload
-        end;
-        (* The ack travels back and may itself be lost. *)
-        Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
-        if attempt_lost t ~src:dst ~dst:src then t.dropped <- t.dropped + 1
+        if partitioned t src dst then t.dropped <- t.dropped + 1
         else begin
-          let ack_delay = transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes in
-          Sim.schedule t.sim ~delay:ack_delay (fun () ->
-              Hashtbl.replace t.acked msg_id ())
+          if not (Hashtbl.mem t.delivered msg_id) then begin
+            Hashtbl.add t.delivered msg_id ();
+            Stats.record_latency t.stats category
+              ~ms:(Sim.now t.sim -. sent_at);
+            handler ~net:t ~src payload
+          end;
+          (* The ack travels back and may itself be lost. *)
+          Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
+          if attempt_lost t ~src:dst ~dst:src then t.dropped <- t.dropped + 1
+          else begin
+            let ack_delay =
+              transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes
+            in
+            Sim.schedule t.sim ~delay:ack_delay (fun () ->
+                if partitioned t dst src then t.dropped <- t.dropped + 1
+                else Hashtbl.replace t.acked msg_id ())
+          end
         end
       in
       let rec attempt n =

@@ -50,8 +50,11 @@ val set_link : 'a t -> address -> address -> latency_ms:float ->
 (** Overrides the defaults for both directions of the pair. *)
 
 val partition : 'a t -> address -> address -> unit
-(** Drop all traffic between the pair until {!heal}. Under reliability the
-    senders keep retrying, so short partitions only delay delivery. *)
+(** Drop all traffic between the pair until {!heal} — including messages
+    (and acks) already in flight when the cut happens: delivery re-checks
+    the partition table on arrival, so nothing crosses a severed link.
+    Under reliability the senders keep retrying, so short partitions only
+    delay delivery. *)
 
 val heal : 'a t -> address -> address -> unit
 

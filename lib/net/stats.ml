@@ -6,12 +6,13 @@ type category =
   | Asm_reply
   | Invoke_request
   | Invoke_reply
+  | Gossip
   | Control
 
 let all_categories =
   [
     Object_msg; Tdesc_request; Tdesc_reply; Asm_request; Asm_reply;
-    Invoke_request; Invoke_reply; Control;
+    Invoke_request; Invoke_reply; Gossip; Control;
   ]
 
 let category_name = function
@@ -22,6 +23,7 @@ let category_name = function
   | Asm_reply -> "asm-reply"
   | Invoke_request -> "invoke-req"
   | Invoke_reply -> "invoke-reply"
+  | Gossip -> "gossip"
   | Control -> "control"
 
 let index = function
@@ -32,7 +34,10 @@ let index = function
   | Asm_reply -> 4
   | Invoke_request -> 5
   | Invoke_reply -> 6
-  | Control -> 7
+  | Gossip -> 7
+  | Control -> 8
+
+let ncat = List.length all_categories
 
 module Metrics = Pti_obs.Metrics
 
@@ -50,24 +55,29 @@ type t = {
   messages : int array;
   latencies : lat array;
   hists : Metrics.histogram array option;  (* net.latency_ms.<category> *)
+  (* Per-remote-peer round-trip EWMA: the latency signal a host accumulates
+     about the peers it talks to, which the cluster's mirror selector
+     ranks download candidates by. *)
+  rtts : (string, float) Hashtbl.t;
 }
 
 let create ?metrics () =
   let hists =
     Option.map
       (fun m ->
-        Array.init 8 (fun i ->
+        Array.init ncat (fun i ->
             let c = List.nth all_categories i in
             Metrics.histogram m ("net.latency_ms." ^ category_name c)))
       metrics
   in
   let t =
     {
-      bytes = Array.make 8 0;
-      messages = Array.make 8 0;
+      bytes = Array.make ncat 0;
+      messages = Array.make ncat 0;
       latencies =
-        Array.init 8 (fun _ -> { samples = []; count = 0; sorted = None });
+        Array.init ncat (fun _ -> { samples = []; count = 0; sorted = None });
       hists;
+      rtts = Hashtbl.create 8;
     }
   in
   (match metrics with
@@ -100,14 +110,15 @@ let total_bytes t = Array.fold_left ( + ) 0 t.bytes
 let total_messages t = Array.fold_left ( + ) 0 t.messages
 
 let reset t =
-  Array.fill t.bytes 0 8 0;
-  Array.fill t.messages 0 8 0;
+  Array.fill t.bytes 0 ncat 0;
+  Array.fill t.messages 0 ncat 0;
   Array.iter
     (fun l ->
       l.samples <- [];
       l.count <- 0;
       l.sorted <- None)
-    t.latencies
+    t.latencies;
+  Hashtbl.reset t.rtts
 
 let record_latency t c ~ms =
   let l = t.latencies.(index c) in
@@ -142,9 +153,25 @@ let latency_percentile t c p =
     Some sorted.(rank)
   end
 
+(* EWMA smoothing for RTT observations: heavy enough that one slow
+   round-trip does not reorder mirrors, light enough to track drift. *)
+let rtt_alpha = 0.3
+
+let record_rtt t ~peer ~ms =
+  match Hashtbl.find_opt t.rtts peer with
+  | None -> Hashtbl.replace t.rtts peer ms
+  | Some old ->
+      Hashtbl.replace t.rtts peer (((1. -. rtt_alpha) *. old) +. (rtt_alpha *. ms))
+
+let rtt t ~peer = Hashtbl.find_opt t.rtts peer
+
+let rtts t =
+  Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.rtts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let merge a b =
   let t = create () in
-  for i = 0 to 7 do
+  for i = 0 to ncat - 1 do
     t.bytes.(i) <- a.bytes.(i) + b.bytes.(i);
     t.messages.(i) <- a.messages.(i) + b.messages.(i);
     let la = a.latencies.(i) and lb = b.latencies.(i) in
@@ -155,6 +182,15 @@ let merge a b =
         sorted = None;
       }
   done;
+  (* Observations, not sums: keep both sides' EWMAs, averaging where the
+     same peer was observed by both. *)
+  Hashtbl.iter (fun p v -> Hashtbl.replace t.rtts p v) a.rtts;
+  Hashtbl.iter
+    (fun p v ->
+      match Hashtbl.find_opt t.rtts p with
+      | None -> Hashtbl.replace t.rtts p v
+      | Some w -> Hashtbl.replace t.rtts p ((v +. w) /. 2.))
+    b.rtts;
   t
 
 let pp ppf t =

@@ -12,6 +12,9 @@ type category =
   | Asm_reply  (** Assemblies — downloaded code. *)
   | Invoke_request
   | Invoke_reply  (** Pass-by-reference remote invocations. *)
+  | Gossip
+      (** Cluster background traffic: membership, anti-entropy digests,
+          replica pushes ([pti_cluster]). *)
   | Control  (** Everything else (acks, errors). *)
 
 val all_categories : category list
@@ -34,7 +37,8 @@ val total_messages : t -> int
 val reset : t -> unit
 
 val merge : t -> t -> t
-(** Sum of two accountings (fresh; latency samples are concatenated). *)
+(** Sum of two accountings (fresh; latency samples are concatenated, RTT
+    estimates of a peer both sides observed are averaged). *)
 
 (** {1 Delivery latencies} *)
 
@@ -50,6 +54,24 @@ val latency_percentile : t -> category -> float -> float option
     category (nearest-rank); [None] when no sample exists. The argument
     must be in [\[0;1\]]. Sorting is memoized: repeated percentile
     queries between samples reuse one sorted array. *)
+
+(** {1 Per-peer round-trip observations}
+
+    A host's own view of how far away each peer it talks to is — fed by
+    the layers that can pair a request with its reply (the cluster's
+    gossip exchanges), read by the mirror selector to rank download
+    candidates. Deliberately per-{!t}: give each node its own [Stats.t]
+    and the knowledge stays local, the way it would on a real network. *)
+
+val record_rtt : t -> peer:string -> ms:float -> unit
+(** Fold one observed round-trip into the peer's exponentially weighted
+    moving average (fresh peers start at the observed value). *)
+
+val rtt : t -> peer:string -> float option
+(** Current EWMA estimate; [None] before any observation. *)
+
+val rtts : t -> (string * float) list
+(** All estimates, sorted by peer address. *)
 
 val pp : Format.formatter -> t -> unit
 (** Aligned table of category / messages / bytes. *)

@@ -179,6 +179,45 @@ let test_reliable_delivers_after_heal () =
   Alcotest.(check bool) "delivered after heal" true (!delivered_at >= 35.);
   Alcotest.(check int) "not abandoned" 0 (Net.lost_messages net)
 
+let test_partition_kills_in_flight () =
+  (* A cut severs messages already on the wire, not just future sends. *)
+  let net = Net.create ~default_latency_ms:10. () in
+  let delivered = ref 0 in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> incr delivered);
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  (* The message lands at t=10; the cable is cut at t=5. *)
+  Pti_net.Sim.schedule (Net.sim net) ~delay:5. (fun () ->
+      Net.partition net "a" "b");
+  Net.run net;
+  Alcotest.(check int) "in-flight message lost" 0 !delivered;
+  Alcotest.(check int) "counted as dropped" 1 (Net.dropped_messages net);
+  Net.heal net "a" "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Net.run net;
+  Alcotest.(check int) "healed link carries traffic" 1 !delivered
+
+let test_reliable_partition_kills_in_flight_then_recovers () =
+  (* Under ARQ the in-flight loss is repaired by retransmission once the
+     link heals: exactly-once delivery, nothing abandoned. *)
+  let reliability =
+    { Net.retransmit_ms = 30.; max_retries = 10; ack_bytes = 16 }
+  in
+  let net = Net.create ~reliability ~default_latency_ms:10. ~seed:4L () in
+  let deliveries = ref 0 in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ () -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ () -> incr deliveries);
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 ();
+  Pti_net.Sim.schedule (Net.sim net) ~delay:5. (fun () ->
+      Net.partition net "a" "b");
+  Pti_net.Sim.schedule (Net.sim net) ~delay:50. (fun () ->
+      Net.heal net "a" "b");
+  Net.run net;
+  Alcotest.(check int) "delivered exactly once after heal" 1 !deliveries;
+  Alcotest.(check bool) "first attempt lost in flight" true
+    (Net.dropped_messages net >= 1);
+  Alcotest.(check int) "not abandoned" 0 (Net.lost_messages net)
+
 let test_reliable_charges_retransmissions () =
   let net =
     Net.create ~drop_rate:0.5
@@ -371,6 +410,10 @@ let () =
             test_reliable_gives_up_on_partition;
           Alcotest.test_case "delivers after heal" `Quick
             test_reliable_delivers_after_heal;
+          Alcotest.test_case "partition kills in-flight" `Quick
+            test_partition_kills_in_flight;
+          Alcotest.test_case "in-flight loss repaired after heal" `Quick
+            test_reliable_partition_kills_in_flight_then_recovers;
           Alcotest.test_case "retransmissions charged" `Quick
             test_reliable_charges_retransmissions;
         ] );
