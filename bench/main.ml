@@ -8,6 +8,7 @@
    E5 (§1/§3) optimistic protocol vs eager baseline (bytes and time)
    E6 (§4.2)  rule-weakening ablation: safety vs recall
    E9 (§6)    cluster fan-out: gossip dissemination and mirror failover
+   E10        fault intensity: delivery and bytes under injected faults
 
    E1-E4 are Bechamel micro-benchmarks; E5/E6 are deterministic simulated
    experiments printed as tables. Absolute numbers differ from the paper's
@@ -352,7 +353,8 @@ let run_protocol ?codec ?drop_rate ?reliability ?checker_cache_capacity ~mode
         match ev with
         | Peer.Delivered _ -> (d + 1, r)
         | Peer.Rejected _ -> (d, r + 1)
-        | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
+        | Peer.Decode_failed _ | Peer.Load_failed _
+        | Peer.Corrupt_rejected _ -> (d, r))
       (0, 0) (Peer.events receiver)
   in
   let reuse, tdesc_hit, evictions = receiver_cache_rates receiver in
@@ -1037,6 +1039,187 @@ let e9 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E10: delivery and traffic under injected faults                      *)
+(* ------------------------------------------------------------------ *)
+
+module Sim = Pti_net.Sim
+module Splitmix = Pti_util.Splitmix
+module Fault_plan = Pti_fault.Fault_plan
+module Corruptor = Pti_fault.Corruptor
+
+type e10_out = {
+  f_delivered : int;
+  f_bytes : int;  (** Total wire bytes, acks included. *)
+  f_retx : int;
+  f_corrupt_rejects : int;
+  f_integrity_drops : int;
+}
+
+(* One seeded world under a whole-run fault window: a sender publishes
+   three conformant families, a receiver declares the interest, objects
+   go out 60 ms apart. Mirrors come from a 4-node factor-2 cluster. *)
+let e10_run ~arq ~cluster ~loss_p ~corrupt_p ~objects ~seed =
+  let root = Splitmix.create seed in
+  let net_seed = Splitmix.next64 root in
+  let hook_seed = Splitmix.next64 root in
+  let cluster_seed = Splitmix.next64 root in
+  let reliability =
+    if arq then Some { Net.retransmit_ms = 40.; max_retries = 12; ack_bytes = 16 }
+    else None
+  in
+  let net = Net.create ~jitter_ms:2.0 ?reliability ~seed:net_seed () in
+  let sim = Net.sim net in
+  let hosts = if cluster then [ "n0"; "n1"; "n2"; "n3" ] else [ "a"; "b" ] in
+  let horizon = 10. +. (60. *. float_of_int objects) +. 100. in
+  let cl, sender, receiver, peers =
+    if cluster then begin
+      let cl =
+        Cluster.create ~factor:2 ~seed:cluster_seed ~request_timeout_ms:800.
+          ~fetch_retries:3 ~fetch_backoff_ms:150. ~probe_timeout_ms:300. ~net
+          hosts
+      in
+      (Some cl, Cluster.peer cl "n0", Cluster.peer cl "n3",
+       List.map (Cluster.peer cl) hosts)
+    end
+    else begin
+      let mk a =
+        Peer.create ~request_timeout_ms:800. ~fetch_retries:3
+          ~fetch_backoff_ms:150. ~net a
+      in
+      let s = mk "a" in
+      let r = mk "b" in
+      (None, s, r, [ s; r ])
+    end
+  in
+  for index = 0 to 2 do
+    let asm = Workload.family ~index ~flavor:Workload.Conformant in
+    match cl with
+    | Some cl -> Node.publish (Cluster.node cl "n0") asm
+    | None -> Peer.publish_assembly sender asm
+  done;
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  (match cl with
+  | None -> ()
+  | Some cl ->
+      List.iteri
+        (fun ni node ->
+          for r = 0 to (int_of_float (horizon /. 100.)) + 2 do
+            Sim.schedule_at sim
+              ~at:(40. +. (100. *. float_of_int r) +. (7. *. float_of_int ni))
+              (fun () -> Node.tick node)
+          done)
+        (Cluster.nodes cl));
+  for i = 0 to objects - 1 do
+    let v =
+      Workload.make_person (Peer.registry sender) ~index:(i mod 3)
+        ~flavor:Workload.Conformant
+        ~name:(Printf.sprintf "p%d" i)
+        ~age:(20 + i)
+    in
+    Sim.schedule_at sim
+      ~at:(10. +. (60. *. float_of_int i))
+      (fun () -> Peer.send_value sender ~dst:(Peer.address receiver) v)
+  done;
+  let windows =
+    (if loss_p > 0. then
+       [ { Fault_plan.w_start = 0.; w_stop = horizon +. 1000.;
+           w_sel = Fault_plan.Any; w_act = Fault_plan.Loss loss_p } ]
+     else [])
+    @
+    if corrupt_p > 0. then
+      [ { Fault_plan.w_start = 0.; w_stop = horizon +. 1000.;
+          w_sel = Fault_plan.Any; w_act = Fault_plan.Corrupt corrupt_p } ]
+    else []
+  in
+  Net.set_fault_hooks net
+    (Some
+       (Fault_plan.hooks { Fault_plan.windows }
+          ~rng:(Splitmix.create hook_seed)
+          ~corrupt:Corruptor.corrupt_message));
+  if corrupt_p > 0. && arq then
+    Net.set_integrity net (Some Corruptor.frame_intact);
+  Net.run net;
+  let delivered =
+    List.length
+      (List.filter
+         (function Peer.Delivered _ -> true | _ -> false)
+         (Peer.events receiver))
+  in
+  {
+    f_delivered = delivered;
+    f_bytes = Stats.total_bytes (Net.stats net);
+    f_retx = Net.retransmissions net;
+    f_corrupt_rejects =
+      List.fold_left (fun acc p -> acc + Peer.corrupt_rejects p) 0 peers;
+    f_integrity_drops = Net.integrity_drops net;
+  }
+
+let e10 () =
+  hr ();
+  print_endline
+    "E10 fault intensity: delivery rate and wire bytes under injected faults";
+  hr ();
+  let objects = if quick then 8 else 12 in
+  let pct o =
+    100. *. float_of_int o.f_delivered /. float_of_int objects
+  in
+  Printf.printf
+    "\n\
+    \  E10a: burst loss across the whole run, %d objects. Without ARQ,\n\
+    \  delivery decays with loss (and stalled tdesc fetches turn into\n\
+    \  rejections); with ARQ (40ms x 12) loss converts into retransmission\n\
+    \  bytes instead; mirrors (4-node cluster, factor 2) add failover.\n\n"
+    objects;
+  Printf.printf "  %7s | %9s %9s | %9s %9s %6s | %9s %9s %6s\n" "loss p"
+    "raw del%" "bytes" "arq del%" "bytes" "retx" "clus del%" "bytes" "retx";
+  let e10_rows = ref [] in
+  let loss_sweep = if quick then [ 0.; 0.4; 0.8 ] else [ 0.; 0.2; 0.4; 0.6; 0.8 ] in
+  List.iter
+    (fun p ->
+      let raw = e10_run ~arq:false ~cluster:false ~loss_p:p ~corrupt_p:0. ~objects ~seed:9L in
+      let arq = e10_run ~arq:true ~cluster:false ~loss_p:p ~corrupt_p:0. ~objects ~seed:9L in
+      let clu = e10_run ~arq:true ~cluster:true ~loss_p:p ~corrupt_p:0. ~objects ~seed:9L in
+      Printf.printf
+        "  %7.2f | %8.1f%% %9d | %8.1f%% %9d %6d | %8.1f%% %9d %6d\n" p
+        (pct raw) raw.f_bytes (pct arq) arq.f_bytes arq.f_retx (pct clu)
+        clu.f_bytes clu.f_retx;
+      let key fmt = Printf.sprintf "loss=%.2f %s" p fmt in
+      e10_rows :=
+        (key "clus del%", pct clu)
+        :: (key "arq bytes", float_of_int arq.f_bytes)
+        :: (key "arq del%", pct arq)
+        :: (key "raw del%", pct raw)
+        :: !e10_rows)
+    loss_sweep;
+  Printf.printf
+    "\n\
+    \  E10b: wire corruption across the whole run (ARQ + frame integrity\n\
+    \  on). Corrupt object frames are dropped pre-ack and retransmitted;\n\
+    \  corrupt tdesc/assembly replies are detected by their digests and\n\
+    \  re-requested (or failed over to a mirror in the cluster).\n\n";
+  Printf.printf "  %9s | %9s %7s %7s %6s | %9s %7s %7s %6s\n" "corrupt p"
+    "arq del%" "creject" "idrops" "retx" "clus del%" "creject" "idrops" "retx";
+  let corrupt_sweep = if quick then [ 0.2; 0.6 ] else [ 0.1; 0.3; 0.5; 0.7 ] in
+  List.iter
+    (fun p ->
+      let arq = e10_run ~arq:true ~cluster:false ~loss_p:0. ~corrupt_p:p ~objects ~seed:11L in
+      let clu = e10_run ~arq:true ~cluster:true ~loss_p:0. ~corrupt_p:p ~objects ~seed:11L in
+      Printf.printf "  %9.2f | %8.1f%% %7d %7d %6d | %8.1f%% %7d %7d %6d\n" p
+        (pct arq) arq.f_corrupt_rejects arq.f_integrity_drops arq.f_retx
+        (pct clu) clu.f_corrupt_rejects clu.f_integrity_drops clu.f_retx;
+      let key fmt = Printf.sprintf "corrupt=%.2f %s" p fmt in
+      e10_rows :=
+        (key "clus del%", pct clu)
+        :: (key "arq creject", float_of_int arq.f_corrupt_rejects)
+        :: (key "arq del%", pct arq)
+        :: !e10_rows)
+    corrupt_sweep;
+  record_group "E10" (List.rev !e10_rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Pragmatic Type Interoperability -- benchmark suite%s\n\n"
@@ -1053,6 +1236,7 @@ let () =
   ignore (e7 ());
   e8 ();
   e9 ();
+  e10 ();
   hr ();
   write_json ();
   print_endline "Done. See EXPERIMENTS.md for paper-vs-measured discussion."

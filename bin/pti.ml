@@ -25,6 +25,7 @@ module Stats = Pti_net.Stats
 module Demo = Pti_demo.Demo_types
 module Workload = Pti_demo.Workload
 module Metrics = Pti_obs.Metrics
+module Chaos = Pti_fault.Chaos
 
 let read_file path =
   try
@@ -408,7 +409,8 @@ let run_workload ~mode ~objects ~distinct ~nonconf ~metrics
         match ev with
         | Peer.Delivered _ -> (d + 1, r)
         | Peer.Rejected _ -> (d, r + 1)
-        | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r))
+        | Peer.Decode_failed _ | Peer.Load_failed _
+        | Peer.Corrupt_rejected _ -> (d, r))
       (0, 0) (Peer.events receiver)
   in
   (net, delivered, rejected)
@@ -824,6 +826,76 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the §3.1 Person quickstart scenario.")
     Term.(ret (const run $ const ()))
 
+(* ------------------------------- chaos ----------------------------- *)
+
+let chaos_cmd =
+  let runs =
+    Arg.(value & opt int 20
+         & info [ "runs" ] ~docv:"N" ~doc:"Seeded schedules to execute.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root seed; per-run seeds derive from it. A failing \
+                   run reports its own seed for direct reproduction.")
+  in
+  let profile =
+    let parse s =
+      match Pti_fault.Fault_plan.profile_of_string s with
+      | Some p -> Ok p
+      | None ->
+          Error (`Msg (Printf.sprintf
+                         "unknown profile %S (lossy|flaky|byzantine-wire)" s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Pti_fault.Fault_plan.profile_name p)
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Pti_fault.Fault_plan.Lossy
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Fault profile: $(b,lossy) (burst loss, duplication, \
+                   reordering), $(b,flaky) (link flaps and crash windows \
+                   on top of loss) or $(b,byzantine-wire) (byte \
+                   corruption).")
+  in
+  let cluster =
+    Arg.(value & flag
+         & info [ "cluster" ]
+             ~doc:"Run each schedule against a replicated 4-node cluster \
+                   (gossip, mirrors, membership re-convergence) instead \
+                   of two peers.")
+  in
+  let objects =
+    Arg.(value & opt int 8
+         & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects sent per run.")
+  in
+  let run runs seed profile cluster objects =
+    if runs < 1 then `Error (false, "--runs must be at least 1")
+    else if objects < 1 then `Error (false, "--objects must be at least 1")
+    else begin
+      let config =
+        {
+          Chaos.c_profile = profile;
+          c_cluster = cluster;
+          c_objects = objects;
+          c_frame_integrity = true;
+        }
+      in
+      let summary = Chaos.run_many config ~runs ~seed in
+      Format.printf "%a@." Chaos.pp_summary summary;
+      `Ok (if summary.Chaos.s_failures = [] then 0 else 1)
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Execute N seeded fault schedules against the protocol and \
+             check its invariants (delivery conservation, exactly-once, \
+             no mangled values, trap rejection, verdict stability, \
+             membership convergence, metrics-vs-trace). A failing \
+             schedule is shrunk to a minimal reproducing plan. Exits 1 \
+             on any invariant violation.")
+    Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -837,5 +909,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
-            protocol_cmd; stats_cmd; cluster_cmd; demo_cmd;
+            protocol_cmd; stats_cmd; cluster_cmd; demo_cmd; chaos_cmd;
           ]))

@@ -20,6 +20,12 @@ let no_tabs what s =
   if String.contains s '\t' || String.contains s '\n' then
     invalid_arg (Printf.sprintf "Digest.encode: %s contains a separator" what)
 
+(* A flipped byte in a gossip body must not smuggle a mangled member
+   address or download path into cluster state (a later probe of a
+   never-registered address is a hard failure), so the body is guarded
+   by a leading checksum line. Bodies without one are still accepted. *)
+let sum_tag = "sum"
+
 let encode m =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "token\t%d\n" m.g_token);
@@ -46,9 +52,23 @@ let encode m =
       Buffer.add_string b xml;
       Buffer.add_char b '\n')
     m.g_descs;
-  Buffer.contents b
+  let body = Buffer.contents b in
+  Printf.sprintf "%s\t%s\n%s" sum_tag (Pti_util.Fnv.hash_hex body) body
+
+(* Peel and verify the checksum line before the scanner sees the body. *)
+let checked_body s =
+  match String.index_opt s '\n' with
+  | Some i when i > 4 && String.sub s 0 4 = sum_tag ^ "\t" ->
+      let declared = String.sub s 4 (i - 4) in
+      let body = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.equal declared (Pti_util.Fnv.hash_hex body) then Ok body
+      else Error "digest: checksum mismatch"
+  | _ -> Ok s
 
 let decode s =
+  match checked_body s with
+  | Error _ as e -> e
+  | Ok s ->
   let len = String.length s in
   let pos = ref 0 in
   let err fmt = Printf.ksprintf (fun e -> Error e) fmt in

@@ -23,7 +23,12 @@ type msg = {
 val empty : msg
 
 val encode : msg -> string
-(** @raise Invalid_argument when an atom contains a tab or newline. *)
+(** The body is prefixed with an FNV-1a checksum line so wire damage is
+    detected rather than absorbed into cluster state (a flipped byte in
+    a member address would otherwise become a phantom peer).
+    @raise Invalid_argument when an atom contains a tab or newline. *)
 
 val decode : string -> (msg, string) result
-(** Total: malformed input yields [Error]. [decode (encode m) = Ok m]. *)
+(** Total: malformed or corrupt input yields [Error];
+    [decode (encode m) = Ok m]. Bodies without a checksum line are
+    accepted unverified. *)

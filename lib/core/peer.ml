@@ -24,6 +24,7 @@ type event =
   | Rejected of { type_name : string; from : string; reason : string }
   | Decode_failed of { from : string; reason : string }
   | Load_failed of { assembly : string; reason : string }
+  | Corrupt_rejected of { from : string; what : string; reason : string }
 
 let pp_event ppf = function
   | Delivered { interest; from; value } ->
@@ -35,6 +36,8 @@ let pp_event ppf = function
       Format.fprintf ppf "decode failed (from %s): %s" from reason
   | Load_failed { assembly; reason } ->
       Format.fprintf ppf "load of %s failed: %s" assembly reason
+  | Corrupt_rejected { from; what; reason } ->
+      Format.fprintf ppf "corrupt %s rejected (from %s): %s" what from reason
 
 type remote_ref = { rr_host : string; rr_id : int; rr_class : string }
 
@@ -47,6 +50,7 @@ type event_counters = {
   mc_fetch_attempts : Metrics.counter;
   mc_fetch_retries : Metrics.counter;
   mc_fetch_failovers : Metrics.counter;
+  mc_corrupt_rejects : Metrics.counter;
 }
 
 type t = {
@@ -66,8 +70,12 @@ type t = {
   exported : (int, Value.value) Hashtbl.t;
   mutable next_export : int;
   mutable next_token : int;
-  tdesc_conts : (int, (Td.t option -> unit) * (unit -> unit)) Hashtbl.t;
-  asm_conts : (int, (Assembly.t option -> unit) * (unit -> unit)) Hashtbl.t;
+  (* Continuation, timeout-cancel thunk, remaining corrupt-reply
+     re-requests for this pending subprotocol exchange. *)
+  tdesc_conts :
+    (int, (Td.t option -> unit) * (unit -> unit) * int) Hashtbl.t;
+  asm_conts :
+    (int, (Assembly.t option -> unit) * (unit -> unit) * int) Hashtbl.t;
   invoke_conts : (int, (Value.value, string) result -> unit) Hashtbl.t;
   known_paths : string Lru.Str.t;  (* assembly name -> path *)
   event_log : event Ring.t;
@@ -102,6 +110,7 @@ let repository t = t.repo
 let fetch_attempts t = Metrics.counter_value t.evt_ctrs.mc_fetch_attempts
 let fetch_retries t = Metrics.counter_value t.evt_ctrs.mc_fetch_retries
 let fetch_failovers t = Metrics.counter_value t.evt_ctrs.mc_fetch_failovers
+let corrupt_rejects t = Metrics.counter_value t.evt_ctrs.mc_corrupt_rejects
 let run t = Net.run t.net
 
 let log_event t e =
@@ -112,7 +121,8 @@ let log_event t e =
     | Delivered _ -> t.evt_ctrs.mc_delivered
     | Rejected _ -> t.evt_ctrs.mc_rejected
     | Decode_failed _ -> t.evt_ctrs.mc_decode_failed
-    | Load_failed _ -> t.evt_ctrs.mc_load_failed)
+    | Load_failed _ -> t.evt_ctrs.mc_load_failed
+    | Corrupt_rejected _ -> t.evt_ctrs.mc_corrupt_rejects)
 
 let lc = String.lowercase_ascii
 
@@ -175,24 +185,29 @@ let arm_timeout t conts token =
       (fun () ->
         match Hashtbl.find_opt conts token with
         | None -> ()
-        | Some (k, _) ->
+        | Some (k, _, _) ->
             Hashtbl.remove conts token;
             k None)
   in
   (* Fill in the cancel thunk next to the continuation. *)
   match Hashtbl.find_opt conts token with
-  | Some (k, _) -> Hashtbl.replace conts token (k, cancel)
+  | Some (k, _, retries) -> Hashtbl.replace conts token (k, cancel, retries)
   | None -> ()
 
-let request_tdesc t ~from name k =
+(* [retries] is the corrupt-reply budget: a reply that arrives but fails
+   to parse is treated as wire damage and re-requested that many times
+   before the continuation degrades to [None]. Fresh requests start from
+   the peer's [fetch_retries] knob. *)
+let request_tdesc ?retries t ~from name k =
   let token = fresh_token t in
-  Hashtbl.replace t.tdesc_conts token (k, fun () -> ());
+  let retries = Option.value ~default:t.fetch_retries retries in
+  Hashtbl.replace t.tdesc_conts token (k, (fun () -> ()), retries);
   arm_timeout t t.tdesc_conts token;
   send t ~dst:from (Message.Tdesc_request { type_name = name; token })
 
 let request_assembly t ~host ~path k =
   let token = fresh_token t in
-  Hashtbl.replace t.asm_conts token (k, fun () -> ());
+  Hashtbl.replace t.asm_conts token (k, (fun () -> ()), 0);
   arm_timeout t t.asm_conts token;
   send t ~dst:host (Message.Asm_request { path; token })
 
@@ -392,6 +407,8 @@ let first_failure t (root : Td.t) =
 
 let decode_and_deliver t ~from (env : Envelope.t) root_name =
   match Envelope.decode_payload t.reg env with
+  | Error (Envelope.Corrupt reason) ->
+      log_event t (Corrupt_rejected { from; what = "payload"; reason })
   | Error e ->
       log_event t
         (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
@@ -420,6 +437,12 @@ let decode_and_deliver t ~from (env : Envelope.t) root_name =
 
 let handle_envelope t ~from (msg_env : string) tdescs assemblies =
   match Envelope.of_string msg_env with
+  | Error (Envelope.Corrupt reason) ->
+      (* The digest caught wire damage before any value was built. There
+         is no resend protocol for object messages at this layer —
+         frame-level integrity + ARQ (Net.set_integrity) is what turns
+         this into a retransmission. *)
+      log_event t (Corrupt_rejected { from; what = "envelope"; reason })
   | Error e ->
       log_event t
         (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
@@ -446,6 +469,8 @@ let handle_envelope t ~from (msg_env : string) tdescs assemblies =
           (* No objects in the graph: nothing to conform, just decode. *)
           match Envelope.decode_payload t.reg env with
           | Ok v -> deliver_primitive t ~from v
+          | Error (Envelope.Corrupt reason) ->
+              log_event t (Corrupt_rejected { from; what = "payload"; reason })
           | Error e ->
               log_event t
                 (Decode_failed
@@ -558,17 +583,30 @@ let handle t ~src msg =
         Option.map (fun d -> Td.to_xml_string d) (local_desc t type_name)
       in
       send t ~dst:src (Message.Tdesc_reply { type_name; desc; token })
-  | Message.Tdesc_reply { desc; token; _ } -> (
+  | Message.Tdesc_reply { type_name; desc; token } -> (
       match Hashtbl.find_opt t.tdesc_conts token with
       | None -> ()
-      | Some (k, cancel_timeout) ->
+      | Some (k, cancel_timeout, retries) -> (
           Hashtbl.remove t.tdesc_conts token;
           cancel_timeout ();
-          let parsed =
-            Option.bind desc (fun s ->
-                match Td.of_xml_string s with Ok d -> Some d | Error _ -> None)
-          in
-          k parsed)
+          match desc with
+          | None -> k None
+          | Some s -> (
+              match Td.of_xml_string s with
+              | Ok d -> k (Some d)
+              | Error reason ->
+                  (* The sender had the description but what arrived does
+                     not parse: wire corruption. Re-ask within budget. *)
+                  log_event t
+                    (Corrupt_rejected { from = src; what = "tdesc"; reason });
+                  if retries > 0 then
+                    (* Back off before re-asking so the re-request can
+                       outlive a corruption burst. *)
+                    Sim.schedule (Net.sim t.net) ~delay:t.fetch_backoff_ms
+                      (fun () ->
+                        request_tdesc ~retries:(retries - 1) t ~from:src
+                          type_name k)
+                  else k None)))
   | Message.Asm_request { path; token } ->
       let assembly =
         Option.map Assembly_xml.to_string (Repository.find t.repo ~path)
@@ -577,16 +615,21 @@ let handle t ~src msg =
   | Message.Asm_reply { assembly; token; _ } -> (
       match Hashtbl.find_opt t.asm_conts token with
       | None -> ()
-      | Some (k, cancel_timeout) ->
+      | Some (k, cancel_timeout, _) -> (
           Hashtbl.remove t.asm_conts token;
           cancel_timeout ();
-          let parsed =
-            Option.bind assembly (fun s ->
-                match Assembly_xml.of_string s with
-                | Ok a -> Some a
-                | Error _ -> None)
-          in
-          k parsed)
+          match assembly with
+          | None -> k None
+          | Some s -> (
+              match Assembly_xml.of_string s with
+              | Ok a -> k (Some a)
+              | Error reason ->
+                  (* Corrupt assembly bytes: reject and let the failover
+                     pipeline retry this path / move to the next mirror. *)
+                  log_event t
+                    (Corrupt_rejected
+                       { from = src; what = "assembly"; reason });
+                  k None)))
   | Message.Invoke_request { target; meth; args; token } ->
       handle_invoke t ~from:src ~target ~meth ~args_xml:args ~token
   | Message.Invoke_reply { token; result; error } -> (
@@ -662,6 +705,7 @@ let bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker =
     mc_fetch_attempts = Metrics.counter m (p "fetch.attempts");
     mc_fetch_retries = Metrics.counter m (p "fetch.retries");
     mc_fetch_failovers = Metrics.counter m (p "fetch.failovers");
+    mc_corrupt_rejects = Metrics.counter m (p "corrupt_rejects");
   }
 
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)

@@ -35,6 +35,14 @@ type event =
   | Rejected of { type_name : string; from : string; reason : string }
   | Decode_failed of { from : string; reason : string }
   | Load_failed of { assembly : string; reason : string }
+  | Corrupt_rejected of { from : string; what : string; reason : string }
+      (** An integrity check caught wire damage: [what] is ["envelope"],
+          ["payload"], ["tdesc"] or ["assembly"]. Corrupt subprotocol
+          replies are re-requested (tdescs re-ask the sender up to
+          [fetch_retries] times; assemblies go back through the
+          retry/failover pipeline); corrupt object envelopes are dropped
+          here and recovered, if at all, by frame-level integrity + ARQ
+          ({!Pti_net.Net.set_integrity}). *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -192,6 +200,10 @@ val fetch_retries : t -> int
 val fetch_failovers : t -> int
 (** Times the pipeline moved on to the next mirror after exhausting a
     path's retries. Also surfaced as [peer.<address>.fetch.failovers]. *)
+
+val corrupt_rejects : t -> int
+(** Corrupt envelopes/payloads/tdescs/assemblies rejected by integrity
+    checks. Also surfaced as [peer.<address>.corrupt_rejects]. *)
 
 val fetch_type_description : t -> from:string -> string ->
   Pti_typedesc.Type_description.t option

@@ -1,0 +1,372 @@
+module Splitmix = Pti_util.Splitmix
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+module Stats = Pti_net.Stats
+module Trace = Pti_net.Trace
+module Metrics = Pti_obs.Metrics
+module Peer = Pti_core.Peer
+module Checker = Pti_conformance.Checker
+module Workload = Pti_demo.Workload
+module Demo = Pti_demo.Demo_types
+module Value = Pti_cts.Value
+module Cluster = Pti_cluster.Cluster
+module Node = Pti_cluster.Node
+
+type config = {
+  c_profile : Fault_plan.profile;
+  c_cluster : bool;
+  c_objects : int;
+  c_frame_integrity : bool;
+}
+
+let default_config =
+  {
+    c_profile = Fault_plan.Lossy;
+    c_cluster = false;
+    c_objects = 8;
+    c_frame_integrity = true;
+  }
+
+type run_result = {
+  r_seed : int64;
+  r_plan : Fault_plan.t;
+  r_sent : int;
+  r_delivered : int;
+  r_rejected : int;
+  r_failed : int;
+  r_corrupt_rejects : int;
+  r_net_lost : int;
+  r_retransmissions : int;
+  r_injected_drops : int;
+  r_corrupted_frames : int;
+  r_integrity_drops : int;
+  r_violations : Invariant.violation list;
+}
+
+(* The ARQ span (retransmit_ms * max_retries = 480 ms) deliberately
+   exceeds the longest fault window any profile generates, so a retried
+   message always gets attempts outside the window. *)
+let chaos_reliability =
+  { Net.retransmit_ms = 40.; max_retries = 12; ack_bytes = 16 }
+
+let send_spacing_ms = 60.
+let first_send_ms = 10.
+
+(* One family per index; the last one is a trap (non-conformant), so
+   every run exercises the reject path too. *)
+let families =
+  [
+    (0, Workload.Conformant);
+    (1, Workload.Conformant);
+    (2, Workload.Conformant);
+    (3, Workload.Trap_missing);
+  ]
+
+let rec obj_of = function
+  | Value.Vobj o -> Some o
+  | Value.Vproxy p -> obj_of p.Value.px_target
+  | _ -> None
+
+let name_age v =
+  match obj_of v with
+  | None -> None
+  | Some o -> (
+      match (Value.get_field o "name", Value.get_field o "age") with
+      | Some (Value.Vstring n), Some (Value.Vint a) -> Some (n, a)
+      | _ -> None)
+
+let is_terminal_failure = function
+  | Peer.Decode_failed _ | Peer.Load_failed _ -> true
+  | Peer.Corrupt_rejected { what = "envelope" | "payload"; _ } -> true
+  | _ -> false
+
+let run_one ?plan config ~seed =
+  let root = Splitmix.create seed in
+  let net_seed = Splitmix.next64 root in
+  let plan_seed = Splitmix.next64 root in
+  let hook_seed = Splitmix.next64 root in
+  let cluster_seed = Splitmix.next64 root in
+  let metrics = Metrics.create () in
+  let net =
+    Net.create ~jitter_ms:2.0 ~reliability:chaos_reliability ~seed:net_seed
+      ~metrics ()
+  in
+  let sim = Net.sim net in
+  let trace = Trace.attach net in
+  let hosts =
+    if config.c_cluster then [ "n0"; "n1"; "n2"; "n3" ] else [ "alice"; "bob" ]
+  in
+  let horizon_ms =
+    first_send_ms +. (send_spacing_ms *. float_of_int config.c_objects) +. 100.
+  in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+        Fault_plan.random ~profile:config.c_profile ~hosts ~horizon_ms
+          (Splitmix.create plan_seed)
+  in
+  let cluster, sender, receiver, peers =
+    if config.c_cluster then begin
+      let cl =
+        Cluster.create ~factor:2 ~seed:cluster_seed ~request_timeout_ms:800.
+          ~fetch_retries:3 ~fetch_backoff_ms:150. ~probe_timeout_ms:300. ~net
+          hosts
+      in
+      ( Some cl,
+        Cluster.peer cl "n0",
+        Cluster.peer cl "n3",
+        List.map (Cluster.peer cl) hosts )
+    end
+    else begin
+      let mk a =
+        Peer.create ~metrics ~request_timeout_ms:800. ~fetch_retries:3
+          ~fetch_backoff_ms:150. ~net a
+      in
+      let alice = mk "alice" in
+      let bob = mk "bob" in
+      (None, alice, bob, [ alice; bob ])
+    end
+  in
+  let receiver_addr = Peer.address receiver in
+  (* Publish the workload families on the sender (replicated to mirrors
+     in cluster mode); the receiver only knows the interest type. *)
+  List.iter
+    (fun (index, flavor) ->
+      let asm = Workload.family ~index ~flavor in
+      match cluster with
+      | Some cl -> Node.publish (Cluster.node cl "n0") asm
+      | None -> Peer.publish_assembly sender asm)
+    families;
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  (* Pace the sends across the fault horizon. *)
+  let expected = ref [] in
+  let trap_keys = ref [] in
+  for i = 0 to config.c_objects - 1 do
+    let index = i mod List.length families in
+    let _, flavor = List.nth families index in
+    let name = Printf.sprintf "p%d" i in
+    let age = 20 + i in
+    let v =
+      Workload.make_person (Peer.registry sender) ~index ~flavor ~name ~age
+    in
+    (match flavor with
+    | Workload.Conformant -> expected := (name, (name, age)) :: !expected
+    | _ -> trap_keys := name :: !trap_keys);
+    Sim.schedule_at sim
+      ~at:(first_send_ms +. (send_spacing_ms *. float_of_int i))
+      (fun () -> Peer.send_value sender ~dst:receiver_addr v)
+  done;
+  (* Cluster mode: gossip keeps ticking through the fault horizon, so
+     crash windows are noticed (suspect/dead) and healed ones re-adopted. *)
+  (match cluster with
+  | None -> ()
+  | Some cl ->
+      List.iteri
+        (fun ni node ->
+          let rounds = int_of_float (horizon_ms /. 100.) + 4 in
+          for r = 0 to rounds - 1 do
+            Sim.schedule_at sim
+              ~at:(40. +. (100. *. float_of_int r) +. (7. *. float_of_int ni))
+              (fun () -> Node.tick node)
+          done)
+        (Cluster.nodes cl));
+  (* Arm the faults and run the world. *)
+  let hook_rng = Splitmix.create hook_seed in
+  Net.set_fault_hooks net
+    (Some (Fault_plan.hooks plan ~rng:hook_rng ~corrupt:Corruptor.corrupt_message));
+  if config.c_frame_integrity then
+    Net.set_integrity net (Some Corruptor.frame_intact);
+  Net.run net;
+  (* Heal: all windows are behind us once the run quiesces; give gossip
+     a few quiet rounds to re-converge, then snapshot membership. *)
+  let membership_violations =
+    match cluster with
+    | None -> []
+    | Some cl ->
+        Cluster.run_rounds cl 6;
+        let rows =
+          List.map
+            (fun a ->
+              let node = Cluster.node cl a in
+              ( a,
+                List.filter_map
+                  (fun (m, st) ->
+                    if List.mem m hosts then Some (m, Node.status_name st)
+                    else None)
+                  (Node.members node) ))
+            hosts
+        in
+        Invariant.membership_converged rows
+  in
+  (* Collect the receiver's terminal events. *)
+  let events = Peer.events receiver in
+  let delivered_vals =
+    List.filter_map
+      (function Peer.Delivered { value; _ } -> Some value | _ -> None)
+      events
+  in
+  let rejected =
+    List.length
+      (List.filter (function Peer.Rejected _ -> true | _ -> false) events)
+  in
+  let failed = List.length (List.filter is_terminal_failure events) in
+  let got =
+    List.map
+      (fun v ->
+        match name_age v with
+        | Some (n, a) -> (n, (n, a))
+        | None -> ("<unextractable:" ^ Value.type_name v ^ ">", ("?", -1)))
+      delivered_vals
+  in
+  let delivered_keys = List.map fst got in
+  (* Verdict stability: re-checking after a cache clear must agree. *)
+  let checker = Peer.checker receiver in
+  let verdict_str v =
+    if Checker.verdict_ok v then "conformant" else "not-conformant"
+  in
+  let triples =
+    List.filter_map
+      (fun (index, flavor) ->
+        let tn = Workload.person_name ~index ~flavor in
+        match
+          ( Peer.local_description receiver tn,
+            Peer.local_description receiver Demo.news_person )
+        with
+        | Some actual, Some interest ->
+            let before = verdict_str (Checker.check checker ~actual ~interest) in
+            Checker.clear_cache checker;
+            let after = verdict_str (Checker.check checker ~actual ~interest) in
+            Some (tn, before, after)
+        | _ -> None)
+      families
+  in
+  (* Metrics-vs-trace: the stats registry and the trace recorder watched
+     the same wire. Control is excluded: acks are charged, not traced. *)
+  let stats = Net.stats net in
+  let count_pairs =
+    List.filter_map
+      (fun c ->
+        if c = Stats.Control then None
+        else
+          Some
+            ( Stats.category_name c,
+              Stats.messages stats c,
+              Trace.count trace ~category:c () ))
+      Stats.all_categories
+  in
+  let net_lost = Net.lost_for net Stats.Object_msg in
+  let violations =
+    Invariant.conservation ~sent:config.c_objects
+      ~delivered:(List.length delivered_vals) ~rejected ~failed ~net_lost
+    @ Invariant.exactly_once ~delivered_keys
+    @ Invariant.no_mangle ~expected:!expected ~got
+    @ Invariant.trap_never_delivered ~trap_keys:!trap_keys ~delivered_keys
+    @ Invariant.verdict_stability triples
+    @ membership_violations
+    @ Invariant.metrics_match_trace count_pairs
+  in
+  {
+    r_seed = seed;
+    r_plan = plan;
+    r_sent = config.c_objects;
+    r_delivered = List.length delivered_vals;
+    r_rejected = rejected;
+    r_failed = failed;
+    r_corrupt_rejects =
+      List.fold_left (fun acc p -> acc + Peer.corrupt_rejects p) 0 peers;
+    r_net_lost = net_lost;
+    r_retransmissions = Net.retransmissions net;
+    r_injected_drops = Net.injected_drops net;
+    r_corrupted_frames = Net.corrupted_frames net;
+    r_integrity_drops = Net.integrity_drops net;
+    r_violations = violations;
+  }
+
+let shrink config ~seed plan0 =
+  Fault_plan.shrink
+    ~fails:(fun plan -> (run_one ~plan config ~seed).r_violations <> [])
+    plan0
+
+type summary = {
+  s_runs : int;
+  s_sent : int;
+  s_delivered : int;
+  s_rejected : int;
+  s_failed : int;
+  s_net_lost : int;
+  s_corrupt_rejects : int;
+  s_retransmissions : int;
+  s_failures : run_result list;
+  s_shrunk : (run_result * run_result) option;
+}
+
+let run_many config ~runs ~seed =
+  let root = Splitmix.create seed in
+  let results = ref [] in
+  for _ = 1 to runs do
+    let s = Splitmix.next64 root in
+    results := run_one config ~seed:s :: !results
+  done;
+  let results = List.rev !results in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let failures = List.filter (fun r -> r.r_violations <> []) results in
+  let shrunk =
+    match failures with
+    | [] -> None
+    | f :: _ ->
+        let minimal = shrink config ~seed:f.r_seed f.r_plan in
+        Some (f, run_one ~plan:minimal config ~seed:f.r_seed)
+  in
+  {
+    s_runs = runs;
+    s_sent = sum (fun r -> r.r_sent);
+    s_delivered = sum (fun r -> r.r_delivered);
+    s_rejected = sum (fun r -> r.r_rejected);
+    s_failed = sum (fun r -> r.r_failed);
+    s_net_lost = sum (fun r -> r.r_net_lost);
+    s_corrupt_rejects = sum (fun r -> r.r_corrupt_rejects);
+    s_retransmissions = sum (fun r -> r.r_retransmissions);
+    s_failures = failures;
+    s_shrunk = shrunk;
+  }
+
+let pp_run ppf r =
+  Format.fprintf ppf
+    "@[<v>seed %Ld: sent %d, delivered %d, rejected %d, failed %d, net-lost \
+     %d@,\
+     retransmissions %d, injected drops %d, corrupted frames %d, integrity \
+     drops %d, corrupt rejects %d@,\
+     plan:@,\
+     %a@]"
+    r.r_seed r.r_sent r.r_delivered r.r_rejected r.r_failed r.r_net_lost
+    r.r_retransmissions r.r_injected_drops r.r_corrupted_frames
+    r.r_integrity_drops r.r_corrupt_rejects Fault_plan.pp r.r_plan;
+  if r.r_violations <> [] then begin
+    Format.fprintf ppf "@\nviolations:";
+    List.iter
+      (fun v -> Format.fprintf ppf "@\n  %a" Invariant.pp_violation v)
+      r.r_violations
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d runs: sent %d, delivered %d (%.1f%%), rejected %d, failed %d, \
+     net-lost %d@,\
+     corrupt rejects %d, retransmissions %d, invariant failures %d@]"
+    s.s_runs s.s_sent s.s_delivered
+    (if s.s_sent = 0 then 100.
+     else 100. *. float_of_int s.s_delivered /. float_of_int s.s_sent)
+    s.s_rejected s.s_failed s.s_net_lost s.s_corrupt_rejects
+    s.s_retransmissions
+    (List.length s.s_failures);
+  match s.s_shrunk with
+  | None -> ()
+  | Some (orig, min_rerun) ->
+      Format.fprintf ppf
+        "@\n@\nfirst failure (reproduce with --seed %Ld):@\n%a" orig.r_seed
+        pp_run orig;
+      Format.fprintf ppf "@\n@\nminimal reproducing plan (same seed):@\n%a"
+        pp_run min_rerun

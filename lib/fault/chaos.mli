@@ -1,0 +1,71 @@
+(** The chaos harness: seeded end-to-end runs under injected faults,
+    checked against the protocol's invariants, with schedule shrinking.
+
+    Each run builds a fresh world (network, peers, optionally a
+    replicated cluster), publishes a small workload of conformant and
+    trap type families, paces object sends across the fault horizon,
+    compiles a {!Fault_plan} onto the network and runs to quiescence.
+    Everything — link noise, fault windows, gossip partners — derives
+    from one [int64] seed, so a failing run reproduces from its seed
+    alone and a shrunk plan replays under the same randomness. *)
+
+type config = {
+  c_profile : Fault_plan.profile;
+  c_cluster : bool;
+      (** [true]: a 4-node replicated cluster (factor 2, gossip ticking
+          through the fault horizon, membership re-convergence checked
+          after heal). [false]: two peers. *)
+  c_objects : int;  (** Objects sent per run (60 ms apart). *)
+  c_frame_integrity : bool;
+      (** Install {!Corruptor.frame_intact} so corrupt object envelopes
+          are dropped pre-ack and recovered by ARQ retransmission. *)
+}
+
+val default_config : config
+(** Lossy, two peers, 8 objects, frame integrity on. *)
+
+type run_result = {
+  r_seed : int64;
+  r_plan : Fault_plan.t;
+  r_sent : int;
+  r_delivered : int;
+  r_rejected : int;  (** Non-conformant (trap) objects turned away. *)
+  r_failed : int;  (** Decode/load failures and terminal corruptions. *)
+  r_corrupt_rejects : int;  (** Across every peer in the run. *)
+  r_net_lost : int;  (** Object messages the ARQ layer gave up on. *)
+  r_retransmissions : int;
+  r_injected_drops : int;
+  r_corrupted_frames : int;
+  r_integrity_drops : int;
+  r_violations : Invariant.violation list;  (** Empty = run is green. *)
+}
+
+val run_one : ?plan:Fault_plan.t -> config -> seed:int64 -> run_result
+(** One seeded world. [plan] overrides the generated schedule (same
+    seed + same plan = same result — what {!shrink} relies on). *)
+
+val shrink : config -> seed:int64 -> Fault_plan.t -> Fault_plan.t
+(** Greedy ddmin over {!Fault_plan.shrink_candidates}: repeatedly move
+    to the first strictly smaller plan that still violates an invariant
+    under the same seed. Returns a (locally) minimal failing plan. *)
+
+type summary = {
+  s_runs : int;
+  s_sent : int;
+  s_delivered : int;
+  s_rejected : int;
+  s_failed : int;
+  s_net_lost : int;
+  s_corrupt_rejects : int;
+  s_retransmissions : int;
+  s_failures : run_result list;
+  s_shrunk : (run_result * run_result) option;
+      (** First failing run and its re-run under the shrunk plan. *)
+}
+
+val run_many : config -> runs:int -> seed:int64 -> summary
+(** [runs] independent worlds with per-run seeds derived from [seed].
+    If any run violates an invariant, the first failure is shrunk. *)
+
+val pp_run : Format.formatter -> run_result -> unit
+val pp_summary : Format.formatter -> summary -> unit

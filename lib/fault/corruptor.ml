@@ -1,0 +1,32 @@
+module Splitmix = Pti_util.Splitmix
+module Message = Pti_core.Message
+
+let flip_byte rng s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let i = Splitmix.int rng n in
+    let b = Bytes.of_string s in
+    let x = 1 + Splitmix.int rng 255 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor x));
+    Bytes.to_string b
+  end
+
+let corrupt_message rng (m : Message.t) : Message.t option =
+  match m with
+  | Message.Obj_msg o ->
+      Some (Message.Obj_msg { o with envelope = flip_byte rng o.envelope })
+  | Message.Tdesc_reply ({ desc = Some d; _ } as r) ->
+      Some (Message.Tdesc_reply { r with desc = Some (flip_byte rng d) })
+  | Message.Asm_reply ({ assembly = Some a; _ } as r) ->
+      Some (Message.Asm_reply { r with assembly = Some (flip_byte rng a) })
+  | Message.Gossip g -> Some (Message.Gossip { g with body = flip_byte rng g.body })
+  | _ -> None
+
+let frame_intact (m : Message.t) =
+  match m with
+  | Message.Obj_msg { envelope; _ } -> (
+      match Pti_serial.Envelope.of_string envelope with
+      | Ok _ -> true
+      | Error _ -> false)
+  | _ -> true

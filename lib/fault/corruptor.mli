@@ -1,0 +1,23 @@
+(** Byte-level corruption of protocol messages.
+
+    Only payload-bearing fields are mangled — object envelopes, type
+    description replies, assembly replies and gossip bodies. Requests
+    carry no integrity digest; flipping a [type_name] in flight would
+    manifest as an undetectable failed lookup rather than a detectable
+    corruption, which is not the property under test. *)
+
+module Splitmix = Pti_util.Splitmix
+
+val flip_byte : Splitmix.t -> string -> string
+(** Flip one random byte (XOR with a random non-zero value). The result
+    always differs from the input; empty strings come back unchanged. *)
+
+val corrupt_message : Splitmix.t -> Pti_core.Message.t -> Pti_core.Message.t option
+(** [Some] with one payload byte flipped for payload-bearing messages;
+    [None] for requests, acks and other non-payload traffic. *)
+
+val frame_intact : Pti_core.Message.t -> bool
+(** Integrity predicate for {!Pti_net.Net.set_integrity}: an [Obj_msg]
+    whose envelope no longer parses/verifies is rejected at the frame
+    level (so ARQ retransmits it); every other message is waved through
+    to the peer, whose digest checks classify and count it. *)

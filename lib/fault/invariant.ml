@@ -1,0 +1,78 @@
+type violation = { inv : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.inv v.detail
+
+let v inv fmt = Format.kasprintf (fun detail -> { inv; detail }) fmt
+
+let conservation ~sent ~delivered ~rejected ~failed ~net_lost =
+  let accounted = delivered + rejected + failed + net_lost in
+  if accounted = sent then []
+  else
+    [
+      v "conservation"
+        "sent=%d but delivered=%d + rejected=%d + failed=%d + net_lost=%d = %d"
+        sent delivered rejected failed net_lost accounted;
+    ]
+
+let exactly_once ~delivered_keys =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun k ->
+      if Hashtbl.mem seen k then Some (v "exactly-once" "%S delivered twice" k)
+      else begin
+        Hashtbl.add seen k ();
+        None
+      end)
+    delivered_keys
+
+let no_mangle ~expected ~got =
+  List.filter_map
+    (fun (key, (name, age)) ->
+      match List.assoc_opt key expected with
+      | None -> Some (v "no-mangle" "delivered unknown key %S" key)
+      | Some (name', age') ->
+          if String.equal name name' && age = age' then None
+          else
+            Some
+              (v "no-mangle" "%S delivered as (%S, %d), published as (%S, %d)"
+                 key name age name' age'))
+    got
+
+let trap_never_delivered ~trap_keys ~delivered_keys =
+  List.filter_map
+    (fun k ->
+      if List.mem k trap_keys then
+        Some (v "trap-rejected" "trap object %S was delivered" k)
+      else None)
+    delivered_keys
+
+let verdict_stability triples =
+  List.filter_map
+    (fun (ty, before, after) ->
+      if String.equal before after then None
+      else
+        Some
+          (v "verdict-stability" "%s checked %s before faults, %s after" ty
+             before after))
+    triples
+
+let membership_converged rows =
+  List.concat_map
+    (fun (observer, members) ->
+      List.filter_map
+        (fun (member, status) ->
+          if String.equal status "alive" then None
+          else
+            Some
+              (v "membership" "%s sees %s as %s after heal" observer member
+                 status))
+        members)
+    rows
+
+let metrics_match_trace pairs =
+  List.filter_map
+    (fun (label, metric, trace) ->
+      if metric = trace then None
+      else
+        Some (v "metrics-vs-trace" "%s: metrics=%d trace=%d" label metric trace))
+    pairs

@@ -1,0 +1,51 @@
+(** Pure invariant checks over chaos-run observations.
+
+    Each check takes plain data collected by {!Chaos} and returns the
+    violations it found; an empty list means the invariant holds. The
+    checks know nothing about the network or scheduler, which keeps
+    them unit-testable with hand-built observations. *)
+
+type violation = { inv : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val conservation :
+  sent:int ->
+  delivered:int ->
+  rejected:int ->
+  failed:int ->
+  net_lost:int ->
+  violation list
+(** Every sent object is accounted for exactly once:
+    [delivered + rejected + failed + net_lost = sent]. *)
+
+val exactly_once : delivered_keys:string list -> violation list
+(** No object key appears twice in the delivered list (no duplicate
+    apply under ARQ or injected duplication). *)
+
+val no_mangle :
+  expected:(string * (string * int)) list ->
+  got:(string * (string * int)) list ->
+  violation list
+(** Every delivered object's observable fields match what the sender
+    published for that key — a corrupted payload must be rejected, never
+    applied with mangled contents. Keys present in [got] but absent from
+    [expected] are violations too. *)
+
+val trap_never_delivered :
+  trap_keys:string list -> delivered_keys:string list -> violation list
+(** Objects published with trap (non-conformant) types must never reach
+    delivery, faults or not. *)
+
+val verdict_stability : (string * string * string) list -> violation list
+(** [(type_name, before, after)] triples: the checker verdict for a type
+    must not change when its cache is cleared and the check re-runs. *)
+
+val membership_converged :
+  (string * (string * string) list) list -> violation list
+(** [(observer, [(member, status)])] rows after partitions heal and
+    gossip settles: every node must see every member [alive]. *)
+
+val metrics_match_trace : (string * int * int) list -> violation list
+(** [(label, metric_count, trace_count)] pairs that must agree — the
+    metrics registry and the trace recorder watched the same run. *)

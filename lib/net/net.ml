@@ -11,6 +11,23 @@ type reliability = {
 let default_reliability =
   { retransmit_ms = 50.; max_retries = 5; ack_bytes = 16 }
 
+type 'a fault_hooks = {
+  fh_down : now:float -> src:address -> dst:address -> bool;
+  fh_drop : now:float -> src:address -> dst:address -> bool;
+  fh_duplicates : now:float -> src:address -> dst:address -> int;
+  fh_delay : now:float -> src:address -> dst:address -> float;
+  fh_corrupt : now:float -> src:address -> dst:address -> 'a -> 'a option;
+}
+
+let no_faults =
+  {
+    fh_down = (fun ~now:_ ~src:_ ~dst:_ -> false);
+    fh_drop = (fun ~now:_ ~src:_ ~dst:_ -> false);
+    fh_duplicates = (fun ~now:_ ~src:_ ~dst:_ -> 0);
+    fh_delay = (fun ~now:_ ~src:_ ~dst:_ -> 0.);
+    fh_corrupt = (fun ~now:_ ~src:_ ~dst:_ _ -> None);
+  }
+
 type 'a t = {
   sim : Sim.t;
   stats : Stats.t;
@@ -21,14 +38,22 @@ type 'a t = {
   jitter : float;
   reliability : reliability option;
   handlers : (address, net:'a t -> src:address -> 'a -> unit) Hashtbl.t;
+  known : (address, unit) Hashtbl.t;  (* every address ever registered *)
   links : (string, float * float) Hashtbl.t;  (* "a|b" -> latency,bw *)
   partitions : (string, unit) Hashtbl.t;
   acked : (int, unit) Hashtbl.t;  (* message ids confirmed by an ack *)
   delivered : (int, unit) Hashtbl.t;  (* message ids handed to a handler *)
+  lost_by : (Stats.category, int) Hashtbl.t;
   mutable next_msg_id : int;
   mutable dropped : int;
   mutable retransmitted : int;
   mutable lost : int;
+  mutable faults : 'a fault_hooks option;
+  mutable integrity : ('a -> bool) option;
+  mutable injected_drops : int;
+  mutable injected_duplicates : int;
+  mutable corrupted_frames : int;
+  mutable integrity_drops : int;
   mutable observer :
     (now:float -> src:address -> dst:address -> category:Stats.category ->
      size:int -> attempt:int -> unit)
@@ -50,14 +75,22 @@ let create ?(default_latency_ms = 1.0) ?(default_bandwidth_bpms = 1000.)
     jitter = jitter_ms;
     reliability;
     handlers = Hashtbl.create 16;
+    known = Hashtbl.create 16;
     links = Hashtbl.create 16;
     partitions = Hashtbl.create 4;
     acked = Hashtbl.create 64;
     delivered = Hashtbl.create 64;
+    lost_by = Hashtbl.create 8;
     next_msg_id = 0;
     dropped = 0;
     retransmitted = 0;
     lost = 0;
+    faults = None;
+    integrity = None;
+    injected_drops = 0;
+    injected_duplicates = 0;
+    corrupted_frames = 0;
+    integrity_drops = 0;
     observer = None;
   }
 
@@ -67,7 +100,10 @@ let stats t = t.stats
 let add_host t addr ~handler =
   if Hashtbl.mem t.handlers addr then
     invalid_arg (Printf.sprintf "Net.add_host: duplicate address %S" addr);
+  Hashtbl.replace t.known addr ();
   Hashtbl.replace t.handlers addr handler
+
+let remove_host t addr = Hashtbl.remove t.handlers addr
 
 let set_link t a b ~latency_ms ~bandwidth_bpms =
   Hashtbl.replace t.links (link_key a b) (latency_ms, bandwidth_bpms)
@@ -82,6 +118,9 @@ let observe t ~src ~dst ~category ~size ~attempt =
 let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
 let heal t a b = Hashtbl.remove t.partitions (link_key a b)
 
+let set_fault_hooks t f = t.faults <- f
+let set_integrity t f = t.integrity <- f
+
 let link_params t a b =
   match Hashtbl.find_opt t.links (link_key a b) with
   | Some p -> p
@@ -89,85 +128,172 @@ let link_params t a b =
 
 let partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
 
-(* One transmission attempt is lost when the pair is partitioned or the
-   coin says so. *)
-let attempt_lost t ~src ~dst =
+(* The link is severed — statically partitioned or inside an injected
+   down/flap/crash window. Checked at send time and again on arrival so
+   a cut kills messages already in flight. *)
+let severed t ~src ~dst =
   partitioned t src dst
+  || match t.faults with
+     | None -> false
+     | Some f -> f.fh_down ~now:(Sim.now t.sim) ~src ~dst
+
+(* One transmission attempt is lost when the link is severed, the
+   ambient drop coin says so, or an injected loss window fires. *)
+let attempt_lost t ~src ~dst =
+  severed t ~src ~dst
   || (t.drop_rate > 0. && Splitmix.float t.rng < t.drop_rate)
+  || match t.faults with
+     | None -> false
+     | Some f ->
+         let hit = f.fh_drop ~now:(Sim.now t.sim) ~src ~dst in
+         if hit then t.injected_drops <- t.injected_drops + 1;
+         hit
+
+let fault_duplicates t ~src ~dst =
+  match t.faults with
+  | None -> 0
+  | Some f -> max 0 (f.fh_duplicates ~now:(Sim.now t.sim) ~src ~dst)
+
+let fault_delay t ~src ~dst =
+  match t.faults with
+  | None -> 0.
+  | Some f -> max 0. (f.fh_delay ~now:(Sim.now t.sim) ~src ~dst)
+
+(* Corruption is sampled per transmitted copy, at send time (so the rng
+   draw order is deterministic); the mangled payload rides to arrival. *)
+let fault_corrupt t ~src ~dst payload =
+  match t.faults with
+  | None -> payload
+  | Some f -> (
+      match f.fh_corrupt ~now:(Sim.now t.sim) ~src ~dst payload with
+      | None -> payload
+      | Some p ->
+          t.corrupted_frames <- t.corrupted_frames + 1;
+          p)
 
 let transfer_delay t ~src ~dst ~size =
   let latency, bandwidth = link_params t src dst in
   let jitter = if t.jitter > 0. then Splitmix.float t.rng *. t.jitter else 0. in
   latency +. (float_of_int size /. bandwidth) +. jitter
+  +. fault_delay t ~src ~dst
+
+(* Frame-level integrity (the abstract link checksum): a frame that
+   fails the predicate is discarded before the handler sees it. Under
+   ARQ the discard also suppresses the ack, so the sender retransmits. *)
+let frame_ok t payload =
+  match t.integrity with
+  | None -> true
+  | Some chk ->
+      let ok = chk payload in
+      if not ok then t.integrity_drops <- t.integrity_drops + 1;
+      ok
+
+(* The handler is resolved on arrival, not at send time, so a host
+   removed (crashed) mid-flight just loses the frame instead of
+   delivering into the void — and a restarted host picks deliveries
+   back up. Returns whether the payload was handed over. *)
+let deliver t ~src ~dst payload =
+  match Hashtbl.find_opt t.handlers dst with
+  | None ->
+      t.dropped <- t.dropped + 1;
+      false
+  | Some handler ->
+      handler ~net:t ~src payload;
+      true
+
+let count_lost t category =
+  t.lost <- t.lost + 1;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.lost_by category) in
+  Hashtbl.replace t.lost_by category (n + 1)
 
 let send t ~src ~dst ~category ~size payload =
-  let handler =
-    match Hashtbl.find_opt t.handlers dst with
-    | Some h -> h
-    | None -> invalid_arg (Printf.sprintf "Net.send: unknown host %S" dst)
-  in
+  if not (Hashtbl.mem t.known dst) then
+    invalid_arg (Printf.sprintf "Net.send: unknown host %S" dst);
   match t.reliability with
   | None ->
-      Stats.record t.stats category ~bytes:size;
-      observe t ~src ~dst ~category ~size ~attempt:0;
-      if attempt_lost t ~src ~dst then t.dropped <- t.dropped + 1
-      else begin
-        let delay = transfer_delay t ~src ~dst ~size in
-        Sim.schedule t.sim ~delay (fun () ->
-            (* A partition cut while the message was in flight kills it
-               too — a cable does not care how far the packet got. *)
-            if partitioned t src dst then t.dropped <- t.dropped + 1
-            else begin
-              Stats.record_latency t.stats category ~ms:delay;
-              handler ~net:t ~src payload
-            end)
-      end
+      (* Each copy (the original plus injected duplicates) is charged,
+         observed, lossed and corrupted independently. *)
+      let copies = 1 + fault_duplicates t ~src ~dst in
+      if copies > 1 then
+        t.injected_duplicates <- t.injected_duplicates + (copies - 1);
+      for _copy = 1 to copies do
+        Stats.record t.stats category ~bytes:size;
+        observe t ~src ~dst ~category ~size ~attempt:0;
+        if attempt_lost t ~src ~dst then t.dropped <- t.dropped + 1
+        else begin
+          let payload = fault_corrupt t ~src ~dst payload in
+          let delay = transfer_delay t ~src ~dst ~size in
+          Sim.schedule t.sim ~delay (fun () ->
+              (* A partition cut while the message was in flight kills it
+                 too — a cable does not care how far the packet got. *)
+              if severed t ~src ~dst then t.dropped <- t.dropped + 1
+              else if frame_ok t payload then begin
+                if deliver t ~src ~dst payload then
+                  Stats.record_latency t.stats category ~ms:delay
+              end)
+        end
+      done
   | Some r ->
       let msg_id = t.next_msg_id in
       t.next_msg_id <- msg_id + 1;
       let sent_at = Sim.now t.sim in
       (* On (each) arrival: deliver exactly once, always (re-)ack. A
          partition cut mid-flight loses the attempt (the retransmission
-         timer is already armed and will retry). *)
-      let on_arrival () =
-        if partitioned t src dst then t.dropped <- t.dropped + 1
-        else begin
+         timer is already armed and will retry). A corrupt frame is
+         discarded without an ack, so corruption triggers retransmission
+         just like loss. *)
+      let on_arrival payload () =
+        if severed t ~src ~dst then t.dropped <- t.dropped + 1
+        else if frame_ok t payload then begin
           if not (Hashtbl.mem t.delivered msg_id) then begin
-            Hashtbl.add t.delivered msg_id ();
-            Stats.record_latency t.stats category
-              ~ms:(Sim.now t.sim -. sent_at);
-            handler ~net:t ~src payload
+            if deliver t ~src ~dst payload then begin
+              Hashtbl.add t.delivered msg_id ();
+              Stats.record_latency t.stats category
+                ~ms:(Sim.now t.sim -. sent_at)
+            end
           end;
-          (* The ack travels back and may itself be lost. *)
-          Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
-          if attempt_lost t ~src:dst ~dst:src then t.dropped <- t.dropped + 1
-          else begin
-            let ack_delay =
-              transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes
-            in
-            Sim.schedule t.sim ~delay:ack_delay (fun () ->
-                if partitioned t dst src then t.dropped <- t.dropped + 1
-                else Hashtbl.replace t.acked msg_id ())
+          if Hashtbl.mem t.delivered msg_id then begin
+            (* The ack travels back and may itself be lost. *)
+            Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
+            if attempt_lost t ~src:dst ~dst:src then
+              t.dropped <- t.dropped + 1
+            else begin
+              let ack_delay =
+                transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes
+              in
+              Sim.schedule t.sim ~delay:ack_delay (fun () ->
+                  if severed t ~src:dst ~dst:src then
+                    t.dropped <- t.dropped + 1
+                  else Hashtbl.replace t.acked msg_id ())
+            end
           end
         end
       in
-      let rec attempt n =
-        Stats.record t.stats category ~bytes:size;
-        observe t ~src ~dst ~category ~size ~attempt:n;
-        if n > 0 then t.retransmitted <- t.retransmitted + 1;
-        let arrived = not (attempt_lost t ~src ~dst) in
-        if arrived then begin
+      let launch () =
+        if attempt_lost t ~src ~dst then t.dropped <- t.dropped + 1
+        else begin
+          let payload = fault_corrupt t ~src ~dst payload in
           let delay = transfer_delay t ~src ~dst ~size in
-          Sim.schedule t.sim ~delay on_arrival
+          Sim.schedule t.sim ~delay (on_arrival payload)
         end
-        else t.dropped <- t.dropped + 1;
+      in
+      let rec attempt n =
+        let copies = 1 + fault_duplicates t ~src ~dst in
+        if copies > 1 then
+          t.injected_duplicates <- t.injected_duplicates + (copies - 1);
+        for _copy = 1 to copies do
+          Stats.record t.stats category ~bytes:size;
+          observe t ~src ~dst ~category ~size ~attempt:n;
+          launch ()
+        done;
+        if n > 0 then t.retransmitted <- t.retransmitted + 1;
         (* Retransmission timer: fires whether or not this attempt
            arrived; a lost ack also triggers a retry. *)
         Sim.schedule t.sim ~delay:r.retransmit_ms (fun () ->
             if not (Hashtbl.mem t.acked msg_id) then
               if n < r.max_retries then attempt (n + 1)
               else if not (Hashtbl.mem t.delivered msg_id) then
-                t.lost <- t.lost + 1)
+                count_lost t category)
       in
       attempt 0
 
@@ -177,3 +303,11 @@ let hosts t = Hashtbl.fold (fun a _ acc -> a :: acc) t.handlers []
 let dropped_messages t = t.dropped
 let retransmissions t = t.retransmitted
 let lost_messages t = t.lost
+
+let lost_for t category =
+  Option.value ~default:0 (Hashtbl.find_opt t.lost_by category)
+
+let injected_drops t = t.injected_drops
+let injected_duplicates t = t.injected_duplicates
+let corrupted_frames t = t.corrupted_frames
+let integrity_drops t = t.integrity_drops

@@ -28,6 +28,32 @@ type reliability = {
 val default_reliability : reliability
 (** 50 ms timer, 5 retries, 16-byte acks. *)
 
+type 'a fault_hooks = {
+  fh_down : now:float -> src:address -> dst:address -> bool;
+      (** Link severed at [now] (flap / partition window / crashed peer).
+          Checked when an attempt launches {e and} again on arrival, so a
+          window opening mid-flight kills the frame. *)
+  fh_drop : now:float -> src:address -> dst:address -> bool;
+      (** Extra per-attempt loss (burst windows). Counted in
+          {!injected_drops} when it fires. *)
+  fh_duplicates : now:float -> src:address -> dst:address -> int;
+      (** Extra copies of the frame to transmit (each charged, lossed,
+          delayed and corrupted independently). *)
+  fh_delay : now:float -> src:address -> dst:address -> float;
+      (** Extra milliseconds added to the transfer delay — reordering
+          windows return large random values here. *)
+  fh_corrupt : now:float -> src:address -> dst:address -> 'a -> 'a option;
+      (** [Some p'] replaces the payload of this copy with a mangled
+          [p']; [None] leaves it alone. Sampled per transmitted copy. *)
+}
+(** Per-link fault-injection hooks, evaluated lazily against [Sim.now] —
+    installing a plan schedules no events, so {!run} still quiesces.
+    Hooks draw their own randomness (from a seeded [Splitmix]); the
+    network only asks. See [Pti_fault.Fault_plan] for the compiler. *)
+
+val no_faults : 'a fault_hooks
+(** Hooks that never fire — a base to override selectively. *)
+
 type 'a t
 
 val create : ?default_latency_ms:float -> ?default_bandwidth_bpms:float ->
@@ -43,7 +69,16 @@ val stats : 'a t -> Stats.t
 
 val add_host : 'a t -> address ->
   handler:(net:'a t -> src:address -> 'a -> unit) -> unit
-(** @raise Invalid_argument on a duplicate address. *)
+(** @raise Invalid_argument on a duplicate address. After
+    {!remove_host} the address may be registered again (restart). *)
+
+val remove_host : 'a t -> address -> unit
+(** Unregister a host (crash). Handlers are resolved on arrival, so
+    frames in flight to a removed host are dropped, not raised on;
+    under reliability they go unacked and the sender keeps retrying,
+    so a host re-added within the retry budget picks the delivery
+    back up. Sending {e to} a removed-but-once-known address is a
+    silent drop; only a never-registered destination raises. *)
 
 val set_link : 'a t -> address -> address -> latency_ms:float ->
   bandwidth_bpms:float -> unit
@@ -57,6 +92,16 @@ val partition : 'a t -> address -> address -> unit
     delay delivery. *)
 
 val heal : 'a t -> address -> address -> unit
+
+val set_fault_hooks : 'a t -> 'a fault_hooks option -> unit
+(** Install (or clear) the fault-injection hooks. *)
+
+val set_integrity : 'a t -> ('a -> bool) option -> unit
+(** Install a frame-integrity predicate — the abstract link-layer
+    checksum. A frame failing it is discarded on arrival (counted in
+    {!integrity_drops}) before the handler sees it; under reliability
+    the discard suppresses the ack, so the sender retransmits and a
+    later clean copy still gets through. *)
 
 val send : 'a t -> src:address -> dst:address -> category:Stats.category ->
   size:int -> 'a -> unit
@@ -90,3 +135,21 @@ val lost_messages : 'a t -> int
 (** Messages abandoned after exhausting retries (always 0 without
     reliability — unreliable sends are counted in
     {!dropped_messages} only). *)
+
+val lost_for : 'a t -> Stats.category -> int
+(** {!lost_messages} restricted to one traffic category — lets a
+    harness attribute abandoned messages (e.g. lost object envelopes
+    vs lost subprotocol requests). *)
+
+val injected_drops : 'a t -> int
+(** Attempts lost to [fh_drop] windows (excludes ambient [drop_rate]
+    losses and severed links). *)
+
+val injected_duplicates : 'a t -> int
+(** Extra frame copies created by [fh_duplicates]. *)
+
+val corrupted_frames : 'a t -> int
+(** Transmitted copies whose payload was replaced by [fh_corrupt]. *)
+
+val integrity_drops : 'a t -> int
+(** Frames discarded on arrival by the {!set_integrity} predicate. *)

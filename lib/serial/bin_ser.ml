@@ -2,13 +2,30 @@ open Pti_cts
 module W = Bytes_io.Writer
 module R = Bytes_io.Reader
 
-type error = Malformed of string | Unknown_type of string
+type error = Malformed of string | Unknown_type of string | Corrupt of string
 
 let pp_error ppf = function
   | Malformed m -> Format.fprintf ppf "malformed binary payload: %s" m
   | Unknown_type t -> Format.fprintf ppf "unknown type %S" t
+  | Corrupt m -> Format.fprintf ppf "corrupt binary payload: %s" m
 
-let magic = "PTIB\x01"
+let magic = "PTIB\x02"
+
+(* Wire layout: magic, 8-byte FNV-1a checksum of the body, body. The
+   checksum distinguishes wire corruption ([Corrupt]) from structural
+   nonsense ([Malformed]) before any value is materialized. *)
+let header_len = String.length magic + 8
+
+let checked_body s =
+  if String.length s < header_len then Error (Malformed "truncated header")
+  else if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    Error (Malformed "bad magic")
+  else
+    let sum = String.sub s (String.length magic) 8 in
+    let body = String.sub s header_len (String.length s - header_len) in
+    if not (String.equal sum (Pti_util.Fnv.hash_bytes body)) then
+      Error (Corrupt "checksum mismatch")
+    else Ok body
 
 (* Value tags. *)
 let t_null = 0
@@ -99,9 +116,9 @@ let encode v =
       next_id = 0;
     }
   in
-  W.raw st.w magic;
   write st v;
-  W.contents st.w
+  let body = W.contents st.w in
+  magic ^ Pti_util.Fnv.hash_bytes body ^ body
 
 type outern = {
   r : R.t;
@@ -177,23 +194,25 @@ let rec read reg st =
   else raise (R.Underflow (Printf.sprintf "unknown tag %d" tag))
 
 let decode reg s =
-  let st =
-    { r = R.create s; rev_names = Hashtbl.create 16;
-      objects = Hashtbl.create 16 }
-  in
-  try
-    R.expect_magic st.r magic;
-    let v = read reg st in
-    if not (R.at_end st.r) then Error (Malformed "trailing bytes")
-    else Ok v
-  with
-  | R.Underflow m -> Error (Malformed m)
-  | Unknown cls -> Error (Unknown_type cls)
+  match checked_body s with
+  | Error e -> Error e
+  | Ok body -> (
+      let st =
+        { r = R.create body; rev_names = Hashtbl.create 16;
+          objects = Hashtbl.create 16 }
+      in
+      try
+        let v = read reg st in
+        if not (R.at_end st.r) then Error (Malformed "trailing bytes")
+        else Ok v
+      with
+      | R.Underflow m -> Error (Malformed m)
+      | Unknown cls -> Error (Unknown_type cls))
 
 (* Walk the payload structure without materializing values. *)
-let class_names s =
+let class_names_body body =
   let st =
-    { r = R.create s; rev_names = Hashtbl.create 16;
+    { r = R.create body; rev_names = Hashtbl.create 16;
       objects = Hashtbl.create 16 }
   in
   let found = ref [] in
@@ -227,7 +246,11 @@ let class_names s =
     else raise (R.Underflow (Printf.sprintf "unknown tag %d" tag))
   in
   try
-    R.expect_magic st.r magic;
     skip ();
     Ok (List.rev !found)
   with R.Underflow m -> Error (Malformed m)
+
+let class_names s =
+  match checked_body s with
+  | Error e -> Error e
+  | Ok body -> class_names_body body

@@ -13,6 +13,11 @@ open Pti_cts
 type error =
   | Malformed of string
   | Unknown_type of string  (** Qualified class name not in the registry. *)
+  | Corrupt of string
+      (** The 8-byte FNV-1a checksum after the magic does not match the
+          body — the bytes were damaged in transit. Reported before any
+          structural parsing, so a flipped byte can never surface as a
+          mangled value. *)
 
 val pp_error : Format.formatter -> error -> unit
 

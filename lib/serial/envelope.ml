@@ -16,11 +16,37 @@ type payload = Psoap of Xml.t | Pbinary of string
 
 type t = { env_types : type_entry list; env_payload : payload }
 
-type error = Malformed of string | Unknown_type of string
+type error = Malformed of string | Unknown_type of string | Corrupt of string
 
 let pp_error ppf = function
   | Malformed m -> Format.fprintf ppf "malformed envelope: %s" m
   | Unknown_type ty -> Format.fprintf ppf "unknown type %S" ty
+  | Corrupt m -> Format.fprintf ppf "corrupt envelope: %s" m
+
+(* Canonical content string the integrity digest is computed over: the
+   semantic fields of the envelope, not its XML rendering, so the check
+   is immune to whitespace/attribute-order differences between writer
+   and reader. The separators cannot occur in the fields' own text
+   ambiguously (0x00/0x01 never appear in names, guids or paths). *)
+let canonical t =
+  String.concat "\x00"
+    (List.map
+       (fun e ->
+         String.concat "\x01"
+           [
+             e.te_name;
+             Guid.to_string e.te_guid;
+             e.te_assembly;
+             e.te_download_path;
+           ])
+       t.env_types
+    @ [
+        (match t.env_payload with
+        | Psoap x -> "soap:" ^ Xml.to_string x
+        | Pbinary b -> "binary:" ^ b);
+      ])
+
+let digest t = Pti_util.Fnv.hash_hex (canonical t)
 
 (* Distinct class names reachable from a value, in first-visit order. *)
 let graph_classes v =
@@ -85,11 +111,13 @@ let decode_payload reg t =
       match Bin_ser.decode reg b with
       | Ok v -> Ok v
       | Error (Bin_ser.Malformed m) -> Error (Malformed m)
-      | Error (Bin_ser.Unknown_type ty) -> Error (Unknown_type ty))
+      | Error (Bin_ser.Unknown_type ty) -> Error (Unknown_type ty)
+      | Error (Bin_ser.Corrupt m) -> Error (Corrupt m))
 
 let to_xml t =
   let open Xml in
   elt "envelope"
+    ~attrs:[ ("digest", digest t) ]
     (List.map
        (fun e ->
          elt "type"
@@ -166,7 +194,16 @@ let of_xml x =
         | other ->
             Error (Malformed (Printf.sprintf "unknown encoding %S" other))
       in
-      Ok { env_types; env_payload }
+      let t = { env_types; env_payload } in
+      (* An envelope written before digests existed (no attribute) is
+         accepted as-is; a present digest must match the recomputed one. *)
+      let* () =
+        match Xml.attr "digest" x with
+        | None -> Ok ()
+        | Some d when String.equal d (digest t) -> Ok ()
+        | Some _ -> Error (Corrupt "envelope digest mismatch")
+      in
+      Ok t
   | Some other ->
       Error (Malformed (Printf.sprintf "expected <envelope>, got <%s>" other))
   | None -> Error (Malformed "expected an element")

@@ -22,9 +22,22 @@ type payload = Psoap of Pti_xml.Xml.t | Pbinary of string
 
 type t = { env_types : type_entry list; env_payload : payload }
 
-type error = Malformed of string | Unknown_type of string
+type error =
+  | Malformed of string
+  | Unknown_type of string
+  | Corrupt of string
+      (** The integrity digest did not match — the envelope (or its
+          binary payload's checksum) was damaged on the wire. Decoding
+          never yields a mangled value: corruption surfaces here. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val digest : t -> string
+(** FNV-1a (hex) over the envelope's canonical content — every type
+    entry field plus the serialized payload bytes. Written as a
+    [digest] attribute by {!to_xml}; {!of_xml} recomputes and compares
+    when the attribute is present (envelopes without one are accepted,
+    for pre-digest peers). *)
 
 val make : Registry.t -> codec:codec ->
   download_path:(assembly:string -> string) -> Value.value -> t

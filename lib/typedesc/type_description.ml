@@ -368,13 +368,20 @@ let of_xml x =
   | Some other -> Error (Printf.sprintf "expected <typeDescription>, got <%s>" other)
   | None -> Error "expected an element"
 
+(* The compact wire rendering carries an integrity digest; the pretty
+   rendering is for display and stays digest-free (whitespace would not
+   survive a canonical re-render). *)
 let to_xml_string ?(pretty = false) t =
-  if pretty then Xml.to_string_pretty (to_xml t) else Xml.to_string (to_xml t)
+  if pretty then Xml.to_string_pretty (to_xml t)
+  else Xml.to_string (Pti_xml.Digest_attr.add (to_xml t))
 
 let of_xml_string s =
   match Xml.parse s with
   | Error e -> Error (Format.asprintf "%a" Xml.pp_error e)
-  | Ok x -> of_xml x
+  | Ok x -> (
+      match Pti_xml.Digest_attr.verify x with
+      | Error e -> Error ("corrupt type description: " ^ e)
+      | Ok x -> of_xml x)
 
 let size_bytes t = Xml.size_bytes (to_xml t)
 

@@ -1,0 +1,28 @@
+let attr_name = "digest"
+
+let strip = function
+  | Xml.Element (tag, attrs, children) ->
+      Xml.Element
+        (tag, List.filter (fun (k, _) -> k <> attr_name) attrs, children)
+  | other -> other
+
+let canonical x = Xml.to_string (strip x)
+
+let add x =
+  match strip x with
+  | Xml.Element (tag, attrs, children) as stripped ->
+      Xml.Element
+        (tag, (attr_name, Pti_util.Fnv.hash_hex (Xml.to_string stripped)) :: attrs,
+         children)
+  | other -> other
+
+let verify x =
+  match x with
+  | Xml.Element (_, attrs, _) -> (
+      match List.assoc_opt attr_name attrs with
+      | None -> Ok x
+      | Some d ->
+          if String.equal d (Pti_util.Fnv.hash_hex (canonical x)) then
+            Ok (strip x)
+          else Error "digest mismatch")
+  | other -> Ok other

@@ -379,6 +379,135 @@ let test_determinism () =
   in
   Alcotest.(check (list (float 1e-12))) "deterministic" (run ()) (run ())
 
+(* ---------------------------------------------------------------- *)
+(* Crash/restart: remove_host + re-registration                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_remove_host_and_restart () =
+  let net = Net.create () in
+  let got = ref [] in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ _ -> ());
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ s -> got := s :: !got);
+  Alcotest.check_raises "duplicate add still refuses"
+    (Invalid_argument "Net.add_host: duplicate address \"b\"") (fun () ->
+      Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ _ -> ()));
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 "before";
+  Net.run net;
+  (* Crash: the host disappears; frames addressed to it are silently
+     dropped (it was known once), not a programming error. *)
+  Net.remove_host net "b";
+  let dropped0 = Net.dropped_messages net in
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 "while down";
+  Net.run net;
+  Alcotest.(check bool) "dropped while down" true
+    (Net.dropped_messages net > dropped0);
+  (* Restart: re-registration under the same address is legal again. *)
+  Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ s -> got := s :: !got);
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Control ~size:1 "after";
+  Net.run net;
+  Alcotest.(check (list string)) "messages around the crash"
+    [ "before"; "after" ] (List.rev !got);
+  (* A host that never existed is still a programming error. *)
+  Alcotest.check_raises "never-known dst raises"
+    (Invalid_argument "Net.send: unknown host \"zed\"") (fun () ->
+      Net.send net ~src:"a" ~dst:"zed" ~category:Stats.Control ~size:1 "x")
+
+let test_arq_redelivers_across_restart () =
+  (* A message sent while the destination is down is retransmitted until
+     the host comes back — crash/restart inside the ARQ retry budget
+     loses nothing. *)
+  let net =
+    Net.create
+      ~reliability:{ Net.retransmit_ms = 10.; max_retries = 10; ack_bytes = 4 }
+      ()
+  in
+  let sim = Net.sim net in
+  let got = ref [] in
+  let handler ~net:_ ~src:_ s = got := s :: !got in
+  Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ _ -> ());
+  Net.add_host net "b" ~handler;
+  Net.remove_host net "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:10 "m";
+  Sim.schedule sim ~delay:35. (fun () -> Net.add_host net "b" ~handler);
+  Net.run net;
+  Alcotest.(check (list string)) "redelivered after restart" [ "m" ] !got;
+  Alcotest.(check int) "nothing lost" 0 (Net.lost_for net Stats.Object_msg)
+
+(* ---------------------------------------------------------------- *)
+(* Model-based ARQ property                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Random loss (data and acks alike — both directions share the coin),
+   many messages: the ARQ layer must deliver each payload at most once,
+   account for every message as delivered or lost, and charge each
+   attempt's bytes. *)
+let prop_arq_model =
+  QCheck.Test.make
+    ~name:"ARQ model: exactly-once, conservation, charged retransmissions"
+    ~count:60
+    QCheck.(triple (int_bound 899) (1 -- 25) small_int)
+    (fun (drop_pm, n, seed) ->
+      let drop_rate = float_of_int drop_pm /. 1000. in
+      let net =
+        Net.create ~drop_rate
+          ~reliability:
+            { Net.retransmit_ms = 20.; max_retries = 6; ack_bytes = 4 }
+          ~seed:(Int64.of_int seed) ()
+      in
+      let delivered : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ _ -> ());
+      Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ i ->
+          Hashtbl.replace delivered i
+            (1 + Option.value ~default:0 (Hashtbl.find_opt delivered i)));
+      for i = 1 to n do
+        Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:100 i
+      done;
+      Net.run net;
+      let doubly =
+        Hashtbl.fold (fun _ c acc -> acc || c > 1) delivered false
+      in
+      let lost = Net.lost_for net Stats.Object_msg in
+      let attempts = n + Net.retransmissions net in
+      (not doubly)
+      && Hashtbl.length delivered + lost = n
+      && Stats.bytes (Net.stats net) Stats.Object_msg = attempts * 100)
+
+(* Injected duplication on top of loss: extra copies of data frames (and
+   their extra acks) must never double-deliver. *)
+let prop_arq_duplication_exactly_once =
+  QCheck.Test.make ~name:"ARQ under injected duplication stays exactly-once"
+    ~count:40
+    QCheck.(pair (int_bound 500) small_int)
+    (fun (drop_pm, seed) ->
+      let net =
+        Net.create
+          ~drop_rate:(float_of_int drop_pm /. 1000.)
+          ~reliability:
+            { Net.retransmit_ms = 20.; max_retries = 6; ack_bytes = 4 }
+          ~seed:(Int64.of_int seed) ()
+      in
+      Net.set_fault_hooks net
+        (Some
+           {
+             Net.no_faults with
+             Net.fh_duplicates = (fun ~now:_ ~src:_ ~dst:_ -> 1);
+           });
+      let n = 15 in
+      let delivered : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Net.add_host net "a" ~handler:(fun ~net:_ ~src:_ _ -> ());
+      Net.add_host net "b" ~handler:(fun ~net:_ ~src:_ i ->
+          Hashtbl.replace delivered i
+            (1 + Option.value ~default:0 (Hashtbl.find_opt delivered i)));
+      for i = 1 to n do
+        Net.send net ~src:"a" ~dst:"b" ~category:Stats.Object_msg ~size:10 i
+      done;
+      Net.run net;
+      let doubly =
+        Hashtbl.fold (fun _ c acc -> acc || c > 1) delivered false
+      in
+      (not doubly)
+      && Hashtbl.length delivered + Net.lost_for net Stats.Object_msg = n)
+
 let () =
   Alcotest.run "net"
     [
@@ -416,6 +545,18 @@ let () =
             test_reliable_partition_kills_in_flight_then_recovers;
           Alcotest.test_case "retransmissions charged" `Quick
             test_reliable_charges_retransmissions;
+        ] );
+      ( "crash-restart",
+        [
+          Alcotest.test_case "remove_host + re-add" `Quick
+            test_remove_host_and_restart;
+          Alcotest.test_case "ARQ redelivers across restart" `Quick
+            test_arq_redelivers_across_restart;
+        ] );
+      ( "arq-model",
+        [
+          QCheck_alcotest.to_alcotest prop_arq_model;
+          QCheck_alcotest.to_alcotest prop_arq_duplication_exactly_once;
         ] );
       ( "stats",
         [

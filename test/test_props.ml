@@ -48,7 +48,7 @@ let prop_bin_decoder_total =
   QCheck.Test.make ~name:"binary decoder never raises on junk" ~count:500
     junk_gen
     (fun s ->
-      match Bin.decode reg ("PTIB\x01" ^ s) with
+      match Bin.decode reg ("PTIB\x02" ^ s) with
       | Ok _ | Error _ -> true)
 
 let prop_tdesc_decoder_total =
@@ -232,7 +232,8 @@ let run_protocol ~objects ~distinct ~nonconf ~seed =
         match ev with
         | Peer.Delivered _ -> (d + 1, r, f)
         | Peer.Rejected _ -> (d, r + 1, f)
-        | Peer.Decode_failed _ | Peer.Load_failed _ -> (d, r, f + 1))
+        | Peer.Decode_failed _ | Peer.Load_failed _
+        | Peer.Corrupt_rejected _ -> (d, r, f + 1))
       (0, 0, 0) (Peer.events receiver)
   in
   (delivered, rejected, failed, Stats.total_bytes (Net.stats net))

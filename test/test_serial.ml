@@ -414,6 +414,54 @@ let prop_envelope_roundtrip =
           | Ok v' -> Value.equal_deep v v'
           | Error _ -> false))
 
+(* A single flipped byte anywhere in a wire string must never decode
+   into a mangled value. For the binary codec the answer is strictly
+   [Error]: every byte is covered by the magic, the FNV checksum or the
+   checksummed body, and the per-byte absorption step of FNV-1a is a
+   bijection, so any substitution changes the hash. *)
+let prop_bin_flip_always_detected =
+  let r = reg () in
+  let wire =
+    Bin.encode (Demo.make_news_person r ~name:"Ada Lovelace" ~age:36)
+  in
+  QCheck.Test.make ~name:"binary codec detects any single byte flip"
+    ~count:500
+    QCheck.(pair (int_bound (String.length wire - 1)) (1 -- 255))
+    (fun (pos, x) ->
+      let b = Bytes.of_string wire in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+      match Bin.decode r (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* Envelopes are XML, where a flip can land in insignificant syntax
+   (whitespace, a quote style) and re-parse to the same document — so
+   the guarantee is: decode fails, or the value is semantically intact.
+   Exercised for both payload codecs. *)
+let prop_envelope_flip_never_mangles =
+  let r = reg () in
+  let original = Demo.make_news_person r ~name:"Ada Lovelace" ~age:36 in
+  let wire codec =
+    Env.to_string
+      (Env.make r ~codec ~download_path:(fun ~assembly -> assembly) original)
+  in
+  let soap_wire = wire Env.Soap in
+  let bin_wire = wire Env.Binary in
+  QCheck.Test.make
+    ~name:"envelope flip: decode fails or the value is intact" ~count:600
+    QCheck.(triple bool (int_bound 99999) (1 -- 255))
+    (fun (use_soap, pos, x) ->
+      let wire = if use_soap then soap_wire else bin_wire in
+      let pos = pos mod String.length wire in
+      let b = Bytes.of_string wire in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+      match Env.of_string (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok env -> (
+          match Env.decode_payload r env with
+          | Error _ -> true
+          | Ok v -> Value.equal_deep original v))
+
 let () =
   Alcotest.run "serial"
     [
@@ -461,5 +509,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_bin_roundtrip;
           QCheck_alcotest.to_alcotest prop_soap_roundtrip;
           QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bin_flip_always_detected;
+          QCheck_alcotest.to_alcotest prop_envelope_flip_never_mangles;
         ] );
     ]
