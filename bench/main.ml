@@ -9,6 +9,7 @@
    E6 (§4.2)  rule-weakening ablation: safety vs recall
    E9 (§6)    cluster fan-out: gossip dissemination and mirror failover
    E10        fault intensity: delivery and bytes under injected faults
+   E11        wire efficiency: type handles, batching, binary tdescs
 
    E1-E4 are Bechamel micro-benchmarks; E5/E6 are deterministic simulated
    experiments printed as tables. Absolute numbers differ from the paper's
@@ -1220,6 +1221,145 @@ let e10 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E11: wire efficiency -- type handles, batching, binary tdescs        *)
+(* ------------------------------------------------------------------ *)
+
+type e11_out = {
+  w_delivered : int;
+  w_obj_bytes : int;  (** Object envelopes (incl. batch frames). *)
+  w_ctl_bytes : int;  (** Handle NAK / re-bind control traffic. *)
+  w_tdesc_bytes : int;  (** Type-description reply bytes. *)
+  w_total_bytes : int;  (** Everything on the wire, acks included. *)
+  w_frames : int;  (** Batch frames actually sent. *)
+}
+
+(* One seeded world sending [k] same-type objects from "a" to "b",
+   scheduled in same-instant groups of [group] (groups 60 ms apart) so
+   that intra-tick sends can coalesce when batching is on. K is the
+   type-repeat ratio of the workload: every envelope after the first
+   carries a type entry the link has already seen. *)
+let e11_run ?batch_bytes ~handles ~tdesc_binary ~group ~k ~seed () =
+  let net = Net.create ~seed () in
+  let sim = Net.sim net in
+  let mk a = Peer.create ~handles ?batch_bytes ~tdesc_binary ~net a in
+  let sender = mk "a" in
+  let receiver = mk "b" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let delivered = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr delivered);
+  for i = 0 to k - 1 do
+    let at = 10. +. (60. *. float_of_int (i / group)) in
+    Sim.schedule_at sim ~at (fun () ->
+        let v =
+          Demo.make_social_person (Peer.registry sender)
+            ~name:(Printf.sprintf "p%d" i)
+            ~age:(20 + i)
+        in
+        Peer.send_value sender ~dst:"b" v)
+  done;
+  Net.run net;
+  let stats = Net.stats net in
+  {
+    w_delivered = !delivered;
+    w_obj_bytes = Stats.bytes stats Stats.Object_msg;
+    w_ctl_bytes = Stats.bytes stats Stats.Handle_ctl;
+    w_tdesc_bytes = Stats.bytes stats Stats.Tdesc_reply;
+    w_total_bytes = Stats.total_bytes stats;
+    w_frames = Peer.batch_messages sender;
+  }
+
+let e11 () =
+  hr ();
+  print_endline
+    "E11 wire efficiency: negotiated type handles, envelope batching, binary \
+     tdescs";
+  hr ();
+  let obj_per o =
+    if o.w_delivered = 0 then 0.
+    else
+      float_of_int (o.w_obj_bytes + o.w_ctl_bytes)
+      /. float_of_int o.w_delivered
+  in
+  let total_per o =
+    if o.w_delivered = 0 then 0.
+    else float_of_int o.w_total_bytes /. float_of_int o.w_delivered
+  in
+  let e11_rows = ref [] in
+  Printf.printf
+    "\n\
+    \  E11a: wire bytes per completion vs the type-repeat ratio K (K\n\
+    \  same-type sends over one link). The first envelope binds the type\n\
+    \  entry to a handle; the other K-1 ship only the handle; batching\n\
+    \  (groups of 8 per tick) amortises per-message framing; binary\n\
+    \  tdescs shrink the one-time conformance probe. [obj] columns count\n\
+    \  object+handle-control traffic, [all] counts every wire byte.\n\n";
+  Printf.printf "  %5s | %10s %10s | %10s %6s | %10s %10s | %9s\n" "K"
+    "base obj" "base all" "h+b obj" "frames" "wire obj" "wire all" "reduction";
+  let ks = if quick then [ 2; 10 ] else [ 1; 2; 5; 10; 20 ] in
+  List.iter
+    (fun k ->
+      let base =
+        e11_run ~handles:false ~tdesc_binary:false ~group:1 ~k ~seed:13L ()
+      in
+      let hb =
+        e11_run ~batch_bytes:65536 ~handles:true ~tdesc_binary:false ~group:8
+          ~k ~seed:13L ()
+      in
+      let wire =
+        e11_run ~batch_bytes:65536 ~handles:true ~tdesc_binary:true ~group:8
+          ~k ~seed:13L ()
+      in
+      assert (base.w_delivered = k && hb.w_delivered = k && wire.w_delivered = k);
+      let reduction = 100. *. (1. -. (total_per wire /. total_per base)) in
+      Printf.printf
+        "  %5d | %10.0f %10.0f | %10.0f %6d | %10.0f %10.0f | %8.1f%%\n" k
+        (obj_per base) (total_per base) (obj_per hb) hb.w_frames
+        (obj_per wire) (total_per wire) reduction;
+      let key fmt = Printf.sprintf "K=%d %s" k fmt in
+      e11_rows :=
+        (key "reduction%", reduction)
+        :: (key "wire all B/obj", total_per wire)
+        :: (key "h+b obj B/obj", obj_per hb)
+        :: (key "base all B/obj", total_per base)
+        :: (key "base obj B/obj", obj_per base)
+        :: !e11_rows)
+    ks;
+  Printf.printf
+    "\n\
+    \  E11b: batch-size sweep at K=16 (handles on). Larger same-tick\n\
+    \  groups mean fewer frames and less per-message framing overhead;\n\
+    \  the byte budget caps frame size, so savings flatten once a group\n\
+    \  spans several frames.\n\n";
+  Printf.printf "  %7s | %6s | %11s\n" "group" "frames" "bytes/obj";
+  let groups = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  List.iter
+    (fun group ->
+      let o =
+        e11_run ~batch_bytes:4096 ~handles:true ~tdesc_binary:false ~group
+          ~k:16 ~seed:17L ()
+      in
+      Printf.printf "  %7d | %6d | %11.0f\n" group o.w_frames (obj_per o);
+      e11_rows :=
+        (Printf.sprintf "group=%d bytes/obj" group, obj_per o) :: !e11_rows)
+    groups;
+  let xml = e11_run ~handles:false ~tdesc_binary:false ~group:1 ~k:1 ~seed:19L () in
+  let bin = e11_run ~handles:false ~tdesc_binary:true ~group:1 ~k:1 ~seed:19L () in
+  Printf.printf
+    "\n\
+    \  E11c: type-description codec (one cold send, probe replies only).\n\
+    \  XML tdesc replies: %d bytes; binary (negotiated via binary_ok):\n\
+    \  %d bytes (%.1f%% smaller).\n" xml.w_tdesc_bytes bin.w_tdesc_bytes
+    (100. *. (1. -. (float_of_int bin.w_tdesc_bytes /. float_of_int xml.w_tdesc_bytes)));
+  e11_rows :=
+    ("tdesc binary bytes", float_of_int bin.w_tdesc_bytes)
+    :: ("tdesc xml bytes", float_of_int xml.w_tdesc_bytes)
+    :: !e11_rows;
+  record_group "E11" (List.rev !e11_rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Pragmatic Type Interoperability -- benchmark suite%s\n\n"
@@ -1237,6 +1377,7 @@ let () =
   e8 ();
   e9 ();
   e10 ();
+  e11 ();
   hr ();
   write_json ();
   print_endline "Done. See EXPERIMENTS.md for paper-vs-measured discussion."

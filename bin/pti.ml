@@ -372,15 +372,16 @@ let lint_cmd =
    interest, [objects] transfers round-robin over the families. Every
    component reports through the single [metrics] registry. *)
 let run_workload ~mode ~objects ~distinct ~nonconf ~metrics
+    ?(handles = false) ?batch_bytes ?(tdesc_binary = false)
     ?tdesc_cache_capacity ?checker_cache_capacity () =
   let net = Net.create ~seed:17L ~metrics () in
   let sender =
-    Peer.create ~mode ~net ~metrics ?tdesc_cache_capacity
-      ?checker_cache_capacity "sender"
+    Peer.create ~mode ~net ~metrics ~handles ?batch_bytes ~tdesc_binary
+      ?tdesc_cache_capacity ?checker_cache_capacity "sender"
   in
   let receiver =
-    Peer.create ~mode ~net ~metrics ?tdesc_cache_capacity
-      ?checker_cache_capacity "receiver"
+    Peer.create ~mode ~net ~metrics ~handles ?batch_bytes ~tdesc_binary
+      ?tdesc_cache_capacity ?checker_cache_capacity "receiver"
   in
   Peer.install_assembly receiver (Demo.news_assembly ());
   Peer.register_interest receiver ~interest:Demo.news_person
@@ -413,7 +414,7 @@ let run_workload ~mode ~objects ~distinct ~nonconf ~metrics
         | Peer.Corrupt_rejected _ -> (d, r))
       (0, 0) (Peer.events receiver)
   in
-  (net, delivered, rejected)
+  (net, sender, delivered, rejected)
 
 let workload_args =
   let objects =
@@ -447,14 +448,34 @@ let protocol_cmd =
              ~doc:"Also print the metrics-registry snapshot (caches, \
                    latency histograms, checker counters).")
   in
-  let run objects distinct nonconf eager show_metrics =
+  let handles =
+    Arg.(value & flag
+         & info [ "handles" ]
+             ~doc:"Negotiate per-link type handles: repeat type entries \
+                   ship as small integers after first use.")
+  in
+  let batch_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "batch-bytes" ] ~docv:"B"
+             ~doc:"Coalesce same-instant sends to one destination into \
+                   framed batches of at most B bytes.")
+  in
+  let tdesc_binary =
+    Arg.(value & flag
+         & info [ "tdesc-binary" ]
+             ~doc:"Request type descriptions in the compact binary codec \
+                   (XML stays the fallback).")
+  in
+  let run objects distinct nonconf eager show_metrics handles batch_bytes
+      tdesc_binary =
     if not (validate_workload objects distinct nonconf) then
       `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
     else begin
       let mode = if eager then Peer.Eager else Peer.Optimistic in
       let metrics = Metrics.create () in
-      let net, delivered, rejected =
-        run_workload ~mode ~objects ~distinct ~nonconf ~metrics ()
+      let net, sender, delivered, rejected =
+        run_workload ~mode ~objects ~distinct ~nonconf ~metrics ~handles
+          ?batch_bytes ~tdesc_binary ()
       in
       Format.printf
         "mode=%s objects=%d distinct=%d nonconf=%d@.delivered=%d rejected=%d \
@@ -462,6 +483,16 @@ let protocol_cmd =
         (if eager then "eager" else "optimistic")
         objects distinct nonconf delivered rejected (Net.now_ms net) Stats.pp
         (Net.stats net);
+      if handles then
+        Format.printf "handles: hits=%d misses=%d renegotiations=%d@."
+          (Peer.handle_hits sender)
+          (Peer.handle_misses sender)
+          (Peer.renegotiations sender);
+      if batch_bytes <> None then
+        Format.printf "batching: frames=%d envelopes=%d bytes-saved=%d@."
+          (Peer.batch_messages sender)
+          (Peer.batch_envelopes sender)
+          (Peer.batch_bytes_saved sender);
       if show_metrics then
         Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
       `Ok 0
@@ -471,7 +502,9 @@ let protocol_cmd =
     (Cmd.info "protocol"
        ~doc:"Transfer a synthetic workload and report wire traffic (E5).")
     Term.(
-      ret (const run $ objects $ distinct $ nonconf $ eager $ show_metrics))
+      ret
+        (const run $ objects $ distinct $ nonconf $ eager $ show_metrics
+        $ handles $ batch_bytes $ tdesc_binary))
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -497,7 +530,7 @@ let stats_cmd =
     else begin
       let mode = if eager then Peer.Eager else Peer.Optimistic in
       let metrics = Metrics.create () in
-      let _net, _delivered, _rejected =
+      let _net, _sender, _delivered, _rejected =
         run_workload ~mode ~objects ~distinct ~nonconf ~metrics
           ?tdesc_cache_capacity:tdesc_cache
           ?checker_cache_capacity:checker_cache ()
@@ -869,7 +902,16 @@ let chaos_cmd =
     Arg.(value & opt int 8
          & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects sent per run.")
   in
-  let run runs seed profile cluster objects =
+  let wire =
+    Arg.(value & flag
+         & info [ "wire" ]
+             ~doc:"Enable the wire-efficiency features (negotiated type \
+                   handles, envelope batching, binary tdesc codec) and \
+                   additionally drop the receiver's handle tables \
+                   mid-run: the run must degrade through renegotiation, \
+                   never deliver a mis-typed payload.")
+  in
+  let run runs seed profile cluster objects wire =
     if runs < 1 then `Error (false, "--runs must be at least 1")
     else if objects < 1 then `Error (false, "--objects must be at least 1")
     else begin
@@ -879,6 +921,7 @@ let chaos_cmd =
           c_cluster = cluster;
           c_objects = objects;
           c_frame_integrity = true;
+          c_wire = wire;
         }
       in
       let summary = Chaos.run_many config ~runs ~seed in
@@ -894,7 +937,7 @@ let chaos_cmd =
              membership convergence, metrics-vs-trace). A failing \
              schedule is shrunk to a minimal reproducing plan. Exits 1 \
              on any invariant violation.")
-    Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects))
+    Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects $ wire))
 
 (* ------------------------------------------------------------------ *)
 

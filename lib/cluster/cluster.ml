@@ -9,19 +9,23 @@ type t = {
 
 let create ?mode ?codec ?metrics ?(factor = 2) ?(seed = 7L)
     ?request_timeout_ms ?fetch_retries ?fetch_backoff_ms ?probe_timeout_ms
-    ~net addrs =
+    ?handles ?batch_bytes ?tdesc_binary ?handle_table_capacity
+    ?piggyback_interval_ms ~net addrs =
   if addrs = [] then invalid_arg "Cluster.create: no addresses";
   let nodes =
     List.mapi
       (fun i addr ->
         let peer =
           Peer.create ?mode ?codec ?metrics ?request_timeout_ms
-            ?fetch_retries ?fetch_backoff_ms ~net addr
+            ?fetch_retries ?fetch_backoff_ms ?handles ?batch_bytes
+            ?tdesc_binary ?handle_table_capacity ~net addr
         in
         (* Distinct deterministic streams per node: same cluster seed,
            different partner choices. *)
         let node_seed = Int64.add seed (Int64.of_int ((i + 1) * 7919)) in
-        (addr, Node.create ~factor ~seed:node_seed ?probe_timeout_ms peer))
+        ( addr,
+          Node.create ~factor ~seed:node_seed ?probe_timeout_ms
+            ?piggyback_interval_ms peer ))
       addrs
   in
   let t = { net; nodes } in

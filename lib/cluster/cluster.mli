@@ -11,6 +11,8 @@ val create : ?mode:Pti_core.Peer.mode -> ?codec:Pti_serial.Envelope.codec ->
   ?metrics:Pti_obs.Metrics.t -> ?factor:int -> ?seed:int64 ->
   ?request_timeout_ms:float -> ?fetch_retries:int ->
   ?fetch_backoff_ms:float -> ?probe_timeout_ms:float ->
+  ?handles:bool -> ?batch_bytes:int -> ?tdesc_binary:bool ->
+  ?handle_table_capacity:int -> ?piggyback_interval_ms:float ->
   net:Pti_core.Message.t Pti_net.Net.t -> string list -> t
 (** One peer + node per address, registered on [net]. [factor] is the
     replication factor of every {!Node.publish} (default 2); [seed]

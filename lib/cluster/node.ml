@@ -37,8 +37,14 @@ type t = {
   mirrors : (string, string) Hashtbl.t;  (* download path -> assembly *)
   inflight : (int, float * string) Hashtbl.t;  (* token -> sent_at, partner *)
   mutable next_token : int;
+  (* Free-rider gossip: when the peer flushes an object batch to a
+     member, an anti-entropy digest rides along — throttled per
+     destination so hot links do not turn into digest firehoses. *)
+  piggyback_interval_ms : float;
+  piggy_last : (string, float) Hashtbl.t;
   mc_rounds : Metrics.counter;
   mc_digest_bytes : Metrics.counter;
+  mc_piggybacked : Metrics.counter;
 }
 
 let peer t = t.peer
@@ -290,7 +296,25 @@ let tick t =
           if Hashtbl.mem t.inflight token then begin
             Hashtbl.remove t.inflight token;
             degrade t partner
-          end)
+          end);
+      (* Rediscovery: one dead-marked member still gets a probe each
+         round (rotating, no timer — it cannot get any deader). Direct
+         traffic is the only resurrection, so without this a healed
+         partition stays dead until the other side's random picks happen
+         to land on us. *)
+      let dead =
+        Hashtbl.fold
+          (fun a m acc -> if m.m_status = Dead then a :: acc else acc)
+          t.members []
+        |> List.sort compare
+      in
+      (match dead with
+      | [] -> ()
+      | _ ->
+          let d = List.nth dead (token mod List.length dead) in
+          let dt = fresh_token t in
+          send_gossip t ~dst:d ~kind:"digest"
+            (Digest.encode (own_summary t ~token:dt ~descs:[])))
 
 (* ---------------------------------------------------------------- *)
 (* Replicated publication                                             *)
@@ -331,12 +355,42 @@ let publish t asm =
 
 let gossip_rounds t = Metrics.counter_value t.mc_rounds
 let digest_bytes t = Metrics.counter_value t.mc_digest_bytes
+let piggybacked_digests t = Metrics.counter_value t.mc_piggybacked
+
+(* ---------------------------------------------------------------- *)
+(* Piggybacked gossip                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Digest to ride on an outgoing object batch. No inflight entry and no
+   probe timer: piggybacked digests are opportunistic, so they feed
+   dissemination but not failure detection (a missing reply must not
+   degrade a partner that simply had nothing to say). *)
+let piggyback_for t ~dst =
+  if not (Hashtbl.mem t.members dst) then []
+  else begin
+    let now = Sim.now (Net.sim (Peer.net t.peer)) in
+    let due =
+      match Hashtbl.find_opt t.piggy_last dst with
+      | Some last -> now -. last >= t.piggyback_interval_ms
+      | None -> true
+    in
+    if not due then []
+    else begin
+      Hashtbl.replace t.piggy_last dst now;
+      let token = fresh_token t in
+      let body = Digest.encode (own_summary t ~token ~descs:[]) in
+      Metrics.incr ~by:(String.length body) t.mc_digest_bytes;
+      Metrics.incr t.mc_piggybacked;
+      [ ("digest", body) ]
+    end
+  end
 
 (* ---------------------------------------------------------------- *)
 (* Construction                                                       *)
 (* ---------------------------------------------------------------- *)
 
-let create ?(factor = 2) ?(seed = 17L) ?(probe_timeout_ms = 5_000.) peer =
+let create ?(factor = 2) ?(seed = 17L) ?(probe_timeout_ms = 5_000.)
+    ?(piggyback_interval_ms = 1_000.) peer =
   if factor < 1 then invalid_arg "Node.create: factor must be >= 1";
   let addr = Peer.address peer in
   let m = Peer.metrics peer in
@@ -353,8 +407,11 @@ let create ?(factor = 2) ?(seed = 17L) ?(probe_timeout_ms = 5_000.) peer =
       mirrors = Hashtbl.create 16;
       inflight = Hashtbl.create 8;
       next_token = 0;
+      piggyback_interval_ms;
+      piggy_last = Hashtbl.create 8;
       mc_rounds = Metrics.counter m (pfx "gossip.rounds");
       mc_digest_bytes = Metrics.counter m (pfx "digest.bytes");
+      mc_piggybacked = Metrics.counter m (pfx "gossip.piggybacked");
     }
   in
   Metrics.gauge_fn m (pfx "members.alive") (fun () ->
@@ -372,5 +429,6 @@ let create ?(factor = 2) ?(seed = 17L) ?(probe_timeout_ms = 5_000.) peer =
       on_gossip t ~src ~kind ~body);
   Peer.set_mirror_provider peer (fun ~assembly ~advertised ->
       rank t ~assembly ~advertised);
+  Peer.set_piggyback_provider peer (fun ~dst -> piggyback_for t ~dst);
   sync_own_paths t;
   t

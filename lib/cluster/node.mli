@@ -44,13 +44,16 @@ val status_name : status -> string
 type t
 
 val create : ?factor:int -> ?seed:int64 -> ?probe_timeout_ms:float ->
-  Pti_core.Peer.t -> t
-(** Wrap [peer]: installs the gossip handler and mirror provider, and
-    registers [cluster.<address>.*] metrics (gossip.rounds,
-    digest.bytes, members.alive/total, mirrors.known,
-    replication.factor, fetch.failovers) on the peer's registry.
-    [factor] (default 2) is the total number of copies {!publish}
-    places, including the publisher's own.
+  ?piggyback_interval_ms:float -> Pti_core.Peer.t -> t
+(** Wrap [peer]: installs the gossip handler, mirror provider and batch
+    piggyback provider, and registers [cluster.<address>.*] metrics
+    (gossip.rounds, gossip.piggybacked, digest.bytes,
+    members.alive/total, mirrors.known, replication.factor,
+    fetch.failovers) on the peer's registry. [factor] (default 2) is
+    the total number of copies {!publish} places, including the
+    publisher's own. [piggyback_interval_ms] (default 1000) throttles
+    how often an anti-entropy digest rides an outgoing object batch to
+    any one destination.
     @raise Invalid_argument when [factor < 1]. *)
 
 val peer : t -> Pti_core.Peer.t
@@ -81,6 +84,11 @@ val tick : t -> unit
 val gossip_rounds : t -> int
 val digest_bytes : t -> int
 (** Total encoded gossip bodies this node has sent (all legs). *)
+
+val piggybacked_digests : t -> int
+(** Digests that rode outgoing object batches for free instead of a
+    standalone gossip message. These feed dissemination but not failure
+    detection (no probe timer is armed for them). *)
 
 val rtt : t -> string -> float option
 (** This node's EWMA round-trip estimate of a peer, from completed

@@ -4,7 +4,8 @@ type t =
       tdescs : string list;
       assemblies : string list;
     }
-  | Tdesc_request of { type_name : string; token : int }
+  | Obj_batch of { frame : string }
+  | Tdesc_request of { type_name : string; token : int; binary_ok : bool }
   | Tdesc_reply of { type_name : string; desc : string option; token : int }
   | Asm_request of { path : string; token : int }
   | Asm_reply of { path : string; assembly : string option; token : int }
@@ -20,9 +21,12 @@ type t =
       error : string option;
     }
   | Gossip of { kind : string; body : string }
+  | Handle_nak of { handles : int list }
+  | Handle_bind of { frame : string }
 
 let category = function
   | Obj_msg _ -> Pti_net.Stats.Object_msg
+  | Obj_batch _ -> Pti_net.Stats.Object_msg
   | Tdesc_request _ -> Pti_net.Stats.Tdesc_request
   | Tdesc_reply _ -> Pti_net.Stats.Tdesc_reply
   | Asm_request _ -> Pti_net.Stats.Asm_request
@@ -30,6 +34,7 @@ let category = function
   | Invoke_request _ -> Pti_net.Stats.Invoke_request
   | Invoke_reply _ -> Pti_net.Stats.Invoke_reply
   | Gossip _ -> Pti_net.Stats.Gossip
+  | Handle_nak _ | Handle_bind _ -> Pti_net.Stats.Handle_ctl
 
 let framing = 16
 
@@ -40,6 +45,7 @@ let size = function
       framing + String.length envelope
       + List.fold_left (fun a s -> a + String.length s) 0 tdescs
       + List.fold_left (fun a s -> a + String.length s) 0 assemblies
+  | Obj_batch { frame } -> framing + String.length frame
   | Tdesc_request { type_name; _ } -> framing + String.length type_name
   | Tdesc_reply { type_name; desc; _ } ->
       framing + String.length type_name + opt_len desc
@@ -51,12 +57,14 @@ let size = function
   | Invoke_reply { result; error; _ } ->
       framing + opt_len result + opt_len error
   | Gossip { kind; body } -> framing + String.length kind + String.length body
+  | Handle_nak { handles } -> framing + (2 * List.length handles)
+  | Handle_bind { frame } -> framing + String.length frame
 
 let describe = function
   | Obj_msg { envelope; tdescs; assemblies } ->
       Printf.sprintf "obj(%dB env, %d tdescs, %d assemblies)"
         (String.length envelope) (List.length tdescs) (List.length assemblies)
-  | Tdesc_request { type_name; token } ->
+  | Tdesc_request { type_name; token; _ } ->
       Printf.sprintf "tdesc-req(%s)#%d" type_name token
   | Tdesc_reply { type_name; desc; token } ->
       Printf.sprintf "tdesc-reply(%s,%s)#%d" type_name
@@ -73,5 +81,11 @@ let describe = function
       Printf.sprintf "invoke-reply%s#%d"
         (match error with Some e -> "!" ^ e | None -> "")
         token
+  | Obj_batch { frame } -> Printf.sprintf "obj-batch(%dB)" (String.length frame)
   | Gossip { kind; body } ->
       Printf.sprintf "gossip(%s,%dB)" kind (String.length body)
+  | Handle_nak { handles } ->
+      Printf.sprintf "handle-nak[%s]"
+        (String.concat ";" (List.map string_of_int handles))
+  | Handle_bind { frame } ->
+      Printf.sprintf "handle-bind(%dB)" (String.length frame)

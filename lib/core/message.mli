@@ -11,7 +11,14 @@ type t =
               protocol, populated by the eager baseline. *)
       assemblies : string list;  (** Inlined code — eager baseline only. *)
     }
-  | Tdesc_request of { type_name : string; token : int }
+  | Obj_batch of { frame : string }
+      (** Several coalesced [Obj_msg] payloads (plus opportunistic
+          gossip piggyback) in one checksummed {!Pti_serial.Batch_frame},
+          amortising per-message framing and ack overhead. *)
+  | Tdesc_request of { type_name : string; token : int; binary_ok : bool }
+      (** [binary_ok] advertises that the requester accepts the compact
+          binary type-description codec in the reply; responders fall
+          back to XML for peers that do not. *)
   | Tdesc_reply of { type_name : string; desc : string option; token : int }
       (** [None]: the queried host does not know the type either. *)
   | Asm_request of { path : string; token : int }
@@ -32,6 +39,12 @@ type t =
           announcements, anti-entropy digests, replica pushes. [kind]
           discriminates; [body] is the codec-specific payload. The core
           peer only routes these — semantics live in the cluster layer. *)
+  | Handle_nak of { handles : int list }
+      (** The receiver could not resolve these negotiated type handles
+          (cold cache, restart, eviction): ask the sender to re-bind. *)
+  | Handle_bind of { frame : string }
+      (** Renegotiated handle bindings in a checksummed
+          {!Pti_serial.Handle_table} bind frame. *)
 
 val category : t -> Pti_net.Stats.category
 

@@ -8,6 +8,8 @@ module Mapping = Pti_conformance.Mapping
 module Proxy = Pti_proxy.Dynamic_proxy
 module Envelope = Pti_serial.Envelope
 module Assembly_xml = Pti_serial.Assembly_xml
+module Ht = Pti_serial.Handle_table
+module Bf = Pti_serial.Batch_frame
 module S = Pti_util.Strutil
 module Lru = Pti_obs.Lru
 module Ring = Pti_obs.Ring
@@ -53,6 +55,41 @@ type event_counters = {
   mc_corrupt_rejects : Metrics.counter;
 }
 
+(* Wire-efficiency accounting: negotiated type handles and envelope
+   batching (see HACKING, "Wire efficiency"). *)
+type wire_counters = {
+  mc_handle_hits : Metrics.counter;  (* refs shipped instead of entries *)
+  mc_handle_misses : Metrics.counter;  (* first-use binds shipped *)
+  mc_renegotiations : Metrics.counter;  (* NAKs sent for unknown handles *)
+  mc_batch_messages : Metrics.counter;
+  mc_batch_envelopes : Metrics.counter;
+  mc_batch_bytes_saved : Metrics.counter;
+}
+
+(* An envelope whose handle refs could not be resolved waits here while
+   the sender re-binds them; it is reprocessed on [Handle_bind], and
+   dropped (with a [Decode_failed]) if the renegotiation times out or
+   the retry budget runs dry. Correctness never depends on the handle
+   optimisation: the full-entry path is always available. *)
+type parked = {
+  pk_envelope : string;
+  pk_tdescs : string list;
+  pk_assemblies : string list;
+  pk_retries : int;  (* remaining renegotiation attempts *)
+  mutable pk_cancel : unit -> unit;
+}
+
+(* Same-destination object sends coalescing within one simulator
+   instant; flushed by a delay-0 event (which the simulator orders after
+   all sends already queued at this instant) or as soon as the byte
+   budget fills. *)
+type batch_buf = {
+  mutable bb_parts : Bf.part list;  (* reversed *)
+  mutable bb_standalone : int;  (* what the parts would cost as Obj_msg *)
+  mutable bb_bytes : int;  (* accumulated part payload bytes *)
+  mutable bb_scheduled : bool;
+}
+
 type t = {
   addr : string;
   net : Message.t Net.t;
@@ -77,6 +114,14 @@ type t = {
   asm_conts :
     (int, (Assembly.t option -> unit) * (unit -> unit) * int) Hashtbl.t;
   invoke_conts : (int, (Value.value, string) result -> unit) Hashtbl.t;
+  (* In-flight fetch dedup: concurrent requests for the same type
+     description (keyed host|name) or assembly (keyed by name) join the
+     outstanding exchange instead of issuing their own. Without this a
+     batch of same-type envelopes arriving in one tick fans out into one
+     probe + one code download *per envelope*. *)
+  tdesc_inflight : (string, (Td.t option -> unit) list ref) Hashtbl.t;
+  asm_inflight :
+    (string, ((string * Assembly.t) option -> unit) list ref) Hashtbl.t;
   known_paths : string Lru.Str.t;  (* assembly name -> path *)
   event_log : event Ring.t;
   metrics : Metrics.t;
@@ -91,6 +136,20 @@ type t = {
     (assembly:string -> advertised:string -> string list) option;
   mutable gossip_handler :
     (src:string -> kind:string -> body:string -> unit) option;
+  (* Wire-efficiency layer. Sending handle-encoded envelopes and batches
+     is opt-in per peer; receiving either is unconditional, so a link
+     between a negotiating sender and a classic receiver still works
+     (XML full envelopes remain the interop fallback). *)
+  handles : bool;
+  batch_bytes : int option;
+  tdesc_binary : bool;
+  handle_table_capacity : int;
+  h_send : (string, Ht.sender) Hashtbl.t;  (* dst -> assigned handles *)
+  h_recv : (string, Ht.receiver) Hashtbl.t;  (* src -> learned bindings *)
+  parked : (string, parked list ref) Hashtbl.t;  (* src -> waiting *)
+  batches : (string, batch_buf) Hashtbl.t;  (* dst -> open batch *)
+  mutable piggyback_provider : (dst:string -> (string * string) list) option;
+  wire_ctrs : wire_counters;
 }
 
 let address t = t.addr
@@ -111,6 +170,21 @@ let fetch_attempts t = Metrics.counter_value t.evt_ctrs.mc_fetch_attempts
 let fetch_retries t = Metrics.counter_value t.evt_ctrs.mc_fetch_retries
 let fetch_failovers t = Metrics.counter_value t.evt_ctrs.mc_fetch_failovers
 let corrupt_rejects t = Metrics.counter_value t.evt_ctrs.mc_corrupt_rejects
+let handle_hits t = Metrics.counter_value t.wire_ctrs.mc_handle_hits
+let handle_misses t = Metrics.counter_value t.wire_ctrs.mc_handle_misses
+let renegotiations t = Metrics.counter_value t.wire_ctrs.mc_renegotiations
+let batch_messages t = Metrics.counter_value t.wire_ctrs.mc_batch_messages
+let batch_envelopes t = Metrics.counter_value t.wire_ctrs.mc_batch_envelopes
+
+let batch_bytes_saved t =
+  Metrics.counter_value t.wire_ctrs.mc_batch_bytes_saved
+
+let drop_handle_tables t =
+  (* Receiver side only: forgetting learned bindings exercises the NAK /
+     re-bind path (the chaos harness uses this), while the sender keeps
+     its assignments so re-binds reuse the same numbers. *)
+  Hashtbl.iter (fun _ r -> Ht.clear_receiver r) t.h_recv
+
 let run t = Net.run t.net
 
 let log_event t e =
@@ -203,7 +277,23 @@ let request_tdesc ?retries t ~from name k =
   let retries = Option.value ~default:t.fetch_retries retries in
   Hashtbl.replace t.tdesc_conts token (k, (fun () -> ()), retries);
   arm_timeout t t.tdesc_conts token;
-  send t ~dst:from (Message.Tdesc_request { type_name = name; token })
+  send t ~dst:from (Message.Tdesc_request { type_name = name; token; binary_ok = t.tdesc_binary })
+
+(* Like [request_tdesc], but concurrent requests for the same name from
+   the same host share one wire exchange: later callers just enqueue
+   their continuation on the outstanding one. The inflight entry stays
+   until the (possibly retried) exchange resolves, so corrupt-reply
+   re-requests keep absorbing new callers too. *)
+let request_tdesc_shared t ~from name k =
+  let key = from ^ "|" ^ lc name in
+  match Hashtbl.find_opt t.tdesc_inflight key with
+  | Some waiters -> waiters := k :: !waiters
+  | None ->
+      let waiters = ref [ k ] in
+      Hashtbl.add t.tdesc_inflight key waiters;
+      request_tdesc t ~from name (fun resp ->
+          Hashtbl.remove t.tdesc_inflight key;
+          List.iter (fun k -> k resp) (List.rev !waiters))
 
 let request_assembly t ~host ~path k =
   let token = fresh_token t in
@@ -225,7 +315,7 @@ let ensure_descs t ~from names k =
       | Some d -> List.iter need (refs_of_desc d)
       | None ->
           incr outstanding;
-          request_tdesc t ~from name (fun resp ->
+          request_tdesc_shared t ~from name (fun resp ->
               (match resp with
               | Some d ->
                   cache_desc t d;
@@ -269,15 +359,11 @@ let fetch_candidates t ~asm_name ~advertised =
 
 (* One assembly through the failover pipeline: try each candidate path
    in turn, retrying a candidate [fetch_retries] times under exponential
-   backoff before failing over to the next. A local mirror copy short-
-   circuits the network entirely. [k] gets the source path alongside the
-   assembly so the caller can remember where the bytes actually came
-   from. *)
-let fetch_assembly_failover t ~asm_name ~advertised k =
-  match Repository.find_by_name t.repo asm_name with
-  | Some (path, asm) -> k (Some (path, asm))
-  | None ->
-      let candidates = fetch_candidates t ~asm_name ~advertised in
+   backoff before failing over to the next. [k] gets the source path
+   alongside the assembly so the caller can remember where the bytes
+   actually came from. *)
+let fetch_assembly_uncached t ~asm_name ~advertised k =
+  let candidates = fetch_candidates t ~asm_name ~advertised in
       let rec try_candidate ~first = function
         | [] -> k None
         | path :: rest ->
@@ -307,6 +393,23 @@ let fetch_assembly_failover t ~asm_name ~advertised k =
             attempt 0
       in
       try_candidate ~first:true candidates
+
+(* The failover pipeline behind an in-flight guard: a local mirror copy
+   short-circuits the network entirely, and concurrent fetches of the
+   same assembly share one download. *)
+let fetch_assembly_failover t ~asm_name ~advertised k =
+  match Repository.find_by_name t.repo asm_name with
+  | Some (path, asm) -> k (Some (path, asm))
+  | None -> (
+      let key = lc asm_name in
+      match Hashtbl.find_opt t.asm_inflight key with
+      | Some waiters -> waiters := k :: !waiters
+      | None ->
+          let waiters = ref [ k ] in
+          Hashtbl.add t.asm_inflight key waiters;
+          fetch_assembly_uncached t ~asm_name ~advertised (fun resp ->
+              Hashtbl.remove t.asm_inflight key;
+              List.iter (fun k -> k resp) (List.rev !waiters)))
 
 exception Load_error of string * string  (* assembly, reason *)
 
@@ -435,21 +538,59 @@ let decode_and_deliver t ~from (env : Envelope.t) root_name =
                 cb ~from delivered)
               matches)
 
-let handle_envelope t ~from (msg_env : string) tdescs assemblies =
-  match Envelope.of_string msg_env with
-  | Error (Envelope.Corrupt reason) ->
-      (* The digest caught wire damage before any value was built. There
-         is no resend protocol for object messages at this layer —
-         frame-level integrity + ARQ (Net.set_integrity) is what turns
-         this into a retransmission. *)
-      log_event t (Corrupt_rejected { from; what = "envelope"; reason })
-  | Error e ->
-      log_event t
-        (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
-  | Ok env -> (
+(* Per-link handle tables, created lazily per correspondent. *)
+let sender_table t dst =
+  match Hashtbl.find_opt t.h_send dst with
+  | Some s -> s
+  | None ->
+      let s = Ht.create_sender () in
+      Hashtbl.add t.h_send dst s;
+      s
+
+let recv_table t src =
+  match Hashtbl.find_opt t.h_recv src with
+  | Some r -> r
+  | None ->
+      let r = Ht.create_receiver ~capacity:t.handle_table_capacity in
+      Hashtbl.add t.h_recv src r;
+      r
+
+(* Hold an envelope with unresolved handle refs until the sender's
+   [Handle_bind] arrives; a timed-out renegotiation surfaces as a
+   [Decode_failed], never a silent drop. *)
+let park_envelope t ~from ~budget msg_env tdescs assemblies =
+  let lst =
+    match Hashtbl.find_opt t.parked from with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.parked from r;
+        r
+  in
+  let pk =
+    {
+      pk_envelope = msg_env;
+      pk_tdescs = tdescs;
+      pk_assemblies = assemblies;
+      pk_retries = budget - 1;
+      pk_cancel = (fun () -> ());
+    }
+  in
+  pk.pk_cancel <-
+    Sim.schedule_cancellable (Net.sim t.net) ~delay:t.request_timeout_ms
+      (fun () ->
+        if List.memq pk !lst then begin
+          lst := List.filter (fun p -> p != pk) !lst;
+          log_event t
+            (Decode_failed { from; reason = "handle renegotiation timed out" })
+        end);
+  lst := pk :: !lst
+
+let process_envelope t ~from (env : Envelope.t) tdescs assemblies =
+  (
       (* Eager extras: load whatever was shipped inline. *)
       List.iter
-        (fun s -> match Td.of_xml_string s with
+        (fun s -> match Td.of_wire_string s with
           | Ok d -> cache_desc t d
           | Error _ -> ())
         tdescs;
@@ -519,6 +660,43 @@ let handle_envelope t ~from (msg_env : string) tdescs assemblies =
                         | Error reason ->
                             log_event t (Decode_failed { from; reason }))))
 
+(* Parse an incoming object envelope — classic or handle-encoded — and
+   run it through the reception pipeline. Unknown handles are NAKed and
+   the envelope parked; [renego_budget] bounds how many rounds of
+   renegotiation one envelope may trigger. *)
+let handle_envelope ?renego_budget t ~from (msg_env : string) tdescs
+    assemblies =
+  let budget =
+    match renego_budget with Some b -> b | None -> t.fetch_retries + 1
+  in
+  let rtab = recv_table t from in
+  match Envelope.of_string_h ~resolve:(fun h -> Ht.resolve rtab h) msg_env with
+  | Error (Envelope.Corrupt reason) ->
+      (* The digest caught wire damage before any value was built. There
+         is no resend protocol for object messages at this layer —
+         frame-level integrity + ARQ (Net.set_integrity) is what turns
+         this into a retransmission. *)
+      log_event t (Corrupt_rejected { from; what = "envelope"; reason })
+  | Error (Envelope.Unknown_handles handles) ->
+      if budget <= 0 then
+        log_event t
+          (Decode_failed
+             { from; reason = "handle renegotiation budget exhausted" })
+      else begin
+        (* Wire-intact but the link table has drifted (cold start,
+           eviction, corruption-induced drop): ask the sender to re-bind
+           and hold the envelope. Degraded, never mis-typed. *)
+        park_envelope t ~from ~budget msg_env tdescs assemblies;
+        Metrics.incr t.wire_ctrs.mc_renegotiations;
+        send t ~dst:from (Message.Handle_nak { handles })
+      end
+  | Error e ->
+      log_event t
+        (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
+  | Ok (env, bindings) ->
+      List.iter (fun (h, e) -> Ht.install rtab h e) bindings;
+      process_envelope t ~from env tdescs assemblies
+
 (* ---------------------------------------------------------------- *)
 (* Remote invocation (pass-by-reference)                              *)
 (* ---------------------------------------------------------------- *)
@@ -578,9 +756,63 @@ let handle t ~src msg =
   match msg with
   | Message.Obj_msg { envelope; tdescs; assemblies } ->
       handle_envelope t ~from:src envelope tdescs assemblies
-  | Message.Tdesc_request { type_name; token } ->
+  | Message.Obj_batch { frame } -> (
+      match Bf.decode frame with
+      | Error reason ->
+          log_event t (Corrupt_rejected { from = src; what = "batch"; reason })
+      | Ok { Bf.parts; piggyback } ->
+          List.iter
+            (fun (p : Bf.part) ->
+              handle_envelope t ~from:src p.Bf.p_envelope p.Bf.p_tdescs
+                p.Bf.p_assemblies)
+            parts;
+          List.iter
+            (fun (kind, body) ->
+              match t.gossip_handler with
+              | Some f -> f ~src ~kind ~body
+              | None -> ())
+            piggyback)
+  | Message.Handle_nak { handles } -> (
+      (* The other end lost bindings we assigned on this link: re-send
+         them. Unknown handles (e.g. after our own restart) are simply
+         omitted — the receiver's park times out and the next fresh send
+         re-binds from scratch. *)
+      let stab = sender_table t src in
+      let binds =
+        List.filter_map
+          (fun h -> Option.map (fun e -> (h, e)) (Ht.entry_for stab h))
+          handles
+      in
+      match binds with
+      | [] -> ()
+      | _ ->
+          send t ~dst:src
+            (Message.Handle_bind { frame = Ht.encode_bindings binds }))
+  | Message.Handle_bind { frame } -> (
+      match Ht.decode_bindings frame with
+      | Error reason ->
+          log_event t
+            (Corrupt_rejected { from = src; what = "handle-bind"; reason })
+      | Ok bindings -> (
+          let rtab = recv_table t src in
+          List.iter (fun (h, e) -> Ht.install rtab h e) bindings;
+          match Hashtbl.find_opt t.parked src with
+          | None -> ()
+          | Some lst ->
+              let waiting = List.rev !lst in
+              lst := [];
+              List.iter
+                (fun pk ->
+                  pk.pk_cancel ();
+                  handle_envelope ~renego_budget:pk.pk_retries t ~from:src
+                    pk.pk_envelope pk.pk_tdescs pk.pk_assemblies)
+                waiting))
+  | Message.Tdesc_request { type_name; token; binary_ok } ->
       let desc =
-        Option.map (fun d -> Td.to_xml_string d) (local_desc t type_name)
+        Option.map
+          (fun d ->
+            if binary_ok then Td.to_binary_string d else Td.to_xml_string d)
+          (local_desc t type_name)
       in
       send t ~dst:src (Message.Tdesc_reply { type_name; desc; token })
   | Message.Tdesc_reply { type_name; desc; token } -> (
@@ -592,7 +824,7 @@ let handle t ~src msg =
           match desc with
           | None -> k None
           | Some s -> (
-              match Td.of_xml_string s with
+              match Td.of_wire_string s with
               | Ok d -> k (Some d)
               | Error reason ->
                   (* The sender had the description but what arrived does
@@ -708,12 +940,28 @@ let bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker =
     mc_corrupt_rejects = Metrics.counter m (p "corrupt_rejects");
   }
 
+(* Wire-efficiency counters: handle negotiation under [serial.<addr>.*]
+   (it accounts serializer bytes), batching under [peer.<addr>.*]. *)
+let bind_wire_metrics m ~addr =
+  let s name = Printf.sprintf "serial.%s.handle.%s" addr name in
+  let p name = Printf.sprintf "peer.%s.batch.%s" addr name in
+  {
+    mc_handle_hits = Metrics.counter m (s "hits");
+    mc_handle_misses = Metrics.counter m (s "misses");
+    mc_renegotiations = Metrics.counter m (s "renegotiations");
+    mc_batch_messages = Metrics.counter m (p "messages");
+    mc_batch_envelopes = Metrics.counter m (p "envelopes");
+    mc_batch_bytes_saved = Metrics.counter m (p "bytes_saved");
+  }
+
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(config = Config.strict) ?metrics:m
     ?(tdesc_cache_capacity = 512) ?(known_paths_capacity = 512)
     ?(event_log_capacity = 4096) ?checker_cache_capacity
     ?(request_timeout_ms = default_request_timeout_ms)
-    ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ~net:network addr =
+    ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ?(handles = false)
+    ?batch_bytes ?(tdesc_binary = false) ?(handle_table_capacity = 512)
+    ~net:network addr =
   let reg = Registry.create () in
   let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
   let resolver name =
@@ -750,6 +998,8 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       tdesc_conts = Hashtbl.create 8;
       asm_conts = Hashtbl.create 8;
       invoke_conts = Hashtbl.create 8;
+      tdesc_inflight = Hashtbl.create 16;
+      asm_inflight = Hashtbl.create 8;
       known_paths;
       event_log;
       metrics = m;
@@ -759,6 +1009,16 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       fetch_backoff_ms;
       mirror_provider = None;
       gossip_handler = None;
+      handles;
+      batch_bytes;
+      tdesc_binary;
+      handle_table_capacity;
+      h_send = Hashtbl.create 8;
+      h_recv = Hashtbl.create 8;
+      parked = Hashtbl.create 8;
+      batches = Hashtbl.create 8;
+      piggyback_provider = None;
+      wire_ctrs = bind_wire_metrics m ~addr;
     }
   in
   Net.add_host network addr ~handler:(fun ~net:_ ~src msg -> handle t ~src msg);
@@ -789,6 +1049,7 @@ let serve_assembly t ?path asm =
 
 let set_mirror_provider t f = t.mirror_provider <- Some f
 let set_gossip_handler t f = t.gossip_handler <- Some f
+let set_piggyback_provider t f = t.piggyback_provider <- Some f
 
 let send_gossip t ~dst ~kind ~body =
   send t ~dst (Message.Gossip { kind; body })
@@ -830,13 +1091,87 @@ let interests t = List.map (fun (_, name, _) -> name) t.interests
 
 let set_default_sink t sink = t.default_sink <- Some sink
 
+(* Render an outgoing envelope, consulting this link's handle table when
+   negotiation is on: known entries ship as bare refs, first uses as
+   binds. *)
+let encode_envelope t ~dst env =
+  if not t.handles then Envelope.to_string env
+  else begin
+    let stab = sender_table t dst in
+    Envelope.to_string_h env ~form:(fun e ->
+        match Ht.obtain stab e with
+        | `Known h ->
+            Metrics.incr t.wire_ctrs.mc_handle_hits;
+            `Ref h
+        | `Fresh h ->
+            Metrics.incr t.wire_ctrs.mc_handle_misses;
+            `Bind h)
+  end
+
+(* Ship the open batch for [dst] as one framed message, with any gossip
+   the cluster layer wants to piggyback on it. *)
+let flush_batch t ~dst =
+  match Hashtbl.find_opt t.batches dst with
+  | None -> ()
+  | Some bb ->
+      Hashtbl.remove t.batches dst;
+      let parts = List.rev bb.bb_parts in
+      if parts <> [] then begin
+        let piggyback =
+          match t.piggyback_provider with Some f -> f ~dst | None -> []
+        in
+        let msg = Message.Obj_batch { frame = Bf.encode { Bf.parts; piggyback } } in
+        Metrics.incr t.wire_ctrs.mc_batch_messages;
+        Metrics.incr ~by:(List.length parts) t.wire_ctrs.mc_batch_envelopes;
+        let saved = bb.bb_standalone - Message.size msg in
+        if saved > 0 then
+          Metrics.incr ~by:saved t.wire_ctrs.mc_batch_bytes_saved;
+        send t ~dst msg
+      end
+
+let flush_batches t =
+  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.batches []
+  |> List.iter (fun dst -> flush_batch t ~dst)
+
+(* Queue one object message into [dst]'s open batch; flush when the byte
+   budget fills, else by a delay-0 event — the simulator orders it after
+   every send already issued at this instant, so same-tick sends
+   coalesce. *)
+let enqueue_part t ~dst ~budget envelope tdescs assemblies =
+  let bb =
+    match Hashtbl.find_opt t.batches dst with
+    | Some bb -> bb
+    | None ->
+        let bb =
+          { bb_parts = []; bb_standalone = 0; bb_bytes = 0;
+            bb_scheduled = false }
+        in
+        Hashtbl.add t.batches dst bb;
+        bb
+  in
+  bb.bb_parts <-
+    { Bf.p_envelope = envelope; p_tdescs = tdescs; p_assemblies = assemblies }
+    :: bb.bb_parts;
+  bb.bb_standalone <-
+    bb.bb_standalone
+    + Message.size (Message.Obj_msg { envelope; tdescs; assemblies });
+  bb.bb_bytes <-
+    bb.bb_bytes + String.length envelope
+    + List.fold_left (fun a s -> a + String.length s) 0 tdescs
+    + List.fold_left (fun a s -> a + String.length s) 0 assemblies;
+  if bb.bb_bytes >= budget then flush_batch t ~dst
+  else if not bb.bb_scheduled then begin
+    bb.bb_scheduled <- true;
+    Sim.schedule (Net.sim t.net) ~delay:0. (fun () -> flush_batch t ~dst)
+  end
+
 let send_value t ~dst value =
   let env =
     Envelope.make t.reg ~codec:t.codec
       ~download_path:(fun ~assembly -> download_path t ~assembly)
       value
   in
-  let envelope = Envelope.to_string env in
+  let envelope = encode_envelope t ~dst env in
   let tdescs, assemblies =
     match t.peer_mode with
     | Optimistic -> ([], [])
@@ -868,7 +1203,9 @@ let send_value t ~dst value =
         in
         (descs, asms)
   in
-  send t ~dst (Message.Obj_msg { envelope; tdescs; assemblies })
+  match t.batch_bytes with
+  | Some budget -> enqueue_part t ~dst ~budget envelope tdescs assemblies
+  | None -> send t ~dst (Message.Obj_msg { envelope; tdescs; assemblies })
 
 (* ---------------------------------------------------------------- *)
 (* Synchronous helpers (drive the shared simulation)                  *)
@@ -887,7 +1224,7 @@ let fetch_type_description t ~from name =
   | None ->
       let result = ref None in
       let got = ref false in
-      request_tdesc t ~from name (fun resp ->
+      request_tdesc_shared t ~from name (fun resp ->
           (match resp with
           | Some d -> cache_desc t d
           | None -> ());

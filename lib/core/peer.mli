@@ -53,7 +53,9 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
   ?event_log_capacity:int -> ?checker_cache_capacity:int ->
   ?request_timeout_ms:float -> ?fetch_retries:int ->
-  ?fetch_backoff_ms:float -> net:Message.t Pti_net.Net.t -> string -> t
+  ?fetch_backoff_ms:float -> ?handles:bool -> ?batch_bytes:int ->
+  ?tdesc_binary:bool -> ?handle_table_capacity:int ->
+  net:Message.t Pti_net.Net.t -> string -> t
 (** [create ~net address] registers the peer on the network. Defaults:
     optimistic mode, binary payload codec, strict conformance rules.
 
@@ -69,7 +71,16 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
     degrades (or, for downloads, fails over). [fetch_retries] (default
     0) re-asks a download path that many extra times before moving to
     the next mirror, waiting [fetch_backoff_ms * 2^n] (default base
-    250ms) before retry [n+1]. *)
+    250ms) before retry [n+1].
+
+    Wire-efficiency knobs (all off by default; see HACKING, "Wire
+    efficiency"): [handles] sends handle-encoded envelopes on every
+    link (receiving them is always supported); [batch_bytes] coalesces
+    same-destination object sends within one simulation instant into
+    {!Message.Obj_batch} frames of roughly that many payload bytes;
+    [tdesc_binary] requests the compact binary type-description codec
+    in {!Message.Tdesc_request}s; [handle_table_capacity] (default 512)
+    bounds each per-link receiver handle table. *)
 
 val address : t -> string
 val registry : t -> Registry.t
@@ -115,6 +126,13 @@ val set_gossip_handler :
     handler gossip is silently dropped. *)
 
 val send_gossip : t -> dst:string -> kind:string -> body:string -> unit
+
+val set_piggyback_provider :
+  t -> (dst:string -> (string * string) list) -> unit
+(** Called when an {!Message.Obj_batch} is about to ship to [dst]:
+    returns [(kind, body)] gossip pairs to piggyback on the frame for
+    free (they are handed to the receiver's gossip handler). Without a
+    provider batches carry no piggyback. *)
 
 val learn_description : t -> Pti_typedesc.Type_description.t -> unit
 (** Insert a type description into the peer's cache as if it had been
@@ -204,6 +222,41 @@ val fetch_failovers : t -> int
 val corrupt_rejects : t -> int
 (** Corrupt envelopes/payloads/tdescs/assemblies rejected by integrity
     checks. Also surfaced as [peer.<address>.corrupt_rejects]. *)
+
+(** {2 Wire efficiency} *)
+
+val handle_hits : t -> int
+(** Type entries shipped as bare handle refs instead of full entries.
+    Also surfaced as [serial.<address>.handle.hits]. *)
+
+val handle_misses : t -> int
+(** First-use binds shipped (full entry + assigned handle). Also
+    [serial.<address>.handle.misses]. *)
+
+val renegotiations : t -> int
+(** {!Message.Handle_nak}s this peer sent for unknown handles — the
+    degraded-but-correct path after table loss. Also
+    [serial.<address>.handle.renegotiations]. *)
+
+val batch_messages : t -> int
+(** {!Message.Obj_batch} frames shipped. [peer.<address>.batch.messages]. *)
+
+val batch_envelopes : t -> int
+(** Object envelopes carried inside batch frames.
+    [peer.<address>.batch.envelopes]. *)
+
+val batch_bytes_saved : t -> int
+(** Standalone-message bytes minus batched bytes, accumulated.
+    [peer.<address>.batch.bytes_saved]. *)
+
+val drop_handle_tables : t -> unit
+(** Forget every learned (receiver-side) handle binding — simulates a
+    restart/eviction; subsequent handle refs NAK and renegotiate. The
+    chaos harness uses this to prove degradation never mis-types. *)
+
+val flush_batches : t -> unit
+(** Ship every open batch immediately (normally the delay-0 flush event
+    does this); useful at simulation shutdown. *)
 
 val fetch_type_description : t -> from:string -> string ->
   Pti_typedesc.Type_description.t option

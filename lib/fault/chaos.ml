@@ -17,6 +17,7 @@ type config = {
   c_cluster : bool;
   c_objects : int;
   c_frame_integrity : bool;
+  c_wire : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     c_cluster = false;
     c_objects = 8;
     c_frame_integrity = true;
+    c_wire = false;
   }
 
 type run_result = {
@@ -40,6 +42,7 @@ type run_result = {
   r_injected_drops : int;
   r_corrupted_frames : int;
   r_integrity_drops : int;
+  r_renegotiations : int;
   r_violations : Invariant.violation list;
 }
 
@@ -75,9 +78,14 @@ let name_age v =
       | Some (Value.Vstring n), Some (Value.Vint a) -> Some (n, a)
       | _ -> None)
 
+(* A corrupt batch frame loses the (single, at chaos pacing) envelope it
+   carried, so it is terminal like a corrupt envelope. A corrupt
+   handle-bind frame is NOT: the parked envelope it was meant to revive
+   accounts for itself (renegotiation timeout -> [Decode_failed]). *)
 let is_terminal_failure = function
   | Peer.Decode_failed _ | Peer.Load_failed _ -> true
-  | Peer.Corrupt_rejected { what = "envelope" | "payload"; _ } -> true
+  | Peer.Corrupt_rejected { what = "envelope" | "payload" | "batch"; _ } ->
+      true
   | _ -> false
 
 let run_one ?plan config ~seed =
@@ -106,12 +114,18 @@ let run_one ?plan config ~seed =
         Fault_plan.random ~profile:config.c_profile ~hosts ~horizon_ms
           (Splitmix.create plan_seed)
   in
+  (* Wire mode turns on every wire-efficiency feature at once: handle
+     negotiation, envelope batching and the binary tdesc codec, all
+     under the same faults as the classic path. *)
+  let handles = config.c_wire in
+  let batch_bytes = if config.c_wire then Some 4096 else None in
+  let tdesc_binary = config.c_wire in
   let cluster, sender, receiver, peers =
     if config.c_cluster then begin
       let cl =
         Cluster.create ~factor:2 ~seed:cluster_seed ~request_timeout_ms:800.
-          ~fetch_retries:3 ~fetch_backoff_ms:150. ~probe_timeout_ms:300. ~net
-          hosts
+          ~fetch_retries:3 ~fetch_backoff_ms:150. ~probe_timeout_ms:300.
+          ~handles ?batch_bytes ~tdesc_binary ~net hosts
       in
       ( Some cl,
         Cluster.peer cl "n0",
@@ -121,7 +135,7 @@ let run_one ?plan config ~seed =
     else begin
       let mk a =
         Peer.create ~metrics ~request_timeout_ms:800. ~fetch_retries:3
-          ~fetch_backoff_ms:150. ~net a
+          ~fetch_backoff_ms:150. ~handles ?batch_bytes ~tdesc_binary ~net a
       in
       let alice = mk "alice" in
       let bob = mk "bob" in
@@ -159,6 +173,17 @@ let run_one ?plan config ~seed =
       ~at:(first_send_ms +. (send_spacing_ms *. float_of_int i))
       (fun () -> Peer.send_value sender ~dst:receiver_addr v)
   done;
+  (* Wire mode: lose the receiver's learned handle bindings shortly
+     before the last send, so refs still in flight (and the final send)
+     arrive against a cold table and must renegotiate. *)
+  let tables_dropped = config.c_wire && config.c_objects >= 5 in
+  if tables_dropped then
+    Sim.schedule_at sim
+      ~at:
+        (first_send_ms
+        +. (send_spacing_ms *. float_of_int (config.c_objects - 1))
+        -. 30.)
+      (fun () -> Peer.drop_handle_tables receiver);
   (* Cluster mode: gossip keeps ticking through the fault horizon, so
      crash windows are noticed (suspect/dead) and healed ones re-adopted. *)
   (match cluster with
@@ -266,6 +291,8 @@ let run_one ?plan config ~seed =
     @ Invariant.trap_never_delivered ~trap_keys:!trap_keys ~delivered_keys
     @ Invariant.verdict_stability triples
     @ membership_violations
+    @ Invariant.handle_degradation ~tables_dropped
+        ~renegotiations:(Peer.renegotiations receiver)
     @ Invariant.metrics_match_trace count_pairs
   in
   {
@@ -282,6 +309,7 @@ let run_one ?plan config ~seed =
     r_injected_drops = Net.injected_drops net;
     r_corrupted_frames = Net.corrupted_frames net;
     r_integrity_drops = Net.integrity_drops net;
+    r_renegotiations = Peer.renegotiations receiver;
     r_violations = violations;
   }
 
@@ -338,12 +366,13 @@ let pp_run ppf r =
     "@[<v>seed %Ld: sent %d, delivered %d, rejected %d, failed %d, net-lost \
      %d@,\
      retransmissions %d, injected drops %d, corrupted frames %d, integrity \
-     drops %d, corrupt rejects %d@,\
+     drops %d, corrupt rejects %d, renegotiations %d@,\
      plan:@,\
      %a@]"
     r.r_seed r.r_sent r.r_delivered r.r_rejected r.r_failed r.r_net_lost
     r.r_retransmissions r.r_injected_drops r.r_corrupted_frames
-    r.r_integrity_drops r.r_corrupt_rejects Fault_plan.pp r.r_plan;
+    r.r_integrity_drops r.r_corrupt_rejects r.r_renegotiations Fault_plan.pp
+    r.r_plan;
   if r.r_violations <> [] then begin
     Format.fprintf ppf "@\nviolations:";
     List.iter

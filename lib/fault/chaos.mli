@@ -19,10 +19,17 @@ type config = {
   c_frame_integrity : bool;
       (** Install {!Corruptor.frame_intact} so corrupt object envelopes
           are dropped pre-ack and recovered by ARQ retransmission. *)
+  c_wire : bool;
+      (** Run with every wire-efficiency feature on: negotiated type
+          handles, envelope batching (4 KiB budget) and the binary
+          tdesc codec. With 5+ objects the receiver's handle tables are
+          additionally dropped just before the last send, and the run
+          must observe at least one renegotiation
+          ({!Invariant.handle_degradation}). *)
 }
 
 val default_config : config
-(** Lossy, two peers, 8 objects, frame integrity on. *)
+(** Lossy, two peers, 8 objects, frame integrity on, wire features off. *)
 
 type run_result = {
   r_seed : int64;
@@ -37,6 +44,9 @@ type run_result = {
   r_injected_drops : int;
   r_corrupted_frames : int;
   r_integrity_drops : int;
+  r_renegotiations : int;
+      (** Handle NAKs the receiver sent — nonzero whenever its tables
+          were dropped mid-run under [c_wire]. *)
   r_violations : Invariant.violation list;  (** Empty = run is green. *)
 }
 

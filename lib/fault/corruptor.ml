@@ -16,6 +16,10 @@ let corrupt_message rng (m : Message.t) : Message.t option =
   match m with
   | Message.Obj_msg o ->
       Some (Message.Obj_msg { o with envelope = flip_byte rng o.envelope })
+  | Message.Obj_batch { frame } ->
+      Some (Message.Obj_batch { frame = flip_byte rng frame })
+  | Message.Handle_bind { frame } ->
+      Some (Message.Handle_bind { frame = flip_byte rng frame })
   | Message.Tdesc_reply ({ desc = Some d; _ } as r) ->
       Some (Message.Tdesc_reply { r with desc = Some (flip_byte rng d) })
   | Message.Asm_reply ({ assembly = Some a; _ } as r) ->
@@ -25,8 +29,11 @@ let corrupt_message rng (m : Message.t) : Message.t option =
 
 let frame_intact (m : Message.t) =
   match m with
-  | Message.Obj_msg { envelope; _ } -> (
-      match Pti_serial.Envelope.of_string envelope with
-      | Ok _ -> true
-      | Error _ -> false)
+  | Message.Obj_msg { envelope; _ } ->
+      (* [wire_ok], not a full parse: a handle-encoded envelope whose
+         refs the receiver cannot resolve yet is wire-intact — dropping
+         it here would defeat renegotiation. *)
+      Pti_serial.Envelope.wire_ok envelope
+  | Message.Obj_batch { frame } -> Pti_serial.Batch_frame.intact frame
+  | Message.Handle_bind { frame } -> Pti_serial.Handle_table.bindings_intact frame
   | _ -> true

@@ -69,6 +69,15 @@ let membership_converged rows =
         members)
     rows
 
+let handle_degradation ~tables_dropped ~renegotiations =
+  if tables_dropped && renegotiations = 0 then
+    [
+      v "handle-degradation"
+        "receiver handle tables were dropped mid-run but no renegotiation \
+         was observed — refs after the drop must NAK, not resolve";
+    ]
+  else []
+
 let metrics_match_trace pairs =
   List.filter_map
     (fun (label, metric, trace) ->

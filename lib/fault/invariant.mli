@@ -46,6 +46,14 @@ val membership_converged :
 (** [(observer, [(member, status)])] rows after partitions heal and
     gossip settles: every node must see every member [alive]. *)
 
+val handle_degradation :
+  tables_dropped:bool -> renegotiations:int -> violation list
+(** When the receiver's negotiated handle tables were dropped mid-run,
+    at least one renegotiation (NAK) must have been observed: handle
+    refs arriving after the loss can only be parked and re-bound, never
+    resolved against stale state. Vacuously holds when nothing was
+    dropped. *)
+
 val metrics_match_trace : (string * int * int) list -> violation list
 (** [(label, metric_count, trace_count)] pairs that must agree — the
     metrics registry and the trace recorder watched the same run. *)

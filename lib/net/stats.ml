@@ -7,12 +7,13 @@ type category =
   | Invoke_request
   | Invoke_reply
   | Gossip
+  | Handle_ctl
   | Control
 
 let all_categories =
   [
     Object_msg; Tdesc_request; Tdesc_reply; Asm_request; Asm_reply;
-    Invoke_request; Invoke_reply; Gossip; Control;
+    Invoke_request; Invoke_reply; Gossip; Handle_ctl; Control;
   ]
 
 let category_name = function
@@ -24,6 +25,7 @@ let category_name = function
   | Invoke_request -> "invoke-req"
   | Invoke_reply -> "invoke-reply"
   | Gossip -> "gossip"
+  | Handle_ctl -> "handle-ctl"
   | Control -> "control"
 
 let index = function
@@ -35,7 +37,8 @@ let index = function
   | Invoke_request -> 5
   | Invoke_reply -> 6
   | Gossip -> 7
-  | Control -> 8
+  | Handle_ctl -> 8
+  | Control -> 9
 
 let ncat = List.length all_categories
 

@@ -15,6 +15,9 @@ type category =
   | Gossip
       (** Cluster background traffic: membership, anti-entropy digests,
           replica pushes ([pti_cluster]). *)
+  | Handle_ctl
+      (** Type-handle negotiation control traffic: NAKs for unknown
+          handles and the bind frames that renegotiate them. *)
   | Control  (** Everything else (acks, errors). *)
 
 val all_categories : category list

@@ -167,10 +167,25 @@ module Make (K : KEY) : S with type key = K.t = struct
     List.length !doomed
 
   let clear t =
+    (* [clear] must honour [on_evict] exactly like [drop] does: callers
+       (e.g. the checker's resolver-dep index) rely on the callback for
+       bookkeeping, and skipping it on bulk invalidation desyncs them.
+       Snapshot the entries first so the callback never observes a
+       half-swept list. *)
+    let entries =
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some n -> walk ((n.nkey, n.nval) :: acc) n.next
+      in
+      walk [] t.head
+    in
     t.invalidations <- t.invalidations + H.length t.tbl;
     H.reset t.tbl;
     t.head <- None;
-    t.tail <- None
+    t.tail <- None;
+    match t.on_evict with
+    | Some f -> List.iter (fun (k, v) -> f k v) entries
+    | None -> ()
 
   let fold t ~init ~f =
     let rec go acc = function

@@ -37,7 +37,7 @@ module type S = sig
 
   val create : ?on_evict:(key -> 'a -> unit) -> capacity:int -> unit -> 'a t
   (** [on_evict] fires for entries displaced by capacity pressure or
-      dropped by {!invalidate_where}/{!remove} — not on {!clear}.
+      dropped by {!invalidate_where}/{!remove}/{!clear}.
       @raise Invalid_argument when [capacity < 1]. *)
 
   val capacity : 'a t -> int
@@ -57,6 +57,10 @@ module type S = sig
       cache when one input changes. *)
 
   val clear : 'a t -> unit
+  (** Empties the cache, counting every entry as an invalidation and
+      firing [on_evict] once per entry (same contract as {!remove}), so
+      dependency bookkeeping hung off the callback stays in sync. *)
+
   val fold : 'a t -> init:'b -> f:(key -> 'a -> 'b -> 'b) -> 'b
   val to_list : 'a t -> (key * 'a) list
   (** Most recently used first. *)

@@ -1,0 +1,96 @@
+(* Multi-envelope batch frames.
+
+   The peer coalesces same-destination object sends that happen within
+   one simulator instant into a single framed message, amortising
+   per-message framing and ARQ/ack overhead. Each part is a complete
+   [Obj_msg] worth of content (envelope plus any eager extras); gossip
+   digests can ride along as opportunistic piggyback. The frame is
+   checksummed (magic, 8-byte FNV-1a of the body, body) so wire damage
+   is detected at the frame boundary and handled by retransmission,
+   exactly like the binary payload codec. *)
+
+module Fnv = Pti_util.Fnv
+module W = Bytes_io.Writer
+module R = Bytes_io.Reader
+
+type part = {
+  p_envelope : string;
+  p_tdescs : string list;
+  p_assemblies : string list;
+}
+
+type t = {
+  parts : part list;
+  piggyback : (string * string) list;  (** Gossip [(kind, body)] pairs. *)
+}
+
+let magic = "PTIF\x01"
+let header_len = String.length magic + 8
+
+let string_list w l =
+  W.varint w (List.length l);
+  List.iter (W.string w) l
+
+let encode t =
+  let w = W.create () in
+  W.varint w (List.length t.parts);
+  List.iter
+    (fun p ->
+      W.string w p.p_envelope;
+      string_list w p.p_tdescs;
+      string_list w p.p_assemblies)
+    t.parts;
+  W.varint w (List.length t.piggyback);
+  List.iter
+    (fun (kind, body) ->
+      W.string w kind;
+      W.string w body)
+    t.piggyback;
+  let body = W.contents w in
+  magic ^ Fnv.hash_bytes body ^ body
+
+let checked_body s =
+  if String.length s < header_len then Error "truncated batch frame"
+  else if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    Error "bad batch-frame magic"
+  else
+    let sum = String.sub s (String.length magic) 8 in
+    let body = String.sub s header_len (String.length s - header_len) in
+    if not (String.equal sum (Fnv.hash_bytes body)) then
+      Error "batch-frame checksum mismatch"
+    else Ok body
+
+(* Explicit recursion: the element reader is effectful, so evaluation
+   order must be the wire order. *)
+let read_list r f =
+  let n = R.varint r in
+  if n < 0 || n > 100_000 then failwith "bad list length";
+  let rec go acc k = if k = 0 then List.rev acc else go (f r :: acc) (k - 1) in
+  go [] n
+
+let decode s =
+  match checked_body s with
+  | Error _ as e -> e
+  | Ok body -> (
+      try
+        let r = R.create body in
+        let parts =
+          read_list r (fun r ->
+              let p_envelope = R.string r in
+              let p_tdescs = read_list r R.string in
+              let p_assemblies = read_list r R.string in
+              { p_envelope; p_tdescs; p_assemblies })
+        in
+        let piggyback =
+          read_list r (fun r ->
+              let kind = R.string r in
+              let body = R.string r in
+              (kind, body))
+        in
+        if R.at_end r then Ok { parts; piggyback }
+        else Error "trailing bytes in batch frame"
+      with
+      | R.Underflow m -> Error m
+      | Failure m -> Error m)
+
+let intact s = Result.is_ok (checked_body s)

@@ -16,35 +16,48 @@ type payload = Psoap of Xml.t | Pbinary of string
 
 type t = { env_types : type_entry list; env_payload : payload }
 
-type error = Malformed of string | Unknown_type of string | Corrupt of string
+type error =
+  | Malformed of string
+  | Unknown_type of string
+  | Corrupt of string
+  | Unknown_handles of int list
 
 let pp_error ppf = function
   | Malformed m -> Format.fprintf ppf "malformed envelope: %s" m
   | Unknown_type ty -> Format.fprintf ppf "unknown type %S" ty
   | Corrupt m -> Format.fprintf ppf "corrupt envelope: %s" m
+  | Unknown_handles hs ->
+      Format.fprintf ppf "unknown type handles [%s]"
+        (String.concat "; " (List.map string_of_int hs))
 
 (* Canonical content string the integrity digest is computed over: the
    semantic fields of the envelope, not its XML rendering, so the check
    is immune to whitespace/attribute-order differences between writer
-   and reader. The separators cannot occur in the fields' own text
-   ambiguously (0x00/0x01 never appear in names, guids or paths). *)
+   and reader. Every field is length-prefixed (netstring style): the
+   binary payload is arbitrary bytes, so no in-band separator is safe —
+   a 0x00/0x01 scheme let two distinct envelopes share a digest. *)
 let canonical t =
-  String.concat "\x00"
-    (List.map
-       (fun e ->
-         String.concat "\x01"
-           [
-             e.te_name;
-             Guid.to_string e.te_guid;
-             e.te_assembly;
-             e.te_download_path;
-           ])
-       t.env_types
-    @ [
-        (match t.env_payload with
-        | Psoap x -> "soap:" ^ Xml.to_string x
-        | Pbinary b -> "binary:" ^ b);
-      ])
+  let b = Buffer.create 256 in
+  let field s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun e ->
+      field e.te_name;
+      field (Guid.to_string e.te_guid);
+      field e.te_assembly;
+      field e.te_download_path)
+    t.env_types;
+  (match t.env_payload with
+  | Psoap x ->
+      field "soap";
+      field (Xml.to_string x)
+  | Pbinary p ->
+      field "binary";
+      field p);
+  Buffer.contents b
 
 let digest t = Pti_util.Fnv.hash_hex (canonical t)
 
@@ -64,7 +77,12 @@ let graph_classes v =
           Hashtbl.add seen_obj o.Value.oid ();
           if not (List.exists (Pti_util.Strutil.equal_ci o.Value.cls) !found)
           then found := o.Value.cls :: !found;
-          Hashtbl.iter (fun _ v -> go v) o.Value.fields
+          (* Visit fields in name order: [Hashtbl.iter] order depends on
+             stdlib hash internals, which would leak into envelope bytes
+             (and digests) via the type-entry list. *)
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.Value.fields []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> List.iter (fun (_, v) -> go v)
         end
   in
   go v;
@@ -87,6 +105,16 @@ let make reg ~codec ~download_path v =
               te_download_path = download_path ~assembly:cd.Meta.td_assembly;
             })
       classes
+  in
+  (* Deterministic emission order: the root's class stays first (the
+     receiver's fast path and eager prefetch key off it), the tail is
+     sorted by qualified name. *)
+  let env_types =
+    match env_types with
+    | root :: rest ->
+        root
+        :: List.sort (fun a b -> String.compare a.te_name b.te_name) rest
+    | [] -> []
   in
   let env_payload =
     match codec with
@@ -114,30 +142,27 @@ let decode_payload reg t =
       | Error (Bin_ser.Unknown_type ty) -> Error (Unknown_type ty)
       | Error (Bin_ser.Corrupt m) -> Error (Corrupt m))
 
+let entry_attrs e =
+  [
+    ("name", e.te_name);
+    ("guid", Guid.to_string e.te_guid);
+    ("assembly", e.te_assembly);
+    ("downloadPath", e.te_download_path);
+  ]
+
+let payload_to_xml = function
+  | Psoap x -> Xml.elt "payload" ~attrs:[ ("encoding", "soap") ] [ x ]
+  | Pbinary b ->
+      Xml.elt "payload"
+        ~attrs:[ ("encoding", "binary") ]
+        [ Xml.text (B64.encode b) ]
+
 let to_xml t =
   let open Xml in
   elt "envelope"
     ~attrs:[ ("digest", digest t) ]
-    (List.map
-       (fun e ->
-         elt "type"
-           ~attrs:
-             [
-               ("name", e.te_name);
-               ("guid", Guid.to_string e.te_guid);
-               ("assembly", e.te_assembly);
-               ("downloadPath", e.te_download_path);
-             ]
-           [])
-       t.env_types
-    @ [
-        (match t.env_payload with
-        | Psoap x -> elt "payload" ~attrs:[ ("encoding", "soap") ] [ x ]
-        | Pbinary b ->
-            elt "payload"
-              ~attrs:[ ("encoding", "binary") ]
-              [ text (B64.encode b) ]);
-      ])
+    (List.map (fun e -> elt "type" ~attrs:(entry_attrs e) []) t.env_types
+    @ [ payload_to_xml t.env_payload ])
 
 let attr name x =
   match Xml.attr name x with
@@ -153,47 +178,45 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
+let entry_of_elt e =
+  let* te_name = attr "name" e in
+  let* guid_s = attr "guid" e in
+  let* te_guid =
+    match Guid.of_string guid_s with
+    | Some g -> Ok g
+    | None -> Error (Malformed (Printf.sprintf "bad guid %S" guid_s))
+  in
+  let* te_assembly = attr "assembly" e in
+  let* te_download_path = attr "downloadPath" e in
+  Ok { te_name; te_guid; te_assembly; te_download_path }
+
+let payload_of_xml x =
+  let* payload_elt =
+    match Xml.child "payload" x with
+    | Some p -> Ok p
+    | None -> Error (Malformed "missing <payload>")
+  in
+  let* encoding = attr "encoding" payload_elt in
+  match encoding with
+  | "soap" -> (
+      match
+        List.filter
+          (function Xml.Element _ -> true | _ -> false)
+          (Xml.children payload_elt)
+      with
+      | [ inner ] -> Ok (Psoap inner)
+      | _ -> Error (Malformed "soap payload expects one element"))
+  | "binary" -> (
+      match B64.decode (Xml.text_content payload_elt) with
+      | Some b -> Ok (Pbinary b)
+      | None -> Error (Malformed "bad base64 payload"))
+  | other -> Error (Malformed (Printf.sprintf "unknown encoding %S" other))
+
 let of_xml x =
   match Xml.tag x with
   | Some "envelope" ->
-      let* env_types =
-        map_result
-          (fun e ->
-            let* te_name = attr "name" e in
-            let* guid_s = attr "guid" e in
-            let* te_guid =
-              match Guid.of_string guid_s with
-              | Some g -> Ok g
-              | None -> Error (Malformed (Printf.sprintf "bad guid %S" guid_s))
-            in
-            let* te_assembly = attr "assembly" e in
-            let* te_download_path = attr "downloadPath" e in
-            Ok { te_name; te_guid; te_assembly; te_download_path })
-          (Xml.childs "type" x)
-      in
-      let* payload_elt =
-        match Xml.child "payload" x with
-        | Some p -> Ok p
-        | None -> Error (Malformed "missing <payload>")
-      in
-      let* encoding = attr "encoding" payload_elt in
-      let* env_payload =
-        match encoding with
-        | "soap" -> (
-            match
-              List.filter
-                (function Xml.Element _ -> true | _ -> false)
-                (Xml.children payload_elt)
-            with
-            | [ inner ] -> Ok (Psoap inner)
-            | _ -> Error (Malformed "soap payload expects one element"))
-        | "binary" -> (
-            match B64.decode (Xml.text_content payload_elt) with
-            | Some b -> Ok (Pbinary b)
-            | None -> Error (Malformed "bad base64 payload"))
-        | other ->
-            Error (Malformed (Printf.sprintf "unknown encoding %S" other))
-      in
+      let* env_types = map_result entry_of_elt (Xml.childs "type" x) in
+      let* env_payload = payload_of_xml x in
       let t = { env_types; env_payload } in
       (* An envelope written before digests existed (no attribute) is
          accepted as-is; a present digest must match the recomputed one. *)
@@ -216,3 +239,356 @@ let of_string s =
   | Ok x -> of_xml x
 
 let size_bytes t = String.length (to_string t)
+
+(* ------------------- negotiated type handles ----------------------- *)
+
+(* A handle-encoded envelope replaces repeat type entries with
+   [<typeref handle="n"/>] references into a per-link table negotiated
+   on first use ([`Bind] ships the full entry together with its handle).
+   Two digests guard it: [digest] is semantic — computed over the fully
+   reconstructed envelope, so a stale or corrupted table binding can
+   never pass as an intact delivery — and [wire] covers the literal
+   document content (including the bare handle numbers), so frame-level
+   integrity checks need no table at all. *)
+
+type handle_form = [ `Plain | `Bind of int | `Ref of int ]
+
+let wire_canonical forms payload =
+  let b = Buffer.create 256 in
+  let field s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  let entry e =
+    field e.te_name;
+    field (Guid.to_string e.te_guid);
+    field e.te_assembly;
+    field e.te_download_path
+  in
+  List.iter
+    (fun (form, e) ->
+      match form with
+      | `Plain ->
+          field "P";
+          entry e
+      | `Bind h ->
+          field "B";
+          field (string_of_int h);
+          entry e
+      | `Ref h ->
+          field "R";
+          field (string_of_int h))
+    forms;
+  (match payload with
+  | Psoap x ->
+      field "soap";
+      field (Xml.to_string x)
+  | Pbinary p ->
+      field "binary";
+      field p);
+  Buffer.contents b
+
+let wire_digest forms payload =
+  Pti_util.Fnv.hash_hex (wire_canonical forms payload)
+
+let to_xml_h t ~form =
+  let forms = List.map (fun e -> ((form e : handle_form), e)) t.env_types in
+  let open Xml in
+  elt "envelope"
+    ~attrs:
+      [ ("digest", digest t); ("wire", wire_digest forms t.env_payload) ]
+    (List.map
+       (fun (f, e) ->
+         match f with
+         | `Plain -> elt "type" ~attrs:(entry_attrs e) []
+         | `Bind h ->
+             elt "type"
+               ~attrs:(entry_attrs e @ [ ("handle", string_of_int h) ])
+               []
+         | `Ref h -> elt "typeref" ~attrs:[ ("handle", string_of_int h) ] [])
+       forms
+    @ [ payload_to_xml t.env_payload ])
+
+let to_string_h_xml t ~form = Xml.to_string (to_xml_h t ~form)
+
+let handle_attr e =
+  match Xml.attr "handle" e with
+  | None -> Ok None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some h when h > 0 -> Ok (Some h)
+      | _ -> Error (Malformed (Printf.sprintf "bad handle %S" s)))
+
+(* [resolve] consults the per-link table for [`Ref] handles; bindings
+   shipped earlier in the same envelope are visible to later refs. The
+   result carries the new bindings so the caller can install them. *)
+let of_xml_h ~resolve x =
+  match Xml.tag x with
+  | Some "envelope" ->
+      let* parsed =
+        map_result
+          (fun e ->
+            match Xml.tag e with
+            | Some "type" ->
+                let* entry = entry_of_elt e in
+                let* h = handle_attr e in
+                Ok
+                  (match h with
+                  | None -> (`Plain, `Entry entry)
+                  | Some h -> (`Bind h, `Entry entry))
+            | Some "typeref" ->
+                let* h = handle_attr e in
+                let* h =
+                  match h with
+                  | Some h -> Ok h
+                  | None -> Error (Malformed "typeref without handle")
+                in
+                Ok (`Ref h, `Handle h)
+            | _ -> Ok (`Skip, `Skip))
+          (List.filter
+             (function
+               | Xml.Element (t, _, _) -> t = "type" || t = "typeref"
+               | _ -> false)
+             (Xml.children x))
+      in
+      let* env_payload = payload_of_xml x in
+      (* Wire-level integrity first: it needs no table, and a flipped
+         handle number must surface as [Corrupt], not as a spurious
+         renegotiation (or worse, a wrong-table hit). *)
+      let forms =
+        List.filter_map
+          (fun (form, what) ->
+            match (form, what) with
+            | `Plain, `Entry e -> Some ((`Plain : handle_form), e)
+            | `Bind h, `Entry e -> Some (`Bind h, e)
+            | `Ref h, `Handle _ ->
+                Some
+                  ( `Ref h,
+                    {
+                      te_name = "";
+                      te_guid = Guid.nil;
+                      te_assembly = "";
+                      te_download_path = "";
+                    } )
+            | _ -> None)
+          parsed
+      in
+      let* () =
+        match Xml.attr "wire" x with
+        | None -> Ok ()
+        | Some d when String.equal d (wire_digest forms env_payload) -> Ok ()
+        | Some _ -> Error (Corrupt "envelope wire digest mismatch")
+      in
+      let bindings =
+        List.filter_map
+          (function `Bind h, `Entry e -> Some (h, e) | _ -> None)
+          parsed
+      in
+      let unknown = ref [] in
+      let env_types =
+        List.filter_map
+          (fun (form, what) ->
+            match (form, what) with
+            | _, `Entry e -> Some e
+            | `Ref h, `Handle _ -> (
+                match List.assoc_opt h bindings with
+                | Some e -> Some e
+                | None -> (
+                    match resolve h with
+                    | Some e -> Some e
+                    | None ->
+                        if not (List.mem h !unknown) then
+                          unknown := h :: !unknown;
+                        None))
+            | _ -> None)
+          parsed
+      in
+      let* () =
+        match List.rev !unknown with
+        | [] -> Ok ()
+        | hs -> Error (Unknown_handles hs)
+      in
+      let t = { env_types; env_payload } in
+      (* Semantic digest over the reconstruction: a wrong binding in the
+         link table can never produce an intact-looking envelope. *)
+      let* () =
+        match Xml.attr "digest" x with
+        | None -> Ok ()
+        | Some d when String.equal d (digest t) -> Ok ()
+        | Some _ -> Error (Corrupt "envelope digest mismatch")
+      in
+      Ok (t, bindings)
+  | Some other ->
+      Error (Malformed (Printf.sprintf "expected <envelope>, got <%s>" other))
+  | None -> Error (Malformed "expected an element")
+
+(* ---------------- compact binary wire form (PTIE) ------------------ *)
+
+(* Handle-encoded envelopes go on the wire in a compact binary frame:
+   XML plus base64 costs ~45% over the raw bytes, which defeats the
+   point of shipping two-byte type refs. Layout:
+
+     "PTIE\x01" | fnv64(body) | body
+     body  = digest8 | varint n | slot* | payload
+     slot  = 0x00                                (plain, 4 strings)
+           | 0x01 varint handle, 4 strings       (bind)
+           | 0x02 varint handle                  (ref)
+     strings are name, guid, assembly, downloadPath (varint-prefixed)
+     payload = u8 codec (0 soap / 1 binary) | string
+
+   The frame checksum replaces the XML form's [wire] digest (literal
+   content integrity, no table needed); [digest8] is the raw semantic
+   digest over the reconstructed envelope, serving exactly like the
+   XML [digest] attribute. The XML handle form remains accepted on
+   decode as the interop fallback. *)
+
+module W = Bytes_io.Writer
+module R = Bytes_io.Reader
+
+let bin_magic = "PTIE\x01"
+let bin_header_len = String.length bin_magic + 8
+let digest_raw t = Pti_util.Fnv.hash_bytes (canonical t)
+
+let to_string_h t ~form =
+  let w = W.create () in
+  W.raw w (digest_raw t);
+  W.varint w (List.length t.env_types);
+  let entry e =
+    W.string w e.te_name;
+    W.string w (Guid.to_string e.te_guid);
+    W.string w e.te_assembly;
+    W.string w e.te_download_path
+  in
+  List.iter
+    (fun e ->
+      match (form e : handle_form) with
+      | `Plain ->
+          W.u8 w 0;
+          entry e
+      | `Bind h ->
+          W.u8 w 1;
+          W.varint w h;
+          entry e
+      | `Ref h ->
+          W.u8 w 2;
+          W.varint w h)
+    t.env_types;
+  (match t.env_payload with
+  | Psoap x ->
+      W.u8 w 0;
+      W.string w (Xml.to_string x)
+  | Pbinary p ->
+      W.u8 w 1;
+      W.string w p);
+  let body = W.contents w in
+  bin_magic ^ Pti_util.Fnv.hash_bytes body ^ body
+
+let is_binary_h s =
+  String.length s >= bin_header_len
+  && String.equal (String.sub s 0 (String.length bin_magic)) bin_magic
+
+let of_string_hb ~resolve s =
+  let sum = String.sub s (String.length bin_magic) 8 in
+  let body = String.sub s bin_header_len (String.length s - bin_header_len) in
+  if not (String.equal sum (Pti_util.Fnv.hash_bytes body)) then
+    Error (Corrupt "envelope wire checksum mismatch")
+  else
+    try
+      let digest8 = String.sub body 0 8 in
+      let r = R.create (String.sub body 8 (String.length body - 8)) in
+      let n = R.varint r in
+      if n < 0 || n > 10_000 then failwith "bad slot count";
+      let entry () =
+        let te_name = R.string r in
+        let guid_s = R.string r in
+        let te_guid =
+          match Guid.of_string guid_s with
+          | Some g -> g
+          | None -> failwith (Printf.sprintf "bad guid %S" guid_s)
+        in
+        let te_assembly = R.string r in
+        let te_download_path = R.string r in
+        { te_name; te_guid; te_assembly; te_download_path }
+      in
+      (* Explicit recursion: reads are effectful, evaluation order must
+         be the wire order. *)
+      let rec read_slots acc k =
+        if k = 0 then List.rev acc
+        else
+          let slot =
+            match R.u8 r with
+            | 0 -> `Plain_e (entry ())
+            | 1 ->
+                let h = R.varint r in
+                `Bind_e (h, entry ())
+            | 2 -> `Ref_h (R.varint r)
+            | tag -> failwith (Printf.sprintf "bad slot tag %d" tag)
+          in
+          read_slots (slot :: acc) (k - 1)
+      in
+      let slots = read_slots [] n in
+      let env_payload =
+        match R.u8 r with
+        | 0 -> (
+            match Xml.parse (R.string r) with
+            | Ok x -> Psoap x
+            | Error e ->
+                failwith (Format.asprintf "bad soap payload: %a" Xml.pp_error e)
+            )
+        | 1 -> Pbinary (R.string r)
+        | tag -> failwith (Printf.sprintf "bad payload tag %d" tag)
+      in
+      if not (R.at_end r) then failwith "trailing bytes in envelope"
+      else begin
+        let bindings =
+          List.filter_map
+            (function `Bind_e (h, e) -> Some (h, e) | _ -> None)
+            slots
+        in
+        let unknown = ref [] in
+        let env_types =
+          List.filter_map
+            (function
+              | `Plain_e e | `Bind_e (_, e) -> Some e
+              | `Ref_h h -> (
+                  match List.assoc_opt h bindings with
+                  | Some e -> Some e
+                  | None -> (
+                      match resolve h with
+                      | Some e -> Some e
+                      | None ->
+                          if not (List.mem h !unknown) then
+                            unknown := h :: !unknown;
+                          None)))
+            slots
+        in
+        match List.rev !unknown with
+        | _ :: _ as hs -> Error (Unknown_handles hs)
+        | [] ->
+            let t = { env_types; env_payload } in
+            (* Semantic digest over the reconstruction: a wrong binding
+               in the link table can never look like an intact envelope. *)
+            if String.equal digest8 (digest_raw t) then Ok (t, bindings)
+            else Error (Corrupt "envelope digest mismatch")
+      end
+    with
+    | R.Underflow m -> Error (Malformed m)
+    | Failure m -> Error (Malformed m)
+
+let of_string_h ~resolve s =
+  if is_binary_h s then of_string_hb ~resolve s
+  else
+    match Xml.parse s with
+    | Error e -> Error (Malformed (Format.asprintf "%a" Xml.pp_error e))
+    | Ok x -> of_xml_h ~resolve x
+
+(* Frame-level integrity probe for the chaos harness: true iff the
+   document parses and its checksum / wire digest (or, for plain XML
+   envelopes, the semantic digest) matches. Unknown handles do not make
+   a frame dirty — they are a table condition, not wire damage. *)
+let wire_ok s =
+  match of_string_h ~resolve:(fun _ -> None) s with
+  | Ok _ | Error (Unknown_handles _) -> true
+  | Error (Corrupt _) -> false
+  | Error (Malformed _ | Unknown_type _) -> false

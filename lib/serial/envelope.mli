@@ -29,6 +29,11 @@ type error =
       (** The integrity digest did not match — the envelope (or its
           binary payload's checksum) was damaged on the wire. Decoding
           never yields a mangled value: corruption surfaces here. *)
+  | Unknown_handles of int list
+      (** A handle-encoded envelope referenced handles the receiver's
+          link table cannot resolve (cold cache, restart, eviction) —
+          the signal that triggers renegotiation, never a failure of
+          the payload itself. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -61,3 +66,44 @@ val to_string : t -> string
 val of_string : string -> (t, error) result
 
 val size_bytes : t -> int
+
+(** {2 Negotiated type handles}
+
+    Wire-efficiency layer: after first contact, a type entry on a link
+    is a small integer. [`Bind h] ships the full entry together with
+    its assigned handle (first use), [`Ref h] ships only the handle,
+    [`Plain] is the classic self-describing form. Handle-encoded
+    envelopes carry two digests: the semantic [digest] over the fully
+    reconstructed envelope (a drifted table binding can never deliver a
+    mis-typed payload) and a [wire] digest over the literal document
+    (frame integrity without a table). *)
+
+type handle_form = [ `Plain | `Bind of int | `Ref of int ]
+
+val to_string_h : t -> form:(type_entry -> handle_form) -> string
+(** Renders with the per-entry form chosen by [form] — typically a
+    lookup in the sender side of a {!Handle_table} — as a compact
+    checksummed binary frame ([PTIE] magic, raw payload bytes, no
+    base64). The checksum plays the wire-digest role; the embedded raw
+    semantic digest plays the [digest]-attribute role. *)
+
+val to_string_h_xml : t -> form:(type_entry -> handle_form) -> string
+(** The same handle encoding in the XML wire form (a [wire] digest
+    attribute plus [<typeref handle="n"/>] elements) — the interop
+    fallback; {!of_string_h} accepts both. *)
+
+val of_string_h :
+  resolve:(int -> type_entry option) ->
+  string ->
+  (t * (int * type_entry) list, error) result
+(** Parses either classic or handle-encoded envelopes. [resolve]
+    consults the receiver's link table; bindings shipped in the same
+    envelope are visible to its own refs. On success also returns the
+    new bindings so the caller can install them. Fails with
+    {!Unknown_handles} when refs cannot be resolved (wire-intact — the
+    caller should NAK and park), with [Corrupt] on digest mismatch. *)
+
+val wire_ok : string -> bool
+(** Frame-level integrity probe: the document parses and its wire (or,
+    for classic envelopes, semantic) digest matches. Unknown handles
+    are a table condition, not wire damage, and leave the frame ok. *)

@@ -1,0 +1,142 @@
+(* Per-link negotiated type-handle tables.
+
+   The sender assigns a small monotonically increasing integer to every
+   distinct type entry it ships on a link; the first envelope carrying
+   the type binds handle and entry together ([`Bind]), later envelopes
+   ship only the handle ([`Ref]). The receiver keeps a bounded table of
+   learned bindings. Handles are never reused — after a sender-side
+   reset the counter keeps counting, so a stale binding on the other end
+   can only miss (and trigger renegotiation), never alias a different
+   type. Correctness never depends on the table: an unknown handle is
+   NAKed and the sender re-binds it, and the envelope's semantic digest
+   rejects any binding that drifted from the sender's. *)
+
+module Fnv = Pti_util.Fnv
+module Guid = Pti_util.Guid
+
+(* ------------------------------ sender ----------------------------- *)
+
+type sender = {
+  mutable next_handle : int;
+  by_entry : (Envelope.type_entry, int) Hashtbl.t;
+  by_handle : (int, Envelope.type_entry) Hashtbl.t;
+      (* Reverse map: rebuilding a NAKed binding needs the full entry
+         without retaining any envelope. *)
+}
+
+let create_sender () =
+  { next_handle = 1; by_entry = Hashtbl.create 16; by_handle = Hashtbl.create 16 }
+
+let obtain s entry =
+  match Hashtbl.find_opt s.by_entry entry with
+  | Some h -> `Known h
+  | None ->
+      let h = s.next_handle in
+      s.next_handle <- h + 1;
+      Hashtbl.replace s.by_entry entry h;
+      Hashtbl.replace s.by_handle h entry;
+      `Fresh h
+
+let entry_for s h = Hashtbl.find_opt s.by_handle h
+
+let reset_sender s =
+  Hashtbl.reset s.by_entry;
+  Hashtbl.reset s.by_handle
+
+(* ----------------------------- receiver ---------------------------- *)
+
+module ILru = Pti_obs.Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+type receiver = Envelope.type_entry ILru.t
+
+let create_receiver ~capacity : receiver = ILru.create ~capacity ()
+let install (r : receiver) h entry = ILru.put r h entry
+let resolve (r : receiver) h = ILru.find r h
+let clear_receiver (r : receiver) = ILru.clear r
+let receiver_length (r : receiver) = ILru.length r
+
+(* --------------------------- bind frames --------------------------- *)
+
+(* [Handle_bind] control messages carry renegotiated bindings in a
+   checksummed binary frame (magic, 8-byte FNV-1a of the body, body) so
+   the chaos harness's frame-integrity filter can vet them without
+   structural parsing. *)
+
+module W = Bytes_io.Writer
+module R = Bytes_io.Reader
+
+let bind_magic = "PTIH\x01"
+let header_len = String.length bind_magic + 8
+
+let encode_bindings binds =
+  let w = W.create () in
+  W.varint w (List.length binds);
+  List.iter
+    (fun (h, e) ->
+      W.varint w h;
+      W.string w e.Envelope.te_name;
+      W.string w (Guid.to_string e.Envelope.te_guid);
+      W.string w e.Envelope.te_assembly;
+      W.string w e.Envelope.te_download_path)
+    binds;
+  let body = W.contents w in
+  bind_magic ^ Fnv.hash_bytes body ^ body
+
+let checked_body s =
+  if String.length s < header_len then Error "truncated bind frame"
+  else if
+    not (String.equal (String.sub s 0 (String.length bind_magic)) bind_magic)
+  then Error "bad bind-frame magic"
+  else
+    let sum = String.sub s (String.length bind_magic) 8 in
+    let body = String.sub s header_len (String.length s - header_len) in
+    if not (String.equal sum (Fnv.hash_bytes body)) then
+      Error "bind-frame checksum mismatch"
+    else Ok body
+
+let decode_bindings s =
+  match checked_body s with
+  | Error _ as e -> e
+  | Ok body -> (
+      try
+        let r = R.create body in
+        let n = R.varint r in
+        if n < 0 || n > 100_000 then Error "bad binding count"
+        else begin
+          let out = ref [] in
+          let bad = ref None in
+          (try
+             for _ = 1 to n do
+               let h = R.varint r in
+               let te_name = R.string r in
+               let guid_s = R.string r in
+               let te_assembly = R.string r in
+               let te_download_path = R.string r in
+               match Guid.of_string guid_s with
+               | None -> bad := Some (Printf.sprintf "bad guid %S" guid_s)
+               | Some te_guid ->
+                   out :=
+                     ( h,
+                       {
+                         Envelope.te_name;
+                         te_guid;
+                         te_assembly;
+                         te_download_path;
+                       } )
+                     :: !out
+             done
+           with R.Underflow m -> bad := Some m);
+          match !bad with
+          | Some m -> Error m
+          | None ->
+              if R.at_end r then Ok (List.rev !out)
+              else Error "trailing bytes in bind frame"
+        end
+      with R.Underflow m -> Error m)
+
+let bindings_intact s = Result.is_ok (checked_body s)

@@ -77,6 +77,23 @@ val of_xml_string : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Binary codec}
+
+    Compact wire form negotiated per link ([Tdesc_request.binary_ok]);
+    XML remains the default and the interop fallback. Checksummed like
+    every binary frame, so wire corruption surfaces as an [Error], never
+    as a mangled description. *)
+
+val to_binary_string : t -> string
+val of_binary_string : string -> (t, string) result
+
+val is_binary : string -> bool
+(** True iff the string starts with the binary-codec magic. *)
+
+val of_wire_string : string -> (t, string) result
+(** Self-describing parse: {!of_binary_string} when the magic matches,
+    {!of_xml_string} otherwise. *)
+
 (** {1 Resolvers} *)
 
 type resolver = string -> t option

@@ -2,19 +2,22 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  cap_hint : int;
 }
 
+(* The backing array stays [||] until the first push, which allocates it
+   with the pushed element as filler. No [Obj.magic] placeholder: a
+   fabricated value of type ['a] is unsound when ['a] is [float] (the
+   flat-float-array representation would unbox a forged immediate). *)
 let create ?(initial_capacity = 16) ~cmp () =
-  { cmp; data = [||]; size = 0 }
-  |> fun t ->
-  t.data <- Array.make (max 1 initial_capacity) (Obj.magic 0);
-  t
+  { cmp; data = [||]; size = 0; cap_hint = max 1 initial_capacity }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
 let grow t =
   let cap = Array.length t.data in
+  (* [t.data.(0)] is a live element, so it is a legitimate filler. *)
   let data = Array.make (cap * 2) t.data.(0) in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
@@ -43,7 +46,8 @@ let rec sift_down t i =
   end
 
 let push t x =
-  if t.size = Array.length t.data then grow t;
+  if Array.length t.data = 0 then t.data <- Array.make t.cap_hint x
+  else if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -57,17 +61,19 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    (* Release the slot for the GC. *)
-    t.data.(t.size) <- Obj.magic 0;
+      sift_down t 0;
+      (* Release the vacated slot for the GC by duplicating a live
+         element into it. *)
+      t.data.(t.size) <- t.data.(0)
+    end
+    else
+      (* Nothing live left to use as filler — drop the array wholesale. *)
+      t.data <- [||];
     Some top
   end
 
 let clear t =
-  for i = 0 to t.size - 1 do
-    t.data.(i) <- Obj.magic 0
-  done;
+  t.data <- [||];
   t.size <- 0
 
 let to_list_unordered t = Array.to_list (Array.sub t.data 0 t.size)

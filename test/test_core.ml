@@ -653,7 +653,8 @@ let test_message_sizes_and_categories () =
     [
       (Obj_msg { envelope = "abcd"; tdescs = [ "xy" ]; assemblies = [ "z" ] },
        Stats.Object_msg, 16 + 4 + 2 + 1);
-      (Tdesc_request { type_name = "a.B"; token = 1 }, Stats.Tdesc_request,
+      (Tdesc_request { type_name = "a.B"; token = 1; binary_ok = false },
+       Stats.Tdesc_request,
        16 + 3);
       (Tdesc_reply { type_name = "a.B"; desc = Some "dddd"; token = 1 },
        Stats.Tdesc_reply, 16 + 3 + 4);
@@ -680,9 +681,157 @@ let test_message_sizes_and_categories () =
 
 let test_message_describe_is_informative () =
   let open Message in
-  let d = describe (Tdesc_request { type_name = "x.Y"; token = 9 }) in
+  let d = describe (Tdesc_request { type_name = "x.Y"; token = 9; binary_ok = false }) in
   Alcotest.(check bool) "mentions the type" true
     (Pti_util.Strutil.starts_with ~prefix:"tdesc-req(x.Y)" d)
+
+(* ------------------------- wire efficiency ------------------------- *)
+
+(* One world with the wire knobs set, sending [n] same-type objects. *)
+let wire_world ?handles ?batch_bytes ?tdesc_binary n =
+  let net = make_net () in
+  let sender = Peer.create ?handles ?batch_bytes ?tdesc_binary ~net "sender" in
+  let receiver =
+    Peer.create ?handles ?batch_bytes ?tdesc_binary ~net "receiver"
+  in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let received = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr received);
+  for i = 1 to n do
+    let v =
+      Demo.make_social_person (Peer.registry sender)
+        ~name:(Printf.sprintf "p%d" i) ~age:(20 + i)
+    in
+    Peer.send_value sender ~dst:"receiver" v;
+    Net.run net
+  done;
+  (net, sender, receiver, !received)
+
+let test_handles_shrink_repeat_traffic () =
+  let n = 12 in
+  let _, _, _, plain_received = wire_world n in
+  let net_p, _, _, _ = wire_world n in
+  let plain_bytes = Stats.bytes (Net.stats net_p) Stats.Object_msg in
+  let net_h, sender, _, received = wire_world ~handles:true n in
+  Alcotest.(check int) "all delivered with handles" plain_received received;
+  Alcotest.(check int) "all delivered" n received;
+  (* Every distinct entry binds exactly once (on the first envelope) and
+     is a handle ref on all later ones. *)
+  let entries = Peer.handle_misses sender in
+  Alcotest.(check bool) "first envelope binds" true (entries >= 1);
+  Alcotest.(check int) "refs for every later entry" (entries * (n - 1))
+    (Peer.handle_hits sender);
+  Alcotest.(check int) "no renegotiation on a quiet link" 0
+    (Peer.renegotiations sender);
+  let handle_bytes = Stats.bytes (Net.stats net_h) Stats.Object_msg in
+  Alcotest.(check bool)
+    (Printf.sprintf "handles shrink object traffic (%d < %d)" handle_bytes
+       plain_bytes)
+    true (handle_bytes < plain_bytes)
+
+let test_handle_table_drop_renegotiates () =
+  let net = make_net () in
+  let sender = Peer.create ~handles:true ~net "sender" in
+  let receiver = Peer.create ~handles:true ~net "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let got = ref [] in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ v -> got := v :: !got);
+  let send name =
+    Peer.send_value sender ~dst:"receiver"
+      (Demo.make_social_person (Peer.registry sender) ~name ~age:44);
+    Net.run net
+  in
+  send "before";
+  (* Simulate receiver restart: learned bindings gone, sender unaware. *)
+  Peer.drop_handle_tables receiver;
+  send "after";
+  Alcotest.(check int) "both delivered" 2 (List.length !got);
+  Alcotest.(check int) "exactly one NAK round" 1
+    (Peer.renegotiations receiver);
+  (* The renegotiated delivery is intact, not just present. *)
+  let names =
+    List.filter_map
+      (fun v ->
+        match Proxy.invoke (Peer.registry receiver) v "getName" [] with
+        | Value.Vstring s -> Some s
+        | _ -> None)
+      !got
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "names intact" [ "after"; "before" ] names
+
+let test_batching_coalesces_same_instant () =
+  let net = make_net () in
+  let sender = Peer.create ~batch_bytes:65536 ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let received = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr received);
+  (* Five sends before the simulation runs: one instant, one frame. *)
+  for i = 1 to 5 do
+    Peer.send_value sender ~dst:"receiver"
+      (Demo.make_social_person (Peer.registry sender)
+         ~name:(Printf.sprintf "b%d" i) ~age:i)
+  done;
+  Net.run net;
+  Alcotest.(check int) "all delivered" 5 !received;
+  Alcotest.(check int) "one batch frame" 1 (Peer.batch_messages sender);
+  Alcotest.(check int) "five envelopes inside" 5 (Peer.batch_envelopes sender);
+  Alcotest.(check bool) "framing overhead saved" true
+    (Peer.batch_bytes_saved sender > 0);
+  Alcotest.(check int) "one object message on the wire" 1
+    (Stats.messages (Net.stats net) Stats.Object_msg)
+
+let test_batch_budget_bounds_frames () =
+  let net = make_net () in
+  (* A budget smaller than two envelopes: every send flushes its own
+     frame immediately. *)
+  let sender = Peer.create ~batch_bytes:1 ~net "sender" in
+  let receiver = Peer.create ~net "receiver" in
+  Peer.publish_assembly sender (Demo.social_assembly ());
+  Peer.publish_assembly receiver (Demo.news_assembly ());
+  let received = ref 0 in
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> incr received);
+  for i = 1 to 4 do
+    Peer.send_value sender ~dst:"receiver"
+      (Demo.make_social_person (Peer.registry sender)
+         ~name:(Printf.sprintf "s%d" i) ~age:i)
+  done;
+  Net.run net;
+  Alcotest.(check int) "all delivered" 4 !received;
+  Alcotest.(check int) "one frame per send under a tiny budget" 4
+    (Peer.batch_messages sender)
+
+let test_tdesc_binary_negotiated () =
+  let run ~tdesc_binary =
+    let net = make_net () in
+    let sender = Peer.create ~net "sender" in
+    let receiver = Peer.create ~tdesc_binary ~net "receiver" in
+    Peer.publish_assembly sender (Demo.social_assembly ());
+    Peer.publish_assembly receiver (Demo.news_assembly ());
+    let received = ref 0 in
+    Peer.register_interest receiver ~interest:Demo.news_person
+      (fun ~from:_ _ -> incr received);
+    Peer.send_value sender ~dst:"receiver"
+      (Demo.make_social_person (Peer.registry sender) ~name:"T" ~age:1);
+    Net.run net;
+    (!received, Stats.bytes (Net.stats net) Stats.Tdesc_reply)
+  in
+  let xml_received, xml_bytes = run ~tdesc_binary:false in
+  let bin_received, bin_bytes = run ~tdesc_binary:true in
+  Alcotest.(check int) "xml delivered" 1 xml_received;
+  Alcotest.(check int) "binary delivered" 1 bin_received;
+  Alcotest.(check bool)
+    (Printf.sprintf "binary tdesc replies are smaller (%d < %d)" bin_bytes
+       xml_bytes)
+    true (bin_bytes < xml_bytes)
 
 let () =
   Alcotest.run "core-protocol"
@@ -733,6 +882,19 @@ let () =
             test_message_sizes_and_categories;
           Alcotest.test_case "describe" `Quick
             test_message_describe_is_informative;
+        ] );
+      ( "wire-efficiency",
+        [
+          Alcotest.test_case "handles shrink repeat traffic" `Quick
+            test_handles_shrink_repeat_traffic;
+          Alcotest.test_case "table drop renegotiates" `Quick
+            test_handle_table_drop_renegotiates;
+          Alcotest.test_case "batching coalesces same instant" `Quick
+            test_batching_coalesces_same_instant;
+          Alcotest.test_case "tiny budget bounds frames" `Quick
+            test_batch_budget_bounds_frames;
+          Alcotest.test_case "binary tdesc negotiated" `Quick
+            test_tdesc_binary_negotiated;
         ] );
       ( "pass-by-reference",
         [

@@ -205,7 +205,7 @@ let test_corrupt_message_targets_payloads () =
   Alcotest.(check bool) "gossip body" true
     (some (Message.Gossip { kind = "digest"; body = "token\t1\n" }));
   Alcotest.(check bool) "requests untouched" false
-    (some (Message.Tdesc_request { type_name = "t"; token = 1 }))
+    (some (Message.Tdesc_request { type_name = "t"; token = 1; binary_ok = false }))
 
 (* ---------------------------------------------------------------- *)
 (* Invariant checks are data-in, violations-out                       *)
@@ -324,6 +324,7 @@ let test_corruption_detected_and_recovered () =
       c_cluster = true;
       c_objects = 8;
       c_frame_integrity = true;
+      c_wire = false;
     }
   in
   let r = Chaos.run_one ~plan config ~seed:1234L in
@@ -353,6 +354,7 @@ let test_corruption_detected_at_peer_without_frame_filter () =
       c_cluster = false;
       c_objects = 8;
       c_frame_integrity = false;
+      c_wire = false;
     }
   in
   let r = Chaos.run_one ~plan config ~seed:99L in
@@ -395,6 +397,7 @@ let test_chaos_cluster_profiles_smoke () =
             c_cluster = true;
             c_objects = 8;
             c_frame_integrity = true;
+            c_wire = false;
           }
           ~runs:25 ~seed:7L
       in
@@ -403,6 +406,40 @@ let test_chaos_cluster_profiles_smoke () =
         0
         (List.length s.Chaos.s_failures))
     [ Fault_plan.Lossy; Fault_plan.Flaky; Fault_plan.Byzantine_wire ]
+
+(* Wire-efficiency features under faults: handles + batching + binary
+   tdescs on, receiver handle tables dropped mid-run. The run must
+   degrade through renegotiation (NAK -> re-bind -> reprocess), and the
+   usual invariants — conservation, no mangling, trap rejection — must
+   hold exactly as in classic mode. *)
+let test_chaos_wire_renegotiates () =
+  let config = { Chaos.default_config with c_wire = true } in
+  let r = Chaos.run_one config ~seed:777L in
+  no_violations "wire mode" r;
+  Alcotest.(check bool) "table drop forced renegotiation" true
+    (r.Chaos.r_renegotiations > 0);
+  Alcotest.(check int) "all conformant objects delivered" 6
+    r.Chaos.r_delivered
+
+let test_chaos_wire_profiles_smoke () =
+  List.iter
+    (fun (cluster, profile) ->
+      let s =
+        Chaos.run_many
+          {
+            Chaos.c_profile = profile;
+            c_cluster = cluster;
+            c_objects = 8;
+            c_frame_integrity = true;
+            c_wire = true;
+          }
+          ~runs:25 ~seed:21L
+      in
+      Alcotest.(check int)
+        (Fault_plan.profile_name profile ^ ": no failing wire schedules")
+        0
+        (List.length s.Chaos.s_failures))
+    [ (false, Fault_plan.Lossy); (true, Fault_plan.Byzantine_wire) ]
 
 let () =
   Alcotest.run "fault"
@@ -450,5 +487,9 @@ let () =
           Alcotest.test_case "200-schedule smoke" `Slow test_chaos_smoke_200;
           Alcotest.test_case "cluster profiles smoke" `Slow
             test_chaos_cluster_profiles_smoke;
+          Alcotest.test_case "wire mode renegotiates" `Quick
+            test_chaos_wire_renegotiates;
+          Alcotest.test_case "wire profiles smoke" `Slow
+            test_chaos_wire_profiles_smoke;
         ] );
     ]

@@ -91,17 +91,40 @@ let test_lru_set_capacity () =
       ignore (Lru.Str.create ~capacity:0 ()))
 
 let test_lru_clear () =
-  let evicted = ref 0 in
-  let c = Lru.Str.create ~on_evict:(fun _ _ -> incr evicted) ~capacity:4 () in
+  let evicted = ref [] in
+  let c =
+    Lru.Str.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:4 ()
+  in
   Lru.Str.put c "a" 1;
   Lru.Str.put c "b" 2;
   Lru.Str.clear c;
   Alcotest.(check int) "empty after clear" 0 (Lru.Str.length c);
-  Alcotest.(check int) "clear does not fire on_evict" 0 !evicted;
+  (* Regression: [clear] used to reset the table without firing
+     [on_evict], silently desyncing dependency bookkeeping hung off the
+     callback (unlike [remove]/capacity eviction, which always fire). *)
+  Alcotest.(check (list string))
+    "clear fires on_evict per entry"
+    [ "a"; "b" ]
+    (List.sort String.compare !evicted);
   Lru.Str.remove c "nope";
   Lru.Str.put c "c" 3;
   Lru.Str.remove c "c";
-  Alcotest.(check int) "remove fires on_evict" 1 !evicted
+  Alcotest.(check int) "remove fires on_evict too" 3 (List.length !evicted);
+  (* Re-entrancy: the callback observes the already-emptied cache. *)
+  let c2 = ref None in
+  let seen_len = ref (-1) in
+  let cache =
+    Lru.Str.create
+      ~on_evict:(fun _ _ ->
+        match !c2 with
+        | Some c -> seen_len := Lru.Str.length c
+        | None -> ())
+      ~capacity:4 ()
+  in
+  c2 := Some cache;
+  Lru.Str.put cache "x" 1;
+  Lru.Str.clear cache;
+  Alcotest.(check int) "callback sees emptied cache" 0 !seen_len
 
 (* qcheck: random put/find/remove/invalidate traces against an
    association-list model. The model keeps entries MRU-first, mirroring

@@ -327,6 +327,52 @@ let test_envelope_decode_requires_types () =
   | Error (Env.Unknown_type _) -> ()
   | _ -> Alcotest.fail "decode without types should fail"
 
+(* Regression: the pre-length-prefix canonical string joined fields with
+   0x00/0x01 separators, but a binary payload is arbitrary bytes — these
+   two distinct envelopes rendered the exact same canonical string
+   (field text migrating across a separator), i.e. a digest-collision
+   blind spot for corruption detection. *)
+let test_envelope_digest_collision () =
+  let entry path =
+    {
+      Env.te_name = "n";
+      te_guid = Pti_util.Guid.of_name "n";
+      te_assembly = "a";
+      te_download_path = path;
+    }
+  in
+  let a =
+    { Env.env_types = [ entry "p" ];
+      env_payload = Env.Pbinary "x\x00binary:y" }
+  in
+  let b =
+    { Env.env_types = [ entry "p\x00binary:x" ];
+      env_payload = Env.Pbinary "y" }
+  in
+  Alcotest.(check bool) "distinct envelopes" true (a <> b);
+  Alcotest.(check bool) "digests differ" false
+    (String.equal (Env.digest a) (Env.digest b))
+
+(* Golden emission order: the root's class first, then the remaining
+   entries sorted by qualified name — independent of stdlib hash-table
+   iteration order, so envelope bytes and digests are stable across
+   OCaml releases. *)
+let test_envelope_golden_order () =
+  let r = reg () in
+  let author = sample_person r in
+  let ev = Demo.make_news_event r ~headline:"h" ~author ~priority:1 in
+  let v =
+    Value.Varr
+      { Value.elem_ty = Ty.Named "object"; items = [| ev; author |] }
+  in
+  let env =
+    Env.make r ~codec:Env.Binary ~download_path:(fun ~assembly -> assembly) v
+  in
+  Alcotest.(check (list string))
+    "root class first, tail sorted by name"
+    [ "newsw.NewsEvent"; "newsw.Address"; "newsw.Person" ]
+    (List.map (fun e -> e.Env.te_name) env.Env.env_types)
+
 let test_envelope_malformed () =
   List.iter
     (fun s ->
@@ -462,6 +508,263 @@ let prop_envelope_flip_never_mangles =
           | Error _ -> true
           | Ok v -> Value.equal_deep original v))
 
+(* ------------------------ handle envelopes ------------------------- *)
+
+module Ht = Pti_serial.Handle_table
+module Bf = Pti_serial.Batch_frame
+
+let mk_env r v = Env.make r ~codec:Env.Binary ~download_path:(fun ~assembly -> assembly) v
+
+let type_names (env : Env.t) = List.map (fun e -> e.Env.te_name) env.Env.env_types
+
+(* First send binds, second send refs; a cold receiver NAKs the refs and
+   resolves after install — the full negotiation cycle at the codec
+   level. *)
+let test_handle_bind_then_ref () =
+  let r = reg () in
+  let v = sample_person r in
+  let env = mk_env r v in
+  let stab = Ht.create_sender () in
+  let form e =
+    match Ht.obtain stab e with `Fresh h -> `Bind h | `Known h -> `Ref h
+  in
+  let wire1 = Env.to_string_h env ~form in
+  let rtab = Ht.create_receiver ~capacity:8 in
+  let resolve h = Ht.resolve rtab h in
+  (match Env.of_string_h ~resolve wire1 with
+  | Ok (env', binds) ->
+      Alcotest.(check int) "first send binds every entry" 2 (List.length binds);
+      List.iter (fun (h, e) -> Ht.install rtab h e) binds;
+      Alcotest.(check (list string)) "same types" (type_names env)
+        (type_names env');
+      (match Env.decode_payload r env' with
+      | Ok v' -> Alcotest.(check bool) "payload" true (Value.equal_deep v v')
+      | Error e -> Alcotest.failf "decode: %a" Env.pp_error e)
+  | Error e -> Alcotest.failf "bind parse: %a" Env.pp_error e);
+  let wire2 = Env.to_string_h env ~form in
+  Alcotest.(check bool) "ref form is smaller on the wire" true
+    (String.length wire2 < String.length wire1);
+  (match Env.of_string_h ~resolve wire2 with
+  | Ok (env', binds) ->
+      Alcotest.(check int) "refs carry no bindings" 0 (List.length binds);
+      Alcotest.(check (list string)) "resolved types" (type_names env)
+        (type_names env')
+  | Error e -> Alcotest.failf "ref parse: %a" Env.pp_error e);
+  (* Cold receiver: wire-intact, but the refs are unknown. *)
+  let cold = Ht.create_receiver ~capacity:8 in
+  Alcotest.(check bool) "wire_ok on unknown handles" true (Env.wire_ok wire2);
+  match Env.of_string_h ~resolve:(fun h -> Ht.resolve cold h) wire2 with
+  | Error (Env.Unknown_handles hs) ->
+      Alcotest.(check int) "both handles NAKed" 2 (List.length hs)
+  | Ok _ -> Alcotest.fail "cold table resolved refs"
+  | Error e -> Alcotest.failf "expected Unknown_handles, got %a" Env.pp_error e
+
+(* A binding that drifted (same handle, different entry) must be caught
+   by the semantic digest — degradation can lose time, never types. *)
+let test_handle_drifted_binding_rejected () =
+  let r = reg () in
+  let v = sample_person r in
+  let env = mk_env r v in
+  let stab = Ht.create_sender () in
+  let form e =
+    match Ht.obtain stab e with `Fresh h -> `Bind h | `Known h -> `Ref h
+  in
+  let wire1 = Env.to_string_h env ~form in
+  let rtab = Ht.create_receiver ~capacity:8 in
+  (match Env.of_string_h ~resolve:(fun h -> Ht.resolve rtab h) wire1 with
+  | Ok (_, binds) -> List.iter (fun (h, e) -> Ht.install rtab h e) binds
+  | Error e -> Alcotest.failf "bind parse: %a" Env.pp_error e);
+  (* Swap the two learned bindings: handles resolve, to the wrong
+     entries. *)
+  (match
+     (Ht.resolve rtab 1, Ht.resolve rtab 2)
+   with
+  | Some e1, Some e2 ->
+      Ht.install rtab 1 e2;
+      Ht.install rtab 2 e1
+  | _ -> Alcotest.fail "bindings not installed");
+  let wire2 = Env.to_string_h env ~form in
+  match Env.of_string_h ~resolve:(fun h -> Ht.resolve rtab h) wire2 with
+  | Error (Env.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "drifted bindings delivered a mis-typed envelope"
+  | Error e -> Alcotest.failf "expected Corrupt, got %a" Env.pp_error e
+
+(* The XML handle form stays accepted on decode: the interop fallback
+   for peers that do not speak the compact PTIE binary frame. *)
+let test_handle_xml_fallback_accepted () =
+  let r = reg () in
+  let v = sample_person r in
+  let env = mk_env r v in
+  let stab = Ht.create_sender () in
+  let form e =
+    match Ht.obtain stab e with `Fresh h -> `Bind h | `Known h -> `Ref h
+  in
+  let xml_bind = Env.to_string_h_xml env ~form in
+  let xml_ref = Env.to_string_h_xml env ~form in
+  Alcotest.(check bool) "binary ref beats the xml fallback on the wire" true
+    (String.length (Env.to_string_h env ~form)
+    < String.length xml_ref);
+  let rtab = Ht.create_receiver ~capacity:8 in
+  (match Env.of_string_h ~resolve:(Ht.resolve rtab) xml_bind with
+  | Ok (env', binds) ->
+      List.iter (fun (h, e) -> Ht.install rtab h e) binds;
+      Alcotest.(check (list string)) "xml bind parses" (type_names env)
+        (type_names env')
+  | Error e -> Alcotest.failf "xml bind parse: %a" Env.pp_error e);
+  Alcotest.(check bool) "xml wire_ok" true (Env.wire_ok xml_ref);
+  match Env.of_string_h ~resolve:(Ht.resolve rtab) xml_ref with
+  | Ok (env', binds) ->
+      Alcotest.(check int) "xml refs carry no bindings" 0 (List.length binds);
+      Alcotest.(check (list string)) "xml refs resolve" (type_names env)
+        (type_names env')
+  | Error e -> Alcotest.failf "xml ref parse: %a" Env.pp_error e
+
+(* The PTIE frame is checksummed end to end: no single byte flip can
+   parse — not even by falling back to the XML path on a damaged
+   magic. *)
+let prop_binary_envelope_flip_always_detected =
+  QCheck.Test.make ~name:"binary envelope: any single byte flip is detected"
+    ~count:300
+    QCheck.(pair (int_bound 100_000) (int_range 1 255))
+    (fun (pos, x) ->
+      let r = reg () in
+      let env = mk_env r (sample_person r) in
+      let stab = Ht.create_sender () in
+      let form e =
+        match Ht.obtain stab e with `Fresh h -> `Bind h | `Known h -> `Ref h
+      in
+      let s = Env.to_string_h env ~form in
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+      match Env.of_string_h ~resolve:(fun _ -> None) (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* The negotiation state machine under arbitrary interleavings of sends,
+   receiver evictions and renegotiations: every envelope either parses
+   to exactly the sender's types or NAKs — never a wrong type, and a
+   NAK always recovers after re-binding. *)
+let prop_handle_negotiation_state_machine =
+  QCheck.Test.make ~count:200
+    ~name:"handle negotiation: evictions only ever degrade, never mis-type"
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (int_bound 2) bool))
+    (fun script ->
+      let r = reg () in
+      let author = sample_person r in
+      let values =
+        [|
+          author;
+          Demo.make_news_event r ~headline:"h" ~author ~priority:1;
+          Value.Varr
+            { Value.elem_ty = Ty.Named "object"; items = [| author |] };
+        |]
+      in
+      let stab = Ht.create_sender () in
+      (* Tiny receiver table: multi-type envelopes evict each other's
+         bindings, on top of the scripted explicit clears. *)
+      let rtab = Ht.create_receiver ~capacity:3 in
+      let resolve h = Ht.resolve rtab h in
+      let form e =
+        match Ht.obtain stab e with `Fresh h -> `Bind h | `Known h -> `Ref h
+      in
+      List.for_all
+        (fun (which, evict) ->
+          if evict then Ht.clear_receiver rtab;
+          let env = mk_env r values.(which) in
+          let wire = Env.to_string_h env ~form in
+          let check_parsed (env', binds) =
+            List.iter (fun (h, e) -> Ht.install rtab h e) binds;
+            type_names env' = type_names env
+            &&
+            match Env.decode_payload r env' with
+            | Ok v' -> Value.equal_deep values.(which) v'
+            | Error _ -> false
+          in
+          match Env.of_string_h ~resolve wire with
+          | Ok parsed -> check_parsed parsed
+          | Error (Env.Unknown_handles hs) -> (
+              (* Renegotiate: the sender re-binds the NAKed handles and
+                 the receiver reprocesses. Must succeed now. *)
+              List.for_all
+                (fun h ->
+                  match Ht.entry_for stab h with
+                  | Some e ->
+                      Ht.install rtab h e;
+                      true
+                  | None -> false)
+                hs
+              &&
+              match Env.of_string_h ~resolve wire with
+              | Ok parsed -> check_parsed parsed
+              | Error _ -> false)
+          | Error _ -> false)
+        script)
+
+(* --------------------------- batch frames -------------------------- *)
+
+let test_batch_frame_roundtrip () =
+  let parts =
+    [
+      { Bf.p_envelope = "envelope-one"; p_tdescs = [ "d1"; "d2" ];
+        p_assemblies = [] };
+      { Bf.p_envelope = "envelope-two"; p_tdescs = [];
+        p_assemblies = [ "asm-bytes" ] };
+    ]
+  in
+  let piggyback = [ ("digest", "ping"); ("delta", "\x00bin\xff") ] in
+  let frame = Bf.encode { Bf.parts; piggyback } in
+  Alcotest.(check bool) "intact" true (Bf.intact frame);
+  match Bf.decode frame with
+  | Ok t ->
+      Alcotest.(check int) "parts" 2 (List.length t.Bf.parts);
+      Alcotest.(check bool) "parts roundtrip" true (t.Bf.parts = parts);
+      Alcotest.(check bool) "piggyback roundtrip" true
+        (t.Bf.piggyback = piggyback)
+  | Error e -> Alcotest.failf "decode: %s" e
+
+let prop_batch_frame_flip_always_detected =
+  QCheck.Test.make ~count:300
+    ~name:"batch frame: any single byte flip is detected"
+    QCheck.(pair (int_bound 10_000) (int_range 1 255))
+    (fun (pos, x) ->
+      let frame =
+        Bf.encode
+          {
+            Bf.parts =
+              [ { Bf.p_envelope = "abcdef"; p_tdescs = [ "t" ];
+                  p_assemblies = [ "a" ] } ];
+            piggyback = [ ("k", "v") ];
+          }
+      in
+      let pos = pos mod String.length frame in
+      let b = Bytes.of_string frame in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+      let frame' = Bytes.to_string b in
+      (not (Bf.intact frame'))
+      && match Bf.decode frame' with Error _ -> true | Ok _ -> false)
+
+let test_bind_frame_roundtrip_and_corruption () =
+  let r = reg () in
+  let env = mk_env r (sample_person r) in
+  let binds = List.mapi (fun i e -> (i + 1, e)) env.Env.env_types in
+  let frame = Ht.encode_bindings binds in
+  Alcotest.(check bool) "intact" true (Ht.bindings_intact frame);
+  (match Ht.decode_bindings frame with
+  | Ok binds' -> Alcotest.(check bool) "roundtrip" true (binds = binds')
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (* Flip every byte position in turn: all must be caught. *)
+  for pos = 0 to String.length frame - 1 do
+    let b = Bytes.of_string frame in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+    let frame' = Bytes.to_string b in
+    if Ht.bindings_intact frame' then
+      Alcotest.failf "flip at %d passed bindings_intact" pos;
+    match Ht.decode_bindings frame' with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "flip at %d decoded" pos
+  done
+
 let () =
   Alcotest.run "serial"
     [
@@ -503,6 +806,28 @@ let () =
           Alcotest.test_case "decode needs loaded types" `Quick
             test_envelope_decode_requires_types;
           Alcotest.test_case "malformed" `Quick test_envelope_malformed;
+          Alcotest.test_case "digest collision regression" `Quick
+            test_envelope_digest_collision;
+          Alcotest.test_case "golden emission order" `Quick
+            test_envelope_golden_order;
+        ] );
+      ( "handles",
+        [
+          Alcotest.test_case "bind then ref" `Quick test_handle_bind_then_ref;
+          Alcotest.test_case "drifted binding rejected" `Quick
+            test_handle_drifted_binding_rejected;
+          Alcotest.test_case "xml fallback accepted" `Quick
+            test_handle_xml_fallback_accepted;
+          QCheck_alcotest.to_alcotest prop_binary_envelope_flip_always_detected;
+          QCheck_alcotest.to_alcotest prop_handle_negotiation_state_machine;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick
+            test_batch_frame_roundtrip;
+          Alcotest.test_case "bind frame roundtrip + corruption" `Quick
+            test_bind_frame_roundtrip_and_corruption;
+          QCheck_alcotest.to_alcotest prop_batch_frame_flip_always_detected;
         ] );
       ( "properties",
         [

@@ -134,6 +134,60 @@ let prop_base64_roundtrip =
     QCheck.(string_of_size (QCheck.Gen.int_bound 64))
     (fun s -> B64.decode (B64.encode s) = Some s)
 
+(* Roundtrip must survive whitespace injected at arbitrary positions in
+   the encoded form (the decoder skips blanks, as wrapped MIME bodies
+   require). *)
+let prop_base64_whitespace_roundtrip =
+  QCheck.Test.make ~name:"base64 roundtrip with embedded whitespace"
+    ~count:300
+    QCheck.(
+      triple
+        (string_of_size (QCheck.Gen.int_bound 48))
+        (small_list (pair small_nat (oneofl [ ' '; '\n'; '\t'; '\r' ])))
+        unit)
+    (fun (s, blanks, ()) ->
+      let enc = B64.encode s in
+      let enc =
+        List.fold_left
+          (fun acc (pos, c) ->
+            let pos = if String.length acc = 0 then 0
+              else pos mod (String.length acc + 1) in
+            String.sub acc 0 pos ^ String.make 1 c
+            ^ String.sub acc pos (String.length acc - pos))
+          enc blanks
+      in
+      B64.decode enc = Some s)
+
+(* Inputs of length 0/1/2 mod 3 exercise every padding width (0, "==",
+   "="); the encoded form must always be a multiple of four and decode
+   back exactly. *)
+let prop_base64_padding_lengths =
+  QCheck.Test.make ~name:"base64 all padding lengths" ~count:300
+    QCheck.(pair (int_bound 63) (string_of_size (QCheck.Gen.return 0)))
+    (fun (n, _) ->
+      List.for_all
+        (fun len ->
+          let s = String.init len (fun i -> Char.chr ((i * 7 + n) land 0xff)) in
+          let enc = B64.encode s in
+          String.length enc mod 4 = 0 && B64.decode enc = Some s)
+        [ n; n + 1; n + 2 ])
+
+(* Anything after the first '=' other than more padding (or blanks) must
+   be rejected: "Zg==Zg==" style concatenations are not valid base64. *)
+let prop_base64_reject_after_pad =
+  QCheck.Test.make ~name:"base64 rejects data after padding" ~count:300
+    QCheck.(pair (string_of_size QCheck.Gen.(1 -- 24)) (int_bound 63))
+    (fun (s, n) ->
+      QCheck.assume (String.length s mod 3 <> 0);
+      let enc = B64.encode s in
+      (* enc ends in at least one '='; graft a valid alphabet char on. *)
+      let alphabet =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+      in
+      let c = alphabet.[n mod 64] in
+      B64.decode (enc ^ String.make 1 c) = None
+      && B64.decode (enc ^ String.make 1 c ^ "===") = None)
+
 (* ------------------------------- pqueue --------------------------- *)
 
 let test_pqueue_orders () =
@@ -155,6 +209,40 @@ let prop_pqueue_sorts =
     QCheck.(list int)
     (fun l ->
       let q = Pq.create ~cmp:compare () in
+      List.iter (Pq.push q) l;
+      let rec drain acc =
+        match Pq.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare l)
+
+(* Regression: the old implementation seeded empty slots with
+   [Obj.magic 0], which is unsound for float elements under the
+   flat-float-array representation (a forged immediate in a float array
+   is a crash or a garbage read on access). Exercise floats through
+   create/push/grow/pop/clear. *)
+let test_pqueue_floats () =
+  let q = Pq.create ~initial_capacity:1 ~cmp:compare () in
+  List.iter (Pq.push q) [ 5.5; 1.25; -3.0; 9.75; 0.0; 2.5 ];
+  Alcotest.(check (option (float 0.))) "peek min" (Some (-3.0)) (Pq.peek q);
+  let rec drain acc =
+    match Pq.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list (float 0.)))
+    "floats drain sorted"
+    [ -3.0; 0.0; 1.25; 2.5; 5.5; 9.75 ]
+    (drain []);
+  (* Reuse after full drain, then clear mid-fill, then fill again. *)
+  List.iter (Pq.push q) [ 2.0; 1.0 ];
+  Pq.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pq.is_empty q);
+  List.iter (Pq.push q) [ 4.0; 3.0 ];
+  Alcotest.(check (list (float 0.))) "post-clear drain" [ 3.0; 4.0 ] (drain [])
+
+let prop_pqueue_sorts_floats =
+  QCheck.Test.make ~name:"pqueue drains floats sorted" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun l ->
+      let q = Pq.create ~initial_capacity:1 ~cmp:compare () in
       List.iter (Pq.push q) l;
       let rec drain acc =
         match Pq.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
@@ -249,12 +337,17 @@ let () =
           Alcotest.test_case "whitespace" `Quick test_base64_whitespace;
           Alcotest.test_case "malformed" `Quick test_base64_malformed;
           QCheck_alcotest.to_alcotest prop_base64_roundtrip;
+          QCheck_alcotest.to_alcotest prop_base64_whitespace_roundtrip;
+          QCheck_alcotest.to_alcotest prop_base64_padding_lengths;
+          QCheck_alcotest.to_alcotest prop_base64_reject_after_pad;
         ] );
       ( "pqueue",
         [
           Alcotest.test_case "orders" `Quick test_pqueue_orders;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "floats" `Quick test_pqueue_floats;
           QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts_floats;
         ] );
       ("strutil", [ Alcotest.test_case "helpers" `Quick test_strutil ]);
       ( "splitmix",
