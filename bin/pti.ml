@@ -926,6 +926,16 @@ let chaos_cmd =
       in
       let summary = Chaos.run_many config ~runs ~seed in
       Format.printf "%a@." Chaos.pp_summary summary;
+      (match summary.Chaos.s_failures with
+      | [] -> ()
+      | first :: _ ->
+          Format.printf "reproduce with: pti chaos --runs 1 --seed %Ld \
+                         --profile %s --objects %d%s%s@."
+            first.Chaos.r_seed
+            (Pti_fault.Fault_plan.profile_name profile)
+            objects
+            (if cluster then " --cluster" else "")
+            (if wire then " --wire" else ""));
       `Ok (if summary.Chaos.s_failures = [] then 0 else 1)
     end
   in
@@ -938,6 +948,156 @@ let chaos_cmd =
              schedule is shrunk to a minimal reproducing plan. Exits 1 \
              on any invariant violation.")
     Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects $ wire))
+
+(* ------------------------------ explore ---------------------------- *)
+
+let explore_cmd =
+  let scenario =
+    let parse s =
+      match Pti_mc.Scenario.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+          Error (`Msg (Printf.sprintf
+                         "unknown scenario %S (protocol|cluster|wire)" s))
+    in
+    let print ppf k =
+      Format.pp_print_string ppf (Pti_mc.Scenario.kind_name k)
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Pti_mc.Scenario.Protocol
+         & info [ "scenario" ] ~docv:"SCENARIO"
+             ~doc:"World to explore: $(b,protocol) (two peers, classic \
+                   wire), $(b,cluster) (replicated repositories with \
+                   gossip ticks as explorable actions) or $(b,wire) \
+                   (handle negotiation, batching, binary tdescs, and a \
+                   handle-table drop as explorable actions).")
+  in
+  let peers =
+    Arg.(value & opt int 3
+         & info [ "peers" ] ~docv:"N"
+             ~doc:"Cluster size (cluster scenario only).")
+  in
+  let objects =
+    Arg.(value & opt int 2
+         & info [ "objects"; "n" ] ~docv:"N" ~doc:"Objects sent.")
+  in
+  let depth =
+    Arg.(value & opt int 8
+         & info [ "depth" ] ~docv:"D"
+             ~doc:"Choice points per schedule; beyond the bound the \
+                   remaining events run FIFO.")
+  in
+  let budget =
+    Arg.(value & opt int 20_000
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Maximum terminal states to evaluate.")
+  in
+  let max_seconds =
+    Arg.(value & opt float 300.
+         & info [ "max-seconds" ] ~docv:"S"
+             ~doc:"Wall-clock bound for the whole exploration.")
+  in
+  let schedule =
+    Arg.(value & opt (some string) None
+         & info [ "schedule" ] ~docv:"REPLAY"
+             ~doc:"Skip exploration: replay this one schedule (as \
+                   printed on failure; $(b,-) is the empty/FIFO \
+                   schedule) and check the invariants.")
+  in
+  let no_dpor =
+    Arg.(value & flag
+         & info [ "no-dpor" ] ~doc:"Disable sleep-set pruning.")
+  in
+  let no_hash =
+    Arg.(value & flag
+         & info [ "no-hash" ] ~doc:"Disable visited-state hash pruning.")
+  in
+  let fanout_bug =
+    Arg.(value & flag
+         & info [ "fanout-bug" ]
+             ~doc:"Create the receiver without the shared in-flight \
+                   fetch guards — the historical fan-out bug — so the \
+                   explorer has a known violation to find.")
+  in
+  let run scenario peers objects depth budget max_seconds schedule no_dpor
+      no_hash fanout_bug =
+    if peers < 2 then `Error (false, "--peers must be at least 2")
+    else if objects < 1 then `Error (false, "--objects must be at least 1")
+    else if depth < 1 then `Error (false, "--depth must be at least 1")
+    else begin
+      let module Mc = Pti_mc.Scenario in
+      let spec = Mc.spec ~peers ~objects ~fanout_bug scenario in
+      let mk () = Mc.make spec in
+      let repro_flags extra =
+        Printf.sprintf
+          "pti explore --scenario %s --peers %d --objects %d --depth %d%s%s"
+          (Mc.kind_name scenario) peers objects depth
+          (if fanout_bug then " --fanout-bug" else "")
+          extra
+      in
+      match schedule with
+      | Some s -> begin
+          match Pti_mc.Schedule.decode s with
+          | Error msg -> `Error (false, msg)
+          | Ok choices -> begin
+              match Pti_mc.Explore.run_schedule mk choices with
+              | [] ->
+                  Format.printf "schedule %s: all invariants hold@."
+                    (Pti_mc.Schedule.encode choices);
+                  `Ok 0
+              | vs ->
+                  Format.printf "schedule %s: %d violation(s)@."
+                    (Pti_mc.Schedule.encode choices)
+                    (List.length vs);
+                  List.iter
+                    (fun v ->
+                      Format.printf "  %a@."
+                        Pti_fault.Invariant.pp_violation v)
+                    vs;
+                  Format.printf "reproduce with: %s@."
+                    (repro_flags
+                       (Printf.sprintf " --schedule %s"
+                          (Pti_mc.Schedule.encode choices)));
+                  `Ok 1
+            end
+        end
+      | None ->
+          let config =
+            {
+              Pti_mc.Explore.depth;
+              budget;
+              dpor = not no_dpor;
+              state_hash = not no_hash;
+              max_seconds;
+            }
+          in
+          let result = Pti_mc.Explore.run ~config mk in
+          Format.printf "%a@." Pti_mc.Explore.pp_result result;
+          (match result.Pti_mc.Explore.violation with
+          | None -> `Ok 0
+          | Some (sched, _) ->
+              let minimal = Pti_mc.Explore.shrink mk sched in
+              Format.printf "shrunk to %d step(s): %s@."
+                (List.length minimal)
+                (Pti_mc.Schedule.encode minimal);
+              Format.printf "reproduce with: %s@."
+                (repro_flags
+                   (Printf.sprintf " --schedule %s"
+                      (Pti_mc.Schedule.encode minimal)));
+              `Ok 1)
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Systematically explore message/action interleavings of a \
+             closed fault-free scenario with a stateless DFS model \
+             checker (sleep-set DPOR + visited-state hashing), checking \
+             the chaos invariant set at every terminal state. A failing \
+             schedule is ddmin-shrunk to a minimal replayable \
+             $(b,--schedule) string. Exits 1 on any violation.")
+    Term.(ret
+            (const run $ scenario $ peers $ objects $ depth $ budget
+             $ max_seconds $ schedule $ no_dpor $ no_hash $ fanout_bug))
 
 (* ------------------------------------------------------------------ *)
 
@@ -953,4 +1113,5 @@ let () =
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
             protocol_cmd; stats_cmd; cluster_cmd; demo_cmd; chaos_cmd;
+            explore_cmd;
           ]))

@@ -292,7 +292,12 @@ let tick t =
       (* Failure detection: an exchange that never completes degrades the
          partner (alive -> suspect -> dead). One-shot timer, so the
          simulation still quiesces between rounds. *)
-      Sim.schedule sim ~delay:t.probe_timeout_ms (fun () ->
+      Sim.schedule sim
+        ~label:
+          (Sim.Timer
+             { owner = t.addr; info = Printf.sprintf "probe-timeout#%d" token })
+        ~delay:t.probe_timeout_ms
+        (fun () ->
           if Hashtbl.mem t.inflight token then begin
             Hashtbl.remove t.inflight token;
             degrade t partner
@@ -356,6 +361,29 @@ let publish t asm =
 let gossip_rounds t = Metrics.counter_value t.mc_rounds
 let digest_bytes t = Metrics.counter_value t.mc_digest_bytes
 let piggybacked_digests t = Metrics.counter_value t.mc_piggybacked
+
+(* FNV-1a digest of this node's cluster-visible state (membership view,
+   mirror knowledge, probes in flight, token counter), rendered sorted —
+   independent of Hashtbl bucket layout. The model checker combines it
+   with {!Peer.fingerprint} for state-hash pruning. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "node %s next=%d" t.addr t.next_token;
+  List.iter
+    (fun (a, st) -> add "member %s %s" a (status_name st))
+    (members t);
+  List.iter (fun (p, a) -> add "mirror %s %s" p a) (mirror_table t);
+  Hashtbl.fold (fun tok (_, partner) acc -> (tok, partner) :: acc) t.inflight []
+  |> List.sort compare
+  |> List.iter (fun (tok, partner) -> add "probe %d %s" tok partner);
+  Pti_util.Fnv.hash64 (Buffer.contents buf)
 
 (* ---------------------------------------------------------------- *)
 (* Piggybacked gossip                                                 *)

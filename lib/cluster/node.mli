@@ -94,6 +94,12 @@ val rtt : t -> string -> float option
 (** This node's EWMA round-trip estimate of a peer, from completed
     gossip exchanges. *)
 
+val fingerprint : t -> int64
+(** FNV-1a digest of the node's cluster-visible state (membership view
+    with statuses, mirror knowledge, probes in flight), rendered in
+    sorted order. Combined with {!Pti_core.Peer.fingerprint} by the
+    model checker's state-hash pruning. *)
+
 val stats : t -> Pti_net.Stats.t
 (** The node's private observation store (RTTs live here). *)
 

@@ -122,6 +122,9 @@ type t = {
   tdesc_inflight : (string, (Td.t option -> unit) list ref) Hashtbl.t;
   asm_inflight :
     (string, ((string * Assembly.t) option -> unit) list ref) Hashtbl.t;
+  (* Regression flag: [false] reintroduces the fan-out bug the guards
+     above fixed, for the model checker's known-bug test. *)
+  share_inflight : bool;
   known_paths : string Lru.Str.t;  (* assembly name -> path *)
   event_log : event Ring.t;
   metrics : Metrics.t;
@@ -240,8 +243,11 @@ let fresh_token t =
 
 let send t ~dst msg =
   Log.debug (fun m -> m "[%s] -> %s: %s" t.addr dst (Message.describe msg));
-  Net.send t.net ~src:t.addr ~dst ~category:(Message.category msg)
-    ~size:(Message.size msg) msg
+  (* [Message.describe] includes subprotocol tokens, so concurrently
+     pending deliveries get distinguishable event labels — the model
+     checker's sleep sets identify events by label. *)
+  Net.send t.net ~info:(Message.describe msg) ~src:t.addr ~dst
+    ~category:(Message.category msg) ~size:(Message.size msg) msg
 
 (* ---------------------------------------------------------------- *)
 (* Asynchronous fetch plumbing                                        *)
@@ -255,7 +261,11 @@ let default_request_timeout_ms = 10_000.
 
 let arm_timeout t conts token =
   let cancel =
-    Sim.schedule_cancellable (Net.sim t.net) ~delay:t.request_timeout_ms
+    Sim.schedule_cancellable (Net.sim t.net)
+      ~label:
+        (Sim.Timer
+           { owner = t.addr; info = Printf.sprintf "request-timeout#%d" token })
+      ~delay:t.request_timeout_ms
       (fun () ->
         match Hashtbl.find_opt conts token with
         | None -> ()
@@ -285,6 +295,8 @@ let request_tdesc ?retries t ~from name k =
    until the (possibly retried) exchange resolves, so corrupt-reply
    re-requests keep absorbing new callers too. *)
 let request_tdesc_shared t ~from name k =
+  if not t.share_inflight then request_tdesc t ~from name k
+  else
   let key = from ^ "|" ^ lc name in
   match Hashtbl.find_opt t.tdesc_inflight key with
   | Some waiters -> waiters := k :: !waiters
@@ -385,8 +397,15 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
                       let delay =
                         t.fetch_backoff_ms *. (2. ** float_of_int n)
                       in
-                      Sim.schedule (Net.sim t.net) ~delay (fun () ->
-                          attempt (n + 1))
+                      Sim.schedule (Net.sim t.net)
+                        ~label:
+                          (Sim.Timer
+                             {
+                               owner = t.addr;
+                               info = "fetch-backoff " ^ asm_name;
+                             })
+                        ~delay
+                        (fun () -> attempt (n + 1))
                     end
                     else try_candidate ~first:false rest)
             in
@@ -400,6 +419,8 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
 let fetch_assembly_failover t ~asm_name ~advertised k =
   match Repository.find_by_name t.repo asm_name with
   | Some (path, asm) -> k (Some (path, asm))
+  | None when not t.share_inflight ->
+      fetch_assembly_uncached t ~asm_name ~advertised k
   | None -> (
       let key = lc asm_name in
       match Hashtbl.find_opt t.asm_inflight key with
@@ -577,7 +598,9 @@ let park_envelope t ~from ~budget msg_env tdescs assemblies =
     }
   in
   pk.pk_cancel <-
-    Sim.schedule_cancellable (Net.sim t.net) ~delay:t.request_timeout_ms
+    Sim.schedule_cancellable (Net.sim t.net)
+      ~label:(Sim.Timer { owner = t.addr; info = "renego-timeout " ^ from })
+      ~delay:t.request_timeout_ms
       (fun () ->
         if List.memq pk !lst then begin
           lst := List.filter (fun p -> p != pk) !lst;
@@ -834,7 +857,11 @@ let handle t ~src msg =
                   if retries > 0 then
                     (* Back off before re-asking so the re-request can
                        outlive a corruption burst. *)
-                    Sim.schedule (Net.sim t.net) ~delay:t.fetch_backoff_ms
+                    Sim.schedule (Net.sim t.net)
+                      ~label:
+                        (Sim.Timer
+                           { owner = t.addr; info = "tdesc-reask " ^ type_name })
+                      ~delay:t.fetch_backoff_ms
                       (fun () ->
                         request_tdesc ~retries:(retries - 1) t ~from:src
                           type_name k)
@@ -961,7 +988,7 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(request_timeout_ms = default_request_timeout_ms)
     ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ?(handles = false)
     ?batch_bytes ?(tdesc_binary = false) ?(handle_table_capacity = 512)
-    ~net:network addr =
+    ?(share_inflight = true) ~net:network addr =
   let reg = Registry.create () in
   let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
   let resolver name =
@@ -1000,6 +1027,7 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       invoke_conts = Hashtbl.create 8;
       tdesc_inflight = Hashtbl.create 16;
       asm_inflight = Hashtbl.create 8;
+      share_inflight;
       known_paths;
       event_log;
       metrics = m;
@@ -1130,8 +1158,71 @@ let flush_batch t ~dst =
       end
 
 let flush_batches t =
+  (* Sorted: flush order decides wire order, and Hashtbl iteration order
+     would make that depend on hashing (schedule replay needs it to be a
+     pure function of peer state). *)
   Hashtbl.fold (fun dst _ acc -> dst :: acc) t.batches []
+  |> List.sort String.compare
   |> List.iter (fun dst -> flush_batch t ~dst)
+
+(* ---------------------------------------------------------------- *)
+(* State fingerprint (model-checker hash pruning)                     *)
+(* ---------------------------------------------------------------- *)
+
+(* FNV-1a digest of everything observable about this peer: loaded code,
+   served assemblies, cached descriptions, the event log, registered
+   interests, pending subprotocol exchanges, parked envelopes, open
+   batches and per-link handle tables. Every table is rendered in
+   sorted order so the digest is a pure function of peer state, not of
+   hash-bucket layout. Two simulation states with equal digests (for
+   every peer, plus equal pending-event sets) behave identically under
+   any future schedule — the model checker prunes on that. *)
+let fingerprint t =
+  let buf = Buffer.create 1024 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let sorted_keys tbl render =
+    Hashtbl.fold (fun k v acc -> render k v :: acc) tbl []
+    |> List.sort String.compare
+    |> List.iter (fun s -> add "%s" s)
+  in
+  add "peer %s" t.addr;
+  Registry.all t.reg
+  |> List.map Meta.qualified_name
+  |> List.sort String.compare
+  |> List.iter (fun n -> add "reg %s" n);
+  Repository.entries t.repo
+  |> List.sort compare
+  |> List.iter (fun (path, name) -> add "repo %s %s" path name);
+  Lru.Str.fold t.tdesc_cache ~init:[] ~f:(fun key _ acc -> key :: acc)
+  |> List.sort String.compare
+  |> List.iter (fun key -> add "tdesc %s" key);
+  List.iter (fun e -> add "evt %s" (Format.asprintf "%a" pp_event e))
+    (Ring.to_list t.event_log);
+  List.iter (fun (id, name, _) -> add "interest %d %s" id name) t.interests;
+  add "exported %d" (Hashtbl.length t.exported);
+  sorted_keys t.tdesc_conts (fun tok _ -> Printf.sprintf "tcont %d" tok);
+  sorted_keys t.asm_conts (fun tok _ -> Printf.sprintf "acont %d" tok);
+  sorted_keys t.invoke_conts (fun tok _ -> Printf.sprintf "icont %d" tok);
+  sorted_keys t.tdesc_inflight (fun key w ->
+      Printf.sprintf "tinf %s %d" key (List.length !w));
+  sorted_keys t.asm_inflight (fun key w ->
+      Printf.sprintf "ainf %s %d" key (List.length !w));
+  sorted_keys t.parked (fun src lst ->
+      Printf.sprintf "parked %s %d" src (List.length !lst));
+  sorted_keys t.batches (fun dst bb ->
+      Printf.sprintf "batch %s %d %d" dst (List.length bb.bb_parts)
+        bb.bb_bytes);
+  sorted_keys t.h_send (fun dst s ->
+      Printf.sprintf "hsend %s %Lx" dst (Ht.fingerprint_sender s));
+  sorted_keys t.h_recv (fun src r ->
+      Printf.sprintf "hrecv %s %Lx" src (Ht.fingerprint_receiver r));
+  Pti_util.Fnv.hash64 (Buffer.contents buf)
 
 (* Queue one object message into [dst]'s open batch; flush when the byte
    budget fills, else by a delay-0 event — the simulator orders it after
@@ -1162,7 +1253,10 @@ let enqueue_part t ~dst ~budget envelope tdescs assemblies =
   if bb.bb_bytes >= budget then flush_batch t ~dst
   else if not bb.bb_scheduled then begin
     bb.bb_scheduled <- true;
-    Sim.schedule (Net.sim t.net) ~delay:0. (fun () -> flush_batch t ~dst)
+    Sim.schedule (Net.sim t.net)
+      ~label:(Sim.Act { owner = t.addr; info = "batch-flush " ^ dst })
+      ~delay:0.
+      (fun () -> flush_batch t ~dst)
   end
 
 let send_value t ~dst value =

@@ -55,7 +55,7 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?request_timeout_ms:float -> ?fetch_retries:int ->
   ?fetch_backoff_ms:float -> ?handles:bool -> ?batch_bytes:int ->
   ?tdesc_binary:bool -> ?handle_table_capacity:int ->
-  net:Message.t Pti_net.Net.t -> string -> t
+  ?share_inflight:bool -> net:Message.t Pti_net.Net.t -> string -> t
 (** [create ~net address] registers the peer on the network. Defaults:
     optimistic mode, binary payload codec, strict conformance rules.
 
@@ -80,7 +80,13 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
     {!Message.Obj_batch} frames of roughly that many payload bytes;
     [tdesc_binary] requests the compact binary type-description codec
     in {!Message.Tdesc_request}s; [handle_table_capacity] (default 512)
-    bounds each per-link receiver handle table. *)
+    bounds each per-link receiver handle table.
+
+    [share_inflight:false] disables the in-flight fetch dedup guards —
+    reintroducing the historical fan-out bug (one tdesc probe and one
+    code download {e per envelope} of a same-typed burst) so the model
+    checker's known-bug regression can assert it finds them. Leave it
+    at the default [true] everywhere else. *)
 
 val address : t -> string
 val registry : t -> Registry.t
@@ -256,7 +262,17 @@ val drop_handle_tables : t -> unit
 
 val flush_batches : t -> unit
 (** Ship every open batch immediately (normally the delay-0 flush event
-    does this); useful at simulation shutdown. *)
+    does this); useful at simulation shutdown. Batches flush in sorted
+    destination order (deterministic wire order). *)
+
+val fingerprint : t -> int64
+(** FNV-1a digest of the peer's observable state: loaded code, served
+    assemblies, cached descriptions, event log, interests, pending
+    subprotocol exchanges, parked envelopes, open batches and per-link
+    handle tables — rendered in sorted order, so the digest is
+    independent of hash-bucket layout. The model checker hashes these
+    (plus the pending-event set) to prune schedules that reconverged to
+    an already-explored state. *)
 
 val fetch_type_description : t -> from:string -> string ->
   Pti_typedesc.Type_description.t option

@@ -50,6 +50,17 @@ type run_result = {
   r_violations : Invariant.violation list;  (** Empty = run is green. *)
 }
 
+val name_age : Pti_cts.Value.value -> (string * int) option
+(** Extract the [(name, age)] observable fields from a delivered person
+    object (unwrapping proxies) — the payload identity the no-mangle
+    invariant compares. Shared with the model checker's scenarios. *)
+
+val is_terminal_failure : Pti_core.Peer.event -> bool
+(** Events that permanently consume an object for the conservation
+    count: decode/load failures and corrupt envelope/payload/batch
+    rejections (a corrupt handle-bind frame is {e not} terminal — the
+    parked envelope accounts for itself). *)
+
 val run_one : ?plan:Fault_plan.t -> config -> seed:int64 -> run_result
 (** One seeded world. [plan] overrides the generated schedule (same
     seed + same plan = same result — what {!shrink} relies on). *)

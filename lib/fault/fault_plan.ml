@@ -187,27 +187,12 @@ let random ~profile ~hosts ~horizon_ms rng =
   in
   { windows }
 
-(* Shrinking: halves first (big steps), then single removals. *)
+(* Shrinking delegates to the generic ddmin over the window list. *)
 let shrink_candidates t =
-  let ws = t.windows in
-  let len = List.length ws in
-  if len <= 1 then []
-  else
-    let halves =
-      let mid = len / 2 in
-      let front = List.filteri (fun i _ -> i < mid) ws in
-      let back = List.filteri (fun i _ -> i >= mid) ws in
-      [ { windows = front }; { windows = back } ]
-    in
-    let removals =
-      List.init len (fun i -> { windows = List.filteri (fun j _ -> j <> i) ws })
-    in
-    halves @ removals
+  List.map (fun windows -> { windows }) (Shrink.candidates t.windows)
 
-let rec shrink ~fails plan =
-  match List.find_opt fails (shrink_candidates plan) with
-  | Some smaller -> shrink ~fails smaller
-  | None -> plan
+let shrink ~fails plan =
+  { windows = Shrink.ddmin ~fails:(fun ws -> fails { windows = ws }) plan.windows }
 
 let pp_selector ppf = function
   | Any -> Format.fprintf ppf "*->*"

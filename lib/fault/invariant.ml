@@ -78,6 +78,19 @@ let handle_degradation ~tables_dropped ~renegotiations =
     ]
   else []
 
+(* The in-flight dedup guarantee: concurrent needs for the same type
+   description / assembly join one wire exchange. On a fault-free run
+   the subprotocol traffic is therefore bounded by the number of
+   distinct things needed, however many envelopes arrive and in whatever
+   order — the historical fan-out bug broke exactly this. *)
+let fetch_economy ~label ~actual ~allowed =
+  if actual <= allowed then []
+  else
+    [
+      v "fetch-economy" "%s: %d requests on the wire, at most %d justified"
+        label actual allowed;
+    ]
+
 let metrics_match_trace pairs =
   List.filter_map
     (fun (label, metric, trace) ->

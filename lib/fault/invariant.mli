@@ -54,6 +54,14 @@ val handle_degradation :
     resolved against stale state. Vacuously holds when nothing was
     dropped. *)
 
+val fetch_economy :
+  label:string -> actual:int -> allowed:int -> violation list
+(** On a fault-free run the in-flight dedup guards bound subprotocol
+    traffic by the number of distinct descriptions/assemblies needed,
+    not by envelope count: [actual <= allowed] or the historical fetch
+    fan-out bug is back. [label] names the traffic being counted in the
+    violation message. *)
+
 val metrics_match_trace : (string * int * int) list -> violation list
 (** [(label, metric_count, trace_count)] pairs that must agree — the
     metrics registry and the trace recorder watched the same run. *)

@@ -1,0 +1,23 @@
+(* Generic delta-debugging list minimisation (ddmin, simplified): try
+   each half of the list first (big steps), then each single-element
+   removal, keeping any candidate that still fails; stop at a fixpoint.
+   The result is 1-minimal up to the candidate set — removing any one
+   remaining element no longer reproduces the failure.
+
+   Shared by the fault-plan shrinker (elements = fault windows) and the
+   model checker's schedule shrinker (elements = schedule choices). *)
+
+let candidates xs =
+  let len = List.length xs in
+  if len <= 1 then []
+  else
+    let mid = len / 2 in
+    let front = List.filteri (fun i _ -> i < mid) xs in
+    let back = List.filteri (fun i _ -> i >= mid) xs in
+    let removals = List.init len (fun i -> List.filteri (fun j _ -> j <> i) xs) in
+    [ front; back ] @ removals
+
+let rec ddmin ~fails xs =
+  match List.find_opt fails (candidates xs) with
+  | Some smaller -> ddmin ~fails smaller
+  | None -> xs

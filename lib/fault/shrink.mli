@@ -1,0 +1,17 @@
+(** Generic list minimisation by delta debugging.
+
+    Extracted from the fault-plan shrinker so the model checker can
+    minimise schedules with the same algorithm. *)
+
+val ddmin : fails:('a list -> bool) -> 'a list -> 'a list
+(** [ddmin ~fails xs] assumes [fails xs = true] and greedily removes
+    elements — halves first, then single removals — keeping any smaller
+    list for which [fails] still holds, until no candidate fails. The
+    result is 1-minimal: dropping any single remaining element makes the
+    failure disappear. [fails] is re-run on every candidate, so it must
+    be deterministic (seeded runs, replayed schedules). *)
+
+val candidates : 'a list -> 'a list list
+(** One shrinking step's candidates (both halves, then each
+    single-element removal); empty for lists of length [<= 1]. Exposed
+    for shrinkers that interleave their own candidate kinds. *)

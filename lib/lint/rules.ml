@@ -632,6 +632,101 @@ let check_shadowed_fields ctx =
     ctx.entries
 
 (* ------------------------------------------------------------------ *)
+(* PTI009: order-sensitive conformance probe (protocol hazard).        *)
+
+(* The conformance probe and the binder walk methods in declaration
+   order ([First_match], and [Best_score]'s tie-break, both keep the
+   earlier candidate). If reversing the actual type's method list flips
+   the verdict or changes which method a signature binds to, then what
+   the assembly answers to "do you conform?" depends on how its
+   description happened to be serialised — a protocol hazard: replicated
+   repositories and verdict caches treat conformance as a type-level
+   fact, but two mirrors serialising methods differently would hand out
+   different proxies for the same GUID. *)
+let check_order_sensitivity ctx =
+  (* Fresh checkers per probe: the permuted description keeps its GUID,
+     so a shared verdict cache would short-circuit the reversed check. *)
+  let probe ~actual ~interest =
+    Checker.check
+      (Checker.create ~config:ctx.cfg ~resolver:ctx.resolve ())
+      ~actual ~interest
+  in
+  let binding_key (mm : Mapping.method_map) =
+    (lc mm.Mapping.mm_interest_name, mm.Mapping.mm_arity)
+  in
+  let same_binding (a : Mapping.method_map) (b : Mapping.method_map) =
+    Strutil.equal_ci a.Mapping.mm_actual_name b.Mapping.mm_actual_name
+    && a.Mapping.mm_perm = b.Mapping.mm_perm
+  in
+  let out = ref [] in
+  List.iter
+    (fun t_e ->
+      List.iter
+        (fun a_e ->
+          if
+            (not (Td.equals t_e.e_td a_e.e_td))
+            && names_conform ctx t_e a_e
+            && List.length a_e.e_td.Td.ty_methods >= 2
+          then begin
+            let actual = a_e.e_td in
+            let reversed =
+              { actual with Td.ty_methods = List.rev actual.Td.ty_methods }
+            in
+            match
+              ( probe ~actual ~interest:t_e.e_td,
+                probe ~actual:reversed ~interest:t_e.e_td )
+            with
+            | Checker.Conformant m1, Checker.Conformant m2 ->
+                let divergent =
+                  List.filter_map
+                    (fun mm ->
+                      match
+                        List.find_opt
+                          (fun mm' -> binding_key mm' = binding_key mm)
+                          m2.Mapping.methods
+                      with
+                      | Some mm' when not (same_binding mm mm') ->
+                          Some (mm, mm')
+                      | _ -> None)
+                    m1.Mapping.methods
+                in
+                (match divergent with
+                | [] -> ()
+                | (mm, mm') :: _ ->
+                    out :=
+                      diag ~code:"PTI009" ~rule:"protocol-hazard"
+                        Diagnostic.Warning a_e
+                        (Diagnostic.Method
+                           (qname a_e, mm.Mapping.mm_interest_name,
+                            mm.Mapping.mm_arity))
+                        (Printf.sprintf
+                           "binding of %s/%d of %s against %s depends on \
+                            method declaration order: %s as declared, %s \
+                            with the methods reversed — mirrors serialising \
+                            the description differently would hand out \
+                            different proxies"
+                           mm.Mapping.mm_interest_name mm.Mapping.mm_arity
+                           (qname t_e) (qname a_e)
+                           mm.Mapping.mm_actual_name mm'.Mapping.mm_actual_name)
+                      :: !out)
+            | v1, v2 when Checker.verdict_ok v1 <> Checker.verdict_ok v2 ->
+                out :=
+                  diag ~code:"PTI009" ~rule:"protocol-hazard" Diagnostic.Error
+                    a_e
+                    (Diagnostic.Type (qname a_e))
+                    (Printf.sprintf
+                       "conformance of %s to %s flips when %s's methods are \
+                        declared in reverse order — the verdict is not a \
+                        type-level fact"
+                       (qname a_e) (qname t_e) (qname a_e))
+                  :: !out
+            | _ -> ()
+          end)
+        ctx.entries)
+    ctx.entries;
+  !out
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -714,6 +809,17 @@ let all =
          descriptions make the supertype copy unreachable";
       paper = "§4.2 rule (ii)";
       check = check_shadowed_fields;
+    };
+    {
+      code = "PTI009";
+      name = "protocol-hazard";
+      default_severity = Diagnostic.Warning;
+      doc =
+        "the conformance probe is order-sensitive for this pair: reversing \
+         the actual type's method declarations changes the binding (or the \
+         verdict), so replicated repositories can disagree";
+      paper = "§4.2 rule (iv), §5";
+      check = check_order_sensitivity;
     };
   ]
 

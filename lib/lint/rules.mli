@@ -34,7 +34,13 @@
       can never be instantiated through the mapping.
     - [PTI008] [shadowed-field] (warning, rule ii) — a field re-declares a
       supertype field; descriptions are flat, so the supertype copy is
-      unreachable. *)
+      unreachable.
+    - [PTI009] [protocol-hazard] (warning; verdict flips are errors,
+      rule iv + §5) — the conformance probe is order-sensitive for a
+      conforming pair: reversing the actual type's method declarations
+      changes which method a signature binds to (or the verdict itself),
+      so two repository mirrors that serialise the description
+      differently hand out different proxies for the same GUID. *)
 
 open Pti_conformance
 

@@ -1,0 +1,246 @@
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+module Stats = Pti_net.Stats
+module Invariant = Pti_fault.Invariant
+module Shrink = Pti_fault.Shrink
+module Fnv = Pti_util.Fnv
+
+(* Stateless model checking over the Net scheduler hook: enumerate all
+   interleavings of choiceable enabled events (deliveries and local
+   actions; guard timers are deferred — see [Sim.label]) up to a depth
+   bound, re-executing the scenario from scratch for every divergence.
+   Sleep sets (a dynamic partial-order reduction) skip schedules that
+   only commute independent events, and state hashing prunes branches
+   that reconverged to an already-covered state. Every terminal state is
+   run to quiescence and checked against the scenario's invariants. *)
+
+type config = {
+  depth : int;  (* choice points per schedule before FIFO takeover *)
+  budget : int;  (* terminal evaluations *)
+  dpor : bool;
+  state_hash : bool;
+  max_seconds : float;  (* wall-clock bound (Sys.time based) *)
+}
+
+let default_config =
+  { depth = 8; budget = 20_000; dpor = true; state_hash = true;
+    max_seconds = 300. }
+
+type result = {
+  schedules : int;
+  replays : int;
+  sleep_pruned : int;
+  hash_pruned : int;
+  deepest : int;
+  exhausted : bool;
+  violation : (int list * Invariant.violation list) option;
+}
+
+(* Timers only matter when something was lost; on the fault-free nets
+   the scenarios build, exploring "timeout beats reply" would enumerate
+   physically impossible schedules (and spuriously violate delivery
+   invariants). The terminal [Net.run] still fires them in time order. *)
+let choiceable net =
+  List.filter
+    (fun (i : Sim.info) ->
+      match i.i_label with Sim.Timer _ -> false | _ -> true)
+    (Net.enabled net)
+
+let fire_choice net (infos : Sim.info list) idx =
+  match List.nth_opt infos idx with
+  | None -> false
+  | Some i -> Net.fire net ~seq:i.Sim.i_seq
+
+(* Events touching different hosts commute: per-host state is disjoint,
+   and the shared Net/Stats counters they both bump are sums (order
+   invisible to every invariant). Unlabelled events are conservatively
+   dependent with everything. *)
+let target = function
+  | Sim.Deliver { dst; _ } -> Some dst
+  | Sim.Act { owner; _ } | Sim.Timer { owner; _ } -> Some owner
+  | Sim.Internal -> None
+
+let independent a b =
+  match (target a, target b) with
+  | Some ha, Some hb -> not (String.equal ha hb)
+  | _ -> false
+
+(* The pruning key: every peer's fingerprint, the multiset of pending
+   event labels (timestamps excluded — firing order, not wall position,
+   is what the invariants see) and the per-category message counts (the
+   fetch-economy invariant reads those at the terminal, so states that
+   differ in them must not merge). *)
+let state_key (inst : Scenario.instance) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%Lx\n" (inst.Scenario.i_fingerprint ()));
+  Net.enabled inst.Scenario.i_net
+  |> List.map (fun (i : Sim.info) -> Format.asprintf "%a" Sim.pp_label i.Sim.i_label)
+  |> List.sort String.compare
+  |> List.iter (fun s ->
+         Buffer.add_string buf s;
+         Buffer.add_char buf '\n');
+  let stats = Net.stats inst.Scenario.i_net in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s=%d\n" (Stats.category_name c)
+           (Stats.messages stats c)))
+    Stats.all_categories;
+  Fnv.hash64 (Buffer.contents buf)
+
+exception Stop
+
+let run ?(config = default_config) mk =
+  let started = Sys.time () in
+  let schedules = ref 0 and replays = ref 0 in
+  let sleep_pruned = ref 0 and hash_pruned = ref 0 in
+  let deepest = ref 0 in
+  let exhausted = ref true in
+  let violation = ref None in
+  (* hash -> deepest remaining depth it was explored with; re-visit only
+     with a larger remaining depth (the earlier visit covered less). *)
+  let visited : (int64, int) Hashtbl.t = Hashtbl.create 4096 in
+  let check_time () =
+    if Sys.time () -. started > config.max_seconds then begin
+      exhausted := false;
+      raise Stop
+    end
+  in
+  let exec_prefix prefix =
+    incr replays;
+    let inst = mk () in
+    List.iter
+      (fun idx ->
+        ignore (fire_choice inst.Scenario.i_net (choiceable inst.Scenario.i_net) idx))
+      prefix;
+    inst
+  in
+  let terminal (inst : Scenario.instance) prefix =
+    if !schedules >= config.budget then begin
+      exhausted := false;
+      raise Stop
+    end;
+    incr schedules;
+    Net.run inst.Scenario.i_net;
+    match inst.Scenario.i_check () with
+    | [] -> ()
+    | vs ->
+        violation := Some (prefix, vs);
+        raise Stop
+  in
+  let rec dfs (inst : Scenario.instance) prefix sleep depth_left =
+    check_time ();
+    if List.length prefix > !deepest then deepest := List.length prefix;
+    let cs = choiceable inst.Scenario.i_net in
+    if cs = [] || depth_left = 0 then terminal inst prefix
+    else begin
+      let pruned =
+        config.state_hash
+        && begin
+             let h = state_key inst in
+             match Hashtbl.find_opt visited h with
+             | Some d when d >= depth_left -> true
+             | _ ->
+                 Hashtbl.replace visited h depth_left;
+                 false
+           end
+      in
+      if pruned then incr hash_pruned
+      else begin
+        let labels = List.map (fun (i : Sim.info) -> i.Sim.i_label) cs in
+        let sleep = ref sleep in
+        (* The first explored child continues on [inst] in place; the
+           rest re-execute the prefix — the stateless-MC trade. *)
+        let inst_available = ref true in
+        List.iteri
+          (fun idx lab ->
+            if config.dpor && List.exists (fun s -> s = lab) !sleep then
+              incr sleep_pruned
+            else begin
+              let child_sleep =
+                List.filter (fun s -> independent s lab) !sleep
+              in
+              let child =
+                if !inst_available then begin
+                  inst_available := false;
+                  ignore (fire_choice inst.Scenario.i_net cs idx);
+                  inst
+                end
+                else begin
+                  let i = exec_prefix prefix in
+                  ignore (fire_choice i.Scenario.i_net (choiceable i.Scenario.i_net) idx);
+                  i
+                end
+              in
+              dfs child (prefix @ [ idx ]) child_sleep (depth_left - 1);
+              if config.dpor then sleep := lab :: !sleep
+            end)
+          labels
+      end
+    end
+  in
+  (try dfs (exec_prefix []) [] [] config.depth with Stop -> ());
+  {
+    schedules = !schedules;
+    replays = !replays;
+    sleep_pruned = !sleep_pruned;
+    hash_pruned = !hash_pruned;
+    deepest = !deepest;
+    exhausted = !exhausted;
+    violation = !violation;
+  }
+
+(* ------------------------- single schedules ------------------------- *)
+
+(* Replay one schedule (indices clamped against whatever is enabled when
+   the replay reaches them — that is what makes index sublists valid
+   shrink candidates), then run to quiescence and check. *)
+let run_schedule mk choices =
+  let inst = mk () in
+  List.iter
+    (fun idx ->
+      let cs = choiceable inst.Scenario.i_net in
+      match cs with
+      | [] -> ()
+      | _ ->
+          let idx = min idx (List.length cs - 1) in
+          ignore (fire_choice inst.Scenario.i_net cs idx))
+    choices;
+  Net.run inst.Scenario.i_net;
+  inst.Scenario.i_check ()
+
+let run_strategy ?(max_steps = 10_000) mk (strategy : Strategy.t) =
+  let inst = mk () in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && !step < max_steps do
+    match choiceable inst.Scenario.i_net with
+    | [] -> continue := false
+    | cs ->
+        let idx = strategy.Strategy.pick ~step:!step ~enabled:cs in
+        let idx = max 0 (min idx (List.length cs - 1)) in
+        ignore (fire_choice inst.Scenario.i_net cs idx);
+        incr step
+  done;
+  Net.run inst.Scenario.i_net;
+  inst.Scenario.i_check ()
+
+let shrink mk choices =
+  Shrink.ddmin ~fails:(fun s -> run_schedule mk s <> []) choices
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>schedules evaluated: %d (replays %d, deepest %d)@,\
+     pruned: %d by sleep sets, %d by state hash@,\
+     space %s"
+    r.schedules r.replays r.deepest r.sleep_pruned r.hash_pruned
+    (if r.exhausted then "exhausted"
+     else "NOT exhausted (budget/time bound hit)");
+  (match r.violation with
+  | None -> ()
+  | Some (sched, vs) ->
+      Format.fprintf ppf "@,violating schedule: %s" (Schedule.encode sched);
+      List.iter
+        (fun v -> Format.fprintf ppf "@,  %a" Invariant.pp_violation v)
+        vs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Stateless DFS enumeration of event interleavings with DPOR pruning.
+
+    The explorer drives a {!Scenario.instance} through every ordering of
+    its choiceable enabled events (deliveries and local actions; guard
+    timers are deferred to the terminal run — see {!Pti_net.Sim.label})
+    up to a depth bound, re-executing the scenario from scratch whenever
+    the DFS diverges from the instance it holds. Two prunings keep the
+    walk tractable:
+
+    - {e sleep sets} (a dynamic partial-order reduction): after a branch
+      on event [e] is fully explored, sibling branches need not re-fire
+      [e] until a dependent event (same target host) wakes it;
+    - {e state hashing}: a branch whose FNV fingerprint (peer state +
+      pending labels + per-category message counts) was already explored
+      with at least as much remaining depth is cut.
+
+    Terminal states are run to quiescence ({!Pti_net.Net.run} — firing
+    any deferred timers) and checked against the scenario's invariant
+    set. The first violation aborts the walk with its schedule. *)
+
+type config = {
+  depth : int;  (** Choice points per schedule; beyond it, FIFO. *)
+  budget : int;  (** Max terminal states evaluated. *)
+  dpor : bool;  (** Sleep-set pruning. *)
+  state_hash : bool;  (** Visited-state pruning. *)
+  max_seconds : float;  (** Wall-clock bound for the whole walk. *)
+}
+
+val default_config : config
+(** depth 8, budget 20k, both prunings on, 300 s. *)
+
+type result = {
+  schedules : int;  (** Terminal states evaluated. *)
+  replays : int;  (** Scenario re-executions (incl. the first). *)
+  sleep_pruned : int;  (** Branches cut by sleep sets. *)
+  hash_pruned : int;  (** Branches cut by state hashing. *)
+  deepest : int;  (** Longest schedule prefix reached. *)
+  exhausted : bool;
+      (** The bounded space was fully covered (no budget/time cut). *)
+  violation : (int list * Pti_fault.Invariant.violation list) option;
+      (** First failing schedule, if any — feed it to {!shrink} and
+          encode with {!Schedule.encode} for replay. *)
+}
+
+val run :
+  ?config:config -> (unit -> Scenario.instance) -> result
+(** [run mk] explores all schedules of the scenario built by [mk]. *)
+
+val run_schedule :
+  (unit -> Scenario.instance) -> int list -> Pti_fault.Invariant.violation list
+(** Replay one schedule on a fresh instance (indices clamped against the
+    enabled set, FIFO past the end), run to quiescence, and check. This
+    is the semantics behind [pti explore --schedule]. *)
+
+val run_strategy :
+  ?max_steps:int ->
+  (unit -> Scenario.instance) ->
+  Strategy.t ->
+  Pti_fault.Invariant.violation list
+(** Drive a fresh instance with a {!Strategy.t} to quiescence and check
+    — the bridge between the chaos-style (fifo/random) and systematic
+    modes. *)
+
+val shrink : (unit -> Scenario.instance) -> int list -> int list
+(** ddmin a violating schedule to a locally minimal one that still
+    violates (by repeated {!run_schedule}). *)
+
+val pp_result : Format.formatter -> result -> unit

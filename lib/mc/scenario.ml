@@ -1,0 +1,301 @@
+module Net = Pti_net.Net
+module Sim = Pti_net.Sim
+module Stats = Pti_net.Stats
+module Trace = Pti_net.Trace
+module Peer = Pti_core.Peer
+module Message = Pti_core.Message
+module Checker = Pti_conformance.Checker
+module Workload = Pti_demo.Workload
+module Demo = Pti_demo.Demo_types
+module Invariant = Pti_fault.Invariant
+module Chaos = Pti_fault.Chaos
+module Cl = Pti_cluster.Cluster
+module Node = Pti_cluster.Node
+module Fnv = Pti_util.Fnv
+
+(* Closed worlds for the model checker. Unlike the chaos harness these
+   are entirely fault-free and jitter-free: the only nondeterminism left
+   is the delivery/action order, which is exactly what the explorer
+   enumerates. Nothing here draws ambient randomness, so re-executing a
+   prefix always reproduces the same state. *)
+
+type kind = Protocol | Cluster | Wire
+
+let kind_name = function
+  | Protocol -> "protocol"
+  | Cluster -> "cluster"
+  | Wire -> "wire"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "protocol" -> Some Protocol
+  | "cluster" -> Some Cluster
+  | "wire" -> Some Wire
+  | _ -> None
+
+type spec = {
+  s_kind : kind;
+  s_peers : int;
+  s_objects : int;
+  s_fanout_bug : bool;
+}
+
+let spec ?(peers = 3) ?(objects = 2) ?(fanout_bug = false) kind =
+  {
+    s_kind = kind;
+    s_peers = max 2 peers;
+    s_objects = max 1 objects;
+    s_fanout_bug = fanout_bug;
+  }
+
+type instance = {
+  i_net : Message.t Net.t;
+  i_check : unit -> Invariant.violation list;
+  i_fingerprint : unit -> int64;
+}
+
+(* Object [i]'s workload family: everything shares family 0 (conformant)
+   — same-typed bursts are what the in-flight dedup guards protect — and
+   with three or more objects the last one is a trap, so the reject path
+   is part of the explored space too. *)
+let family_of ~objects i =
+  if objects >= 3 && i = objects - 1 then (1, Workload.Trap_missing)
+  else (0, Workload.Conformant)
+
+let families_used ~objects =
+  List.init objects (family_of ~objects) |> List.sort_uniq compare
+
+(* The invariant set shared by every scenario, evaluated at a terminal
+   (quiescent) state. [receiver] is the peer whose interest pipeline the
+   objects ran through. On a fault-free net nothing may be lost, mangled
+   or double-applied, verdicts must be schedule-independent, and the
+   subprotocol traffic must stay within what the in-flight dedup
+   guarantees — however the deliveries were interleaved. *)
+let check_common ~net ~trace ~receiver ~objects ~expected ~trap_keys () =
+  let events = Peer.events receiver in
+  let delivered_vals =
+    List.filter_map
+      (function Peer.Delivered { value; _ } -> Some value | _ -> None)
+      events
+  in
+  let rejected =
+    List.length
+      (List.filter (function Peer.Rejected _ -> true | _ -> false) events)
+  in
+  let failed = List.length (List.filter Chaos.is_terminal_failure events) in
+  let got =
+    List.map
+      (fun v ->
+        match Chaos.name_age v with
+        | Some (n, a) -> (n, (n, a))
+        | None ->
+            ( "<unextractable:" ^ Pti_cts.Value.type_name v ^ ">",
+              ("?", -1) ))
+      delivered_vals
+  in
+  let delivered_keys = List.map fst got in
+  let checker = Peer.checker receiver in
+  let verdict_str v =
+    if Checker.verdict_ok v then "conformant" else "not-conformant"
+  in
+  let triples =
+    List.filter_map
+      (fun (index, flavor) ->
+        let tn = Workload.person_name ~index ~flavor in
+        match
+          ( Peer.local_description receiver tn,
+            Peer.local_description receiver Demo.news_person )
+        with
+        | Some actual, Some interest ->
+            let before =
+              verdict_str (Checker.check checker ~actual ~interest)
+            in
+            Checker.clear_cache checker;
+            let after =
+              verdict_str (Checker.check checker ~actual ~interest)
+            in
+            Some (tn, before, after)
+        | _ -> None)
+      (families_used ~objects)
+  in
+  let stats = Net.stats net in
+  let distinct = List.length (families_used ~objects) in
+  let conformant_distinct =
+    List.length
+      (List.filter
+         (fun (_, f) -> f = Workload.Conformant)
+         (families_used ~objects))
+  in
+  let count_pairs =
+    List.filter_map
+      (fun c ->
+        if c = Stats.Control then None
+        else
+          Some
+            ( Stats.category_name c,
+              Stats.messages stats c,
+              Trace.count trace ~category:c () ))
+      Stats.all_categories
+  in
+  Invariant.conservation ~sent:objects
+    ~delivered:(List.length delivered_vals)
+    ~rejected ~failed
+    ~net_lost:(Net.lost_for net Stats.Object_msg)
+  @ Invariant.exactly_once ~delivered_keys
+  @ Invariant.no_mangle ~expected ~got
+  @ Invariant.trap_never_delivered ~trap_keys ~delivered_keys
+  @ Invariant.verdict_stability triples
+  (* Each family needs at most its Person + Address descriptions and
+     (when conformant, hence downloaded) one assembly — whatever the
+     interleaving, thanks to the shared in-flight exchanges. *)
+  @ Invariant.fetch_economy ~label:"tdesc requests"
+      ~actual:(Stats.messages stats Stats.Tdesc_request)
+      ~allowed:(2 * distinct)
+  @ Invariant.fetch_economy ~label:"assembly requests"
+      ~actual:(Stats.messages stats Stats.Asm_request)
+      ~allowed:conformant_distinct
+  @ Invariant.metrics_match_trace count_pairs
+
+(* Publish the used families on [sender], register the news interest on
+   [receiver], and issue the object sends; returns (expected, traps). *)
+let setup_workload ~publish ~sender ~receiver ~objects ~send =
+  List.iter
+    (fun (index, flavor) -> publish (Workload.family ~index ~flavor))
+    (families_used ~objects);
+  Peer.install_assembly receiver (Demo.news_assembly ());
+  Peer.register_interest receiver ~interest:Demo.news_person
+    (fun ~from:_ _ -> ());
+  let expected = ref [] and trap_keys = ref [] in
+  for i = 0 to objects - 1 do
+    let index, flavor = family_of ~objects i in
+    let name = Printf.sprintf "p%d" i in
+    let age = 20 + i in
+    let v =
+      Workload.make_person (Peer.registry sender) ~index ~flavor ~name ~age
+    in
+    (match flavor with
+    | Workload.Conformant -> expected := (name, (name, age)) :: !expected
+    | _ -> trap_keys := name :: !trap_keys);
+    send i v
+  done;
+  (!expected, !trap_keys)
+
+let combine_fingerprints fps =
+  let buf = Buffer.create 64 in
+  List.iter (fun fp -> Buffer.add_string buf (Printf.sprintf "%Lx " fp)) fps;
+  Fnv.hash64 (Buffer.contents buf)
+
+(* Two peers, classic wire. All sends are issued at setup, so the
+   initial enabled set is the burst of concurrent object deliveries —
+   the exact situation the in-flight fetch guards exist for. With
+   [s_fanout_bug] the receiver is created without those guards. *)
+let make_two_peer ~wire spec =
+  let net = Net.create ~jitter_ms:0. () in
+  let trace = Trace.attach net in
+  let handles = wire in
+  let batch_bytes = if wire then Some 4096 else None in
+  let tdesc_binary = wire in
+  let mk addr ~share_inflight =
+    Peer.create ~handles ?batch_bytes ~tdesc_binary ~share_inflight ~net addr
+  in
+  let alice = mk "alice" ~share_inflight:true in
+  let bob = mk "bob" ~share_inflight:(not spec.s_fanout_bug) in
+  let objects = spec.s_objects in
+  let sim = Net.sim net in
+  let send i v =
+    if (not wire) || i = 0 then Peer.send_value alice ~dst:"bob" v
+    else
+      (* Wire scenario: later sends are explorable local actions, so the
+         explorer can order them against batch flushes and the handle
+         table drop below. *)
+      Sim.schedule sim
+        ~label:(Sim.Act { owner = "alice"; info = Printf.sprintf "send p%d" i })
+        ~delay:0.
+        (fun () -> Peer.send_value alice ~dst:"bob" v)
+  in
+  let expected, trap_keys =
+    setup_workload ~publish:(Peer.publish_assembly alice) ~sender:alice
+      ~receiver:bob ~objects ~send
+  in
+  if wire && objects >= 2 then
+    (* Losing bob's learned bindings is another explorable action: fired
+       before the first delivery it is a no-op, between deliveries it
+       forces a NAK/re-bind round — all orders must stay invariant. *)
+    Sim.schedule sim
+      ~label:(Sim.Act { owner = "bob"; info = "drop-handle-tables" })
+      ~delay:0.
+      (fun () -> Peer.drop_handle_tables bob);
+  {
+    i_net = net;
+    i_check =
+      check_common ~net ~trace ~receiver:bob ~objects ~expected ~trap_keys;
+    i_fingerprint =
+      (fun () ->
+        combine_fingerprints [ Peer.fingerprint alice; Peer.fingerprint bob ]);
+  }
+
+(* A small replicated cluster: publication pushes replicas, gossip
+   rounds are explorable actions, and one object burst crosses the
+   cluster. Membership must converge to all-alive under every
+   interleaving (there are no faults to observe). *)
+let make_cluster spec =
+  let net = Net.create ~jitter_ms:0. () in
+  let trace = Trace.attach net in
+  let hosts = List.init spec.s_peers (Printf.sprintf "n%d") in
+  let cl = Cl.create ~factor:2 ~seed:17L ~net hosts in
+  let sender = Cl.peer cl (List.hd hosts) in
+  let receiver_addr = List.nth hosts (List.length hosts - 1) in
+  let receiver = Cl.peer cl receiver_addr in
+  let objects = spec.s_objects in
+  let sim = Net.sim net in
+  let send _i v = Peer.send_value sender ~dst:receiver_addr v in
+  let expected, trap_keys =
+    setup_workload
+      ~publish:(fun asm -> Node.publish (Cl.node cl (List.hd hosts)) asm)
+      ~sender ~receiver ~objects ~send
+  in
+  (* Two anti-entropy rounds per node, as choosable actions. *)
+  List.iteri
+    (fun ni addr ->
+      let node = Cl.node cl addr in
+      for r = 0 to 1 do
+        Sim.schedule_at sim
+          ~label:
+            (Sim.Act { owner = addr; info = Printf.sprintf "gossip-tick %d" r })
+          ~at:(1. +. float_of_int ((r * spec.s_peers) + ni))
+          (fun () -> Node.tick node)
+      done)
+    hosts;
+  let check () =
+    let rows =
+      List.map
+        (fun a ->
+          let node = Cl.node cl a in
+          ( a,
+            List.filter_map
+              (fun (m, st) ->
+                if List.mem m hosts then Some (m, Node.status_name st)
+                else None)
+              (Node.members node) ))
+        hosts
+    in
+    check_common ~net ~trace ~receiver ~objects ~expected ~trap_keys ()
+    @ Invariant.membership_converged rows
+  in
+  {
+    i_net = net;
+    i_check = check;
+    i_fingerprint =
+      (fun () ->
+        combine_fingerprints
+          (List.concat_map
+             (fun a ->
+               [ Node.fingerprint (Cl.node cl a); Peer.fingerprint (Cl.peer cl a) ])
+             hosts));
+  }
+
+let make spec =
+  match spec.s_kind with
+  | Protocol -> make_two_peer ~wire:false spec
+  | Wire -> make_two_peer ~wire:true spec
+  | Cluster -> make_cluster spec

@@ -1,0 +1,55 @@
+(** Closed, fault-free worlds for systematic exploration.
+
+    A scenario builds a fresh deterministic simulation — peers, workload,
+    issued sends — whose {e only} remaining nondeterminism is the order
+    of enabled deliveries and local actions. The explorer re-executes a
+    scenario from scratch for every schedule prefix, so construction
+    must be cheap and draw no ambient randomness (fixed seeds only).
+
+    The invariant set reuses the chaos harness's checks
+    ({!Pti_fault.Invariant}): conservation, exactly-once, no-mangle,
+    trap rejection, verdict stability, metrics-vs-trace — plus
+    {!Pti_fault.Invariant.fetch_economy}, which bounds subprotocol
+    traffic by what the in-flight dedup guards promise, and (cluster
+    scenario) membership convergence. *)
+
+type kind =
+  | Protocol  (** Two peers, a burst of same-typed objects, classic wire. *)
+  | Cluster
+      (** A replicated cluster: replica pushes, gossip ticks as
+          explorable actions, membership must converge all-alive. *)
+  | Wire
+      (** Two peers with handle negotiation + batching + binary tdescs;
+          later sends and a receiver-side handle-table drop are
+          explorable actions. *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+type spec = {
+  s_kind : kind;
+  s_peers : int;  (** Cluster size (cluster scenario only); min 2. *)
+  s_objects : int;  (** Objects sent; min 1. *)
+  s_fanout_bug : bool;
+      (** Create the receiver with [share_inflight:false] — the
+          historical fetch fan-out bug — for the known-bug regression. *)
+}
+
+val spec : ?peers:int -> ?objects:int -> ?fanout_bug:bool -> kind -> spec
+(** Defaults: 3 peers, 2 objects, bug off. *)
+
+type instance = {
+  i_net : Pti_core.Message.t Pti_net.Net.t;
+      (** The live network: drive it via {!Pti_net.Net.enabled} /
+          {!Pti_net.Net.fire} / {!Pti_net.Net.run}. *)
+  i_check : unit -> Pti_fault.Invariant.violation list;
+      (** Evaluate the property set — call only at a terminal (quiescent)
+          state; may mutate checker caches, so do not explore further
+          afterwards. *)
+  i_fingerprint : unit -> int64;
+      (** Combined FNV digest of all peer/node state, for hash pruning. *)
+}
+
+val make : spec -> instance
+(** A fresh world with all sends issued; equal specs build bit-identical
+    worlds. *)

@@ -1,0 +1,22 @@
+(* A schedule is the list of choices an exploration made: at each choice
+   point, the index into the sorted choiceable enabled-event list. The
+   wire form is dot-separated ("2.0.1"); the empty schedule — pure FIFO
+   continuation — prints as "-" so it survives a command line. *)
+
+let encode = function
+  | [] -> "-"
+  | choices -> String.concat "." (List.map string_of_int choices)
+
+let decode s =
+  let s = String.trim s in
+  if String.equal s "" || String.equal s "-" then Ok []
+  else
+    let parts = String.split_on_char '.' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt p with
+          | Some i when i >= 0 -> go (i :: acc) rest
+          | _ -> Error (Printf.sprintf "bad schedule component %S" p))
+    in
+    go [] parts

@@ -1,0 +1,14 @@
+(** Replayable schedule strings.
+
+    A schedule records, for each choice point, the index the exploration
+    picked in the sorted choiceable enabled-event list. Indices are
+    positional, so any sublist is again a valid schedule (each index is
+    reinterpreted against the enabled set the replay actually reaches) —
+    which is what lets the generic ddmin shrinker minimise them. *)
+
+val encode : int list -> string
+(** Dot-separated indices; the empty schedule encodes as ["-"]. *)
+
+val decode : string -> (int list, string) result
+(** Inverse of {!encode}; [""] and ["-"] both decode to the empty
+    schedule. *)

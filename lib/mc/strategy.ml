@@ -1,0 +1,35 @@
+module Sim = Pti_net.Sim
+module Splitmix = Pti_util.Splitmix
+
+(* A strategy is the pluggable "which enabled event next?" policy: FIFO
+   reproduces the plain simulator (and the chaos harness's ordering on a
+   fault-free net), random walks sample the schedule space, replay pins
+   a recorded schedule, and the DFS enumerator in [Explore] is the
+   systematic one. [pick] returns an index into the sorted choiceable
+   enabled list; out-of-range picks are clamped by the driver. *)
+
+type t = {
+  name : string;
+  pick : step:int -> enabled:Sim.info list -> int;
+}
+
+let fifo = { name = "fifo"; pick = (fun ~step:_ ~enabled:_ -> 0) }
+
+let random ~seed =
+  let rng = Splitmix.create seed in
+  {
+    name = Printf.sprintf "random(%Ld)" seed;
+    pick =
+      (fun ~step:_ ~enabled ->
+        match List.length enabled with 0 -> 0 | n -> Splitmix.int rng n);
+  }
+
+(* Past the recorded choices, fall back to FIFO — a shrunk (shorter)
+   schedule still runs to quiescence. *)
+let replay choices =
+  {
+    name = Printf.sprintf "replay(%s)" (Schedule.encode choices);
+    pick =
+      (fun ~step ~enabled:_ ->
+        match List.nth_opt choices step with Some i -> i | None -> 0);
+  }

@@ -1,0 +1,23 @@
+(** Pluggable event-selection strategies over the {!Pti_net.Net.enabled}
+    scheduler hook.
+
+    A strategy picks, at each choice point, an index into the sorted
+    list of choiceable enabled events (deliveries and local actions;
+    guard timers are never offered — see {!Pti_net.Sim.label}). The
+    chaos harness's ordering on a fault-free network is exactly {!fifo};
+    the DFS enumerator in {!Explore} is the systematic alternative. *)
+
+type t = {
+  name : string;
+  pick : step:int -> enabled:Pti_net.Sim.info list -> int;
+      (** Out-of-range indices are clamped by the driver. *)
+}
+
+val fifo : t
+(** Always the earliest event — the plain simulator's order. *)
+
+val random : seed:int64 -> t
+(** Uniform choice at every step, deterministic per seed. *)
+
+val replay : int list -> t
+(** Pin a recorded schedule; past its end, continue FIFO. *)

@@ -206,9 +206,16 @@ let count_lost t category =
   let n = Option.value ~default:0 (Hashtbl.find_opt t.lost_by category) in
   Hashtbl.replace t.lost_by category (n + 1)
 
-let send t ~src ~dst ~category ~size payload =
+let send t ?info ~src ~dst ~category ~size payload =
   if not (Hashtbl.mem t.known dst) then
     invalid_arg (Printf.sprintf "Net.send: unknown host %S" dst);
+  (* The delivery label carries the sender's description of the payload
+     (when given) so the model checker can tell concurrently pending
+     messages of the same category apart. *)
+  let info =
+    match info with Some i -> i | None -> Stats.category_name category
+  in
+  let deliver_label = Sim.Deliver { src; dst; info } in
   match t.reliability with
   | None ->
       (* Each copy (the original plus injected duplicates) is charged,
@@ -223,7 +230,7 @@ let send t ~src ~dst ~category ~size payload =
         else begin
           let payload = fault_corrupt t ~src ~dst payload in
           let delay = transfer_delay t ~src ~dst ~size in
-          Sim.schedule t.sim ~delay (fun () ->
+          Sim.schedule t.sim ~label:deliver_label ~delay (fun () ->
               (* A partition cut while the message was in flight kills it
                  too — a cable does not care how far the packet got. *)
               if severed t ~src ~dst then t.dropped <- t.dropped + 1
@@ -261,7 +268,11 @@ let send t ~src ~dst ~category ~size payload =
               let ack_delay =
                 transfer_delay t ~src:dst ~dst:src ~size:r.ack_bytes
               in
-              Sim.schedule t.sim ~delay:ack_delay (fun () ->
+              let ack_label =
+                Sim.Deliver
+                  { src = dst; dst = src; info = Printf.sprintf "ack#%d" msg_id }
+              in
+              Sim.schedule t.sim ~label:ack_label ~delay:ack_delay (fun () ->
                   if severed t ~src:dst ~dst:src then
                     t.dropped <- t.dropped + 1
                   else Hashtbl.replace t.acked msg_id ())
@@ -274,7 +285,7 @@ let send t ~src ~dst ~category ~size payload =
         else begin
           let payload = fault_corrupt t ~src ~dst payload in
           let delay = transfer_delay t ~src ~dst ~size in
-          Sim.schedule t.sim ~delay (on_arrival payload)
+          Sim.schedule t.sim ~label:deliver_label ~delay (on_arrival payload)
         end
       in
       let rec attempt n =
@@ -289,7 +300,11 @@ let send t ~src ~dst ~category ~size payload =
         if n > 0 then t.retransmitted <- t.retransmitted + 1;
         (* Retransmission timer: fires whether or not this attempt
            arrived; a lost ack also triggers a retry. *)
-        Sim.schedule t.sim ~delay:r.retransmit_ms (fun () ->
+        let timer_label =
+          Sim.Timer
+            { owner = src; info = Printf.sprintf "retransmit#%d" msg_id }
+        in
+        Sim.schedule t.sim ~label:timer_label ~delay:r.retransmit_ms (fun () ->
             if not (Hashtbl.mem t.acked msg_id) then
               if n < r.max_retries then attempt (n + 1)
               else if not (Hashtbl.mem t.delivered msg_id) then
@@ -299,7 +314,16 @@ let send t ~src ~dst ~category ~size payload =
 
 let run t = Sim.run t.sim
 let now_ms t = Sim.now t.sim
-let hosts t = Hashtbl.fold (fun a _ acc -> a :: acc) t.handlers []
+
+(* Sorted: Hashtbl iteration order depends on insertion history and
+   hashing, which would leak nondeterminism into anything that walks
+   the host list (schedule replay must be bit-identical). *)
+let hosts t =
+  Hashtbl.fold (fun a _ acc -> a :: acc) t.handlers []
+  |> List.sort String.compare
+
+let enabled t = Sim.pending_events t.sim
+let fire t ~seq = Sim.fire t.sim ~seq
 let dropped_messages t = t.dropped
 let retransmissions t = t.retransmitted
 let lost_messages t = t.lost

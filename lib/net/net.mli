@@ -103,11 +103,13 @@ val set_integrity : 'a t -> ('a -> bool) option -> unit
     the discard suppresses the ack, so the sender retransmits and a
     later clean copy still gets through. *)
 
-val send : 'a t -> src:address -> dst:address -> category:Stats.category ->
-  size:int -> 'a -> unit
+val send : 'a t -> ?info:string -> src:address -> dst:address ->
+  category:Stats.category -> size:int -> 'a -> unit
 (** Enqueue a message: records [size] bytes, applies latency + size/bandwidth
     (+ jitter), may drop. Delivery invokes the destination handler inside
-    the simulation.
+    the simulation. [info] (default: the category name) describes the
+    payload in the delivery event's {!Sim.label} so an exploration
+    strategy can tell concurrently pending messages apart.
     @raise Invalid_argument for an unknown destination. *)
 
 val on_send : 'a t ->
@@ -122,7 +124,25 @@ val run : 'a t -> unit
 (** Run the simulation to quiescence. *)
 
 val now_ms : 'a t -> float
+
 val hosts : 'a t -> address list
+(** Registered (alive) addresses, sorted — deterministic regardless of
+    registration order. *)
+
+(** {1 Scheduler hook}
+
+    The model checker ([pti_mc]) replaces the simulator's FIFO event loop
+    with an external strategy: read the {!enabled} set, pick an event,
+    {!fire} it, repeat. {!run} remains the "always pick the earliest"
+    strategy. *)
+
+val enabled : 'a t -> Sim.info list
+(** Pending simulator events (deliveries, actions, timers), sorted by
+    [(time, seq)]. See {!Sim.pending_events}. *)
+
+val fire : 'a t -> seq:int -> bool
+(** Fire one enabled event out of order; clock only moves forward. See
+    {!Sim.fire}. *)
 
 val dropped_messages : 'a t -> int
 (** Transmission attempts lost to drops/partitions (including attempts

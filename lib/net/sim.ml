@@ -1,9 +1,22 @@
+(* Event labels classify what an event *is* so an external scheduler
+   (the model checker) can distinguish message deliveries — which a real
+   asynchronous network may reorder arbitrarily — from local actions and
+   guard timers. See [Pti_mc.Explore] for the consumer. *)
+type label =
+  | Deliver of { src : string; dst : string; info : string }
+  | Act of { owner : string; info : string }
+  | Timer of { owner : string; info : string }
+  | Internal
+
 type event = {
   at : float;
   seq : int;
+  label : label;
   thunk : unit -> unit;
   mutable cancelled : bool;
 }
+
+type info = { i_at : float; i_seq : int; i_label : label }
 
 type t = {
   queue : event Pti_util.Pqueue.t;
@@ -19,23 +32,23 @@ let create () =
 
 let now t = t.clock
 
-let push_event t ~at thunk =
+let push_event t ?(label = Internal) ~at thunk =
   let at = if at < t.clock then t.clock else at in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let e = { at; seq; thunk; cancelled = false } in
+  let e = { at; seq; label; thunk; cancelled = false } in
   Pti_util.Pqueue.push t.queue e;
   e
 
-let schedule_at t ~at thunk = ignore (push_event t ~at thunk)
+let schedule_at t ?label ~at thunk = ignore (push_event t ?label ~at thunk)
 
-let schedule t ~delay thunk =
+let schedule t ?label ~delay thunk =
   let delay = if delay < 0. then 0. else delay in
-  schedule_at t ~at:(t.clock +. delay) thunk
+  schedule_at t ?label ~at:(t.clock +. delay) thunk
 
-let schedule_cancellable t ~delay thunk =
+let schedule_cancellable t ?label ~delay thunk =
   let delay = if delay < 0. then 0. else delay in
-  let e = push_event t ~at:(t.clock +. delay) thunk in
+  let e = push_event t ?label ~at:(t.clock +. delay) thunk in
   fun () -> e.cancelled <- true
 
 (* Cancelled events are discarded without touching the clock. *)
@@ -61,3 +74,30 @@ let run_until t horizon =
   if t.clock < horizon then t.clock <- horizon
 
 let pending t = Pti_util.Pqueue.length t.queue
+
+let pending_events t =
+  Pti_util.Pqueue.to_list_unordered t.queue
+  |> List.filter (fun e -> not e.cancelled)
+  |> List.sort cmp
+  |> List.map (fun e -> { i_at = e.at; i_seq = e.seq; i_label = e.label })
+
+(* Fire a chosen pending event out of heap order. The clock only moves
+   forward ([max]) so firing a "late" event before an "early" one models
+   the late one being delivered sooner, not time running backwards. *)
+let fire t ~seq =
+  match
+    Pti_util.Pqueue.remove_where t.queue ~f:(fun e ->
+        e.seq = seq && not e.cancelled)
+  with
+  | None -> false
+  | Some e ->
+      if e.at > t.clock then t.clock <- e.at;
+      e.thunk ();
+      true
+
+let pp_label ppf = function
+  | Deliver { src; dst; info } ->
+      Format.fprintf ppf "deliver %s->%s %s" src dst info
+  | Act { owner; info } -> Format.fprintf ppf "act[%s] %s" owner info
+  | Timer { owner; info } -> Format.fprintf ppf "timer[%s] %s" owner info
+  | Internal -> Format.pp_print_string ppf "internal"

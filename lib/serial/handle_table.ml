@@ -60,6 +60,34 @@ let resolve (r : receiver) h = ILru.find r h
 let clear_receiver (r : receiver) = ILru.clear r
 let receiver_length (r : receiver) = ILru.length r
 
+(* ----------------------------- fingerprints ------------------------ *)
+
+(* Deterministic digests of table state for the model checker's
+   state-hash pruning: bindings rendered sorted by handle, FNV-1a over
+   the text. Two tables with the same bindings hash equal regardless of
+   the order they were learned in. *)
+
+let render_binding buf h (e : Envelope.type_entry) =
+  Buffer.add_string buf
+    (Printf.sprintf "%d=%s/%s/%s/%s\n" h e.Envelope.te_name
+       (Guid.to_string e.Envelope.te_guid)
+       e.Envelope.te_assembly e.Envelope.te_download_path)
+
+let fingerprint_sender s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "next=%d\n" s.next_handle);
+  Hashtbl.fold (fun h e acc -> (h, e) :: acc) s.by_handle []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (h, e) -> render_binding buf h e);
+  Fnv.hash64 (Buffer.contents buf)
+
+let fingerprint_receiver (r : receiver) =
+  let buf = Buffer.create 128 in
+  ILru.fold r ~init:[] ~f:(fun h e acc -> (h, e) :: acc)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (h, e) -> render_binding buf h e);
+  Fnv.hash64 (Buffer.contents buf)
+
 (* --------------------------- bind frames --------------------------- *)
 
 (* [Handle_bind] control messages carry renegotiated bindings in a

@@ -76,4 +76,30 @@ let clear t =
   t.data <- [||];
   t.size <- 0
 
+(* Remove the first element satisfying [f] (linear scan): the vacated
+   slot is filled with the last element, which is then sifted in both
+   directions to restore the heap invariant. *)
+let remove_where t ~f =
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < t.size do
+    if f t.data.(!i) then found := Some !i else incr i
+  done;
+  match !found with
+  | None -> None
+  | Some i ->
+      let x = t.data.(i) in
+      t.size <- t.size - 1;
+      if t.size = 0 then t.data <- [||]
+      else begin
+        if i < t.size then begin
+          t.data.(i) <- t.data.(t.size);
+          sift_down t i;
+          sift_up t i
+        end;
+        (* Release the vacated slot for the GC (see [pop]). *)
+        t.data.(t.size) <- t.data.(0)
+      end;
+      Some x
+
 let to_list_unordered t = Array.to_list (Array.sub t.data 0 t.size)

@@ -20,3 +20,9 @@ val clear : 'a t -> unit
 
 val to_list_unordered : 'a t -> 'a list
 (** Current contents in internal (heap) order; for inspection in tests. *)
+
+val remove_where : 'a t -> f:('a -> bool) -> 'a option
+(** Remove and return the first element satisfying [f] (linear scan),
+    restoring the heap invariant. [None] if nothing matches — the queue
+    is unchanged. Lets a scheduler fire a chosen event out of heap
+    order (the model checker's enabled-event hook). *)
