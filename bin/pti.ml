@@ -26,6 +26,9 @@ module Demo = Pti_demo.Demo_types
 module Workload = Pti_demo.Workload
 module Metrics = Pti_obs.Metrics
 module Chaos = Pti_fault.Chaos
+module Transport = Pti_transport.Transport
+module Message_wire = Pti_core.Message_wire
+module Proxy = Pti_proxy.Dynamic_proxy
 
 let read_file path =
   try
@@ -416,6 +419,287 @@ let run_workload ~mode ~objects ~distinct ~nonconf ~metrics
   in
   (net, sender, delivered, rejected)
 
+(* -------------------- protocol over real sockets ------------------- *)
+
+(* Cross-process variant of the workload: the same publish -> conform ->
+   deliver pipeline, plus one remote invocation, but over a unix-domain
+   or TCP stream fabric. Default layout forks a receiver child; --listen
+   / --connect split the two roles across terminals (or machines, for
+   tcp). *)
+
+let receiver_addr = "receiver"
+let sender_addr = "sender"
+
+(* Dial retries absorb the bind race in forked mode: the sender may try
+   to connect before the child's listener exists. *)
+let stream_reliability =
+  { Pti_net.Arq.retransmit_ms = 50.; max_retries = 8; ack_bytes = 16 }
+
+let stream_fabric kind ?dir ~metrics () =
+  match kind with
+  | Transport.Unix_socket ->
+      Transport.create_unix ?dir ~reliability:stream_reliability ~metrics
+        ~codec:Message_wire.codec ()
+  | Transport.Tcp ->
+      Transport.create_tcp ~reliability:stream_reliability ~metrics
+        ~codec:Message_wire.codec ()
+  | Transport.Sim -> invalid_arg "stream_fabric: sim is not a stream"
+
+(* How many of the [objects] sends carry a trap (non-conformant) family,
+   i.e. must terminate as Rejected rather than Delivered. *)
+let expected_rejects ~objects ~distinct ~nonconf =
+  let r = ref 0 in
+  for n = 0 to objects - 1 do
+    if n mod distinct < nonconf then incr r
+  done;
+  !r
+
+(* The receiver role: serve conformance-checked deliveries and the final
+   remote invocation until the sender hangs up (or a deadline passes).
+   Returns the exit status; prints its own summary line. *)
+let protocol_receiver tr ~mode ~objects ~distinct ~nonconf ~handles
+    ?batch_bytes ~tdesc_binary () =
+  let hung_up = ref false in
+  Transport.on_conn_event tr (function
+    | Transport.Disconnected _ -> hung_up := true
+    | Transport.Connected _ -> ());
+  let peer =
+    Peer.create ~mode ~handles ?batch_bytes ~tdesc_binary ~transport:tr
+      receiver_addr
+  in
+  let delivered = ref 0 in
+  Peer.install_assembly peer (Demo.news_assembly ());
+  Peer.register_interest peer ~interest:Demo.news_person (fun ~from:_ _ ->
+      incr delivered);
+  (* First export on a fresh peer: the sender reconstructs this ref as
+     {host=receiver; id=0; class=newsw.Person} without any side channel. *)
+  ignore
+    (Peer.export peer
+       (Demo.make_news_person (Peer.registry peer) ~name:"greeter" ~age:99));
+  let rejects = expected_rejects ~objects ~distinct ~nonconf in
+  let rejected () =
+    List.length
+      (List.filter
+         (function Peer.Rejected _ -> true | _ -> false)
+         (Peer.events peer))
+  in
+  (* Once every send has reached a terminal verdict, tell the sender —
+     it must keep serving assembly fetches until then, and only then may
+     it hang up. Its disconnect is our signal to stop driving. *)
+  let announced = ref false in
+  let done_ () =
+    if (not !announced) && !delivered + rejected () >= objects then begin
+      announced := true;
+      Peer.send_gossip peer ~dst:sender_addr ~kind:"protocol-done"
+        ~body:(string_of_int !delivered)
+    end;
+    !announced && !hung_up
+  in
+  ignore
+    (Transport.drive_until tr
+       ~deadline_ms:(Transport.now_ms tr +. 60_000.)
+       done_);
+  Format.printf
+    "receiver: delivered=%d/%d rejected=%d/%d rx-bytes=%d integrity-drops=%d@."
+    !delivered (objects - rejects) (rejected ()) rejects
+    (Transport.total_received_bytes tr)
+    (Transport.integrity_drops tr);
+  Transport.close tr;
+  if !delivered = objects - rejects && rejected () = rejects then 0 else 1
+
+(* The sender role: publish the families, stream the objects, then
+   acquire the receiver's exported greeter and invoke it — the reply
+   doubles as an end-to-end barrier (stream delivery is in-order, so a
+   served invocation proves every earlier frame was processed). *)
+let protocol_sender tr ~mode ~objects ~distinct ~nonconf ~handles
+    ?batch_bytes ~tdesc_binary () =
+  let started = Unix.gettimeofday () in
+  let sender =
+    Peer.create ~mode ~handles ?batch_bytes ~tdesc_binary ~transport:tr
+      sender_addr
+  in
+  let receiver_done = ref false in
+  Peer.set_gossip_handler sender (fun ~src:_ ~kind ~body:_ ->
+      if kind = "protocol-done" then receiver_done := true);
+  Peer.install_assembly sender (Demo.news_assembly ());
+  let flavors =
+    Array.init distinct (fun i ->
+        if i < nonconf then Workload.Trap_missing else Workload.Conformant)
+  in
+  Array.iteri
+    (fun i flavor ->
+      Peer.publish_assembly sender (Workload.family ~index:i ~flavor))
+    flavors;
+  for n = 0 to objects - 1 do
+    let index = n mod distinct in
+    let v =
+      Workload.make_person (Peer.registry sender) ~index
+        ~flavor:flavors.(index)
+        ~name:(Printf.sprintf "p%d" n) ~age:n
+    in
+    Peer.send_value sender ~dst:receiver_addr v;
+    (* Interleave polling so subprotocol requests (tdesc/assembly
+       fetches) are served while the workload streams. *)
+    ignore (Transport.poll tr ~timeout_ms:0.)
+  done;
+  let rref =
+    { Peer.rr_host = receiver_addr; rr_id = 0; rr_class = Demo.news_person }
+  in
+  let greeting =
+    match Peer.acquire sender rref ~interest:Demo.news_person with
+    | Error e -> Error ("acquire: " ^ e)
+    | Ok proxy -> (
+        match Proxy.invoke (Peer.registry sender) proxy "greet" [] with
+        | Value.Vstring s -> Ok s
+        | v -> Error ("greet returned " ^ Value.to_string v)
+        | exception Eval.Runtime_error m -> Error ("greet: " ^ m))
+  in
+  (* Keep serving fetches until the receiver confirms every object hit a
+     terminal verdict; only then is it safe to hang up. *)
+  let all_done =
+    Transport.drive_until tr
+      ~deadline_ms:(Transport.now_ms tr +. 30_000.)
+      (fun () -> !receiver_done)
+  in
+  let wall_ms = 1000. *. (Unix.gettimeofday () -. started) in
+  let stats = Transport.stats tr in
+  Format.printf "sender: objects=%d wall=%.1f ms tx-bytes=%d reconnects=%d@."
+    objects wall_ms (Stats.total_bytes stats)
+    (Transport.retransmissions tr);
+  Format.printf "%a@." Stats.pp stats;
+  if handles then
+    Format.printf "handles: hits=%d misses=%d renegotiations=%d@."
+      (Peer.handle_hits sender) (Peer.handle_misses sender)
+      (Peer.renegotiations sender);
+  if batch_bytes <> None then
+    Format.printf "batching: frames=%d envelopes=%d bytes-saved=%d@."
+      (Peer.batch_messages sender)
+      (Peer.batch_envelopes sender)
+      (Peer.batch_bytes_saved sender);
+  (match greeting with
+  | Ok s -> Format.printf "remote greet() = %S@." s
+  | Error e -> Format.printf "remote greet FAILED: %s@." e);
+  if not all_done then
+    Format.printf "receiver never confirmed completion@.";
+  (* Hanging up is the receiver's signal to stop driving. *)
+  Transport.close tr;
+  match greeting with Ok _ when all_done -> 0 | _ -> 1
+
+let run_stream_protocol kind ~mode ~objects ~distinct ~nonconf ~handles
+    ?batch_bytes ~tdesc_binary ~listen ~connect () =
+  let sender_side tr =
+    protocol_sender tr ~mode ~objects ~distinct ~nonconf ~handles
+      ?batch_bytes ~tdesc_binary ()
+  and receiver_side tr =
+    protocol_receiver tr ~mode ~objects ~distinct ~nonconf ~handles
+      ?batch_bytes ~tdesc_binary ()
+  in
+  match (listen, connect) with
+  | Some _, Some _ -> `Error (false, "--listen and --connect are exclusive")
+  | Some spec, None ->
+      let tr = stream_fabric kind ~metrics:(Metrics.create ()) () in
+      Transport.set_bind tr receiver_addr spec;
+      `Ok (receiver_side tr)
+  | None, Some spec ->
+      let tr = stream_fabric kind ~metrics:(Metrics.create ()) () in
+      Transport.register_remote tr receiver_addr spec;
+      `Ok (sender_side tr)
+  | None, None ->
+      (* Forked loopback: child = receiver, parent = sender. Unix
+         sockets rendezvous on a fresh temp directory; TCP pre-opens the
+         listener before forking so there is no port race. *)
+      flush stdout;
+      flush stderr;
+      let fork_with ~child ~parent =
+        match Unix.fork () with
+        | 0 ->
+            let status = try child () with _ -> 2 in
+            Stdlib.exit status
+        | pid ->
+            let sender_status = try parent () with _ -> 2 in
+            let _, child_st = Unix.waitpid [] pid in
+            let child_status =
+              match child_st with Unix.WEXITED n -> n | _ -> 2
+            in
+            `Ok (max sender_status child_status)
+      in
+      (match kind with
+      | Transport.Unix_socket ->
+          let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "pti-proto-%d" (Unix.getpid ()))
+          in
+          (try Unix.mkdir dir 0o700
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let spec = Filename.concat dir (receiver_addr ^ ".sock") in
+          fork_with
+            ~child:(fun () ->
+              let tr = stream_fabric kind ~dir ~metrics:(Metrics.create ()) () in
+              Transport.set_bind tr receiver_addr spec;
+              receiver_side tr)
+            ~parent:(fun () ->
+              let tr = stream_fabric kind ~dir ~metrics:(Metrics.create ()) () in
+              Transport.register_remote tr receiver_addr spec;
+              let s = sender_side tr in
+              (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+              s)
+      | Transport.Tcp ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+          Unix.listen fd 16;
+          let spec =
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (ip, port) ->
+                Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+            | _ -> assert false
+          in
+          fork_with
+            ~child:(fun () ->
+              let tr = stream_fabric kind ~metrics:(Metrics.create ()) () in
+              Transport.set_bind_fd tr receiver_addr fd;
+              receiver_side tr)
+            ~parent:(fun () ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              let tr = stream_fabric kind ~metrics:(Metrics.create ()) () in
+              Transport.register_remote tr receiver_addr spec;
+              sender_side tr)
+      | Transport.Sim -> assert false)
+
+let transport_conv =
+  let parse s =
+    match Transport.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown transport %S (sim|unix|tcp)" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Transport.kind_name k) in
+  Arg.conv (parse, print)
+
+let transport_arg =
+  Arg.(value
+       & opt transport_conv Transport.Sim
+       & info [ "transport" ] ~docv:"BACKEND"
+           ~doc:"Network backend: $(b,sim) (in-process deterministic \
+                 simulator), $(b,unix) (unix-domain stream sockets) or \
+                 $(b,tcp). The stream backends run the same protocol \
+                 cross-process: by default the command forks a receiver \
+                 child; use $(b,--listen)/$(b,--connect) to run the two \
+                 roles yourself.")
+
+let listen_arg =
+  Arg.(value & opt (some string) None
+       & info [ "listen" ] ~docv:"SPEC"
+           ~doc:"Run only the receiver role, listening at SPEC (a socket \
+                 path for $(b,--transport unix), $(i,host:port) for \
+                 $(b,tcp)).")
+
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"SPEC"
+           ~doc:"Run only the sender role, dialing a receiver started \
+                 with $(b,--listen) at SPEC.")
+
 let workload_args =
   let objects =
     Arg.(value & opt int 60
@@ -467,44 +751,55 @@ let protocol_cmd =
                    (XML stays the fallback).")
   in
   let run objects distinct nonconf eager show_metrics handles batch_bytes
-      tdesc_binary =
+      tdesc_binary transport listen connect =
     if not (validate_workload objects distinct nonconf) then
       `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
     else begin
       let mode = if eager then Peer.Eager else Peer.Optimistic in
-      let metrics = Metrics.create () in
-      let net, sender, delivered, rejected =
-        run_workload ~mode ~objects ~distinct ~nonconf ~metrics ~handles
-          ?batch_bytes ~tdesc_binary ()
-      in
-      Format.printf
-        "mode=%s objects=%d distinct=%d nonconf=%d@.delivered=%d rejected=%d \
-         completion=%.1f ms@.%a@."
-        (if eager then "eager" else "optimistic")
-        objects distinct nonconf delivered rejected (Net.now_ms net) Stats.pp
-        (Net.stats net);
-      if handles then
-        Format.printf "handles: hits=%d misses=%d renegotiations=%d@."
-          (Peer.handle_hits sender)
-          (Peer.handle_misses sender)
-          (Peer.renegotiations sender);
-      if batch_bytes <> None then
-        Format.printf "batching: frames=%d envelopes=%d bytes-saved=%d@."
-          (Peer.batch_messages sender)
-          (Peer.batch_envelopes sender)
-          (Peer.batch_bytes_saved sender);
-      if show_metrics then
-        Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
-      `Ok 0
+      match transport with
+      | Transport.Unix_socket | Transport.Tcp ->
+          run_stream_protocol transport ~mode ~objects ~distinct ~nonconf
+            ~handles ?batch_bytes ~tdesc_binary ~listen ~connect ()
+      | Transport.Sim when listen <> None || connect <> None ->
+          `Error (false, "--listen/--connect need --transport unix or tcp")
+      | Transport.Sim ->
+          let metrics = Metrics.create () in
+          let net, sender, delivered, rejected =
+            run_workload ~mode ~objects ~distinct ~nonconf ~metrics ~handles
+              ?batch_bytes ~tdesc_binary ()
+          in
+          Format.printf
+            "mode=%s objects=%d distinct=%d nonconf=%d@.delivered=%d \
+             rejected=%d completion=%.1f ms@.%a@."
+            (if eager then "eager" else "optimistic")
+            objects distinct nonconf delivered rejected (Net.now_ms net)
+            Stats.pp (Net.stats net);
+          if handles then
+            Format.printf "handles: hits=%d misses=%d renegotiations=%d@."
+              (Peer.handle_hits sender)
+              (Peer.handle_misses sender)
+              (Peer.renegotiations sender);
+          if batch_bytes <> None then
+            Format.printf "batching: frames=%d envelopes=%d bytes-saved=%d@."
+              (Peer.batch_messages sender)
+              (Peer.batch_envelopes sender)
+              (Peer.batch_bytes_saved sender);
+          if show_metrics then
+            Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
+          `Ok 0
     end
   in
   Cmd.v
     (Cmd.info "protocol"
-       ~doc:"Transfer a synthetic workload and report wire traffic (E5).")
+       ~doc:"Transfer a synthetic workload and report wire traffic (E5). \
+             With $(b,--transport unix) or $(b,tcp) the same workload \
+             runs cross-process over real sockets, finishing with a \
+             remote invocation as an end-to-end barrier.")
     Term.(
       ret
         (const run $ objects $ distinct $ nonconf $ eager $ show_metrics
-        $ handles $ batch_bytes $ tdesc_binary))
+        $ handles $ batch_bytes $ tdesc_binary $ transport_arg $ listen_arg
+        $ connect_arg))
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -704,7 +999,7 @@ let cluster_cmd =
                                     snapshot (cluster.* included).")
   in
   let run peers factor objects distinct rounds crash_origin eager
-      show_metrics =
+      show_metrics transport =
     if peers < 3 then `Error (false, "need --peers >= 3 (origin, relay, receiver)")
     else if factor < 1 || factor > peers then
       `Error (false, "need 1 <= --factor <= --peers")
@@ -715,11 +1010,18 @@ let cluster_cmd =
       let module Node = Pti_cluster.Node in
       let mode = if eager then Peer.Eager else Peer.Optimistic in
       let metrics = Metrics.create () in
-      let net = Net.create ~seed:17L ~metrics () in
+      (* sim: the deterministic simulator. unix/tcp: every node on one
+         in-process stream fabric — each peer gets a real listening
+         socket and traffic crosses the kernel. *)
+      let tr =
+        match transport with
+        | Transport.Sim -> Transport.of_net (Net.create ~seed:17L ~metrics ())
+        | k -> stream_fabric k ~metrics ()
+      in
       let addrs = List.init peers (fun i -> Printf.sprintf "p%d" (i + 1)) in
       let c =
         Cluster.create ~mode ~metrics ~factor ~request_timeout_ms:500.
-          ~probe_timeout_ms:250. ~net addrs
+          ~probe_timeout_ms:250. ~transport:tr addrs
       in
       let origin = List.hd addrs in
       let origin_node = Cluster.node c origin in
@@ -778,7 +1080,7 @@ let cluster_cmd =
             ~name:(Printf.sprintf "p%d" n) ~age:n
         in
         Peer.send_value relay_peer ~dst:receiver v;
-        Net.run net
+        Transport.run tr
       done;
       let rejected =
         List.length
@@ -795,7 +1097,7 @@ let cluster_cmd =
         origin relay receiver (String.concat ", " holders);
       Format.printf
         "delivered=%d/%d rejected=%d completion=%.1f ms@." !delivered objects
-        rejected (Net.now_ms net);
+        rejected (Transport.now_ms tr);
       Format.printf
         "receiver: fetch attempts=%d retries=%d failovers=%d known \
          mirrors(first family)=%d@."
@@ -814,9 +1116,10 @@ let cluster_cmd =
       let total f = List.fold_left (fun acc n -> acc + f n) 0 (Cluster.nodes c) in
       Format.printf "gossip: rounds=%d digest-bytes=%d@."
         (total Node.gossip_rounds) (total Node.digest_bytes);
-      Format.printf "%a@." Stats.pp (Net.stats net);
+      Format.printf "%a@." Stats.pp (Transport.stats tr);
       if show_metrics then
         Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
+      Transport.close tr;
       `Ok (if !delivered = objects then 0 else 1)
     end
   in
@@ -826,11 +1129,13 @@ let cluster_cmd =
              descriptions and mirror paths, assemblies are placed with \
              factor-K replication, and (with $(b,--crash-origin)) \
              deliveries survive the publisher's crash through mirror \
-             failover. Exits 1 unless every object is delivered.")
+             failover. Exits 1 unless every object is delivered. With \
+             $(b,--transport unix) or $(b,tcp) every node listens on a \
+             real socket and all traffic crosses the kernel.")
     Term.(
       ret
         (const run $ peers $ factor $ objects $ distinct $ rounds
-        $ crash_origin $ eager $ show_metrics))
+        $ crash_origin $ eager $ show_metrics $ transport_arg))
 
 (* ------------------------------- demo ------------------------------ *)
 
@@ -944,9 +1249,12 @@ let chaos_cmd =
        ~doc:"Execute N seeded fault schedules against the protocol and \
              check its invariants (delivery conservation, exactly-once, \
              no mangled values, trap rejection, verdict stability, \
-             membership convergence, metrics-vs-trace). A failing \
-             schedule is shrunk to a minimal reproducing plan. Exits 1 \
-             on any invariant violation.")
+             membership convergence, metrics-vs-trace). Faults are \
+             armed as transport middleware on the deterministic sim \
+             backend — the same hook record the socket backends accept, \
+             but with reproducible seeded schedules. A failing schedule \
+             is shrunk to a minimal reproducing plan. Exits 1 on any \
+             invariant violation.")
     Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects $ wire))
 
 (* ------------------------------ explore ---------------------------- *)
@@ -1092,9 +1400,12 @@ let explore_cmd =
        ~doc:"Systematically explore message/action interleavings of a \
              closed fault-free scenario with a stateless DFS model \
              checker (sleep-set DPOR + visited-state hashing), checking \
-             the chaos invariant set at every terminal state. A failing \
-             schedule is ddmin-shrunk to a minimal replayable \
-             $(b,--schedule) string. Exits 1 on any violation.")
+             the chaos invariant set at every terminal state. The \
+             explorer is pinned to the sim transport backend — only the \
+             simulator exposes the deterministic enabled-event set it \
+             schedules against. A failing schedule is ddmin-shrunk to a \
+             minimal replayable $(b,--schedule) string. Exits 1 on any \
+             violation.")
     Term.(ret
             (const run $ scenario $ peers $ objects $ depth $ budget
              $ max_seconds $ schedule $ no_dpor $ no_hash $ fanout_bug))

@@ -1,6 +1,4 @@
 module Peer = Pti_core.Peer
-module Net = Pti_net.Net
-module Sim = Pti_net.Sim
 module Metrics = Pti_obs.Metrics
 
 type lending = {
@@ -101,9 +99,12 @@ let borrow ?lease_ms t borrower ~interest =
               (match lease_ms with
               | None -> ()
               | Some delay ->
-                  Sim.schedule
-                    (Net.sim (Peer.net borrower))
-                    ~delay
+                  Peer.schedule_timer borrower
+                    ~info:
+                      (Printf.sprintf "lease-expiry %s@%s"
+                         lending.resource.Peer.rr_class
+                         lending.resource.Peer.rr_host)
+                    ~delay_ms:delay
                     (fun () -> release lease));
               Ok (proxy, lease)
             end)

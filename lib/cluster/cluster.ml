@@ -1,24 +1,33 @@
 module Net = Pti_net.Net
+module Transport = Pti_transport.Transport
 module Peer = Pti_core.Peer
 module Message = Pti_core.Message
 
 type t = {
-  net : Message.t Net.t;
+  tr : Message.t Transport.t;
   nodes : (string * Node.t) list;  (* creation order *)
 }
 
 let create ?mode ?codec ?metrics ?(factor = 2) ?(seed = 7L)
     ?request_timeout_ms ?fetch_retries ?fetch_backoff_ms ?probe_timeout_ms
     ?handles ?batch_bytes ?tdesc_binary ?handle_table_capacity
-    ?piggyback_interval_ms ~net addrs =
+    ?piggyback_interval_ms ?net ?transport addrs =
   if addrs = [] then invalid_arg "Cluster.create: no addresses";
+  let tr =
+    match (net, transport) with
+    | Some n, None -> Transport.of_net n
+    | None, Some tr -> tr
+    | Some _, Some _ ->
+        invalid_arg "Cluster.create: pass ~net or ~transport, not both"
+    | None, None -> invalid_arg "Cluster.create: needs ~net or ~transport"
+  in
   let nodes =
     List.mapi
       (fun i addr ->
         let peer =
           Peer.create ?mode ?codec ?metrics ?request_timeout_ms
             ?fetch_retries ?fetch_backoff_ms ?handles ?batch_bytes
-            ?tdesc_binary ?handle_table_capacity ~net addr
+            ?tdesc_binary ?handle_table_capacity ~transport:tr addr
         in
         (* Distinct deterministic streams per node: same cluster seed,
            different partner choices. *)
@@ -28,12 +37,19 @@ let create ?mode ?codec ?metrics ?(factor = 2) ?(seed = 7L)
             ?piggyback_interval_ms peer ))
       addrs
   in
-  let t = { net; nodes } in
+  let t = { tr; nodes } in
   (* Common bootstrap: everyone starts knowing the full roster. *)
   List.iter (fun (_, n) -> Node.join n addrs) nodes;
   t
 
-let net t = t.net
+let transport t = t.tr
+let net t =
+  match Transport.sim_net t.tr with
+  | Some n -> n
+  | None ->
+      invalid_arg
+        "Cluster.net: cluster runs on a socket transport, not the simulated \
+         network"
 let addresses t = List.map fst t.nodes
 let nodes t = List.map snd t.nodes
 
@@ -44,23 +60,24 @@ let node t addr =
 
 let peer t addr = Node.peer (node t addr)
 
-let run t = Net.run t.net
+let run t = Transport.run t.tr
 
 let run_rounds t n =
   for _ = 1 to n do
     List.iter (fun (_, node) -> Node.tick node) t.nodes;
-    Net.run t.net
+    Transport.run t.tr
   done
 
 (* A crash is a partition from everyone at once: the host stays
-   registered on the network (in-flight and future traffic to it is
+   registered on the transport (in-flight and future traffic to it is
    dropped) and the survivors' failure detectors notice on their own. *)
 let crash t addr =
   List.iter
-    (fun (other, _) -> if other <> addr then Net.partition t.net addr other)
+    (fun (other, _) ->
+      if other <> addr then Transport.partition t.tr addr other)
     t.nodes
 
 let heal t addr =
   List.iter
-    (fun (other, _) -> if other <> addr then Net.heal t.net addr other)
+    (fun (other, _) -> if other <> addr then Transport.heal t.tr addr other)
     t.nodes

@@ -1,9 +1,11 @@
-(** A harness over a set of {!Node}s sharing one simulated network —
-    what the CLI, the E9 bench and the integration tests drive.
+(** A harness over a set of {!Node}s sharing one transport — what the
+    CLI, the E9 bench and the integration tests drive.
 
     The harness owns nothing the nodes do not: it creates one peer +
     node per address, bootstraps membership with the full roster, and
-    offers round-driving and whole-host crash/heal conveniences. *)
+    offers round-driving and whole-host crash/heal conveniences. The
+    transport may be the simulated network (deterministic, the
+    default for tests) or a socket fabric. *)
 
 type t
 
@@ -13,15 +15,25 @@ val create : ?mode:Pti_core.Peer.mode -> ?codec:Pti_serial.Envelope.codec ->
   ?fetch_backoff_ms:float -> ?probe_timeout_ms:float ->
   ?handles:bool -> ?batch_bytes:int -> ?tdesc_binary:bool ->
   ?handle_table_capacity:int -> ?piggyback_interval_ms:float ->
-  net:Pti_core.Message.t Pti_net.Net.t -> string list -> t
-(** One peer + node per address, registered on [net]. [factor] is the
-    replication factor of every {!Node.publish} (default 2); [seed]
-    derives each node's deterministic gossip-partner stream; the
-    remaining knobs pass through to {!Pti_core.Peer.create} /
-    {!Node.create}.
-    @raise Invalid_argument on an empty address list. *)
+  ?net:Pti_core.Message.t Pti_net.Net.t ->
+  ?transport:Pti_core.Message.t Pti_transport.Transport.t ->
+  string list -> t
+(** One peer + node per address, registered on the given fabric —
+    exactly one of [~net] (simulated network, wrapped) or
+    [~transport]. [factor] is the replication factor of every
+    {!Node.publish} (default 2); [seed] derives each node's
+    deterministic gossip-partner stream; the remaining knobs pass
+    through to {!Pti_core.Peer.create} / {!Node.create}.
+    @raise Invalid_argument on an empty address list, or unless
+    exactly one of [~net] / [~transport] is given. *)
+
+val transport : t -> Pti_core.Message.t Pti_transport.Transport.t
 
 val net : t -> Pti_core.Message.t Pti_net.Net.t
+(** The underlying simulated network.
+    @raise Invalid_argument when the cluster runs on a socket
+    transport. *)
+
 val addresses : t -> string list
 (** Creation order. *)
 
@@ -32,11 +44,11 @@ val node : t -> string -> Node.t
 val peer : t -> string -> Pti_core.Peer.t
 
 val run : t -> unit
-(** Run the shared simulation to quiescence. *)
+(** Drive the shared transport to quiescence. *)
 
 val run_rounds : t -> int -> unit
-(** [n] gossip rounds: every node {!Node.tick}s, then the network runs
-    to quiescence; repeat. *)
+(** [n] gossip rounds: every node {!Node.tick}s, then the transport
+    runs to quiescence; repeat. *)
 
 val crash : t -> string -> unit
 (** Partition the address from every other cluster member — in-flight

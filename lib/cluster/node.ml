@@ -1,5 +1,3 @@
-module Net = Pti_net.Net
-module Sim = Pti_net.Sim
 module Stats = Pti_net.Stats
 module Metrics = Pti_obs.Metrics
 module Splitmix = Pti_util.Splitmix
@@ -232,7 +230,7 @@ let on_gossip t ~src ~kind ~body =
           | Some (sent_at, partner) when String.equal partner src ->
               Hashtbl.remove t.inflight m.Digest.g_token;
               Stats.record_rtt t.stats ~peer:src
-                ~ms:(Sim.now (Net.sim (Peer.net t.peer)) -. sent_at)
+                ~ms:(Peer.now_ms t.peer -. sent_at)
           | _ -> ());
           absorb_summary t m;
           (* Third leg: push back whatever the responder still lacks. *)
@@ -285,18 +283,16 @@ let tick t =
   | _ ->
       let partner = Splitmix.pick t.rng (Array.of_list partners) in
       let token = fresh_token t in
-      let sim = Net.sim (Peer.net t.peer) in
-      Hashtbl.replace t.inflight token (Sim.now sim, partner);
+      Hashtbl.replace t.inflight token (Peer.now_ms t.peer, partner);
       let digest = own_summary t ~token ~descs:[] in
       send_gossip t ~dst:partner ~kind:"digest" (Digest.encode digest);
       (* Failure detection: an exchange that never completes degrades the
-         partner (alive -> suspect -> dead). One-shot timer, so the
-         simulation still quiesces between rounds. *)
-      Sim.schedule sim
-        ~label:
-          (Sim.Timer
-             { owner = t.addr; info = Printf.sprintf "probe-timeout#%d" token })
-        ~delay:t.probe_timeout_ms
+         partner (alive -> suspect -> dead). One-shot timer (on the
+         transport clock), so the simulation still quiesces between
+         rounds. *)
+      Peer.schedule_timer t.peer
+        ~info:(Printf.sprintf "probe-timeout#%d" token)
+        ~delay_ms:t.probe_timeout_ms
         (fun () ->
           if Hashtbl.mem t.inflight token then begin
             Hashtbl.remove t.inflight token;
@@ -396,7 +392,7 @@ let fingerprint t =
 let piggyback_for t ~dst =
   if not (Hashtbl.mem t.members dst) then []
   else begin
-    let now = Sim.now (Net.sim (Peer.net t.peer)) in
+    let now = Peer.now_ms t.peer in
     let due =
       match Hashtbl.find_opt t.piggy_last dst with
       | Some last -> now -. last >= t.piggyback_interval_ms

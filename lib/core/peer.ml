@@ -1,6 +1,6 @@
 open Pti_cts
 module Net = Pti_net.Net
-module Sim = Pti_net.Sim
+module Transport = Pti_transport.Transport
 module Td = Pti_typedesc.Type_description
 module Checker = Pti_conformance.Checker
 module Config = Pti_conformance.Config
@@ -92,7 +92,10 @@ type batch_buf = {
 
 type t = {
   addr : string;
-  net : Message.t Net.t;
+  tr : Message.t Transport.t;
+  (* Filled right after construction (the endpoint handler closes over
+     [t]); always [Some] once [create] returns. *)
+  mutable ep : Message.t Transport.endpoint option;
   reg : Registry.t;
   repo : Repository.t;
   peer_mode : mode;
@@ -160,7 +163,22 @@ let registry t = t.reg
 let checker t = t.checker
 let proxy_context t = t.px
 let mode t = t.peer_mode
-let net t = t.net
+let transport t = t.tr
+let now_ms t = Transport.now_ms t.tr
+
+let net t =
+  match Transport.sim_net t.tr with
+  | Some n -> n
+  | None ->
+      invalid_arg
+        "Peer.net: peer runs on a socket transport, not the simulated network"
+
+let endpoint t =
+  match t.ep with Some e -> e | None -> assert false
+
+let schedule_timer t ~info ~delay_ms f =
+  Transport.timer t.tr ~owner:t.addr ~info ~delay_ms f
+
 let metrics t = t.metrics
 let events t = Ring.to_list t.event_log
 let clear_events t = Ring.clear t.event_log
@@ -188,7 +206,7 @@ let drop_handle_tables t =
      its assignments so re-binds reuse the same numbers. *)
   Hashtbl.iter (fun _ r -> Ht.clear_receiver r) t.h_recv
 
-let run t = Net.run t.net
+let run t = Transport.run t.tr
 
 let log_event t e =
   Log.debug (fun m -> m "[%s] %a" t.addr pp_event e);
@@ -246,7 +264,7 @@ let send t ~dst msg =
   (* [Message.describe] includes subprotocol tokens, so concurrently
      pending deliveries get distinguishable event labels — the model
      checker's sleep sets identify events by label. *)
-  Net.send t.net ~info:(Message.describe msg) ~src:t.addr ~dst
+  Transport.send (endpoint t) ~info:(Message.describe msg) ~dst
     ~category:(Message.category msg) ~size:(Message.size msg) msg
 
 (* ---------------------------------------------------------------- *)
@@ -261,11 +279,9 @@ let default_request_timeout_ms = 10_000.
 
 let arm_timeout t conts token =
   let cancel =
-    Sim.schedule_cancellable (Net.sim t.net)
-      ~label:
-        (Sim.Timer
-           { owner = t.addr; info = Printf.sprintf "request-timeout#%d" token })
-      ~delay:t.request_timeout_ms
+    Transport.timer_cancellable t.tr ~owner:t.addr
+      ~info:(Printf.sprintf "request-timeout#%d" token)
+      ~delay_ms:t.request_timeout_ms
       (fun () ->
         match Hashtbl.find_opt conts token with
         | None -> ()
@@ -397,14 +413,8 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
                       let delay =
                         t.fetch_backoff_ms *. (2. ** float_of_int n)
                       in
-                      Sim.schedule (Net.sim t.net)
-                        ~label:
-                          (Sim.Timer
-                             {
-                               owner = t.addr;
-                               info = "fetch-backoff " ^ asm_name;
-                             })
-                        ~delay
+                      Transport.timer t.tr ~owner:t.addr
+                        ~info:("fetch-backoff " ^ asm_name) ~delay_ms:delay
                         (fun () -> attempt (n + 1))
                     end
                     else try_candidate ~first:false rest)
@@ -598,9 +608,8 @@ let park_envelope t ~from ~budget msg_env tdescs assemblies =
     }
   in
   pk.pk_cancel <-
-    Sim.schedule_cancellable (Net.sim t.net)
-      ~label:(Sim.Timer { owner = t.addr; info = "renego-timeout " ^ from })
-      ~delay:t.request_timeout_ms
+    Transport.timer_cancellable t.tr ~owner:t.addr
+      ~info:("renego-timeout " ^ from) ~delay_ms:t.request_timeout_ms
       (fun () ->
         if List.memq pk !lst then begin
           lst := List.filter (fun p -> p != pk) !lst;
@@ -857,11 +866,9 @@ let handle t ~src msg =
                   if retries > 0 then
                     (* Back off before re-asking so the re-request can
                        outlive a corruption burst. *)
-                    Sim.schedule (Net.sim t.net)
-                      ~label:
-                        (Sim.Timer
-                           { owner = t.addr; info = "tdesc-reask " ^ type_name })
-                      ~delay:t.fetch_backoff_ms
+                    Transport.timer t.tr ~owner:t.addr
+                      ~info:("tdesc-reask " ^ type_name)
+                      ~delay_ms:t.fetch_backoff_ms
                       (fun () ->
                         request_tdesc ~retries:(retries - 1) t ~from:src
                           type_name k)
@@ -988,7 +995,18 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(request_timeout_ms = default_request_timeout_ms)
     ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ?(handles = false)
     ?batch_bytes ?(tdesc_binary = false) ?(handle_table_capacity = 512)
-    ?(share_inflight = true) ~net:network addr =
+    ?(share_inflight = true) ?net:network ?transport addr =
+  (* Exactly one of [~net] (the historical simulated-network form, kept
+     so the deterministic suites construct peers unchanged) or
+     [~transport] (any backend). *)
+  let tr =
+    match (network, transport) with
+    | Some n, None -> Transport.of_net n
+    | None, Some tr -> tr
+    | Some _, Some _ ->
+        invalid_arg "Peer.create: pass either ~net or ~transport, not both"
+    | None, None -> invalid_arg "Peer.create: a ~net or ~transport is required"
+  in
   let reg = Registry.create () in
   let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
   let resolver name =
@@ -1008,7 +1026,8 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
   let t =
     {
       addr;
-      net = network;
+      tr;
+      ep = None;
       reg;
       repo = Repository.create ();
       peer_mode = mode;
@@ -1049,7 +1068,7 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       wire_ctrs = bind_wire_metrics m ~addr;
     }
   in
-  Net.add_host network addr ~handler:(fun ~net:_ ~src msg -> handle t ~src msg);
+  t.ep <- Some (Transport.add_endpoint tr addr ~handler:(fun ~src msg -> handle t ~src msg));
   t
 
 let publish_assembly t asm =
@@ -1253,9 +1272,7 @@ let enqueue_part t ~dst ~budget envelope tdescs assemblies =
   if bb.bb_bytes >= budget then flush_batch t ~dst
   else if not bb.bb_scheduled then begin
     bb.bb_scheduled <- true;
-    Sim.schedule (Net.sim t.net)
-      ~label:(Sim.Act { owner = t.addr; info = "batch-flush " ^ dst })
-      ~delay:0.
+    Transport.act t.tr ~owner:t.addr ~info:("batch-flush " ^ dst) ~delay_ms:0.
       (fun () -> flush_batch t ~dst)
   end
 
@@ -1305,12 +1322,18 @@ let send_value t ~dst value =
 (* Synchronous helpers (drive the shared simulation)                  *)
 (* ---------------------------------------------------------------- *)
 
+(* Sim: step the shared simulation until the predicate holds or the
+   event queue drains (historical behavior, unchanged). Streams: poll
+   the fabric with a real deadline scaled from the request timeout, so
+   a lost reply degrades instead of spinning forever. *)
 let drive_until t pred =
-  let continue = ref true in
-  while (not (pred ())) && !continue do
-    if not (Sim.step (Net.sim t.net)) then continue := false
-  done;
-  pred ()
+  match Transport.sim_net t.tr with
+  | Some _ -> Transport.drive_until t.tr pred
+  | None ->
+      let deadline =
+        Transport.now_ms t.tr +. Float.max 1_000. (3. *. t.request_timeout_ms)
+      in
+      Transport.drive_until t.tr ~deadline_ms:deadline pred
 
 let fetch_type_description t ~from name =
   match local_desc t name with

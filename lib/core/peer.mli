@@ -55,8 +55,14 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?request_timeout_ms:float -> ?fetch_retries:int ->
   ?fetch_backoff_ms:float -> ?handles:bool -> ?batch_bytes:int ->
   ?tdesc_binary:bool -> ?handle_table_capacity:int ->
-  ?share_inflight:bool -> net:Message.t Pti_net.Net.t -> string -> t
-(** [create ~net address] registers the peer on the network. Defaults:
+  ?share_inflight:bool -> ?net:Message.t Pti_net.Net.t ->
+  ?transport:Message.t Pti_transport.Transport.t -> string -> t
+(** [create ~net address] (or [create ~transport address]) registers the
+    peer on the network. Exactly one of [net] / [transport] is required:
+    [~net] is the historical simulated-network form (internally wrapped
+    in a sim {!Pti_transport.Transport.t}, bit-identical behavior);
+    [~transport] accepts any backend — the same peer then runs over the
+    simulator, Unix-domain sockets or TCP unchanged. Defaults:
     optimistic mode, binary payload codec, strict conformance rules.
 
     Every cache the peer keeps is bounded and observable: the type
@@ -93,7 +99,25 @@ val registry : t -> Registry.t
 val checker : t -> Pti_conformance.Checker.t
 val proxy_context : t -> Pti_proxy.Dynamic_proxy.context
 val mode : t -> mode
+
 val net : t -> Message.t Pti_net.Net.t
+(** The wrapped simulated network.
+    @raise Invalid_argument on a socket-backed peer — use {!transport}. *)
+
+val transport : t -> Message.t Pti_transport.Transport.t
+(** The transport fabric the peer drives (any backend). *)
+
+val now_ms : t -> float
+(** The transport clock's current time: simulated ms on the sim
+    backend, monotonic wall ms on sockets. Layers above the peer (the
+    cluster's RTT EWMAs, gossip timestamps) must read time here, never
+    from [Sim] directly, to be correct on real transports. *)
+
+val schedule_timer : t -> info:string -> delay_ms:float ->
+  (unit -> unit) -> unit
+(** Schedule a guard timer owned by this peer's address on the
+    transport clock — on the sim backend this produces the exact
+    [Sim.Timer] label the model checker keys on. *)
 
 (** {1 Code} *)
 

@@ -1,6 +1,7 @@
 module Splitmix = Pti_util.Splitmix
 module Net = Pti_net.Net
 module Sim = Pti_net.Sim
+module Transport = Pti_transport.Transport
 module Stats = Pti_net.Stats
 module Trace = Pti_net.Trace
 module Metrics = Pti_obs.Metrics
@@ -100,6 +101,11 @@ let run_one ?plan config ~seed =
       ~metrics ()
   in
   let sim = Net.sim net in
+  (* One shared facade over the sim: peers attach to it, and the fault
+     hooks arm through it — the same middleware seam the socket
+     backends use. The mc/trace machinery stays on the raw net
+     (sim-only escape hatch). *)
+  let tr = Transport.of_net net in
   let trace = Trace.attach net in
   let hosts =
     if config.c_cluster then [ "n0"; "n1"; "n2"; "n3" ] else [ "alice"; "bob" ]
@@ -125,7 +131,7 @@ let run_one ?plan config ~seed =
       let cl =
         Cluster.create ~factor:2 ~seed:cluster_seed ~request_timeout_ms:800.
           ~fetch_retries:3 ~fetch_backoff_ms:150. ~probe_timeout_ms:300.
-          ~handles ?batch_bytes ~tdesc_binary ~net hosts
+          ~handles ?batch_bytes ~tdesc_binary ~transport:tr hosts
       in
       ( Some cl,
         Cluster.peer cl "n0",
@@ -135,7 +141,8 @@ let run_one ?plan config ~seed =
     else begin
       let mk a =
         Peer.create ~metrics ~request_timeout_ms:800. ~fetch_retries:3
-          ~fetch_backoff_ms:150. ~handles ?batch_bytes ~tdesc_binary ~net a
+          ~fetch_backoff_ms:150. ~handles ?batch_bytes ~tdesc_binary
+          ~transport:tr a
       in
       let alice = mk "alice" in
       let bob = mk "bob" in
@@ -200,11 +207,11 @@ let run_one ?plan config ~seed =
         (Cluster.nodes cl));
   (* Arm the faults and run the world. *)
   let hook_rng = Splitmix.create hook_seed in
-  Net.set_fault_hooks net
+  Transport.set_fault_hooks tr
     (Some (Fault_plan.hooks plan ~rng:hook_rng ~corrupt:Corruptor.corrupt_message));
   if config.c_frame_integrity then
-    Net.set_integrity net (Some Corruptor.frame_intact);
-  Net.run net;
+    Transport.set_integrity tr (Some Corruptor.frame_intact);
+  Transport.run tr;
   (* Heal: all windows are behind us once the run quiesces; give gossip
      a few quiet rounds to re-converge, then snapshot membership. *)
   let membership_violations =
@@ -305,10 +312,10 @@ let run_one ?plan config ~seed =
     r_corrupt_rejects =
       List.fold_left (fun acc p -> acc + Peer.corrupt_rejects p) 0 peers;
     r_net_lost = net_lost;
-    r_retransmissions = Net.retransmissions net;
-    r_injected_drops = Net.injected_drops net;
-    r_corrupted_frames = Net.corrupted_frames net;
-    r_integrity_drops = Net.integrity_drops net;
+    r_retransmissions = Transport.retransmissions tr;
+    r_injected_drops = Transport.injected_drops tr;
+    r_corrupted_frames = Transport.corrupted_frames tr;
+    r_integrity_drops = Transport.integrity_drops tr;
     r_renegotiations = Peer.renegotiations receiver;
     r_violations = violations;
   }

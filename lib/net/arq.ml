@@ -1,0 +1,35 @@
+type policy = {
+  retransmit_ms : float;
+  max_retries : int;
+  ack_bytes : int;
+}
+
+let default = { retransmit_ms = 50.; max_retries = 5; ack_bytes = 16 }
+
+let backoff_ms p ~attempt =
+  let exp = Float.min 5. (float_of_int (max 0 attempt)) in
+  Float.min (p.retransmit_ms *. 32.) (p.retransmit_ms *. Float.pow 2. exp)
+
+let give_up p ~attempt = attempt > p.max_retries
+
+module Ledger = struct
+  type t = {
+    mutable next_id : int;
+    acked : (int, unit) Hashtbl.t;
+    delivered : (int, unit) Hashtbl.t;
+  }
+
+  let create () =
+    { next_id = 0; acked = Hashtbl.create 64; delivered = Hashtbl.create 64 }
+
+  let fresh_id t =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    id
+
+  let mark_acked t id = Hashtbl.replace t.acked id ()
+  let is_acked t id = Hashtbl.mem t.acked id
+  let mark_delivered t id = Hashtbl.replace t.delivered id ()
+  let is_delivered t id = Hashtbl.mem t.delivered id
+  let issued t = t.next_id
+end

@@ -2,14 +2,15 @@ module Splitmix = Pti_util.Splitmix
 
 type address = string
 
-type reliability = {
+(* The knobs live in [Arq] so the socket transports can reuse the same
+   policy record (reconnect backoff mirrors the retry schedule). *)
+type reliability = Arq.policy = {
   retransmit_ms : float;
   max_retries : int;
   ack_bytes : int;
 }
 
-let default_reliability =
-  { retransmit_ms = 50.; max_retries = 5; ack_bytes = 16 }
+let default_reliability = Arq.default
 
 type 'a fault_hooks = {
   fh_down : now:float -> src:address -> dst:address -> bool;
@@ -41,10 +42,8 @@ type 'a t = {
   known : (address, unit) Hashtbl.t;  (* every address ever registered *)
   links : (string, float * float) Hashtbl.t;  (* "a|b" -> latency,bw *)
   partitions : (string, unit) Hashtbl.t;
-  acked : (int, unit) Hashtbl.t;  (* message ids confirmed by an ack *)
-  delivered : (int, unit) Hashtbl.t;  (* message ids handed to a handler *)
+  ledger : Arq.Ledger.t;  (* ids issued, acks seen, deliveries made *)
   lost_by : (Stats.category, int) Hashtbl.t;
-  mutable next_msg_id : int;
   mutable dropped : int;
   mutable retransmitted : int;
   mutable lost : int;
@@ -78,10 +77,8 @@ let create ?(default_latency_ms = 1.0) ?(default_bandwidth_bpms = 1000.)
     known = Hashtbl.create 16;
     links = Hashtbl.create 16;
     partitions = Hashtbl.create 4;
-    acked = Hashtbl.create 64;
-    delivered = Hashtbl.create 64;
+    ledger = Arq.Ledger.create ();
     lost_by = Hashtbl.create 8;
-    next_msg_id = 0;
     dropped = 0;
     retransmitted = 0;
     lost = 0;
@@ -241,8 +238,7 @@ let send t ?info ~src ~dst ~category ~size payload =
         end
       done
   | Some r ->
-      let msg_id = t.next_msg_id in
-      t.next_msg_id <- msg_id + 1;
+      let msg_id = Arq.Ledger.fresh_id t.ledger in
       let sent_at = Sim.now t.sim in
       (* On (each) arrival: deliver exactly once, always (re-)ack. A
          partition cut mid-flight loses the attempt (the retransmission
@@ -252,14 +248,14 @@ let send t ?info ~src ~dst ~category ~size payload =
       let on_arrival payload () =
         if severed t ~src ~dst then t.dropped <- t.dropped + 1
         else if frame_ok t payload then begin
-          if not (Hashtbl.mem t.delivered msg_id) then begin
+          if not (Arq.Ledger.is_delivered t.ledger msg_id) then begin
             if deliver t ~src ~dst payload then begin
-              Hashtbl.add t.delivered msg_id ();
+              Arq.Ledger.mark_delivered t.ledger msg_id;
               Stats.record_latency t.stats category
                 ~ms:(Sim.now t.sim -. sent_at)
             end
           end;
-          if Hashtbl.mem t.delivered msg_id then begin
+          if Arq.Ledger.is_delivered t.ledger msg_id then begin
             (* The ack travels back and may itself be lost. *)
             Stats.record t.stats Stats.Control ~bytes:r.ack_bytes;
             if attempt_lost t ~src:dst ~dst:src then
@@ -275,7 +271,7 @@ let send t ?info ~src ~dst ~category ~size payload =
               Sim.schedule t.sim ~label:ack_label ~delay:ack_delay (fun () ->
                   if severed t ~src:dst ~dst:src then
                     t.dropped <- t.dropped + 1
-                  else Hashtbl.replace t.acked msg_id ())
+                  else Arq.Ledger.mark_acked t.ledger msg_id)
             end
           end
         end
@@ -305,9 +301,9 @@ let send t ?info ~src ~dst ~category ~size payload =
             { owner = src; info = Printf.sprintf "retransmit#%d" msg_id }
         in
         Sim.schedule t.sim ~label:timer_label ~delay:r.retransmit_ms (fun () ->
-            if not (Hashtbl.mem t.acked msg_id) then
+            if not (Arq.Ledger.is_acked t.ledger msg_id) then
               if n < r.max_retries then attempt (n + 1)
-              else if not (Hashtbl.mem t.delivered msg_id) then
+              else if not (Arq.Ledger.is_delivered t.ledger msg_id) then
                 count_lost t category)
       in
       attempt 0

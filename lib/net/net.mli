@@ -19,11 +19,13 @@
 
 type address = string
 
-type reliability = {
+type reliability = Arq.policy = {
   retransmit_ms : float;  (** Timer before an unacked send is retried. *)
   max_retries : int;  (** Attempts beyond the first before giving up. *)
   ack_bytes : int;  (** Wire size charged per acknowledgement. *)
 }
+(** Alias of {!Arq.policy}: the same knobs configure the sim ARQ here
+    and reconnect-with-backoff in the socket transports. *)
 
 val default_reliability : reliability
 (** 50 ms timer, 5 retries, 16-byte acks. *)

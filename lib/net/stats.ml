@@ -42,6 +42,10 @@ let index = function
 
 let ncat = List.length all_categories
 
+let of_index i =
+  if i < 0 || i >= ncat then invalid_arg "Stats.of_index"
+  else List.nth all_categories i
+
 module Metrics = Pti_obs.Metrics
 
 (* Latency samples per category, with a memoized sorted view: percentile

@@ -23,6 +23,13 @@ type category =
 val all_categories : category list
 val category_name : category -> string
 
+val index : category -> int
+(** Stable small-integer code (position in {!all_categories}) — the
+    one-byte category tag the stream transports put on each frame. *)
+
+val of_index : int -> category
+(** Inverse of {!index}. @raise Invalid_argument out of range. *)
+
 type t
 
 val create : ?metrics:Pti_obs.Metrics.t -> unit -> t

@@ -27,18 +27,14 @@ type t = {
 let magic = "PTIF\x01"
 let header_len = String.length magic + 8
 
-let string_list w l =
-  W.varint w (List.length l);
-  List.iter (W.string w) l
-
 let encode t =
   let w = W.create () in
   W.varint w (List.length t.parts);
   List.iter
     (fun p ->
       W.string w p.p_envelope;
-      string_list w p.p_tdescs;
-      string_list w p.p_assemblies)
+      Framing.write_string_list w p.p_tdescs;
+      Framing.write_string_list w p.p_assemblies)
     t.parts;
   W.varint w (List.length t.piggyback);
   List.iter
@@ -60,13 +56,7 @@ let checked_body s =
       Error "batch-frame checksum mismatch"
     else Ok body
 
-(* Explicit recursion: the element reader is effectful, so evaluation
-   order must be the wire order. *)
-let read_list r f =
-  let n = R.varint r in
-  if n < 0 || n > 100_000 then failwith "bad list length";
-  let rec go acc k = if k = 0 then List.rev acc else go (f r :: acc) (k - 1) in
-  go [] n
+let read_list = Framing.read_list
 
 let decode s =
   match checked_body s with

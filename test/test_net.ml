@@ -508,6 +508,193 @@ let prop_arq_duplication_exactly_once =
       (not doubly)
       && Hashtbl.length delivered + Net.lost_for net Stats.Object_msg = n)
 
+(* ---------------------------------------------------------------- *)
+(* Clock: sim passthrough pin + monotonic timer wheel                 *)
+(* ---------------------------------------------------------------- *)
+
+module Clock = Pti_net.Clock
+
+(* The regression test promised by clock.mli: scheduling through a
+   sim-backed Clock must leave the simulator's pending-event set
+   bit-identical (same labels, same timestamps, same sequence numbers)
+   to scheduling against Sim directly — the model checker's schedules
+   and fingerprints are keyed on exactly that set. *)
+let test_clock_sim_labels_verbatim () =
+  let direct = Sim.create () in
+  let wrapped_sim = Sim.create () in
+  let clock = Clock.of_sim wrapped_sim in
+  let trace_a = ref [] and trace_b = ref [] in
+  let record tr tag () = tr := tag :: !tr in
+  (* Same schedule sequence on both sides. *)
+  Sim.schedule direct
+    ~label:(Sim.Timer { owner = "a"; info = "req-timeout#1" })
+    ~delay:25. (record trace_a "timer");
+  Sim.schedule direct
+    ~label:(Sim.Act { owner = "a"; info = "batch-flush" })
+    ~delay:5. (record trace_a "act");
+  Sim.schedule direct
+    ~label:(Sim.Timer { owner = "b"; info = "lease" })
+    ~delay:25. (record trace_a "timer2");
+  Clock.schedule clock
+    ~label:(Clock.Timer { owner = "a"; info = "req-timeout#1" })
+    ~delay_ms:25. (record trace_b "timer");
+  Clock.schedule clock
+    ~label:(Clock.Act { owner = "a"; info = "batch-flush" })
+    ~delay_ms:5. (record trace_b "act");
+  Clock.schedule clock
+    ~label:(Clock.Timer { owner = "b"; info = "lease" })
+    ~delay_ms:25. (record trace_b "timer2");
+  let summarize sim =
+    List.map
+      (fun { Sim.i_at; i_seq; i_label } ->
+        Format.asprintf "%g/%d/%a" i_at i_seq Sim.pp_label i_label)
+      (Sim.pending_events sim)
+  in
+  Alcotest.(check (list string))
+    "pending-event sets identical" (summarize direct)
+    (summarize wrapped_sim);
+  Sim.run direct;
+  Sim.run wrapped_sim;
+  Alcotest.(check (list string))
+    "firing order identical" (List.rev !trace_a) (List.rev !trace_b)
+
+let test_clock_sim_passthrough () =
+  let sim = Sim.create () in
+  let clock = Clock.of_sim sim in
+  Alcotest.(check bool) "is_sim" true (Clock.is_sim clock);
+  Alcotest.(check bool) "sim exposed" true
+    (match Clock.sim clock with Some s -> s == sim | None -> false);
+  Clock.schedule clock
+    ~label:(Clock.Act { owner = "x"; info = "a" })
+    ~delay_ms:3.
+    (fun () -> ());
+  Alcotest.(check int) "tick is a no-op" 0 (Clock.tick clock);
+  Alcotest.(check bool) "no monotonic deadline" true
+    (Clock.next_due_ms clock = None);
+  Alcotest.(check int) "no monotonic pending" 0 (Clock.pending clock);
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "now_ms tracks Sim.now" (Sim.now sim)
+    (Clock.now_ms clock)
+
+let fake_clock start =
+  let now = ref start in
+  let clock = Clock.monotonic ~now:(fun () -> !now) () in
+  (clock, now)
+
+let test_clock_monotonic_order () =
+  let clock, now = fake_clock 1000. in
+  let trace = ref [] in
+  let record tag () = trace := tag :: !trace in
+  let lbl i = Clock.Timer { owner = "t"; info = i } in
+  Clock.schedule clock ~label:(lbl "late") ~delay_ms:20. (record "late");
+  Clock.schedule clock ~label:(lbl "early") ~delay_ms:5. (record "early");
+  Clock.schedule clock ~label:(lbl "tie-1") ~delay_ms:10. (record "tie-1");
+  Clock.schedule clock ~label:(lbl "tie-2") ~delay_ms:10. (record "tie-2");
+  Alcotest.(check int) "all pending" 4 (Clock.pending clock);
+  Alcotest.(check int) "nothing due yet" 0 (Clock.tick clock);
+  now := 1012.;
+  Alcotest.(check int) "three due" 3 (Clock.tick clock);
+  Alcotest.(check (list string))
+    "deadline then schedule order"
+    [ "early"; "tie-1"; "tie-2" ]
+    (List.rev !trace);
+  now := 1050.;
+  Alcotest.(check int) "last fires" 1 (Clock.tick clock);
+  Alcotest.(check int) "drained" 0 (Clock.pending clock)
+
+let test_clock_monotonic_reentrant_tick () =
+  let clock, now = fake_clock 0. in
+  let trace = ref [] in
+  let lbl i = Clock.Act { owner = "t"; info = i } in
+  Clock.schedule clock ~label:(lbl "outer") ~delay_ms:5. (fun () ->
+      trace := "outer" :: !trace;
+      (* Already due when scheduled — must fire within this same tick. *)
+      Clock.schedule clock ~label:(lbl "inner") ~delay_ms:0. (fun () ->
+          trace := "inner" :: !trace));
+  now := 10.;
+  Alcotest.(check int) "both fire in one tick" 2 (Clock.tick clock);
+  Alcotest.(check (list string)) "outer before inner" [ "outer"; "inner" ]
+    (List.rev !trace)
+
+let test_clock_monotonic_cancel_idempotent () =
+  let clock, now = fake_clock 0. in
+  let fired = ref 0 in
+  let lbl = Clock.Timer { owner = "t"; info = "guard" } in
+  let cancel =
+    Clock.schedule_cancellable clock ~label:lbl ~delay_ms:5. (fun () ->
+        incr fired)
+  in
+  Clock.schedule clock ~label:lbl ~delay_ms:5. (fun () -> incr fired);
+  cancel ();
+  cancel ();
+  (* second cancel must be harmless *)
+  now := 20.;
+  Alcotest.(check int) "only the live timer fires" 1 (Clock.tick clock);
+  Alcotest.(check int) "fired once" 1 !fired
+
+let test_clock_monotonic_next_due () =
+  let clock, now = fake_clock 100. in
+  Alcotest.(check bool) "empty -> None" true (Clock.next_due_ms clock = None);
+  Clock.schedule clock
+    ~label:(Clock.Timer { owner = "t"; info = "g" })
+    ~delay_ms:10.
+    (fun () -> ());
+  (match Clock.next_due_ms clock with
+  | Some d -> Alcotest.(check (float 1e-9)) "due in 10ms" 10. d
+  | None -> Alcotest.fail "expected a deadline");
+  now := 125.;
+  Alcotest.(check bool) "overdue -> Some 0." true
+    (Clock.next_due_ms clock = Some 0.);
+  ignore (Clock.tick clock);
+  Alcotest.(check bool) "drained -> None" true (Clock.next_due_ms clock = None)
+
+let test_clock_monotonic_clamped () =
+  let clock, now = fake_clock 1000. in
+  Alcotest.(check (float 1e-9)) "private epoch" 0. (Clock.now_ms clock);
+  now := 1040.;
+  Alcotest.(check (float 1e-9)) "advances" 40. (Clock.now_ms clock);
+  now := 900.;
+  (* system clock stepped backwards *)
+  Alcotest.(check (float 1e-9)) "never goes backwards" 40.
+    (Clock.now_ms clock);
+  now := 1060.;
+  Alcotest.(check (float 1e-9)) "resumes" 60. (Clock.now_ms clock)
+
+(* ---------------------------------------------------------------- *)
+(* Arq: pure reliability bookkeeping                                  *)
+(* ---------------------------------------------------------------- *)
+
+module Arq = Pti_net.Arq
+
+let test_arq_backoff_schedule () =
+  let p = { Arq.retransmit_ms = 50.; max_retries = 8; ack_bytes = 16 } in
+  Alcotest.(check (float 1e-9)) "attempt 0" 50. (Arq.backoff_ms p ~attempt:0);
+  Alcotest.(check (float 1e-9)) "attempt 1" 100. (Arq.backoff_ms p ~attempt:1);
+  Alcotest.(check (float 1e-9)) "attempt 4" 800. (Arq.backoff_ms p ~attempt:4);
+  Alcotest.(check (float 1e-9)) "capped at 32x" 1600.
+    (Arq.backoff_ms p ~attempt:5);
+  Alcotest.(check (float 1e-9)) "stays capped" 1600.
+    (Arq.backoff_ms p ~attempt:40)
+
+let test_arq_give_up_boundary () =
+  let p = { Arq.default with Arq.max_retries = 3 } in
+  Alcotest.(check bool) "within budget" false (Arq.give_up p ~attempt:3);
+  Alcotest.(check bool) "one past budget" true (Arq.give_up p ~attempt:4)
+
+let test_arq_ledger () =
+  let l = Arq.Ledger.create () in
+  Alcotest.(check int) "first id" 0 (Arq.Ledger.fresh_id l);
+  Alcotest.(check int) "second id" 1 (Arq.Ledger.fresh_id l);
+  Alcotest.(check int) "issued" 2 (Arq.Ledger.issued l);
+  Alcotest.(check bool) "not acked yet" false (Arq.Ledger.is_acked l 0);
+  Arq.Ledger.mark_acked l 0;
+  Alcotest.(check bool) "acked" true (Arq.Ledger.is_acked l 0);
+  Alcotest.(check bool) "ack is per-id" false (Arq.Ledger.is_acked l 1);
+  Alcotest.(check bool) "not delivered yet" false (Arq.Ledger.is_delivered l 1);
+  Arq.Ledger.mark_delivered l 1;
+  Alcotest.(check bool) "delivered" true (Arq.Ledger.is_delivered l 1);
+  Alcotest.(check bool) "delivery is per-id" false (Arq.Ledger.is_delivered l 0)
+
 let () =
   Alcotest.run "net"
     [
@@ -557,6 +744,31 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_arq_model;
           QCheck_alcotest.to_alcotest prop_arq_duplication_exactly_once;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "sim labels verbatim" `Quick
+            test_clock_sim_labels_verbatim;
+          Alcotest.test_case "sim passthrough" `Quick
+            test_clock_sim_passthrough;
+          Alcotest.test_case "monotonic firing order" `Quick
+            test_clock_monotonic_order;
+          Alcotest.test_case "re-entrant tick" `Quick
+            test_clock_monotonic_reentrant_tick;
+          Alcotest.test_case "cancel idempotent" `Quick
+            test_clock_monotonic_cancel_idempotent;
+          Alcotest.test_case "next_due_ms" `Quick
+            test_clock_monotonic_next_due;
+          Alcotest.test_case "clamped non-decreasing" `Quick
+            test_clock_monotonic_clamped;
+        ] );
+      ( "arq-policy",
+        [
+          Alcotest.test_case "backoff schedule" `Quick
+            test_arq_backoff_schedule;
+          Alcotest.test_case "give_up boundary" `Quick
+            test_arq_give_up_boundary;
+          Alcotest.test_case "ledger" `Quick test_arq_ledger;
         ] );
       ( "stats",
         [

@@ -765,6 +765,110 @@ let test_bind_frame_roundtrip_and_corruption () =
     | Ok _ -> Alcotest.failf "flip at %d decoded" pos
   done
 
+(* ----------------------------- framing ----------------------------- *)
+
+module Framing = Pti_serial.Framing
+
+(* Drain every complete frame currently poppable. *)
+let drain dec =
+  let rec go acc =
+    match Framing.Decoder.pop dec with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  go []
+
+let test_framing_split_at_every_boundary () =
+  let payloads = [ ""; "x"; String.make 300 'y'; "tail" ] in
+  let wire = String.concat "" (List.map Framing.encode payloads) in
+  (* For every split point: frames completed by the prefix pop early,
+     and prefix-frames + suffix-frames = all frames, in order. *)
+  for i = 0 to String.length wire do
+    let dec = Framing.Decoder.create () in
+    Framing.Decoder.feed dec (String.sub wire 0 i);
+    let first =
+      match drain dec with Ok l -> l | Error e -> Alcotest.failf "%s" e
+    in
+    Framing.Decoder.feed dec (String.sub wire i (String.length wire - i));
+    let second =
+      match drain dec with Ok l -> l | Error e -> Alcotest.failf "%s" e
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "split at %d" i)
+      payloads (first @ second)
+  done
+
+let test_framing_byte_at_a_time () =
+  let payloads = [ "a"; String.make 200 'b'; "" ] in
+  let wire = String.concat "" (List.map Framing.encode payloads) in
+  let dec = Framing.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Framing.Decoder.feed dec (String.make 1 c);
+      match drain dec with
+      | Ok l -> got := !got @ l
+      | Error e -> Alcotest.failf "byte feed: %s" e)
+    wire;
+  Alcotest.(check (list string)) "all frames" payloads !got;
+  Alcotest.(check int) "nothing buffered" 0 (Framing.Decoder.buffered dec)
+
+let test_framing_oversize_rejected () =
+  let dec = Framing.Decoder.create ~max_frame:10 () in
+  Framing.Decoder.feed dec (Framing.encode (String.make 11 'z'));
+  match Framing.Decoder.pop dec with
+  | Error e ->
+      Alcotest.(check bool) "mentions limit" true
+        (String.length e > 0
+        && String.length e >= 5
+        && String.sub e 0 5 = "frame")
+  | Ok _ -> Alcotest.fail "oversize frame accepted"
+
+let test_framing_unterminated_varint () =
+  let dec = Framing.Decoder.create () in
+  Framing.Decoder.feed dec (String.make 11 '\xff');
+  match Framing.Decoder.pop dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "runaway varint accepted"
+
+let test_framing_overhead () =
+  Alcotest.(check int) "1-byte prefix" 1 (Framing.frame_overhead 0);
+  Alcotest.(check int) "1-byte prefix max" 1 (Framing.frame_overhead 127);
+  Alcotest.(check int) "2-byte prefix" 2 (Framing.frame_overhead 128);
+  Alcotest.(check int) "3-byte prefix" 3 (Framing.frame_overhead 20_000);
+  List.iter
+    (fun n ->
+      let p = String.make n 'q' in
+      Alcotest.(check int)
+        (Printf.sprintf "encode length %d" n)
+        (n + Framing.frame_overhead n)
+        (String.length (Framing.encode p)))
+    [ 0; 1; 127; 128; 300 ]
+
+(* Random payload lists survive random re-chunking of the byte stream. *)
+let prop_framing_rechunk_roundtrip =
+  QCheck.Test.make ~name:"framing roundtrip under random chunking" ~count:200
+    QCheck.(pair (small_list (string_of_size Gen.(0 -- 400))) (0 -- 1_000_000))
+    (fun (payloads, seed) ->
+      let wire = String.concat "" (List.map Framing.encode payloads) in
+      let st = Random.State.make [| seed |] in
+      let dec = Framing.Decoder.create () in
+      let got = ref [] in
+      let pos = ref 0 in
+      let ok = ref true in
+      while !pos < String.length wire && !ok do
+        let n =
+          1 + Random.State.int st (max 1 (String.length wire - !pos))
+        in
+        Framing.Decoder.feed dec ~off:!pos ~len:n wire;
+        pos := !pos + n;
+        match drain dec with
+        | Ok l -> got := !got @ l
+        | Error _ -> ok := false
+      done;
+      !ok && !got = payloads && Framing.Decoder.buffered dec = 0)
+
 let () =
   Alcotest.run "serial"
     [
@@ -828,6 +932,19 @@ let () =
           Alcotest.test_case "bind frame roundtrip + corruption" `Quick
             test_bind_frame_roundtrip_and_corruption;
           QCheck_alcotest.to_alcotest prop_batch_frame_flip_always_detected;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "split at every byte boundary" `Quick
+            test_framing_split_at_every_boundary;
+          Alcotest.test_case "byte-at-a-time feed" `Quick
+            test_framing_byte_at_a_time;
+          Alcotest.test_case "oversize frame rejected" `Quick
+            test_framing_oversize_rejected;
+          Alcotest.test_case "unterminated varint rejected" `Quick
+            test_framing_unterminated_varint;
+          Alcotest.test_case "prefix overhead" `Quick test_framing_overhead;
+          QCheck_alcotest.to_alcotest prop_framing_rechunk_roundtrip;
         ] );
       ( "properties",
         [
