@@ -12,6 +12,7 @@
    E11        wire efficiency: type handles, batching, binary tdescs
    E12        systematic exploration: DPOR + state-hash pruning power
    E13        transport backends: sim vs unix-domain vs TCP sockets
+   E14        population scale: the million-session flyweight simulator
 
    E1-E4 are Bechamel micro-benchmarks; E5/E6 are deterministic simulated
    experiments printed as tables. Absolute numbers differ from the paper's
@@ -41,7 +42,12 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 
 (* --json FILE: machine-readable run summary, one object per group mapping
    row names to the measured value (OLS ns/op for Bechamel groups, bytes
-   or rates for the protocol tables). *)
+   or rates for the protocol tables). The "E14" group carries the
+   population-scale rows, one "<N> <field>" entry per swept session
+   count, mirroring the [scale.*] metric namespace `pti stats --scale`
+   exposes: deliv/s (scale.deliveries_per_sec), p50/p99 ms
+   (scale.latency_ms quantiles), tdesc hit (scale.cache.tdesc_hit_rate),
+   flash tdesc (scale.flash.tdesc_fetches) and wall ms. *)
 let json_file =
   let rec scan i =
     if i + 1 >= Array.length Sys.argv then None
@@ -1551,6 +1557,56 @@ let e13 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E14: population scale -- the million-session flyweight simulator     *)
+(* ------------------------------------------------------------------ *)
+
+module Scale = Pti_scale.Driver
+
+let e14 () =
+  hr ();
+  print_endline
+    "E14 population scale: flyweight sessions over the discrete-event \
+     simulator";
+  hr ();
+  let sweep = if quick then [ 1_000; 5_000 ] else [ 1_000; 10_000; 100_000 ] in
+  Printf.printf
+    "\n\
+    \  N zipf(1.1) sessions, churn 0.5, 2 sends each, flash crowd at\n\
+    \  30 s: a brand-new hot type hits every live session at once and\n\
+    \  the in-flight dedup must hold its fetches at O(shards). All\n\
+    \  shards share one Peer flyweight block. Deliveries/sec is\n\
+    \  sustained simulated throughput; wall ms is host time for the\n\
+    \  whole run.\n\n";
+  Printf.printf "  %9s | %9s %7s %7s | %9s %11s | %9s\n" "sessions" "deliv/s"
+    "p50 ms" "p99 ms" "tdesc hit" "flash tdesc" "wall ms";
+  let e14_rows = ref [] in
+  List.iter
+    (fun sessions ->
+      let cfg =
+        { Scale.default_config with Scale.sessions;
+          flash_at_ms = Some 30_000. }
+      in
+      let started = Unix.gettimeofday () in
+      let r = Scale.run cfg in
+      let wall_ms = 1000. *. (Unix.gettimeofday () -. started) in
+      assert (r.Scale.r_undelivered = 0);
+      Printf.printf "  %9d | %9.0f %7.2f %7.2f | %9.4f %11d | %9.0f\n" sessions
+        r.Scale.r_deliveries_per_sec r.Scale.r_p50_ms r.Scale.r_p99_ms
+        r.Scale.r_tdesc_hit_rate r.Scale.r_flash_tdesc_fetches wall_ms;
+      let tag fmt = Printf.sprintf ("%d " ^^ fmt) sessions in
+      e14_rows :=
+        (tag "wall ms", wall_ms)
+        :: (tag "flash tdesc", float_of_int r.Scale.r_flash_tdesc_fetches)
+        :: (tag "tdesc hit", r.Scale.r_tdesc_hit_rate)
+        :: (tag "p99 ms", r.Scale.r_p99_ms)
+        :: (tag "p50 ms", r.Scale.r_p50_ms)
+        :: (tag "deliv/s", r.Scale.r_deliveries_per_sec)
+        :: !e14_rows)
+    sweep;
+  record_group "E14" (List.rev !e14_rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Pragmatic Type Interoperability -- benchmark suite%s\n\n"
@@ -1571,6 +1627,7 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  e14 ();
   hr ();
   write_json ();
   print_endline "Done. See EXPERIMENTS.md for paper-vs-measured discussion."

@@ -29,6 +29,7 @@ module Chaos = Pti_fault.Chaos
 module Transport = Pti_transport.Transport
 module Message_wire = Pti_core.Message_wire
 module Proxy = Pti_proxy.Dynamic_proxy
+module Scale_driver = Pti_scale.Driver
 
 let read_file path =
   try
@@ -819,33 +820,257 @@ let stats_cmd =
          & info [ "checker-cache" ] ~docv:"N"
              ~doc:"Capacity of each peer's conformance-verdict cache.")
   in
-  let run objects distinct nonconf eager json tdesc_cache checker_cache =
-    if not (validate_workload objects distinct nonconf) then
-      `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
-    else begin
-      let mode = if eager then Peer.Eager else Peer.Optimistic in
-      let metrics = Metrics.create () in
-      let _net, _sender, _delivered, _rejected =
-        run_workload ~mode ~objects ~distinct ~nonconf ~metrics
-          ?tdesc_cache_capacity:tdesc_cache
-          ?checker_cache_capacity:checker_cache ()
-      in
-      let snap = Metrics.snapshot metrics in
-      if json then print_endline (Metrics.to_json snap)
-      else Format.printf "%a@." Metrics.pp snap;
-      `Ok 0
-    end
+  let scale =
+    Arg.(value & opt (some int) None
+         & info [ "scale" ] ~docv:"N"
+             ~doc:"Instead of the two-peer workload, drive the scale \
+                   simulator with N sessions and snapshot its registry — \
+                   the $(b,scale.*) namespace (session/send/delivery \
+                   counters, the scale.latency_ms histogram, cache-rate \
+                   gauges) alongside the usual net.* and peer.* metrics.")
+  in
+  let run objects distinct nonconf eager json tdesc_cache checker_cache scale =
+    match scale with
+    | Some sessions when sessions > 0 ->
+        let metrics = Metrics.create () in
+        let cfg = { Scale_driver.default_config with sessions } in
+        ignore (Scale_driver.run ~metrics cfg);
+        let snap = Metrics.snapshot metrics in
+        if json then print_endline (Metrics.to_json snap)
+        else Format.printf "%a@." Metrics.pp snap;
+        `Ok 0
+    | Some _ -> `Error (false, "--scale needs a positive session count")
+    | None ->
+        if not (validate_workload objects distinct nonconf) then
+          `Error (false, "need objects > 0 and 0 <= nonconf <= distinct > 0")
+        else begin
+          let mode = if eager then Peer.Eager else Peer.Optimistic in
+          let metrics = Metrics.create () in
+          let _net, _sender, _delivered, _rejected =
+            run_workload ~mode ~objects ~distinct ~nonconf ~metrics
+              ?tdesc_cache_capacity:tdesc_cache
+              ?checker_cache_capacity:checker_cache ()
+          in
+          let snap = Metrics.snapshot metrics in
+          if json then print_endline (Metrics.to_json snap)
+          else Format.printf "%a@." Metrics.pp snap;
+          `Ok 0
+        end
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Run the protocol workload against one shared metrics registry \
-             and print the full snapshot: per-peer cache hit/miss/eviction \
-             counters, checker verdict-cache reuse, network latency \
-             histograms and traffic gauges.")
+       ~doc:"Run the protocol workload (or, with $(b,--scale), the \
+             population-scale simulator) against one shared metrics \
+             registry and print the full snapshot: per-peer cache \
+             hit/miss/eviction counters, checker verdict-cache reuse, \
+             network latency histograms, traffic gauges and the scale.* \
+             namespace.")
     Term.(
       ret
         (const run $ objects $ distinct $ nonconf $ eager $ json $ tdesc_cache
-        $ checker_cache))
+        $ checker_cache $ scale))
+
+(* ------------------------------ scale ------------------------------ *)
+
+(* One scale run with wall-clock timing; JSON rows accumulate so --sweep
+   emits the whole E14 curve in a single file. *)
+let scale_run_one cfg =
+  let started = Unix.gettimeofday () in
+  let report = Scale_driver.run cfg in
+  let wall_ms = 1000. *. (Unix.gettimeofday () -. started) in
+  (report, wall_ms)
+
+let scale_cmd =
+  let sessions =
+    Arg.(value & opt int 10_000
+         & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent-session population.")
+  in
+  let families =
+    Arg.(value & opt int 16
+         & info [ "families" ] ~docv:"K"
+             ~doc:"Distinct type families in the zipf popularity curve.")
+  in
+  let trap_families =
+    Arg.(value & opt int 2
+         & info [ "trap-families" ] ~docv:"M"
+             ~doc:"Least-popular ranks that are non-conformant traps \
+                   (rejected before any code download).")
+  in
+  let sends =
+    Arg.(value & opt int 2
+         & info [ "sends" ] ~docv:"S"
+             ~doc:"Envelopes per session over its lifetime.")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1
+         & info [ "zipf" ] ~docv:"EXP"
+             ~doc:"Zipf popularity exponent (0 = uniform).")
+  in
+  let churn =
+    Arg.(value & opt float 0.5
+         & info [ "churn" ] ~docv:"C"
+             ~doc:"Session turnover: 0 = immortal sessions, larger = \
+                   shorter exponential lifetimes.")
+  in
+  let flash_at =
+    Arg.(value & opt (some float) None
+         & info [ "flash-at" ] ~docv:"MS"
+             ~doc:"Simulated instant at which a brand-new hot type \
+                   thunders over every live session (exercises in-flight \
+                   fetch dedup at scale).")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Workload seed; equal seeds give bit-identical traces.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"R"
+             ~doc:"Receiving endpoints sharing the one flyweight block.")
+  in
+  let horizon =
+    Arg.(value & opt float 60_000.
+         & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Simulated run length.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the report(s) as JSON to FILE ($(b,-) for stdout).")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"N1,N2,..."
+             ~doc:"Run once per population size and report the whole \
+                   curve (E14); overrides $(b,--sessions).")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI mode: run twice and fail (exit 1) unless deliveries \
+                   are nonzero, nothing is left undelivered, same-seed \
+                   trace hashes agree, and a flash crowd collapsed to \
+                   O(shards) fetches.")
+  in
+  let run sessions families trap_families sends zipf churn flash_at seed
+      shards horizon json_out sweep smoke =
+    let cfg =
+      {
+        Scale_driver.sessions;
+        families;
+        trap_families;
+        sends_per_session = sends;
+        zipf_s = zipf;
+        churn;
+        flash_at_ms = flash_at;
+        seed = Int64.of_int seed;
+        shards;
+        horizon_ms = horizon;
+      }
+    in
+    let sizes =
+      match sweep with
+      | None -> Ok [ sessions ]
+      | Some s -> (
+          try
+            Ok
+              (String.split_on_char ',' s
+              |> List.filter (fun x -> String.trim x <> "")
+              |> List.map (fun x -> int_of_string (String.trim x)))
+          with Failure _ -> Error (Printf.sprintf "bad --sweep list %S" s))
+    in
+    match sizes with
+    | Error e -> `Error (false, e)
+    | Ok [] -> `Error (false, "--sweep needs at least one size")
+    | Ok sizes -> (
+        try
+          (* With --json - the JSON owns stdout; human reports move to
+             stderr so the output stays machine-parseable in a pipe. *)
+          let human =
+            if json_out = Some "-" then Format.err_formatter
+            else Format.std_formatter
+          in
+          let rows =
+            List.map
+              (fun n ->
+                let cfg = { cfg with Scale_driver.sessions = n } in
+                let report, wall_ms = scale_run_one cfg in
+                Format.fprintf human "%a@.wall %.0f ms@.@."
+                  Scale_driver.pp_report report wall_ms;
+                let ok =
+                  if not smoke then true
+                  else begin
+                    let r = report in
+                    let rerun, _ = scale_run_one cfg in
+                    let dedup_ok =
+                      match cfg.Scale_driver.flash_at_ms with
+                      | None -> true
+                      | Some _ ->
+                          r.Scale_driver.r_flash_sends > 0
+                          && r.Scale_driver.r_flash_tdesc_fetches
+                             <= 4 * cfg.Scale_driver.shards
+                          && r.Scale_driver.r_flash_asm_fetches
+                             <= 2 * cfg.Scale_driver.shards
+                    in
+                    let checks =
+                      [
+                        (r.Scale_driver.r_deliveries > 0, "no deliveries");
+                        (r.Scale_driver.r_undelivered = 0,
+                         "conformant sends left undelivered");
+                        (Int64.equal r.Scale_driver.r_trace_hash
+                           rerun.Scale_driver.r_trace_hash,
+                         "same-seed trace hashes differ");
+                        (dedup_ok, "flash-crowd fetches not O(shards)");
+                      ]
+                    in
+                    List.fold_left
+                      (fun acc (ok, msg) ->
+                        if not ok then
+                          Format.fprintf human "SMOKE FAIL (n=%d): %s@." n
+                            msg;
+                        acc && ok)
+                      true checks
+                  end
+                in
+                (Scale_driver.report_to_json ~wall_ms report, ok))
+              sizes
+          in
+          let all_ok = List.for_all snd rows in
+          (match json_out with
+          | None -> ()
+          | Some dst ->
+              let body =
+                Printf.sprintf
+                  "{\"experiment\":\"E14-scale\",\"runs\":[%s]}\n"
+                  (String.concat "," (List.map fst rows))
+              in
+              if dst = "-" then print_string body
+              else begin
+                let oc = open_out dst in
+                output_string oc body;
+                close_out oc;
+                Format.printf "wrote %s@." dst
+              end);
+          if smoke then
+            Format.fprintf human "scale smoke: %s@."
+              (if all_ok then "OK" else "FAILED");
+          `Ok (if all_ok then 0 else 1)
+        with Invalid_argument e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Drive the deterministic population-scale workload simulator: \
+             zipf type popularity, session churn and optional flash \
+             crowds over lightweight sessions that share one flyweight \
+             peer block. Reports sustained deliveries/sec, latency \
+             percentiles, cache hit/reuse rates, flash-crowd dedup \
+             fan-in and the run's trace hash (equal seeds, equal \
+             hashes).")
+    Term.(
+      ret
+        (const run $ sessions $ families $ trap_families $ sends $ zipf
+        $ churn $ flash_at $ seed $ shards $ horizon $ json_out $ sweep
+        $ smoke))
 
 (* ----------------------------- compile ----------------------------- *)
 
@@ -1423,6 +1648,6 @@ let () =
        (Cmd.group info
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
-            protocol_cmd; stats_cmd; cluster_cmd; demo_cmd; chaos_cmd;
-            explore_cmd;
+            protocol_cmd; stats_cmd; scale_cmd; cluster_cmd; demo_cmd;
+            chaos_cmd; explore_cmd;
           ]))

@@ -117,6 +117,13 @@ let stats t =
 
 let cache_counters t = Lru.Str.counters t.cache
 
+let reuse_rate t =
+  (* The paper's headline cost lever at population scale: what fraction
+     of top-level checks the verdict cache answered outright. *)
+  let total = t.st.m_top_hits + t.st.m_top_computes in
+  if total = 0 then 0.
+  else float_of_int t.st.m_top_hits /. float_of_int total
+
 let clear_cache t =
   Lru.Str.clear t.cache;
   Hashtbl.reset t.dep_index

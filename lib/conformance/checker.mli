@@ -123,6 +123,11 @@ type stats = {
 val stats : t -> stats
 val cache_counters : t -> Pti_obs.Lru.counters
 
+val reuse_rate : t -> float
+(** [top_hits / (top_hits + top_computes)] — the fraction of top-level
+    checks answered from the verdict cache ([0.] before any check). The
+    scale bench reports this as the population-scale cache-reuse curve. *)
+
 val note_new_type : t -> string -> int
 (** [note_new_type t name]: a description for [name] just became
     resolvable. Invalidates exactly the cached verdicts whose computation

@@ -90,19 +90,39 @@ type batch_buf = {
   mutable bb_scheduled : bool;
 }
 
+(* The flyweight: every piece of peer state that is intrinsically about
+   *types and code*, not about one endpoint's conversations. A classic
+   peer owns a private block (bit-identical to the historical layout);
+   the scale driver allocates ONE block and threads it through millions
+   of lightweight sessions, so the registry, the served-assembly
+   repository, the tdesc cache, the checker's verdict cache and the
+   receiver handle-table pool are paid for once per process, not once
+   per session. Everything conversational (interests, pending
+   continuations, event log, batches) stays per-[t]. *)
+type shared = {
+  sh_reg : Registry.t;
+  sh_repo : Repository.t;
+  sh_tdesc_cache : Td.t Lru.Str.t;
+  sh_checker : Checker.t;
+  sh_known_paths : string Lru.Str.t;  (* assembly name -> path *)
+  sh_px : Proxy.context;
+  sh_ht_capacity : int;
+  (* Recycled receiver handle tables: a departing session's per-link
+     tables are cleared and parked here; the next arriving session draws
+     from the pool instead of allocating. FIFO, so recycling order is a
+     pure function of departure order (determinism audit). *)
+  sh_ht_pool : Ht.receiver Queue.t;
+}
+
 type t = {
   addr : string;
   tr : Message.t Transport.t;
   (* Filled right after construction (the endpoint handler closes over
      [t]); always [Some] once [create] returns. *)
   mutable ep : Message.t Transport.endpoint option;
-  reg : Registry.t;
-  repo : Repository.t;
+  sh : shared;
   peer_mode : mode;
   codec : Envelope.codec;
-  tdesc_cache : Td.t Lru.Str.t;
-  checker : Checker.t;
-  px : Proxy.context;
   mutable interests :
     (int * string * (from:string -> Value.value -> unit)) list;
   mutable next_interest : int;
@@ -128,7 +148,6 @@ type t = {
   (* Regression flag: [false] reintroduces the fan-out bug the guards
      above fixed, for the model checker's known-bug test. *)
   share_inflight : bool;
-  known_paths : string Lru.Str.t;  (* assembly name -> path *)
   event_log : event Ring.t;
   metrics : Metrics.t;
   evt_ctrs : event_counters;
@@ -149,7 +168,6 @@ type t = {
   handles : bool;
   batch_bytes : int option;
   tdesc_binary : bool;
-  handle_table_capacity : int;
   h_send : (string, Ht.sender) Hashtbl.t;  (* dst -> assigned handles *)
   h_recv : (string, Ht.receiver) Hashtbl.t;  (* src -> learned bindings *)
   parked : (string, parked list ref) Hashtbl.t;  (* src -> waiting *)
@@ -159,9 +177,9 @@ type t = {
 }
 
 let address t = t.addr
-let registry t = t.reg
-let checker t = t.checker
-let proxy_context t = t.px
+let registry t = t.sh.sh_reg
+let checker t = t.sh.sh_checker
+let proxy_context t = t.sh.sh_px
 let mode t = t.peer_mode
 let transport t = t.tr
 let now_ms t = Transport.now_ms t.tr
@@ -183,10 +201,10 @@ let metrics t = t.metrics
 let events t = Ring.to_list t.event_log
 let clear_events t = Ring.clear t.event_log
 let events_dropped t = Ring.dropped t.event_log
-let tdesc_cache_size t = Lru.Str.length t.tdesc_cache
-let tdesc_cache_counters t = Lru.Str.counters t.tdesc_cache
+let tdesc_cache_size t = Lru.Str.length t.sh.sh_tdesc_cache
+let tdesc_cache_counters t = Lru.Str.counters t.sh.sh_tdesc_cache
 let exported_count t = Hashtbl.length t.exported
-let repository t = t.repo
+let repository t = t.sh.sh_repo
 let fetch_attempts t = Metrics.counter_value t.evt_ctrs.mc_fetch_attempts
 let fetch_retries t = Metrics.counter_value t.evt_ctrs.mc_fetch_retries
 let fetch_failovers t = Metrics.counter_value t.evt_ctrs.mc_fetch_failovers
@@ -206,6 +224,22 @@ let drop_handle_tables t =
      its assignments so re-binds reuse the same numbers. *)
   Hashtbl.iter (fun _ r -> Ht.clear_receiver r) t.h_recv
 
+let release_handle_tables t =
+  (* Session teardown: cleared receiver tables go back to the shared
+     pool for the next arrival. Returned in sorted-correspondent order —
+     pool contents must be a pure function of departure order, never of
+     hash-bucket layout (same-seed runs hash-compare traces). *)
+  Hashtbl.fold (fun src _ acc -> src :: acc) t.h_recv []
+  |> List.sort String.compare
+  |> List.iter (fun src ->
+         match Hashtbl.find_opt t.h_recv src with
+         | Some r ->
+             Ht.clear_receiver r;
+             Queue.add r t.sh.sh_ht_pool
+         | None -> ());
+  Hashtbl.reset t.h_recv;
+  Hashtbl.reset t.h_send
+
 let run t = Transport.run t.tr
 
 let log_event t e =
@@ -223,17 +257,17 @@ let lc = String.lowercase_ascii
 
 (* Description lookup: local code first, then the description cache. *)
 let local_desc t name =
-  match Registry.find t.reg name with
+  match Registry.find t.sh.sh_reg name with
   | Some cd -> Some (Td.of_class cd)
-  | None -> Lru.Str.find t.tdesc_cache (lc name)
+  | None -> Lru.Str.find t.sh.sh_tdesc_cache (lc name)
 
 let cache_desc t d =
   let key = lc (Td.qualified_name d) in
-  if not (Lru.Str.mem t.tdesc_cache key) then begin
-    Lru.Str.put t.tdesc_cache key d;
+  if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
+    Lru.Str.put t.sh.sh_tdesc_cache key d;
     (* New knowledge can overturn verdicts that failed on this missing
        type — and only those. Unrelated cached verdicts survive. *)
-    ignore (Checker.note_new_type t.checker (Td.qualified_name d))
+    ignore (Checker.note_new_type t.sh.sh_checker (Td.qualified_name d))
   end
 
 (* Qualified names a description refers to — what else we may need. *)
@@ -405,7 +439,7 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
               Metrics.incr t.evt_ctrs.mc_fetch_attempts;
               request_assembly t ~host ~path (function
                 | Some asm ->
-                    Lru.Str.put t.known_paths (lc asm_name) path;
+                    Lru.Str.put t.sh.sh_known_paths (lc asm_name) path;
                     k (Some (path, asm))
                 | None ->
                     if n < t.fetch_retries then begin
@@ -427,7 +461,7 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
    short-circuits the network entirely, and concurrent fetches of the
    same assembly share one download. *)
 let fetch_assembly_failover t ~asm_name ~advertised k =
-  match Repository.find_by_name t.repo asm_name with
+  match Repository.find_by_name t.sh.sh_repo asm_name with
   | Some (path, asm) -> k (Some (path, asm))
   | None when not t.share_inflight ->
       fetch_assembly_uncached t ~asm_name ~advertised k
@@ -445,7 +479,7 @@ let fetch_assembly_failover t ~asm_name ~advertised k =
 exception Load_error of string * string  (* assembly, reason *)
 
 let load_assembly t asm =
-  try Assembly.load t.reg asm
+  try Assembly.load t.sh.sh_reg asm
   with Registry.Duplicate name ->
     raise
       (Load_error
@@ -459,13 +493,13 @@ let ensure_assemblies t (env : Envelope.t) k =
   (* Remember advertised download paths. *)
   List.iter
     (fun (e : Envelope.type_entry) ->
-      Lru.Str.put t.known_paths (lc e.Envelope.te_assembly)
+      Lru.Str.put t.sh.sh_known_paths (lc e.Envelope.te_assembly)
         e.Envelope.te_download_path)
     env.Envelope.env_types;
   let needed =
     env.Envelope.env_types
     |> List.filter (fun (e : Envelope.type_entry) ->
-           not (Registry.mem_guid t.reg e.Envelope.te_guid))
+           not (Registry.mem_guid t.sh.sh_reg e.Envelope.te_guid))
     |> List.map (fun (e : Envelope.type_entry) ->
            (e.Envelope.te_assembly, e.Envelope.te_download_path))
     |> List.sort_uniq compare
@@ -521,7 +555,7 @@ let matching_interests t (root : Td.t) =
       match local_desc t interest with
       | None -> None
       | Some interest_d -> (
-          match Checker.check t.checker ~actual:root ~interest:interest_d with
+          match Checker.check t.sh.sh_checker ~actual:root ~interest:interest_d with
           | Checker.Conformant m -> Some (interest, cb, m)
           | Checker.Not_conformant _ -> None))
     t.interests
@@ -534,13 +568,13 @@ let first_failure t (root : Td.t) =
       match local_desc t interest with
       | None -> Printf.sprintf "interest %s not loaded locally" interest
       | Some interest_d -> (
-          match Checker.check t.checker ~actual:root ~interest:interest_d with
+          match Checker.check t.sh.sh_checker ~actual:root ~interest:interest_d with
           | Checker.Conformant _ -> "conformant (race)"
           | Checker.Not_conformant [] -> "not conformant"
           | Checker.Not_conformant (f :: _) -> f.Checker.message))
 
 let decode_and_deliver t ~from (env : Envelope.t) root_name =
-  match Envelope.decode_payload t.reg env with
+  match Envelope.decode_payload t.sh.sh_reg env with
   | Error (Envelope.Corrupt reason) ->
       log_event t (Corrupt_rejected { from; what = "payload"; reason })
   | Error e ->
@@ -563,7 +597,7 @@ let decode_and_deliver t ~from (env : Envelope.t) root_name =
               (fun (interest, cb, m) ->
                 let delivered =
                   if m.Mapping.identity then value
-                  else Proxy.wrap t.px ~interest ~mapping:m value
+                  else Proxy.wrap t.sh.sh_px ~interest ~mapping:m value
                 in
                 log_event t (Delivered { interest; from; value = delivered });
                 cb ~from delivered)
@@ -582,7 +616,13 @@ let recv_table t src =
   match Hashtbl.find_opt t.h_recv src with
   | Some r -> r
   | None ->
-      let r = Ht.create_receiver ~capacity:t.handle_table_capacity in
+      (* Pool first: all tables in a shared block have the same capacity,
+         so a recycled one is interchangeable with a fresh one. *)
+      let r =
+        match Queue.take_opt t.sh.sh_ht_pool with
+        | Some r -> r
+        | None -> Ht.create_receiver ~capacity:t.sh.sh_ht_capacity
+      in
       Hashtbl.add t.h_recv src r;
       r
 
@@ -640,7 +680,7 @@ let process_envelope t ~from (env : Envelope.t) tdescs assemblies =
       match env.Envelope.env_types with
       | [] -> (
           (* No objects in the graph: nothing to conform, just decode. *)
-          match Envelope.decode_payload t.reg env with
+          match Envelope.decode_payload t.sh.sh_reg env with
           | Ok v -> deliver_primitive t ~from v
           | Error (Envelope.Corrupt reason) ->
               log_event t (Corrupt_rejected { from; what = "payload"; reason })
@@ -657,7 +697,7 @@ let process_envelope t ~from (env : Envelope.t) tdescs assemblies =
           let all_known_by_guid =
             List.for_all
               (fun (e : Envelope.type_entry) ->
-                Registry.mem_guid t.reg e.Envelope.te_guid)
+                Registry.mem_guid t.sh.sh_reg e.Envelope.te_guid)
               env.Envelope.env_types
           in
           if all_known_by_guid then
@@ -734,12 +774,12 @@ let handle_envelope ?renego_budget t ~from (msg_env : string) tdescs
 (* ---------------------------------------------------------------- *)
 
 let download_path t ~assembly =
-  match Lru.Str.find t.known_paths (lc assembly) with
+  match Lru.Str.find t.sh.sh_known_paths (lc assembly) with
   | Some p -> p
   | None -> Repository.path_for ~host:t.addr ~assembly
 
 let make_args_envelope t args =
-  Envelope.make t.reg ~codec:t.codec
+  Envelope.make t.sh.sh_reg ~codec:t.codec
     ~download_path:(fun ~assembly -> download_path t ~assembly)
     (Value.Varr { Value.elem_ty = Ty.Named "object"; items = Array.of_list args })
 
@@ -749,7 +789,7 @@ let receive_value_envelope t ~from:_ env k =
   ensure_assemblies t env (function
     | Error reason -> k (Error reason)
     | Ok () -> (
-        match Envelope.decode_payload t.reg env with
+        match Envelope.decode_payload t.sh.sh_reg env with
         | Ok v -> k (Ok v)
         | Error e -> k (Error (Format.asprintf "%a" Envelope.pp_error e))))
 
@@ -767,10 +807,10 @@ let handle_invoke t ~from ~target ~meth ~args_xml ~token =
             | Error reason -> reply None (Some reason)
             | Ok (Value.Varr a) -> (
                 let args = Array.to_list a.Value.items in
-                match Eval.call t.reg recv meth args with
+                match Eval.call t.sh.sh_reg recv meth args with
                 | result ->
                     let renv =
-                      Envelope.make t.reg ~codec:t.codec
+                      Envelope.make t.sh.sh_reg ~codec:t.codec
                         ~download_path:(fun ~assembly ->
                           download_path t ~assembly)
                         result
@@ -875,7 +915,7 @@ let handle t ~src msg =
                   else k None)))
   | Message.Asm_request { path; token } ->
       let assembly =
-        Option.map Assembly_xml.to_string (Repository.find t.repo ~path)
+        Option.map Assembly_xml.to_string (Repository.find t.sh.sh_repo ~path)
       in
       send t ~dst:src (Message.Asm_reply { path; assembly; token })
   | Message.Asm_reply { assembly; token; _ } -> (
@@ -988,6 +1028,41 @@ let bind_wire_metrics m ~addr =
     mc_batch_bytes_saved = Metrics.counter m (p "bytes_saved");
   }
 
+(* Build one flyweight block. A classic peer calls this privately from
+   [create]; the scale driver calls it once and hands the block to every
+   session it spawns. *)
+let create_shared ?(config = Config.strict) ?(tdesc_cache_capacity = 512)
+    ?(known_paths_capacity = 512) ?checker_cache_capacity
+    ?(handle_table_capacity = 512) () =
+  let reg = Registry.create () in
+  let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
+  let resolver name =
+    match Registry.find reg name with
+    | Some cd -> Some (Td.of_class cd)
+    | None -> Lru.Str.find tdesc_cache (lc name)
+  in
+  let checker =
+    Checker.create ~config ?cache_capacity:checker_cache_capacity ~resolver ()
+  in
+  {
+    sh_reg = reg;
+    sh_repo = Repository.create ();
+    sh_tdesc_cache = tdesc_cache;
+    sh_checker = checker;
+    sh_known_paths = Lru.Str.create ~capacity:known_paths_capacity ();
+    sh_px = Proxy.create_context reg checker;
+    sh_ht_capacity = handle_table_capacity;
+    sh_ht_pool = Queue.create ();
+  }
+
+let shared t = t.sh
+let shared_registry sh = sh.sh_reg
+let shared_repository sh = sh.sh_repo
+let shared_checker sh = sh.sh_checker
+let shared_tdesc_cache_counters sh = Lru.Str.counters sh.sh_tdesc_cache
+let shared_tdesc_cache_size sh = Lru.Str.length sh.sh_tdesc_cache
+let shared_pool_size sh = Queue.length sh.sh_ht_pool
+
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(config = Config.strict) ?metrics:m
     ?(tdesc_cache_capacity = 512) ?(known_paths_capacity = 512)
@@ -995,7 +1070,7 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(request_timeout_ms = default_request_timeout_ms)
     ?(fetch_retries = 0) ?(fetch_backoff_ms = 250.) ?(handles = false)
     ?batch_bytes ?(tdesc_binary = false) ?(handle_table_capacity = 512)
-    ?(share_inflight = true) ?net:network ?transport addr =
+    ?(share_inflight = true) ?shared ?net:network ?transport addr =
   (* Exactly one of [~net] (the historical simulated-network form, kept
      so the deterministic suites construct peers unchanged) or
      [~transport] (any backend). *)
@@ -1007,34 +1082,27 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
         invalid_arg "Peer.create: pass either ~net or ~transport, not both"
     | None, None -> invalid_arg "Peer.create: a ~net or ~transport is required"
   in
-  let reg = Registry.create () in
-  let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
-  let resolver name =
-    match Registry.find reg name with
-    | Some cd -> Some (Td.of_class cd)
-    | None -> Lru.Str.find tdesc_cache (lc name)
+  let sh =
+    match shared with
+    | Some sh -> sh
+    | None ->
+        create_shared ~config ~tdesc_cache_capacity ~known_paths_capacity
+          ?checker_cache_capacity ~handle_table_capacity ()
   in
-  let checker =
-    Checker.create ~config ?cache_capacity:checker_cache_capacity ~resolver ()
-  in
-  let known_paths = Lru.Str.create ~capacity:known_paths_capacity () in
   let event_log = Ring.create ~capacity:event_log_capacity () in
   let m = match m with Some m -> m | None -> Metrics.create () in
   let evt_ctrs =
-    bind_metrics m ~addr ~tdesc_cache ~known_paths ~event_log ~checker
+    bind_metrics m ~addr ~tdesc_cache:sh.sh_tdesc_cache
+      ~known_paths:sh.sh_known_paths ~event_log ~checker:sh.sh_checker
   in
   let t =
     {
       addr;
       tr;
       ep = None;
-      reg;
-      repo = Repository.create ();
+      sh;
       peer_mode = mode;
       codec;
-      tdesc_cache;
-      checker;
-      px = Proxy.create_context reg checker;
       interests = [];
       next_interest = 0;
       default_sink = None;
@@ -1047,7 +1115,6 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       tdesc_inflight = Hashtbl.create 16;
       asm_inflight = Hashtbl.create 8;
       share_inflight;
-      known_paths;
       event_log;
       metrics = m;
       evt_ctrs;
@@ -1059,7 +1126,6 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       handles;
       batch_bytes;
       tdesc_binary;
-      handle_table_capacity;
       h_send = Hashtbl.create 8;
       h_recv = Hashtbl.create 8;
       parked = Hashtbl.create 8;
@@ -1072,14 +1138,14 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
   t
 
 let publish_assembly t asm =
-  Assembly.load t.reg asm;
+  Assembly.load t.sh.sh_reg asm;
   let path =
     Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
   in
-  Repository.add t.repo ~path asm;
-  Lru.Str.put t.known_paths (lc asm.Assembly.asm_name) path
+  Repository.add t.sh.sh_repo ~path asm;
+  Lru.Str.put t.sh.sh_known_paths (lc asm.Assembly.asm_name) path
 
-let install_assembly t asm = Assembly.load t.reg asm
+let install_assembly t asm = Assembly.load t.sh.sh_reg asm
 
 let serve_assembly t ?path asm =
   let path =
@@ -1088,7 +1154,7 @@ let serve_assembly t ?path asm =
     | None ->
         Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
   in
-  Repository.add t.repo ~path asm
+  Repository.add t.sh.sh_repo ~path asm
 
 (* ---------------------------------------------------------------- *)
 (* Cluster hooks                                                      *)
@@ -1113,8 +1179,8 @@ let known_descriptions t =
       Hashtbl.replace tbl
         (lc (Meta.qualified_name cd))
         (Meta.qualified_name cd, cd.Meta.td_guid))
-    (Registry.all t.reg);
-  Lru.Str.fold t.tdesc_cache ~init:()
+    (Registry.all t.sh.sh_reg);
+  Lru.Str.fold t.sh.sh_tdesc_cache ~init:()
     ~f:(fun key d () ->
       if not (Hashtbl.mem tbl key) then
         Hashtbl.replace tbl key (Td.qualified_name d, d.Td.ty_guid));
@@ -1211,14 +1277,14 @@ let fingerprint t =
     |> List.iter (fun s -> add "%s" s)
   in
   add "peer %s" t.addr;
-  Registry.all t.reg
+  Registry.all t.sh.sh_reg
   |> List.map Meta.qualified_name
   |> List.sort String.compare
   |> List.iter (fun n -> add "reg %s" n);
-  Repository.entries t.repo
+  Repository.entries t.sh.sh_repo
   |> List.sort compare
   |> List.iter (fun (path, name) -> add "repo %s %s" path name);
-  Lru.Str.fold t.tdesc_cache ~init:[] ~f:(fun key _ acc -> key :: acc)
+  Lru.Str.fold t.sh.sh_tdesc_cache ~init:[] ~f:(fun key _ acc -> key :: acc)
   |> List.sort String.compare
   |> List.iter (fun key -> add "tdesc %s" key);
   List.iter (fun e -> add "evt %s" (Format.asprintf "%a" pp_event e))
@@ -1278,7 +1344,7 @@ let enqueue_part t ~dst ~budget envelope tdescs assemblies =
 
 let send_value t ~dst value =
   let env =
-    Envelope.make t.reg ~codec:t.codec
+    Envelope.make t.sh.sh_reg ~codec:t.codec
       ~download_path:(fun ~assembly -> download_path t ~assembly)
       value
   in
@@ -1300,7 +1366,7 @@ let send_value t ~dst value =
             (fun n ->
               Option.map
                 (fun cd -> cd.Meta.td_assembly)
-                (Registry.find t.reg n))
+                (Registry.find t.sh.sh_reg n))
             names
           |> List.sort_uniq S.compare_ci
         in
@@ -1309,7 +1375,7 @@ let send_value t ~dst value =
             (fun a ->
               Option.map
                 (fun (_, asm) -> Assembly_xml.to_string asm)
-                (Repository.find_by_name t.repo a))
+                (Repository.find_by_name t.sh.sh_repo a))
             asm_names
         in
         (descs, asms)
@@ -1388,7 +1454,7 @@ let acquire t rref ~interest =
       | None -> Error (Printf.sprintf "interest type %s not loaded" interest)
       | Some interest_d -> (
           (* 2. the rules check. *)
-          match Checker.check t.checker ~actual:actual_d ~interest:interest_d with
+          match Checker.check t.sh.sh_checker ~actual:actual_d ~interest:interest_d with
           | Checker.Not_conformant fs ->
               Error
                 (match fs with

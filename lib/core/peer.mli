@@ -48,6 +48,46 @@ val pp_event : Format.formatter -> event -> unit
 
 type t
 
+type shared
+(** The flyweight block: the type/code side of a peer — class registry,
+    served-assembly repository, type-description cache, conformance
+    checker (with its verdict cache), advertised-path cache, proxy
+    context and the receiver handle-table pool. A classic {!create}
+    allocates a private block (historical behavior, bit-identical); the
+    scale driver ([pti_scale]) allocates {e one} block and threads it
+    through 10^5–10^6 lightweight sessions so this state is paid for
+    once per process. Conversation state (interests, pending exchanges,
+    event log, batches, wire counters) is never shared. *)
+
+val create_shared : ?config:Pti_conformance.Config.t ->
+  ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
+  ?checker_cache_capacity:int -> ?handle_table_capacity:int -> unit ->
+  shared
+(** Same defaults as {!create}'s corresponding optional arguments. *)
+
+val shared : t -> shared
+val shared_registry : shared -> Registry.t
+val shared_repository : shared -> Repository.t
+val shared_checker : shared -> Pti_conformance.Checker.t
+
+val shared_tdesc_cache_counters : shared -> Pti_obs.Lru.counters
+(** Hit/miss/eviction accounting of the shared description cache — the
+    cache-reuse curve the scale bench reports. *)
+
+val shared_tdesc_cache_size : shared -> int
+
+val shared_pool_size : shared -> int
+(** Receiver handle tables currently parked for reuse (grown by
+    {!release_handle_tables}, drained by lazy per-link table creation). *)
+
+val release_handle_tables : t -> unit
+(** Session teardown: clear this peer's learned (receiver) handle tables
+    and return them to the shared pool, and forget its sender
+    assignments. Tables are returned in sorted-correspondent order so
+    the pool's contents are a deterministic function of departure
+    order. The peer remains usable; its next envelope from a given
+    correspondent draws a table from the pool again. *)
+
 val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?config:Pti_conformance.Config.t -> ?metrics:Pti_obs.Metrics.t ->
   ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
@@ -55,7 +95,8 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
   ?request_timeout_ms:float -> ?fetch_retries:int ->
   ?fetch_backoff_ms:float -> ?handles:bool -> ?batch_bytes:int ->
   ?tdesc_binary:bool -> ?handle_table_capacity:int ->
-  ?share_inflight:bool -> ?net:Message.t Pti_net.Net.t ->
+  ?share_inflight:bool -> ?shared:shared ->
+  ?net:Message.t Pti_net.Net.t ->
   ?transport:Message.t Pti_transport.Transport.t -> string -> t
 (** [create ~net address] (or [create ~transport address]) registers the
     peer on the network. Exactly one of [net] / [transport] is required:
@@ -92,7 +133,13 @@ val create : ?mode:mode -> ?codec:Pti_serial.Envelope.codec ->
     reintroducing the historical fan-out bug (one tdesc probe and one
     code download {e per envelope} of a same-typed burst) so the model
     checker's known-bug regression can assert it finds them. Leave it
-    at the default [true] everywhere else. *)
+    at the default [true] everywhere else.
+
+    [shared] threads an existing flyweight block through this peer
+    instead of allocating a private one; the block-shaping arguments
+    ([config], [tdesc_cache_capacity], [known_paths_capacity],
+    [checker_cache_capacity], [handle_table_capacity]) are then ignored
+    — the block was already shaped by {!create_shared}. *)
 
 val address : t -> string
 val registry : t -> Registry.t

@@ -48,13 +48,19 @@ let of_index i =
 
 module Metrics = Pti_obs.Metrics
 
-(* Latency samples per category, with a memoized sorted view: percentile
-   queries no longer sort the sample list on every call — the sorted
-   array is built once per snapshot and invalidated by the next sample. *)
+(* Latency samples per category. Samples land in a growable unboxed
+   float array (insertion is allocation-free, amortized — no cons cell
+   per sample, which matters at 10^6 inserts), in arrival order. The
+   sorted view for percentile queries is maintained incrementally: a
+   query sorts only the tail that arrived since the previous query and
+   merges it into the already-sorted prefix — O(k log k + n) instead of
+   the full O(n log n) re-sort the old invalidate-on-insert memo paid
+   on every snapshot of a hot run. *)
 type lat = {
-  mutable samples : float list;  (* reversed *)
+  mutable buf : float array;  (* arrival order; first [count] are live *)
   mutable count : int;
-  mutable sorted : float array option;  (* memo; None = stale *)
+  mutable sorted : float array;  (* sorted copy of the first [sorted_len] *)
+  mutable sorted_len : int;
 }
 
 type t = {
@@ -82,7 +88,8 @@ let create ?metrics () =
       bytes = Array.make ncat 0;
       messages = Array.make ncat 0;
       latencies =
-        Array.init ncat (fun _ -> { samples = []; count = 0; sorted = None });
+        Array.init ncat (fun _ ->
+            { buf = [||]; count = 0; sorted = [||]; sorted_len = 0 });
       hists;
       rtts = Hashtbl.create 8;
     }
@@ -121,31 +128,58 @@ let reset t =
   Array.fill t.messages 0 ncat 0;
   Array.iter
     (fun l ->
-      l.samples <- [];
+      l.buf <- [||];
       l.count <- 0;
-      l.sorted <- None)
+      l.sorted <- [||];
+      l.sorted_len <- 0)
     t.latencies;
   Hashtbl.reset t.rtts
 
+let lat_push l ms =
+  let cap = Array.length l.buf in
+  if l.count = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) 0. in
+    Array.blit l.buf 0 grown 0 l.count;
+    l.buf <- grown
+  end;
+  l.buf.(l.count) <- ms;
+  l.count <- l.count + 1
+
 let record_latency t c ~ms =
-  let l = t.latencies.(index c) in
-  l.samples <- ms :: l.samples;
-  l.count <- l.count + 1;
-  l.sorted <- None;
+  lat_push t.latencies.(index c) ms;
   match t.hists with
   | Some hs -> Metrics.observe hs.(index c) ms
   | None -> ()
 
-let latency_samples t c = List.rev t.latencies.(index c).samples
+let latency_samples t c =
+  let l = t.latencies.(index c) in
+  Array.to_list (Array.sub l.buf 0 l.count)
 
+(* Extend the sorted prefix to cover every sample: sort just the new
+   tail, merge it with the (already sorted) prefix. Idempotent when
+   nothing arrived since the last call. *)
 let sorted_latencies l =
-  match l.sorted with
-  | Some a -> a
-  | None ->
-      let a = Array.of_list l.samples in
-      Array.sort Float.compare a;
-      l.sorted <- Some a;
-      a
+  if l.sorted_len < l.count then begin
+    let k = l.count - l.sorted_len in
+    let tail = Array.sub l.buf l.sorted_len k in
+    Array.sort Float.compare tail;
+    let merged = Array.make l.count 0. in
+    let i = ref 0 and j = ref 0 in
+    for m = 0 to l.count - 1 do
+      if !i < l.sorted_len && (!j >= k || l.sorted.(!i) <= tail.(!j))
+      then begin
+        merged.(m) <- l.sorted.(!i);
+        incr i
+      end
+      else begin
+        merged.(m) <- tail.(!j);
+        incr j
+      end
+    done;
+    l.sorted <- merged;
+    l.sorted_len <- l.count
+  end;
+  l.sorted
 
 let latency_percentile t c p =
   if p < 0. || p > 1. then invalid_arg "Stats.latency_percentile";
@@ -184,9 +218,13 @@ let merge a b =
     let la = a.latencies.(i) and lb = b.latencies.(i) in
     t.latencies.(i) <-
       {
-        samples = lb.samples @ la.samples;
+        buf =
+          Array.append
+            (Array.sub la.buf 0 la.count)
+            (Array.sub lb.buf 0 lb.count);
         count = la.count + lb.count;
-        sorted = None;
+        sorted = [||];
+        sorted_len = 0;
       }
   done;
   (* Observations, not sums: keep both sides' EWMAs, averaging where the

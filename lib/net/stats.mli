@@ -62,8 +62,10 @@ val latency_samples : t -> category -> float list
 val latency_percentile : t -> category -> float -> float option
 (** [latency_percentile t c 0.5] is the median delivery latency of the
     category (nearest-rank); [None] when no sample exists. The argument
-    must be in [\[0;1\]]. Sorting is memoized: repeated percentile
-    queries between samples reuse one sorted array. *)
+    must be in [\[0;1\]]. The sorted view is maintained incrementally:
+    a query sorts only the samples recorded since the previous query
+    and merges them into the sorted prefix, so interleaving recording
+    with snapshots never re-sorts the whole history. *)
 
 (** {1 Per-peer round-trip observations}
 

@@ -96,10 +96,13 @@ let histogram ?(buckets = default_buckets) t name =
 
 let observe h v =
   (* First bucket whose upper bound admits [v]; the overflow bucket is
-     index [Array.length bounds]. *)
+     index [Array.length bounds]. A plain loop, not a local recursive
+     function: this is the one call made per sample on the hot path and
+     must not allocate (a closure here shows up at 10^6 inserts). *)
   let n = Array.length h.bounds in
-  let rec idx i = if i >= n then n else if v <= h.bounds.(i) then i else idx (i + 1) in
-  let i = idx 0 in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do incr i done;
+  let i = !i in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
   h.count <- h.count + 1;

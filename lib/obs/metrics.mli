@@ -86,6 +86,11 @@ val to_json : snapshot -> string
 (** One JSON object keyed by metric name; histograms become
     [{"count":…,"sum":…,"min":…,"max":…,"buckets":[[le,count],…]}]. *)
 
+val json_float : float -> string
+(** The float rendering {!to_json} uses ([null] for NaN, quoted
+    infinities, integral floats without a fraction) — shared with every
+    other JSON emitter in the repo so reports stay style-uniform. *)
+
 val reset : t -> unit
 (** Zeroes counters, gauges and histograms; keeps registrations (including
     gauge callbacks). *)

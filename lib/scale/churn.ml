@@ -1,0 +1,64 @@
+module Splitmix = Pti_util.Splitmix
+
+type event = Arrive of int | Depart of int
+
+type timeline = {
+  horizon : float;
+  arrive : float array;  (* by session id *)
+  depart : float array;  (* by session id *)
+  (* The merged schedule, sorted by (time, code). Code [2*id] is the
+     arrival, [2*id + 1] the departure: a session's arrival always
+     precedes its departure at equal timestamps, and ties across
+     sessions break on the code — never on allocation or hash order. *)
+  ev_at : float array;
+  ev_code : int array;
+}
+
+(* Sessions arrive over the first half of the horizon; the second half
+   is pure steady-state + drain, which keeps "sustained deliveries/sec"
+   honest (the window is never all ramp-up). *)
+let arrival_fraction = 0.5
+
+let build ~sessions ~churn ~horizon_ms rng =
+  if sessions <= 0 then invalid_arg "Churn.build: sessions must be positive";
+  if churn < 0. then invalid_arg "Churn.build: churn must be non-negative";
+  if horizon_ms <= 0. then invalid_arg "Churn.build: horizon must be positive";
+  let arrive = Array.make sessions 0. in
+  let depart = Array.make sessions 0. in
+  for id = 0 to sessions - 1 do
+    let t_arr = Splitmix.float rng *. (horizon_ms *. arrival_fraction) in
+    let window = horizon_ms -. t_arr in
+    let life =
+      if churn <= 0. then window
+      else begin
+        let mean = window /. churn in
+        let u = Splitmix.float rng in
+        (* Exp(mean), clamped into (0, window]: every session departs by
+           the horizon, so arrivals and departures always balance. *)
+        Float.min window (Float.max 1e-3 (-.mean *. log (1. -. u)))
+      end
+    in
+    arrive.(id) <- t_arr;
+    depart.(id) <- t_arr +. life
+  done;
+  let n = 2 * sessions in
+  let idx = Array.init n (fun i -> i) in
+  let time_of code = if code land 1 = 0 then arrive.(code / 2) else depart.(code / 2) in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare (time_of a) (time_of b) in
+      if c <> 0 then c else compare a b)
+    idx;
+  let ev_at = Array.map time_of idx in
+  { horizon = horizon_ms; arrive; depart; ev_at; ev_code = idx }
+
+let length tl = Array.length tl.ev_code
+let at tl i = tl.ev_at.(i)
+
+let event tl i =
+  let code = tl.ev_code.(i) in
+  if code land 1 = 0 then Arrive (code / 2) else Depart (code / 2)
+
+let horizon_ms tl = tl.horizon
+let arrive_ms tl id = tl.arrive.(id)
+let depart_ms tl id = tl.depart.(id)

@@ -1,0 +1,39 @@
+(** Session churn: a precomputed arrival/departure timeline.
+
+    Sessions arrive over the first half of the simulated horizon
+    (uniformly) and live until the horizon or, with churn, an
+    exponentially distributed fraction of their remaining window. The
+    whole timeline is materialized up front in packed arrays sorted by
+    [(time, event code)], so the driver replays it with a single cursor
+    and no mid-run RNG draws — determinism is decided here, once. *)
+
+type timeline
+
+type event = Arrive of int | Depart of int  (** Session id. *)
+
+val build :
+  sessions:int -> churn:float -> horizon_ms:float -> Pti_util.Splitmix.t ->
+  timeline
+(** [churn = 0.] (immortal sessions): every session departs exactly at
+    the horizon. [churn > 0.] draws each lifetime from an exponential
+    with mean [remaining-window / churn] (clamped to the window), so
+    larger values turn the population over faster.
+    @raise Invalid_argument when [sessions <= 0], [churn < 0.] or
+    [horizon_ms <= 0.]. *)
+
+val length : timeline -> int
+(** Always [2 * sessions]: one arrival and one departure per session. *)
+
+val at : timeline -> int -> float
+(** Timestamp of the [i]-th event; non-decreasing in [i]. *)
+
+val event : timeline -> int -> event
+
+val horizon_ms : timeline -> float
+
+val arrive_ms : timeline -> int -> float
+(** Arrival time of session [id]. *)
+
+val depart_ms : timeline -> int -> float
+(** Departure time of session [id]; always in
+    [(arrive_ms id, horizon_ms]]. *)

@@ -1,0 +1,84 @@
+(** The deterministic million-session workload driver.
+
+    Models a large population of lightweight interop {e sessions}
+    against the existing stack: a handful of shard peers — all threading
+    {e one} {!Pti_core.Peer.shared} flyweight block (registry, served
+    code, tdesc cache, verdict cache, handle-table pool) — receive
+    envelopes published by per-family publisher peers over the simulated
+    network. Sessions are small records (id, family, shard, liveness):
+    their arrivals, departures and sends replay a precomputed {!Churn}
+    timeline, with type popularity drawn from a {!Zipf} curve, so the
+    entire run — including the rolling FNV-1a trace hash — is a pure
+    function of the seed.
+
+    An optional flash-crowd event introduces a brand-new hot type at a
+    chosen instant and has {e every live session} receive it at once,
+    thundering-herding the shards' reception pipelines: the in-flight
+    fetch dedup must collapse the herd to O(shards) type-description and
+    assembly fetches, which the report exposes for CI to assert. *)
+
+type config = {
+  sessions : int;
+  families : int;  (** Distinct type families in the zipf population. *)
+  trap_families : int;
+      (** How many of the {e least popular} ranks are non-conformant
+          traps (rejected before any code download). Placed at the tail
+          so the hot ranks exercise the caches, not the reject path. *)
+  sends_per_session : int;  (** Envelopes per session over its life. *)
+  zipf_s : float;  (** Popularity exponent; 0 = uniform. *)
+  churn : float;
+      (** Session turnover: 0 = immortal (all depart at the horizon);
+          larger = shorter exponential lifetimes. See {!Churn.build}. *)
+  flash_at_ms : float option;  (** Flash-crowd instant, if any. *)
+  seed : int64;
+  shards : int;  (** Receiving endpoints sharing the flyweight block. *)
+  horizon_ms : float;  (** Simulated run length. *)
+}
+
+val default_config : config
+(** 10^4 sessions, 16 families (2 traps), 2 sends/session, zipf 1.1,
+    churn 0.5, no flash, seed 42, 1 shard, 60 s horizon. *)
+
+type report = {
+  r_config : config;
+  r_arrived : int;
+  r_departed : int;
+  r_sends : int;
+  r_deliveries : int;
+  r_rejections : int;  (** Trap-family envelopes refused pre-download. *)
+  r_undelivered : int;
+      (** Conformant sends still pending at quiescence (0 on a healthy
+          run; nonzero means the pipeline stalled somewhere). *)
+  r_tdesc_fetches : int;  (** Type-description requests on the wire. *)
+  r_asm_fetches : int;  (** Assembly download requests on the wire. *)
+  r_flash_sends : int;
+  r_flash_tdesc_fetches : int;
+      (** Description fetches attributable to the flash-crowd type —
+          O(shards), not O(sessions), when the in-flight dedup holds. *)
+  r_flash_asm_fetches : int;
+  r_duration_ms : float;  (** Simulated time at quiescence. *)
+  r_deliveries_per_sec : float;  (** Sustained, in simulated time. *)
+  r_mean_ms : float;
+  r_p50_ms : float;  (** From the [scale.latency_ms] histogram. *)
+  r_p99_ms : float;
+  r_tdesc_hit_rate : float;  (** Shared description-cache hit rate. *)
+  r_verdict_reuse_rate : float;  (** {!Pti_conformance.Checker.reuse_rate}. *)
+  r_pool_recycled : int;  (** Handle tables parked for reuse at teardown. *)
+  r_trace_hash : int64;
+      (** Rolling FNV-1a over every arrival, departure, send and
+          delivery, folded with each peer's final {!Pti_core.Peer.fingerprint}.
+          Equal seeds (and configs) must yield equal hashes. *)
+}
+
+val run : ?metrics:Pti_obs.Metrics.t -> config -> report
+(** Execute one run to quiescence on the simulated transport. When
+    [metrics] is given, the driver reports under the [scale.*] namespace
+    (counters, [scale.latency_ms] histogram, cache-rate gauges) in that
+    registry — [pti stats --scale] and the bench read it there. *)
+
+val report_to_json : ?wall_ms:float -> report -> string
+(** One JSON object; [wall_ms] (host wall-clock, measured by the caller)
+    is included as ["wall_ms"] when given. Field names are documented in
+    EXPERIMENTS.md (E14). *)
+
+val pp_report : Format.formatter -> report -> unit

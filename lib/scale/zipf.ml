@@ -1,0 +1,37 @@
+module Splitmix = Pti_util.Splitmix
+
+type t = {
+  n : int;
+  s : float;
+  cum : float array;  (* cum.(r) = P(rank <= r); cum.(n-1) = 1. *)
+}
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let w = Array.init n (fun r -> 1. /. (float_of_int (r + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (w.(r) /. total);
+    cum.(r) <- !acc
+  done;
+  cum.(n - 1) <- 1.;  (* guard against rounding shortfall *)
+  { n; s; cum }
+
+let size t = t.n
+
+let pmf t r =
+  if r < 0 || r >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if r = 0 then t.cum.(0) else t.cum.(r) -. t.cum.(r - 1)
+
+let sample t rng =
+  let u = Splitmix.float rng in
+  (* Smallest r with cum.(r) > u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

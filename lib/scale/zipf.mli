@@ -1,0 +1,24 @@
+(** Zipf-distributed type popularity.
+
+    The population-scale workload assumes a few types account for most
+    of the traffic — the regime where the paper's caches (type
+    descriptions, conformance verdicts, downloaded code) pay off. Rank
+    [r] (0-based) is sampled with probability proportional to
+    [1 / (r+1)^s]; [s = 0] degenerates to uniform, [s ~ 1] is the
+    classic web-popularity curve. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [n] ranks, exponent [s >= 0].
+    @raise Invalid_argument when [n <= 0] or [s < 0]. *)
+
+val size : t -> int
+
+val pmf : t -> int -> float
+(** Probability of rank [r] (strictly decreasing in [r] for [s > 0]). *)
+
+val sample : t -> Pti_util.Splitmix.t -> int
+(** One rank in [\[0; n)], by binary search over the cumulative weights
+    — one RNG draw per sample, so the draw sequence (and thus the whole
+    workload) is a pure function of the generator's seed. *)

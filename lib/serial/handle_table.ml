@@ -60,6 +60,10 @@ let resolve (r : receiver) h = ILru.find r h
 let clear_receiver (r : receiver) = ILru.clear r
 let receiver_length (r : receiver) = ILru.length r
 
+(* The peer's shared flyweight pool recycles receiver tables across
+   sessions; pooling is only sound between tables of equal capacity. *)
+let receiver_capacity (r : receiver) = ILru.capacity r
+
 (* ----------------------------- fingerprints ------------------------ *)
 
 (* Deterministic digests of table state for the model checker's

@@ -337,6 +337,43 @@ let test_latency_percentile_pins () =
   Alcotest.(check (float 1e-9)) "new sample shifts the median" 50. (p 0.5);
   Alcotest.(check (float 1e-9)) "new sample is the min" 0.5 (p 0.)
 
+(* Regression for the incremental sorted memo: interleaving inserts and
+   percentile queries must agree with a from-scratch sort at every step.
+   The old memo went stale here — a query between two insert batches
+   cached a sorted view the next batch then had to merge into, and a bug
+   in the tail merge shows up as a percentile computed over yesterday's
+   samples. *)
+let test_latency_percentile_interleaved () =
+  let s = Stats.create () in
+  let rng = Pti_util.Splitmix.create 77L in
+  let all = ref [] in
+  let reference q =
+    let a = Array.of_list !all in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+  in
+  let quantiles = [ 0.; 0.25; 0.5; 0.9; 0.99; 1.0 ] in
+  for batch = 1 to 12 do
+    (* Uneven batch sizes, including a singleton, so the merge sees
+       tails both shorter and longer than the sorted prefix. *)
+    let size = if batch mod 3 = 0 then 1 else 7 * batch in
+    for _ = 1 to size do
+      let v = Pti_util.Splitmix.float rng *. 100. in
+      all := v :: !all;
+      Stats.record_latency s Stats.Object_msg ~ms:v
+    done;
+    List.iter
+      (fun q ->
+        match Stats.latency_percentile s Stats.Object_msg q with
+        | Some v ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "batch %d q%.2f matches full re-sort" batch q)
+              (reference q) v
+        | None -> Alcotest.fail "percentile vanished")
+      quantiles
+  done
+
 let test_stats_metrics_registry () =
   let m = Pti_obs.Metrics.create () in
   let s = Stats.create ~metrics:m () in
@@ -777,6 +814,8 @@ let () =
             test_latency_percentiles;
           Alcotest.test_case "percentile pins and memo" `Quick
             test_latency_percentile_pins;
+          Alcotest.test_case "percentiles under interleaved inserts" `Quick
+            test_latency_percentile_interleaved;
           Alcotest.test_case "metrics registry" `Quick
             test_stats_metrics_registry;
         ] );

@@ -317,6 +317,45 @@ let test_metrics_histogram () =
         (Metrics.quantile s 0.99)
   | _ -> Alcotest.fail "lat missing"
 
+(* Snapshotting mid-stream must not disturb later observations: the
+   allocation-free bucket walk keeps no per-observe state, so quantile
+   estimates after interleaved observe/snapshot rounds equal those of an
+   uninterrupted run over the same values. *)
+let test_metrics_histogram_interleaved_snapshots () =
+  let buckets = [| 1.; 2.; 5.; 10.; 50. |] in
+  let values =
+    [ 0.3; 7.; 7.; 1.5; 120.; 4.; 4.; 0.9; 30.; 9.; 1.1; 0.2 ]
+  in
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets m "lat" in
+  List.iteri
+    (fun i v ->
+      Metrics.observe h v;
+      if i mod 3 = 0 then
+        (* Interleaved snapshot: read quantiles mid-stream. *)
+        match Metrics.find m "lat" with
+        | Some (Metrics.Histogram s) ->
+            Alcotest.(check int) "running count" (i + 1) s.Metrics.h_count
+        | _ -> Alcotest.fail "lat missing")
+    values;
+  let control = Metrics.create () in
+  let hc = Metrics.histogram ~buckets control "lat" in
+  List.iter (Metrics.observe hc) values;
+  match (Metrics.find m "lat", Metrics.find control "lat") with
+  | Some (Metrics.Histogram a), Some (Metrics.Histogram b) ->
+      List.iter
+        (fun q ->
+          Alcotest.(check (option (float 0.)))
+            (Printf.sprintf "q%.2f unaffected by snapshots" q)
+            (Metrics.quantile b q) (Metrics.quantile a q))
+        [ 0.25; 0.5; 0.9; 0.99 ];
+      Alcotest.(check (float 0.)) "sums equal" b.Metrics.h_sum a.Metrics.h_sum;
+      Alcotest.(check (list (pair (float 0.) int)))
+        "bucket fill equal"
+        (Array.to_list b.Metrics.h_buckets)
+        (Array.to_list a.Metrics.h_buckets)
+  | _ -> Alcotest.fail "histogram missing"
+
 let test_metrics_json () =
   let m = Metrics.create () in
   Metrics.incr ~by:3 (Metrics.counter m "c");
@@ -381,6 +420,8 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick
             test_metrics_counters_and_gauges;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "histogram vs interleaved snapshots" `Quick
+            test_metrics_histogram_interleaved_snapshots;
           Alcotest.test_case "json output" `Quick test_metrics_json;
           Alcotest.test_case "reset keeps registrations" `Quick
             test_metrics_reset;
