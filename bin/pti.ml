@@ -30,6 +30,7 @@ module Transport = Pti_transport.Transport
 module Message_wire = Pti_core.Message_wire
 module Proxy = Pti_proxy.Dynamic_proxy
 module Scale_driver = Pti_scale.Driver
+module Repository = Pti_core.Repository
 
 let read_file path =
   try
@@ -919,6 +920,16 @@ let scale_cmd =
                    thunders over every live session (exercises in-flight \
                    fetch dedup at scale).")
   in
+  let upgrade_at =
+    Arg.(value & opt (some float) None
+         & info [ "upgrade-at" ] ~docv:"MS"
+             ~doc:"Simulated instant at which the hottest family (zipf \
+                   rank 0) is CAS-republished at schema v2 under \
+                   sustained traffic (E15): in-flight sends keep \
+                   decoding at v1 by pinned revision, later sends \
+                   travel at v2, and the run must still end with zero \
+                   undelivered.")
+  in
   let seed =
     Arg.(value & opt int 42
          & info [ "seed" ] ~docv:"SEED"
@@ -952,8 +963,8 @@ let scale_cmd =
                    trace hashes agree, and a flash crowd collapsed to \
                    O(shards) fetches.")
   in
-  let run sessions families trap_families sends zipf churn flash_at seed
-      shards horizon json_out sweep smoke =
+  let run sessions families trap_families sends zipf churn flash_at
+      upgrade_at seed shards horizon json_out sweep smoke =
     let cfg =
       {
         Scale_driver.sessions;
@@ -963,6 +974,7 @@ let scale_cmd =
         zipf_s = zipf;
         churn;
         flash_at_ms = flash_at;
+        upgrade_at_ms = upgrade_at;
         seed = Int64.of_int seed;
         shards;
         horizon_ms = horizon;
@@ -1012,6 +1024,13 @@ let scale_cmd =
                           && r.Scale_driver.r_flash_asm_fetches
                              <= 2 * cfg.Scale_driver.shards
                     in
+                    let upgrade_ok =
+                      match cfg.Scale_driver.upgrade_at_ms with
+                      | None -> true
+                      | Some _ ->
+                          r.Scale_driver.r_upgraded_version >= 2
+                          && r.Scale_driver.r_upgrade_sends > 0
+                    in
                     let checks =
                       [
                         (r.Scale_driver.r_deliveries > 0, "no deliveries");
@@ -1021,6 +1040,9 @@ let scale_cmd =
                            rerun.Scale_driver.r_trace_hash,
                          "same-seed trace hashes differ");
                         (dedup_ok, "flash-crowd fetches not O(shards)");
+                        (upgrade_ok,
+                         "upgrade did not land (chain head < v2 or no \
+                          post-upgrade traffic)");
                       ]
                     in
                     List.fold_left
@@ -1069,8 +1091,8 @@ let scale_cmd =
     Term.(
       ret
         (const run $ sessions $ families $ trap_families $ sends $ zipf
-        $ churn $ flash_at $ seed $ shards $ horizon $ json_out $ sweep
-        $ smoke))
+        $ churn $ flash_at $ upgrade_at $ seed $ shards $ horizon $ json_out
+        $ sweep $ smoke))
 
 (* ----------------------------- compile ----------------------------- *)
 
@@ -1223,13 +1245,25 @@ let cluster_cmd =
          & info [ "metrics" ] ~doc:"Also print the metrics-registry \
                                     snapshot (cluster.* included).")
   in
+  let upgrade =
+    Arg.(value & flag
+         & info [ "upgrade" ]
+             ~doc:"Midway through the transfer phase, CAS-republish the \
+                   first family at schema v2 on the origin's version \
+                   chain. Anti-entropy gossip must converge every node \
+                   on the two-entry chain, mirrors keep serving v1 to \
+                   old receivers, and every object must still be \
+                   delivered.")
+  in
   let run peers factor objects distinct rounds crash_origin eager
-      show_metrics transport =
+      show_metrics upgrade transport =
     if peers < 3 then `Error (false, "need --peers >= 3 (origin, relay, receiver)")
     else if factor < 1 || factor > peers then
       `Error (false, "need 1 <= --factor <= --peers")
     else if not (validate_workload objects distinct 0) then
       `Error (false, "need objects > 0 and distinct > 0")
+    else if upgrade && crash_origin then
+      `Error (false, "--upgrade needs the origin alive (drop --crash-origin)")
     else begin
       let module Cluster = Pti_cluster.Cluster in
       let module Node = Pti_cluster.Node in
@@ -1276,8 +1310,8 @@ let cluster_cmd =
       (* Prime the relay: one object per family from the origin loads the
          code there and records the origin's advertised paths. *)
       let relay_peer = Cluster.peer c relay in
-      Peer.install_assembly relay_peer (Demo.news_assembly ());
-      Peer.register_interest relay_peer ~interest:Demo.news_person
+      Peer.install_assembly relay_peer (Workload.interest_assembly ());
+      Peer.register_interest relay_peer ~interest:Workload.interest_person
         (fun ~from:_ _ -> ());
       Array.iteri
         (fun i _ ->
@@ -1293,11 +1327,32 @@ let cluster_cmd =
       Cluster.run_rounds c rounds;
       if crash_origin then Cluster.crash c origin;
       let receiver_peer = Cluster.peer c receiver in
-      Peer.install_assembly receiver_peer (Demo.news_assembly ());
+      Peer.install_assembly receiver_peer (Workload.interest_assembly ());
       let delivered = ref 0 in
-      Peer.register_interest receiver_peer ~interest:Demo.news_person
+      Peer.register_interest receiver_peer ~interest:Workload.interest_person
         (fun ~from:_ _ -> incr delivered);
+      (* --upgrade: flip the first family to v2 on the origin's chain
+         halfway through, then let gossip spread the new chain entry
+         while the remaining (v1-built) objects keep flowing. *)
+      let upgraded = ref None in
       for n = 0 to objects - 1 do
+        if upgrade && n = objects / 2 then begin
+          (match Node.publish_cas origin_node families.(0) with
+          | Error _ -> ()
+          | Ok ve1 -> (
+              let v2 =
+                Workload.family_v ~version:2 ~index:0
+                  ~flavor:Workload.Conformant
+              in
+              match
+                Node.publish_cas ~expect:ve1.Repository.ve_digest origin_node
+                  v2
+              with
+              | Ok ve2 -> upgraded := Some ve2
+              | Error _ -> ()));
+          Transport.run tr;
+          Cluster.run_rounds c 2
+        end;
         let index = n mod distinct in
         let v =
           Workload.make_person (Peer.registry relay_peer) ~index
@@ -1307,6 +1362,26 @@ let cluster_cmd =
         Peer.send_value relay_peer ~dst:receiver v;
         Transport.run tr
       done;
+      let upgrade_converged =
+        if not upgrade then true
+        else begin
+          Cluster.run_rounds c rounds;
+          match !upgraded with
+          | None -> false
+          | Some ve ->
+              List.for_all
+                (fun a ->
+                  match
+                    Repository.resolve
+                      (Peer.repository (Cluster.peer c a))
+                      families.(0).Assembly.asm_name
+                  with
+                  | Some head ->
+                      head.Repository.ve_version = ve.Repository.ve_version
+                  | None -> false)
+                addrs
+        end
+      in
       let rejected =
         List.length
           (List.filter
@@ -1341,11 +1416,17 @@ let cluster_cmd =
       let total f = List.fold_left (fun acc n -> acc + f n) 0 (Cluster.nodes c) in
       Format.printf "gossip: rounds=%d digest-bytes=%d@."
         (total Node.gossip_rounds) (total Node.digest_bytes);
+      if upgrade then
+        Format.printf "upgrade: chain head %s, converged on all %d nodes: %b@."
+          (match !upgraded with
+          | Some ve -> Printf.sprintf "v%d" ve.Repository.ve_version
+          | None -> "lost (CAS conflict)")
+          peers upgrade_converged;
       Format.printf "%a@." Stats.pp (Transport.stats tr);
       if show_metrics then
         Format.printf "@.%a@." Metrics.pp (Metrics.snapshot metrics);
       Transport.close tr;
-      `Ok (if !delivered = objects then 0 else 1)
+      `Ok (if !delivered = objects && upgrade_converged then 0 else 1)
     end
   in
   Cmd.v
@@ -1360,7 +1441,115 @@ let cluster_cmd =
     Term.(
       ret
         (const run $ peers $ factor $ objects $ distinct $ rounds
-        $ crash_origin $ eager $ show_metrics $ transport_arg))
+        $ crash_origin $ eager $ show_metrics $ upgrade $ transport_arg))
+
+(* ------------------------------ publish ---------------------------- *)
+
+let publish_cmd =
+  let cas =
+    Arg.(value & flag
+         & info [ "cas" ]
+             ~doc:"Publish through the compare-and-set version chain: \
+                   each revision names the digest it expects at the \
+                   head, a mismatch is a $(b,Conflict) (lost race), and \
+                   every superseded revision stays resolvable by \
+                   version pin or content digest. Without this flag the \
+                   assembly is published the classic way (no chain).")
+  in
+  let revisions =
+    Arg.(value & opt int 2
+         & info [ "revisions" ] ~docv:"N"
+             ~doc:"Revisions to chain with $(b,--cas) (v2+ add an email \
+                   field to the family's Person).")
+  in
+  let run cas revisions =
+    if revisions < 1 then `Error (false, "--revisions must be at least 1")
+    else begin
+      let net = Net.create () in
+      let peer = Peer.create ~net "repo" in
+      let repo = Peer.repository peer in
+      let v1 = Workload.family ~index:0 ~flavor:Workload.Conformant in
+      let name = v1.Assembly.asm_name in
+      if not cas then begin
+        Peer.publish_assembly peer v1;
+        (match Repository.find_by_name repo name with
+        | Some (path, _) -> Format.printf "published %s at %s@." name path
+        | None -> ());
+        `Ok 0
+      end
+      else begin
+        let expect = ref None in
+        let ok = ref true in
+        for v = 1 to revisions do
+          let asm =
+            Workload.family_v ~version:v ~index:0
+              ~flavor:Workload.Conformant
+          in
+          match Peer.publish_assembly_cas ?expect:!expect peer asm with
+          | Ok ve ->
+              Format.printf "cas v%d: digest %s at %s@."
+                ve.Repository.ve_version ve.Repository.ve_digest
+                ve.Repository.ve_path;
+              expect := Some ve.Repository.ve_digest
+          | Error (Repository.Conflict { expected; head }) ->
+              ok := false;
+              Format.printf "cas v%d: CONFLICT (expected %s, head %s)@." v
+                (Option.value ~default:"<empty>" expected)
+                (Option.value ~default:"<empty>" head)
+        done;
+        (* A deliberately stale writer: expecting the original head must
+           lose once the chain has moved past it. *)
+        (if revisions > 1 then
+           let stale =
+             Workload.family_v ~version:(revisions + 1) ~index:0
+               ~flavor:Workload.Conformant
+           in
+           let first =
+             match Repository.chain repo name with
+             | ve :: _ -> Some ve.Repository.ve_digest
+             | [] -> None
+           in
+           match Peer.publish_assembly_cas ?expect:first peer stale with
+           | Ok _ ->
+               ok := false;
+               Format.printf "stale cas: unexpectedly won@."
+           | Error (Repository.Conflict _) ->
+               Format.printf "stale cas: conflict, as it must@.");
+        Format.printf "chain %s: [%s]@." name
+          (String.concat "; "
+             (List.map
+                (fun ve ->
+                  Printf.sprintf "v%d=%s" ve.Repository.ve_version
+                    (String.sub ve.Repository.ve_digest 0 8))
+                (Repository.chain repo name)));
+        List.iter
+          (fun ve ->
+            match
+              Repository.resolve
+                ~pin:(Repository.Version ve.Repository.ve_version) repo name
+            with
+            | Some got
+              when String.equal got.Repository.ve_digest
+                     ve.Repository.ve_digest ->
+                ()
+            | _ ->
+                ok := false;
+                Format.printf "pin v%d: does not resolve@."
+                  ve.Repository.ve_version)
+          (Repository.chain repo name);
+        `Ok (if !ok then 0 else 1)
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:"Publish the demo workload family into a repository and \
+             print where it landed. With $(b,--cas), drive the \
+             content-addressed version chain: chain N revisions by \
+             compare-and-set, show that a stale expectation loses with \
+             a conflict, and that every revision stays resolvable by \
+             version pin. Exits 1 if any CAS outcome deviates.")
+    Term.(ret (const run $ cas $ revisions))
 
 (* ------------------------------- demo ------------------------------ *)
 
@@ -1441,7 +1630,17 @@ let chaos_cmd =
                    mid-run: the run must degrade through renegotiation, \
                    never deliver a mis-typed payload.")
   in
-  let run runs seed profile cluster objects wire =
+  let upgrade =
+    Arg.(value & flag
+         & info [ "upgrade" ]
+             ~doc:"Live schema evolution under faults: halfway through \
+                   each run's send window, the first family is \
+                   CAS-republished at v2 on the sender's version chain. \
+                   Later sends of that family must decode at v2, \
+                   in-flight v1 sends at v1 — the upgrade-safety \
+                   invariant rejects any cross-decode.")
+  in
+  let run runs seed profile cluster objects wire upgrade =
     if runs < 1 then `Error (false, "--runs must be at least 1")
     else if objects < 1 then `Error (false, "--objects must be at least 1")
     else begin
@@ -1452,6 +1651,7 @@ let chaos_cmd =
           c_objects = objects;
           c_frame_integrity = true;
           c_wire = wire;
+          c_upgrade = upgrade;
         }
       in
       let summary = Chaos.run_many config ~runs ~seed in
@@ -1460,12 +1660,13 @@ let chaos_cmd =
       | [] -> ()
       | first :: _ ->
           Format.printf "reproduce with: pti chaos --runs 1 --seed %Ld \
-                         --profile %s --objects %d%s%s@."
+                         --profile %s --objects %d%s%s%s@."
             first.Chaos.r_seed
             (Pti_fault.Fault_plan.profile_name profile)
             objects
             (if cluster then " --cluster" else "")
-            (if wire then " --wire" else ""));
+            (if wire then " --wire" else "")
+            (if upgrade then " --upgrade" else ""));
       `Ok (if summary.Chaos.s_failures = [] then 0 else 1)
     end
   in
@@ -1480,7 +1681,10 @@ let chaos_cmd =
              but with reproducible seeded schedules. A failing schedule \
              is shrunk to a minimal reproducing plan. Exits 1 on any \
              invariant violation.")
-    Term.(ret (const run $ runs $ seed $ profile $ cluster $ objects $ wire))
+    Term.(
+      ret
+        (const run $ runs $ seed $ profile $ cluster $ objects $ wire
+        $ upgrade))
 
 (* ------------------------------ explore ---------------------------- *)
 
@@ -1491,7 +1695,8 @@ let explore_cmd =
       | Some k -> Ok k
       | None ->
           Error (`Msg (Printf.sprintf
-                         "unknown scenario %S (protocol|cluster|wire)" s))
+                         "unknown scenario %S \
+                          (protocol|cluster|wire|evolution)" s))
     in
     let print ppf k =
       Format.pp_print_string ppf (Pti_mc.Scenario.kind_name k)
@@ -1501,9 +1706,13 @@ let explore_cmd =
          & info [ "scenario" ] ~docv:"SCENARIO"
              ~doc:"World to explore: $(b,protocol) (two peers, classic \
                    wire), $(b,cluster) (replicated repositories with \
-                   gossip ticks as explorable actions) or $(b,wire) \
+                   gossip ticks as explorable actions), $(b,wire) \
                    (handle negotiation, batching, binary tdescs, and a \
-                   handle-table drop as explorable actions).")
+                   handle-table drop as explorable actions) or \
+                   $(b,evolution) (a v2 CAS publication of the one \
+                   family in play as an explorable action racing the \
+                   sends and type subprotocols; every delivery must \
+                   decode at the revision it negotiated).")
   in
   let peers =
     Arg.(value & opt int 3
@@ -1552,20 +1761,30 @@ let explore_cmd =
                    fetch guards — the historical fan-out bug — so the \
                    explorer has a known violation to find.")
   in
+  let cas_bug =
+    Arg.(value & flag
+         & info [ "cas-bug" ]
+             ~doc:"Evolution scenario: publish v2 by advancing the \
+                   chain head directly instead of through the atomic \
+                   CAS + registry upgrade — the historical torn publish \
+                   — so the explorer has a known upgrade-safety \
+                   violation to find.")
+  in
   let run scenario peers objects depth budget max_seconds schedule no_dpor
-      no_hash fanout_bug =
+      no_hash fanout_bug cas_bug =
     if peers < 2 then `Error (false, "--peers must be at least 2")
     else if objects < 1 then `Error (false, "--objects must be at least 1")
     else if depth < 1 then `Error (false, "--depth must be at least 1")
     else begin
       let module Mc = Pti_mc.Scenario in
-      let spec = Mc.spec ~peers ~objects ~fanout_bug scenario in
+      let spec = Mc.spec ~peers ~objects ~fanout_bug ~cas_bug scenario in
       let mk () = Mc.make spec in
       let repro_flags extra =
         Printf.sprintf
-          "pti explore --scenario %s --peers %d --objects %d --depth %d%s%s"
+          "pti explore --scenario %s --peers %d --objects %d --depth %d%s%s%s"
           (Mc.kind_name scenario) peers objects depth
           (if fanout_bug then " --fanout-bug" else "")
+          (if cas_bug then " --cas-bug" else "")
           extra
       in
       match schedule with
@@ -1633,7 +1852,8 @@ let explore_cmd =
              violation.")
     Term.(ret
             (const run $ scenario $ peers $ objects $ depth $ budget
-             $ max_seconds $ schedule $ no_dpor $ no_hash $ fanout_bug))
+             $ max_seconds $ schedule $ no_dpor $ no_hash $ fanout_bug
+             $ cas_bug))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1648,6 +1868,6 @@ let () =
        (Cmd.group info
           [
             describe_cmd; check_cmd; lint_cmd; compile_cmd; run_cmd;
-            protocol_cmd; stats_cmd; scale_cmd; cluster_cmd; demo_cmd;
-            chaos_cmd; explore_cmd;
+            protocol_cmd; stats_cmd; scale_cmd; cluster_cmd; publish_cmd;
+            demo_cmd; chaos_cmd; explore_cmd;
           ]))

@@ -10,11 +10,14 @@ type msg = {
   g_token : int;
   g_types : (string * string) list;
   g_paths : (string * string) list;
+  g_chains : (string * (int * string) list) list;
   g_members : string list;
   g_descs : string list;
 }
 
-let empty = { g_token = 0; g_types = []; g_paths = []; g_members = []; g_descs = [] }
+let empty =
+  { g_token = 0; g_types = []; g_paths = []; g_chains = []; g_members = [];
+    g_descs = [] }
 
 let no_tabs what s =
   if String.contains s '\t' || String.contains s '\n' then
@@ -41,6 +44,16 @@ let encode m =
       no_tabs "assembly name" asm;
       Buffer.add_string b (Printf.sprintf "path\t%s\t%s\n" path asm))
     m.g_paths;
+  List.iter
+    (fun (name, entries) ->
+      no_tabs "chain assembly" name;
+      let rendered =
+        String.concat ","
+          (List.map (fun (v, d) -> Printf.sprintf "%d:%s" v d) entries)
+      in
+      no_tabs "chain entries" rendered;
+      Buffer.add_string b (Printf.sprintf "chain\t%s\t%s\n" name rendered))
+    m.g_chains;
   List.iter
     (fun addr ->
       no_tabs "member" addr;
@@ -99,6 +112,33 @@ let decode s =
             loop { acc with g_types = (name, guid) :: acc.g_types }
         | [ "path"; path; asm ] ->
             loop { acc with g_paths = (path, asm) :: acc.g_paths }
+        | [ "chain"; name; entries ] -> (
+            let parse_entry e =
+              match String.index_opt e ':' with
+              | None -> None
+              | Some i -> (
+                  let v = String.sub e 0 i in
+                  let d = String.sub e (i + 1) (String.length e - i - 1) in
+                  match int_of_string_opt v with
+                  | Some v when v > 0 && d <> "" -> Some (v, d)
+                  | _ -> None)
+            in
+            let parsed =
+              if entries = "" then Some []
+              else
+                let rec all acc = function
+                  | [] -> Some (List.rev acc)
+                  | e :: rest -> (
+                      match parse_entry e with
+                      | Some p -> all (p :: acc) rest
+                      | None -> None)
+                in
+                all [] (String.split_on_char ',' entries)
+            in
+            match parsed with
+            | Some entries ->
+                loop { acc with g_chains = (name, entries) :: acc.g_chains }
+            | None -> err "digest: bad chain entries for %S" name)
         | [ "member"; addr ] ->
             loop { acc with g_members = addr :: acc.g_members }
         | [ "desc"; v ] -> (
@@ -120,6 +160,7 @@ let decode s =
           m with
           g_types = List.rev m.g_types;
           g_paths = List.rev m.g_paths;
+          g_chains = List.rev m.g_chains;
           g_members = List.rev m.g_members;
           g_descs = List.rev m.g_descs;
         }

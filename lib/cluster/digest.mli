@@ -16,6 +16,11 @@ type msg = {
       (** Known type descriptions: (qualified name, GUID rendering). *)
   g_paths : (string * string) list;
       (** Known download paths: (path, assembly name). *)
+  g_chains : (string * (int * string) list) list;
+      (** Per-assembly version chains: (assembly name, entries), each
+          entry a (version, content digest) pair ascending by version —
+          what anti-entropy compares to converge every node on the
+          newest chain. *)
   g_members : string list;  (** Known cluster member addresses. *)
   g_descs : string list;  (** Full type-description XML documents. *)
 }

@@ -127,6 +127,27 @@ let path_universe t = mirror_table t
    drops to last resort once it is; every other known mirror is ranked
    by membership status, then observed RTT, then path order. *)
 let rank t ~assembly ~advertised =
+  (* A versioned advertised path ([…/name@vN]) pins the fetch to that
+     chain revision: every candidate mirror is re-pathed to its own
+     versioned form (a mirror that has converged on the chain serves it;
+     one that has not simply misses and the pipeline fails over). An
+     unversioned fetch conversely never falls over to a versioned path —
+     that could silently hand out a superseded revision. *)
+  let pin_version =
+    match Repository.parse_versioned_path advertised with
+    | Some (_, _, (Some _ as v)) -> v
+    | _ -> None
+  in
+  let is_versioned p =
+    match Repository.parse_versioned_path p with
+    | Some (_, _, Some _) -> true
+    | _ -> false
+  in
+  let reversion v p =
+    match Repository.parse_path p with
+    | Some (host, _) -> Repository.path_for_version ~host ~assembly ~version:v
+    | None -> p
+  in
   let weight p =
     match Repository.parse_path p with
     | None -> (2, infinity, p)
@@ -145,7 +166,12 @@ let rank t ~assembly ~advertised =
         (sw, ms, p)
   in
   let others =
-    known_mirrors t assembly
+    (match pin_version with
+    | None ->
+        known_mirrors t assembly |> List.filter (fun p -> not (is_versioned p))
+    | Some v ->
+        known_mirrors t assembly |> List.map (reversion v)
+        |> List.sort_uniq compare)
     |> List.filter (fun p -> not (String.equal p advertised))
     |> List.map weight |> List.sort compare
     |> List.map (fun (_, _, p) -> p)
@@ -174,6 +200,7 @@ let own_summary t ~token ~descs =
         (fun (n, g) -> (n, Guid.to_string g))
         (Peer.known_descriptions t.peer);
     g_paths = path_universe t;
+    g_chains = Repository.chain_digests (Peer.repository t.peer);
     g_members =
       t.addr
       :: (Hashtbl.fold
@@ -204,6 +231,37 @@ let absorb_summary t (m : Digest.msg) =
       | Error _ -> ())
     m.Digest.g_descs
 
+(* Chain entries we hold that the other side's digest does not mention —
+   the revisions to push back so anti-entropy converges every node on
+   the newest chain. *)
+let chain_entries_missing_from t (their_chains : (string * (int * string) list) list) =
+  let theirs name v d =
+    match
+      List.find_opt (fun (n, _) -> S.equal_ci n name) their_chains
+    with
+    | None -> false
+    | Some (_, entries) ->
+        List.exists (fun (v', d') -> v' = v && String.equal d' d) entries
+  in
+  let repo = Peer.repository t.peer in
+  Repository.chain_digests repo
+  |> List.concat_map (fun (name, entries) ->
+         List.filter_map
+           (fun (v, d) ->
+             if theirs name v d then None
+             else
+               Option.map
+                 (fun ve -> ve.Repository.ve_assembly)
+                 (Repository.resolve repo ~pin:(Repository.Version v) name))
+           entries)
+
+let push_missing_chain_entries t ~dst (m : Digest.msg) =
+  List.iter
+    (fun asm ->
+      Peer.send_gossip t.peer ~dst ~kind:"chain-replica"
+        ~body:(Assembly_xml.to_string asm))
+    (chain_entries_missing_from t m.Digest.g_chains)
+
 let send_gossip t ~dst ~kind body =
   Metrics.incr ~by:(String.length body) t.mc_digest_bytes;
   Peer.send_gossip t.peer ~dst ~kind ~body
@@ -220,7 +278,8 @@ let on_gossip t ~src ~kind ~body =
             own_summary t ~token:m.Digest.g_token
               ~descs:(descs_missing_from t m.Digest.g_types)
           in
-          send_gossip t ~dst:src ~kind:"digest-reply" (Digest.encode reply))
+          send_gossip t ~dst:src ~kind:"digest-reply" (Digest.encode reply);
+          push_missing_chain_entries t ~dst:src m)
   | "digest-reply" -> (
       match Digest.decode body with
       | Error e ->
@@ -238,7 +297,8 @@ let on_gossip t ~src ~kind ~body =
           if delta <> [] then
             send_gossip t ~dst:src ~kind:"delta"
               (Digest.encode
-                 { Digest.empty with g_token = m.Digest.g_token; g_descs = delta }))
+                 { Digest.empty with g_token = m.Digest.g_token; g_descs = delta });
+          push_missing_chain_entries t ~dst:src m)
   | "delta" -> (
       match Digest.decode body with
       | Error e -> Log.warn (fun f -> f "[%s] bad delta from %s: %s" t.addr src e)
@@ -253,6 +313,27 @@ let on_gossip t ~src ~kind ~body =
           let path = Repository.path_for ~host:t.addr ~assembly:name in
           Peer.serve_assembly t.peer ~path asm;
           learn_path t ~path ~asm:name)
+  | "chain-replica" -> (
+      (* A chain revision push: fold it into our repository's version
+         chain under our own versioned path. [learn_version] dedupes by
+         content digest, so replays and races converge. The chain merge
+         is order-free — entries arrive newest-first or oldest-first
+         yield the same chain. *)
+      match Assembly_xml.of_string body with
+      | Error e ->
+          Log.warn (fun f -> f "[%s] bad chain-replica from %s: %s" t.addr src e)
+      | Ok asm ->
+          let name = asm.Assembly.asm_name in
+          let version = asm.Assembly.asm_version in
+          if version > 0 then begin
+            let path =
+              Repository.path_for_version ~host:t.addr ~assembly:name ~version
+            in
+            if
+              Repository.learn_version (Peer.repository t.peer) ~version ~path
+                asm
+            then learn_path t ~path ~asm:name
+          end)
   | other -> Log.warn (fun f -> f "[%s] unknown gossip kind %S from %s" t.addr other src)
 
 let fresh_token t =
@@ -349,6 +430,32 @@ let publish t asm =
       learn_path t ~path:(Repository.path_for ~host:dst ~assembly:name)
         ~asm:name)
     replicas
+
+(* CAS publication: the versioned analogue of [publish]. The revision
+   lands on the local chain first (conflict = somebody else won the
+   race; nothing is replicated), then the stamped revision is pushed to
+   the factor-k placement as chain entries — mirrors fold it into their
+   own chains and serve both the versioned path and, once converged, the
+   new head. *)
+let publish_cas ?expect t asm =
+  match Peer.publish_assembly_cas ?expect t.peer asm with
+  | Error _ as e -> e
+  | Ok ve ->
+      let name = asm.Assembly.asm_name in
+      learn_path t ~path:ve.Repository.ve_path ~asm:name;
+      learn_path t
+        ~path:(Repository.path_for ~host:t.addr ~assembly:name)
+        ~asm:name;
+      let replicas = placement t ~assembly:name (t.factor - 1) in
+      List.iter
+        (fun dst ->
+          Log.debug (fun f ->
+              f "[%s] replicating %s v%d to %s" t.addr name
+                ve.Repository.ve_version dst);
+          Peer.send_gossip t.peer ~dst ~kind:"chain-replica"
+            ~body:(Assembly_xml.to_string ve.Repository.ve_assembly))
+        replicas;
+      Ok ve
 
 (* ---------------------------------------------------------------- *)
 (* Introspection                                                      *)

@@ -110,6 +110,16 @@ val publish : t -> Pti_cts.Assembly.t -> unit
     holders chosen by rendezvous hashing over the current non-dead
     membership. *)
 
+val publish_cas : ?expect:string -> t -> Pti_cts.Assembly.t ->
+  (Pti_core.Repository.version_entry, Pti_core.Repository.cas_error) result
+(** Compare-and-set publication onto this node's version chain
+    ({!Pti_core.Peer.publish_assembly_cas}); on success the stamped
+    revision is pushed to the [factor - 1] rendezvous replicas as chain
+    entries, and anti-entropy gossip (which now carries per-name
+    version-chain digests) converges the rest of the cluster on the
+    newest chain. A [Conflict] means another publisher won the race:
+    nothing is replicated. *)
+
 val placement : t -> assembly:string -> int -> string list
 (** The first [k] addresses of the deterministic rendezvous order —
     exposed for tests and capacity planning. *)

@@ -51,11 +51,34 @@ type stats = {
   invalidated : int;
 }
 
-(* A cached verdict carries the lowercased qualified names it depended on
-   (every name the resolver was asked for during the computation, hit or
-   miss), so learning a new type can invalidate exactly the entries that
-   mentioned it — keyed invalidation instead of clearing the cache. *)
+(* A cached verdict carries the dependencies it was computed from (every
+   name the resolver was asked for during the computation), so learning a
+   new type can invalidate exactly the entries that mentioned it — keyed
+   invalidation instead of clearing the cache.
+
+   Each dependency is {e witnessed}: a successful resolution records the
+   GUID of the description it returned, a miss records a miss marker.
+   Version-aware invalidation falls out: when [name] is (re)announced
+   with GUID [g], verdicts that resolved [name] to that same [g] are
+   statements about bytes that have not changed and survive, while
+   verdicts that saw a different version — or failed on the miss — are
+   dropped. Dependency keys encode the witness as
+   ["<lowercased-name>\x00<guid>"] (miss marker ["?"]). *)
 type entry = { e_verdict : verdict; e_deps : string list }
+
+let dep_sep = '\x00'
+let dep_miss name = Printf.sprintf "%s%c?" (String.lowercase_ascii name) dep_sep
+
+let dep_witnessed name guid =
+  Printf.sprintf "%s%c%s"
+    (String.lowercase_ascii name)
+    dep_sep (Guid.to_string guid)
+
+let dep_prefix name = Printf.sprintf "%s%c" (String.lowercase_ascii name) dep_sep
+
+let dep_has_prefix ~prefix key =
+  String.length key >= String.length prefix
+  && String.equal (String.sub key 0 (String.length prefix)) prefix
 
 type t = {
   cfg : Config.t;
@@ -128,14 +151,43 @@ let clear_cache t =
   Lru.Str.clear t.cache;
   Hashtbl.reset t.dep_index
 
-let note_new_type t name =
-  let ln = String.lowercase_ascii name in
-  match Hashtbl.find_opt t.dep_index ln with
-  | None -> 0
-  | Some keys ->
-      let n = Lru.Str.invalidate_where t.cache (Hashtbl.mem keys) in
-      (* on_evict already pruned [keys] entry by entry; drop the name. *)
-      Hashtbl.remove t.dep_index ln;
+let note_new_type ?witness t name =
+  let prefix = dep_prefix name in
+  let keep =
+    (* The arriving description's GUID: a dependency that witnessed
+       exactly these bytes is still valid and must not be dropped. *)
+    match witness with Some g -> Some (dep_witnessed name g) | None -> None
+  in
+  let stale_deps =
+    Hashtbl.fold
+      (fun dep _ acc ->
+        if
+          dep_has_prefix ~prefix dep
+          && not (Option.equal String.equal keep (Some dep))
+        then dep :: acc
+        else acc)
+      t.dep_index []
+  in
+  match stale_deps with
+  | [] -> 0
+  | _ ->
+      let doomed = Hashtbl.create 16 in
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt t.dep_index dep with
+          | None -> ()
+          | Some keys -> Hashtbl.iter (fun k () -> Hashtbl.replace doomed k ()) keys)
+        stale_deps;
+      let n = Lru.Str.invalidate_where t.cache (Hashtbl.mem doomed) in
+      (* on_evict already pruned the per-dep key sets entry by entry;
+         drop any now-empty dep rows. *)
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt t.dep_index dep with
+          | Some keys when Hashtbl.length keys = 0 ->
+              Hashtbl.remove t.dep_index dep
+          | _ -> ())
+        stale_deps;
       t.st.m_invalidated <- t.st.m_invalidated + n;
       n
 
@@ -172,18 +224,21 @@ let pair_key t (actual : Td.t) (interest : Td.t) =
   Printf.sprintf "%s<=%s|%s" (id_of actual) (id_of interest)
     (Config.key t.cfg)
 
-let note_dep t name =
+let note_dep_key t key =
   match t.cur_deps with
   | None -> ()
-  | Some deps -> Hashtbl.replace deps (String.lowercase_ascii name) ()
+  | Some deps -> Hashtbl.replace deps key ()
 
 let resolve t name =
   (* Recorded whether the lookup hits or misses: a verdict that failed on
-     a missing description must be re-examined when that type arrives. *)
-  note_dep t name;
+     a missing description must be re-examined when that type arrives,
+     while a hit witnesses the GUID of the description it actually saw. *)
   match t.resolve name with
-  | Some d -> Some d
+  | Some d ->
+      note_dep_key t (dep_witnessed name d.Td.ty_guid);
+      Some d
   | None ->
+      note_dep_key t (dep_miss name);
       t.st.m_resolver_misses <- t.st.m_resolver_misses + 1;
       None
 
@@ -270,7 +325,7 @@ let rec conforms_desc t (assum : assum) depth (actual : Td.t)
         else
           (* A nested hit folds the entry's dependencies into the
              enclosing computation's: the outer verdict inherits them. *)
-          List.iter (note_dep t) e.e_deps;
+          List.iter (note_dep_key t) e.e_deps;
         (match e.e_verdict with
         | Conformant m -> Ok m
         | Not_conformant fs -> Error fs)
@@ -288,12 +343,13 @@ let rec conforms_desc t (assum : assum) depth (actual : Td.t)
           let saved_deps = t.cur_deps in
           if fresh then begin
             t.st.m_top_computes <- t.st.m_top_computes + 1;
-            let deps = Hashtbl.create 16 in
-            Hashtbl.replace deps
-              (String.lowercase_ascii (Td.qualified_name actual)) ();
-            Hashtbl.replace deps
-              (String.lowercase_ascii (Td.qualified_name interest)) ();
-            t.cur_deps <- Some deps
+            (* The pair itself is identified by GUID in the cache key;
+               only the name→description bindings the computation actually
+               resolves are dependencies (recorded in [resolve]). Seeding
+               the pair's own names here would make a v2 publish drop
+               still-valid verdicts about v1 — the over-drop
+               {!note_new_type}'s witnesses exist to prevent. *)
+            t.cur_deps <- Some (Hashtbl.create 16)
           end;
           let result = conforms_desc_uncached t assum depth actual interest ctx in
           Hashtbl.remove assum key;

@@ -128,12 +128,22 @@ val reuse_rate : t -> float
     checks answered from the verdict cache ([0.] before any check). The
     scale bench reports this as the population-scale cache-reuse curve. *)
 
-val note_new_type : t -> string -> int
+val note_new_type : ?witness:Pti_util.Guid.t -> t -> string -> int
 (** [note_new_type t name]: a description for [name] just became
     resolvable. Invalidates exactly the cached verdicts whose computation
     asked the resolver for [name] (hit or miss) — in particular verdicts
     that failed because [name] was missing — and returns how many were
-    dropped. Verdicts for unrelated pairs survive, unlike {!clear_cache}. *)
+    dropped. Verdicts for unrelated pairs survive, unlike {!clear_cache}.
+
+    [witness] is the GUID of the description [name] now resolves to and
+    makes the invalidation version-aware: verdicts whose computation
+    resolved [name] to {e exactly this} description are statements about
+    unchanged bytes and survive, while verdicts that saw a different
+    version (or failed on the miss) are dropped. Without [witness] every
+    verdict that resolved [name] at all is dropped — the safe
+    pre-evolution behavior. A v2 publish therefore never poisons cached
+    v1 verdicts (stale resolutions go) and never over-drops them
+    (same-witness resolutions stay). *)
 
 val clear_cache : t -> unit
 (** Drop every cached verdict (the sledgehammer; prefer

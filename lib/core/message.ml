@@ -5,7 +5,14 @@ type t =
       assemblies : string list;
     }
   | Obj_batch of { frame : string }
-  | Tdesc_request of { type_name : string; token : int; binary_ok : bool }
+  | Tdesc_request of {
+      type_name : string;
+      token : int;
+      binary_ok : bool;
+      version : int;
+          (* Pin to this chain version of the type's assembly; 0 = the
+             responder's latest (pre-evolution behavior). *)
+    }
   | Tdesc_reply of { type_name : string; desc : string option; token : int }
   | Asm_request of { path : string; token : int }
   | Asm_reply of { path : string; assembly : string option; token : int }
@@ -64,8 +71,10 @@ let describe = function
   | Obj_msg { envelope; tdescs; assemblies } ->
       Printf.sprintf "obj(%dB env, %d tdescs, %d assemblies)"
         (String.length envelope) (List.length tdescs) (List.length assemblies)
-  | Tdesc_request { type_name; token; _ } ->
-      Printf.sprintf "tdesc-req(%s)#%d" type_name token
+  | Tdesc_request { type_name; token; version; _ } ->
+      if version > 0 then
+        Printf.sprintf "tdesc-req(%s@v%d)#%d" type_name version token
+      else Printf.sprintf "tdesc-req(%s)#%d" type_name token
   | Tdesc_reply { type_name; desc; token } ->
       Printf.sprintf "tdesc-reply(%s,%s)#%d" type_name
         (if desc = None then "miss" else "hit")

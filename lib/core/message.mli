@@ -15,7 +15,15 @@ type t =
       (** Several coalesced [Obj_msg] payloads (plus opportunistic
           gossip piggyback) in one checksummed {!Pti_serial.Batch_frame},
           amortising per-message framing and ack overhead. *)
-  | Tdesc_request of { type_name : string; token : int; binary_ok : bool }
+  | Tdesc_request of {
+      type_name : string;
+      token : int;
+      binary_ok : bool;
+      version : int;
+          (** Pin to this chain version of the type's assembly; [0] = the
+              responder's latest (pre-evolution behavior, absent on the
+              wire). *)
+    }
       (** [binary_ok] advertises that the requester accepts the compact
           binary type-description codec in the reply; responders fall
           back to XML for peers that do not. *)

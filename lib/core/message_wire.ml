@@ -36,11 +36,14 @@ let encode (m : Message.t) =
   | Message.Obj_batch { frame } ->
       W.u8 w 1;
       W.string w frame
-  | Message.Tdesc_request { type_name; token; binary_ok } ->
+  | Message.Tdesc_request { type_name; token; binary_ok; version } ->
       W.u8 w 2;
       W.string w type_name;
       W.varint w token;
-      W.bool w binary_ok
+      W.bool w binary_ok;
+      (* Version 0 is omitted so pre-evolution frames are unchanged;
+         decoders probe for the trailing field with [at_end]. *)
+      if version > 0 then W.varint w version
   | Message.Tdesc_reply { type_name; desc; token } ->
       W.u8 w 3;
       W.string w type_name;
@@ -95,7 +98,8 @@ let decode s : (Message.t, string) result =
           let type_name = R.string r in
           let token = R.varint r in
           let binary_ok = R.bool r in
-          Message.Tdesc_request { type_name; token; binary_ok }
+          let version = if R.at_end r then 0 else R.varint r in
+          Message.Tdesc_request { type_name; token; binary_ok; version }
       | 3 ->
           let type_name = R.string r in
           let desc = read_opt r in

@@ -106,6 +106,15 @@ type shared = {
   sh_checker : Checker.t;
   sh_known_paths : string Lru.Str.t;  (* assembly name -> path *)
   sh_px : Proxy.context;
+  (* Highest assembly version loaded as live code, by lowercased assembly
+     name: decides whether a fetched revision upgrades the live bindings
+     or is shadow-registered (GUID-only) for in-flight old envelopes. *)
+  sh_loaded_versions : (string, int) Hashtbl.t;
+  (* Newest version cached under a [name@vN] tdesc-cache key, by
+     lowercased qualified type name: the checker's resolver falls back to
+     it when the bare name has no binding, so nested (e.g. recursive)
+     type references inside a version-pinned envelope still resolve. *)
+  sh_desc_versions : (string, int) Hashtbl.t;
   sh_ht_capacity : int;
   (* Recycled receiver handle tables: a departing session's per-link
      tables are cleared and parked here; the next arriving session draws
@@ -131,9 +140,12 @@ type t = {
   mutable next_export : int;
   mutable next_token : int;
   (* Continuation, timeout-cancel thunk, remaining corrupt-reply
-     re-requests for this pending subprotocol exchange. *)
+     re-requests for this pending subprotocol exchange. Description
+     requests also remember the chain version they were pinned to (0 =
+     latest) so a corrupt-reply re-request re-asks for the same
+     revision. *)
   tdesc_conts :
-    (int, (Td.t option -> unit) * (unit -> unit) * int) Hashtbl.t;
+    (int, (Td.t option -> unit) * (unit -> unit) * (int * int)) Hashtbl.t;
   asm_conts :
     (int, (Assembly.t option -> unit) * (unit -> unit) * int) Hashtbl.t;
   invoke_conts : (int, (Value.value, string) result -> unit) Hashtbl.t;
@@ -261,13 +273,44 @@ let local_desc t name =
   | Some cd -> Some (Td.of_class cd)
   | None -> Lru.Str.find t.sh.sh_tdesc_cache (lc name)
 
-let cache_desc t d =
-  let key = lc (Td.qualified_name d) in
-  if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
-    Lru.Str.put t.sh.sh_tdesc_cache key d;
-    (* New knowledge can overturn verdicts that failed on this missing
-       type — and only those. Unrelated cached verdicts survive. *)
-    ignore (Checker.note_new_type t.sh.sh_checker (Td.qualified_name d))
+let cache_desc ?(version = 0) t d =
+  if version > 0 then begin
+    (* Version-pinned entry, keyed [name@vN]: it never shadows (or
+       overturns) an existing bare-name binding. But when the bare name
+       has NO binding, the checker's resolver serves the newest
+       versioned entry instead — so becoming that newest entry is new
+       knowledge, and verdicts that failed on the missing name must be
+       re-derived (the GUID witness keeps any verdict that already
+       resolved this very description). *)
+    let nm = lc (Td.qualified_name d) in
+    let key = Printf.sprintf "%s@v%d" nm version in
+    if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
+      Lru.Str.put t.sh.sh_tdesc_cache key d;
+      let newest =
+        match Hashtbl.find_opt t.sh.sh_desc_versions nm with
+        | Some v -> version > v
+        | None -> true
+      in
+      if newest then begin
+        Hashtbl.replace t.sh.sh_desc_versions nm version;
+        if not (Lru.Str.mem t.sh.sh_tdesc_cache nm) then
+          ignore
+            (Checker.note_new_type ~witness:d.Td.ty_guid t.sh.sh_checker
+               (Td.qualified_name d))
+      end
+    end
+  end
+  else begin
+    let key = lc (Td.qualified_name d) in
+    if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
+      Lru.Str.put t.sh.sh_tdesc_cache key d;
+      (* New knowledge can overturn verdicts that failed on this missing
+         type — and only those. The GUID witness additionally keeps any
+         verdict that already resolved this very description. *)
+      ignore
+        (Checker.note_new_type ~witness:d.Td.ty_guid t.sh.sh_checker
+           (Td.qualified_name d))
+    end
   end
 
 (* Qualified names a description refers to — what else we may need. *)
@@ -332,28 +375,33 @@ let arm_timeout t conts token =
    to parse is treated as wire damage and re-requested that many times
    before the continuation degrades to [None]. Fresh requests start from
    the peer's [fetch_retries] knob. *)
-let request_tdesc ?retries t ~from name k =
+let request_tdesc ?retries ?(version = 0) t ~from name k =
   let token = fresh_token t in
   let retries = Option.value ~default:t.fetch_retries retries in
-  Hashtbl.replace t.tdesc_conts token (k, (fun () -> ()), retries);
+  Hashtbl.replace t.tdesc_conts token (k, (fun () -> ()), (retries, version));
   arm_timeout t t.tdesc_conts token;
-  send t ~dst:from (Message.Tdesc_request { type_name = name; token; binary_ok = t.tdesc_binary })
+  send t ~dst:from
+    (Message.Tdesc_request
+       { type_name = name; token; binary_ok = t.tdesc_binary; version })
 
 (* Like [request_tdesc], but concurrent requests for the same name from
    the same host share one wire exchange: later callers just enqueue
    their continuation on the outstanding one. The inflight entry stays
    until the (possibly retried) exchange resolves, so corrupt-reply
    re-requests keep absorbing new callers too. *)
-let request_tdesc_shared t ~from name k =
-  if not t.share_inflight then request_tdesc t ~from name k
+let request_tdesc_shared ?(version = 0) t ~from name k =
+  if not t.share_inflight then request_tdesc ~version t ~from name k
   else
-  let key = from ^ "|" ^ lc name in
+  let key =
+    from ^ "|" ^ lc name
+    ^ if version > 0 then Printf.sprintf "@v%d" version else ""
+  in
   match Hashtbl.find_opt t.tdesc_inflight key with
   | Some waiters -> waiters := k :: !waiters
   | None ->
       let waiters = ref [ k ] in
       Hashtbl.add t.tdesc_inflight key waiters;
-      request_tdesc t ~from name (fun resp ->
+      request_tdesc ~version t ~from name (fun resp ->
           Hashtbl.remove t.tdesc_inflight key;
           List.iter (fun k -> k resp) (List.rev !waiters))
 
@@ -364,23 +412,47 @@ let request_assembly t ~host ~path k =
   send t ~dst:host (Message.Asm_request { path; token })
 
 (* Fetch the transitive closure of descriptions for [names] from [from],
-   then continue with [k]. Names already resolvable locally are free. *)
-let ensure_descs t ~from names k =
+   then continue with [k]. Names already resolvable locally are free.
+   [pins] (keyed by lowercased name) pins a name to the chain version and
+   GUID its envelope entry declared: a pinned name only resolves locally
+   to that exact description, and is otherwise fetched version-pinned, so
+   a concurrent upgrade can never substitute a different revision. *)
+let ensure_descs ?(pins = []) t ~from names k =
   let outstanding = ref 0 in
   let visited = Hashtbl.create 16 in
   let finished = ref false in
+  let pin_of key = List.assoc_opt key pins in
+  let local key name =
+    match pin_of key with
+    | Some (v, guid) when v > 0 -> (
+        match Registry.find_by_guid t.sh.sh_reg guid with
+        | Some cd -> Some (Td.of_class cd)
+        | None -> (
+            match
+              Lru.Str.find t.sh.sh_tdesc_cache (Printf.sprintf "%s@v%d" key v)
+            with
+            | Some d -> Some d
+            | None -> (
+                (* A bare cached description still satisfies the pin when
+                   it is the pinned revision. *)
+                match local_desc t name with
+                | Some d when Pti_util.Guid.equal d.Td.ty_guid guid -> Some d
+                | _ -> None)))
+    | _ -> local_desc t name
+  in
   let rec need name =
     let key = lc name in
     if not (Hashtbl.mem visited key) then begin
       Hashtbl.add visited key ();
-      match local_desc t name with
+      match local key name with
       | Some d -> List.iter need (refs_of_desc d)
       | None ->
           incr outstanding;
-          request_tdesc_shared t ~from name (fun resp ->
+          let version = match pin_of key with Some (v, _) -> v | None -> 0 in
+          request_tdesc_shared ~version t ~from name (fun resp ->
               (match resp with
               | Some d ->
-                  cache_desc t d;
+                  cache_desc ~version t d;
                   List.iter need (refs_of_desc d)
               | None -> ());
               decr outstanding;
@@ -459,14 +531,35 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
 
 (* The failover pipeline behind an in-flight guard: a local mirror copy
    short-circuits the network entirely, and concurrent fetches of the
-   same assembly share one download. *)
+   same assembly share one download. A versioned advertised path pins
+   both the local short-circuit and the in-flight dedup to that chain
+   revision — a concurrent fetch of a different revision is a different
+   download. *)
 let fetch_assembly_failover t ~asm_name ~advertised k =
-  match Repository.find_by_name t.sh.sh_repo asm_name with
+  let pin =
+    match Repository.parse_versioned_path advertised with
+    | Some (_, _, Some v) -> Some v
+    | _ -> None
+  in
+  let local =
+    match pin with
+    | Some v -> (
+        match
+          Repository.resolve t.sh.sh_repo ~pin:(Repository.Version v) asm_name
+        with
+        | Some ve -> Some (ve.Repository.ve_path, ve.Repository.ve_assembly)
+        | None -> None)
+    | None -> Repository.find_by_name t.sh.sh_repo asm_name
+  in
+  match local with
   | Some (path, asm) -> k (Some (path, asm))
   | None when not t.share_inflight ->
       fetch_assembly_uncached t ~asm_name ~advertised k
   | None -> (
-      let key = lc asm_name in
+      let key =
+        lc asm_name
+        ^ match pin with Some v -> Printf.sprintf "@v%d" v | None -> ""
+      in
       match Hashtbl.find_opt t.asm_inflight key with
       | Some waiters -> waiters := k :: !waiters
       | None ->
@@ -478,8 +571,36 @@ let fetch_assembly_failover t ~asm_name ~advertised k =
 
 exception Load_error of string * string  (* assembly, reason *)
 
+(* Promote an assembly to the live revision: names rebind, old GUIDs stay
+   reachable, and the checker drops exactly the verdicts bound to the
+   superseded definitions (same-witness verdicts survive). *)
+let upgrade_assembly_local t asm =
+  Assembly.upgrade t.sh.sh_reg asm;
+  List.iter
+    (fun cd ->
+      ignore
+        (Checker.note_new_type ~witness:cd.Meta.td_guid t.sh.sh_checker
+           (Meta.qualified_name cd)))
+    asm.Assembly.asm_classes
+
+(* Version-aware code loading. A first load (or a same-version reload)
+   registers classically; a strictly newer revision of an assembly we
+   already run upgrades the live bindings; a strictly older one is
+   shadow-registered — its GUIDs resolve for in-flight old envelopes,
+   but the names keep pointing at the newer live revision. *)
 let load_assembly t asm =
-  try Assembly.load t.sh.sh_reg asm
+  let key = lc asm.Assembly.asm_name in
+  let v = asm.Assembly.asm_version in
+  try
+    match Hashtbl.find_opt t.sh.sh_loaded_versions key with
+    | None ->
+        Assembly.load t.sh.sh_reg asm;
+        Hashtbl.replace t.sh.sh_loaded_versions key v
+    | Some prev when v > prev ->
+        upgrade_assembly_local t asm;
+        Hashtbl.replace t.sh.sh_loaded_versions key v
+    | Some prev when v < prev -> Assembly.shadow t.sh.sh_reg asm
+    | Some _ -> Assembly.load t.sh.sh_reg asm
   with Registry.Duplicate name ->
     raise
       (Load_error
@@ -573,6 +694,29 @@ let first_failure t (root : Td.t) =
           | Checker.Not_conformant [] -> "not conformant"
           | Checker.Not_conformant (f :: _) -> f.Checker.message))
 
+(* Root description pinned to the sender's actual revision: the envelope
+   entry names the GUID the sender serialized against, so conformance is
+   judged against that description — not whatever the bare name happens
+   to resolve to after a local upgrade raced the delivery. *)
+let env_desc t (env : Envelope.t) name =
+  match
+    List.find_opt
+      (fun (e : Envelope.type_entry) -> S.equal_ci e.Envelope.te_name name)
+      env.Envelope.env_types
+  with
+  | None -> local_desc t name
+  | Some e -> (
+      match Registry.find_by_guid t.sh.sh_reg e.Envelope.te_guid with
+      | Some cd -> Some (Td.of_class cd)
+      | None -> (
+          let versioned =
+            if e.Envelope.te_version > 0 then
+              Lru.Str.find t.sh.sh_tdesc_cache
+                (Printf.sprintf "%s@v%d" (lc name) e.Envelope.te_version)
+            else None
+          in
+          match versioned with Some d -> Some d | None -> local_desc t name))
+
 let decode_and_deliver t ~from (env : Envelope.t) root_name =
   match Envelope.decode_payload t.sh.sh_reg env with
   | Error (Envelope.Corrupt reason) ->
@@ -581,7 +725,7 @@ let decode_and_deliver t ~from (env : Envelope.t) root_name =
       log_event t
         (Decode_failed { from; reason = Format.asprintf "%a" Envelope.pp_error e })
   | Ok value -> (
-      match local_desc t root_name with
+      match env_desc t env root_name with
       | None ->
           log_event t
             (Decode_failed
@@ -704,9 +848,21 @@ let process_envelope t ~from (env : Envelope.t) tdescs assemblies =
             (* Optimistic fast path: everything already loaded. *)
             decode_and_deliver t ~from env root_name
           else
-            (* Step 2-3: pull type information, check the rules. *)
-            ensure_descs t ~from all_names (fun () ->
-                match local_desc t root_name with
+            (* Step 2-3: pull type information, check the rules. Entries
+               stamped with a chain version pin the fetch to that exact
+               revision. *)
+            let pins =
+              List.filter_map
+                (fun (e : Envelope.type_entry) ->
+                  if e.Envelope.te_version > 0 then
+                    Some
+                      ( lc e.Envelope.te_name,
+                        (e.Envelope.te_version, e.Envelope.te_guid) )
+                  else None)
+                env.Envelope.env_types
+            in
+            ensure_descs ~pins t ~from all_names (fun () ->
+                match env_desc t env root_name with
                 | None ->
                     log_event t
                       (Rejected
@@ -778,8 +934,17 @@ let download_path t ~assembly =
   | Some p -> p
   | None -> Repository.path_for ~host:t.addr ~assembly
 
+(* Chain version stamped into outgoing type entries: the published head
+   for assemblies on this repository's version chain, 0 (absent on the
+   wire) for everything else — so pre-evolution traffic is unchanged. *)
+let assembly_version t ~assembly =
+  match Repository.resolve t.sh.sh_repo assembly with
+  | Some ve -> ve.Repository.ve_version
+  | None -> 0
+
 let make_args_envelope t args =
   Envelope.make t.sh.sh_reg ~codec:t.codec
+    ~version_of:(fun ~assembly -> assembly_version t ~assembly)
     ~download_path:(fun ~assembly -> download_path t ~assembly)
     (Value.Varr { Value.elem_ty = Ty.Named "object"; items = Array.of_list args })
 
@@ -811,6 +976,8 @@ let handle_invoke t ~from ~target ~meth ~args_xml ~token =
                 | result ->
                     let renv =
                       Envelope.make t.sh.sh_reg ~codec:t.codec
+                        ~version_of:(fun ~assembly ->
+                          assembly_version t ~assembly)
                         ~download_path:(fun ~assembly ->
                           download_path t ~assembly)
                         result
@@ -879,18 +1046,52 @@ let handle t ~src msg =
                   handle_envelope ~renego_budget:pk.pk_retries t ~from:src
                     pk.pk_envelope pk.pk_tdescs pk.pk_assemblies)
                 waiting))
-  | Message.Tdesc_request { type_name; token; binary_ok } ->
+  | Message.Tdesc_request { type_name; token; binary_ok; version } ->
+      (* A pinned request is answered from the repository's version
+         chains — the description exactly as published at that revision —
+         falling back to the version-pinned cache, then best-effort to
+         the bare resolution (a peer with no chain knowledge answers as
+         before; the requester's GUID pin still vets what comes back). *)
+      let pinned () =
+        let rec scan = function
+          | [] -> None
+          | (asm_name, _) :: rest -> (
+              match
+                Repository.resolve t.sh.sh_repo
+                  ~pin:(Repository.Version version) asm_name
+              with
+              | Some ve -> (
+                  match
+                    Assembly.find_class ve.Repository.ve_assembly type_name
+                  with
+                  | Some cd -> Some (Td.of_class cd)
+                  | None -> scan rest)
+              | None -> scan rest)
+        in
+        match scan (Repository.chain_digests t.sh.sh_repo) with
+        | Some _ as d -> d
+        | None -> (
+            match
+              Lru.Str.find t.sh.sh_tdesc_cache
+                (Printf.sprintf "%s@v%d" (lc type_name) version)
+            with
+            | Some _ as d -> d
+            | None -> local_desc t type_name)
+      in
+      let resolved =
+        if version > 0 then pinned () else local_desc t type_name
+      in
       let desc =
         Option.map
           (fun d ->
             if binary_ok then Td.to_binary_string d else Td.to_xml_string d)
-          (local_desc t type_name)
+          resolved
       in
       send t ~dst:src (Message.Tdesc_reply { type_name; desc; token })
   | Message.Tdesc_reply { type_name; desc; token } -> (
       match Hashtbl.find_opt t.tdesc_conts token with
       | None -> ()
-      | Some (k, cancel_timeout, retries) -> (
+      | Some (k, cancel_timeout, (retries, version)) -> (
           Hashtbl.remove t.tdesc_conts token;
           cancel_timeout ();
           match desc with
@@ -910,8 +1111,8 @@ let handle t ~src msg =
                       ~info:("tdesc-reask " ^ type_name)
                       ~delay_ms:t.fetch_backoff_ms
                       (fun () ->
-                        request_tdesc ~retries:(retries - 1) t ~from:src
-                          type_name k)
+                        request_tdesc ~retries:(retries - 1) ~version t
+                          ~from:src type_name k)
                   else k None)))
   | Message.Asm_request { path; token } ->
       let assembly =
@@ -1036,10 +1237,21 @@ let create_shared ?(config = Config.strict) ?(tdesc_cache_capacity = 512)
     ?(handle_table_capacity = 512) () =
   let reg = Registry.create () in
   let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
+  let desc_versions = Hashtbl.create 16 in
   let resolver name =
     match Registry.find reg name with
     | Some cd -> Some (Td.of_class cd)
-    | None -> Lru.Str.find tdesc_cache (lc name)
+    | None -> (
+        let key = lc name in
+        match Lru.Str.find tdesc_cache key with
+        | Some d -> Some d
+        | None -> (
+            (* No bare binding: serve the newest version-pinned entry, so
+               nested references inside pinned envelopes resolve. *)
+            match Hashtbl.find_opt desc_versions key with
+            | Some v ->
+                Lru.Str.find tdesc_cache (Printf.sprintf "%s@v%d" key v)
+            | None -> None))
   in
   let checker =
     Checker.create ~config ?cache_capacity:checker_cache_capacity ~resolver ()
@@ -1051,6 +1263,8 @@ let create_shared ?(config = Config.strict) ?(tdesc_cache_capacity = 512)
     sh_checker = checker;
     sh_known_paths = Lru.Str.create ~capacity:known_paths_capacity ();
     sh_px = Proxy.create_context reg checker;
+    sh_loaded_versions = Hashtbl.create 16;
+    sh_desc_versions = desc_versions;
     sh_ht_capacity = handle_table_capacity;
     sh_ht_pool = Queue.create ();
   }
@@ -1137,15 +1351,43 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
   t.ep <- Some (Transport.add_endpoint tr addr ~handler:(fun ~src msg -> handle t ~src msg));
   t
 
+let record_loaded_version t asm =
+  let key = lc asm.Assembly.asm_name in
+  let v = asm.Assembly.asm_version in
+  match Hashtbl.find_opt t.sh.sh_loaded_versions key with
+  | Some prev when prev >= v -> ()
+  | _ -> Hashtbl.replace t.sh.sh_loaded_versions key v
+
 let publish_assembly t asm =
   Assembly.load t.sh.sh_reg asm;
+  record_loaded_version t asm;
   let path =
     Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
   in
   Repository.add t.sh.sh_repo ~path asm;
   Lru.Str.put t.sh.sh_known_paths (lc asm.Assembly.asm_name) path
 
-let install_assembly t asm = Assembly.load t.sh.sh_reg asm
+(* Compare-and-set publish onto the repository's version chain. On
+   success the new revision becomes the live code (old GUIDs stay
+   registered so in-flight envelopes still decode version-pinned), the
+   checker drops exactly the verdicts bound to superseded revisions
+   (same-witness verdicts survive), and the advertised download path
+   moves to the new head. *)
+let publish_assembly_cas ?expect t asm =
+  match Repository.publish_cas t.sh.sh_repo ~host:t.addr ~expect asm with
+  | Error _ as e -> e
+  | Ok ve ->
+      let asm' = ve.Repository.ve_assembly in
+      upgrade_assembly_local t asm';
+      record_loaded_version t asm';
+      Lru.Str.put t.sh.sh_known_paths
+        (lc asm'.Assembly.asm_name)
+        ve.Repository.ve_path;
+      Ok ve
+
+let install_assembly t asm =
+  Assembly.load t.sh.sh_reg asm;
+  record_loaded_version t asm
 
 let serve_assembly t ?path asm =
   let path =
@@ -1182,8 +1424,12 @@ let known_descriptions t =
     (Registry.all t.sh.sh_reg);
   Lru.Str.fold t.sh.sh_tdesc_cache ~init:()
     ~f:(fun key d () ->
-      if not (Hashtbl.mem tbl key) then
-        Hashtbl.replace tbl key (Td.qualified_name d, d.Td.ty_guid));
+      (* Version-pinned slots (keyed [name@vN]) are link-local decode
+         aids, not knowledge to gossip. *)
+      if
+        String.equal key (lc (Td.qualified_name d))
+        && not (Hashtbl.mem tbl key)
+      then Hashtbl.replace tbl key (Td.qualified_name d, d.Td.ty_guid));
   Hashtbl.fold (fun _ entry acc -> entry :: acc) tbl []
   |> List.sort compare
 
@@ -1345,6 +1591,7 @@ let enqueue_part t ~dst ~budget envelope tdescs assemblies =
 let send_value t ~dst value =
   let env =
     Envelope.make t.sh.sh_reg ~codec:t.codec
+      ~version_of:(fun ~assembly -> assembly_version t ~assembly)
       ~download_path:(fun ~assembly -> download_path t ~assembly)
       value
   in

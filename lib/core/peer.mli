@@ -171,6 +171,18 @@ val schedule_timer : t -> info:string -> delay_ms:float ->
 val publish_assembly : t -> Assembly.t -> unit
 (** Load locally and serve under [asm://<address>/<name>]. *)
 
+val publish_assembly_cas : ?expect:string -> t -> Assembly.t ->
+  (Repository.version_entry, Repository.cas_error) result
+(** Compare-and-set publish onto this host's version chain (see
+    {!Repository.publish_cas}): [expect] is the required current head
+    digest; omitted, the chain must still be empty (first publish).
+    On success the revision is stamped with the next chain version,
+    served versioned {e and} as the new unversioned head, loaded as the
+    live code via {!Registry.upgrade} (old GUIDs stay registered so
+    in-flight envelopes keep decoding against the revision they were
+    serialized with), and the checker's verdict cache is invalidated
+    witness-aware — verdicts about unchanged descriptions survive. *)
+
 val install_assembly : t -> Assembly.t -> unit
 (** Load locally without serving it. *)
 

@@ -29,6 +29,8 @@ let find_class t name =
     t.asm_classes
 
 let load reg t = List.iter (Registry.register reg) t.asm_classes
+let upgrade reg t = List.iter (Registry.upgrade reg) t.asm_classes
+let shadow reg t = List.iter (Registry.shadow reg) t.asm_classes
 
 let class_size cd =
   let ty_size ty = String.length (Ty.to_string ty) in

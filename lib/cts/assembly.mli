@@ -26,6 +26,17 @@ val load : Registry.t -> t -> unit
 (** Registers every class; idempotent for identical definitions.
     @raise Registry.Duplicate on a conflicting definition. *)
 
+val upgrade : Registry.t -> t -> unit
+(** Schema evolution: {!Registry.upgrade} every class — each qualified
+    name now resolves to this assembly's definition while previously
+    registered versions stay reachable by GUID.
+    @raise Registry.Duplicate on a GUID collision. *)
+
+val shadow : Registry.t -> t -> unit
+(** {!Registry.shadow} every class: reachable by GUID, names left to
+    whatever newer revision holds them — loading an {e older} revision
+    than the live one. @raise Registry.Duplicate on a GUID collision. *)
+
 val size_bytes : t -> int
 (** Approximate on-the-wire size: metadata surface plus body node counts.
     The network simulator charges assembly downloads by this — assemblies

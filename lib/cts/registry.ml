@@ -26,6 +26,38 @@ let register t cd =
       Hashtbl.replace t.by_name k cd;
       Hashtbl.replace t.by_guid cd.Meta.td_guid cd
 
+(* Live schema evolution: the new definition takes over the qualified
+   name, while any previous definition stays reachable by its GUID — an
+   in-flight envelope stamped with the old GUID still resolves, which is
+   what keeps a rolling upgrade from mis-typing deliveries. *)
+let upgrade t cd =
+  (match Meta.validate cd with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Registry.upgrade: " ^ msg));
+  (match Hashtbl.find_opt t.by_guid cd.Meta.td_guid with
+  | Some existing when existing = cd -> ()
+  | Some _ -> raise (Duplicate (Meta.qualified_name cd))
+  | None -> ());
+  Hashtbl.replace t.by_name (key cd) cd;
+  Hashtbl.replace t.by_guid cd.Meta.td_guid cd
+
+(* The downgrade-safe counterpart: make the definition reachable by GUID
+   without disturbing whatever the name currently resolves to — how a
+   receiver that already runs v2 absorbs the v1 classes an in-flight old
+   envelope still decodes against. The name is bound only when nothing
+   holds it yet. *)
+let shadow t cd =
+  (match Meta.validate cd with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Registry.shadow: " ^ msg));
+  match Hashtbl.find_opt t.by_guid cd.Meta.td_guid with
+  | Some existing when existing = cd -> ()
+  | Some _ -> raise (Duplicate (Meta.qualified_name cd))
+  | None ->
+      Hashtbl.replace t.by_guid cd.Meta.td_guid cd;
+      if not (Hashtbl.mem t.by_name (key cd)) then
+        Hashtbl.replace t.by_name (key cd) cd
+
 let find t name = Hashtbl.find_opt t.by_name (String.lowercase_ascii name)
 
 let find_exn t name =

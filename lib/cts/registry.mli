@@ -17,6 +17,25 @@ val create : unit -> t
 val register : t -> Meta.class_def -> unit
 (** @raise Duplicate, @raise Invalid_argument if {!Meta.validate} fails. *)
 
+val upgrade : t -> Meta.class_def -> unit
+(** Schema evolution: bind the class's qualified name to this (newer)
+    definition, {e keeping} any previously registered definition
+    reachable by its GUID — in-flight envelopes stamped with the old
+    version's GUID keep resolving while new lookups by name see the new
+    version. Upgrading to the identical definition is idempotent.
+    @raise Duplicate if the new GUID is already bound to a different
+    definition, @raise Invalid_argument if {!Meta.validate} fails. *)
+
+val shadow : t -> Meta.class_def -> unit
+(** The downgrade-safe counterpart of {!upgrade}: make the definition
+    reachable by GUID {e without} disturbing what its qualified name
+    resolves to (the name is bound only if nothing holds it yet) — how
+    a host already running a newer revision absorbs the older classes
+    an in-flight envelope still decodes against. Idempotent on the
+    identical definition.
+    @raise Duplicate if the GUID is bound to a different definition,
+    @raise Invalid_argument if {!Meta.validate} fails. *)
+
 val find : t -> string -> Meta.class_def option
 (** Case-insensitive qualified-name lookup. *)
 

@@ -58,11 +58,21 @@ let asm_name index flavor =
 (* Whether this family permutes its constructor arguments. *)
 let permutes rng = Sm.bool rng
 
-let family ~index ~flavor =
+let family_v ~version ~index ~flavor =
   let rng = Sm.create (Int64.of_int ((index * 64) + flavor_tag flavor + 1)) in
   let ns = ns_of index flavor in
   let asm = asm_name index flavor in
   let pname = person_name ~index ~flavor in
+  (* A revised Person needs its own GUID — same GUID with different
+     structure is an identity collision [Registry.upgrade] rejects.
+     Unchanged classes (Address) keep their default name-derived GUID,
+     so their identity is stable across revisions. The RNG seed ignores
+     [version]: every name spelling is identical across revisions, which
+     is what keeps v2 conformant to a v1 interest. *)
+  let person_guid =
+    if version <= 1 then None
+    else Some (Pti_util.Guid.of_name (Printf.sprintf "%s#v%d!%s" asm version pname))
+  in
   let aname = ns ^ ".Address" in
   let m = mangle rng in
   (* Address: conformant mirror of newsw.Address. *)
@@ -105,7 +115,7 @@ let family ~index ~flavor =
     | Conformant | Trap_missing | Trap_fieldtype | Typo _ -> []
   in
   let person =
-    B.class_ ~ns:[ ns ] ~assembly:asm (class_name flavor)
+    B.class_ ~ns:[ ns ] ?guid:person_guid ~assembly:asm (class_name flavor)
     |> B.ctor
          ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a") ])
          ctor_params
@@ -134,7 +144,22 @@ let family ~index ~flavor =
         |> B.setter (m "setHome") ~field:"home" (Ty.Named aname)
         |> B.setter (m "setSpouse") ~field:"spouse" (Ty.Named pname)
   in
-  Assembly.make ~name:asm [ address; B.build person ]
+  (* Revisions widen the type — members are only added, never removed or
+     retyped — so every revision still conforms to the v1 interest (old
+     receivers keep working), while the new accessors make the revision
+     structurally (and by digest) distinct. Appended after all v1 mangle
+     calls so the shared spellings are untouched. *)
+  let person =
+    if version <= 1 then person
+    else
+      person
+      |> B.field "email" Ty.String ~init:(E.str "new@v2")
+      |> B.getter (m "getEmail") ~field:"email" Ty.String
+      |> B.setter (m "setEmail") ~field:"email" Ty.String
+  in
+  Assembly.make ~version ~name:asm [ address; B.build person ]
+
+let family ~index ~flavor = family_v ~version:1 ~index ~flavor
 
 let make_person reg ~index ~flavor ~name ~age =
   (* The constructor's parameter order is family-specific (possibly
@@ -161,6 +186,56 @@ let make_person reg ~index ~flavor ~name ~age =
       ctor.Meta.c_params
   in
   Eval.construct reg qname args
+
+(* The canonical receiver-side vocabulary the harnesses register as their
+   type of interest. It mirrors the family shape — same fields, accessors,
+   [greet]/[older] — with one deliberate omission: the [spouse] field.
+   Rule ii makes field types invariant, so an interest that demands a
+   self-referential field ([spouse : Person]) freezes the sender's type
+   for good: any member a revision adds breaks the reverse direction of
+   the invariance check, and no additive upgrade can ever conform again.
+   Leaving [spouse] out of the interest keeps the evolving family out of
+   its own invariant closure, which is what makes the v2 revision (the
+   added [email] member) conformant while v1 receivers keep working. *)
+
+let interest_person = "wnews.Person"
+let interest_asm_name = "wl-news"
+
+let interest_address_def asm =
+  B.class_ ~ns:[ "wnews" ] ~assembly:asm "Address"
+  |> B.ctor
+       ~body:(E.Seq [ E.set "street" (E.Var "s"); E.set "city" (E.Var "c") ])
+       [ ("s", Ty.String); ("c", Ty.String) ]
+  |> B.property "street" Ty.String
+  |> B.property "city" Ty.String
+  |> B.method_ "format" [] Ty.String
+       ~body:
+         (E.Binop
+            ( E.Concat,
+              E.get "street",
+              E.Binop (E.Concat, E.str ", ", E.get "city") ))
+  |> B.build
+
+let interest_person_def asm =
+  B.class_ ~ns:[ "wnews" ] ~assembly:asm "Person"
+  |> B.ctor
+       ~body:(E.Seq [ E.set "name" (E.Var "n"); E.set "age" (E.Var "a") ])
+       [ ("n", Ty.String); ("a", Ty.Int) ]
+  |> B.property "name" Ty.String
+  |> B.property "age" Ty.Int
+  |> B.field "home" (Ty.Named "wnews.Address")
+  |> B.getter "getHome" ~field:"home" (Ty.Named "wnews.Address")
+  |> B.setter "setHome" ~field:"home" (Ty.Named "wnews.Address")
+  |> B.method_ "greet" [] Ty.String
+       ~body:(E.Binop (E.Concat, E.str "Hello, ", E.get "name"))
+  |> B.method_ "older" [ ("years", Ty.Int) ] Ty.Int
+       ~body:(E.Binop (E.Add, E.get "age", E.Var "years"))
+  |> B.build
+
+let interest_assembly () =
+  Assembly.make ~name:interest_asm_name
+    [ interest_address_def interest_asm_name;
+      interest_person_def interest_asm_name ]
 
 let interest_methods =
   [

@@ -27,7 +27,17 @@ type flavor = Conformant | Trap_missing | Trap_arity | Trap_fieldtype | Typo of 
 val flavor_name : flavor -> string
 
 val family : index:int -> flavor:flavor -> Assembly.t
-(** Deterministic: equal arguments yield identical assemblies (and GUIDs). *)
+(** Deterministic: equal arguments yield identical assemblies (and GUIDs).
+    Equal to [family_v ~version:1]. *)
+
+val family_v : version:int -> index:int -> flavor:flavor -> Assembly.t
+(** The family at a given schema revision. [~version:1] is {!family}
+    exactly. Later revisions only {e add} members (an [email] field and
+    its accessors) and restamp the assembly version, so every revision
+    still conforms to the v1 interest — the rolling-upgrade shape of
+    experiment E15. The revised person class carries a
+    version-derived GUID (a new identity for a new structure);
+    unchanged classes keep theirs. *)
 
 val person_name : index:int -> flavor:flavor -> string
 (** Qualified name of the family's person class. *)
@@ -35,6 +45,20 @@ val person_name : index:int -> flavor:flavor -> string
 val make_person : Registry.t -> index:int -> flavor:flavor -> name:string ->
   age:int -> Value.value
 (** Construct an instance (the family's assembly must be loaded). *)
+
+val interest_person : string
+(** ["wnews.Person"] — the canonical receiver-side type of interest the
+    chaos/scale/model-checking harnesses register. It mirrors the family
+    shape but deliberately omits the [spouse] field: rule ii makes field
+    types invariant, so an interest demanding a self-referential field
+    would freeze the sender's type (no additive revision could ever
+    conform again). Keeping the evolving family out of its own invariant
+    closure is what lets {!family_v}[ ~version:2] conform to the same
+    interest v1 receivers registered. *)
+
+val interest_assembly : unit -> Assembly.t
+(** The assembly defining {!interest_person} (and [wnews.Address]) —
+    install it on a receiver before registering the interest. *)
 
 val interest_methods : (string * Value.value list) list
 (** The calls a [newsw.Person] client would make — used to probe whether an

@@ -8,7 +8,6 @@ module Metrics = Pti_obs.Metrics
 module Peer = Pti_core.Peer
 module Checker = Pti_conformance.Checker
 module Workload = Pti_demo.Workload
-module Demo = Pti_demo.Demo_types
 module Value = Pti_cts.Value
 module Cluster = Pti_cluster.Cluster
 module Node = Pti_cluster.Node
@@ -19,6 +18,7 @@ type config = {
   c_objects : int;
   c_frame_integrity : bool;
   c_wire : bool;
+  c_upgrade : bool;
 }
 
 let default_config =
@@ -28,6 +28,7 @@ let default_config =
     c_objects = 8;
     c_frame_integrity = true;
     c_wire = false;
+    c_upgrade = false;
   }
 
 type run_result = {
@@ -159,27 +160,64 @@ let run_one ?plan config ~seed =
       | Some cl -> Node.publish (Cluster.node cl "n0") asm
       | None -> Peer.publish_assembly sender asm)
     families;
-  Peer.install_assembly receiver (Demo.news_assembly ());
-  Peer.register_interest receiver ~interest:Demo.news_person
+  Peer.install_assembly receiver (Workload.interest_assembly ());
+  Peer.register_interest receiver ~interest:Workload.interest_person
     (fun ~from:_ _ -> ());
-  (* Pace the sends across the fault horizon. *)
+  (* Pace the sends across the fault horizon. Values are constructed at
+     send time, not schedule time: under [c_upgrade] the hottest family
+     changes schema mid-window, and sends after the flip must carry v2
+     instances built from the then-live class definition. *)
   let expected = ref [] in
   let trap_keys = ref [] in
+  let negotiated = ref [] in
+  let family_version = ref 1 in
   for i = 0 to config.c_objects - 1 do
     let index = i mod List.length families in
     let _, flavor = List.nth families index in
     let name = Printf.sprintf "p%d" i in
     let age = 20 + i in
-    let v =
-      Workload.make_person (Peer.registry sender) ~index ~flavor ~name ~age
-    in
     (match flavor with
     | Workload.Conformant -> expected := (name, (name, age)) :: !expected
     | _ -> trap_keys := name :: !trap_keys);
     Sim.schedule_at sim
       ~at:(first_send_ms +. (send_spacing_ms *. float_of_int i))
-      (fun () -> Peer.send_value sender ~dst:receiver_addr v)
+      (fun () ->
+        let v =
+          Workload.make_person (Peer.registry sender) ~index ~flavor ~name ~age
+        in
+        (match flavor with
+        | Workload.Conformant ->
+            let ver = if index = 0 then !family_version else 1 in
+            negotiated := (name, ver) :: !negotiated
+        | _ -> ());
+        Peer.send_value sender ~dst:receiver_addr v)
   done;
+  (* Live upgrade: halfway through the send window, CAS family 0 onto
+     its version chain (seeding v1 first) and republish it at v2. Sends
+     already in flight stay pinned to v1; later sends travel at v2. *)
+  if config.c_upgrade then
+    Sim.schedule_at sim
+      ~at:
+        (first_send_ms
+        +. (send_spacing_ms *. float_of_int (config.c_objects / 2))
+        -. 25.)
+      (fun () ->
+        let publish ?expect asm =
+          match cluster with
+          | Some cl -> Node.publish_cas ?expect (Cluster.node cl "n0") asm
+          | None -> Peer.publish_assembly_cas ?expect sender asm
+        in
+        let v1 = Workload.family ~index:0 ~flavor:Workload.Conformant in
+        match publish v1 with
+        | Error _ -> ()
+        | Ok ve1 -> (
+            let v2 =
+              Workload.family_v ~version:2 ~index:0
+                ~flavor:Workload.Conformant
+            in
+            match publish ~expect:ve1.Pti_core.Repository.ve_digest v2 with
+            | Error _ -> ()
+            | Ok ve2 -> family_version := ve2.Pti_core.Repository.ve_version));
   (* Wire mode: lose the receiver's learned handle bindings shortly
      before the last send, so refs still in flight (and the final send)
      arrive against a cold table and must renegotiate. *)
@@ -254,6 +292,26 @@ let run_one ?plan config ~seed =
       delivered_vals
   in
   let delivered_keys = List.map fst got in
+  (* Which schema revision did each delivery actually decode against?
+     The v2-only [email] field (with its initializer) is the witness:
+     present iff the value was built from the v2 description. *)
+  let decoded =
+    List.filter_map
+      (fun v ->
+        match obj_of v with
+        | None -> None
+        | Some o ->
+            let key =
+              match Value.get_field o "name" with
+              | Some (Value.Vstring n) -> n
+              | _ -> "<unextractable:" ^ Value.type_name v ^ ">"
+            in
+            let dv =
+              match Value.get_field o "email" with Some _ -> 2 | None -> 1
+            in
+            Some (key, dv))
+      delivered_vals
+  in
   (* Verdict stability: re-checking after a cache clear must agree. *)
   let checker = Peer.checker receiver in
   let verdict_str v =
@@ -265,7 +323,7 @@ let run_one ?plan config ~seed =
         let tn = Workload.person_name ~index ~flavor in
         match
           ( Peer.local_description receiver tn,
-            Peer.local_description receiver Demo.news_person )
+            Peer.local_description receiver Workload.interest_person )
         with
         | Some actual, Some interest ->
             let before = verdict_str (Checker.check checker ~actual ~interest) in
@@ -296,6 +354,7 @@ let run_one ?plan config ~seed =
     @ Invariant.exactly_once ~delivered_keys
     @ Invariant.no_mangle ~expected:!expected ~got
     @ Invariant.trap_never_delivered ~trap_keys:!trap_keys ~delivered_keys
+    @ Invariant.upgrade_safety ~negotiated:!negotiated ~decoded
     @ Invariant.verdict_stability triples
     @ membership_violations
     @ Invariant.handle_degradation ~tables_dropped

@@ -26,10 +26,17 @@ type config = {
           additionally dropped just before the last send, and the run
           must observe at least one renegotiation
           ({!Invariant.handle_degradation}). *)
+  c_upgrade : bool;
+      (** Live schema evolution under faults: halfway through the send
+          window, family 0 is CAS-republished at v2 (adds an [email]
+          field) on the sender's version chain. Later sends of that
+          family travel — and must decode — at v2; in-flight v1 sends
+          must keep decoding at v1 ({!Invariant.upgrade_safety}). *)
 }
 
 val default_config : config
-(** Lossy, two peers, 8 objects, frame integrity on, wire features off. *)
+(** Lossy, two peers, 8 objects, frame integrity on, wire features and
+    upgrade off. *)
 
 type run_result = {
   r_seed : int64;

@@ -91,6 +91,27 @@ let fetch_economy ~label ~actual ~allowed =
         label actual allowed;
     ]
 
+(* Live-upgrade safety: every delivery must be decoded against exactly
+   the schema revision its envelope negotiated. The observable is the
+   v2-only [email] field — present iff the payload travelled at v2 AND
+   was decoded with the v2 description; a v2 payload decoded against v1
+   silently drops the field (the decoder skips undeclared fields), which
+   is precisely the mangling a stale pin would cause. *)
+let upgrade_safety ~negotiated ~decoded =
+  List.filter_map
+    (fun (key, dv) ->
+      match List.assoc_opt key negotiated with
+      | None ->
+          Some (v "upgrade-safety" "delivered key %S was never negotiated" key)
+      | Some nv ->
+          if nv = dv then None
+          else
+            Some
+              (v "upgrade-safety"
+                 "%S negotiated schema v%d but was decoded against v%d" key nv
+                 dv))
+    decoded
+
 let metrics_match_trace pairs =
   List.filter_map
     (fun (label, metric, trace) ->

@@ -62,6 +62,18 @@ val fetch_economy :
     fan-out bug is back. [label] names the traffic being counted in the
     violation message. *)
 
+val upgrade_safety :
+  negotiated:(string * int) list ->
+  decoded:(string * int) list ->
+  violation list
+(** Live schema evolution must never cross-decode: [(key, version)]
+    pairs recorded at send time ([negotiated] — the chain-head revision
+    the envelope pinned) versus observed at delivery ([decoded] — which
+    revision's fields the value actually carries). Any delivery whose
+    decoded revision differs from the negotiated one — an in-flight v1
+    payload read with the v2 description, or a post-upgrade v2 payload
+    read with a stale cached v1 description — is a violation. *)
+
 val metrics_match_trace : (string * int * int) list -> violation list
 (** [(label, metric_count, trace_count)] pairs that must agree — the
     metrics registry and the trace recorder watched the same run. *)

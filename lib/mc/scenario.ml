@@ -6,12 +6,13 @@ module Peer = Pti_core.Peer
 module Message = Pti_core.Message
 module Checker = Pti_conformance.Checker
 module Workload = Pti_demo.Workload
-module Demo = Pti_demo.Demo_types
 module Invariant = Pti_fault.Invariant
 module Chaos = Pti_fault.Chaos
 module Cl = Pti_cluster.Cluster
 module Node = Pti_cluster.Node
 module Fnv = Pti_util.Fnv
+module Repository = Pti_core.Repository
+module Value = Pti_cts.Value
 
 (* Closed worlds for the model checker. Unlike the chaos harness these
    are entirely fault-free and jitter-free: the only nondeterminism left
@@ -19,18 +20,20 @@ module Fnv = Pti_util.Fnv
    enumerates. Nothing here draws ambient randomness, so re-executing a
    prefix always reproduces the same state. *)
 
-type kind = Protocol | Cluster | Wire
+type kind = Protocol | Cluster | Wire | Evolution
 
 let kind_name = function
   | Protocol -> "protocol"
   | Cluster -> "cluster"
   | Wire -> "wire"
+  | Evolution -> "evolution"
 
 let kind_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "protocol" -> Some Protocol
   | "cluster" -> Some Cluster
   | "wire" -> Some Wire
+  | "evolution" -> Some Evolution
   | _ -> None
 
 type spec = {
@@ -38,14 +41,17 @@ type spec = {
   s_peers : int;
   s_objects : int;
   s_fanout_bug : bool;
+  s_cas_bug : bool;
 }
 
-let spec ?(peers = 3) ?(objects = 2) ?(fanout_bug = false) kind =
+let spec ?(peers = 3) ?(objects = 2) ?(fanout_bug = false) ?(cas_bug = false)
+    kind =
   {
     s_kind = kind;
     s_peers = max 2 peers;
     s_objects = max 1 objects;
     s_fanout_bug = fanout_bug;
+    s_cas_bug = cas_bug;
   }
 
 type instance = {
@@ -71,7 +77,8 @@ let families_used ~objects =
    or double-applied, verdicts must be schedule-independent, and the
    subprotocol traffic must stay within what the in-flight dedup
    guarantees — however the deliveries were interleaved. *)
-let check_common ~net ~trace ~receiver ~objects ~expected ~trap_keys () =
+let check_common ?(revisions = 1) ~net ~trace ~receiver ~objects ~expected
+    ~trap_keys () =
   let events = Peer.events receiver in
   let delivered_vals =
     List.filter_map
@@ -104,7 +111,7 @@ let check_common ~net ~trace ~receiver ~objects ~expected ~trap_keys () =
         let tn = Workload.person_name ~index ~flavor in
         match
           ( Peer.local_description receiver tn,
-            Peer.local_description receiver Demo.news_person )
+            Peer.local_description receiver Workload.interest_person )
         with
         | Some actual, Some interest ->
             let before =
@@ -147,13 +154,15 @@ let check_common ~net ~trace ~receiver ~objects ~expected ~trap_keys () =
   @ Invariant.verdict_stability triples
   (* Each family needs at most its Person + Address descriptions and
      (when conformant, hence downloaded) one assembly — whatever the
-     interleaving, thanks to the shared in-flight exchanges. *)
+     interleaving, thanks to the shared in-flight exchanges. A live
+     upgrade multiplies the need by the number of [revisions] on the
+     chain: each revision's descriptions and assembly are distinct. *)
   @ Invariant.fetch_economy ~label:"tdesc requests"
       ~actual:(Stats.messages stats Stats.Tdesc_request)
-      ~allowed:(2 * distinct)
+      ~allowed:(2 * distinct * revisions)
   @ Invariant.fetch_economy ~label:"assembly requests"
       ~actual:(Stats.messages stats Stats.Asm_request)
-      ~allowed:conformant_distinct
+      ~allowed:(conformant_distinct * revisions)
   @ Invariant.metrics_match_trace count_pairs
 
 (* Publish the used families on [sender], register the news interest on
@@ -162,8 +171,8 @@ let setup_workload ~publish ~sender ~receiver ~objects ~send =
   List.iter
     (fun (index, flavor) -> publish (Workload.family ~index ~flavor))
     (families_used ~objects);
-  Peer.install_assembly receiver (Demo.news_assembly ());
-  Peer.register_interest receiver ~interest:Demo.news_person
+  Peer.install_assembly receiver (Workload.interest_assembly ());
+  Peer.register_interest receiver ~interest:Workload.interest_person
     (fun ~from:_ _ -> ());
   let expected = ref [] and trap_keys = ref [] in
   for i = 0 to objects - 1 do
@@ -294,8 +303,119 @@ let make_cluster spec =
              hosts));
   }
 
+(* Live schema evolution racing the type subprotocols: every object is
+   the evolving family, the v2 CAS publication is an explorable action,
+   and the explorer orders it against sends, description fetches and
+   conformance probes. Each send records the chain-head revision it
+   negotiated; {!Invariant.upgrade_safety} demands every delivery decode
+   against exactly that revision, whatever the interleaving.
+
+   With [s_cas_bug] the publication reverts to the historical torn
+   publish: the chain head is advanced directly ([learn_version], the
+   mirror-replica primitive) without the atomic registry upgrade that
+   [publish_assembly_cas] performs. Schedules that send after the torn
+   flip then negotiate v2 while the publisher still builds v1 payloads
+   — the cross-decode the invariant exists to catch. *)
+let make_evolution spec =
+  let net = Net.create ~jitter_ms:0. () in
+  let trace = Trace.attach net in
+  let alice = Peer.create ~net "alice" in
+  let bob = Peer.create ~net "bob" in
+  let objects = spec.s_objects in
+  let sim = Net.sim net in
+  let v1 = Workload.family ~index:0 ~flavor:Workload.Conformant in
+  let asm_name = v1.Pti_cts.Assembly.asm_name in
+  (match Peer.publish_assembly_cas alice v1 with
+  | Ok _ -> ()
+  | Error _ -> invalid_arg "Scenario.make_evolution: seed CAS failed");
+  Peer.install_assembly bob (Workload.interest_assembly ());
+  Peer.register_interest bob ~interest:Workload.interest_person (fun ~from:_ _ -> ());
+  let head_version () =
+    match Repository.resolve (Peer.repository alice) asm_name with
+    | Some ve -> ve.Repository.ve_version
+    | None -> 1
+  in
+  let expected = ref [] and negotiated = ref [] in
+  for i = 0 to objects - 1 do
+    let name = Printf.sprintf "p%d" i in
+    let age = 20 + i in
+    expected := (name, (name, age)) :: !expected;
+    let send () =
+      let v =
+        Workload.make_person (Peer.registry alice) ~index:0
+          ~flavor:Workload.Conformant ~name ~age
+      in
+      negotiated := (name, head_version ()) :: !negotiated;
+      Peer.send_value alice ~dst:"bob" v
+    in
+    if i = 0 then send ()
+    else
+      Sim.schedule sim
+        ~label:(Sim.Act { owner = "alice"; info = Printf.sprintf "send p%d" i })
+        ~delay:0. send
+  done;
+  Sim.schedule sim
+    ~label:(Sim.Act { owner = "alice"; info = "publish-v2" })
+    ~delay:0.
+    (fun () ->
+      let v2 =
+        Workload.family_v ~version:2 ~index:0 ~flavor:Workload.Conformant
+      in
+      if spec.s_cas_bug then
+        ignore
+          (Repository.learn_version (Peer.repository alice) ~version:2
+             ~path:
+               (Repository.path_for_version ~host:"alice" ~assembly:asm_name
+                  ~version:2)
+             v2)
+      else
+        match Repository.resolve (Peer.repository alice) asm_name with
+        | None -> ()
+        | Some head -> (
+            match
+              Peer.publish_assembly_cas ~expect:head.Repository.ve_digest alice
+                v2
+            with
+            | Ok _ | Error _ -> ()));
+  let check () =
+    let delivered_vals =
+      List.filter_map
+        (function Peer.Delivered { value; _ } -> Some value | _ -> None)
+        (Peer.events bob)
+    in
+    let decoded =
+      List.filter_map
+        (fun v ->
+          match Chaos.name_age v with
+          | None -> None
+          | Some (n, _) ->
+              let dv =
+                match v with
+                | Value.Vobj o | Value.Vproxy { Value.px_target = Value.Vobj o; _ }
+                  -> (
+                    match Value.get_field o "email" with
+                    | Some _ -> 2
+                    | None -> 1)
+                | _ -> 1
+              in
+              Some (n, dv))
+        delivered_vals
+    in
+    check_common ~revisions:2 ~net ~trace ~receiver:bob ~objects
+      ~expected:!expected ~trap_keys:[] ()
+    @ Invariant.upgrade_safety ~negotiated:!negotiated ~decoded
+  in
+  {
+    i_net = net;
+    i_check = check;
+    i_fingerprint =
+      (fun () ->
+        combine_fingerprints [ Peer.fingerprint alice; Peer.fingerprint bob ]);
+  }
+
 let make spec =
   match spec.s_kind with
   | Protocol -> make_two_peer ~wire:false spec
   | Wire -> make_two_peer ~wire:true spec
   | Cluster -> make_cluster spec
+  | Evolution -> make_evolution spec

@@ -22,6 +22,13 @@ type kind =
       (** Two peers with handle negotiation + batching + binary tdescs;
           later sends and a receiver-side handle-table drop are
           explorable actions. *)
+  | Evolution
+      (** Live schema evolution: every object is the evolving family
+          (CAS-published onto a version chain), and the v2 publication
+          is an explorable action racing the sends, description fetches
+          and conformance probes. Adds
+          {!Pti_fault.Invariant.upgrade_safety}: each delivery must
+          decode against exactly the revision its send negotiated. *)
 
 val kind_name : kind -> string
 val kind_of_string : string -> kind option
@@ -33,10 +40,17 @@ type spec = {
   s_fanout_bug : bool;
       (** Create the receiver with [share_inflight:false] — the
           historical fetch fan-out bug — for the known-bug regression. *)
+  s_cas_bug : bool;
+      (** Evolution scenario: publish v2 by advancing the chain head
+          directly instead of through the atomic CAS + registry upgrade
+          — the historical torn publish — for the known-bug
+          regression. *)
 }
 
-val spec : ?peers:int -> ?objects:int -> ?fanout_bug:bool -> kind -> spec
-(** Defaults: 3 peers, 2 objects, bug off. *)
+val spec :
+  ?peers:int -> ?objects:int -> ?fanout_bug:bool -> ?cas_bug:bool -> kind ->
+  spec
+(** Defaults: 3 peers, 2 objects, bugs off. *)
 
 type instance = {
   i_net : Pti_core.Message.t Pti_net.Net.t;

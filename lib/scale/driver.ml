@@ -9,7 +9,6 @@ module Message = Pti_core.Message
 module Checker = Pti_conformance.Checker
 module Lru = Pti_obs.Lru
 module Workload = Pti_demo.Workload
-module Demo = Pti_demo.Demo_types
 
 type config = {
   sessions : int;
@@ -19,6 +18,7 @@ type config = {
   zipf_s : float;
   churn : float;
   flash_at_ms : float option;
+  upgrade_at_ms : float option;
   seed : int64;
   shards : int;
   horizon_ms : float;
@@ -33,6 +33,7 @@ let default_config =
     zipf_s = 1.1;
     churn = 0.5;
     flash_at_ms = None;
+    upgrade_at_ms = None;
     seed = 42L;
     shards = 1;
     horizon_ms = 60_000.;
@@ -51,6 +52,8 @@ type report = {
   r_flash_sends : int;
   r_flash_tdesc_fetches : int;
   r_flash_asm_fetches : int;
+  r_upgraded_version : int;
+  r_upgrade_sends : int;
   r_duration_ms : float;
   r_deliveries_per_sec : float;
   r_mean_ms : float;
@@ -119,7 +122,7 @@ let run ?metrics cfg =
         Peer.create ~net ~metrics:m ~shared ~handles:true
           ~event_log_capacity:64 (shard_addr i))
   in
-  Peer.install_assembly shards.(0) (Demo.news_assembly ());
+  Peer.install_assembly shards.(0) (Workload.interest_assembly ());
   let flavors =
     Array.init cfg.families (fun i ->
         if i < cfg.families - cfg.trap_families then Workload.Conformant
@@ -202,7 +205,7 @@ let run ?metrics cfg =
   in
   Array.iteri
     (fun si shard ->
-      Peer.register_interest shard ~interest:Demo.news_person
+      Peer.register_interest shard ~interest:Workload.interest_person
         (fun ~from _value ->
           let fam = fam_of_addr from in
           let q = pending_q fam si in
@@ -220,6 +223,8 @@ let run ?metrics cfg =
     | Workload.Trap_missing | Workload.Trap_arity | Workload.Trap_fieldtype ->
         false
   in
+  let upgraded_version = ref 0 in
+  let c_upgrade_sends = Metrics.counter m "scale.upgrade.sends" in
   let send_from pub ~fam ~flavor s value_name =
     let v =
       Workload.make_person (Peer.registry pub) ~index:fam ~flavor
@@ -227,6 +232,7 @@ let run ?metrics cfg =
     in
     Peer.send_value pub ~dst:(shard_addr s.s_shard) v;
     Metrics.incr c_sends;
+    if fam = 0 && !upgraded_version > 1 then Metrics.incr c_upgrade_sends;
     if flavor_conformant flavor then
       Queue.push (Sim.now sim) (pending_q fam s.s_shard);
     tr "S|%d|%d|%.6f" fam s.s_shard (Sim.now sim)
@@ -291,6 +297,37 @@ let run ?metrics cfg =
                 Metrics.incr c_flash_sends
               end)
             sessions));
+  (* Rolling upgrade (E15): CAS-republish the hottest family at schema
+     v2 while its traffic keeps flowing. The family first lands on the
+     publisher's version chain as v1 (same bytes it already serves —
+     idempotent), then v2 compare-and-sets over that head. From this
+     instant new sends construct and ship v2 (pinned to its chain
+     version and GUID); envelopes already in flight keep decoding
+     against v1 by GUID; receivers upgrade on first v2 contact and keep
+     conforming — the run must still quiesce with zero undelivered. *)
+  (match cfg.upgrade_at_ms with
+  | None -> ()
+  | Some at ->
+      Sim.schedule_at sim ~label:(act "upgrade") ~at (fun () ->
+          let fam = 0 in
+          let pub = pubs.(fam) in
+          let v1 = Workload.family ~index:fam ~flavor:flavors.(fam) in
+          match Peer.publish_assembly_cas pub v1 with
+          | Error _ -> tr "U|%d|conflict|%.6f" fam (Sim.now sim)
+          | Ok ve1 -> (
+              let v2 =
+                Workload.family_v ~version:2 ~index:fam
+                  ~flavor:flavors.(fam)
+              in
+              match
+                Peer.publish_assembly_cas
+                  ~expect:ve1.Pti_core.Repository.ve_digest pub v2
+              with
+              | Error _ -> tr "U|%d|conflict|%.6f" fam (Sim.now sim)
+              | Ok ve2 ->
+                  upgraded_version := ve2.Pti_core.Repository.ve_version;
+                  tr "U|%d|%d|%.6f" fam
+                    ve2.Pti_core.Repository.ve_version (Sim.now sim))));
   Net.run net;
   let duration_ms = Sim.now sim in
   (* Teardown: park every shard's learned handle tables in the shared
@@ -351,6 +388,8 @@ let run ?metrics cfg =
     r_flash_sends = Metrics.counter_value c_flash_sends;
     r_flash_tdesc_fetches = Metrics.counter_value c_flash_tdesc;
     r_flash_asm_fetches = Metrics.counter_value c_flash_asm;
+    r_upgraded_version = !upgraded_version;
+    r_upgrade_sends = Metrics.counter_value c_upgrade_sends;
     r_duration_ms = duration_ms;
     r_deliveries_per_sec = dps;
     r_mean_ms = mean_ms;
@@ -377,14 +416,18 @@ let report_to_json ?wall_ms r =
        (match r.r_config.flash_at_ms with None -> "null" | Some v -> f v)
        r.r_config.seed r.r_config.shards (f r.r_config.horizon_ms));
   Buffer.add_string b
+    (Printf.sprintf ",\"upgrade_at_ms\":%s"
+       (match r.r_config.upgrade_at_ms with None -> "null" | Some v -> f v));
+  Buffer.add_string b
     (Printf.sprintf
        ",\"arrived\":%d,\"departed\":%d,\"sends\":%d,\"deliveries\":%d,\
         \"rejections\":%d,\"undelivered\":%d,\"tdesc_fetches\":%d,\
         \"asm_fetches\":%d,\"flash_sends\":%d,\"flash_tdesc_fetches\":%d,\
-        \"flash_asm_fetches\":%d"
+        \"flash_asm_fetches\":%d,\"upgraded_version\":%d,\"upgrade_sends\":%d"
        r.r_arrived r.r_departed r.r_sends r.r_deliveries r.r_rejections
        r.r_undelivered r.r_tdesc_fetches r.r_asm_fetches r.r_flash_sends
-       r.r_flash_tdesc_fetches r.r_flash_asm_fetches);
+       r.r_flash_tdesc_fetches r.r_flash_asm_fetches r.r_upgraded_version
+       r.r_upgrade_sends);
   Buffer.add_string b
     (Printf.sprintf
        ",\"duration_ms\":%s,\"deliveries_per_sec\":%s,\"latency_mean_ms\":%s,\
@@ -407,11 +450,14 @@ let pp_report ppf r =
      p99<=%.2f ms@,\
      fetches: %d tdesc, %d assembly; tdesc cache hit rate %.4f; verdict \
      reuse %.4f@,\
-     flash: %d sends -> %d tdesc + %d assembly fetches@,\
-     pool recycled %d; trace %Lx@]"
+     flash: %d sends -> %d tdesc + %d assembly fetches@,"
     r.r_config.sessions r.r_arrived r.r_departed r.r_duration_ms r.r_sends
     r.r_deliveries r.r_rejections r.r_undelivered r.r_deliveries_per_sec
     r.r_mean_ms r.r_p50_ms r.r_p99_ms r.r_tdesc_fetches r.r_asm_fetches
     r.r_tdesc_hit_rate r.r_verdict_reuse_rate r.r_flash_sends
-    r.r_flash_tdesc_fetches r.r_flash_asm_fetches r.r_pool_recycled
+    r.r_flash_tdesc_fetches r.r_flash_asm_fetches;
+  if r.r_upgraded_version > 0 then
+    Format.fprintf ppf "upgrade: head v%d, %d sends at the new schema@,"
+      r.r_upgraded_version r.r_upgrade_sends;
+  Format.fprintf ppf "pool recycled %d; trace %Lx@]" r.r_pool_recycled
     r.r_trace_hash

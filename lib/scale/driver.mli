@@ -30,6 +30,13 @@ type config = {
       (** Session turnover: 0 = immortal (all depart at the horizon);
           larger = shorter exponential lifetimes. See {!Churn.build}. *)
   flash_at_ms : float option;  (** Flash-crowd instant, if any. *)
+  upgrade_at_ms : float option;
+      (** Rolling-upgrade instant (E15), if any: the hottest family
+          (zipf rank 0) is CAS-republished at schema v2 under sustained
+          traffic. Sends already in flight keep decoding against v1 by
+          GUID pin; later sends carry v2; old receivers keep conforming
+          (revisions only add members) — the run must still end with
+          zero undelivered. *)
   seed : int64;
   shards : int;  (** Receiving endpoints sharing the flyweight block. *)
   horizon_ms : float;  (** Simulated run length. *)
@@ -56,6 +63,12 @@ type report = {
       (** Description fetches attributable to the flash-crowd type —
           O(shards), not O(sessions), when the in-flight dedup holds. *)
   r_flash_asm_fetches : int;
+  r_upgraded_version : int;
+      (** Chain head version of the upgraded family after the run (0 =
+          no upgrade was scheduled or the CAS lost). *)
+  r_upgrade_sends : int;
+      (** Sends of the upgraded family issued {e after} the upgrade
+          instant — traffic that travelled at v2. *)
   r_duration_ms : float;  (** Simulated time at quiescence. *)
   r_deliveries_per_sec : float;  (** Sustained, in simulated time. *)
   r_mean_ms : float;

@@ -137,7 +137,10 @@ let read_name st =
 
 exception Unknown of string
 
-let rec read reg st =
+let rec read ?resolve reg st =
+  let resolve =
+    match resolve with Some f -> f | None -> Registry.find reg
+  in
   let tag = R.u8 st.r in
   if tag = t_null then Value.Vnull
   else if tag = t_bool then Value.Vbool (R.bool st.r)
@@ -154,7 +157,7 @@ let rec read reg st =
     in
     let n = R.varint st.r in
     if n < 0 || n > 10_000_000 then raise (R.Underflow "absurd array length");
-    let items = Array.init n (fun _ -> read reg st) in
+    let items = Array.init n (fun _ -> read ~resolve reg st) in
     Value.Varr { Value.elem_ty; items }
   end
   else if tag = t_ref then begin
@@ -167,7 +170,7 @@ let rec read reg st =
     let id = R.varint st.r in
     let cls = read_name st in
     let cd =
-      match Registry.find reg cls with
+      match resolve cls with
       | Some cd -> cd
       | None -> raise (Unknown cls)
     in
@@ -184,7 +187,7 @@ let rec read reg st =
     let n = R.varint st.r in
     for _ = 1 to n do
       let fname = read_name st in
-      let v = read reg st in
+      let v = read ~resolve reg st in
       (* Drop fields the loaded class does not declare. *)
       if Registry.find_field reg cd fname <> None then
         Value.set_field o fname v
@@ -193,7 +196,7 @@ let rec read reg st =
   end
   else raise (R.Underflow (Printf.sprintf "unknown tag %d" tag))
 
-let decode reg s =
+let decode ?resolve reg s =
   match checked_body s with
   | Error e -> Error e
   | Ok body -> (
@@ -202,7 +205,7 @@ let decode reg s =
           objects = Hashtbl.create 16 }
       in
       try
-        let v = read reg st in
+        let v = read ?resolve reg st in
         if not (R.at_end st.r) then Error (Malformed "trailing bytes")
         else Ok v
       with

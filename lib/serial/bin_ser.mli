@@ -26,10 +26,14 @@ val encode : Value.value -> string
     artifact; what travels is the real object).
     @raise Invalid_argument if the graph contains no serializable form. *)
 
-val decode : Registry.t -> string -> (Value.value, error) result
+val decode : ?resolve:(string -> Meta.class_def option) -> Registry.t ->
+  string -> (Value.value, error) result
 (** Rebuilds the graph with fresh object ids. Fields not declared by the
     (loaded) class are dropped; declared fields missing from the payload
-    keep their default values. *)
+    keep their default values. [resolve] overrides class-by-name lookup
+    (default [Registry.find reg]) — the envelope layer passes a
+    version-pinned resolver so an upgraded registry still decodes
+    in-flight payloads against the version they were encoded with. *)
 
 val class_names : string -> (string list, error) result
 (** The distinct class names mentioned by an encoded payload, without

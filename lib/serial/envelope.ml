@@ -10,6 +10,11 @@ type type_entry = {
   te_guid : Guid.t;
   te_assembly : string;
   te_download_path : string;
+  te_version : int;
+      (* Version of the carrying assembly on its publisher's chain;
+         0 = unversioned (pre-evolution sender). Kept out of canonical
+         bytes and wire frames when 0 so pre-evolution digests and
+         encodings are unchanged. *)
 }
 
 type payload = Psoap of Xml.t | Pbinary of string
@@ -48,7 +53,10 @@ let canonical t =
       field e.te_name;
       field (Guid.to_string e.te_guid);
       field e.te_assembly;
-      field e.te_download_path)
+      field e.te_download_path;
+      (* Versioned entries fold the version into the digest; version 0
+         stays absent so pre-evolution envelopes keep their digests. *)
+      if e.te_version > 0 then field ("v" ^ string_of_int e.te_version))
     t.env_types;
   (match t.env_payload with
   | Psoap x ->
@@ -88,7 +96,7 @@ let graph_classes v =
   go v;
   List.rev !found
 
-let make reg ~codec ~download_path v =
+let make ?(version_of = fun ~assembly:_ -> 0) reg ~codec ~download_path v =
   let classes = graph_classes v in
   let env_types =
     List.map
@@ -103,6 +111,7 @@ let make reg ~codec ~download_path v =
               te_guid = cd.Meta.td_guid;
               te_assembly = cd.Meta.td_assembly;
               te_download_path = download_path ~assembly:cd.Meta.td_assembly;
+              te_version = version_of ~assembly:cd.Meta.td_assembly;
             })
       classes
   in
@@ -128,15 +137,36 @@ let required_classes t = List.map (fun e -> e.te_name) t.env_types
 let payload_codec t =
   match t.env_payload with Psoap _ -> Soap | Pbinary _ -> Binary
 
+(* Version-pinned class resolution: a payload class named by the
+   envelope decodes against the exact description the sender stamped (by
+   GUID), not whatever the name happens to resolve to at decode time — a
+   receiver that upgraded mid-flight must not decode an old envelope
+   against the new version. Names outside the envelope (or GUIDs the
+   registry never learned) fall back to by-name lookup, the
+   pre-evolution behavior. *)
+let pinned_resolve reg t name =
+  let pinned =
+    List.find_opt
+      (fun e -> Pti_util.Strutil.equal_ci e.te_name name)
+      t.env_types
+  in
+  match pinned with
+  | Some e -> (
+      match Registry.find_by_guid reg e.te_guid with
+      | Some cd -> Some cd
+      | None -> Registry.find reg name)
+  | None -> Registry.find reg name
+
 let decode_payload reg t =
+  let resolve = pinned_resolve reg t in
   match t.env_payload with
   | Psoap x -> (
-      match Soap_ser.decode_xml reg x with
+      match Soap_ser.decode_xml ~resolve reg x with
       | Ok v -> Ok v
       | Error (Soap_ser.Malformed m) -> Error (Malformed m)
       | Error (Soap_ser.Unknown_type ty) -> Error (Unknown_type ty))
   | Pbinary b -> (
-      match Bin_ser.decode reg b with
+      match Bin_ser.decode ~resolve reg b with
       | Ok v -> Ok v
       | Error (Bin_ser.Malformed m) -> Error (Malformed m)
       | Error (Bin_ser.Unknown_type ty) -> Error (Unknown_type ty)
@@ -149,6 +179,7 @@ let entry_attrs e =
     ("assembly", e.te_assembly);
     ("downloadPath", e.te_download_path);
   ]
+  @ if e.te_version > 0 then [ ("version", string_of_int e.te_version) ] else []
 
 let payload_to_xml = function
   | Psoap x -> Xml.elt "payload" ~attrs:[ ("encoding", "soap") ] [ x ]
@@ -188,7 +219,16 @@ let entry_of_elt e =
   in
   let* te_assembly = attr "assembly" e in
   let* te_download_path = attr "downloadPath" e in
-  Ok { te_name; te_guid; te_assembly; te_download_path }
+  (* Optional: absent on envelopes from pre-evolution senders. *)
+  let* te_version =
+    match Xml.attr "version" e with
+    | None -> Ok 0
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v when v >= 0 -> Ok v
+        | _ -> Error (Malformed (Printf.sprintf "bad version %S" s)))
+  in
+  Ok { te_name; te_guid; te_assembly; te_download_path; te_version }
 
 let payload_of_xml x =
   let* payload_elt =
@@ -264,7 +304,8 @@ let wire_canonical forms payload =
     field e.te_name;
     field (Guid.to_string e.te_guid);
     field e.te_assembly;
-    field e.te_download_path
+    field e.te_download_path;
+    if e.te_version > 0 then field ("v" ^ string_of_int e.te_version)
   in
   List.iter
     (fun (form, e) ->
@@ -370,6 +411,7 @@ let of_xml_h ~resolve x =
                       te_guid = Guid.nil;
                       te_assembly = "";
                       te_download_path = "";
+                      te_version = 0;
                     } )
             | _ -> None)
           parsed
@@ -430,12 +472,16 @@ let of_xml_h ~resolve x =
    point of shipping two-byte type refs. Layout:
 
      "PTIE\x01" | fnv64(body) | body
-     body  = digest8 | varint n | slot* | payload
+     body  = digest8 | varint n | slot* | payload | versions?
      slot  = 0x00                                (plain, 4 strings)
            | 0x01 varint handle, 4 strings       (bind)
            | 0x02 varint handle                  (ref)
      strings are name, guid, assembly, downloadPath (varint-prefixed)
      payload = u8 codec (0 soap / 1 binary) | string
+     versions = varint per entry-carrying slot, wire order — emitted
+           only when some entry is versioned; a decoder probes for the
+           block with [at_end], so pre-evolution frames (no block, all
+           versions 0) decode unchanged in both directions
 
    The frame checksum replaces the XML form's [wire] digest (literal
    content integrity, no table needed); [digest8] is the raw semantic
@@ -460,16 +506,20 @@ let to_string_h t ~form =
     W.string w e.te_assembly;
     W.string w e.te_download_path
   in
+  (* Entry-carrying slots in wire order, for the trailing version block. *)
+  let carried = ref [] in
   List.iter
     (fun e ->
       match (form e : handle_form) with
       | `Plain ->
           W.u8 w 0;
-          entry e
+          entry e;
+          carried := e :: !carried
       | `Bind h ->
           W.u8 w 1;
           W.varint w h;
-          entry e
+          entry e;
+          carried := e :: !carried
       | `Ref h ->
           W.u8 w 2;
           W.varint w h)
@@ -481,6 +531,9 @@ let to_string_h t ~form =
   | Pbinary p ->
       W.u8 w 1;
       W.string w p);
+  let carried = List.rev !carried in
+  if List.exists (fun e -> e.te_version > 0) carried then
+    List.iter (fun e -> W.varint w e.te_version) carried;
   let body = W.contents w in
   bin_magic ^ Pti_util.Fnv.hash_bytes body ^ body
 
@@ -509,7 +562,7 @@ let of_string_hb ~resolve s =
         in
         let te_assembly = R.string r in
         let te_download_path = R.string r in
-        { te_name; te_guid; te_assembly; te_download_path }
+        { te_name; te_guid; te_assembly; te_download_path; te_version = 0 }
       in
       (* Explicit recursion: reads are effectful, evaluation order must
          be the wire order. *)
@@ -538,6 +591,25 @@ let of_string_hb ~resolve s =
             )
         | 1 -> Pbinary (R.string r)
         | tag -> failwith (Printf.sprintf "bad payload tag %d" tag)
+      in
+      (* Trailing version block: present only when some entry was
+         versioned; a pre-evolution frame ends here. *)
+      let slots =
+        if R.at_end r then slots
+        else
+          (* Explicit recursion again: reads are effectful, the versions
+             must be consumed in wire (slot) order. *)
+          let rec patch acc = function
+            | [] -> List.rev acc
+            | `Plain_e e :: rest ->
+                patch (`Plain_e { e with te_version = R.varint r } :: acc) rest
+            | `Bind_e (h, e) :: rest ->
+                patch
+                  (`Bind_e (h, { e with te_version = R.varint r }) :: acc)
+                  rest
+            | (`Ref_h _ as s) :: rest -> patch (s :: acc) rest
+          in
+          patch [] slots
       in
       if not (R.at_end r) then failwith "trailing bytes in envelope"
       else begin

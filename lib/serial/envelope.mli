@@ -16,6 +16,12 @@ type type_entry = {
   te_guid : Pti_util.Guid.t;
   te_assembly : string;
   te_download_path : string;  (** Where the implementation can be fetched. *)
+  te_version : int;
+      (** Version of the carrying assembly on its publisher's chain;
+          [0] = unversioned (pre-evolution sender). Version 0 is absent
+          from canonical bytes, XML attributes and wire frames, so
+          pre-evolution envelopes are byte-identical in both
+          directions. *)
 }
 
 type payload = Psoap of Pti_xml.Xml.t | Pbinary of string
@@ -44,10 +50,12 @@ val digest : t -> string
     when the attribute is present (envelopes without one are accepted,
     for pre-digest peers). *)
 
-val make : Registry.t -> codec:codec ->
-  download_path:(assembly:string -> string) -> Value.value -> t
+val make : ?version_of:(assembly:string -> int) -> Registry.t ->
+  codec:codec -> download_path:(assembly:string -> string) ->
+  Value.value -> t
 (** Serializes the value with the chosen codec and collects a [type_entry]
-    per distinct class in the graph (graph order).
+    per distinct class in the graph (graph order). [version_of] supplies
+    the published chain version per assembly (default: 0, unversioned).
     @raise Invalid_argument if a class in the graph is not registered on
     the sending host. *)
 
@@ -58,7 +66,13 @@ val payload_codec : t -> codec
 
 val decode_payload : Registry.t -> t -> (Value.value, error) result
 (** Fails with [Unknown_type] when a class is not (yet) loaded — the signal
-    that triggers the download subprotocol. *)
+    that triggers the download subprotocol. Classes named by the
+    envelope's type entries decode {e version-pinned}: resolution goes by
+    the entry's GUID first and falls back to by-name lookup only when
+    that GUID was never registered — so a receiver that upgraded a type
+    mid-flight still decodes old envelopes against the old version (the
+    upgrade-safety invariant), while pre-evolution registries (where name
+    and GUID agree) behave exactly as before. *)
 
 val to_xml : t -> Pti_xml.Xml.t
 val of_xml : Pti_xml.Xml.t -> (t, error) result

@@ -73,9 +73,14 @@ let receiver_capacity (r : receiver) = ILru.capacity r
 
 let render_binding buf h (e : Envelope.type_entry) =
   Buffer.add_string buf
-    (Printf.sprintf "%d=%s/%s/%s/%s\n" h e.Envelope.te_name
+    (Printf.sprintf "%d=%s/%s/%s/%s%s\n" h e.Envelope.te_name
        (Guid.to_string e.Envelope.te_guid)
-       e.Envelope.te_assembly e.Envelope.te_download_path)
+       e.Envelope.te_assembly e.Envelope.te_download_path
+       (* Version 0 renders as before so pre-evolution fingerprints are
+          unchanged. *)
+       (if e.Envelope.te_version > 0 then
+          Printf.sprintf "@v%d" e.Envelope.te_version
+        else ""))
 
 let fingerprint_sender s =
   let buf = Buffer.create 128 in
@@ -116,6 +121,11 @@ let encode_bindings binds =
       W.string w e.Envelope.te_assembly;
       W.string w e.Envelope.te_download_path)
     binds;
+  (* Trailing version block, one varint per binding in frame order —
+     emitted only when some binding is versioned, so pre-evolution
+     frames stay byte-identical (decoders probe with [at_end]). *)
+  if List.exists (fun (_, e) -> e.Envelope.te_version > 0) binds then
+    List.iter (fun (_, e) -> W.varint w e.Envelope.te_version) binds;
   let body = W.contents w in
   bind_magic ^ Fnv.hash_bytes body ^ body
 
@@ -159,9 +169,25 @@ let decode_bindings s =
                          te_guid;
                          te_assembly;
                          te_download_path;
+                         te_version = 0;
                        } )
                      :: !out
-             done
+             done;
+             (* Trailing version block (absent on pre-evolution frames).
+                [!out] is reversed; versions are consumed in frame order,
+                so patch over the re-reversed list with explicit
+                recursion. *)
+             if (not (R.at_end r)) && !bad = None then begin
+               let rec patch acc = function
+                 | [] -> acc
+                 | (h, e) :: rest ->
+                     patch
+                       ((h, { e with Envelope.te_version = R.varint r })
+                       :: acc)
+                       rest
+               in
+               out := patch [] (List.rev !out)
+             end
            with R.Underflow m -> bad := Some m);
           match !bad with
           | Some m -> Error m

@@ -61,7 +61,10 @@ let one_child x =
   | [ c ] -> c
   | cs -> fail "expected exactly one element child, got %d" (List.length cs)
 
-let rec xml_to_value reg objects x =
+let rec xml_to_value ?resolve reg objects x =
+  let resolve =
+    match resolve with Some f -> f | None -> Registry.find reg
+  in
   match Xml.tag x with
   | Some "null" -> Value.Vnull
   | Some "bool" -> (
@@ -93,7 +96,7 @@ let rec xml_to_value reg objects x =
           let items =
             Xml.children x
             |> List.filter (function Xml.Element _ -> true | _ -> false)
-            |> List.map (xml_to_value reg objects)
+            |> List.map (xml_to_value ~resolve reg objects)
           in
           Value.Varr { Value.elem_ty; items = Array.of_list items })
   | Some "ref" -> (
@@ -122,7 +125,7 @@ let rec xml_to_value reg objects x =
         | Some s -> s
         | None -> fail "obj without type"
       in
-      match Registry.find reg cls with
+      match resolve cls with
       | None -> raise (Fail (Unknown_type cls))
       | Some cd ->
           let o =
@@ -144,7 +147,7 @@ let rec xml_to_value reg objects x =
                     | Some n -> n
                     | None -> fail "field without name"
                   in
-                  let v = xml_to_value reg objects (one_child c) in
+                  let v = xml_to_value ~resolve reg objects (one_child c) in
                   if Registry.find_field reg cd name <> None then
                     Value.set_field o name v
               | Some other -> fail "unexpected <%s> inside obj" other
@@ -154,10 +157,10 @@ let rec xml_to_value reg objects x =
   | Some other -> fail "unexpected element <%s>" other
   | None -> fail "expected an element"
 
-let decode_xml reg x =
-  try Ok (xml_to_value reg (Hashtbl.create 16) x) with Fail e -> Error e
+let decode_xml ?resolve reg x =
+  try Ok (xml_to_value ?resolve reg (Hashtbl.create 16) x) with Fail e -> Error e
 
-let decode reg s =
+let decode ?resolve reg s =
   match Xml.parse s with
   | Error e -> Error (Malformed (Format.asprintf "%a" Xml.pp_error e))
   | Ok root -> (
@@ -166,10 +169,10 @@ let decode reg s =
           match Xml.child "soap:Body" root with
           | None -> Error (Malformed "missing soap:Body")
           | Some body -> (
-              try decode_xml reg (one_child body) with Fail e -> Error e))
+              try decode_xml ?resolve reg (one_child body) with Fail e -> Error e))
       | Some _ ->
           (* Also accept a bare payload element. *)
-          decode_xml reg root
+          decode_xml ?resolve reg root
       | None -> Error (Malformed "no root element"))
 
 let class_names x =

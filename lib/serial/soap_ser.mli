@@ -18,8 +18,12 @@ val encode_xml : Value.value -> Pti_xml.Xml.t
 val encode : Value.value -> string
 (** The XML text of {!encode_xml}, wrapped in a [<soap:Envelope>]. *)
 
-val decode_xml : Registry.t -> Pti_xml.Xml.t -> (Value.value, error) result
-val decode : Registry.t -> string -> (Value.value, error) result
+val decode_xml : ?resolve:(string -> Meta.class_def option) -> Registry.t ->
+  Pti_xml.Xml.t -> (Value.value, error) result
+val decode : ?resolve:(string -> Meta.class_def option) -> Registry.t ->
+  string -> (Value.value, error) result
+(** [resolve] overrides class-by-name lookup (default [Registry.find reg]);
+    see {!Bin_ser.decode}. *)
 
 val class_names : Pti_xml.Xml.t -> string list
 (** Distinct class names mentioned by an encoded payload element. *)

@@ -33,6 +33,7 @@ let test_digest_roundtrip () =
     {
       Digest.g_token = 42;
       g_types = [ ("news.Person", "0123"); ("social.Event", "4567") ];
+      g_chains = [ ("wl-0", [ (1, "0123"); (2, "89ab") ]) ];
       g_paths = [ ("asm://a/x", "x"); ("asm://b/x", "x") ];
       g_members = [ "a"; "b"; "c" ];
       g_descs = [ "<td>\nmultiline\tbody</td>"; "" ];

@@ -653,7 +653,7 @@ let test_message_sizes_and_categories () =
     [
       (Obj_msg { envelope = "abcd"; tdescs = [ "xy" ]; assemblies = [ "z" ] },
        Stats.Object_msg, 16 + 4 + 2 + 1);
-      (Tdesc_request { type_name = "a.B"; token = 1; binary_ok = false },
+      (Tdesc_request { type_name = "a.B"; token = 1; binary_ok = false; version = 0 },
        Stats.Tdesc_request,
        16 + 3);
       (Tdesc_reply { type_name = "a.B"; desc = Some "dddd"; token = 1 },
@@ -681,7 +681,7 @@ let test_message_sizes_and_categories () =
 
 let test_message_describe_is_informative () =
   let open Message in
-  let d = describe (Tdesc_request { type_name = "x.Y"; token = 9; binary_ok = false }) in
+  let d = describe (Tdesc_request { type_name = "x.Y"; token = 9; binary_ok = false; version = 0 }) in
   Alcotest.(check bool) "mentions the type" true
     (Pti_util.Strutil.starts_with ~prefix:"tdesc-req(x.Y)" d)
 

@@ -205,7 +205,7 @@ let test_corrupt_message_targets_payloads () =
   Alcotest.(check bool) "gossip body" true
     (some (Message.Gossip { kind = "digest"; body = "token\t1\n" }));
   Alcotest.(check bool) "requests untouched" false
-    (some (Message.Tdesc_request { type_name = "t"; token = 1; binary_ok = false }))
+    (some (Message.Tdesc_request { type_name = "t"; token = 1; binary_ok = false; version = 0 }))
 
 (* ---------------------------------------------------------------- *)
 (* Invariant checks are data-in, violations-out                       *)
@@ -325,6 +325,7 @@ let test_corruption_detected_and_recovered () =
       c_objects = 8;
       c_frame_integrity = true;
       c_wire = false;
+      c_upgrade = false;
     }
   in
   let r = Chaos.run_one ~plan config ~seed:1234L in
@@ -355,6 +356,7 @@ let test_corruption_detected_at_peer_without_frame_filter () =
       c_objects = 8;
       c_frame_integrity = false;
       c_wire = false;
+      c_upgrade = false;
     }
   in
   let r = Chaos.run_one ~plan config ~seed:99L in
@@ -398,6 +400,7 @@ let test_chaos_cluster_profiles_smoke () =
             c_objects = 8;
             c_frame_integrity = true;
             c_wire = false;
+            c_upgrade = false;
           }
           ~runs:25 ~seed:7L
       in
@@ -432,6 +435,7 @@ let test_chaos_wire_profiles_smoke () =
             c_objects = 8;
             c_frame_integrity = true;
             c_wire = true;
+            c_upgrade = false;
           }
           ~runs:25 ~seed:21L
       in

@@ -338,6 +338,7 @@ let test_envelope_digest_collision () =
       Env.te_name = "n";
       te_guid = Pti_util.Guid.of_name "n";
       te_assembly = "a";
+      te_version = 1;
       te_download_path = path;
     }
   in
