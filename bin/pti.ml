@@ -938,7 +938,11 @@ let scale_cmd =
   let shards =
     Arg.(value & opt int 1
          & info [ "shards" ] ~docv:"R"
-             ~doc:"Receiving endpoints sharing the one flyweight block.")
+             ~doc:"Receiving endpoints sharing the one flyweight block. \
+                   The block's caches are sharded by destination hash \
+                   into the same count, so each endpoint's descriptions \
+                   and verdicts live in their own slot; 1 (default) is \
+                   bit-identical to the historical single-cache block.")
   in
   let horizon =
     Arg.(value & opt float 60_000.
@@ -963,8 +967,23 @@ let scale_cmd =
                    trace hashes agree, and a flash crowd collapsed to \
                    O(shards) fetches.")
   in
+  let min_reuse =
+    Arg.(value & opt (some float) None
+         & info [ "min-reuse" ] ~docv:"R"
+             ~doc:"Fail (exit 1) unless the run's aggregate verdict \
+                   reuse rate is at least R — the hub fan-out guard \
+                   against E5e-style reuse collapse.")
+  in
+  let expect_trace =
+    Arg.(value & opt (some string) None
+         & info [ "expect-trace" ] ~docv:"HEX"
+             ~doc:"Fail (exit 1) unless the run's trace hash equals HEX \
+                   (lowercase hex, as printed) — pins shards=1 parity \
+                   across refactors.")
+  in
   let run sessions families trap_families sends zipf churn flash_at
-      upgrade_at seed shards horizon json_out sweep smoke =
+      upgrade_at seed shards horizon json_out sweep smoke min_reuse
+      expect_trace =
     let cfg =
       {
         Scale_driver.sessions;
@@ -1054,7 +1073,32 @@ let scale_cmd =
                       true checks
                   end
                 in
-                (Scale_driver.report_to_json ~wall_ms report, ok))
+                let gates = ref true in
+                (match min_reuse with
+                | None -> ()
+                | Some threshold ->
+                    if
+                      report.Scale_driver.r_verdict_reuse_rate < threshold
+                    then begin
+                      Format.fprintf human
+                        "GATE FAIL (n=%d): verdict reuse %.4f < %g@." n
+                        report.Scale_driver.r_verdict_reuse_rate threshold;
+                      gates := false
+                    end);
+                (match expect_trace with
+                | None -> ()
+                | Some hex ->
+                    let got =
+                      Printf.sprintf "%Lx" report.Scale_driver.r_trace_hash
+                    in
+                    if not (String.equal (String.lowercase_ascii hex) got)
+                    then begin
+                      Format.fprintf human
+                        "GATE FAIL (n=%d): trace %s, expected %s@." n got
+                        hex;
+                      gates := false
+                    end);
+                (Scale_driver.report_to_json ~wall_ms report, ok && !gates))
               sizes
           in
           let all_ok = List.for_all snd rows in
@@ -1092,7 +1136,7 @@ let scale_cmd =
       ret
         (const run $ sessions $ families $ trap_families $ sends $ zipf
         $ churn $ flash_at $ upgrade_at $ seed $ shards $ horizon $ json_out
-        $ sweep $ smoke))
+        $ sweep $ smoke $ min_reuse $ expect_trace))
 
 (* ----------------------------- compile ----------------------------- *)
 

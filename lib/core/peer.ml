@@ -99,28 +99,47 @@ type batch_buf = {
    receiver handle-table pool are paid for once per process, not once
    per session. Everything conversational (interests, pending
    continuations, event log, batches) stays per-[t]. *)
-type shared = {
-  sh_reg : Registry.t;
-  sh_repo : Repository.t;
-  sh_tdesc_cache : Td.t Lru.Str.t;
-  sh_checker : Checker.t;
-  sh_known_paths : string Lru.Str.t;  (* assembly name -> path *)
-  sh_px : Proxy.context;
-  (* Highest assembly version loaded as live code, by lowercased assembly
-     name: decides whether a fetched revision upgrades the live bindings
-     or is shadow-registered (GUID-only) for in-flight old envelopes. *)
-  sh_loaded_versions : (string, int) Hashtbl.t;
+(* One shard of the flyweight block: the caches whose eviction and
+   contention behavior are per-destination. [create_shared ~shards:k]
+   builds [k] of these; a peer binds at construction to the slot
+   selected by FNV-1a of its own (destination) address, so every
+   session talking *to* one destination shares that destination's
+   verdicts and descriptions, while hot destinations in different
+   shards cannot evict each other's entries — and domains serving
+   disjoint shards never touch the same mutable cache. With the
+   default [shards = 1] every peer binds slot 0 and the block behaves
+   bit-identically to the historical unsharded layout. *)
+type slot = {
+  sl_tdesc_cache : Td.t Lru.Str.t;
+  sl_checker : Checker.t;
+  sl_known_paths : string Lru.Str.t;  (* assembly name -> path *)
+  sl_px : Proxy.context;
   (* Newest version cached under a [name@vN] tdesc-cache key, by
      lowercased qualified type name: the checker's resolver falls back to
      it when the bare name has no binding, so nested (e.g. recursive)
      type references inside a version-pinned envelope still resolve. *)
-  sh_desc_versions : (string, int) Hashtbl.t;
-  sh_ht_capacity : int;
+  sl_desc_versions : (string, int) Hashtbl.t;
   (* Recycled receiver handle tables: a departing session's per-link
      tables are cleared and parked here; the next arriving session draws
      from the pool instead of allocating. FIFO, so recycling order is a
      pure function of departure order (determinism audit). *)
-  sh_ht_pool : Ht.receiver Queue.t;
+  sl_ht_pool : Ht.receiver Queue.t;
+}
+
+type shared = {
+  (* Registry, repository and the loaded-version ledger stay
+     block-global: they hold the code itself (one GUID -> one class,
+     whatever shard asked), are read-mostly in steady state, and code
+     loading is documented as a single-domain operation (see HACKING,
+     "Sharding and domain safety"). *)
+  sh_reg : Registry.t;
+  sh_repo : Repository.t;
+  (* Highest assembly version loaded as live code, by lowercased assembly
+     name: decides whether a fetched revision upgrades the live bindings
+     or is shadow-registered (GUID-only) for in-flight old envelopes. *)
+  sh_loaded_versions : (string, int) Hashtbl.t;
+  sh_ht_capacity : int;
+  sh_slots : slot array;  (* length = shard count, always >= 1 *)
 }
 
 type t = {
@@ -130,6 +149,9 @@ type t = {
      [t]); always [Some] once [create] returns. *)
   mutable ep : Message.t Transport.endpoint option;
   sh : shared;
+  (* The shard this address hashes to, bound once at construction: the
+     hot path never recomputes the hash. *)
+  sl : slot;
   peer_mode : mode;
   codec : Envelope.codec;
   mutable interests :
@@ -190,8 +212,8 @@ type t = {
 
 let address t = t.addr
 let registry t = t.sh.sh_reg
-let checker t = t.sh.sh_checker
-let proxy_context t = t.sh.sh_px
+let checker t = t.sl.sl_checker
+let proxy_context t = t.sl.sl_px
 let mode t = t.peer_mode
 let transport t = t.tr
 let now_ms t = Transport.now_ms t.tr
@@ -213,8 +235,8 @@ let metrics t = t.metrics
 let events t = Ring.to_list t.event_log
 let clear_events t = Ring.clear t.event_log
 let events_dropped t = Ring.dropped t.event_log
-let tdesc_cache_size t = Lru.Str.length t.sh.sh_tdesc_cache
-let tdesc_cache_counters t = Lru.Str.counters t.sh.sh_tdesc_cache
+let tdesc_cache_size t = Lru.Str.length t.sl.sl_tdesc_cache
+let tdesc_cache_counters t = Lru.Str.counters t.sl.sl_tdesc_cache
 let exported_count t = Hashtbl.length t.exported
 let repository t = t.sh.sh_repo
 let fetch_attempts t = Metrics.counter_value t.evt_ctrs.mc_fetch_attempts
@@ -247,7 +269,7 @@ let release_handle_tables t =
          match Hashtbl.find_opt t.h_recv src with
          | Some r ->
              Ht.clear_receiver r;
-             Queue.add r t.sh.sh_ht_pool
+             Queue.add r t.sl.sl_ht_pool
          | None -> ());
   Hashtbl.reset t.h_recv;
   Hashtbl.reset t.h_send
@@ -271,7 +293,7 @@ let lc = String.lowercase_ascii
 let local_desc t name =
   match Registry.find t.sh.sh_reg name with
   | Some cd -> Some (Td.of_class cd)
-  | None -> Lru.Str.find t.sh.sh_tdesc_cache (lc name)
+  | None -> Lru.Str.find t.sl.sl_tdesc_cache (lc name)
 
 let cache_desc ?(version = 0) t d =
   if version > 0 then begin
@@ -284,31 +306,31 @@ let cache_desc ?(version = 0) t d =
        resolved this very description). *)
     let nm = lc (Td.qualified_name d) in
     let key = Printf.sprintf "%s@v%d" nm version in
-    if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
-      Lru.Str.put t.sh.sh_tdesc_cache key d;
+    if not (Lru.Str.mem t.sl.sl_tdesc_cache key) then begin
+      Lru.Str.put t.sl.sl_tdesc_cache key d;
       let newest =
-        match Hashtbl.find_opt t.sh.sh_desc_versions nm with
+        match Hashtbl.find_opt t.sl.sl_desc_versions nm with
         | Some v -> version > v
         | None -> true
       in
       if newest then begin
-        Hashtbl.replace t.sh.sh_desc_versions nm version;
-        if not (Lru.Str.mem t.sh.sh_tdesc_cache nm) then
+        Hashtbl.replace t.sl.sl_desc_versions nm version;
+        if not (Lru.Str.mem t.sl.sl_tdesc_cache nm) then
           ignore
-            (Checker.note_new_type ~witness:d.Td.ty_guid t.sh.sh_checker
+            (Checker.note_new_type ~witness:d.Td.ty_guid t.sl.sl_checker
                (Td.qualified_name d))
       end
     end
   end
   else begin
     let key = lc (Td.qualified_name d) in
-    if not (Lru.Str.mem t.sh.sh_tdesc_cache key) then begin
-      Lru.Str.put t.sh.sh_tdesc_cache key d;
+    if not (Lru.Str.mem t.sl.sl_tdesc_cache key) then begin
+      Lru.Str.put t.sl.sl_tdesc_cache key d;
       (* New knowledge can overturn verdicts that failed on this missing
          type — and only those. The GUID witness additionally keeps any
          verdict that already resolved this very description. *)
       ignore
-        (Checker.note_new_type ~witness:d.Td.ty_guid t.sh.sh_checker
+        (Checker.note_new_type ~witness:d.Td.ty_guid t.sl.sl_checker
            (Td.qualified_name d))
     end
   end
@@ -429,7 +451,7 @@ let ensure_descs ?(pins = []) t ~from names k =
         | Some cd -> Some (Td.of_class cd)
         | None -> (
             match
-              Lru.Str.find t.sh.sh_tdesc_cache (Printf.sprintf "%s@v%d" key v)
+              Lru.Str.find t.sl.sl_tdesc_cache (Printf.sprintf "%s@v%d" key v)
             with
             | Some d -> Some d
             | None -> (
@@ -511,7 +533,7 @@ let fetch_assembly_uncached t ~asm_name ~advertised k =
               Metrics.incr t.evt_ctrs.mc_fetch_attempts;
               request_assembly t ~host ~path (function
                 | Some asm ->
-                    Lru.Str.put t.sh.sh_known_paths (lc asm_name) path;
+                    Lru.Str.put t.sl.sl_known_paths (lc asm_name) path;
                     k (Some (path, asm))
                 | None ->
                     if n < t.fetch_retries then begin
@@ -579,7 +601,7 @@ let upgrade_assembly_local t asm =
   List.iter
     (fun cd ->
       ignore
-        (Checker.note_new_type ~witness:cd.Meta.td_guid t.sh.sh_checker
+        (Checker.note_new_type ~witness:cd.Meta.td_guid t.sl.sl_checker
            (Meta.qualified_name cd)))
     asm.Assembly.asm_classes
 
@@ -614,7 +636,7 @@ let ensure_assemblies t (env : Envelope.t) k =
   (* Remember advertised download paths. *)
   List.iter
     (fun (e : Envelope.type_entry) ->
-      Lru.Str.put t.sh.sh_known_paths (lc e.Envelope.te_assembly)
+      Lru.Str.put t.sl.sl_known_paths (lc e.Envelope.te_assembly)
         e.Envelope.te_download_path)
     env.Envelope.env_types;
   let needed =
@@ -676,7 +698,7 @@ let matching_interests t (root : Td.t) =
       match local_desc t interest with
       | None -> None
       | Some interest_d -> (
-          match Checker.check t.sh.sh_checker ~actual:root ~interest:interest_d with
+          match Checker.check t.sl.sl_checker ~actual:root ~interest:interest_d with
           | Checker.Conformant m -> Some (interest, cb, m)
           | Checker.Not_conformant _ -> None))
     t.interests
@@ -689,7 +711,7 @@ let first_failure t (root : Td.t) =
       match local_desc t interest with
       | None -> Printf.sprintf "interest %s not loaded locally" interest
       | Some interest_d -> (
-          match Checker.check t.sh.sh_checker ~actual:root ~interest:interest_d with
+          match Checker.check t.sl.sl_checker ~actual:root ~interest:interest_d with
           | Checker.Conformant _ -> "conformant (race)"
           | Checker.Not_conformant [] -> "not conformant"
           | Checker.Not_conformant (f :: _) -> f.Checker.message))
@@ -711,7 +733,7 @@ let env_desc t (env : Envelope.t) name =
       | None -> (
           let versioned =
             if e.Envelope.te_version > 0 then
-              Lru.Str.find t.sh.sh_tdesc_cache
+              Lru.Str.find t.sl.sl_tdesc_cache
                 (Printf.sprintf "%s@v%d" (lc name) e.Envelope.te_version)
             else None
           in
@@ -741,7 +763,7 @@ let decode_and_deliver t ~from (env : Envelope.t) root_name =
               (fun (interest, cb, m) ->
                 let delivered =
                   if m.Mapping.identity then value
-                  else Proxy.wrap t.sh.sh_px ~interest ~mapping:m value
+                  else Proxy.wrap t.sl.sl_px ~interest ~mapping:m value
                 in
                 log_event t (Delivered { interest; from; value = delivered });
                 cb ~from delivered)
@@ -763,7 +785,7 @@ let recv_table t src =
       (* Pool first: all tables in a shared block have the same capacity,
          so a recycled one is interchangeable with a fresh one. *)
       let r =
-        match Queue.take_opt t.sh.sh_ht_pool with
+        match Queue.take_opt t.sl.sl_ht_pool with
         | Some r -> r
         | None -> Ht.create_receiver ~capacity:t.sh.sh_ht_capacity
       in
@@ -930,7 +952,7 @@ let handle_envelope ?renego_budget t ~from (msg_env : string) tdescs
 (* ---------------------------------------------------------------- *)
 
 let download_path t ~assembly =
-  match Lru.Str.find t.sh.sh_known_paths (lc assembly) with
+  match Lru.Str.find t.sl.sl_known_paths (lc assembly) with
   | Some p -> p
   | None -> Repository.path_for ~host:t.addr ~assembly
 
@@ -1072,7 +1094,7 @@ let handle t ~src msg =
         | Some _ as d -> d
         | None -> (
             match
-              Lru.Str.find t.sh.sh_tdesc_cache
+              Lru.Str.find t.sl.sl_tdesc_cache
                 (Printf.sprintf "%s@v%d" (lc type_name) version)
             with
             | Some _ as d -> d
@@ -1234,48 +1256,112 @@ let bind_wire_metrics m ~addr =
    session it spawns. *)
 let create_shared ?(config = Config.strict) ?(tdesc_cache_capacity = 512)
     ?(known_paths_capacity = 512) ?checker_cache_capacity
-    ?(handle_table_capacity = 512) () =
+    ?(handle_table_capacity = 512) ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Peer.create_shared: shards must be >= 1";
   let reg = Registry.create () in
-  let tdesc_cache = Lru.Str.create ~capacity:tdesc_cache_capacity () in
-  let desc_versions = Hashtbl.create 16 in
-  let resolver name =
-    match Registry.find reg name with
-    | Some cd -> Some (Td.of_class cd)
-    | None -> (
-        let key = lc name in
-        match Lru.Str.find tdesc_cache key with
-        | Some d -> Some d
-        | None -> (
-            (* No bare binding: serve the newest version-pinned entry, so
-               nested references inside pinned envelopes resolve. *)
-            match Hashtbl.find_opt desc_versions key with
-            | Some v ->
-                Lru.Str.find tdesc_cache (Printf.sprintf "%s@v%d" key v)
-            | None -> None))
-  in
-  let checker =
-    Checker.create ~config ?cache_capacity:checker_cache_capacity ~resolver ()
+  (* Capacity-aware per-shard sizing: the block-wide cache budget is
+     split across shards (ceiling division, floor 1), so [~shards:k]
+     costs what one block did while each shard's working set is
+     isolated — a hot destination can only evict entries inside its own
+     shard, never another's verdicts. *)
+  let per cap = max 1 ((cap + shards - 1) / shards) in
+  let make_slot _ =
+    let tdesc_cache =
+      Lru.Str.create ~capacity:(per tdesc_cache_capacity) ()
+    in
+    let desc_versions = Hashtbl.create 16 in
+    let resolver name =
+      match Registry.find reg name with
+      | Some cd -> Some (Td.of_class cd)
+      | None -> (
+          let key = lc name in
+          match Lru.Str.find tdesc_cache key with
+          | Some d -> Some d
+          | None -> (
+              (* No bare binding: serve the newest version-pinned entry, so
+                 nested references inside pinned envelopes resolve. *)
+              match Hashtbl.find_opt desc_versions key with
+              | Some v ->
+                  Lru.Str.find tdesc_cache (Printf.sprintf "%s@v%d" key v)
+              | None -> None))
+    in
+    let checker =
+      Checker.create ~config
+        ?cache_capacity:(Option.map per checker_cache_capacity)
+        ~resolver ()
+    in
+    {
+      sl_tdesc_cache = tdesc_cache;
+      sl_checker = checker;
+      sl_known_paths = Lru.Str.create ~capacity:(per known_paths_capacity) ();
+      sl_px = Proxy.create_context reg checker;
+      sl_desc_versions = desc_versions;
+      sl_ht_pool = Queue.create ();
+    }
   in
   {
     sh_reg = reg;
     sh_repo = Repository.create ();
-    sh_tdesc_cache = tdesc_cache;
-    sh_checker = checker;
-    sh_known_paths = Lru.Str.create ~capacity:known_paths_capacity ();
-    sh_px = Proxy.create_context reg checker;
     sh_loaded_versions = Hashtbl.create 16;
-    sh_desc_versions = desc_versions;
     sh_ht_capacity = handle_table_capacity;
-    sh_ht_pool = Queue.create ();
+    sh_slots = Array.init shards make_slot;
   }
 
+let shard_count sh = Array.length sh.sh_slots
+
+let shard_index sh addr =
+  let k = Array.length sh.sh_slots in
+  if k = 1 then 0
+  else
+    Int64.to_int
+      (Int64.unsigned_rem (Pti_util.Fnv.hash64 addr) (Int64.of_int k))
+
+let slot_of sh addr = sh.sh_slots.(shard_index sh addr)
 let shared t = t.sh
 let shared_registry sh = sh.sh_reg
 let shared_repository sh = sh.sh_repo
-let shared_checker sh = sh.sh_checker
-let shared_tdesc_cache_counters sh = Lru.Str.counters sh.sh_tdesc_cache
-let shared_tdesc_cache_size sh = Lru.Str.length sh.sh_tdesc_cache
-let shared_pool_size sh = Queue.length sh.sh_ht_pool
+let shared_checker sh = sh.sh_slots.(0).sl_checker
+
+let shared_tdesc_cache_counters sh =
+  Array.fold_left
+    (fun (acc : Lru.counters) sl ->
+      let c = Lru.Str.counters sl.sl_tdesc_cache in
+      {
+        Lru.hits = acc.Lru.hits + c.Lru.hits;
+        misses = acc.Lru.misses + c.Lru.misses;
+        evictions = acc.Lru.evictions + c.Lru.evictions;
+        invalidations = acc.Lru.invalidations + c.Lru.invalidations;
+        insertions = acc.Lru.insertions + c.Lru.insertions;
+      })
+    {
+      Lru.hits = 0;
+      misses = 0;
+      evictions = 0;
+      invalidations = 0;
+      insertions = 0;
+    }
+    sh.sh_slots
+
+let shared_tdesc_cache_size sh =
+  Array.fold_left
+    (fun n sl -> n + Lru.Str.length sl.sl_tdesc_cache)
+    0 sh.sh_slots
+
+let shared_pool_size sh =
+  Array.fold_left (fun n sl -> n + Queue.length sl.sl_ht_pool) 0 sh.sh_slots
+
+let shared_reuse_rate sh =
+  (* Top-level verdict reuse aggregated across every shard's checker —
+     the per-shard [Checker.reuse_rate]s weighted by check volume. *)
+  let hits, total =
+    Array.fold_left
+      (fun (h, tot) sl ->
+        let s = Checker.stats sl.sl_checker in
+        ( h + s.Checker.top_hits,
+          tot + s.Checker.top_hits + s.Checker.top_computes ))
+      (0, 0) sh.sh_slots
+  in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
 
 let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
     ?(config = Config.strict) ?metrics:m
@@ -1303,11 +1389,12 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
         create_shared ~config ~tdesc_cache_capacity ~known_paths_capacity
           ?checker_cache_capacity ~handle_table_capacity ()
   in
+  let sl = slot_of sh addr in
   let event_log = Ring.create ~capacity:event_log_capacity () in
   let m = match m with Some m -> m | None -> Metrics.create () in
   let evt_ctrs =
-    bind_metrics m ~addr ~tdesc_cache:sh.sh_tdesc_cache
-      ~known_paths:sh.sh_known_paths ~event_log ~checker:sh.sh_checker
+    bind_metrics m ~addr ~tdesc_cache:sl.sl_tdesc_cache
+      ~known_paths:sl.sl_known_paths ~event_log ~checker:sl.sl_checker
   in
   let t =
     {
@@ -1315,6 +1402,7 @@ let create ?(mode = Optimistic) ?(codec = Envelope.Binary)
       tr;
       ep = None;
       sh;
+      sl;
       peer_mode = mode;
       codec;
       interests = [];
@@ -1365,7 +1453,7 @@ let publish_assembly t asm =
     Repository.path_for ~host:t.addr ~assembly:asm.Assembly.asm_name
   in
   Repository.add t.sh.sh_repo ~path asm;
-  Lru.Str.put t.sh.sh_known_paths (lc asm.Assembly.asm_name) path
+  Lru.Str.put t.sl.sl_known_paths (lc asm.Assembly.asm_name) path
 
 (* Compare-and-set publish onto the repository's version chain. On
    success the new revision becomes the live code (old GUIDs stay
@@ -1380,7 +1468,7 @@ let publish_assembly_cas ?expect t asm =
       let asm' = ve.Repository.ve_assembly in
       upgrade_assembly_local t asm';
       record_loaded_version t asm';
-      Lru.Str.put t.sh.sh_known_paths
+      Lru.Str.put t.sl.sl_known_paths
         (lc asm'.Assembly.asm_name)
         ve.Repository.ve_path;
       Ok ve
@@ -1422,7 +1510,7 @@ let known_descriptions t =
         (lc (Meta.qualified_name cd))
         (Meta.qualified_name cd, cd.Meta.td_guid))
     (Registry.all t.sh.sh_reg);
-  Lru.Str.fold t.sh.sh_tdesc_cache ~init:()
+  Lru.Str.fold t.sl.sl_tdesc_cache ~init:()
     ~f:(fun key d () ->
       (* Version-pinned slots (keyed [name@vN]) are link-local decode
          aids, not knowledge to gossip. *)
@@ -1530,7 +1618,7 @@ let fingerprint t =
   Repository.entries t.sh.sh_repo
   |> List.sort compare
   |> List.iter (fun (path, name) -> add "repo %s %s" path name);
-  Lru.Str.fold t.sh.sh_tdesc_cache ~init:[] ~f:(fun key _ acc -> key :: acc)
+  Lru.Str.fold t.sl.sl_tdesc_cache ~init:[] ~f:(fun key _ acc -> key :: acc)
   |> List.sort String.compare
   |> List.iter (fun key -> add "tdesc %s" key);
   List.iter (fun e -> add "evt %s" (Format.asprintf "%a" pp_event e))
@@ -1701,7 +1789,7 @@ let acquire t rref ~interest =
       | None -> Error (Printf.sprintf "interest type %s not loaded" interest)
       | Some interest_d -> (
           (* 2. the rules check. *)
-          match Checker.check t.sh.sh_checker ~actual:actual_d ~interest:interest_d with
+          match Checker.check t.sl.sl_checker ~actual:actual_d ~interest:interest_d with
           | Checker.Not_conformant fs ->
               Error
                 (match fs with

@@ -57,28 +57,63 @@ type shared
     scale driver ([pti_scale]) allocates {e one} block and threads it
     through 10^5–10^6 lightweight sessions so this state is paid for
     once per process. Conversation state (interests, pending exchanges,
-    event log, batches, wire counters) is never shared. *)
+    event log, batches, wire counters) is never shared.
+
+    The cache side of the block is {e sharded} by destination address:
+    [create_shared ~shards:k] splits the description cache, checker
+    (verdict cache), advertised-path cache and handle-table pool into
+    [k] independent shards; each peer binds at construction to the
+    shard selected by FNV-1a of its address. Registry, repository and
+    the loaded-version ledger stay block-global (code loading is a
+    single-domain operation — see HACKING, "Sharding and domain
+    safety"); steady-state reception on peers of different shards
+    touches disjoint mutable state and may run on different domains.
+    The default [shards = 1] is bit-identical to the unsharded
+    layout. *)
 
 val create_shared : ?config:Pti_conformance.Config.t ->
   ?tdesc_cache_capacity:int -> ?known_paths_capacity:int ->
-  ?checker_cache_capacity:int -> ?handle_table_capacity:int -> unit ->
-  shared
-(** Same defaults as {!create}'s corresponding optional arguments. *)
+  ?checker_cache_capacity:int -> ?handle_table_capacity:int ->
+  ?shards:int -> unit -> shared
+(** Same defaults as {!create}'s corresponding optional arguments.
+    [shards] (default 1) must be >= 1; the cache capacities are
+    block-wide budgets split evenly across shards (ceiling division,
+    floor 1 entry), so raising [shards] never raises the block's total
+    cache cost. @raise Invalid_argument when [shards < 1]. *)
 
 val shared : t -> shared
 val shared_registry : shared -> Registry.t
 val shared_repository : shared -> Repository.t
+
 val shared_checker : shared -> Pti_conformance.Checker.t
+(** Shard 0's checker — the whole block's checker when [shards = 1].
+    For block-wide verdict-reuse accounting across every shard use
+    {!shared_reuse_rate}. *)
+
+val shard_count : shared -> int
+
+val shard_index : shared -> string -> int
+(** The shard the given destination address hashes to:
+    [FNV-1a(addr) mod shard_count] (0 when the block is unsharded). *)
 
 val shared_tdesc_cache_counters : shared -> Pti_obs.Lru.counters
-(** Hit/miss/eviction accounting of the shared description cache — the
-    cache-reuse curve the scale bench reports. *)
+(** Hit/miss/eviction accounting of the shared description cache,
+    summed across shards — the cache-reuse curve the scale bench
+    reports. *)
 
 val shared_tdesc_cache_size : shared -> int
+(** Entries across all shards. *)
 
 val shared_pool_size : shared -> int
-(** Receiver handle tables currently parked for reuse (grown by
-    {!release_handle_tables}, drained by lazy per-link table creation). *)
+(** Receiver handle tables currently parked for reuse, across all
+    shards (grown by {!release_handle_tables}, drained by lazy
+    per-link table creation). *)
+
+val shared_reuse_rate : shared -> float
+(** Fraction of top-level conformance checks answered by a verdict
+    cache, aggregated over every shard's checker (per-shard
+    {!Pti_conformance.Checker.reuse_rate} weighted by check volume);
+    0 before any check. *)
 
 val release_handle_tables : t -> unit
 (** Session teardown: clear this peer's learned (receiver) handle tables

@@ -50,6 +50,14 @@ module Make (K : KEY) : S with type key = K.t = struct
     mutable nval : 'a;
     mutable prev : 'a node option;  (* towards the head / more recent *)
     mutable next : 'a node option;  (* towards the tail / less recent *)
+    (* Cleared by [drop] before the [on_evict] callback runs: a callback
+       that re-enters this LRU (insert, find, even removal of another
+       doomed key) may race a sweep still holding a reference to this
+       node — dropping a dead node a second time must be a no-op, not a
+       recency-list corruption (unlinking an already-detached node used
+       to null the list head while the table stayed populated, tripping
+       the eviction loop's [assert false]). *)
+    mutable alive : bool;
   }
 
   type 'a t = {
@@ -108,11 +116,16 @@ module Make (K : KEY) : S with type key = K.t = struct
         push_front t n
 
   let drop ?(count_eviction = false) t n =
-    unlink t n;
-    H.remove t.tbl n.nkey;
-    if count_eviction then t.evictions <- t.evictions + 1
-    else t.invalidations <- t.invalidations + 1;
-    match t.on_evict with Some f -> f n.nkey n.nval | None -> ()
+    if n.alive then begin
+      n.alive <- false;
+      unlink t n;
+      H.remove t.tbl n.nkey;
+      if count_eviction then t.evictions <- t.evictions + 1
+      else t.invalidations <- t.invalidations + 1;
+      (* The callback runs last, with the node fully detached and the
+         table already consistent: it may freely re-enter this LRU. *)
+      match t.on_evict with Some f -> f n.nkey n.nval | None -> ()
+    end
 
   let evict_over_capacity t =
     while H.length t.tbl > t.cap do
@@ -144,7 +157,7 @@ module Make (K : KEY) : S with type key = K.t = struct
         n.nval <- v;
         touch t n
     | None ->
-        let n = { nkey = k; nval = v; prev = None; next = None } in
+        let n = { nkey = k; nval = v; prev = None; next = None; alive = true } in
         H.replace t.tbl k n;
         push_front t n;
         t.insertions <- t.insertions + 1;
@@ -175,7 +188,11 @@ module Make (K : KEY) : S with type key = K.t = struct
     let entries =
       let rec walk acc = function
         | None -> List.rev acc
-        | Some n -> walk ((n.nkey, n.nval) :: acc) n.next
+        | Some n ->
+            (* Dead before any callback fires: a callback re-entering
+               [remove]/[put] must never resurrect or re-drop them. *)
+            n.alive <- false;
+            walk ((n.nkey, n.nval) :: acc) n.next
       in
       walk [] t.head
     in

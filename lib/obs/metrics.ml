@@ -1,4 +1,14 @@
+(* Domain-safety model (see HACKING, "Sharding and domain safety"):
+   counters are [Atomic.t] cells, gauge and histogram writes are guarded
+   by a per-instrument mutex, and the registry table itself by a
+   registry-wide mutex — so any number of domains may report through one
+   [t] concurrently. Snapshots merge per-instrument state under the same
+   locks, so a snapshot taken mid-traffic is internally consistent (a
+   histogram's bucket counts always sum to its count; sum/min/max belong
+   to the same prefix of observations): it never tears. *)
+
 type hist = {
+  h_mu : Mutex.t;
   bounds : float array;  (* finite upper bounds, strictly increasing *)
   counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
   mutable sum : float;
@@ -7,18 +17,20 @@ type hist = {
   mutable maxv : float;
 }
 
+type gauge_cell = { g_mu : Mutex.t; mutable g_v : float }
+
 type instrument =
-  | Icounter of int ref
-  | Igauge of float ref
+  | Icounter of int Atomic.t
+  | Igauge of gauge_cell
   | Igauge_fn of (unit -> float) ref
   | Ihist of hist
 
-type t = { tbl : (string, instrument) Hashtbl.t }
-type counter = int ref
-type gauge = float ref
+type t = { mu : Mutex.t; tbl : (string, instrument) Hashtbl.t }
+type counter = int Atomic.t
+type gauge = gauge_cell
 type histogram = hist
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
 let default = create ()
 
 let kind_name = function
@@ -27,81 +39,105 @@ let kind_name = function
   | Igauge_fn _ -> "gauge"
   | Ihist _ -> "histogram"
 
-let counter t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Icounter r) -> r
-  | Some i ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is a %s, not a counter" name
-           (kind_name i))
-  | None ->
-      let r = ref 0 in
-      Hashtbl.replace t.tbl name (Icounter r);
-      r
+(* Get-or-create under the registry mutex: two domains racing to create
+   the same name must agree on one cell. *)
+let with_registry t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
 
-let incr ?(by = 1) c = c := !c + by
-let counter_value c = !c
+let counter t name =
+  with_registry t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Icounter r) -> r
+      | Some i ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a counter" name
+               (kind_name i))
+      | None ->
+          let r = Atomic.make 0 in
+          Hashtbl.replace t.tbl name (Icounter r);
+          r)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
 
 let gauge t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Igauge r) -> r
-  | Some i ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is a %s, not a gauge" name (kind_name i))
-  | None ->
-      let r = ref 0. in
-      Hashtbl.replace t.tbl name (Igauge r);
-      r
+  with_registry t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Igauge r) -> r
+      | Some i ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a gauge" name
+               (kind_name i))
+      | None ->
+          let r = { g_mu = Mutex.create (); g_v = 0. } in
+          Hashtbl.replace t.tbl name (Igauge r);
+          r)
 
-let set_gauge g v = g := v
+let set_gauge g v =
+  Mutex.lock g.g_mu;
+  g.g_v <- v;
+  Mutex.unlock g.g_mu
 
 let gauge_fn t name f =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Igauge_fn r) -> r := f
-  | Some (Icounter _ | Igauge _ | Ihist _ as i) ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is a %s, not a gauge callback" name
-           (kind_name i))
-  | None -> Hashtbl.replace t.tbl name (Igauge_fn (ref f))
+  with_registry t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Igauge_fn r) -> r := f
+      | Some (Icounter _ | Igauge _ | Ihist _ as i) ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a gauge callback" name
+               (kind_name i))
+      | None -> Hashtbl.replace t.tbl name (Igauge_fn (ref f)))
 
 let default_buckets =
   [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500. |]
 
 let histogram ?(buckets = default_buckets) t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Ihist h) -> h
-  | Some i ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is a %s, not a histogram" name
-           (kind_name i))
-  | None ->
-      let n = Array.length buckets in
-      if n = 0 then invalid_arg "Metrics.histogram: no buckets";
-      for i = 1 to n - 1 do
-        if buckets.(i) <= buckets.(i - 1) then
-          invalid_arg "Metrics.histogram: buckets must be strictly increasing"
-      done;
-      let h =
-        {
-          bounds = Array.copy buckets;
-          counts = Array.make (n + 1) 0;
-          sum = 0.;
-          count = 0;
-          minv = nan;
-          maxv = nan;
-        }
-      in
-      Hashtbl.replace t.tbl name (Ihist h);
-      h
+  with_registry t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Ihist h) -> h
+      | Some i ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a histogram" name
+               (kind_name i))
+      | None ->
+          let n = Array.length buckets in
+          if n = 0 then invalid_arg "Metrics.histogram: no buckets";
+          for i = 1 to n - 1 do
+            if buckets.(i) <= buckets.(i - 1) then
+              invalid_arg
+                "Metrics.histogram: buckets must be strictly increasing"
+          done;
+          let h =
+            {
+              h_mu = Mutex.create ();
+              bounds = Array.copy buckets;
+              counts = Array.make (n + 1) 0;
+              sum = 0.;
+              count = 0;
+              minv = nan;
+              maxv = nan;
+            }
+          in
+          Hashtbl.replace t.tbl name (Ihist h);
+          h)
 
 let observe h v =
   (* First bucket whose upper bound admits [v]; the overflow bucket is
      index [Array.length bounds]. A plain loop, not a local recursive
      function: this is the one call made per sample on the hot path and
-     must not allocate (a closure here shows up at 10^6 inserts). *)
+     must not allocate (a closure here shows up at 10^6 inserts) — the
+     mutex guard keeps it that way (lock/unlock allocate nothing). *)
+  Mutex.lock h.h_mu;
   let n = Array.length h.bounds in
   let i = ref 0 in
-  while !i < n && v > h.bounds.(!i) do incr i done;
+  while !i < n && v > h.bounds.(!i) do i := !i + 1 done;
   let i = !i in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
@@ -113,7 +149,8 @@ let observe h v =
   else begin
     if v < h.minv then h.minv <- v;
     if v > h.maxv then h.maxv <- v
-  end
+  end;
+  Mutex.unlock h.h_mu
 
 type hist_snapshot = {
   h_count : int;
@@ -127,9 +164,14 @@ let quantile hs p =
   if p < 0. || p > 1. then invalid_arg "Metrics.quantile";
   if hs.h_count = 0 then None
   else begin
+    (* Nearest-rank: the smallest rank r (1-based) with r/count >= p,
+       i.e. ceil(p * count), clamped to [1, count] so p = 0.0 reports
+       the minimum's bucket and p = 1.0 the maximum's. (The previous
+       round-based formula biased one rank high — the median of a
+       two-entry histogram landed on the larger observation.) *)
     let target =
-      let r = int_of_float (Float.round (p *. float_of_int (hs.h_count - 1))) in
-      r + 1  (* 1-based rank *)
+      let r = int_of_float (Float.ceil (p *. float_of_int hs.h_count)) in
+      min hs.h_count (max 1 r)
     in
     let n = Array.length hs.h_buckets in
     let rec scan i cum =
@@ -148,29 +190,49 @@ type value = Counter of int | Gauge of float | Histogram of hist_snapshot
 type snapshot = (string * value) list
 
 let snap_hist h =
+  (* Under the instrument mutex: bucket counts, sum, count and min/max
+     all describe the same prefix of observations — a snapshot racing
+     [observe] on another domain can never tear. *)
+  Mutex.lock h.h_mu;
   let n = Array.length h.bounds in
-  {
-    h_count = h.count;
-    h_sum = h.sum;
-    h_min = h.minv;
-    h_max = h.maxv;
-    h_buckets =
-      Array.init (n + 1) (fun i ->
-          ((if i = n then infinity else h.bounds.(i)), h.counts.(i)));
-  }
+  let s =
+    {
+      h_count = h.count;
+      h_sum = h.sum;
+      h_min = h.minv;
+      h_max = h.maxv;
+      h_buckets =
+        Array.init (n + 1) (fun i ->
+            ((if i = n then infinity else h.bounds.(i)), h.counts.(i)));
+    }
+  in
+  Mutex.unlock h.h_mu;
+  s
 
 let snap_instrument = function
-  | Icounter r -> Counter !r
-  | Igauge r -> Gauge !r
+  | Icounter r -> Counter (Atomic.get r)
+  | Igauge g ->
+      Mutex.lock g.g_mu;
+      let v = g.g_v in
+      Mutex.unlock g.g_mu;
+      Gauge v
   | Igauge_fn f -> Gauge (!f ())
   | Ihist h -> Histogram (snap_hist h)
 
 let snapshot t =
-  Hashtbl.fold (fun name i acc -> (name, snap_instrument i) :: acc) t.tbl []
+  (* Collect the instrument list under the registry mutex, then merge
+     each instrument's state under its own lock — gauge callbacks run
+     outside the registry lock, so a probe may itself read metrics. *)
+  let instruments =
+    with_registry t (fun () ->
+        Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.tbl [])
+  in
+  List.map (fun (name, i) -> (name, snap_instrument i)) instruments
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find t name =
-  Option.map snap_instrument (Hashtbl.find_opt t.tbl name)
+  let i = with_registry t (fun () -> Hashtbl.find_opt t.tbl name) in
+  Option.map snap_instrument i
 
 let pp ppf (s : snapshot) =
   let fmt_float v =
@@ -247,16 +309,22 @@ let to_json (s : snapshot) =
   Buffer.contents b
 
 let reset t =
-  Hashtbl.iter
-    (fun _ i ->
+  let instruments =
+    with_registry t (fun () ->
+        Hashtbl.fold (fun _ i acc -> i :: acc) t.tbl [])
+  in
+  List.iter
+    (fun i ->
       match i with
-      | Icounter r -> r := 0
-      | Igauge r -> r := 0.
+      | Icounter r -> Atomic.set r 0
+      | Igauge g -> set_gauge g 0.
       | Igauge_fn _ -> ()
       | Ihist h ->
+          Mutex.lock h.h_mu;
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.sum <- 0.;
           h.count <- 0;
           h.minv <- nan;
-          h.maxv <- nan)
-    t.tbl
+          h.maxv <- nan;
+          Mutex.unlock h.h_mu)
+    instruments

@@ -10,7 +10,17 @@
     existing name with a different instrument kind raises
     [Invalid_argument]. Gauge callbacks ({!gauge_fn}) replace a previous
     callback under the same name, so a re-created subsystem can re-bind
-    its probes. *)
+    its probes.
+
+    {b Domain safety.} A registry may be shared across OCaml 5 domains:
+    counters are [Atomic.t] cells, gauge and histogram writes are
+    guarded by a per-instrument mutex (the histogram hot path stays
+    allocation-free), and registration by a registry-wide mutex.
+    {!snapshot} merges instrument state under the same locks, so a
+    snapshot taken while other domains report is internally consistent —
+    a histogram's bucket counts always sum to its count. Gauge
+    {e callbacks} run on the snapshotting domain and are only as safe as
+    the state they probe. *)
 
 type t
 
@@ -63,8 +73,11 @@ type hist_snapshot = {
 
 val quantile : hist_snapshot -> float -> float option
 (** Bucket-resolution estimate: the upper bound of the bucket holding the
-    p-quantile observation (the observed max for the overflow bucket).
-    [None] when the histogram is empty. *)
+    p-quantile observation (the observed max for the overflow bucket),
+    with the nearest-rank rule — rank [ceil(p * count)] clamped to
+    [[1, count]], so [p = 0.0] reports the minimum's bucket and
+    [p = 1.0] the maximum's on histograms of any size. [None] when the
+    histogram is empty. *)
 
 type value =
   | Counter of int

@@ -114,9 +114,12 @@ let run ?metrics cfg =
     Churn.build ~sessions:cfg.sessions ~churn:cfg.churn
       ~horizon_ms:cfg.horizon_ms rng_timeline
   in
-  (* One flyweight block behind every shard: a type fetched (or a
-     verdict computed) for any session is owned by the whole population. *)
-  let shared = Peer.create_shared () in
+  (* One flyweight block behind every shard, itself sharded by
+     destination hash: sessions aimed at one shard address share that
+     shard's descriptions and verdicts, and hot shards cannot evict
+     each other's entries. With one shard ([--shards 1], the default)
+     this is the historical single-cache block, bit-identical. *)
+  let shared = Peer.create_shared ~shards:cfg.shards () in
   let shards =
     Array.init cfg.shards (fun i ->
         Peer.create ~net ~metrics:m ~shared ~handles:true
@@ -158,7 +161,7 @@ let run ?metrics cfg =
       let total = c.Lru.hits + c.Lru.misses in
       if total = 0 then 0. else float_of_int c.Lru.hits /. float_of_int total);
   Metrics.gauge_fn m "scale.cache.verdict_reuse_rate" (fun () ->
-      Checker.reuse_rate (Peer.shared_checker shared));
+      Peer.shared_reuse_rate shared);
   Metrics.gauge_fn m "scale.pool.recycled" (fun () ->
       float_of_int (Peer.shared_pool_size shared));
   (* Rolling trace hash: every externally visible workload event, in
@@ -398,7 +401,7 @@ let run ?metrics cfg =
     r_tdesc_hit_rate =
       (if tdesc_total = 0 then 0.
        else float_of_int tc.Lru.hits /. float_of_int tdesc_total);
-    r_verdict_reuse_rate = Checker.reuse_rate (Peer.shared_checker shared);
+    r_verdict_reuse_rate = Peer.shared_reuse_rate shared;
     r_pool_recycled = Peer.shared_pool_size shared;
     r_trace_hash = !trace;
   }

@@ -3,7 +3,9 @@
     Models a large population of lightweight interop {e sessions}
     against the existing stack: a handful of shard peers — all threading
     {e one} {!Pti_core.Peer.shared} flyweight block (registry, served
-    code, tdesc cache, verdict cache, handle-table pool) — receive
+    code, tdesc cache, verdict cache, handle-table pool), built with as
+    many cache shards as there are shard endpoints so each endpoint's
+    working set lives in the slot its address hashes to — receive
     envelopes published by per-family publisher peers over the simulated
     network. Sessions are small records (id, family, shard, liveness):
     their arrivals, departures and sends replay a precomputed {!Churn}
@@ -38,7 +40,12 @@ type config = {
           (revisions only add members) — the run must still end with
           zero undelivered. *)
   seed : int64;
-  shards : int;  (** Receiving endpoints sharing the flyweight block. *)
+  shards : int;
+      (** Receiving endpoints sharing the flyweight block — also the
+          block's cache shard count ({!Pti_core.Peer.create_shared}'s
+          [~shards]), so destination working sets are isolated. 1 (the
+          default) reproduces the historical single-cache block
+          bit-identically. *)
   horizon_ms : float;  (** Simulated run length. *)
 }
 
@@ -75,7 +82,9 @@ type report = {
   r_p50_ms : float;  (** From the [scale.latency_ms] histogram. *)
   r_p99_ms : float;
   r_tdesc_hit_rate : float;  (** Shared description-cache hit rate. *)
-  r_verdict_reuse_rate : float;  (** {!Pti_conformance.Checker.reuse_rate}. *)
+  r_verdict_reuse_rate : float;
+      (** {!Pti_core.Peer.shared_reuse_rate}: verdict reuse aggregated
+          across every cache shard's checker. *)
   r_pool_recycled : int;  (** Handle tables parked for reuse at teardown. *)
   r_trace_hash : int64;
       (** Rolling FNV-1a over every arrival, departure, send and

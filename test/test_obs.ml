@@ -233,6 +233,82 @@ let prop_lru_invalidate_sound =
       && List.length before = List.length after + n
       && List.for_all (fun k -> p k || List.mem k after) before)
 
+(* Regression: an [on_evict] callback that re-enters the cache used to
+   corrupt the recency list. A sweep holding references to doomed nodes
+   could unlink a node the callback had already dropped — detaching an
+   already-detached node nulls the list head while the table stays
+   populated, and the eviction loop's [assert false] trips on the next
+   over-capacity insert. Dropping a dead node must be a no-op. *)
+
+let test_lru_reentrant_evict_put () =
+  let c = ref None in
+  let cache =
+    Lru.Str.create
+      ~on_evict:(fun k _ ->
+        match !c with
+        | Some cache when k = "a" ->
+            (* Insert while the eviction that doomed "a" is unwinding:
+               this recurses into the eviction loop. *)
+            Lru.Str.put cache "r" 99
+        | _ -> ())
+      ~capacity:2 ()
+  in
+  c := Some cache;
+  Lru.Str.put cache "a" 1;
+  Lru.Str.put cache "b" 2;
+  (* Over capacity: evicts "a"; its callback inserts "r", which evicts
+     "b" before the outer loop resumes. *)
+  Lru.Str.put cache "c" 3;
+  Alcotest.(check int) "within capacity" 2 (Lru.Str.length cache);
+  Alcotest.(check (list string))
+    "recency list agrees with the table" [ "r"; "c" ]
+    (List.map fst (Lru.Str.to_list cache));
+  Alcotest.(check int) "both eviction rounds counted" 2
+    (Lru.Str.counters cache).Lru.evictions;
+  (* Still usable: a later over-capacity insert must not assert. *)
+  Lru.Str.put cache "z" 26;
+  Alcotest.(check (option int))
+    "usable after reentrant eviction" (Some 26)
+    (Lru.Str.find cache "z")
+
+let test_lru_reentrant_invalidate_remove () =
+  let fired = ref [] in
+  let c = ref None in
+  let cache =
+    Lru.Str.create
+      ~on_evict:(fun k _ ->
+        fired := k :: !fired;
+        match !c with
+        | Some cache when k = "a" ->
+            (* Remove a key the sweep has also doomed but not yet
+               reached: the sweep must treat the dead node as done. *)
+            Lru.Str.remove cache "b"
+        | _ -> ())
+      ~capacity:3 ()
+  in
+  c := Some cache;
+  (* Insertion order puts "a" at the tail, so the sweep drops it first
+     while "b" is still pending in its doomed list. *)
+  Lru.Str.put cache "a" 1;
+  Lru.Str.put cache "b" 2;
+  Lru.Str.put cache "keep" 0;
+  let dropped =
+    Lru.Str.invalidate_where cache (fun k -> k = "a" || k = "b")
+  in
+  Alcotest.(check int) "both doomed keys swept" 2 dropped;
+  Alcotest.(check (list string))
+    "each callback fired exactly once" [ "a"; "b" ]
+    (List.sort compare !fired);
+  Alcotest.(check (list string))
+    "survivor intact" [ "keep" ]
+    (List.map fst (Lru.Str.to_list cache));
+  Alcotest.(check int) "no double-counted invalidations" 2
+    (Lru.Str.counters cache).Lru.invalidations;
+  (* The corrupted list used to orphan survivors and trip the eviction
+     loop on later inserts; refill past capacity to prove it cannot. *)
+  List.iter (fun k -> Lru.Str.put cache k 0) [ "x"; "y"; "z"; "w" ];
+  Alcotest.(check int) "refill respects capacity" 3 (Lru.Str.length cache)
+
 (* ------------------------------- Ring ------------------------------- *)
 
 let test_ring_basic () =
@@ -265,6 +341,16 @@ let prop_ring_keeps_last_capacity =
       Ring.to_list r = expected
       && Ring.dropped r = max 0 (n - capacity)
       && Ring.length r = min n capacity)
+
+let test_ring_rejects_nonpositive_capacity () =
+  (* [Ring.to_list]'s walk assumes at least one live slot; a 0-capacity
+     ring would reach its [assert false]. Rejected at construction. *)
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:0 ()));
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:(-3) ()))
 
 (* ------------------------------ Metrics ----------------------------- *)
 
@@ -316,6 +402,50 @@ let test_metrics_histogram () =
         "overflow quantile reports observed max" (Some 5000.)
         (Metrics.quantile s 0.99)
   | _ -> Alcotest.fail "lat missing"
+
+let snap_of m name =
+  match Metrics.find m name with
+  | Some (Metrics.Histogram s) -> s
+  | _ -> Alcotest.fail (name ^ " missing")
+
+(* Nearest-rank edge pins: rank = ceil(p * count) clamped to [1, count].
+   The old round-based formula biased one rank high — on a two-entry
+   histogram p50 (and even p0) reported the larger observation. *)
+let test_metrics_quantile_edges () =
+  let m = Metrics.create () in
+  let h1 = Metrics.histogram ~buckets:[| 1.; 10. |] m "one" in
+  Metrics.observe h1 5.;
+  let s1 = snap_of m "one" in
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 0.)))
+        (Printf.sprintf "1-entry p%g" (p *. 100.))
+        (Some 10.) (Metrics.quantile s1 p))
+    [ 0.0; 0.5; 1.0 ];
+  let h2 = Metrics.histogram ~buckets:[| 1.; 10. |] m "two" in
+  Metrics.observe h2 0.5;
+  Metrics.observe h2 5.;
+  let s2 = snap_of m "two" in
+  Alcotest.(check (option (float 0.)))
+    "2-entry p0 is the minimum's bucket" (Some 1.)
+    (Metrics.quantile s2 0.0);
+  Alcotest.(check (option (float 0.)))
+    "2-entry p50 is the smaller observation's bucket" (Some 1.)
+    (Metrics.quantile s2 0.5);
+  Alcotest.(check (option (float 0.)))
+    "2-entry p100 is the maximum's bucket" (Some 10.)
+    (Metrics.quantile s2 1.0);
+  (* p100 landing in the overflow bucket reports the observed max. *)
+  let h3 = Metrics.histogram ~buckets:[| 1. |] m "ovf" in
+  Metrics.observe h3 0.5;
+  Metrics.observe h3 42.;
+  let s3 = snap_of m "ovf" in
+  Alcotest.(check (option (float 0.)))
+    "overflow p100 reports observed max" (Some 42.)
+    (Metrics.quantile s3 1.0);
+  Alcotest.(check (option (float 0.)))
+    "overflow histogram p0 stays in the finite bucket" (Some 1.)
+    (Metrics.quantile s3 0.0)
 
 (* Snapshotting mid-stream must not disturb later observations: the
    allocation-free bucket walk keeps no per-observe state, so quantile
@@ -405,6 +535,10 @@ let () =
             test_lru_invalidate_where;
           Alcotest.test_case "set_capacity" `Quick test_lru_set_capacity;
           Alcotest.test_case "clear and remove" `Quick test_lru_clear;
+          Alcotest.test_case "reentrant on_evict: put during eviction"
+            `Quick test_lru_reentrant_evict_put;
+          Alcotest.test_case "reentrant on_evict: remove during sweep"
+            `Quick test_lru_reentrant_invalidate_remove;
           QCheck_alcotest.to_alcotest prop_lru_capacity_never_exceeded;
           QCheck_alcotest.to_alcotest prop_lru_matches_model;
           QCheck_alcotest.to_alcotest prop_lru_hit_after_put;
@@ -413,6 +547,8 @@ let () =
       ( "ring",
         [
           Alcotest.test_case "push/wrap/clear" `Quick test_ring_basic;
+          Alcotest.test_case "nonpositive capacity rejected" `Quick
+            test_ring_rejects_nonpositive_capacity;
           QCheck_alcotest.to_alcotest prop_ring_keeps_last_capacity;
         ] );
       ( "metrics",
@@ -420,6 +556,8 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick
             test_metrics_counters_and_gauges;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "quantile edge ranks" `Quick
+            test_metrics_quantile_edges;
           Alcotest.test_case "histogram vs interleaved snapshots" `Quick
             test_metrics_histogram_interleaved_snapshots;
           Alcotest.test_case "json output" `Quick test_metrics_json;
